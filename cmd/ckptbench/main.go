@@ -1,0 +1,205 @@
+// Command ckptbench regenerates the tables and figures of the paper's
+// evaluation section (Tan et al., ICPP 2023, §3) at a configurable
+// scale.
+//
+// Usage:
+//
+//	ckptbench -exp table1|fig4|fig5|fig6|ablation|all [flags]
+//
+// Examples:
+//
+//	ckptbench -exp fig4 -vertices 20000
+//	ckptbench -exp fig6 -procs 1,2,4,8,16,32,64 -csv fig6.csv
+//	ckptbench -exp all -vertices 5000 -maxk 3   # quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/gpuckpt/gpuckpt/internal/experiments"
+	"github.com/gpuckpt/gpuckpt/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ckptbench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, all")
+		vertices = fs.Int("vertices", 20000, "target vertices per input graph (paper: 11-18 M)")
+		maxK     = fs.Int("maxk", 4, "largest graphlet size for ORANGES (paper: 5)")
+		chunks   = fs.String("chunks", "32,64,128,256,512", "chunk sizes for fig4")
+		chunk    = fs.Int("chunk", 128, "chunk size for fig5/fig6/ablation")
+		freqs    = fs.String("freqs", "5,10,20", "checkpoint counts for fig5")
+		procs    = fs.String("procs", "1,2,4,8,16,32,64", "process counts for fig6")
+		nCkpts   = fs.Int("n", 10, "checkpoints for fig4/fig6/ablation")
+		workers  = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		seed     = fs.Int64("seed", 42, "graph generator seed")
+		verify   = fs.Bool("verify", false, "verify every restore bit-exactly")
+		csvPath  = fs.String("csv", "", "also write results as CSV to this file prefix")
+		gorder   = fs.Bool("gorder", false, "apply the Gorder pre-process (generators emit trace order natively)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	chunkSizes, err := parseInts(*chunks)
+	if err != nil {
+		return err
+	}
+	frequencies, err := parseInts(*freqs)
+	if err != nil {
+		return err
+	}
+	procCounts, err := parseInts(*procs)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.Config{
+		TargetVertices:  *vertices,
+		Workers:         *workers,
+		Seed:            *seed,
+		MaxGraphletSize: *maxK,
+		ChunkSizes:      chunkSizes,
+		Frequencies:     frequencies,
+		ProcCounts:      procCounts,
+		NumCheckpoints:  *nCkpts,
+		ChunkSize:       *chunk,
+		VerifyRestore:   *verify,
+		ApplyGorder:     *gorder,
+	}
+
+	emit := func(name string, t *metrics.Table) error {
+		if err := t.Render(stdout); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath + "-" + name + ".csv")
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := t.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "wrote %s\n\n", f.Name())
+		}
+		return nil
+	}
+
+	runs := map[string]func() error{
+		"table1": func() error {
+			t, err := experiments.Table1(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("table1", t)
+		},
+		"fig4": func() error {
+			t, _, err := experiments.Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("fig4", t)
+		},
+		"fig5": func() error {
+			t, _, err := experiments.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("fig5", t)
+		},
+		"fig6": func() error {
+			t, _, err := experiments.Fig6(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("fig6", t)
+		},
+		"overhead": func() error {
+			t, _, err := experiments.Overhead(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("overhead", t)
+		},
+		"extensions": func() error {
+			t, _, err := experiments.Extensions(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("extensions", t)
+		},
+		"headline": func() error {
+			t, claims, err := experiments.Headline(cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit("headline", t); err != nil {
+				return err
+			}
+			for _, c := range claims {
+				if !c.Pass {
+					return fmt.Errorf("headline claim %s failed: %s (%s)", c.ID, c.Text, c.Detail)
+				}
+			}
+			return nil
+		},
+		"adjoint": func() error {
+			t, _, err := experiments.Adjoint(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("adjoint", t)
+		},
+		"ablation": func() error {
+			t, _, err := experiments.Ablation(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("ablation", t)
+		},
+	}
+	order := []string{"table1", "fig4", "fig5", "fig6", "overhead", "ablation", "extensions", "adjoint", "headline"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Fprintf(stdout, "=== %s ===\n", name)
+			if err := runs[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := runs[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want one of %s, all)", *exp, strings.Join(order, ", "))
+	}
+	return fn()
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tiny(extra ...string) []string {
+	base := []string{"-vertices", "1200", "-maxk", "3", "-n", "4",
+		"-chunks", "64,256", "-freqs", "2,4", "-procs", "1,2"}
+	return append(base, extra...)
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("parseInts: %v %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Fatal("empty list mishandled")
+	}
+}
+
+func TestTable1CLI(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(tiny("-exp", "table1"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Delaunay N24") {
+		t.Fatalf("table1 output wrong:\n%s", out.String())
+	}
+}
+
+func TestFig6CLIWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "res")
+	var out bytes.Buffer
+	if err := run(tiny("-exp", "fig6", "-csv", prefix), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Tree") {
+		t.Fatalf("fig6 output wrong:\n%s", out.String())
+	}
+	csv, err := os.ReadFile(prefix + "-fig6.csv")
+	if err != nil || !bytes.Contains(csv, []byte("Procs")) {
+		t.Fatalf("csv missing: %v", err)
+	}
+}
+
+func TestExtensionsCLI(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(tiny("-exp", "extensions"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Cascaded") {
+		t.Fatalf("extensions output wrong:\n%s", out.String())
+	}
+}
+
+func TestCkptbenchErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-chunks", "a,b"}, &out); err == nil {
+		t.Fatal("bad chunk list accepted")
+	}
+	if err := run(tiny("-exp", "fig5", "-freqs", "3,4"), &out); err == nil {
+		t.Fatal("non-divisor frequencies accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gpuckpt/gpuckpt/internal/graph"
+	"github.com/gpuckpt/gpuckpt/internal/oranges"
+)
+
+func TestSyntheticRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "Message Race", "-vertices", "800", "-maxk", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "populated orbits") || !strings.Contains(s, "top orbits") {
+		t.Fatalf("missing report sections:\n%s", s)
+	}
+}
+
+func TestDumpAndMtxInput(t *testing.T) {
+	dir := t.TempDir()
+	mtx := filepath.Join(dir, "g.mtx")
+	g, err := graph.Bubbles(10, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(mtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteMatrixMarket(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	dump := filepath.Join(dir, "gdv.bin")
+	var out bytes.Buffer
+	if err := run([]string{"-mtx", mtx, "-maxk", "3", "-dump", dump}, &out); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oranges.DeserializeGDV(img, g.NumVertices()); err != nil {
+		t.Fatalf("dumped image invalid: %v", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, g *graph.Graph) string {
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := graph.WriteMatrixMarket(f, g); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, _ := graph.Bubbles(8, 8, 1)
+	b, _ := graph.Bubbles(8, 8, 1)
+	pa := write("a.mtx", a)
+	pb := write("b.mtx", b)
+	var out bytes.Buffer
+	if err := run([]string{"-mtx", pa, "-maxk", "3", "-compare", pb}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "similarity") || !strings.Contains(out.String(), "1.0000") {
+		t.Fatalf("identical graphs did not score 1.0:\n%s", out.String())
+	}
+}
+
+func TestGdvtoolErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "nope"}, &out); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+	if err := run([]string{"-mtx", "/does/not/exist.mtx"}, &out); err == nil {
+		t.Fatal("missing mtx accepted")
+	}
+	if err := run([]string{"-graph", "Asia OSM", "-vertices", "500", "-maxk", "9"}, &out); err == nil {
+		t.Fatal("bad maxk accepted")
+	}
+}
+
+func TestOrbitsReference(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-orbits"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "G0") || !strings.Contains(s, "G29") {
+		t.Fatalf("orbit table incomplete:\n%.400s", s)
+	}
+	if !strings.Contains(s, "30 graphlets, 73 orbits") {
+		t.Fatalf("census missing:\n%.200s", s)
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Message Race", "Asia OSM", "Delaunay N24"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("list missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "Hugebubbles", "-vertices", "1000", "-stats"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Hugebubbles") || !strings.Contains(out.String(), "avg deg") {
+		t.Fatalf("stats output wrong:\n%s", out.String())
+	}
+}
+
+func TestWriteMatrixMarket(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "Asia OSM", "-vertices", "500", "-gorder"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "%%MatrixMarket") {
+		t.Fatalf("not a matrix market file:\n%.80s", out.String())
+	}
+	// To a file too.
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := run([]string{"-graph", "Asia OSM", "-vertices", "500", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || !bytes.HasPrefix(b, []byte("%%MatrixMarket")) {
+		t.Fatalf("file output wrong: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-graph", "nope"}, &out); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	gpuckpt "github.com/gpuckpt/gpuckpt"
+)
+
+// buildLineage writes a 3-checkpoint Tree lineage and returns the
+// stream file, the lineage dir, and the final golden state file.
+func buildLineage(t *testing.T) (stream, dir, golden string) {
+	t.Helper()
+	base := t.TempDir()
+	dir = filepath.Join(base, "lineage")
+	rng := rand.New(rand.NewSource(51))
+	buf := make([]byte, 8192)
+	rng.Read(buf)
+
+	ck, err := gpuckpt.New(gpuckpt.Config{
+		Method: gpuckpt.MethodTree, ChunkSize: 64,
+		Compression: "LZ4", PersistDir: dir,
+	}, len(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	var streamBuf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			off := rng.Intn(len(buf) - 256)
+			rng.Read(buf[off : off+256])
+		}
+		if _, err := ck.Checkpoint(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.WriteDiff(i, &streamBuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stream = filepath.Join(base, "lineage.bin")
+	if err := os.WriteFile(stream, streamBuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	golden = filepath.Join(base, "golden.bin")
+	if err := os.WriteFile(golden, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return stream, dir, golden
+}
+
+func TestInfoFromStreamAndDir(t *testing.T) {
+	stream, dir, _ := buildLineage(t)
+	for _, args := range [][]string{
+		{"-record", stream, "-info"},
+		{"-dir", dir, "-info"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "Tree") || !strings.Contains(s, "ckpt") {
+			t.Fatalf("%v: info output wrong:\n%s", args, s)
+		}
+	}
+}
+
+func TestRestoreAndVerify(t *testing.T) {
+	stream, dir, golden := buildLineage(t)
+	outFile := filepath.Join(t.TempDir(), "state.bin")
+	var out bytes.Buffer
+	if err := run([]string{"-record", stream, "-restore", "2", "-o", outFile, "-verify", golden}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verification OK") {
+		t.Fatalf("verification not reported:\n%s", out.String())
+	}
+	want, _ := os.ReadFile(golden)
+	got, err := os.ReadFile(outFile)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("written state wrong: %v", err)
+	}
+	// From the directory too, parallel restore.
+	out.Reset()
+	if err := run([]string{"-dir", dir, "-restore", "2", "-parallel", "4", "-verify", golden}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "verification OK") {
+		t.Fatalf("dir verification failed:\n%s", out.String())
+	}
+}
+
+func TestVerifyMismatchFails(t *testing.T) {
+	stream, _, golden := buildLineage(t)
+	var out bytes.Buffer
+	// Checkpoint 0 differs from the final golden state.
+	if err := run([]string{"-record", stream, "-restore", "0", "-verify", golden}, &out); err == nil {
+		t.Fatal("mismatched verification succeeded")
+	}
+}
+
+func TestRestoretoolErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Fatal("no source accepted")
+	}
+	stream, dir, _ := buildLineage(t)
+	if err := run([]string{"-record", stream, "-dir", dir}, &out); err == nil {
+		t.Fatal("both sources accepted")
+	}
+	if err := run([]string{"-record", stream}, &out); err == nil {
+		t.Fatal("no action accepted")
+	}
+	if err := run([]string{"-record", stream, "-restore", "99"}, &out); err == nil {
+		t.Fatal("out-of-range restore accepted")
+	}
+	if err := run([]string{"-dir", t.TempDir(), "-info"}, &out); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/gpuckpt/gpuckpt
+
+go 1.22

@@ -1,0 +1,456 @@
+package gpuckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/compress"
+	"github.com/gpuckpt/gpuckpt/internal/dedup"
+	"github.com/gpuckpt/gpuckpt/internal/device"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+)
+
+// Method selects the de-duplication strategy.
+type Method = checkpoint.Method
+
+// The implemented methods (§3.2 of the paper).
+const (
+	// MethodFull stores the complete buffer every checkpoint.
+	MethodFull = checkpoint.MethodFull
+	// MethodBasic stores a dirty-chunk bitmap plus changed chunks.
+	MethodBasic = checkpoint.MethodBasic
+	// MethodList de-duplicates chunks spatially and temporally but
+	// stores one metadata entry per chunk.
+	MethodList = checkpoint.MethodList
+	// MethodTree is the paper's contribution: hash-based
+	// de-duplication with Merkle-tree compacted region metadata.
+	MethodTree = checkpoint.MethodTree
+)
+
+// GPUModel describes the simulated accelerator used to model
+// de-duplication and transfer time. The zero value selects A100().
+type GPUModel struct {
+	// Name labels the model in reports.
+	Name string
+	// MemBandwidth is the effective device-memory bandwidth (B/s).
+	MemBandwidth float64
+	// PCIeBandwidth is the device-to-host bandwidth (B/s).
+	PCIeBandwidth float64
+	// HashRate is the aggregate chunk-hashing throughput (B/s).
+	HashRate float64
+	// MapOpRate is the hash-table operation rate (ops/s).
+	MapOpRate float64
+	// KernelLaunchLatency is the fixed per-kernel submission cost.
+	KernelLaunchLatency time.Duration
+	// MemCapacity is the device memory available for the checkpoint
+	// record (bytes).
+	MemCapacity int64
+}
+
+// A100 returns the default GPU model, calibrated to the NVIDIA A100
+// systems of the paper's evaluation (§3.1).
+func A100() GPUModel {
+	p := device.A100()
+	return GPUModel{
+		Name:                p.Name,
+		MemBandwidth:        p.MemBandwidth,
+		PCIeBandwidth:       p.PCIeBandwidth,
+		HashRate:            p.HashRate,
+		MapOpRate:           p.MapOpRate,
+		KernelLaunchLatency: p.KernelLaunchLatency,
+		MemCapacity:         p.MemCapacity,
+	}
+}
+
+func (m GPUModel) toParams() device.Params {
+	if m.MemBandwidth == 0 {
+		return device.A100()
+	}
+	return device.Params{
+		Name:                m.Name,
+		MemBandwidth:        m.MemBandwidth,
+		PCIeBandwidth:       m.PCIeBandwidth,
+		HashRate:            m.HashRate,
+		MapOpRate:           m.MapOpRate,
+		KernelLaunchLatency: m.KernelLaunchLatency,
+		MemCapacity:         m.MemCapacity,
+	}
+}
+
+// Ablation switches off individual design choices of §2 for study.
+// The zero value is the paper's configuration.
+type Ablation struct {
+	// SingleStage disables the two-stage labeling parallelization:
+	// shifted regions can no longer match first-occurrence regions of
+	// the same checkpoint, fragmenting the compact metadata.
+	SingleStage bool
+	// PerThreadGather disables the team-based coalesced serialization.
+	PerThreadGather bool
+	// UnfusedKernels launches one kernel per phase and tree level
+	// instead of a single fused kernel.
+	UnfusedKernels bool
+	// HashCostMultiplier scales the modeled hash cost (e.g. ~20 for an
+	// MD5-class cryptographic hash). 0 means 1.
+	HashCostMultiplier float64
+}
+
+// Config parameterizes a Checkpointer.
+type Config struct {
+	// Method selects the strategy. Default MethodTree.
+	Method Method
+	// ChunkSize is the de-duplication granularity in bytes (the paper
+	// sweeps 32-512). Default 128.
+	ChunkSize int
+	// GPU is the simulated device model. Zero value = A100.
+	GPU GPUModel
+	// Workers bounds the CPU worker pool that executes the kernels
+	// (0 = GOMAXPROCS).
+	Workers int
+	// MapCapacity overrides the sizing of the historical record of
+	// unique hashes (entries). Default: 3x the Merkle tree node count.
+	MapCapacity int
+	// Seed is the Murmur3 hash seed.
+	Seed uint32
+	// Compression names a codec ("LZ4", "Deflate", "Zstd*",
+	// "Cascaded", "Bitcomp") that compresses the first-occurrence data
+	// inside every diff — the §5 future-work extension. Empty disables
+	// it. Compression is kept per diff only when it actually shrinks
+	// the data section.
+	Compression string
+	// Streaming models the §5 streaming extension: diff transfers
+	// overlap de-duplication, so only the non-overlapped transfer tail
+	// blocks the application.
+	Streaming bool
+	// VerifyDuplicates byte-compares every shifted-duplicate chunk
+	// against its recorded source before trusting a digest match (the
+	// §2.4 hash-collision mitigation).
+	VerifyDuplicates bool
+	// AutoFallback stores a plain Full diff for any checkpoint whose
+	// buffer fully changed (§2.4: incremental checkpointing "can be
+	// deactivated" when the data fully changes in an interval).
+	AutoFallback bool
+	// PersistDir, when set, appends every produced diff to a lineage
+	// directory (one atomically-written file per checkpoint) so the
+	// record survives the process — the bottom of the §2.3 storage
+	// hierarchy. Restore it later with ReadRecordDir.
+	PersistDir string
+	// Ablation switches for the §2.4 design-choice studies.
+	Ablation Ablation
+}
+
+// Result reports one checkpoint operation.
+type Result struct {
+	// CkptID is the checkpoint's position in the record (0-based).
+	CkptID uint32
+	// InputBytes is the buffer size.
+	InputBytes int64
+	// StoredBytes is the serialized diff size.
+	StoredBytes int64
+	// MetadataBytes is the metadata portion of the diff.
+	MetadataBytes int64
+	// DataBytes is the first-occurrence data portion of the diff.
+	DataBytes int64
+	// FirstRegions and ShiftRegions count the emitted metadata
+	// entries; FixedChunks counts chunks that cost nothing.
+	FirstRegions, ShiftRegions, FixedChunks int
+	// DedupTime and TransferTime are the modeled device times.
+	DedupTime, TransferTime time.Duration
+}
+
+// Ratio returns InputBytes/StoredBytes for this checkpoint.
+func (r Result) Ratio() float64 {
+	if r.StoredBytes == 0 {
+		return 0
+	}
+	return float64(r.InputBytes) / float64(r.StoredBytes)
+}
+
+// Throughput returns the paper's metric: input bytes divided by the
+// modeled time to create and ship the checkpoint (B/s).
+func (r Result) Throughput() float64 {
+	t := r.DedupTime + r.TransferTime
+	if t <= 0 {
+		return 0
+	}
+	return float64(r.InputBytes) / t.Seconds()
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("ckpt %d: %d -> %d bytes (%.2fx, %d+%d regions, %v dedup, %v transfer)",
+		r.CkptID, r.InputBytes, r.StoredBytes, r.Ratio(),
+		r.FirstRegions, r.ShiftRegions, r.DedupTime, r.TransferTime)
+}
+
+// Checkpointer owns the incremental checkpoint record of one
+// fixed-size buffer on one simulated GPU. It is not safe for
+// concurrent use; the parallelism lives inside the kernels.
+type Checkpointer struct {
+	d       *dedup.Deduplicator
+	dev     *device.Device
+	cfg     Config
+	dataLen int
+	store   *checkpoint.FileStore
+}
+
+// New creates a Checkpointer for buffers of exactly dataLen bytes.
+func New(cfg Config, dataLen int) (*Checkpointer, error) {
+	if dataLen <= 0 {
+		return nil, fmt.Errorf("gpuckpt: data length must be positive, got %d", dataLen)
+	}
+	pool := parallel.NewPool(cfg.Workers)
+	dev := device.New(cfg.GPU.toParams(), pool, nil)
+	d, err := newDedup(cfg, dataLen, dev)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpointer{d: d, dev: dev, cfg: cfg, dataLen: dataLen}
+	if cfg.PersistDir != "" {
+		store, err := checkpoint.NewFileStore(cfg.PersistDir)
+		if err != nil {
+			return nil, err
+		}
+		if n, err := store.Len(); err != nil {
+			return nil, err
+		} else if n != 0 {
+			return nil, fmt.Errorf("gpuckpt: persist dir %s already holds %d diffs", cfg.PersistDir, n)
+		}
+		c.store = store
+	}
+	return c, nil
+}
+
+// newDedup builds the engine for one lineage.
+func newDedup(cfg Config, dataLen int, dev *device.Device) (*dedup.Deduplicator, error) {
+	opts := dedup.Options{
+		ChunkSize:          cfg.ChunkSize,
+		Seed:               cfg.Seed,
+		MapCapacity:        cfg.MapCapacity,
+		SingleStage:        cfg.Ablation.SingleStage,
+		PerThreadGather:    cfg.Ablation.PerThreadGather,
+		Unfused:            cfg.Ablation.UnfusedKernels,
+		HashCostMultiplier: cfg.Ablation.HashCostMultiplier,
+		StreamingTransfer:  cfg.Streaming,
+		VerifyDuplicates:   cfg.VerifyDuplicates,
+		AutoFallback:       cfg.AutoFallback,
+	}
+	if cfg.Compression != "" {
+		codec, err := compress.ByName(cfg.Compression)
+		if err != nil {
+			return nil, fmt.Errorf("gpuckpt: %w", err)
+		}
+		opts.Compressor = codec
+	}
+	return dedup.New(cfg.Method, dataLen, dev, opts)
+}
+
+// Rebase squashes the lineage: the current latest state becomes the
+// full first checkpoint of a fresh record (with a fresh historical
+// record of unique hashes), and the previous lineage is returned as a
+// read-only Record for archival. Long-running applications rebase
+// periodically to bound restore chain length and GPU-resident
+// metadata.
+// With PersistDir configured, the old lineage directory is renamed to
+// `<dir>.pre-rebase-<k>` and a fresh directory takes its place.
+func (c *Checkpointer) Rebase() (*Record, error) {
+	n := c.NumCheckpoints()
+	if n == 0 {
+		return nil, errors.New("gpuckpt: nothing to rebase")
+	}
+	state, err := c.d.Restore(n - 1)
+	if err != nil {
+		return nil, fmt.Errorf("gpuckpt: rebase restore: %w", err)
+	}
+	if c.store != nil {
+		dir := c.store.Dir()
+		var archived string
+		for k := 0; ; k++ {
+			archived = fmt.Sprintf("%s.pre-rebase-%d", dir, k)
+			if _, err := os.Stat(archived); errors.Is(err, os.ErrNotExist) {
+				break
+			}
+		}
+		if err := os.Rename(dir, archived); err != nil {
+			return nil, fmt.Errorf("gpuckpt: archiving lineage dir: %w", err)
+		}
+		store, err := checkpoint.NewFileStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		c.store = store
+	}
+	old := c.d
+	fresh, err := newDedup(c.cfg, c.dataLen, c.dev)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := fresh.Checkpoint(state); err != nil {
+		fresh.Close()
+		return nil, fmt.Errorf("gpuckpt: rebase baseline: %w", err)
+	}
+	if c.store != nil {
+		if err := c.store.Append(fresh.Record().Diff(0)); err != nil {
+			fresh.Close()
+			return nil, fmt.Errorf("gpuckpt: persisting rebase baseline: %w", err)
+		}
+	}
+	c.d = fresh
+	old.Close()
+	return &Record{rec: old.Record()}, nil
+}
+
+// Checkpoint de-duplicates data against the record and appends the
+// resulting difference. data must have the configured length.
+func (c *Checkpointer) Checkpoint(data []byte) (Result, error) {
+	diff, st, err := c.d.Checkpoint(data)
+	if err != nil {
+		return Result{}, err
+	}
+	if c.store != nil {
+		if err := c.store.Append(diff); err != nil {
+			return Result{}, fmt.Errorf("gpuckpt: persisting diff: %w", err)
+		}
+	}
+	return Result{
+		CkptID:        st.CkptID,
+		InputBytes:    st.InputBytes,
+		StoredBytes:   st.DiffBytes,
+		MetadataBytes: st.MetadataBytes,
+		DataBytes:     st.DataBytes,
+		FirstRegions:  st.NumFirstOcur,
+		ShiftRegions:  st.NumShiftDupl,
+		FixedChunks:   st.FixedLeaves,
+		DedupTime:     st.DedupTime,
+		TransferTime:  st.TransferTime,
+	}, nil
+}
+
+// NumCheckpoints returns the number of checkpoints in the record.
+func (c *Checkpointer) NumCheckpoints() int { return c.d.Record().Len() }
+
+// RecordBytes returns the total serialized size of the record — the
+// space-utilization metric of §1.
+func (c *Checkpointer) RecordBytes() int64 { return c.d.Record().TotalBytes() }
+
+// Restore reconstructs the buffer as of checkpoint k (bit-exact).
+func (c *Checkpointer) Restore(k int) ([]byte, error) { return c.d.Restore(k) }
+
+// RestoreLatest reconstructs the most recent checkpoint.
+func (c *Checkpointer) RestoreLatest() ([]byte, error) {
+	n := c.NumCheckpoints()
+	if n == 0 {
+		return nil, errors.New("gpuckpt: empty checkpoint record")
+	}
+	return c.d.Restore(n - 1)
+}
+
+// WriteDiff serializes checkpoint k's difference to w in the canonical
+// wire format (readable by ReadRecord).
+func (c *Checkpointer) WriteDiff(k int, w io.Writer) error {
+	rec := c.d.Record()
+	if k < 0 || k >= rec.Len() {
+		return fmt.Errorf("gpuckpt: checkpoint %d out of range [0,%d)", k, rec.Len())
+	}
+	return rec.Diff(k).Encode(w)
+}
+
+// ModeledTime returns the cumulative modeled device time spent by this
+// checkpointer (kernels + transfers).
+func (c *Checkpointer) ModeledTime() time.Duration { return c.dev.Elapsed() }
+
+// KernelStat reports the modeled cost of one kernel family.
+type KernelStat struct {
+	// Launches counts kernel submissions (1 per checkpoint for the
+	// fused pipeline; one per phase and tree level when unfused).
+	Launches int64
+	// Modeled is the cumulative modeled device time.
+	Modeled time.Duration
+}
+
+// KernelStats breaks the modeled device time down by kernel family
+// ("tree-dedup", "d2h", "compress", ...) — the profile a performance
+// engineer would read off nsys on the real system.
+func (c *Checkpointer) KernelStats() map[string]KernelStat {
+	out := make(map[string]KernelStat)
+	for name, st := range c.dev.Stats() {
+		out[name] = KernelStat{Launches: st.Launches, Modeled: st.Modeled}
+	}
+	return out
+}
+
+// Close releases the modeled device memory. The record remains
+// restorable until the Checkpointer is garbage collected, but no
+// further checkpoints can be taken.
+func (c *Checkpointer) Close() { c.d.Close() }
+
+// Record is a read-only checkpoint lineage reconstructed from
+// serialized diffs, for restore on a machine that never held the
+// original Checkpointer.
+type Record struct {
+	rec *checkpoint.Record
+}
+
+// ReadRecord decodes consecutive diffs (checkpoint 0, 1, ...) from r
+// until EOF and returns the restorable record.
+func ReadRecord(r io.Reader) (*Record, error) {
+	rec := checkpoint.NewRecord()
+	for {
+		d, err := checkpoint.Decode(r)
+		if err != nil {
+			// A clean EOF at a diff boundary ends the record; EOF
+			// mid-diff surfaces as ErrUnexpectedEOF and is an error.
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && rec.Len() > 0 {
+				break
+			}
+			return nil, err
+		}
+		if err := rec.Append(d); err != nil {
+			return nil, err
+		}
+	}
+	return &Record{rec: rec}, nil
+}
+
+// Parallel enables multi-worker region assembly during restores (the
+// §5 "scalable reconstruction" extension). workers <= 0 selects
+// GOMAXPROCS. Restored bytes are identical either way.
+func (r *Record) Parallel(workers int) {
+	r.rec.SetPool(parallel.NewPool(workers))
+}
+
+// Len returns the number of checkpoints in the record.
+func (r *Record) Len() int { return r.rec.Len() }
+
+// Restore reconstructs the buffer as of checkpoint k.
+func (r *Record) Restore(k int) ([]byte, error) { return r.rec.Restore(k) }
+
+// TotalBytes returns the cumulative serialized size of the record.
+func (r *Record) TotalBytes() int64 { return r.rec.TotalBytes() }
+
+// SaveRecordDir persists the current lineage into an empty directory,
+// one atomically-written diff file per checkpoint.
+func (c *Checkpointer) SaveRecordDir(dir string) error {
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		return err
+	}
+	return store.WriteRecord(c.d.Record())
+}
+
+// ReadRecordDir loads a lineage directory written by PersistDir or
+// SaveRecordDir into a restorable Record.
+func ReadRecordDir(dir string) (*Record, error) {
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := store.Load()
+	if err != nil {
+		return nil, err
+	}
+	return &Record{rec: rec}, nil
+}

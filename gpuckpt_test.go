@@ -1,0 +1,295 @@
+package gpuckpt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, 64*1024+17)
+	rng.Read(buf)
+
+	for _, m := range []Method{MethodFull, MethodBasic, MethodList, MethodTree} {
+		ck, err := New(Config{Method: m, ChunkSize: 64}, len(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps := [][]byte{append([]byte(nil), buf...)}
+		for i := 0; i < 4; i++ {
+			off := rng.Intn(len(buf) - 500)
+			rng.Read(buf[off : off+500])
+			snaps = append(snaps, append([]byte(nil), buf...))
+		}
+		for i, s := range snaps {
+			res, err := ck.Checkpoint(s)
+			if err != nil {
+				t.Fatalf("%v ckpt %d: %v", m, i, err)
+			}
+			if res.CkptID != uint32(i) || res.InputBytes != int64(len(buf)) {
+				t.Fatalf("%v: bad result %+v", m, res)
+			}
+			if res.String() == "" {
+				t.Fatal("empty result string")
+			}
+		}
+		if ck.NumCheckpoints() != len(snaps) {
+			t.Fatalf("%v: %d checkpoints recorded", m, ck.NumCheckpoints())
+		}
+		for i, s := range snaps {
+			got, err := ck.Restore(i)
+			if err != nil {
+				t.Fatalf("%v restore %d: %v", m, i, err)
+			}
+			if !bytes.Equal(got, s) {
+				t.Fatalf("%v restore %d mismatch", m, i)
+			}
+		}
+		latest, err := ck.RestoreLatest()
+		if err != nil || !bytes.Equal(latest, snaps[len(snaps)-1]) {
+			t.Fatalf("%v restore latest failed: %v", m, err)
+		}
+		if ck.RecordBytes() <= 0 || ck.ModeledTime() <= 0 {
+			t.Fatalf("%v: degenerate accounting", m)
+		}
+		ck.Close()
+	}
+}
+
+func TestTreeBeatsFullOnRecordSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	buf := make([]byte, 1<<17)
+	rng.Read(buf)
+	record := func(m Method) int64 {
+		ck, err := New(Config{Method: m, ChunkSize: 128}, len(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ck.Close()
+		b := append([]byte(nil), buf...)
+		for i := 0; i < 6; i++ {
+			if i > 0 {
+				off := rng.Intn(len(b) - 100)
+				rng.Read(b[off : off+100])
+			}
+			if _, err := ck.Checkpoint(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ck.RecordBytes()
+	}
+	tree := record(MethodTree)
+	full := record(MethodFull)
+	if tree*5 > full {
+		t.Fatalf("Tree record %d not well below Full %d on sparse updates", tree, full)
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	var zero Result
+	if zero.Ratio() != 0 || zero.Throughput() != 0 {
+		t.Fatal("zero result not handled")
+	}
+	r := Result{InputBytes: 100, StoredBytes: 50, DedupTime: 1e9, TransferTime: 1e9}
+	if r.Ratio() != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if r.Throughput() != 50 {
+		t.Fatalf("throughput %v", r.Throughput())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := New(Config{Method: Method(9)}, 100); err == nil {
+		t.Fatal("bad method accepted")
+	}
+}
+
+func TestWriteDiffAndReadRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	buf := make([]byte, 8192)
+	rng.Read(buf)
+	ck, err := New(Config{Method: MethodTree, ChunkSize: 64}, len(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	var stream bytes.Buffer
+	snaps := [][]byte{}
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			off := rng.Intn(len(buf) - 256)
+			rng.Read(buf[off : off+256])
+		}
+		snaps = append(snaps, append([]byte(nil), buf...))
+		if _, err := ck.Checkpoint(buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.WriteDiff(i, &stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.WriteDiff(99, &stream); err == nil {
+		t.Fatal("out-of-range diff written")
+	}
+
+	rec, err := ReadRecord(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 3 || rec.TotalBytes() <= 0 {
+		t.Fatalf("record has %d diffs", rec.Len())
+	}
+	for i, s := range snaps {
+		got, err := rec.Restore(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, s) {
+			t.Fatalf("record restore %d mismatch", i)
+		}
+	}
+	// Truncated stream mid-diff must error.
+	if _, err := ReadRecord(bytes.NewReader(stream.Bytes()[:stream.Len()-5])); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	// Empty stream must error.
+	if _, err := ReadRecord(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty record accepted")
+	}
+}
+
+func TestRestoreLatestEmpty(t *testing.T) {
+	ck, err := New(Config{Method: MethodTree}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if _, err := ck.RestoreLatest(); err == nil {
+		t.Fatal("restore of empty record succeeded")
+	}
+}
+
+func TestQuickRoundTripTree(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16) bool {
+		size := int(sizeRaw)%5000 + 100
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, size)
+		rng.Read(buf)
+		ck, err := New(Config{Method: MethodTree, ChunkSize: 48}, size)
+		if err != nil {
+			return false
+		}
+		defer ck.Close()
+		var snaps [][]byte
+		for i := 0; i < 3; i++ {
+			if i > 0 {
+				n := rng.Intn(size/2) + 1
+				off := rng.Intn(size - n + 1)
+				rng.Read(buf[off : off+n])
+			}
+			snaps = append(snaps, append([]byte(nil), buf...))
+			if _, err := ck.Checkpoint(buf); err != nil {
+				return false
+			}
+		}
+		for i, s := range snaps {
+			got, err := ck.Restore(i)
+			if err != nil || !bytes.Equal(got, s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationConfigsStillCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	buf := make([]byte, 32768)
+	rng.Read(buf)
+	ablations := []Ablation{
+		{SingleStage: true},
+		{PerThreadGather: true},
+		{UnfusedKernels: true},
+		{HashCostMultiplier: 20},
+		{SingleStage: true, PerThreadGather: true, UnfusedKernels: true},
+	}
+	for i, ab := range ablations {
+		ck, err := New(Config{Method: MethodTree, ChunkSize: 64, Ablation: ab}, len(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := append([]byte(nil), buf...)
+		if _, err := ck.Checkpoint(b); err != nil {
+			t.Fatal(err)
+		}
+		copy(b[100:], b[5000:5500])
+		if _, err := ck.Checkpoint(b); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ck.RestoreLatest()
+		if err != nil || !bytes.Equal(got, b) {
+			t.Fatalf("ablation %d broke restore: %v", i, err)
+		}
+		ck.Close()
+	}
+}
+
+func TestBuildWorkloadSeries(t *testing.T) {
+	for _, name := range WorkloadGraphs() {
+		s, err := BuildWorkloadSeries(WorkloadConfig{
+			Graph:          name,
+			TargetVertices: 1500,
+			Checkpoints:    3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Images) != 3 {
+			t.Fatalf("%s: %d images", name, len(s.Images))
+		}
+		padded := (s.Vertices + 127) / 128 * 128
+		if s.DataLen != padded*73*4 {
+			t.Fatalf("%s: GDV size %d for %d vertices", name, s.DataLen, s.Vertices)
+		}
+		if s.Edges <= 0 {
+			t.Fatalf("%s: no edges", name)
+		}
+		// The series feeds straight into a Checkpointer.
+		ck, err := New(Config{Method: MethodTree, ChunkSize: 128}, s.DataLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, img := range s.Images {
+			if _, err := ck.Checkpoint(img); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		got, err := ck.RestoreLatest()
+		if err != nil || !bytes.Equal(got, s.Images[2]) {
+			t.Fatalf("%s: workload restore failed: %v", name, err)
+		}
+		ck.Close()
+	}
+	if _, err := BuildWorkloadSeries(WorkloadConfig{Graph: "bogus"}); err == nil {
+		t.Fatal("unknown graph accepted")
+	}
+}
+
+func TestGPUModelDefaults(t *testing.T) {
+	m := A100()
+	if m.MemBandwidth <= 0 || m.PCIeBandwidth <= 0 || m.MemCapacity <= 0 {
+		t.Fatal("A100 model degenerate")
+	}
+	if len(WorkloadGraphs()) != 5 {
+		t.Fatal("workload graph list incomplete")
+	}
+}

@@ -1,0 +1,158 @@
+package gpuckpt
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestGroupRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	grid := make([]byte, 32*1024)
+	solver := make([]byte, 8*1024)
+	rng.Read(grid)
+	rng.Read(solver)
+
+	g := NewGroup(Config{Method: MethodTree, ChunkSize: 64})
+	defer g.Close()
+	if err := g.Protect("grid", len(grid)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Protect("solver", len(solver)); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Members(); len(got) != 2 || got[0] != "grid" || got[1] != "solver" {
+		t.Fatalf("members = %v", got)
+	}
+
+	type snap struct{ grid, solver []byte }
+	var snaps []snap
+	for k := 0; k < 4; k++ {
+		if k > 0 {
+			off := rng.Intn(len(grid) - 512)
+			rng.Read(grid[off : off+512])
+			rng.Read(solver[:128])
+		}
+		snaps = append(snaps, snap{
+			grid:   append([]byte(nil), grid...),
+			solver: append([]byte(nil), solver...),
+		})
+		res, err := g.Checkpoint(map[string][]byte{"grid": grid, "solver": solver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CkptID != k {
+			t.Fatalf("group ckpt id %d, want %d", res.CkptID, k)
+		}
+		if res.InputBytes != int64(len(grid)+len(solver)) {
+			t.Fatalf("input bytes %d", res.InputBytes)
+		}
+		if len(res.PerMember) != 2 || res.Ratio() <= 0 {
+			t.Fatalf("bad group result: %+v", res)
+		}
+	}
+	if g.NumCheckpoints() != 4 {
+		t.Fatalf("group has %d checkpoints", g.NumCheckpoints())
+	}
+	if g.RecordBytes() <= 0 || g.ModeledTime() <= 0 {
+		t.Fatal("degenerate group accounting")
+	}
+	for k, s := range snaps {
+		got, err := g.Restore(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got["grid"], s.grid) || !bytes.Equal(got["solver"], s.solver) {
+			t.Fatalf("group restore %d mismatch", k)
+		}
+	}
+	latest, err := g.RestoreLatest()
+	if err != nil || !bytes.Equal(latest["grid"], snaps[3].grid) {
+		t.Fatalf("restore latest failed: %v", err)
+	}
+}
+
+func TestGroupValidation(t *testing.T) {
+	g := NewGroup(Config{Method: MethodTree, ChunkSize: 64})
+	defer g.Close()
+	if _, err := g.Checkpoint(nil); err == nil {
+		t.Fatal("empty group checkpointed")
+	}
+	if err := g.Protect("", 100); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := g.Protect("a", 0); err == nil {
+		t.Fatal("zero-length member accepted")
+	}
+	if err := g.Protect("a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Protect("a", 100); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := g.Checkpoint(map[string][]byte{"b": make([]byte, 100)}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+	if _, err := g.Checkpoint(map[string][]byte{}); err == nil {
+		t.Fatal("missing buffers accepted")
+	}
+	if _, err := g.Checkpoint(map[string][]byte{"a": make([]byte, 55)}); err == nil {
+		t.Fatal("wrong-length buffer accepted")
+	}
+	if _, err := g.Restore(0); err == nil {
+		t.Fatal("restore before any checkpoint succeeded")
+	}
+	if _, err := g.Checkpoint(map[string][]byte{"a": make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Protect("late", 10); err == nil {
+		t.Fatal("member added after first checkpoint")
+	}
+	g.Close()
+	g.Close() // idempotent
+	if err := g.Protect("x", 10); err == nil {
+		t.Fatal("protect after close accepted")
+	}
+	if _, err := g.Checkpoint(map[string][]byte{"a": make([]byte, 100)}); err == nil {
+		t.Fatal("checkpoint after close accepted")
+	}
+}
+
+func TestGroupPersistDir(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]byte, 4096)
+	b := make([]byte, 2048)
+	rng.Read(a)
+	rng.Read(b)
+	dir := t.TempDir()
+
+	g := NewGroup(Config{Method: MethodTree, ChunkSize: 64, PersistDir: dir})
+	defer g.Close()
+	if err := g.Protect("a", len(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Protect("b", len(b)); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		if k > 0 {
+			rng.Read(a[100:200])
+		}
+		if _, err := g.Checkpoint(map[string][]byte{"a": a, "b": b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Each member's lineage loads independently.
+	recA, err := ReadRecordDir(dir + "/a")
+	if err != nil || recA.Len() != 2 {
+		t.Fatalf("member a lineage: %v", err)
+	}
+	got, err := recA.Restore(1)
+	if err != nil || !bytes.Equal(got, a) {
+		t.Fatalf("member a restore: %v", err)
+	}
+	recB, err := ReadRecordDir(dir + "/b")
+	if err != nil || recB.Len() != 2 {
+		t.Fatalf("member b lineage: %v", err)
+	}
+}

@@ -1,0 +1,153 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FileStore persists a checkpoint lineage as a directory of diff
+// files, one per checkpoint (`ckpt-000000.gckp`, `ckpt-000001.gckp`,
+// ...). Files are written atomically (temp file + rename) so a crash
+// mid-checkpoint never leaves a truncated diff; on load, the sequence
+// is validated by the Record's usual geometry and ordering checks.
+//
+// This is the bottom of the paper's storage hierarchy (§2.3): what the
+// asynchronous runtime eventually flushes to the parallel file system.
+type FileStore struct {
+	dir string
+}
+
+const diffFileExt = ".gckp"
+
+// NewFileStore creates (or reopens) a lineage directory.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: creating store %s: %w", dir, err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+// diffPath returns the canonical file name of checkpoint ck.
+func (fs *FileStore) diffPath(ck int) string {
+	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-%06d%s", ck, diffFileExt))
+}
+
+// Len returns the number of consecutively stored diffs (0, 1, ...,
+// n-1 present).
+func (fs *FileStore) Len() (int, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: reading store: %w", err)
+	}
+	present := map[int]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, diffFileExt) {
+			continue
+		}
+		var ck int
+		if _, err := fmt.Sscanf(name, "ckpt-%06d", &ck); err == nil {
+			present[ck] = true
+		}
+	}
+	n := 0
+	for present[n] {
+		n++
+	}
+	return n, nil
+}
+
+// Append writes diff d as the next checkpoint file. The diff's CkptID
+// must equal the current length (contiguity).
+func (fs *FileStore) Append(d *Diff) error {
+	n, err := fs.Len()
+	if err != nil {
+		return err
+	}
+	if int(d.CkptID) != n {
+		return fmt.Errorf("checkpoint: store has %d diffs, cannot append id %d", n, d.CkptID)
+	}
+	tmp, err := os.CreateTemp(fs.dir, "ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("checkpoint: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if err := d.Encode(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: closing temp file: %w", err)
+	}
+	if err := os.Rename(tmpName, fs.diffPath(n)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: publishing diff %d: %w", n, err)
+	}
+	return nil
+}
+
+// Load reads the stored lineage into a restorable Record.
+func (fs *FileStore) Load() (*Record, error) {
+	n, err := fs.Len()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("checkpoint: store %s is empty", fs.dir)
+	}
+	rec := NewRecord()
+	for ck := 0; ck < n; ck++ {
+		f, err := os.Open(fs.diffPath(ck))
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: opening diff %d: %w", ck, err)
+		}
+		d, err := Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: decoding diff %d: %w", ck, err)
+		}
+		if err := rec.Append(d); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// WriteRecord persists an in-memory record into an empty store.
+func (fs *FileStore) WriteRecord(rec *Record) error {
+	n, err := fs.Len()
+	if err != nil {
+		return err
+	}
+	if n != 0 {
+		return fmt.Errorf("checkpoint: store %s already holds %d diffs", fs.dir, n)
+	}
+	for i := 0; i < rec.Len(); i++ {
+		if err := fs.Append(rec.Diff(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Files lists the stored diff file names in checkpoint order.
+func (fs *FileStore) Files() ([]string, error) {
+	n, err := fs.Len()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, n)
+	for ck := 0; ck < n; ck++ {
+		out = append(out, fs.diffPath(ck))
+	}
+	sort.Strings(out)
+	return out, nil
+}

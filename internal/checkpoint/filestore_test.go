@@ -1,0 +1,150 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func storeDiff(ck int, tag byte) *Diff {
+	data := bytes.Repeat([]byte{tag}, 100)
+	return &Diff{Method: MethodFull, CkptID: uint32(ck), DataLen: 100, ChunkSize: 16, Data: data}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.Len(); n != 0 {
+		t.Fatalf("fresh store has %d diffs", n)
+	}
+	for ck := 0; ck < 3; ck++ {
+		if err := fs.Append(storeDiff(ck, byte(ck+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := fs.Len(); n != 3 {
+		t.Fatalf("store has %d diffs, want 3", n)
+	}
+	files, err := fs.Files()
+	if err != nil || len(files) != 3 {
+		t.Fatalf("files: %v %v", files, err)
+	}
+	rec, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 3; ck++ {
+		got, err := rec.Restore(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(ck+1) {
+			t.Fatalf("restore %d wrong content", ck)
+		}
+	}
+	// Reopen and append more.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Append(storeDiff(3, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs2.Len(); n != 4 {
+		t.Fatalf("reopened store has %d diffs", n)
+	}
+	if fs2.Dir() != dir {
+		t.Fatal("dir accessor wrong")
+	}
+}
+
+func TestFileStoreContiguity(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(storeDiff(2, 1)); err == nil {
+		t.Fatal("non-contiguous append accepted")
+	}
+	if err := fs.Append(storeDiff(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(storeDiff(0, 1)); err == nil {
+		t.Fatal("duplicate append accepted")
+	}
+}
+
+func TestFileStoreEmptyLoad(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Load(); err == nil {
+		t.Fatal("empty store loaded")
+	}
+}
+
+func TestFileStoreIgnoresStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-junk.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(storeDiff(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.Len(); n != 1 {
+		t.Fatalf("stray files confused Len: %d", n)
+	}
+}
+
+func TestFileStoreCorruptDiff(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(storeDiff(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := fs.Files()
+	if err := os.WriteFile(files[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Load(); err == nil {
+		t.Fatal("corrupt diff loaded")
+	}
+}
+
+func TestFileStoreWriteRecord(t *testing.T) {
+	rec := NewRecord()
+	for ck := 0; ck < 2; ck++ {
+		if err := rec.Append(storeDiff(ck, byte(ck))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	back, err := fs.Load()
+	if err != nil || back.Len() != 2 {
+		t.Fatalf("write-record round trip failed: %v", err)
+	}
+	if err := fs.WriteRecord(rec); err == nil {
+		t.Fatal("write into non-empty store accepted")
+	}
+}

@@ -1,0 +1,312 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gpuckpt/gpuckpt/internal/compress"
+	"github.com/gpuckpt/gpuckpt/internal/merkle"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+)
+
+// storedRegion locates the bytes of one first-occurrence region inside
+// a diff's data section.
+type storedRegion struct {
+	leafLo, leafHi int   // chunk range [lo, hi)
+	dataOff        int64 // byte offset in Diff.Data
+}
+
+// Record is the checkpoint lineage of one process: the ordered
+// sequence of diffs for a fixed buffer geometry, with an index that
+// resolves shifted-duplicate references (ckpt, node) to stored bytes.
+type Record struct {
+	chunkSize int
+	dataLen   int
+	geom      *merkle.Tree
+	diffs     []*Diff
+	regions   [][]storedRegion
+	plain     [][]byte // decompressed data sections (alias Diff.Data when raw)
+	pool      *parallel.Pool
+}
+
+// NewRecord creates an empty lineage.
+func NewRecord() *Record { return &Record{} }
+
+// SetPool enables parallel region assembly during Apply/Restore — the
+// §5 future-work "scalable reconstruction" extension. All emitted
+// regions of one diff cover disjoint byte ranges and same-checkpoint
+// shift sources are first-occurrence regions (written in the preceding
+// pass), so each pass parallelizes race-free. Restored bytes are
+// identical with or without a pool.
+func (r *Record) SetPool(p *parallel.Pool) { r.pool = p }
+
+// forRegions runs body over [0, n), on the pool when one is set.
+func (r *Record) forRegions(n int, body func(i int)) {
+	if r.pool == nil || n < 16 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	r.pool.For(n, body)
+}
+
+// Len returns the number of checkpoints in the lineage.
+func (r *Record) Len() int { return len(r.diffs) }
+
+// Diff returns the i-th stored diff.
+func (r *Record) Diff(i int) *Diff { return r.diffs[i] }
+
+// ChunkSize returns the chunk geometry of the lineage (0 when empty).
+func (r *Record) ChunkSize() int { return r.chunkSize }
+
+// DataLen returns the checkpointed buffer length (0 when empty).
+func (r *Record) DataLen() int { return r.dataLen }
+
+// TotalBytes returns the cumulative serialized size of all diffs: the
+// space utilization of the entire checkpoint record (§1).
+func (r *Record) TotalBytes() int64 {
+	var total int64
+	for _, d := range r.diffs {
+		total += d.TotalBytes()
+	}
+	return total
+}
+
+// Append adds the next diff to the lineage and indexes its
+// first-occurrence regions so later checkpoints can reference them.
+func (r *Record) Append(d *Diff) error {
+	if len(r.diffs) == 0 {
+		if d.DataLen == 0 && d.Method != MethodFull {
+			return fmt.Errorf("checkpoint: first diff has zero data length")
+		}
+		r.chunkSize = int(d.ChunkSize)
+		r.dataLen = int(d.DataLen)
+		if r.chunkSize > 0 {
+			r.geom = merkle.NewGeometry(merkle.NumChunks(r.dataLen, r.chunkSize))
+		}
+	} else {
+		if int(d.DataLen) != r.dataLen {
+			return fmt.Errorf("checkpoint: diff %d data length %d != record %d",
+				d.CkptID, d.DataLen, r.dataLen)
+		}
+		if int(d.ChunkSize) != r.chunkSize {
+			return fmt.Errorf("checkpoint: diff %d chunk size %d != record %d",
+				d.CkptID, d.ChunkSize, r.chunkSize)
+		}
+	}
+	if int(d.CkptID) != len(r.diffs) {
+		return fmt.Errorf("checkpoint: diff id %d out of order (have %d diffs)",
+			d.CkptID, len(r.diffs))
+	}
+	plain := d.Data
+	if d.DataCodec != 0 {
+		codec, err := compress.ByID(d.DataCodec)
+		if err != nil {
+			return fmt.Errorf("checkpoint: diff %d: %w", d.CkptID, err)
+		}
+		plain, err = codec.Decompress(d.Data, int(d.RawDataLen))
+		if err != nil {
+			return fmt.Errorf("checkpoint: diff %d data section: %w", d.CkptID, err)
+		}
+	}
+	idx, err := r.indexRegions(d, plain)
+	if err != nil {
+		return err
+	}
+	r.diffs = append(r.diffs, d)
+	r.regions = append(r.regions, idx)
+	r.plain = append(r.plain, plain)
+	return nil
+}
+
+// indexRegions builds the (sorted) first-occurrence region index of d
+// and validates that the data section has exactly the declared bytes.
+func (r *Record) indexRegions(d *Diff, plain []byte) ([]storedRegion, error) {
+	switch d.Method {
+	case MethodFull:
+		if int(d.DataLen) != len(plain) {
+			return nil, fmt.Errorf("checkpoint: full diff %d has %d data bytes, want %d",
+				d.CkptID, len(plain), d.DataLen)
+		}
+		if r.geom == nil {
+			return nil, nil
+		}
+		return []storedRegion{{leafLo: 0, leafHi: r.geom.NumLeaves, dataOff: 0}}, nil
+	case MethodBasic:
+		// Basic diffs are never referenced by shifted duplicates.
+		return nil, nil
+	case MethodList, MethodTree:
+		idx := make([]storedRegion, 0, len(d.FirstOcur))
+		var off int64
+		for _, node := range d.FirstOcur {
+			if int(node) >= r.geom.NumNodes {
+				return nil, fmt.Errorf("checkpoint: diff %d region node %d out of range", d.CkptID, node)
+			}
+			lo, hi := r.geom.LeafRange(int(node))
+			spanOff, spanEnd := r.geom.NodeSpan(int(node), r.chunkSize, r.dataLen)
+			idx = append(idx, storedRegion{leafLo: lo, leafHi: hi, dataOff: off})
+			off += int64(spanEnd - spanOff)
+		}
+		if off != int64(len(plain)) {
+			return nil, fmt.Errorf("checkpoint: diff %d data section %d bytes, regions cover %d",
+				d.CkptID, len(plain), off)
+		}
+		if !sort.SliceIsSorted(idx, func(i, j int) bool { return idx[i].leafLo < idx[j].leafLo }) {
+			return nil, fmt.Errorf("checkpoint: diff %d regions not in chunk order", d.CkptID)
+		}
+		return idx, nil
+	default:
+		return nil, fmt.Errorf("checkpoint: unknown method %v", d.Method)
+	}
+}
+
+// resolve returns the stored bytes of tree node `node` as of
+// checkpoint ck. The node must lie inside a first-occurrence region of
+// that checkpoint — which Algorithm 1 guarantees for every entry of
+// the historical record of unique hashes.
+func (r *Record) resolve(ck, node uint32) ([]byte, error) {
+	if int(ck) >= len(r.diffs) {
+		return nil, fmt.Errorf("checkpoint: reference to future checkpoint %d", ck)
+	}
+	spanOff, spanEnd := r.geom.NodeSpan(int(node), r.chunkSize, r.dataLen)
+	lo, _ := r.geom.LeafRange(int(node))
+	regions := r.regions[ck]
+	// Find the last region with leafLo <= lo.
+	i := sort.Search(len(regions), func(i int) bool { return regions[i].leafLo > lo }) - 1
+	if i < 0 {
+		return nil, fmt.Errorf("checkpoint: node %d not stored in checkpoint %d", node, ck)
+	}
+	reg := regions[i]
+	_, hi := r.geom.LeafRange(int(node))
+	if hi > reg.leafHi {
+		return nil, fmt.Errorf("checkpoint: node %d (chunks [%d,%d)) exceeds stored region [%d,%d) of checkpoint %d",
+			node, lo, hi, reg.leafLo, reg.leafHi, ck)
+	}
+	byteOff := reg.dataOff + int64((lo-reg.leafLo)*r.chunkSize)
+	n := int64(spanEnd - spanOff)
+	data := r.plain[ck]
+	if byteOff+n > int64(len(data)) {
+		return nil, fmt.Errorf("checkpoint: region bytes [%d,%d) beyond data section of checkpoint %d",
+			byteOff, byteOff+n, ck)
+	}
+	return data[byteOff : byteOff+n], nil
+}
+
+// RegionBytes returns the stored (uncompressed) bytes of tree node
+// `node` as of checkpoint ck — the §2.4 collision-mitigation path and
+// external consumers use it to read region content without a full
+// restore.
+func (r *Record) RegionBytes(ck, node uint32) ([]byte, error) {
+	return r.resolve(ck, node)
+}
+
+// Apply replays diff i onto state, which must hold the reconstruction
+// of checkpoint i-1 (or anything, for i==0 with MethodFull/first-ckpt
+// diffs that cover the whole buffer).
+func (r *Record) Apply(state []byte, i int) error {
+	if i < 0 || i >= len(r.diffs) {
+		return fmt.Errorf("checkpoint: apply index %d out of range [0,%d)", i, len(r.diffs))
+	}
+	if len(state) != r.dataLen {
+		return fmt.Errorf("checkpoint: state length %d != record %d", len(state), r.dataLen)
+	}
+	d := r.diffs[i]
+	switch d.Method {
+	case MethodFull:
+		copy(state, r.plain[i])
+		return nil
+	case MethodBasic:
+		var off int
+		nChunks := merkle.NumChunks(r.dataLen, r.chunkSize)
+		data := r.plain[i]
+		for c := 0; c < nChunks; c++ {
+			if !BitmapGet(d.Bitmap, c) {
+				continue
+			}
+			lo := c * r.chunkSize
+			hi := lo + r.chunkSize
+			if hi > r.dataLen {
+				hi = r.dataLen
+			}
+			n := copy(state[lo:hi], data[off:])
+			off += n
+		}
+		if off != len(data) {
+			return fmt.Errorf("checkpoint: basic diff %d consumed %d of %d data bytes", i, off, len(d.Data))
+		}
+		return nil
+	case MethodList, MethodTree:
+		// Pass 1: first occurrences (new bytes). Regions are disjoint,
+		// so the copies parallelize.
+		data := r.plain[i]
+		r.forRegions(len(d.FirstOcur), func(j int) {
+			node := d.FirstOcur[j]
+			reg := r.regions[i][j]
+			spanOff, spanEnd := r.geom.NodeSpan(int(node), r.chunkSize, r.dataLen)
+			copy(state[spanOff:spanEnd], data[reg.dataOff:reg.dataOff+int64(spanEnd-spanOff)])
+		})
+		// Pass 2: shifted duplicates. Same-checkpoint references read
+		// from the state (their source regions were written in pass
+		// 1); older references read from the stored diff bytes.
+		// Destinations are disjoint and sources are never shifted
+		// destinations, so this pass parallelizes too.
+		errs := make([]error, len(d.ShiftDupl))
+		r.forRegions(len(d.ShiftDupl), func(j int) {
+			s := d.ShiftDupl[j]
+			dstOff, dstEnd := r.geom.NodeSpan(int(s.Node), r.chunkSize, r.dataLen)
+			if s.SrcCkpt == d.CkptID {
+				srcOff, srcEnd := r.geom.NodeSpan(int(s.SrcNode), r.chunkSize, r.dataLen)
+				if srcEnd-srcOff < dstEnd-dstOff {
+					errs[j] = fmt.Errorf("checkpoint: diff %d shift source node %d shorter than destination %d",
+						i, s.SrcNode, s.Node)
+					return
+				}
+				copy(state[dstOff:dstEnd], state[srcOff:srcOff+(dstEnd-dstOff)])
+				return
+			}
+			src, err := r.resolve(s.SrcCkpt, s.SrcNode)
+			if err != nil {
+				errs[j] = fmt.Errorf("checkpoint: diff %d shift region node %d: %w", i, s.Node, err)
+				return
+			}
+			if len(src) < dstEnd-dstOff {
+				errs[j] = fmt.Errorf("checkpoint: diff %d shift source %d bytes < destination %d",
+					i, len(src), dstEnd-dstOff)
+				return
+			}
+			copy(state[dstOff:dstEnd], src[:dstEnd-dstOff])
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		// Pass 3: fixed duplicates need no action — state already
+		// carries the previous checkpoint's bytes.
+		return nil
+	default:
+		return fmt.Errorf("checkpoint: unknown method %v", d.Method)
+	}
+}
+
+// Restore reconstructs the buffer as of checkpoint k by replaying
+// diffs 0..k ("start from the first-time occurrences, then fill the
+// fixed duplicates and finally assemble the shifted duplicates", §2.2).
+func (r *Record) Restore(k int) ([]byte, error) {
+	if k < 0 || k >= len(r.diffs) {
+		return nil, fmt.Errorf("checkpoint: restore index %d out of range [0,%d)", k, len(r.diffs))
+	}
+	state := make([]byte, r.dataLen)
+	for i := 0; i <= k; i++ {
+		if err := r.Apply(state, i); err != nil {
+			return nil, err
+		}
+	}
+	return state, nil
+}
+
+// RestoreLatest reconstructs the most recent checkpoint.
+func (r *Record) RestoreLatest() ([]byte, error) {
+	return r.Restore(len(r.diffs) - 1)
+}

@@ -1,0 +1,128 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+)
+
+// bitcomp implements a Bitcomp-style fixed-block bit-packing codec:
+// the input is viewed as little-endian uint32 words in blocks of 256;
+// each block stores one width byte followed by every word packed to
+// the block's maximum significant width. Counter arrays whose values
+// are small but nonzero — where RLE gains little — still shrink by
+// the ratio 32/width.
+type bitcomp struct{}
+
+// NewBitcomp returns the Bitcomp-style codec.
+func NewBitcomp() Codec { return bitcomp{} }
+
+func (bitcomp) Name() string         { return "Bitcomp" }
+func (bitcomp) ModeledRate() float64 { return 300e9 }
+
+const bitcompBlock = 256
+
+func (bitcomp) Compress(src []byte) ([]byte, error) {
+	nWords := len(src) / 4
+	tail := src[nWords*4:]
+	dst := appendUvarint(nil, uint64(nWords))
+	dst = append(dst, byte(len(tail)))
+	dst = append(dst, tail...)
+
+	var acc uint64
+	var accBits uint
+	flush := func() {
+		for accBits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	for blk := 0; blk < nWords; blk += bitcompBlock {
+		end := blk + bitcompBlock
+		if end > nWords {
+			end = nWords
+		}
+		width := 0
+		for i := blk; i < end; i++ {
+			v := binary.LittleEndian.Uint32(src[i*4:])
+			if w := bits.Len32(v); w > width {
+				width = w
+			}
+		}
+		dst = append(dst, byte(width))
+		if width == 0 {
+			continue
+		}
+		acc, accBits = 0, 0
+		for i := blk; i < end; i++ {
+			v := binary.LittleEndian.Uint32(src[i*4:])
+			acc |= uint64(v) << accBits
+			accBits += uint(width)
+			flush()
+		}
+		if accBits > 0 {
+			dst = append(dst, byte(acc))
+			acc, accBits = 0, 0
+		}
+	}
+	return dst, nil
+}
+
+func (bitcomp) Decompress(src []byte, dstLen int) ([]byte, error) {
+	nWords64, pos, err := readUvarint(src, 0)
+	if err != nil {
+		return nil, err
+	}
+	nWords := int(nWords64)
+	if pos >= len(src) {
+		return nil, fmt.Errorf("bitcomp: truncated header")
+	}
+	tailLen := int(src[pos])
+	pos++
+	if pos+tailLen > len(src) {
+		return nil, fmt.Errorf("bitcomp: truncated tail")
+	}
+	tail := src[pos : pos+tailLen]
+	pos += tailLen
+	if nWords*4+tailLen != dstLen {
+		return nil, fmt.Errorf("bitcomp: payload %d+%d != expected %d", nWords*4, tailLen, dstLen)
+	}
+
+	dst := make([]byte, dstLen)
+	for blk := 0; blk < nWords; blk += bitcompBlock {
+		end := blk + bitcompBlock
+		if end > nWords {
+			end = nWords
+		}
+		if pos >= len(src) {
+			return nil, fmt.Errorf("bitcomp: truncated block header")
+		}
+		width := uint(src[pos])
+		pos++
+		if width == 0 {
+			continue // words already zero
+		}
+		if width > 32 {
+			return nil, fmt.Errorf("bitcomp: invalid width %d", width)
+		}
+		var acc uint64
+		var accBits uint
+		for i := blk; i < end; i++ {
+			for accBits < width {
+				if pos >= len(src) {
+					return nil, fmt.Errorf("bitcomp: truncated block payload")
+				}
+				acc |= uint64(src[pos]) << accBits
+				pos++
+				accBits += 8
+			}
+			v := uint32(acc & (1<<width - 1))
+			acc >>= width
+			accBits -= width
+			binary.LittleEndian.PutUint32(dst[i*4:], v)
+		}
+	}
+	copy(dst[nWords*4:], tail)
+	return dst, nil
+}

@@ -1,0 +1,233 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allCodecs() []Codec { return Registry() }
+
+func roundTrip(t *testing.T, c Codec, src []byte) []byte {
+	t.Helper()
+	comp, err := c.Compress(src)
+	if err != nil {
+		t.Fatalf("%s compress: %v", c.Name(), err)
+	}
+	got, err := c.Decompress(comp, len(src))
+	if err != nil {
+		t.Fatalf("%s decompress: %v", c.Name(), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("%s round trip mismatch (%d bytes)", c.Name(), len(src))
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	for _, c := range allCodecs() {
+		roundTrip(t, c, nil)
+		roundTrip(t, c, []byte{})
+	}
+}
+
+func TestRoundTripPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := map[string][]byte{
+		"single":      {42},
+		"zeros":       make([]byte, 10000),
+		"incompress":  randBytes(rng, 10000),
+		"repetitive":  bytes.Repeat([]byte("abcdefgh"), 1000),
+		"text":        bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 100),
+		"odd-tail":    randBytes(rng, 1021),
+		"three-bytes": {1, 2, 3},
+		"small-ints":  smallCounters(rng, 5000),
+	}
+	for name, src := range inputs {
+		for _, c := range allCodecs() {
+			t.Run(c.Name()+"/"+name, func(t *testing.T) {
+				roundTrip(t, c, src)
+			})
+		}
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}
+
+// smallCounters builds a uint32 array shaped like a sparse GDV: mostly
+// zeros with occasional small counts.
+func smallCounters(rng *rand.Rand, words int) []byte {
+	b := make([]byte, words*4)
+	for i := 0; i < words; i++ {
+		if rng.Intn(10) == 0 {
+			binary.LittleEndian.PutUint32(b[i*4:], uint32(rng.Intn(100)))
+		}
+	}
+	return b
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	for _, c := range allCodecs() {
+		c := c
+		f := func(src []byte) bool {
+			comp, err := c.Compress(src)
+			if err != nil {
+				return false
+			}
+			got, err := c.Decompress(comp, len(src))
+			return err == nil && bytes.Equal(got, src)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestCompressibleDataShrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sparse := smallCounters(rng, 100000) // 400 KB, ~90% zero words
+	for _, c := range allCodecs() {
+		comp := roundTrip(t, c, sparse)
+		if len(comp) >= len(sparse) {
+			t.Errorf("%s: sparse counters did not shrink (%d -> %d)", c.Name(), len(sparse), len(comp))
+		}
+	}
+}
+
+func TestCascadedCrushesConstantRuns(t *testing.T) {
+	data := make([]byte, 1<<20)
+	for i := 0; i < len(data)/4; i++ {
+		binary.LittleEndian.PutUint32(data[i*4:], 7)
+	}
+	c := NewCascaded()
+	comp := roundTrip(t, c, data)
+	if len(comp) > 64 {
+		t.Fatalf("cascaded produced %d bytes for a constant 1 MiB array", len(comp))
+	}
+}
+
+func TestBitcompWidthReduction(t *testing.T) {
+	// All values < 256: width 8, so output should be ~1/4 of input.
+	data := make([]byte, 4*4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 4096; i++ {
+		binary.LittleEndian.PutUint32(data[i*4:], uint32(rng.Intn(256)))
+	}
+	comp := roundTrip(t, NewBitcomp(), data)
+	if len(comp) > len(data)/3 {
+		t.Fatalf("bitcomp output %d bytes, expected ~%d", len(comp), len(data)/4)
+	}
+}
+
+func TestLZ4FindsRepeats(t *testing.T) {
+	unit := randBytes(rand.New(rand.NewSource(4)), 512)
+	data := bytes.Repeat(unit, 64)
+	comp := roundTrip(t, NewLZ4(), data)
+	if len(comp) > len(data)/10 {
+		t.Fatalf("lz4 output %d bytes for highly repetitive %d-byte input", len(comp), len(data))
+	}
+}
+
+func TestLZ4OverlappingMatch(t *testing.T) {
+	// RLE-like pattern forces overlapping matches (offset < match len).
+	data := bytes.Repeat([]byte{0xAB}, 1000)
+	roundTrip(t, NewLZ4(), data)
+	data2 := bytes.Repeat([]byte{1, 2, 3}, 500)
+	roundTrip(t, NewLZ4(), data2)
+}
+
+func TestDecompressErrors(t *testing.T) {
+	for _, c := range allCodecs() {
+		if _, err := c.Decompress([]byte{0xff, 0xff, 0xff}, 1000); err == nil {
+			t.Errorf("%s: garbage decompressed without error", c.Name())
+		}
+		src := []byte("hello world hello world hello world")
+		comp, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Decompress(comp, len(src)+5); err == nil {
+			t.Errorf("%s: wrong dstLen accepted", c.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, c := range allCodecs() {
+		got, err := ByName(c.Name())
+		if err != nil || got.Name() != c.Name() {
+			t.Fatalf("ByName(%q) failed: %v", c.Name(), err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown codec name accepted")
+	}
+}
+
+func TestModeledRatesOrdering(t *testing.T) {
+	// Bit-twiddling codecs must be modeled faster than entropy coders,
+	// as with nvCOMP.
+	rate := func(name string) float64 {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.ModeledRate()
+	}
+	if !(rate("Bitcomp") > rate("Cascaded") && rate("Cascaded") > rate("LZ4") &&
+		rate("LZ4") > rate("Deflate") && rate("Deflate") > rate("Zstd*")) {
+		t.Fatal("modeled rate ordering does not match nvCOMP family ordering")
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	if Ratio(100, 50) != 2 || Ratio(100, 0) != 0 {
+		t.Fatal("Ratio helper wrong")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarint(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := appendUvarint(nil, v)
+		got, pos, err := readUvarint(buf, 0)
+		return err == nil && got == v && pos == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readUvarint([]byte{0x80, 0x80}, 0); err == nil {
+		t.Fatal("truncated varint accepted")
+	}
+	long := bytes.Repeat([]byte{0x80}, 11)
+	if _, _, err := readUvarint(long, 0); err == nil {
+		t.Fatal("overlong varint accepted")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	data := smallCounters(rng, 1<<18) // 1 MiB sparse counters
+	for _, c := range allCodecs() {
+		b.Run(c.Name(), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Compress(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

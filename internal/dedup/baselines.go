@@ -1,0 +1,173 @@
+package dedup
+
+import (
+	"sync/atomic"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/device"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+)
+
+// checkpointFull implements the Full baseline: the complete buffer is
+// shipped every checkpoint. There is no on-device work beyond the
+// transfer, so its throughput measures the raw GPU-to-host flush
+// bandwidth (§3.2).
+func (d *Deduplicator) checkpointFull(data []byte) (*checkpoint.Diff, Stats, error) {
+	var st Stats
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	diff := &checkpoint.Diff{
+		Method:    checkpoint.MethodFull,
+		CkptID:    d.ckptID,
+		DataLen:   uint64(d.dataLen),
+		ChunkSize: uint32(d.opts.ChunkSize),
+		Data:      cp,
+	}
+	return diff, st, nil
+}
+
+// checkpointBasic implements the Basic incremental baseline (§3.2):
+// chunks are hashed and compared against the hash of the same chunk
+// position in the previous checkpoint; a bitmap marks the changed
+// chunks, whose bytes are gathered behind it. Spatial duplication and
+// shifted temporal duplication are invisible to this method.
+func (d *Deduplicator) checkpointBasic(data []byte) (*checkpoint.Diff, Stats, error) {
+	l := newLauncher(d.dev, !d.opts.Unfused, "basic-dedup")
+	var st Stats
+	pool := d.dev.Pool()
+
+	bitmap := make([]byte, checkpoint.BitmapLen(d.nChunks))
+	changed := make([]int64, d.nChunks) // 1 when chunk changed (also scan input)
+	var changedN, fixedN atomic.Int64
+
+	pool.ForRange(d.nChunks, func(lo, hi int) {
+		var ch, fx int64
+		for c := lo; c < hi; c++ {
+			node := d.tree.LeafNode(c)
+			off, end := d.chunkSpan(c)
+			dig := d.hashChunk(data[off:end])
+			if dig == d.tree.Digests[node] {
+				fx++
+				continue
+			}
+			d.tree.Digests[node] = dig
+			changed[c] = 1
+			ch++
+		}
+		changedN.Add(ch)
+		fixedN.Add(fx)
+	})
+	// The bitmap is written sequentially per 8-chunk group to avoid
+	// sub-byte races.
+	pool.ForRange(len(bitmap), func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var v byte
+			for bit := 0; bit < 8; bit++ {
+				c := b*8 + bit
+				if c < d.nChunks && changed[c] == 1 {
+					v |= 1 << bit
+				}
+			}
+			bitmap[b] = v
+		}
+	})
+	l.phase("leaf-hash", device.Cost{
+		HashBytes: int64(float64(d.dataLen) * d.opts.HashCostMultiplier),
+		MemBytes:  int64(d.nChunks)*16 + int64(len(bitmap)),
+		ChunkOps:  int64(d.nChunks),
+	})
+
+	// Gather changed chunks: sizes -> exclusive scan -> parallel copy.
+	sizes := make([]int64, d.nChunks)
+	pool.For(d.nChunks, func(c int) {
+		if changed[c] == 1 {
+			off, end := d.chunkSpan(c)
+			sizes[c] = int64(end - off)
+		}
+	})
+	offsets := make([]int64, d.nChunks)
+	total := parallel.ScanExclusive(pool, sizes, offsets)
+	out := make([]byte, total)
+	pool.ForRange(d.nChunks, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			if changed[c] == 1 {
+				off, end := d.chunkSpan(c)
+				copy(out[offsets[c]:offsets[c]+sizes[c]], data[off:end])
+			}
+		}
+	})
+	l.phase("gather", device.Cost{MemBytes: 2 * total})
+	l.flush()
+
+	st.FixedLeaves = int(fixedN.Load())
+	st.FirstLeaves = int(changedN.Load())
+	diff := &checkpoint.Diff{
+		Method:    checkpoint.MethodBasic,
+		CkptID:    d.ckptID,
+		DataLen:   uint64(d.dataLen),
+		ChunkSize: uint32(d.opts.ChunkSize),
+		Bitmap:    bitmap,
+		Data:      out,
+	}
+	return diff, st, nil
+}
+
+// checkpointList implements the List baseline (§3.2): identical to the
+// Tree method's leaf-level de-duplication — including spatial and
+// shifted temporal redundancy via the historical record — but with the
+// metadata compaction omitted: every first-occurrence and
+// shifted-duplicate chunk is stored as its own metadata entry.
+func (d *Deduplicator) checkpointList(data []byte) (*checkpoint.Diff, Stats, error) {
+	l := newLauncher(d.dev, !d.opts.Unfused, "list-dedup")
+	var st Stats
+
+	d.resetLabels(l)
+	fixed, first, shift, err := d.leafPhase(data, l)
+	if err != nil {
+		return nil, st, err
+	}
+	st.FixedLeaves = int(fixed)
+	st.FirstLeaves = int(first)
+	st.ShiftLeaves = int(shift)
+
+	// Emit one region per non-fixed leaf, already in chunk order.
+	firsts := make([]uint32, 0, first)
+	shifts := make([]checkpoint.ShiftRegion, 0, shift)
+	for c := 0; c < d.nChunks; c++ {
+		node := d.tree.LeafNode(c)
+		switch d.labels[node] {
+		case LabelFirstOcur:
+			firsts = append(firsts, uint32(node))
+		case LabelShiftDupl:
+			src, ok := d.hmap.Find(d.tree.Digests[node])
+			if !ok {
+				panic("dedup: shifted leaf missing from historical record")
+			}
+			shifts = append(shifts, checkpoint.ShiftRegion{
+				Node:    uint32(node),
+				SrcNode: src.Node,
+				SrcCkpt: src.Ckpt,
+			})
+		}
+	}
+	l.phase("emit-list", device.Cost{
+		MemBytes: int64(4*len(firsts) + 12*len(shifts)),
+		MapOps:   int64(len(shifts)),
+	})
+
+	gathered := d.gather(data, firsts, l)
+	l.flush()
+
+	st.NumFirstOcur = len(firsts)
+	st.NumShiftDupl = len(shifts)
+	diff := &checkpoint.Diff{
+		Method:    checkpoint.MethodList,
+		CkptID:    d.ckptID,
+		DataLen:   uint64(d.dataLen),
+		ChunkSize: uint32(d.opts.ChunkSize),
+		FirstOcur: firsts,
+		ShiftDupl: shifts,
+		Data:      gathered,
+	}
+	return diff, st, nil
+}

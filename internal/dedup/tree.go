@@ -1,0 +1,421 @@
+package dedup
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/device"
+	"github.com/gpuckpt/gpuckpt/internal/hashmap"
+	"github.com/gpuckpt/gpuckpt/internal/merkle"
+	"github.com/gpuckpt/gpuckpt/internal/murmur3"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+)
+
+// emittedRegion is one region root saved by the labeling sweep.
+type emittedRegion struct {
+	node  uint32
+	label Label
+	src   hashmap.Entry // valid for LabelShiftDupl
+}
+
+// leafPhase implements lines 1-23 of Algorithm 1: hash every chunk,
+// classify it as FIXED_DUPL / FIRST_OCUR / SHIFT_DUPL against the
+// historical record of unique hashes, and refresh the leaf digests.
+//
+// Concurrent inserts of the same digest race exactly as on the GPU;
+// determinism is restored by (a) UpdateIfEarlier converging the map
+// entry to the minimum node of the current checkpoint and (b) a
+// reconciliation sweep that re-labels each leaf against the final map
+// state, so FIRST_OCUR is held by exactly the leaf the map records.
+func (d *Deduplicator) leafPhase(data []byte, l *launcher) (fixed, first, shift int64, err error) {
+	pool := d.dev.Pool()
+	var mapOps, fixedN atomic.Int64
+	var errOnce sync.Once
+	var phaseErr error
+
+	pool.ForRange(d.nChunks, func(lo, hi int) {
+		var ops, fx int64
+		for c := lo; c < hi; c++ {
+			node := d.tree.LeafNode(c)
+			off, end := d.chunkSpan(c)
+			dig := d.hashChunk(data[off:end])
+			if dig == d.tree.Digests[node] {
+				d.labels[node] = LabelFixedDupl
+				fx++
+				continue
+			}
+			entry := hashmap.Entry{Node: uint32(node), Ckpt: d.ckptID}
+			_, inserted, ierr := d.hmap.InsertIfAbsent(dig, entry)
+			ops++
+			if ierr != nil {
+				errOnce.Do(func() {
+					phaseErr = fmt.Errorf("dedup: historical record full at checkpoint %d (capacity %d); raise Options.MapCapacity: %w",
+						d.ckptID, d.hmap.Capacity(), ierr)
+				})
+				return
+			}
+			if inserted {
+				d.labels[node] = LabelFirstOcur
+			} else {
+				// Lines 13-16: the earliest same-checkpoint occurrence
+				// becomes canonical; later ones are shifted duplicates.
+				d.hmap.UpdateIfEarlier(dig, entry)
+				d.labels[node] = LabelShiftDupl
+				ops++
+			}
+			d.tree.Digests[node] = dig
+		}
+		mapOps.Add(ops)
+		fixedN.Add(fx)
+	})
+	if phaseErr != nil {
+		return 0, 0, 0, phaseErr
+	}
+
+	// Reconciliation: align labels with the final map state. With
+	// VerifyDuplicates, every shifted leaf is additionally
+	// byte-compared against its recorded source (§2.4's
+	// hash-collision mitigation); a mismatching chunk is demoted to a
+	// first occurrence so its real bytes ship.
+	var firstN, shiftN, verified atomic.Int64
+	pool.ForRange(d.nChunks, func(lo, hi int) {
+		var ops, fi, sh, vf int64
+		for c := lo; c < hi; c++ {
+			node := d.tree.LeafNode(c)
+			lbl := d.labels[node]
+			if lbl == LabelFixedDupl {
+				continue
+			}
+			e, ok := d.hmap.Find(d.tree.Digests[node])
+			ops++
+			if ok && e.Node == uint32(node) && e.Ckpt == d.ckptID {
+				d.labels[node] = LabelFirstOcur
+				fi++
+				continue
+			}
+			if d.opts.VerifyDuplicates {
+				vf++
+				off, end := d.chunkSpan(c)
+				if !d.sourceMatches(e, data, data[off:end]) {
+					d.labels[node] = LabelFirstOcur
+					fi++
+					continue
+				}
+			}
+			d.labels[node] = LabelShiftDupl
+			sh++
+		}
+		mapOps.Add(ops)
+		firstN.Add(fi)
+		shiftN.Add(sh)
+		verified.Add(vf)
+	})
+
+	l.phase("leaf-hash", device.Cost{
+		HashBytes: int64(float64(d.dataLen) * d.opts.HashCostMultiplier),
+		MemBytes:  int64(d.nChunks)*16 + verified.Load()*2*int64(d.opts.ChunkSize),
+		MapOps:    mapOps.Load(),
+		ChunkOps:  int64(d.nChunks),
+	})
+	return fixedN.Load(), firstN.Load(), shiftN.Load(), nil
+}
+
+// sourceMatches byte-compares a chunk against the recorded source of
+// its digest. Same-checkpoint sources are leaf chunks of the current
+// buffer; older sources are read from the stored record.
+func (d *Deduplicator) sourceMatches(e hashmap.Entry, data, chunk []byte) bool {
+	if e.Ckpt == d.ckptID {
+		off, end := d.tree.NodeSpan(int(e.Node), d.opts.ChunkSize, d.dataLen)
+		if end-off != len(chunk) {
+			return false
+		}
+		return bytesEqual(data[off:end], chunk)
+	}
+	src, err := d.record.RegionBytes(e.Ckpt, e.Node)
+	if err != nil || len(src) != len(chunk) {
+		return false
+	}
+	return bytesEqual(src, chunk)
+}
+
+func bytesEqual(a, b []byte) bool { return bytes.Equal(a, b) }
+
+// resetLabels clears the label array before a sweep.
+func (d *Deduplicator) resetLabels(l *launcher) {
+	pool := d.dev.Pool()
+	pool.ForRange(len(d.labels), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d.labels[i] = LabelNone
+		}
+	})
+	l.phase("reset-labels", device.Cost{MemBytes: int64(len(d.labels))})
+}
+
+// buildFirstOcurSubtrees implements lines 24-32 of Algorithm 1: a
+// bottom-up level-parallel sweep that consolidates adjacent
+// FIRST_OCUR regions, registering every consolidated region in the
+// historical record. It runs to completion before the shifted
+// duplicates are consolidated — the two-stage parallelization of §2.2
+// that prevents shifted subtrees from missing first-occurrence entries
+// still being hashed.
+func (d *Deduplicator) buildFirstOcurSubtrees(l *launcher) {
+	pool := d.dev.Pool()
+	for _, lv := range d.tree.Levels() {
+		width := lv[1] - lv[0]
+		var promoted atomic.Int64
+		pool.ForRange(width, func(lo, hi int) {
+			var p int64
+			for i := lo; i < hi; i++ {
+				v := lv[0] + i
+				left, right := merkle.Left(v), merkle.Right(v)
+				if d.labels[left] == LabelFirstOcur && d.labels[right] == LabelFirstOcur {
+					dig := murmur3.SumPair(d.tree.Digests[left], d.tree.Digests[right], d.opts.Seed)
+					d.tree.Digests[v] = dig
+					d.hmap.InsertIfAbsent(dig, hashmap.Entry{Node: uint32(v), Ckpt: d.ckptID})
+					d.labels[v] = LabelFirstOcur
+					p++
+				}
+			}
+			promoted.Add(p)
+		})
+		l.phase("firstocur-level", device.Cost{
+			HashBytes: int64(float64(promoted.Load()*32) * d.opts.HashCostMultiplier),
+			MemBytes:  int64(width) * 2,
+			MapOps:    promoted.Load(),
+		})
+	}
+}
+
+// consolidateAndEmit implements lines 33-46 of Algorithm 1: the second
+// bottom-up sweep that consolidates FIXED_DUPL and SHIFT_DUPL regions
+// and saves the roots of maximal uniform regions. FIXED_DUPL roots
+// cost nothing and are dropped; FIRST_OCUR and SHIFT_DUPL roots are
+// emitted as diff regions.
+func (d *Deduplicator) consolidateAndEmit(l *launcher) []emittedRegion {
+	pool := d.dev.Pool()
+	var out parallel.Collector[emittedRegion]
+
+	emitChild := func(buf []emittedRegion, c int) []emittedRegion {
+		switch d.labels[c] {
+		case LabelFirstOcur:
+			return append(buf, emittedRegion{node: uint32(c), label: LabelFirstOcur})
+		case LabelShiftDupl:
+			src, ok := d.hmap.Find(d.tree.Digests[c])
+			if !ok {
+				// Unreachable by construction: every SHIFT_DUPL label
+				// was assigned after a successful map lookup.
+				panic(fmt.Sprintf("dedup: shifted region %d missing from historical record", c))
+			}
+			return append(buf, emittedRegion{node: uint32(c), label: LabelShiftDupl, src: src})
+		default: // LabelFixedDupl costs nothing; LabelMixed already emitted
+			return buf
+		}
+	}
+
+	for _, lv := range d.tree.Levels() {
+		width := lv[1] - lv[0]
+		var hashed, lookups atomic.Int64
+		pool.ForRange(width, func(lo, hi int) {
+			var buf []emittedRegion
+			var h, lk int64
+			for i := lo; i < hi; i++ {
+				v := lv[0] + i
+				left, right := merkle.Left(v), merkle.Right(v)
+				la, lb := d.labels[left], d.labels[right]
+				switch {
+				case la == LabelFirstOcur && lb == LabelFirstOcur:
+					// Consolidated (and registered) by stage one.
+				case la == LabelFixedDupl && lb == LabelFixedDupl:
+					d.labels[v] = LabelFixedDupl
+				case la == LabelShiftDupl && lb == LabelShiftDupl:
+					dig := murmur3.SumPair(d.tree.Digests[left], d.tree.Digests[right], d.opts.Seed)
+					d.tree.Digests[v] = dig
+					h++
+					e, ok := d.lookupShift(dig)
+					lk++
+					if ok && !(e.Node == uint32(v) && e.Ckpt == d.ckptID) {
+						d.labels[v] = LabelShiftDupl
+					} else {
+						buf = emitChild(buf, left)
+						buf = emitChild(buf, right)
+						d.labels[v] = LabelMixed
+					}
+				default:
+					// Differing labels (or a Mixed child): the
+					// consolidatable children become region roots.
+					buf = emitChild(buf, left)
+					buf = emitChild(buf, right)
+					d.labels[v] = LabelMixed
+				}
+			}
+			if len(buf) > 0 {
+				out.Append(buf...)
+			}
+			hashed.Add(h)
+			lookups.Add(lk)
+		})
+		l.phase("consolidate-level", device.Cost{
+			HashBytes: int64(float64(hashed.Load()*32) * d.opts.HashCostMultiplier),
+			MemBytes:  int64(width) * 2,
+			MapOps:    lookups.Load(),
+		})
+	}
+
+	// The root is the region when the whole buffer carries one label.
+	regions := out.Items()
+	switch d.labels[0] {
+	case LabelFirstOcur:
+		regions = append(regions, emittedRegion{node: 0, label: LabelFirstOcur})
+	case LabelShiftDupl:
+		src, ok := d.hmap.Find(d.tree.Digests[0])
+		if !ok {
+			panic("dedup: shifted root missing from historical record")
+		}
+		regions = append(regions, emittedRegion{node: 0, label: LabelShiftDupl, src: src})
+	}
+	return regions
+}
+
+// lookupShift resolves a consolidated shifted-duplicate hash in the
+// historical record. In the SingleStage ablation, entries registered
+// during the current checkpoint are invisible — modeling the race the
+// two-stage parallelization exists to avoid (§2.2).
+func (d *Deduplicator) lookupShift(dig murmur3.Digest) (hashmap.Entry, bool) {
+	e, ok := d.hmap.Find(dig)
+	if !ok {
+		return e, false
+	}
+	if d.opts.SingleStage && e.Ckpt == d.ckptID {
+		return hashmap.Entry{}, false
+	}
+	return e, true
+}
+
+// gather serializes the first-occurrence regions into one contiguous
+// buffer: offsets are pre-calculated with an exclusive scan and the
+// copies run team-parallel so accesses coalesce (§2.4, "high
+// throughput serialization of scattered chunks").
+func (d *Deduplicator) gather(data []byte, firstNodes []uint32, l *launcher) []byte {
+	if len(firstNodes) == 0 {
+		return nil
+	}
+	pool := d.dev.Pool()
+	sizes := make([]int64, len(firstNodes))
+	pool.For(len(firstNodes), func(i int) {
+		off, end := d.tree.NodeSpan(int(firstNodes[i]), d.opts.ChunkSize, d.dataLen)
+		sizes[i] = int64(end - off)
+	})
+	offsets := make([]int64, len(firstNodes))
+	total := parallel.ScanExclusive(pool, sizes, offsets)
+	out := make([]byte, total)
+
+	cost := device.Cost{MemBytes: 2 * total}
+	if d.opts.PerThreadGather {
+		// One thread per region: long strided copies, uncoalesced.
+		cost.UncoalescedPenalty = 4
+		pool.For(len(firstNodes), func(i int) {
+			off, end := d.tree.NodeSpan(int(firstNodes[i]), d.opts.ChunkSize, d.dataLen)
+			copy(out[offsets[i]:offsets[i]+sizes[i]], data[off:end])
+		})
+	} else {
+		pool.ForTeams(len(firstNodes), 32, func(t parallel.Team) {
+			i := t.LeagueRank()
+			off, end := d.tree.NodeSpan(int(firstNodes[i]), d.opts.ChunkSize, d.dataLen)
+			copy(out[offsets[i]:offsets[i]+sizes[i]], data[off:end])
+		})
+	}
+	l.phase("gather", cost)
+	return out
+}
+
+// sortRegions orders emitted regions by their covered chunk range so
+// the diff layout (and therefore the wire format) is deterministic.
+func (d *Deduplicator) sortRegions(regions []emittedRegion) (firsts []uint32, shifts []checkpoint.ShiftRegion) {
+	sort.Slice(regions, func(i, j int) bool {
+		li, _ := d.tree.LeafRange(int(regions[i].node))
+		lj, _ := d.tree.LeafRange(int(regions[j].node))
+		return li < lj
+	})
+	for _, r := range regions {
+		switch r.label {
+		case LabelFirstOcur:
+			firsts = append(firsts, r.node)
+		case LabelShiftDupl:
+			shifts = append(shifts, checkpoint.ShiftRegion{
+				Node:    r.node,
+				SrcNode: r.src.Node,
+				SrcCkpt: r.src.Ckpt,
+			})
+		}
+	}
+	return firsts, shifts
+}
+
+// checkpointTree runs the full Tree pipeline (Algorithm 1).
+func (d *Deduplicator) checkpointTree(data []byte) (*checkpoint.Diff, Stats, error) {
+	l := newLauncher(d.dev, !d.opts.Unfused, "tree-dedup")
+	var st Stats
+
+	d.resetLabels(l)
+	fixed, first, shift, err := d.leafPhase(data, l)
+	if err != nil {
+		return nil, st, err
+	}
+	st.FixedLeaves = int(fixed)
+	st.FirstLeaves = int(first)
+	st.ShiftLeaves = int(shift)
+
+	// Fast path: a fully unchanged buffer needs no consolidation
+	// sweeps at all (§2.4's mitigation of unnecessary intermediate
+	// hashing between identical checkpoints).
+	if first == 0 && shift == 0 {
+		st.FastPath = true
+		l.flush()
+		return &checkpoint.Diff{
+			Method:    checkpoint.MethodTree,
+			CkptID:    d.ckptID,
+			DataLen:   uint64(d.dataLen),
+			ChunkSize: uint32(d.opts.ChunkSize),
+		}, st, nil
+	}
+
+	d.buildFirstOcurSubtrees(l)
+	regions := d.consolidateAndEmit(l)
+	firsts, shifts := d.sortRegions(regions)
+	gathered := d.gather(data, firsts, l)
+	l.flush()
+
+	st.NumFirstOcur = len(firsts)
+	st.NumShiftDupl = len(shifts)
+
+	// §2.4: when (almost) the whole buffer changed, incremental
+	// checkpointing is deactivated for this interval — a Full diff
+	// carries the same bytes without the metadata.
+	if d.opts.AutoFallback && int64(len(gathered)) > int64(0.9*float64(d.dataLen)) {
+		st.FellBack = true
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		return &checkpoint.Diff{
+			Method:    checkpoint.MethodFull,
+			CkptID:    d.ckptID,
+			DataLen:   uint64(d.dataLen),
+			ChunkSize: uint32(d.opts.ChunkSize),
+			Data:      cp,
+		}, st, nil
+	}
+
+	diff := &checkpoint.Diff{
+		Method:    checkpoint.MethodTree,
+		CkptID:    d.ckptID,
+		DataLen:   uint64(d.dataLen),
+		ChunkSize: uint32(d.opts.ChunkSize),
+		FirstOcur: firsts,
+		ShiftDupl: shifts,
+		Data:      gathered,
+	}
+	return diff, st, nil
+}

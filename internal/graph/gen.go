@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// The generators below synthesize the five input-graph classes of
+// Table 1. The real inputs (HPC event traces and SuiteSparse matrices,
+// 11-18 M vertices) are not redistributable here, so each generator
+// reproduces the *topology class* the paper's analysis depends on —
+// sparse event chains for Message Race / Unstructured Mesh (which
+// de-duplicate well), low-degree road networks, and triangulated
+// meshes (which de-duplicate poorly) — at any requested scale.
+
+// MessageRace builds an event graph of a message-race benchmark:
+// `procs` processes each execute `steps` events in program order
+// (chain edges); at every step each process receives a message from a
+// rotating partner (the racing senders of the benchmark), with a small
+// random fraction of receives dropped. The pattern is highly
+// repetitive — most events have identical local structure, so most
+// GDVs coincide — which is exactly why the paper's event graphs
+// de-duplicate so well (§3.2: "Graphs will also have repeated
+// substructures which can result in some GDVs being similar").
+func MessageRace(procs, steps int, seed int64) (*Graph, error) {
+	if procs < 2 || steps < 2 {
+		return nil, fmt.Errorf("graph: MessageRace needs procs,steps >= 2 (got %d,%d)", procs, steps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := procs * steps
+	vid := func(p, t int) int32 { return int32(t*procs + p) }
+	edges := make([]Edge, 0, 2*n)
+	for p := 0; p < procs; p++ {
+		for t := 1; t < steps; t++ {
+			edges = append(edges, Edge{vid(p, t-1), vid(p, t)})
+		}
+	}
+	for t := 1; t < steps; t++ {
+		shift := 1 + t%3 // rotating sender
+		for p := 0; p < procs; p++ {
+			if rng.Intn(32) == 0 {
+				continue // a dropped/late message
+			}
+			q := (p + shift) % procs
+			edges = append(edges, Edge{vid(q, t-1), vid(p, t)})
+		}
+	}
+	return Build("Message Race", n, edges)
+}
+
+// UnstructuredMesh builds the event graph of a halo-exchange mesh
+// benchmark: processes form a gridW x gridH grid; each even step every
+// process receives from one grid neighbor, rotating direction. The
+// communication pattern is almost exactly periodic — halo exchanges
+// repeat every iteration, with a ~1.5% perturbation — so GDV updates
+// repeat across processes and time: the spatial and temporal
+// redundancy §3.2 calls out.
+func UnstructuredMesh(gridW, gridH, steps int, seed int64) (*Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	if gridW < 2 || gridH < 2 || steps < 2 {
+		return nil, fmt.Errorf("graph: UnstructuredMesh needs grid >= 2x2 and steps >= 2")
+	}
+	procs := gridW * gridH
+	n := procs * steps
+	vid := func(p, t int) int32 { return int32(t*procs + p) }
+	edges := make([]Edge, 0, n+n/2)
+	for p := 0; p < procs; p++ {
+		for t := 1; t < steps; t++ {
+			edges = append(edges, Edge{vid(p, t-1), vid(p, t)})
+		}
+	}
+	dirs := [4][2]int{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+	for t := 2; t < steps; t += 2 {
+		d := dirs[(t/2)%4]
+		for y := 0; y < gridH; y++ {
+			for x := 0; x < gridW; x++ {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= gridW || ny < 0 || ny >= gridH {
+					continue
+				}
+				if rng.Intn(64) == 0 {
+					continue // a perturbed exchange
+				}
+				p := y*gridW + x
+				q := ny*gridW + nx
+				edges = append(edges, Edge{vid(q, t-1), vid(p, t)})
+			}
+		}
+	}
+	return Build("Unstructured Mesh", n, edges)
+}
+
+// RoadNetwork builds an Asia-OSM-like graph: a w x h jittered street
+// grid where each vertex keeps its right/down edge with probability
+// ~0.54, yielding the ~2.1 adjacency entries per vertex of large road
+// networks — long paths, almost no triangles.
+func RoadNetwork(w, h int, seed int64) (*Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("graph: RoadNetwork needs w,h >= 2 (got %d,%d)", w, h)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := w * h
+	vid := func(x, y int) int32 { return int32(y*w + x) }
+	edges := make([]Edge, 0, n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w && rng.Float64() < 0.55 {
+				edges = append(edges, Edge{vid(x, y), vid(x+1, y)})
+			}
+			if y+1 < h && rng.Float64() < 0.52 {
+				edges = append(edges, Edge{vid(x, y), vid(x, y+1)})
+			}
+		}
+	}
+	g, err := Build("Asia OSM", n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Bubbles builds a Hugebubbles-like graph: a triangulated w x h grid
+// (right, down and down-right diagonals) with ~12% of the edges
+// removed, the irregular planar-triangulation family of the 2-D bubble
+// simulations behind the SuiteSparse Hugebubbles matrices. The
+// resulting degree variation makes GDVs diverse, which is why the
+// SuiteSparse meshes de-duplicate worse than the event graphs (§3.2).
+func Bubbles(w, h int, seed int64) (*Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("graph: Bubbles needs w,h >= 2 (got %d,%d)", w, h)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := w * h
+	vid := func(x, y int) int32 { return int32(y*w + x) }
+	edges := make([]Edge, 0, 3*n)
+	keep := func() bool { return rng.Float64() >= 0.12 }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w && keep() {
+				edges = append(edges, Edge{vid(x, y), vid(x+1, y)})
+			}
+			if y+1 < h && keep() {
+				edges = append(edges, Edge{vid(x, y), vid(x, y+1)})
+			}
+			if x+1 < w && y+1 < h && keep() {
+				edges = append(edges, Edge{vid(x, y), vid(x+1, y+1)})
+			}
+		}
+	}
+	g, err := Build("Hugebubbles", n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DelaunayLike builds a Delaunay-triangulation-like graph: a
+// triangulated jittered grid whose diagonal orientation is randomized
+// per cell, giving the irregular ~6 adjacency entries per vertex of
+// the SuiteSparse delaunay_n24 input used for the scaling study.
+func DelaunayLike(w, h int, seed int64) (*Graph, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("graph: DelaunayLike needs w,h >= 2 (got %d,%d)", w, h)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := w * h
+	vid := func(x, y int) int32 { return int32(y*w + x) }
+	edges := make([]Edge, 0, 3*n)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w && rng.Float64() >= 0.05 {
+				edges = append(edges, Edge{vid(x, y), vid(x+1, y)})
+			}
+			if y+1 < h && rng.Float64() >= 0.05 {
+				edges = append(edges, Edge{vid(x, y), vid(x, y+1)})
+			}
+			if x+1 < w && y+1 < h {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, Edge{vid(x, y), vid(x+1, y+1)})
+				} else {
+					edges = append(edges, Edge{vid(x+1, y), vid(x, y+1)})
+				}
+			}
+		}
+	}
+	g, err := Build("Delaunay N24", n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CatalogEntry describes one Table 1 input at any scale.
+type CatalogEntry struct {
+	// Name matches Table 1.
+	Name string
+	// PaperVertices is |V| of the paper's input, for scale math.
+	PaperVertices int
+	// Generate builds the graph with approximately targetV vertices.
+	Generate func(targetV int, seed int64) (*Graph, error)
+}
+
+// Catalog returns the five Table 1 inputs. Scale 1.0 reproduces the
+// paper's vertex counts (11-18 M); benchmarks default to ~1/100.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{
+			Name:          "Message Race",
+			PaperVertices: 11174336,
+			Generate: func(targetV int, seed int64) (*Graph, error) {
+				procs := clamp(targetV/512, 8, 1024)
+				steps := maxInt(2, targetV/procs)
+				return MessageRace(procs, steps, seed)
+			},
+		},
+		{
+			Name:          "Unstructured Mesh",
+			PaperVertices: 14418368,
+			Generate: func(targetV int, seed int64) (*Graph, error) {
+				side := clamp(int(math.Sqrt(float64(targetV)/256)), 2, 32)
+				steps := maxInt(2, targetV/(side*side))
+				return UnstructuredMesh(side, side, steps, seed)
+			},
+		},
+		{
+			Name:          "Asia OSM",
+			PaperVertices: 11950757,
+			Generate: func(targetV int, seed int64) (*Graph, error) {
+				side := maxInt(2, int(math.Sqrt(float64(targetV))))
+				return RoadNetwork(side, side, seed)
+			},
+		},
+		{
+			Name:          "Hugebubbles",
+			PaperVertices: 18318143,
+			Generate: func(targetV int, seed int64) (*Graph, error) {
+				side := maxInt(2, int(math.Sqrt(float64(targetV))))
+				return Bubbles(side, side, seed)
+			},
+		},
+		{
+			Name:          "Delaunay N24",
+			PaperVertices: 16777216,
+			Generate: func(targetV int, seed int64) (*Graph, error) {
+				side := maxInt(2, int(math.Sqrt(float64(targetV))))
+				return DelaunayLike(side, side, seed)
+			},
+		},
+	}
+}
+
+// CatalogByName returns the catalog entry with the given Table 1 name.
+func CatalogByName(name string) (CatalogEntry, error) {
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return CatalogEntry{}, fmt.Errorf("graph: unknown catalog graph %q", name)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadMatrixMarket parses a Matrix Market coordinate file (the
+// SuiteSparse interchange format, §3.2) into an undirected graph.
+// Pattern, integer and real fields are accepted (values are ignored);
+// general and symmetric symmetry are accepted. Indices are 1-based.
+func ReadMatrixMarket(r io.Reader, name string) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty matrix market input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("graph: unsupported matrix market header %q", sc.Text())
+	}
+	switch header[3] {
+	case "pattern", "integer", "real":
+	default:
+		return nil, fmt.Errorf("graph: unsupported field type %q", header[3])
+	}
+	switch header[4] {
+	case "general", "symmetric":
+	default:
+		return nil, fmt.Errorf("graph: unsupported symmetry %q", header[4])
+	}
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("graph: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || rows != cols {
+		return nil, fmt.Errorf("graph: adjacency matrix must be square and non-empty (got %dx%d)", rows, cols)
+	}
+
+	edges := make([]Edge, 0, nnz)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: bad entry line %q", line)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad row index %q: %w", fields[0], err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad column index %q: %w", fields[1], err)
+		}
+		if u < 1 || u > rows || v < 1 || v > rows {
+			return nil, fmt.Errorf("graph: entry (%d,%d) out of range", u, v)
+		}
+		edges = append(edges, Edge{int32(u - 1), int32(v - 1)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading matrix market: %w", err)
+	}
+	return Build(name, rows, edges)
+}
+
+// WriteMatrixMarket writes g as a symmetric pattern coordinate file,
+// one line per undirected edge (u <= v in 1-based indices).
+func WriteMatrixMarket(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern symmetric"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%% %s\n", g.Name()); err != nil {
+		return err
+	}
+	n := g.NumVertices()
+	undirected := g.NumEdges() / 2
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", n, n, undirected); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(int32(v)) {
+			if int32(v) <= u {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v+1, u+1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

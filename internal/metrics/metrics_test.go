@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "a", "long-column")
+	tb.Add("1", "2")
+	tb.Add("333", "4")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// All lines align to the same column start for field 2.
+	idx := strings.Index(lines[1], "long-column")
+	for _, ln := range lines[2:] {
+		if len(ln) <= idx {
+			t.Fatalf("row shorter than header: %q", ln)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.Add("1", "a,b")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,\"a,b\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q want %q", buf.String(), want)
+	}
+}
+
+func TestTableAddPanicsOnArity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong arity")
+		}
+	}()
+	NewTable("", "a").Add("1", "2")
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[int64]string{
+		12:      "12 B",
+		2048:    "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		5 << 30: "5.00 GiB",
+		7 << 40: "7.00 TiB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d)=%q want %q", n, got, want)
+		}
+	}
+	if GBps(2.5e9) != "2.50 GB/s" {
+		t.Errorf("GBps wrong: %q", GBps(2.5e9))
+	}
+	if Ratio(2.345) != "2.35x" || Ratio(215.4) != "215x" {
+		t.Errorf("Ratio wrong: %q %q", Ratio(2.345), Ratio(215.4))
+	}
+}

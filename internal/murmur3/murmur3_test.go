@@ -1,0 +1,152 @@
+package murmur3
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Reference vectors for MurmurHash3 x64 128 with seed 0, cross-checked
+// against Austin Appleby's reference implementation.
+var refVectors = []struct {
+	in     string
+	h1, h2 uint64
+}{
+	{"", 0x0000000000000000, 0x0000000000000000},
+	{"hello", 0xcbd8a7b341bd9b02, 0x5b1e906a48ae1d19},
+	{"hello, world", 0x342fac623a5ebc8e, 0x4cdcbc079642414d},
+}
+
+func TestReferenceVectors(t *testing.T) {
+	for _, v := range refVectors {
+		got := Sum128([]byte(v.in), 0)
+		if got.H1 != v.h1 || got.H2 != v.h2 {
+			t.Errorf("Sum128(%q) = %#x,%#x; want %#x,%#x", v.in, got.H1, got.H2, v.h1, v.h2)
+		}
+	}
+}
+
+func TestSeedChangesDigest(t *testing.T) {
+	data := []byte("checkpoint chunk")
+	a := Sum128(data, 0)
+	b := Sum128(data, 1)
+	if a == b {
+		t.Fatalf("different seeds produced identical digests: %v", a)
+	}
+}
+
+func TestAllTailLengths(t *testing.T) {
+	// Exercise every tail-switch arm (lengths 0..48 cover 0..15 mod 16
+	// with zero, one and more blocks) and check digests are pairwise
+	// distinct for distinct prefixes of a fixed pattern.
+	base := make([]byte, 48)
+	for i := range base {
+		base[i] = byte(i*37 + 11)
+	}
+	seen := make(map[Digest]int)
+	for n := 0; n <= len(base); n++ {
+		d := Sum128(base[:n], 7)
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("digest collision between lengths %d and %d", prev, n)
+		}
+		seen[d] = n
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	f := func(data []byte, seed uint32) bool {
+		return Sum128(data, seed) == Sum128(data, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(h1, h2 uint64) bool {
+		d := Digest{H1: h1, H2: h2}
+		return FromBytes(d.Bytes()) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping any single bit of a 64-byte chunk must change the digest.
+	data := make([]byte, 64)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	orig := Sum128(data, 0)
+	for byteIdx := 0; byteIdx < len(data); byteIdx++ {
+		for bit := 0; bit < 8; bit++ {
+			data[byteIdx] ^= 1 << bit
+			if Sum128(data, 0) == orig {
+				t.Fatalf("bit flip at byte %d bit %d left digest unchanged", byteIdx, bit)
+			}
+			data[byteIdx] ^= 1 << bit
+		}
+	}
+}
+
+func TestSumPairMatchesConcat(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint64, seed uint32) bool {
+		l := Digest{a1, a2}
+		r := Digest{b1, b2}
+		lb := l.Bytes()
+		rb := r.Bytes()
+		concat := append(lb[:], rb[:]...)
+		return SumPair(l, r, seed) == Sum128(concat, seed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !(Digest{}).IsZero() {
+		t.Error("zero digest not reported as zero")
+	}
+	if (Digest{H1: 1}).IsZero() || (Digest{H2: 1}).IsZero() {
+		t.Error("non-zero digest reported as zero")
+	}
+}
+
+func TestZeroFilledChunksDiffer(t *testing.T) {
+	// Chunks of different lengths but identical (zero) content must
+	// still hash differently: length is folded into the finalizer.
+	a := Sum128(make([]byte, 32), 0)
+	b := Sum128(make([]byte, 64), 0)
+	if a == b {
+		t.Fatal("zero chunks of different lengths collided")
+	}
+}
+
+func BenchmarkSum128(b *testing.B) {
+	for _, size := range []int{32, 64, 128, 256, 512, 4096} {
+		data := bytes.Repeat([]byte{0xa5}, size)
+		b.Run(byteSizeName(size), func(b *testing.B) {
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				_ = Sum128(data, 0)
+			}
+		})
+	}
+}
+
+func byteSizeName(n int) string {
+	switch {
+	case n >= 1024:
+		return string(rune('0'+n/1024)) + "KiB"
+	default:
+		digits := [4]byte{}
+		i := len(digits)
+		for n > 0 {
+			i--
+			digits[i] = byte('0' + n%10)
+			n /= 10
+		}
+		return string(digits[i:]) + "B"
+	}
+}

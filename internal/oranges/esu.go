@@ -1,0 +1,117 @@
+package oranges
+
+import (
+	"github.com/gpuckpt/gpuckpt/internal/graph"
+)
+
+// enumerator is the per-worker state of Wernicke's ESU algorithm. ESU
+// visits every connected induced subgraph of size up to maxK exactly
+// once (each subgraph is generated from its minimum vertex with a
+// strictly growing extension discipline), so incrementing each
+// member's orbit counter yields exact GDVs.
+type enumerator struct {
+	g      *graph.Graph
+	tables *Tables
+	gdv    *GDV
+	maxK   int
+
+	sub   [MaxGraphletSize]int32       // current subgraph, insertion order
+	masks [MaxGraphletSize + 1]uint16  // adjacency mask per size
+	mark  []int32                      // version-stamped V_sub ∪ N(V_sub) marker
+	stamp int32                        // current root's version
+	ext   [MaxGraphletSize + 1][]int32 // extension-set buffer per depth
+	added [MaxGraphletSize + 1][]int32 // exclusive-neighbor undo log per depth
+	count int64                        // subgraphs enumerated (diagnostics)
+}
+
+func newEnumerator(g *graph.Graph, tables *Tables, gdv *GDV, maxK int) *enumerator {
+	e := &enumerator{
+		g:      g,
+		tables: tables,
+		gdv:    gdv,
+		maxK:   maxK,
+		mark:   make([]int32, g.NumVertices()),
+	}
+	for i := range e.ext {
+		e.ext[i] = make([]int32, 0, 64)
+		e.added[i] = make([]int32, 0, 64)
+	}
+	return e
+}
+
+// marked reports whether u is in V_sub ∪ N(V_sub) for the current root.
+func (e *enumerator) marked(u int32) bool { return e.mark[u] == e.stamp }
+
+// enumerateFrom runs ESU rooted at v: every emitted subgraph has v as
+// its minimum vertex, which is what guarantees uniqueness.
+func (e *enumerator) enumerateFrom(v int32) {
+	if e.maxK < 2 {
+		return
+	}
+	e.stamp++
+	e.mark[v] = e.stamp
+	e.sub[0] = v
+	e.masks[1] = 0
+	ext := e.ext[1][:0]
+	for _, u := range e.g.Neighbors(v) {
+		e.mark[u] = e.stamp
+		if u > v {
+			ext = append(ext, u)
+		}
+	}
+	e.extend(1, ext)
+}
+
+// extend grows the current size-`size` subgraph with each extension
+// candidate in turn. Iterating with index i and passing ext[i+1:] to
+// the recursion reproduces ESU's destructive "remove w from V_ext"
+// while-loop: a candidate already expanded never reappears deeper.
+func (e *enumerator) extend(size int, ext []int32) {
+	root := e.sub[0]
+	for i := 0; i < len(ext); i++ {
+		w := ext[i]
+		// Incremental mask: bits between w (position `size`) and the
+		// existing members.
+		mask := e.masks[size]
+		base := size * (size - 1) / 2
+		for j := 0; j < size; j++ {
+			if e.g.HasEdge(e.sub[j], w) {
+				mask |= 1 << (base + j)
+			}
+		}
+		e.sub[size] = w
+		newSize := size + 1
+		e.masks[newSize] = mask
+		e.count++
+
+		// Emit: one orbit increment per member position.
+		for pos := 0; pos < newSize; pos++ {
+			e.gdv.Add(e.sub[pos], e.tables.OrbitOf(newSize, mask, pos))
+		}
+
+		if newSize == e.maxK {
+			continue
+		}
+		// Exclusive neighborhood of w: unmarked neighbors. All become
+		// marked (they are now neighbors of V_sub); those above the
+		// root join the extension set.
+		childExt := append(e.ext[newSize][:0], ext[i+1:]...)
+		added := e.added[newSize][:0]
+		for _, u := range e.g.Neighbors(w) {
+			if !e.marked(u) {
+				e.mark[u] = e.stamp
+				added = append(added, u)
+				if u > root {
+					childExt = append(childExt, u)
+				}
+			}
+		}
+		e.added[newSize] = added // keep grown capacity
+		e.extend(newSize, childExt)
+		// Backtrack: w's exclusive neighbors leave N(V_sub). Stamps
+		// only grow, so stamp-1 can never match a future stamp.
+		for _, u := range added {
+			e.mark[u] = e.stamp - 1
+		}
+	}
+}

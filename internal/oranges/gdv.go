@@ -1,0 +1,118 @@
+package oranges
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
+
+// VertexPad is the alignment of the per-orbit counter blocks: the
+// vertex dimension is padded to a multiple of 128 so every orbit block
+// starts chunk-aligned for all chunk sizes the paper sweeps (32-512
+// bytes).
+const VertexPad = 128
+
+// GDV holds the graphlet degree vectors of all vertices as a
+// structure-of-arrays: one contiguous block of |V| uint32 counters per
+// orbit (counts[orbit*paddedV + vertex]).
+//
+// SoA is the GPU-native layout — updating orbit o for consecutive
+// vertices coalesces, exactly as the paper's Kokkos kernels require —
+// and it is what gives the checkpoint stream the paper's redundancy
+// structure: in regular graphs many vertices share identical orbit
+// counts, so each orbit block contains long constant-value runs that
+// de-duplicate as large contiguous regions (§2.2). Serialize produces
+// the little-endian byte image that gets checkpointed.
+type GDV struct {
+	n       int
+	paddedN int
+	counts  []uint32
+}
+
+// padVertices rounds n up to the block alignment.
+func padVertices(n int) int {
+	return (n + VertexPad - 1) / VertexPad * VertexPad
+}
+
+// NewGDV allocates a zeroed GDV for n vertices.
+func NewGDV(n int) *GDV {
+	if n <= 0 {
+		panic(fmt.Sprintf("oranges: invalid vertex count %d", n))
+	}
+	p := padVertices(n)
+	return &GDV{n: n, paddedN: p, counts: make([]uint32, p*NumOrbits)}
+}
+
+// NumVertices returns the vertex count.
+func (g *GDV) NumVertices() int { return g.n }
+
+// PaddedVertices returns the aligned vertex dimension of the blocks.
+func (g *GDV) PaddedVertices() int { return g.paddedN }
+
+// SizeBytes returns the serialized size: NumOrbits aligned blocks of
+// PaddedVertices uint32 counters.
+func (g *GDV) SizeBytes() int { return g.paddedN * NumOrbits * 4 }
+
+// Add atomically increments the counter of (vertex, orbit).
+func (g *GDV) Add(v int32, orbit int) {
+	atomic.AddUint32(&g.counts[orbit*g.paddedN+int(v)], 1)
+}
+
+// Count returns the counter of (vertex, orbit).
+func (g *GDV) Count(v int32, orbit int) uint32 {
+	return atomic.LoadUint32(&g.counts[orbit*g.paddedN+int(v)])
+}
+
+// Vector returns a copy of vertex v's degree vector.
+func (g *GDV) Vector(v int32) []uint32 {
+	out := make([]uint32, NumOrbits)
+	for o := range out {
+		out[o] = atomic.LoadUint32(&g.counts[o*g.paddedN+int(v)])
+	}
+	return out
+}
+
+// SerializeInto writes the little-endian image of the counters into
+// dst, which must have SizeBytes() length. It must not race with
+// concurrent Adds (callers snapshot between enumeration batches).
+func (g *GDV) SerializeInto(dst []byte) error {
+	if len(dst) != g.SizeBytes() {
+		return fmt.Errorf("oranges: serialize buffer %d bytes, want %d", len(dst), g.SizeBytes())
+	}
+	for i, c := range g.counts {
+		binary.LittleEndian.PutUint32(dst[i*4:], c)
+	}
+	return nil
+}
+
+// Serialize returns a fresh little-endian image of the counters.
+func (g *GDV) Serialize() []byte {
+	dst := make([]byte, g.SizeBytes())
+	_ = g.SerializeInto(dst)
+	return dst
+}
+
+// DeserializeGDV reconstructs a GDV from its Serialize image.
+func DeserializeGDV(data []byte, n int) (*GDV, error) {
+	g := NewGDV(n)
+	if len(data) != g.SizeBytes() {
+		return nil, fmt.Errorf("oranges: image %d bytes, want %d for %d vertices", len(data), g.SizeBytes(), n)
+	}
+	for i := range g.counts {
+		g.counts[i] = binary.LittleEndian.Uint32(data[i*4:])
+	}
+	return g, nil
+}
+
+// Equal reports whether two GDVs hold identical counts.
+func (g *GDV) Equal(o *GDV) bool {
+	if g.n != o.n {
+		return false
+	}
+	for i := range g.counts {
+		if g.counts[i] != o.counts[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,126 @@
+package oranges
+
+import (
+	"testing"
+
+	"github.com/gpuckpt/gpuckpt/internal/graph"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+)
+
+// TestCrashAndResume is the §1 resilience scenario end to end at the
+// application level: run with snapshots, "crash" after checkpoint 2,
+// resume from the restored GDV image, and verify the final counters
+// equal an uninterrupted run.
+func TestCrashAndResume(t *testing.T) {
+	g, err := graph.MessageRace(16, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := parallel.NewPool(4)
+	const nCkpts = 6
+
+	// Uninterrupted reference run.
+	ref := mustRunner(t, g, 4)
+	if err := ref.RunWithSnapshots(nCkpts, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// First run: crash after checkpoint index 2 (three batches done).
+	r1 := mustRunner(t, g, 4)
+	var lastImage []byte
+	var lastCk int
+	err = r1.RunWithSnapshots(nCkpts, func(ck int, img []byte) error {
+		lastImage = append(lastImage[:0], img...)
+		lastCk = ck
+		if ck == 2 {
+			return errCrash
+		}
+		return nil
+	})
+	if err != errCrash {
+		t.Fatalf("crash injection failed: %v", err)
+	}
+	if lastCk != 2 {
+		t.Fatalf("crashed at checkpoint %d", lastCk)
+	}
+
+	// Restart: rebuild the runner from the surviving snapshot.
+	processed := g.NumVertices() * (lastCk + 1) / nCkpts
+	r2, err := ResumeRunner(g, pool, 4, lastImage, processed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Processed() != processed {
+		t.Fatalf("resumed at %d roots, want %d", r2.Processed(), processed)
+	}
+	var resumedCks []int
+	if err := r2.ResumeWithSnapshots(nCkpts, func(ck int, img []byte) error {
+		resumedCks = append(resumedCks, ck)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(resumedCks) != nCkpts-3 || resumedCks[0] != 3 {
+		t.Fatalf("resumed checkpoints %v", resumedCks)
+	}
+	if !r2.GDV().Equal(ref.GDV()) {
+		t.Fatal("resumed GDV differs from uninterrupted run")
+	}
+}
+
+var errCrash = &crashError{}
+
+type crashError struct{}
+
+func (*crashError) Error() string { return "injected crash" }
+
+func TestResumeValidation(t *testing.T) {
+	g, _ := graph.Bubbles(6, 6, 1)
+	gdv := NewGDV(g.NumVertices())
+	img := gdv.Serialize()
+	if _, err := ResumeRunner(g, nil, 4, img, -1); err == nil {
+		t.Fatal("negative processed accepted")
+	}
+	if _, err := ResumeRunner(g, nil, 4, img, g.NumVertices()+1); err == nil {
+		t.Fatal("overlong processed accepted")
+	}
+	if _, err := ResumeRunner(g, nil, 4, img[:5], 0); err == nil {
+		t.Fatal("short image accepted")
+	}
+	if _, err := ResumeRunner(g, nil, 9, img, 0); err == nil {
+		t.Fatal("bad maxK accepted")
+	}
+	r, err := ResumeRunner(g, nil, 4, img, 7) // 7 is not a boundary for N=6
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ResumeWithSnapshots(6, nil); err == nil {
+		t.Fatal("non-boundary resume accepted")
+	}
+	if err := r.ResumeWithSnapshots(0, nil); err == nil {
+		t.Fatal("zero checkpoints accepted")
+	}
+}
+
+// TestResumeAtCompletion resumes a fully-finished run: nothing to do.
+func TestResumeAtCompletion(t *testing.T) {
+	g, _ := graph.Bubbles(6, 6, 1)
+	r := mustRunner(t, g, 3)
+	if err := r.RunWithSnapshots(4, nil); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ResumeRunner(g, nil, 3, r.GDV().Serialize(), g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	if err := r2.ResumeWithSnapshots(4, func(int, []byte) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("completed run produced %d snapshots on resume", calls)
+	}
+	if !r2.GDV().Equal(r.GDV()) {
+		t.Fatal("completed resume changed counters")
+	}
+}

@@ -1,0 +1,115 @@
+package oranges
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gpuckpt/gpuckpt/internal/graph"
+)
+
+func TestVertexSimilarityIdentity(t *testing.T) {
+	g, _ := graph.Bubbles(10, 10, 1)
+	gdv := fullGDV(t, g, 4)
+	for v := int32(0); v < 10; v++ {
+		if s := VertexSimilarity(gdv, v, gdv, v); s != 1 {
+			t.Fatalf("self-similarity of %d = %v", v, s)
+		}
+	}
+	// A corner and an interior vertex of a mesh differ.
+	corner := int32(0)
+	interior := int32(5*10 + 5)
+	if s := VertexSimilarity(gdv, corner, gdv, interior); s >= 0.999 {
+		t.Fatalf("corner/interior similarity %v implausibly high", s)
+	}
+	if s := VertexSimilarity(gdv, corner, gdv, interior); s < 0 || s > 1 {
+		t.Fatalf("similarity %v outside [0,1]", s)
+	}
+}
+
+func TestGraphSimilarityIsomorphic(t *testing.T) {
+	// A relabeled graph has identical GDV multiset: similarity 1.
+	g, _ := graph.DelaunayLike(12, 12, 5)
+	n := g.NumVertices()
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng := rand.New(rand.NewSource(6))
+	rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	h, err := g.Relabel(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fullGDV(t, g, 4)
+	b := fullGDV(t, h, 4)
+	s, err := GraphSimilarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank alignment is approximate under signature ties, so allow a
+	// small slack; isomorphic graphs must still score near 1.
+	if s < 0.99 {
+		t.Fatalf("isomorphic graphs scored %v", s)
+	}
+}
+
+func TestGraphSimilarityDiscriminates(t *testing.T) {
+	// Same graph family close; different families further apart.
+	mesh1, _ := graph.Bubbles(14, 14, 1)
+	mesh2, _ := graph.Bubbles(14, 14, 2)
+	road, _ := graph.RoadNetwork(14, 14, 3)
+	a := fullGDV(t, mesh1, 4)
+	b := fullGDV(t, mesh2, 4)
+	c := fullGDV(t, road, 4)
+	sameFamily, err := GraphSimilarity(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossFamily, err := GraphSimilarity(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameFamily <= crossFamily {
+		t.Fatalf("same-family %v not above cross-family %v", sameFamily, crossFamily)
+	}
+	if crossFamily < 0 || crossFamily > 1 || sameFamily > 1 {
+		t.Fatalf("similarities outside [0,1]: %v %v", sameFamily, crossFamily)
+	}
+}
+
+func TestGraphSimilarityValidation(t *testing.T) {
+	g, _ := graph.Bubbles(4, 4, 1)
+	gdv := fullGDV(t, g, 3)
+	if _, err := GraphSimilarity(nil, gdv); err == nil {
+		t.Fatal("nil GDV accepted")
+	}
+	if _, err := GraphSimilarity(gdv, nil); err == nil {
+		t.Fatal("nil GDV accepted")
+	}
+	// Different sizes: penalized but valid.
+	small, _ := graph.Bubbles(4, 4, 1)
+	big, _ := graph.Bubbles(8, 8, 1)
+	s, err := GraphSimilarity(fullGDV(t, small, 3), fullGDV(t, big, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s >= 1 {
+		t.Fatalf("size-mismatched similarity %v", s)
+	}
+}
+
+func TestOrbitWeights(t *testing.T) {
+	w := orbitWeights(DefaultTables())
+	if len(w) != NumOrbits {
+		t.Fatal("weight vector wrong length")
+	}
+	// Orbit 0 (edge, size 2) outweighs any size-5 orbit.
+	if w[0] <= w[NumOrbits-1] {
+		t.Fatalf("edge orbit weight %v not above 5-graphlet orbit %v", w[0], w[NumOrbits-1])
+	}
+	for o, v := range w {
+		if v <= 0 || v > 1 {
+			t.Fatalf("weight[%d]=%v outside (0,1]", o, v)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package oranges implements the driver application of the paper's
+// evaluation: ORbit ANd Graphlet Enumeration at Scale (Tan et al.,
+// ICPP 2023, §3.2). It computes each vertex's graphlet degree vector
+// (GDV) over all connected graphlets on 2-5 vertices — 30 graphlets,
+// 73 automorphism orbits — by ESU enumeration (Wernicke's algorithm)
+// with exact orbit classification from precomputed canonical tables.
+//
+// The checkpointed object is the flat |V| x 73 uint32 GDV array
+// (~292 bytes per vertex, matching Table 1's "GDV size" column), which
+// accumulates counts as vertex batches are processed: the sparse,
+// spatio-temporally redundant update pattern the de-duplication study
+// exploits.
+//
+// Graphlet and orbit numbering: classes are ordered by (vertex count,
+// edge count, canonical adjacency mask) and orbits within a class by
+// their smallest canonical position. This is a deterministic
+// relabeling of the Pržulj numbering — totals per size (1/2/6/21
+// graphlets, 1/3/11/58 orbits) are identical and asserted by tests —
+// but individual orbit ids may differ from ORCA's. GDV *content* is
+// therefore equal up to a fixed permutation of columns, which is
+// irrelevant to checkpoint behaviour and graph matching alike.
+package oranges
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// MaxGraphletSize is the largest graphlet the tables cover.
+const MaxGraphletSize = 5
+
+// NumGraphlets is the number of connected graphs on 2..5 vertices.
+const NumGraphlets = 30
+
+// NumOrbits is the number of automorphism orbits across all graphlets
+// (the GDV width; Table 1's 292-byte rows are 73 uint32 counters).
+const NumOrbits = 73
+
+// pairIndex returns the edge-bit index of the vertex pair (i, j),
+// i < j. The indexing is independent of the graph size — pairs are
+// ordered (0,1), (0,2), (1,2), (0,3), ... — so a subgraph's mask grows
+// monotonically as the ESU enumerator appends vertices: adding the
+// vertex at position m only sets bits idx(i, m) = m(m-1)/2 + i.
+func pairIndex(i, j int) int {
+	return j*(j-1)/2 + i
+}
+
+// permuteMask relabels the graph encoded by mask with permutation p
+// (vertex i becomes p[i]).
+func permuteMask(mask uint16, p []int, k int) uint16 {
+	var out uint16
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if mask&(1<<pairIndex(i, j)) != 0 {
+				a, b := p[i], p[j]
+				if a > b {
+					a, b = b, a
+				}
+				out |= 1 << pairIndex(a, b)
+			}
+		}
+	}
+	return out
+}
+
+// connectedMask reports whether the k-vertex graph encoded by mask is
+// connected.
+func connectedMask(mask uint16, k int) bool {
+	var adj [MaxGraphletSize]uint8
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if mask&(1<<pairIndex(i, j)) != 0 {
+				adj[i] |= 1 << j
+				adj[j] |= 1 << i
+			}
+		}
+	}
+	seen := uint8(1)
+	frontier := uint8(1)
+	for frontier != 0 {
+		next := uint8(0)
+		for v := 0; v < k; v++ {
+			if frontier&(1<<v) != 0 {
+				next |= adj[v]
+			}
+		}
+		next &^= seen
+		seen |= next
+		frontier = next
+	}
+	return seen == uint8(1<<k)-1
+}
+
+// permutations returns all permutations of [0, k).
+func permutations(k int) [][]int {
+	var out [][]int
+	p := make([]int, k)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(int)
+	rec = func(i int) {
+		if i == k {
+			cp := make([]int, k)
+			copy(cp, p)
+			out = append(out, cp)
+			return
+		}
+		for j := i; j < k; j++ {
+			p[i], p[j] = p[j], p[i]
+			rec(i + 1)
+			p[i], p[j] = p[j], p[i]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// GraphletClass describes one of the 30 graphlets.
+type GraphletClass struct {
+	// ID is the graphlet id in this package's numbering (0..29).
+	ID int
+	// Size is the vertex count (2..5).
+	Size int
+	// Edges is the edge count.
+	Edges int
+	// CanonicalMask is the minimal adjacency mask over relabelings.
+	CanonicalMask uint16
+	// OrbitOfPosition maps each canonical vertex position to its
+	// global orbit id.
+	OrbitOfPosition []int
+	// NumOrbits is the number of distinct orbits of this graphlet.
+	NumOrbits int
+}
+
+// Tables holds the precomputed classification tables.
+type Tables struct {
+	// Classes lists the graphlets ordered by (size, edges, mask).
+	Classes []GraphletClass
+	// classOf[k][mask] is the class id of a connected mask (else -1).
+	classOf [MaxGraphletSize + 1][]int16
+	// orbitOf[k][mask*k+pos] is the global orbit id of position pos in
+	// the (not necessarily canonical) mask.
+	orbitOf [MaxGraphletSize + 1][]int16
+}
+
+var defaultTables = buildTables()
+
+// DefaultTables returns the process-wide classification tables.
+func DefaultTables() *Tables { return defaultTables }
+
+// buildTables enumerates all connected graphs on 2..5 vertices,
+// canonicalizes them, computes automorphism orbits, and builds the
+// per-mask position->orbit lookup used during enumeration.
+func buildTables() *Tables {
+	t := &Tables{}
+	type classKey struct {
+		size int
+		mask uint16
+	}
+	canonical := map[classKey]*GraphletClass{}
+
+	for k := 2; k <= MaxGraphletSize; k++ {
+		nPairs := k * (k - 1) / 2
+		perms := permutations(k)
+		t.classOf[k] = make([]int16, 1<<nPairs)
+		t.orbitOf[k] = make([]int16, (1<<nPairs)*k)
+		for i := range t.classOf[k] {
+			t.classOf[k][i] = -1
+		}
+		for i := range t.orbitOf[k] {
+			t.orbitOf[k][i] = -1
+		}
+		for mask := uint16(0); int(mask) < 1<<nPairs; mask++ {
+			if !connectedMask(mask, k) {
+				continue
+			}
+			canon := mask
+			for _, p := range perms[1:] {
+				if pm := permuteMask(mask, p, k); pm < canon {
+					canon = pm
+				}
+			}
+			if canon == mask {
+				// New-or-known canonical representative: compute its
+				// automorphism orbits once.
+				if _, ok := canonical[classKey{k, canon}]; !ok {
+					cls := &GraphletClass{
+						Size:          k,
+						Edges:         bits.OnesCount16(mask),
+						CanonicalMask: canon,
+					}
+					orbit := make([]int, k)
+					for i := range orbit {
+						orbit[i] = i
+					}
+					for _, p := range perms {
+						if permuteMask(canon, p, k) == canon {
+							// p is an automorphism: union positions.
+							for i := 0; i < k; i++ {
+								a, b := find(orbit, i), find(orbit, p[i])
+								if a != b {
+									orbit[b] = a
+								}
+							}
+						}
+					}
+					cls.OrbitOfPosition = make([]int, k)
+					for i := 0; i < k; i++ {
+						cls.OrbitOfPosition[i] = find(orbit, i) // local orbit root for now
+					}
+					canonical[classKey{k, canon}] = cls
+				}
+			}
+		}
+	}
+
+	// Deterministic global ordering and orbit numbering.
+	keys := make([]*GraphletClass, 0, len(canonical))
+	for _, cls := range canonical {
+		keys = append(keys, cls)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		if a.Edges != b.Edges {
+			return a.Edges < b.Edges
+		}
+		return a.CanonicalMask < b.CanonicalMask
+	})
+	nextOrbit := 0
+	for id, cls := range keys {
+		cls.ID = id
+		// Renumber local orbit roots into sequential global ids in
+		// order of first appearance by position.
+		local := map[int]int{}
+		for pos := 0; pos < cls.Size; pos++ {
+			root := cls.OrbitOfPosition[pos]
+			g, ok := local[root]
+			if !ok {
+				g = nextOrbit
+				local[root] = g
+				nextOrbit++
+			}
+			cls.OrbitOfPosition[pos] = g
+		}
+		cls.NumOrbits = len(local)
+		t.Classes = append(t.Classes, *cls)
+	}
+	if len(t.Classes) != NumGraphlets {
+		panic(fmt.Sprintf("oranges: built %d graphlet classes, want %d", len(t.Classes), NumGraphlets))
+	}
+	if nextOrbit != NumOrbits {
+		panic(fmt.Sprintf("oranges: built %d orbits, want %d", nextOrbit, NumOrbits))
+	}
+
+	// Second pass: fill per-mask lookup via the canonicalizing
+	// permutation: position pos of mask plays canonical position
+	// p[pos] for the permutation p minimizing the mask.
+	classIdx := map[classKey]int16{}
+	for i, cls := range t.Classes {
+		classIdx[classKey{cls.Size, cls.CanonicalMask}] = int16(i)
+	}
+	for k := 2; k <= MaxGraphletSize; k++ {
+		nPairs := k * (k - 1) / 2
+		perms := permutations(k)
+		for mask := uint16(0); int(mask) < 1<<nPairs; mask++ {
+			if !connectedMask(mask, k) {
+				continue
+			}
+			canon := mask
+			for _, p := range perms[1:] {
+				if pm := permuteMask(mask, p, k); pm < canon {
+					canon = pm
+				}
+			}
+			var best []int
+			for _, p := range perms {
+				if permuteMask(mask, p, k) == canon {
+					best = p
+					break
+				}
+			}
+			ci := classIdx[classKey{k, canon}]
+			t.classOf[k][mask] = ci
+			cls := &t.Classes[ci]
+			for pos := 0; pos < k; pos++ {
+				t.orbitOf[k][int(mask)*k+pos] = int16(cls.OrbitOfPosition[best[pos]])
+			}
+		}
+	}
+	return t
+}
+
+// find is a path-compressing union-find lookup on a plain int slice.
+func find(parent []int, i int) int {
+	for parent[i] != i {
+		parent[i] = parent[parent[i]]
+		i = parent[i]
+	}
+	return i
+}
+
+// ClassOf returns the graphlet class id of a connected k-vertex
+// adjacency mask, or -1 if the mask is disconnected.
+func (t *Tables) ClassOf(k int, mask uint16) int {
+	return int(t.classOf[k][mask])
+}
+
+// OrbitOf returns the global orbit id of position pos within the
+// k-vertex adjacency mask (which need not be canonical).
+func (t *Tables) OrbitOf(k int, mask uint16, pos int) int {
+	return int(t.orbitOf[k][int(mask)*k+pos])
+}

@@ -1,0 +1,243 @@
+// Package parallel provides Kokkos-style data-parallel execution
+// primitives (parallel-for, parallel-reduce, exclusive parallel-scan
+// and team policies) over a goroutine worker pool.
+//
+// The paper's implementation uses the Kokkos performance-portability
+// framework to launch fused GPU kernels (Tan et al., ICPP 2023, §2.4).
+// This package is the CPU-side stand-in for that layer: the same
+// level-by-level data-parallel algorithms execute for real across CPU
+// cores, while the simulated device (package device) accounts modeled
+// GPU time for each launch.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a reusable set of workers executing data-parallel loops. A
+// Pool is safe for concurrent use; independent loops submitted from
+// different goroutines simply share the worker budget.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool that runs loop bodies on up to workers
+// goroutines. workers <= 0 selects GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the parallelism of the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// grainSize splits n iterations across workers into contiguous blocks,
+// mirroring Kokkos RangePolicy chunking: successive threads process
+// successive chunks so that memory accesses stay coalesced.
+func (p *Pool) grainSize(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	g := (n + p.workers - 1) / p.workers
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// For executes body(i) for every i in [0, n) using all workers. The
+// iteration space is split into contiguous blocks, one per worker.
+func (p *Pool) For(n int, body func(i int)) {
+	p.ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange executes body(lo, hi) over a partition of [0, n) into
+// contiguous blocks. It is the bulk variant of For, avoiding one
+// closure call per element in hot loops.
+func (p *Pool) ForRange(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	grain := p.grainSize(n)
+	if n <= grain || p.workers == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += grain {
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReduceInt64 computes a parallel reduction of body(i) over [0, n)
+// combined with join, starting from identity. join must be
+// associative and commutative.
+func ReduceInt64(p *Pool, n int, identity int64, body func(i int) int64, join func(a, b int64) int64) int64 {
+	if n <= 0 {
+		return identity
+	}
+	grain := p.grainSize(n)
+	nblocks := (n + grain - 1) / grain
+	partial := make([]int64, nblocks)
+	var wg sync.WaitGroup
+	for b := 0; b < nblocks; b++ {
+		lo := b * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = join(acc, body(i))
+			}
+			partial[b] = acc
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, v := range partial {
+		acc = join(acc, v)
+	}
+	return acc
+}
+
+// ScanExclusive computes the exclusive prefix sum of in, writing the
+// result to out (which may alias in) and returning the total. It is
+// the offset-precalculation primitive used by the serializer to place
+// scattered chunks in the consolidated difference buffer (§2.1,
+// design principle 3).
+func ScanExclusive(p *Pool, in []int64, out []int64) int64 {
+	n := len(in)
+	if len(out) != n {
+		panic("parallel: ScanExclusive length mismatch")
+	}
+	if n == 0 {
+		return 0
+	}
+	grain := p.grainSize(n)
+	nblocks := (n + grain - 1) / grain
+	if nblocks == 1 {
+		var acc int64
+		for i := 0; i < n; i++ {
+			v := in[i]
+			out[i] = acc
+			acc += v
+		}
+		return acc
+	}
+	blockSums := make([]int64, nblocks)
+	// Pass 1: per-block sums.
+	var wg sync.WaitGroup
+	for b := 0; b < nblocks; b++ {
+		lo := b * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += in[i]
+			}
+			blockSums[b] = s
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	// Sequential scan of block sums (nblocks is small).
+	var total int64
+	for b := 0; b < nblocks; b++ {
+		s := blockSums[b]
+		blockSums[b] = total
+		total += s
+	}
+	// Pass 2: per-block exclusive scan seeded with the block offset.
+	for b := 0; b < nblocks; b++ {
+		lo := b * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := blockSums[b]
+			for i := lo; i < hi; i++ {
+				v := in[i]
+				out[i] = acc
+				acc += v
+			}
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	return total
+}
+
+// Collector accumulates values produced concurrently by loop bodies.
+// Each worker appends to a private shard; Items merges shards. This is
+// the idiom used to "save roots" from the level-parallel labeling
+// sweep of Algorithm 1 without a global atomic append.
+type Collector[T any] struct {
+	mu     sync.Mutex
+	shards [][]T
+}
+
+// Append adds values to the collector. It is safe for concurrent use;
+// each call locks once regardless of how many values it adds, so
+// callers batch per-block.
+func (c *Collector[T]) Append(values ...T) {
+	if len(values) == 0 {
+		return
+	}
+	shard := make([]T, len(values))
+	copy(shard, values)
+	c.mu.Lock()
+	c.shards = append(c.shards, shard)
+	c.mu.Unlock()
+}
+
+// Items returns all collected values in unspecified order.
+func (c *Collector[T]) Items() []T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int
+	for _, s := range c.shards {
+		total += len(s)
+	}
+	out := make([]T, 0, total)
+	for _, s := range c.shards {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Len returns the number of collected values.
+func (c *Collector[T]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int
+	for _, s := range c.shards {
+		total += len(s)
+	}
+	return total
+}

@@ -1,0 +1,247 @@
+// Package stencil provides the second application class of the
+// reproduction: time-stepped PDE solvers whose intermediate states are
+// checkpointed at every step, the adjoint-computation scenario the
+// paper's §1 motivates (10 ms checkpoint intervals) and §5 names as
+// future work ("evaluating the benefits of our method for other
+// classes of applications, such as adjoint computations").
+//
+// The solvers use fixed-point (Q16.16) integer arithmetic so a state
+// restored from a checkpoint resumes *bit-exactly* — the property an
+// adjoint backward pass needs — and so checkpoints carry the
+// plateau-rich integer fields that de-duplicate the way real quantized
+// solver snapshots do.
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Solver is a deterministic time-stepped simulation whose full state
+// serializes to a fixed-size buffer.
+type Solver interface {
+	// Name identifies the solver in reports.
+	Name() string
+	// Step advances the simulation by one time step.
+	Step()
+	// StepCount returns the number of steps taken.
+	StepCount() int
+	// StateLen returns the serialized state size in bytes.
+	StateLen() int
+	// SerializeInto writes the full state into dst (len StateLen).
+	SerializeInto(dst []byte) error
+	// Restore replaces the full state from a serialized image. The
+	// step counter is the caller's to manage.
+	Restore(src []byte) error
+}
+
+// fixed-point scale: Q16.16.
+const fpOne = 1 << 16
+
+// Heat2D is an explicit 2-D heat-diffusion solver on an n x n grid
+// with insulated (reflecting) boundaries, in Q16.16 fixed point.
+type Heat2D struct {
+	n     int
+	cur   []int32
+	next  []int32
+	steps int
+}
+
+// NewHeat2D creates an n x n plate with a hot square in the middle
+// (temperature hot, in degrees) over a cold background.
+func NewHeat2D(n int, hot float64) (*Heat2D, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("stencil: grid %d too small", n)
+	}
+	h := &Heat2D{n: n, cur: make([]int32, n*n), next: make([]int32, n*n)}
+	hq := int32(hot * fpOne)
+	for y := n / 4; y < 3*n/4; y++ {
+		for x := n / 4; x < 3*n/4; x++ {
+			h.cur[y*n+x] = hq
+		}
+	}
+	return h, nil
+}
+
+// Name implements Solver.
+func (h *Heat2D) Name() string { return "heat2d" }
+
+// StepCount implements Solver.
+func (h *Heat2D) StepCount() int { return h.steps }
+
+// at clamps coordinates to the grid (insulated boundary).
+func (h *Heat2D) at(x, y int) int32 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= h.n {
+		x = h.n - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= h.n {
+		y = h.n - 1
+	}
+	return h.cur[y*h.n+x]
+}
+
+// Step advances one explicit Euler step with alpha = 1/8 (stable for
+// the 5-point Laplacian). Integer shifts keep it exact and fast.
+func (h *Heat2D) Step() {
+	n := h.n
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			c := int64(h.cur[y*n+x])
+			lap := int64(h.at(x-1, y)) + int64(h.at(x+1, y)) +
+				int64(h.at(x, y-1)) + int64(h.at(x, y+1)) - 4*c
+			h.next[y*n+x] = int32(c + lap>>3)
+		}
+	}
+	h.cur, h.next = h.next, h.cur
+	h.steps++
+}
+
+// StateLen implements Solver.
+func (h *Heat2D) StateLen() int { return h.n * h.n * 4 }
+
+// SerializeInto implements Solver.
+func (h *Heat2D) SerializeInto(dst []byte) error {
+	if len(dst) != h.StateLen() {
+		return fmt.Errorf("stencil: buffer %d bytes, want %d", len(dst), h.StateLen())
+	}
+	for i, v := range h.cur {
+		binary.LittleEndian.PutUint32(dst[i*4:], uint32(v))
+	}
+	return nil
+}
+
+// Restore implements Solver.
+func (h *Heat2D) Restore(src []byte) error {
+	if len(src) != h.StateLen() {
+		return fmt.Errorf("stencil: image %d bytes, want %d", len(src), h.StateLen())
+	}
+	for i := range h.cur {
+		h.cur[i] = int32(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+	return nil
+}
+
+// Temperature returns the value at (x, y) in degrees.
+func (h *Heat2D) Temperature(x, y int) float64 {
+	return float64(h.cur[y*h.n+x]) / fpOne
+}
+
+// Max returns the maximum temperature (the maximum principle says it
+// must not increase under diffusion).
+func (h *Heat2D) Max() float64 {
+	var m int32
+	for _, v := range h.cur {
+		if v > m {
+			m = v
+		}
+	}
+	return float64(m) / fpOne
+}
+
+// Wave2D is an explicit 2-D wave-equation solver (leapfrog, two time
+// levels) on an n x n grid with fixed (reflecting) boundaries, in
+// Q16.16 fixed point. Its serialized state carries both time levels.
+type Wave2D struct {
+	n         int
+	cur, prev []int32
+	next      []int32
+	steps     int
+}
+
+// NewWave2D creates an n x n membrane with a centered square pulse.
+func NewWave2D(n int, amplitude float64) (*Wave2D, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("stencil: grid %d too small", n)
+	}
+	w := &Wave2D{
+		n:    n,
+		cur:  make([]int32, n*n),
+		prev: make([]int32, n*n),
+		next: make([]int32, n*n),
+	}
+	aq := int32(amplitude * fpOne)
+	for y := 3 * n / 8; y < 5*n/8; y++ {
+		for x := 3 * n / 8; x < 5*n/8; x++ {
+			w.cur[y*n+x] = aq
+			w.prev[y*n+x] = aq // starts at rest
+		}
+	}
+	return w, nil
+}
+
+// Name implements Solver.
+func (w *Wave2D) Name() string { return "wave2d" }
+
+// StepCount implements Solver.
+func (w *Wave2D) StepCount() int { return w.steps }
+
+// Step advances one leapfrog step with c^2 dt^2/dx^2 = 1/4.
+func (w *Wave2D) Step() {
+	n := w.n
+	for y := 1; y < n-1; y++ {
+		for x := 1; x < n-1; x++ {
+			i := y*n + x
+			c := int64(w.cur[i])
+			lap := int64(w.cur[i-1]) + int64(w.cur[i+1]) +
+				int64(w.cur[i-n]) + int64(w.cur[i+n]) - 4*c
+			w.next[i] = int32(2*c - int64(w.prev[i]) + lap>>2)
+		}
+	}
+	// Fixed boundary: next stays zero at the rim (already zeroed by
+	// never writing it after init... the rim of next must be cleared
+	// because of the triple-buffer rotation).
+	for x := 0; x < n; x++ {
+		w.next[x] = 0
+		w.next[(n-1)*n+x] = 0
+	}
+	for y := 0; y < n; y++ {
+		w.next[y*n] = 0
+		w.next[y*n+n-1] = 0
+	}
+	w.prev, w.cur, w.next = w.cur, w.next, w.prev
+	w.steps++
+}
+
+// StateLen implements Solver.
+func (w *Wave2D) StateLen() int { return 2 * w.n * w.n * 4 }
+
+// SerializeInto implements Solver.
+func (w *Wave2D) SerializeInto(dst []byte) error {
+	if len(dst) != w.StateLen() {
+		return fmt.Errorf("stencil: buffer %d bytes, want %d", len(dst), w.StateLen())
+	}
+	half := w.n * w.n * 4
+	for i, v := range w.cur {
+		binary.LittleEndian.PutUint32(dst[i*4:], uint32(v))
+	}
+	for i, v := range w.prev {
+		binary.LittleEndian.PutUint32(dst[half+i*4:], uint32(v))
+	}
+	return nil
+}
+
+// Restore implements Solver.
+func (w *Wave2D) Restore(src []byte) error {
+	if len(src) != w.StateLen() {
+		return fmt.Errorf("stencil: image %d bytes, want %d", len(src), w.StateLen())
+	}
+	half := w.n * w.n * 4
+	for i := range w.cur {
+		w.cur[i] = int32(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+	for i := range w.prev {
+		w.prev[i] = int32(binary.LittleEndian.Uint32(src[half+i*4:]))
+	}
+	return nil
+}
+
+// Amplitude returns the displacement at (x, y).
+func (w *Wave2D) Amplitude(x, y int) float64 {
+	return float64(w.cur[y*w.n+x]) / fpOne
+}

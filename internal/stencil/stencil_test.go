@@ -1,0 +1,167 @@
+package stencil
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHeat2DBasics(t *testing.T) {
+	h, err := NewHeat2D(32, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "heat2d" || h.StateLen() != 32*32*4 {
+		t.Fatal("identity wrong")
+	}
+	if h.Temperature(16, 16) != 100 {
+		t.Fatalf("hot center %v", h.Temperature(16, 16))
+	}
+	if h.Temperature(0, 0) != 0 {
+		t.Fatal("cold corner not cold")
+	}
+	maxBefore := h.Max()
+	for s := 0; s < 50; s++ {
+		h.Step()
+		// Maximum principle: diffusion never increases the max.
+		if m := h.Max(); m > maxBefore {
+			t.Fatalf("max grew from %v to %v at step %d", maxBefore, m, s)
+		} else {
+			maxBefore = m
+		}
+	}
+	if h.StepCount() != 50 {
+		t.Fatalf("step count %d", h.StepCount())
+	}
+	// Heat must have spread to the corner by now... or at least the
+	// center must have cooled.
+	if h.Temperature(16, 16) >= 100 {
+		t.Fatal("center never cooled")
+	}
+	if _, err := NewHeat2D(2, 1); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+}
+
+func TestHeat2DSymmetry(t *testing.T) {
+	// A symmetric initial condition stays symmetric forever.
+	h, _ := NewHeat2D(24, 50)
+	for s := 0; s < 30; s++ {
+		h.Step()
+	}
+	for y := 0; y < 24; y++ {
+		for x := 0; x < 24; x++ {
+			if h.Temperature(x, y) != h.Temperature(23-x, y) {
+				t.Fatalf("x-asymmetry at (%d,%d)", x, y)
+			}
+			if h.Temperature(x, y) != h.Temperature(x, 23-y) {
+				t.Fatalf("y-asymmetry at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+func TestWave2DBasics(t *testing.T) {
+	w, err := NewWave2D(32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "wave2d" || w.StateLen() != 2*32*32*4 {
+		t.Fatal("identity wrong")
+	}
+	if w.Amplitude(16, 16) != 10 {
+		t.Fatal("pulse missing")
+	}
+	for s := 0; s < 40; s++ {
+		w.Step()
+	}
+	if w.StepCount() != 40 {
+		t.Fatal("step count wrong")
+	}
+	// The wave must have left the center region (it radiates).
+	if w.Amplitude(16, 16) == 10 {
+		t.Fatal("pulse never moved")
+	}
+	// Boundaries stay pinned.
+	if w.Amplitude(0, 5) != 0 || w.Amplitude(31, 31) != 0 {
+		t.Fatal("boundary moved")
+	}
+	if _, err := NewWave2D(3, 1); err == nil {
+		t.Fatal("tiny grid accepted")
+	}
+}
+
+func TestSerializeRestoreExactResume(t *testing.T) {
+	// The adjoint property: restore + resume == uninterrupted run,
+	// bit for bit, for both solvers.
+	solvers := []func() Solver{
+		func() Solver { h, _ := NewHeat2D(20, 75); return h },
+		func() Solver { w, _ := NewWave2D(20, 5); return w },
+	}
+	for _, mk := range solvers {
+		ref := mk()
+		forked := mk()
+		for s := 0; s < 10; s++ {
+			ref.Step()
+			forked.Step()
+		}
+		// Snapshot the fork at step 10, run both to 25.
+		img := make([]byte, forked.StateLen())
+		if err := forked.SerializeInto(img); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 15; s++ {
+			ref.Step()
+		}
+		resumed := mk()
+		if err := resumed.Restore(img); err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 15; s++ {
+			resumed.Step()
+		}
+		a := make([]byte, ref.StateLen())
+		b := make([]byte, resumed.StateLen())
+		if err := ref.SerializeInto(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.SerializeInto(b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: restored resume diverged from uninterrupted run", ref.Name())
+		}
+	}
+}
+
+func TestSerializeValidation(t *testing.T) {
+	h, _ := NewHeat2D(8, 1)
+	if err := h.SerializeInto(make([]byte, 3)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := h.Restore(make([]byte, 3)); err == nil {
+		t.Fatal("short image accepted")
+	}
+	w, _ := NewWave2D(8, 1)
+	if err := w.SerializeInto(make([]byte, 3)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := w.Restore(make([]byte, 3)); err == nil {
+		t.Fatal("short image accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := NewHeat2D(16, 33)
+	b, _ := NewHeat2D(16, 33)
+	for s := 0; s < 20; s++ {
+		a.Step()
+		b.Step()
+	}
+	ia := make([]byte, a.StateLen())
+	ib := make([]byte, b.StateLen())
+	_ = a.SerializeInto(ia)
+	_ = b.SerializeInto(ib)
+	if !bytes.Equal(ia, ib) {
+		t.Fatal("heat solver not deterministic")
+	}
+}

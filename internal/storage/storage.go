@@ -1,0 +1,351 @@
+// Package storage models the multi-level asynchronous checkpointing
+// architecture of the paper (Tan et al., ICPP 2023, §2.3, Figure 3):
+// each process writes its consolidated difference to host memory
+// (already modeled by the device layer's PCIe transfer), after which a
+// background runtime drains host buffers to node-local SSDs and from
+// there to the shared parallel file system.
+//
+// The runtime is a deterministic discrete-event simulation: transfers
+// serialize through per-node SSDs and the shared PFS at their modeled
+// bandwidths; a process stalls only when its node's host buffer cannot
+// admit the next checkpoint — exactly the failure mode the paper
+// predicts for high-frequency checkpointing with large (non-deduped)
+// checkpoints ("the HPC workflow may be delayed if it produces new
+// checkpoints faster than they can be flushed", §1).
+package storage
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Tier describes one storage level.
+type Tier struct {
+	Name      string
+	Bandwidth float64 // bytes/second drained from this tier
+	Capacity  int64   // bytes this tier can hold
+}
+
+// SystemSpec describes the machine: nodes with host buffers and local
+// SSDs, sharing one parallel file system.
+type SystemSpec struct {
+	Nodes       int
+	GPUsPerNode int
+	HostBuffer  Tier // per node; Bandwidth is the host->SSD drain rate
+	SSD         Tier // per node; Bandwidth is the SSD->PFS drain rate
+	PFS         Tier // global; Bandwidth shared by all nodes
+}
+
+// ALCFSpec models a ThetaGPU-like system (§3.1): 8 GPUs per node,
+// tens of GB of spare host DRAM for checkpoint staging, multi-GB/s
+// NVMe, and a Lustre file system with 250 GB/s aggregate bandwidth.
+func ALCFSpec(nodes int) SystemSpec {
+	return SystemSpec{
+		Nodes:       nodes,
+		GPUsPerNode: 8,
+		HostBuffer:  Tier{Name: "host", Bandwidth: 10e9, Capacity: 64 << 30},
+		SSD:         Tier{Name: "ssd", Bandwidth: 3.2e9, Capacity: 3 << 40},
+		PFS:         Tier{Name: "pfs", Bandwidth: 250e9, Capacity: 1 << 50},
+	}
+}
+
+// JobConfig describes the checkpointing workload.
+type JobConfig struct {
+	// Procs is the number of application processes (one per GPU).
+	Procs int
+	// NumCheckpoints per process.
+	NumCheckpoints int
+	// ComputeInterval is the application time between checkpoints.
+	ComputeInterval time.Duration
+	// CheckpointCost returns the synchronous stall (de-duplication +
+	// device-to-host transfer) and the bytes submitted to the host
+	// buffer for checkpoint ck of process proc.
+	CheckpointCost func(proc, ck int) (stall time.Duration, size int64)
+}
+
+// Result summarizes a simulated job.
+type Result struct {
+	// Makespan is when the last process finished its last checkpoint
+	// submission (application end-to-end time).
+	Makespan time.Duration
+	// AllFlushed is when the last byte reached the PFS.
+	AllFlushed time.Duration
+	// DedupStall is the total synchronous checkpoint stall across
+	// processes (compute blocked on de-duplication + D2H).
+	DedupStall time.Duration
+	// SpaceStall is the total time processes waited for host-buffer
+	// space (backpressure from slow flushing).
+	SpaceStall time.Duration
+	// BytesToPFS is the total data that reached the file system.
+	BytesToPFS int64
+	// PeakHostOccupancy is the maximum bytes held in any node's host
+	// buffer at once.
+	PeakHostOccupancy int64
+}
+
+// IOOverhead is the paper's I/O overhead metric: total time the
+// application was blocked on checkpointing.
+func (r Result) IOOverhead() time.Duration { return r.DedupStall + r.SpaceStall }
+
+// --- discrete-event simulation ---
+
+type eventKind uint8
+
+const (
+	evProcReady eventKind = iota // process finished compute+stall, wants to submit
+	evHostDrainDone
+	evSSDDrainDone
+)
+
+type event struct {
+	at   time.Duration
+	seq  int64
+	kind eventKind
+	proc int
+	node int
+	size int64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type nodeState struct {
+	hostUsed int64
+	ssdUsed  int64
+	hostQ    []int64 // FIFO of item sizes staged in host memory
+	ssdQ     []int64 // FIFO of item sizes staged on SSD
+	hostBusy bool
+	waiting  []waiter // processes blocked on host space, FIFO
+	peakHost int64
+}
+
+type waiter struct {
+	proc int
+	size int64
+}
+
+type sim struct {
+	sys        SystemSpec
+	job        JobConfig
+	events     eventHeap
+	seq        int64
+	nodes      []nodeState
+	pfsBusy    bool
+	now        time.Duration
+	nextCkpt   []int
+	doneAt     []time.Duration
+	dedupStall time.Duration
+	spaceStall time.Duration
+	waitingAt  []time.Duration // when each proc started waiting for space
+	bytesToPFS int64
+	lastFlush  time.Duration
+}
+
+// Simulate runs the job to completion and reports the result.
+func Simulate(sys SystemSpec, job JobConfig) (Result, error) {
+	if sys.Nodes < 1 || sys.GPUsPerNode < 1 {
+		return Result{}, fmt.Errorf("storage: system needs at least one node and GPU")
+	}
+	if job.Procs < 1 || job.Procs > sys.Nodes*sys.GPUsPerNode {
+		return Result{}, fmt.Errorf("storage: %d procs exceed %d slots", job.Procs, sys.Nodes*sys.GPUsPerNode)
+	}
+	if job.NumCheckpoints < 1 || job.CheckpointCost == nil {
+		return Result{}, fmt.Errorf("storage: job needs checkpoints and a cost function")
+	}
+	s := &sim{
+		sys:       sys,
+		job:       job,
+		nodes:     make([]nodeState, sys.Nodes),
+		nextCkpt:  make([]int, job.Procs),
+		doneAt:    make([]time.Duration, job.Procs),
+		waitingAt: make([]time.Duration, job.Procs),
+	}
+	heap.Init(&s.events)
+	for p := 0; p < job.Procs; p++ {
+		s.scheduleProc(p, 0)
+	}
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		switch e.kind {
+		case evProcReady:
+			s.procReady(e.proc, e.size)
+		case evHostDrainDone:
+			s.hostDrainDone(e.node, e.size)
+		case evSSDDrainDone:
+			s.ssdDrainDone(e.node, e.size)
+		}
+	}
+	res := Result{
+		DedupStall: s.dedupStall,
+		SpaceStall: s.spaceStall,
+		BytesToPFS: s.bytesToPFS,
+		AllFlushed: s.lastFlush,
+	}
+	for p := 0; p < job.Procs; p++ {
+		if s.doneAt[p] > res.Makespan {
+			res.Makespan = s.doneAt[p]
+		}
+	}
+	for i := range s.nodes {
+		if s.nodes[i].peakHost > res.PeakHostOccupancy {
+			res.PeakHostOccupancy = s.nodes[i].peakHost
+		}
+	}
+	if res.AllFlushed < res.Makespan {
+		res.AllFlushed = res.Makespan
+	}
+	return res, nil
+}
+
+func (s *sim) nodeOf(proc int) int { return proc / s.sys.GPUsPerNode }
+
+func (s *sim) push(e event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+// scheduleProc advances process p through its next compute interval
+// and checkpoint stall, then emits a submission-ready event.
+func (s *sim) scheduleProc(p int, from time.Duration) {
+	ck := s.nextCkpt[p]
+	if ck >= s.job.NumCheckpoints {
+		s.doneAt[p] = from
+		return
+	}
+	stall, size := s.job.CheckpointCost(p, ck)
+	s.dedupStall += stall
+	s.push(event{
+		at:   from + s.job.ComputeInterval + stall,
+		kind: evProcReady,
+		proc: p,
+		size: size,
+	})
+}
+
+// procReady attempts to admit process p's checkpoint into its node's
+// host buffer; on success the process immediately resumes computing.
+func (s *sim) procReady(p int, size int64) {
+	node := s.nodeOf(p)
+	ns := &s.nodes[node]
+	if size > s.sys.HostBuffer.Capacity {
+		// A checkpoint larger than the staging buffer degenerates to a
+		// synchronous write-through; model as waiting for an empty
+		// buffer then passing straight through.
+		size = s.sys.HostBuffer.Capacity
+	}
+	if ns.hostUsed+size <= s.sys.HostBuffer.Capacity && len(ns.waiting) == 0 {
+		s.admit(p, node, size)
+		return
+	}
+	ns.waiting = append(ns.waiting, waiter{proc: p, size: size})
+	s.waitingAt[p] = s.now
+}
+
+// admit stages the checkpoint in host memory and lets the process run.
+func (s *sim) admit(p, node int, size int64) {
+	ns := &s.nodes[node]
+	ns.hostUsed += size
+	if ns.hostUsed > ns.peakHost {
+		ns.peakHost = ns.hostUsed
+	}
+	ns.hostQ = append(ns.hostQ, size)
+	s.startHostDrain(node)
+	s.nextCkpt[p]++
+	s.scheduleProc(p, s.now)
+}
+
+// startHostDrain begins the next host->SSD transfer if the drain
+// channel is idle and the SSD has room.
+func (s *sim) startHostDrain(node int) {
+	ns := &s.nodes[node]
+	if ns.hostBusy || len(ns.hostQ) == 0 {
+		return
+	}
+	size := ns.hostQ[0]
+	if ns.ssdUsed+size > s.sys.SSD.Capacity {
+		return // retried when the SSD drains
+	}
+	ns.hostQ = ns.hostQ[1:]
+	ns.hostBusy = true
+	dur := time.Duration(float64(size) / s.sys.HostBuffer.Bandwidth * float64(time.Second))
+	s.push(event{at: s.now + dur, kind: evHostDrainDone, node: node, size: size})
+}
+
+// hostDrainDone moves an item from host memory onto the SSD, frees
+// host space and unblocks waiting processes in FIFO order.
+func (s *sim) hostDrainDone(node int, size int64) {
+	ns := &s.nodes[node]
+	ns.hostBusy = false
+	ns.hostUsed -= size
+	ns.ssdUsed += size
+	ns.ssdQ = append(ns.ssdQ, size)
+	s.pumpPFS()
+	// Admit as many waiting processes as now fit, preserving order.
+	for len(ns.waiting) > 0 {
+		w := ns.waiting[0]
+		if ns.hostUsed+w.size > s.sys.HostBuffer.Capacity {
+			break
+		}
+		ns.waiting = ns.waiting[1:]
+		s.spaceStall += s.now - s.waitingAt[w.proc]
+		s.admit(w.proc, node, w.size)
+	}
+	s.startHostDrain(node)
+}
+
+// pumpPFS begins the next SSD->PFS transfer if the PFS channel is
+// idle. The PFS is a single shared resource: one item transfers at a
+// time at min(SSD, PFS) bandwidth — equivalent in total time to fair
+// sharing, and deterministic. Nodes are scanned in index order.
+func (s *sim) pumpPFS() {
+	if s.pfsBusy {
+		return
+	}
+	for n := range s.nodes {
+		ns := &s.nodes[n]
+		if len(ns.ssdQ) == 0 {
+			continue
+		}
+		size := ns.ssdQ[0]
+		ns.ssdQ = ns.ssdQ[1:]
+		s.pfsBusy = true
+		rate := s.sys.SSD.Bandwidth
+		if s.sys.PFS.Bandwidth < rate {
+			rate = s.sys.PFS.Bandwidth
+		}
+		dur := time.Duration(float64(size) / rate * float64(time.Second))
+		s.push(event{at: s.now + dur, kind: evSSDDrainDone, node: n, size: size})
+		return
+	}
+}
+
+// ssdDrainDone lands an item on the PFS and starts the next transfer.
+func (s *sim) ssdDrainDone(node int, size int64) {
+	ns := &s.nodes[node]
+	ns.ssdUsed -= size
+	s.bytesToPFS += size
+	s.lastFlush = s.now
+	s.pfsBusy = false
+	s.pumpPFS()
+	// SSD space freed: host drains blocked on SSD capacity can resume.
+	s.startHostDrain(node)
+}

@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func tinySys() SystemSpec {
+	return SystemSpec{
+		Nodes:       1,
+		GPUsPerNode: 4,
+		HostBuffer:  Tier{Name: "host", Bandwidth: 10, Capacity: 100},
+		SSD:         Tier{Name: "ssd", Bandwidth: 5, Capacity: 1000},
+		PFS:         Tier{Name: "pfs", Bandwidth: 1000, Capacity: 1 << 40},
+	}
+}
+
+func TestSingleCheckpointTimeline(t *testing.T) {
+	job := JobConfig{
+		Procs:           1,
+		NumCheckpoints:  1,
+		ComputeInterval: time.Second,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 500 * time.Millisecond, 10
+		},
+	}
+	res, err := Simulate(tinySys(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 1500*time.Millisecond {
+		t.Fatalf("makespan %v, want 1.5s", res.Makespan)
+	}
+	// Host drain: 10 bytes at 10 B/s = 1s, done at 2.5s; SSD->PFS at
+	// min(5,1000)=5 B/s = 2s, done at 4.5s.
+	if res.AllFlushed != 4500*time.Millisecond {
+		t.Fatalf("all flushed at %v, want 4.5s", res.AllFlushed)
+	}
+	if res.BytesToPFS != 10 {
+		t.Fatalf("bytes to PFS %d", res.BytesToPFS)
+	}
+	if res.DedupStall != 500*time.Millisecond || res.SpaceStall != 0 {
+		t.Fatalf("stalls %v/%v", res.DedupStall, res.SpaceStall)
+	}
+	if res.IOOverhead() != 500*time.Millisecond {
+		t.Fatalf("io overhead %v", res.IOOverhead())
+	}
+	if res.PeakHostOccupancy != 10 {
+		t.Fatalf("peak host %d", res.PeakHostOccupancy)
+	}
+}
+
+func TestBackpressureStall(t *testing.T) {
+	sys := tinySys()
+	sys.HostBuffer = Tier{Name: "host", Bandwidth: 1, Capacity: 10} // 10s per drain
+	job := JobConfig{
+		Procs:           1,
+		NumCheckpoints:  2,
+		ComputeInterval: time.Second,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 0, 10
+		},
+	}
+	res, err := Simulate(sys, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ckpt0 admitted at 1s; drain finishes at 11s; ckpt1 ready at 2s
+	// but waits 9s for space.
+	if res.SpaceStall != 9*time.Second {
+		t.Fatalf("space stall %v, want 9s", res.SpaceStall)
+	}
+	if res.Makespan != 11*time.Second {
+		t.Fatalf("makespan %v, want 11s", res.Makespan)
+	}
+	if res.BytesToPFS != 20 {
+		t.Fatalf("bytes %d", res.BytesToPFS)
+	}
+}
+
+func TestSmallCheckpointsAvoidBackpressure(t *testing.T) {
+	sys := tinySys()
+	sys.HostBuffer = Tier{Name: "host", Bandwidth: 1, Capacity: 10}
+	job := JobConfig{
+		Procs:           1,
+		NumCheckpoints:  5,
+		ComputeInterval: 2 * time.Second,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 0, 1 // tiny diffs drain within the compute interval
+		},
+	}
+	res, err := Simulate(sys, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpaceStall != 0 {
+		t.Fatalf("small checkpoints stalled %v", res.SpaceStall)
+	}
+	if res.Makespan != 10*time.Second {
+		t.Fatalf("makespan %v, want 10s", res.Makespan)
+	}
+}
+
+func TestDedupReducesIOOverhead(t *testing.T) {
+	// The paper's core claim at the storage level: shipping 100x less
+	// data eliminates backpressure stalls.
+	sys := ALCFSpec(2)
+	full := JobConfig{
+		Procs:           16,
+		NumCheckpoints:  10,
+		ComputeInterval: time.Second,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 200 * time.Millisecond, 5 << 30 // 5 GB full checkpoints
+		},
+	}
+	tree := full
+	tree.CheckpointCost = func(proc, ck int) (time.Duration, int64) {
+		return 50 * time.Millisecond, 50 << 20 // 50 MB diffs
+	}
+	fr, err := Simulate(sys, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Simulate(sys, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.SpaceStall == 0 {
+		t.Fatal("full checkpoints never hit backpressure; system spec too generous for the test")
+	}
+	if tr.SpaceStall != 0 {
+		t.Fatalf("deduped checkpoints stalled %v", tr.SpaceStall)
+	}
+	if tr.IOOverhead() >= fr.IOOverhead() {
+		t.Fatalf("dedup overhead %v not below full %v", tr.IOOverhead(), fr.IOOverhead())
+	}
+	if tr.Makespan >= fr.Makespan {
+		t.Fatalf("dedup makespan %v not below full %v", tr.Makespan, fr.Makespan)
+	}
+}
+
+func TestByteConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sizes := make([]int64, 50)
+	var total int64
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(90) + 1)
+		total += sizes[i]
+	}
+	job := JobConfig{
+		Procs:           2,
+		NumCheckpoints:  25,
+		ComputeInterval: 100 * time.Millisecond,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 0, sizes[proc*25+ck]
+		},
+	}
+	res, err := Simulate(tinySys(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesToPFS != total {
+		t.Fatalf("bytes to PFS %d, want %d", res.BytesToPFS, total)
+	}
+	if res.AllFlushed < res.Makespan {
+		t.Fatal("flush completed before makespan")
+	}
+}
+
+func TestMultiNodePFSContention(t *testing.T) {
+	// PFS bandwidth is the global bottleneck: doubling the nodes
+	// cannot flush faster than the PFS allows.
+	sys := SystemSpec{
+		Nodes:       4,
+		GPUsPerNode: 1,
+		HostBuffer:  Tier{Name: "host", Bandwidth: 1000, Capacity: 1 << 30},
+		SSD:         Tier{Name: "ssd", Bandwidth: 1000, Capacity: 1 << 30},
+		PFS:         Tier{Name: "pfs", Bandwidth: 100, Capacity: 1 << 40},
+	}
+	job := JobConfig{
+		Procs:           4,
+		NumCheckpoints:  1,
+		ComputeInterval: time.Millisecond,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 0, 1000 // 4000 bytes total, PFS at 100 B/s -> >= 40s
+		},
+	}
+	res, err := Simulate(sys, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllFlushed < 40*time.Second {
+		t.Fatalf("flush finished at %v despite 40s of PFS work", res.AllFlushed)
+	}
+	if res.BytesToPFS != 4000 {
+		t.Fatalf("bytes %d", res.BytesToPFS)
+	}
+}
+
+func TestOversizedCheckpointClamped(t *testing.T) {
+	sys := tinySys() // host capacity 100
+	job := JobConfig{
+		Procs:           1,
+		NumCheckpoints:  1,
+		ComputeInterval: time.Millisecond,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 0, 500 // bigger than the staging buffer
+		},
+	}
+	res, err := Simulate(sys, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesToPFS != 100 {
+		t.Fatalf("clamped checkpoint flushed %d bytes", res.BytesToPFS)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := JobConfig{
+		Procs: 1, NumCheckpoints: 1, ComputeInterval: time.Second,
+		CheckpointCost: func(int, int) (time.Duration, int64) { return 0, 1 },
+	}
+	if _, err := Simulate(SystemSpec{}, good); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	sys := tinySys()
+	bad := good
+	bad.Procs = 100
+	if _, err := Simulate(sys, bad); err == nil {
+		t.Fatal("too many procs accepted")
+	}
+	bad = good
+	bad.NumCheckpoints = 0
+	if _, err := Simulate(sys, bad); err == nil {
+		t.Fatal("zero checkpoints accepted")
+	}
+	bad = good
+	bad.CheckpointCost = nil
+	if _, err := Simulate(sys, bad); err == nil {
+		t.Fatal("nil cost function accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sys := ALCFSpec(2)
+	job := JobConfig{
+		Procs:           16,
+		NumCheckpoints:  5,
+		ComputeInterval: 300 * time.Millisecond,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return time.Duration(proc+ck) * time.Millisecond, int64(proc+1) << 28
+		},
+	}
+	a, err := Simulate(sys, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(sys, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestALCFSpecSane(t *testing.T) {
+	s := ALCFSpec(3)
+	if s.Nodes != 3 || s.GPUsPerNode != 8 {
+		t.Fatal("ALCF geometry wrong")
+	}
+	if s.PFS.Bandwidth != 250e9 {
+		t.Fatal("Lustre bandwidth wrong")
+	}
+	if s.HostBuffer.Capacity <= 0 || s.SSD.Capacity <= s.HostBuffer.Capacity {
+		t.Fatal("tier capacities implausible")
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	sys := ALCFSpec(8)
+	job := JobConfig{
+		Procs:           64,
+		NumCheckpoints:  20,
+		ComputeInterval: time.Second,
+		CheckpointCost: func(proc, ck int) (time.Duration, int64) {
+			return 50 * time.Millisecond, 3 << 30
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(sys, job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
