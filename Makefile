@@ -1,0 +1,30 @@
+# gpuckpt build/verify entry points. `make ci` is what a CI job runs:
+# formatting, vet, build, and the full test suite under the race
+# detector (the ckptd server and client are required to be race-clean).
+
+GO ?= go
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

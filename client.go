@@ -1,0 +1,342 @@
+package gpuckpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// Client talks to a ckptd checkpoint server (cmd/ckptd): it pushes
+// encoded diffs into named lineages and pulls them back for restore on
+// a machine that never held the original Checkpointer — the networked
+// form of the paper's §2.3 storage hierarchy bottom.
+//
+// A Client owns one TCP connection and is safe for concurrent use; the
+// protocol is strictly request/response, so concurrent calls serialize
+// on the connection. Transient transport failures (broken connection,
+// timeout) are retried once on a fresh connection; errors reported by
+// the server itself (RemoteError) are not retried.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu      sync.Mutex
+	conn    net.Conn
+	handles map[string]uint32 // lineage name -> server handle (per connection epoch)
+}
+
+// RemoteError is a failure reported by the server for one request. The
+// connection remains usable and the request is known not to have a
+// transport problem, so it is never retried.
+type RemoteError = wire.RemoteError
+
+// LineageInfo describes one lineage hosted by the server.
+type LineageInfo struct {
+	// Name is the lineage name as passed to Push/Pull.
+	Name string
+	// Len is the number of stored checkpoints.
+	Len int
+	// Bytes is the total stored diff size on the server.
+	Bytes int64
+}
+
+// ServerStats reports the server's operational counters.
+type ServerStats struct {
+	// Requests counts requests the server has accepted (including the
+	// stats request reporting them).
+	Requests uint64
+	// BytesIn and BytesOut count protocol bytes received from and sent
+	// to clients.
+	BytesIn, BytesOut uint64
+	// ActiveConns is the number of currently served connections.
+	ActiveConns uint64
+	// Conns counts connections accepted over the server lifetime.
+	Conns uint64
+	// Lineages is the number of lineages the server hosts.
+	Lineages uint64
+}
+
+// Dial connects to a ckptd server. timeout bounds the dial and every
+// per-request network operation (0 selects 30s).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	c := &Client{addr: addr, timeout: timeout}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.connectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// connectLocked (re)establishes the connection and handshakes.
+// Handles are connection-epoch-scoped defensively: a reconnect may
+// reach a restarted server whose handle assignment differs.
+func (c *Client) connectLocked() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return fmt.Errorf("gpuckpt: dial %s: %w", c.addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := wire.Handshake(conn); err != nil {
+		conn.Close()
+		return fmt.Errorf("gpuckpt: handshake with %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.handles = make(map[string]uint32)
+	return nil
+}
+
+// Close releases the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// transient reports whether err warrants one retry on a fresh
+// connection: anything that broke the transport, but never a
+// RemoteError (the server answered; replaying would duplicate work).
+func transient(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return true
+}
+
+// roundTrip sends req and returns the server's response, retrying once
+// on transient transport errors.
+func (c *Client) roundTrip(req *wire.Frame) (*wire.Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if c.conn == nil {
+			if err := c.connectLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.exchangeLocked(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !transient(err) {
+			return nil, err
+		}
+		// Broken transport: drop the connection (and handle cache) and
+		// let the next attempt redial.
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn = nil
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) exchangeLocked(req *wire.Frame) (*wire.Frame, error) {
+	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	if err := wire.WriteFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(c.conn, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	if resp.Type != req.Type {
+		return nil, fmt.Errorf("gpuckpt: server answered type 0x%02x to request 0x%02x", resp.Type, req.Type)
+	}
+	return resp, nil
+}
+
+// open resolves a lineage name to its server handle and current
+// length. The handle is cached per connection epoch; the length is
+// always fresh.
+func (c *Client) open(name string) (handle uint32, length int, err error) {
+	resp, err := c.roundTrip(&wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
+	if err != nil {
+		return 0, 0, err
+	}
+	c.mu.Lock()
+	if c.handles != nil {
+		c.handles[name] = resp.Lineage
+	}
+	c.mu.Unlock()
+	return resp.Lineage, int(resp.Ckpt), nil
+}
+
+// handle returns the cached handle for name, opening it if needed.
+func (c *Client) handle(name string) (uint32, error) {
+	c.mu.Lock()
+	h, ok := c.handles[name]
+	c.mu.Unlock()
+	if ok {
+		return h, nil
+	}
+	h, _, err := c.open(name)
+	return h, err
+}
+
+// Len returns the number of checkpoints the server holds for lineage
+// name (creating the lineage, empty, if it does not exist).
+func (c *Client) Len(name string) (int, error) {
+	_, n, err := c.open(name)
+	return n, err
+}
+
+// Push uploads one encoded diff (as produced by Checkpointer.WriteDiff
+// or Record.WriteDiff) as checkpoint ckptID of the named lineage. The
+// server enforces contiguity: ckptID must equal the lineage's current
+// length, and exactly one concurrent pusher of a given id wins.
+func (c *Client) Push(name string, ckptID int, encoded []byte) error {
+	h, err := c.handle(name)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(ckptID), Payload: encoded})
+	return err
+}
+
+// PullDiff downloads the encoded diff of checkpoint ckptID of the
+// named lineage.
+func (c *Client) PullDiff(name string, ckptID int) ([]byte, error) {
+	h, err := c.handle(name)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.roundTrip(&wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: uint32(ckptID)})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// Pull downloads the entire named lineage and assembles it into a
+// restorable Record.
+func (c *Client) Pull(name string) (*Record, error) {
+	_, n, err := c.open(name)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("gpuckpt: lineage %q is empty on %s", name, c.addr)
+	}
+	rec := checkpoint.NewRecord()
+	for ck := 0; ck < n; ck++ {
+		b, err := c.PullDiff(name, ck)
+		if err != nil {
+			return nil, err
+		}
+		d, err := checkpoint.Decode(bytes.NewReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("gpuckpt: lineage %q diff %d: %w", name, ck, err)
+		}
+		if err := rec.Append(d); err != nil {
+			return nil, err
+		}
+	}
+	return &Record{rec: rec}, nil
+}
+
+// PushRecord uploads every diff of rec that the server does not
+// already hold for the named lineage, returning the number pushed.
+func (c *Client) PushRecord(name string, rec *Record) (int, error) {
+	return c.pushDiffs(name, rec.Len(), rec.WriteDiff)
+}
+
+// PushCheckpointer uploads every diff of ck's record that the server
+// does not already hold for the named lineage, returning the number
+// pushed. Call it after each Checkpoint (incremental push) or once at
+// the end (bulk push) — contiguity makes both equivalent.
+func (c *Client) PushCheckpointer(name string, ck *Checkpointer) (int, error) {
+	return c.pushDiffs(name, ck.NumCheckpoints(), ck.WriteDiff)
+}
+
+func (c *Client) pushDiffs(name string, total int, writeDiff func(k int, w io.Writer) error) (int, error) {
+	_, have, err := c.open(name)
+	if err != nil {
+		return 0, err
+	}
+	pushed := 0
+	for k := have; k < total; k++ {
+		var buf bytes.Buffer
+		if err := writeDiff(k, &buf); err != nil {
+			return pushed, err
+		}
+		if err := c.Push(name, k, buf.Bytes()); err != nil {
+			return pushed, err
+		}
+		pushed++
+	}
+	return pushed, nil
+}
+
+// List returns the lineages hosted by the server.
+func (c *Client) List() ([]LineageInfo, error) {
+	resp, err := c.roundTrip(&wire.Frame{Type: wire.TList})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := wire.DecodeList(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LineageInfo, len(raw))
+	for i, in := range raw {
+		out[i] = LineageInfo{Name: in.Name, Len: int(in.Len), Bytes: int64(in.Bytes)}
+	}
+	return out, nil
+}
+
+// Stats returns the server's operational counters.
+func (c *Client) Stats() (ServerStats, error) {
+	resp, err := c.roundTrip(&wire.Frame{Type: wire.TStats})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	st, err := wire.DecodeStats(resp.Payload)
+	if err != nil {
+		return ServerStats{}, err
+	}
+	return ServerStats{
+		Requests:    st.Requests,
+		BytesIn:     st.BytesIn,
+		BytesOut:    st.BytesOut,
+		ActiveConns: st.ActiveConns,
+		Conns:       st.Conns,
+		Lineages:    st.Lineages,
+	}, nil
+}
+
+// WriteDiff serializes checkpoint k of the record to w in the
+// canonical wire format — the Record counterpart of
+// Checkpointer.WriteDiff, used to push archived records to a server.
+func (r *Record) WriteDiff(k int, w io.Writer) error {
+	if k < 0 || k >= r.rec.Len() {
+		return fmt.Errorf("gpuckpt: checkpoint %d out of range [0,%d)", k, r.rec.Len())
+	}
+	return r.rec.Diff(k).Encode(w)
+}

@@ -1,0 +1,401 @@
+package gpuckpt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/server"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// startTestServer runs a ckptd server on an ephemeral port.
+func startTestServer(t *testing.T, cfg server.Config) (string, func()) {
+	t.Helper()
+	_, addr, shutdown := startTestServerH(t, cfg)
+	return addr, shutdown
+}
+
+// startTestServerH additionally returns the server handle for
+// server-side stats inspection.
+func startTestServerH(t *testing.T, cfg server.Config) (*server.Server, string, func()) {
+	t.Helper()
+	cfg.Logf = func(string, ...any) {}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	return srv, ln.Addr().String(), func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+}
+
+// mutate flips a few scattered regions of buf, checkpoint-workload
+// style: some new bytes, some shifted content, most unchanged.
+func mutate(rng *rand.Rand, buf []byte) {
+	for r := 0; r < 4; r++ {
+		off := rng.Intn(len(buf) - 512)
+		n := 64 + rng.Intn(448)
+		rng.Read(buf[off : off+n])
+	}
+	// Shift a block to create shifted duplicates.
+	src := rng.Intn(len(buf) - 2048)
+	dst := rng.Intn(len(buf) - 2048)
+	copy(buf[dst:dst+1024], buf[src:src+1024])
+}
+
+// TestClientServerEndToEnd is the acceptance test of the ckptd
+// subsystem: 8 goroutine clients concurrently push interleaved diffs
+// of distinct lineages to one server, then pull them back and restore
+// bit-exactly; STATS must report matching request counters.
+func TestClientServerEndToEnd(t *testing.T) {
+	const (
+		numClients = 8
+		numCkpts   = 4
+		bufLen     = 64 << 10
+	)
+	srv, addr, shutdown := startTestServerH(t, server.Config{Root: t.TempDir(), MaxConns: numClients + 4})
+	defer shutdown()
+
+	goldens := make([][]byte, numClients)
+	var pushedBytes [2]int64 // [0]=diff payload bytes pushed (atomic via mu)
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	errs := make(chan error, numClients)
+	for i := 0; i < numClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs <- func() error {
+				cl, err := Dial(addr, 10*time.Second)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				lineage := fmt.Sprintf("proc-%02d", i)
+
+				ck, err := New(Config{Method: MethodTree, ChunkSize: 128}, bufLen)
+				if err != nil {
+					return err
+				}
+				defer ck.Close()
+
+				rng := rand.New(rand.NewSource(int64(1000 + i)))
+				buf := make([]byte, bufLen)
+				rng.Read(buf)
+
+				// Push each diff right after producing it, so the
+				// server sees the lineages' appends interleaved.
+				for k := 0; k < numCkpts; k++ {
+					if k > 0 {
+						mutate(rng, buf)
+					}
+					if _, err := ck.Checkpoint(buf); err != nil {
+						return err
+					}
+					var enc bytes.Buffer
+					if err := ck.WriteDiff(k, &enc); err != nil {
+						return err
+					}
+					if err := cl.Push(lineage, k, enc.Bytes()); err != nil {
+						return fmt.Errorf("push %s ckpt %d: %w", lineage, k, err)
+					}
+					mu.Lock()
+					pushedBytes[0] += int64(enc.Len())
+					mu.Unlock()
+				}
+				mu.Lock()
+				goldens[i] = append([]byte(nil), buf...)
+				mu.Unlock()
+				return nil
+			}()
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Pull every lineage back over the network (one shared client, as
+	// a restore host would) and verify bit-exact restores.
+	cl, err := Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < numClients; i++ {
+		lineage := fmt.Sprintf("proc-%02d", i)
+		rec, err := cl.Pull(lineage)
+		if err != nil {
+			t.Fatalf("pull %s: %v", lineage, err)
+		}
+		if rec.Len() != numCkpts {
+			t.Fatalf("%s: pulled %d checkpoints, want %d", lineage, rec.Len(), numCkpts)
+		}
+		state, err := rec.Restore(numCkpts - 1)
+		if err != nil {
+			t.Fatalf("restore %s: %v", lineage, err)
+		}
+		if !bytes.Equal(state, goldens[i]) {
+			t.Fatalf("%s: restored buffer differs from original", lineage)
+		}
+	}
+
+	infos, err := cl.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != numClients {
+		t.Fatalf("list has %d lineages, want %d", len(infos), numClients)
+	}
+	var storedBytes int64
+	for _, in := range infos {
+		if in.Len != numCkpts {
+			t.Fatalf("lineage %s has %d checkpoints, want %d", in.Name, in.Len, numCkpts)
+		}
+		storedBytes += in.Bytes
+	}
+	if storedBytes != pushedBytes[0] {
+		t.Fatalf("server stores %d bytes, clients pushed %d", storedBytes, pushedBytes[0])
+	}
+
+	// The pushers closed their connections; wait for the server to
+	// notice (teardown is asynchronous) before sampling counters.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if srv.Stats().ActiveConns == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never drained pusher connections: %+v", srv.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact request bookkeeping: each pusher sends 1 OPEN (first Push
+	// resolves the handle) + numCkpts PUSH. The restore client sends,
+	// per lineage, 1 OPEN (Pull re-opens for a fresh length) +
+	// numCkpts PULL, then 1 LIST and this 1 STATS.
+	wantRequests := uint64(numClients*(1+numCkpts) + numClients*(1+numCkpts) + 1 + 1)
+	if st.Requests != wantRequests {
+		t.Fatalf("server served %d requests, want %d", st.Requests, wantRequests)
+	}
+	if st.Lineages != numClients {
+		t.Fatalf("stats report %d lineages", st.Lineages)
+	}
+	if st.Conns != numClients+1 || st.ActiveConns != 1 {
+		t.Fatalf("conn counters: %+v", st)
+	}
+	// Every pushed diff byte crossed the wire in, and out again on
+	// pull, plus framing overhead.
+	if st.BytesIn < uint64(pushedBytes[0]) {
+		t.Fatalf("bytesIn %d < pushed %d", st.BytesIn, pushedBytes[0])
+	}
+	if st.BytesOut < uint64(pushedBytes[0]) {
+		t.Fatalf("bytesOut %d < pulled %d", st.BytesOut, pushedBytes[0])
+	}
+}
+
+// TestClientPushCheckpointerAndRecord covers the bulk-push helpers and
+// incremental sync: only diffs the server lacks are sent.
+func TestClientPushCheckpointerAndRecord(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	defer shutdown()
+	cl, err := Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const bufLen = 32 << 10
+	ck, err := New(Config{Method: MethodTree, ChunkSize: 128}, bufLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, bufLen)
+	rng.Read(buf)
+	for k := 0; k < 3; k++ {
+		if k > 0 {
+			mutate(rng, buf)
+		}
+		if _, err := ck.Checkpoint(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n, err := cl.PushCheckpointer("bulk", ck); err != nil || n != 3 {
+		t.Fatalf("bulk push: n=%d err=%v", n, err)
+	}
+	// Re-push is an incremental no-op.
+	if n, err := cl.PushCheckpointer("bulk", ck); err != nil || n != 0 {
+		t.Fatalf("re-push: n=%d err=%v", n, err)
+	}
+	// Extend and sync only the new diff.
+	mutate(rng, buf)
+	if _, err := ck.Checkpoint(buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.PushCheckpointer("bulk", ck); err != nil || n != 1 {
+		t.Fatalf("incremental push: n=%d err=%v", n, err)
+	}
+	if n, err := cl.Len("bulk"); err != nil || n != 4 {
+		t.Fatalf("server len %d err %v", n, err)
+	}
+
+	// Pull to a Record, push the Record to a second lineage, pull
+	// again: still bit-exact.
+	rec, err := cl.Pull("bulk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cl.PushRecord("copy", rec); err != nil || n != 4 {
+		t.Fatalf("record push: n=%d err=%v", n, err)
+	}
+	rec2, err := cl.Pull("copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ck.RestoreLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec2.Restore(3)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("copied lineage restore mismatch (err %v)", err)
+	}
+	if err := rec.WriteDiff(99, &bytes.Buffer{}); err == nil {
+		t.Fatal("out-of-range WriteDiff accepted")
+	}
+}
+
+// TestClientRemoteErrors verifies clean server-side failures surface
+// as RemoteError and are not retried into duplicates.
+func TestClientRemoteErrors(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	defer shutdown()
+	cl, err := Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Pull("missing"); err == nil {
+		t.Fatal("pull of empty lineage succeeded")
+	}
+	if err := cl.Push("lin", 5, []byte("garbage")); err == nil {
+		t.Fatal("garbage push succeeded")
+	}
+	var re *RemoteError
+	if err := cl.Push("bad/name", 0, nil); err == nil {
+		t.Fatal("bad lineage name accepted")
+	} else if !errors.As(err, &re) {
+		t.Fatalf("bad name error is not remote: %v", err)
+	}
+	// The connection survives remote errors.
+	if _, err := cl.Stats(); err != nil {
+		t.Fatalf("connection dead after remote errors: %v", err)
+	}
+}
+
+// TestClientReconnects verifies retry-on-transient-error: the client
+// survives its connection being torn down between requests.
+func TestClientReconnects(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	defer shutdown()
+	cl, err := Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Len("lin"); err != nil {
+		t.Fatal(err)
+	}
+	// Sever the connection behind the client's back.
+	cl.mu.Lock()
+	cl.conn.Close()
+	cl.mu.Unlock()
+	// The next request must transparently redial.
+	if _, err := cl.Stats(); err != nil {
+		t.Fatalf("request after connection loss failed: %v", err)
+	}
+	if err := cl.Push("lin", 0, encodeFullDiff(t, 0)); err != nil {
+		t.Fatalf("push after reconnect: %v", err)
+	}
+}
+
+func encodeFullDiff(t *testing.T, ck int) []byte {
+	t.Helper()
+	ckp, err := New(Config{Method: MethodFull, ChunkSize: 128}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ckp.Close()
+	buf := make([]byte, 4096)
+	for k := 0; k <= ck; k++ {
+		if _, err := ckp.Checkpoint(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var enc bytes.Buffer
+	if err := ckp.WriteDiff(ck, &enc); err != nil {
+		t.Fatal(err)
+	}
+	return enc.Bytes()
+}
+
+// TestClientConnectionLimitError verifies the server's over-limit
+// rejection surfaces as a readable error, not a silent hang.
+func TestClientConnectionLimitError(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir(), MaxConns: 1})
+	defer shutdown()
+	c1, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := c1.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		// Acceptable: rejection during dial.
+		return
+	}
+	defer c2.Close()
+	if _, err := c2.Stats(); err == nil {
+		t.Fatal("over-limit client served")
+	}
+}
+
+// Guard against protocol drift: the version the client speaks is the
+// version the server checks.
+func TestClientProtocolVersion(t *testing.T) {
+	if wire.Version != 1 {
+		t.Fatalf("protocol version bumped to %d: update compatibility notes", wire.Version)
+	}
+}

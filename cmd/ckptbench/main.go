@@ -11,9 +11,11 @@
 //	ckptbench -exp fig4 -vertices 20000
 //	ckptbench -exp fig6 -procs 1,2,4,8,16,32,64 -csv fig6.csv
 //	ckptbench -exp all -vertices 5000 -maxk 3   # quick pass
+//	ckptbench -exp push -remote localhost:9090  # push to a ckptd server
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	gpuckpt "github.com/gpuckpt/gpuckpt"
 	"github.com/gpuckpt/gpuckpt/internal/experiments"
 	"github.com/gpuckpt/gpuckpt/internal/metrics"
 )
@@ -63,6 +66,8 @@ func run(args []string, stdout io.Writer) error {
 		verify   = fs.Bool("verify", false, "verify every restore bit-exactly")
 		csvPath  = fs.String("csv", "", "also write results as CSV to this file prefix")
 		gorder   = fs.Bool("gorder", false, "apply the Gorder pre-process (generators emit trace order natively)")
+		remote   = fs.String("remote", "", "ckptd server address (host:port) for -exp push")
+		lineage  = fs.String("lineage", "ckptbench", "lineage name on the server for -exp push")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -185,7 +190,19 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return emit("ablation", t)
 		},
+		"push": func() error {
+			if *remote == "" {
+				return fmt.Errorf("-exp push requires -remote host:port (a running ckptd)")
+			}
+			t, err := pushExperiment(*remote, *lineage, cfg)
+			if err != nil {
+				return err
+			}
+			return emit("push", t)
+		},
 	}
+	// "push" needs a live ckptd server, so "all" (the offline
+	// reproduction pass) does not include it.
 	order := []string{"table1", "fig4", "fig5", "fig6", "overhead", "ablation", "extensions", "adjoint", "headline"}
 
 	if *exp == "all" {
@@ -199,7 +216,93 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fn, ok := runs[*exp]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want one of %s, all)", *exp, strings.Join(order, ", "))
+		return fmt.Errorf("unknown experiment %q (want one of %s, push, all)", *exp, strings.Join(order, ", "))
 	}
 	return fn()
+}
+
+// pushExperiment drives the §2.3 "many writers, one storage service"
+// regime against a live ckptd: it checkpoints the ORANGES workload
+// series with the Tree method, pushes every diff to the server as it
+// is produced, pulls the lineage back and verifies the final restore
+// bit-exactly.
+func pushExperiment(remote, lineage string, cfg experiments.Config) (*metrics.Table, error) {
+	series, err := gpuckpt.BuildWorkloadSeries(gpuckpt.WorkloadConfig{
+		TargetVertices:  cfg.TargetVertices,
+		Checkpoints:     cfg.NumCheckpoints,
+		MaxGraphletSize: cfg.MaxGraphletSize,
+		Seed:            cfg.Seed,
+		Workers:         cfg.Workers,
+		ApplyGorder:     cfg.ApplyGorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ck, err := gpuckpt.New(gpuckpt.Config{
+		Method: gpuckpt.MethodTree, ChunkSize: cfg.ChunkSize, Workers: cfg.Workers,
+	}, series.DataLen)
+	if err != nil {
+		return nil, err
+	}
+	defer ck.Close()
+	cl, err := gpuckpt.Dial(remote, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	var inputBytes, pushed int64
+	for _, img := range series.Images {
+		res, err := ck.Checkpoint(img)
+		if err != nil {
+			return nil, err
+		}
+		inputBytes += res.InputBytes
+		if _, err := cl.PushCheckpointer(lineage, ck); err != nil {
+			return nil, err
+		}
+	}
+	infos, err := cl.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, in := range infos {
+		if in.Name == lineage {
+			pushed = in.Bytes
+		}
+	}
+	rec, err := cl.Pull(lineage)
+	if err != nil {
+		return nil, err
+	}
+	state, err := rec.Restore(rec.Len() - 1)
+	if err != nil {
+		return nil, err
+	}
+	verified := "OK"
+	if !bytes.Equal(state, series.Images[len(series.Images)-1]) {
+		verified = "FAILED"
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("remote push ("+remote+")",
+		"lineage", "ckpts", "input", "stored remotely", "ratio", "server reqs", "restore")
+	ratio := 0.0
+	if pushed > 0 {
+		ratio = float64(inputBytes) / float64(pushed)
+	}
+	t.Add(lineage,
+		fmt.Sprintf("%d", rec.Len()),
+		metrics.Bytes(inputBytes),
+		metrics.Bytes(pushed),
+		fmt.Sprintf("%.2fx", ratio),
+		fmt.Sprintf("%d", st.Requests),
+		verified)
+	if verified != "OK" {
+		return nil, fmt.Errorf("remote restore differs from the original buffer")
+	}
+	return t, nil
 }

@@ -2,10 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/gpuckpt/gpuckpt/internal/server"
 )
 
 func tiny(extra ...string) []string {
@@ -73,5 +77,45 @@ func TestCkptbenchErrors(t *testing.T) {
 	}
 	if err := run(tiny("-exp", "fig5", "-freqs", "3,4"), &out); err == nil {
 		t.Fatal("non-divisor frequencies accepted")
+	}
+}
+
+func TestPushCLI(t *testing.T) {
+	srv, err := server.New(server.Config{Root: t.TempDir(), Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+
+	var out bytes.Buffer
+	args := tiny("-exp", "push", "-remote", ln.Addr().String(), "-lineage", "bench-test")
+	if err := run(args, &out); err != nil {
+		t.Fatalf("push experiment: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "bench-test") || !strings.Contains(s, "OK") {
+		t.Fatalf("push output wrong:\n%s", s)
+	}
+	if st := srv.Stats(); st.Requests == 0 || st.Lineages != 1 {
+		t.Fatalf("server saw no traffic: %+v", st)
+	}
+}
+
+func TestPushCLIRequiresRemote(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "push"}, &out); err == nil {
+		t.Fatal("push without -remote accepted")
 	}
 }

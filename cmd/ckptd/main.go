@@ -1,0 +1,89 @@
+// Command ckptd is the networked checkpoint daemon: it hosts many
+// named checkpoint lineages (one FileStore directory per lineage under
+// -root) behind the framed TCP protocol of internal/wire, so that many
+// concurrent writers can drain incremental diffs into one storage
+// service — the paper's §2.3 shared parallel-file-system endpoint as a
+// Go service.
+//
+// Usage:
+//
+//	ckptd -listen :9090 -root /var/lib/ckptd
+//
+// Push lineages with the gpuckpt.Client (Dial/Push/Pull/List/Stats)
+// and restore them remotely with `restoretool -remote host:9090
+// -lineage name`. The daemon shuts down gracefully on SIGINT/SIGTERM:
+// it stops accepting, drains in-flight requests, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ckptd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ckptd", flag.ContinueOnError)
+	var (
+		listen       = fs.String("listen", ":9090", "TCP listen address")
+		root         = fs.String("root", "", "directory holding one sub-directory per lineage (required)")
+		maxConns     = fs.Int("max-conns", 64, "maximum concurrently served connections")
+		maxPayload   = fs.Uint("max-payload", 0, "maximum frame payload bytes (0 = default 256 MiB)")
+		readTimeout  = fs.Duration("read-timeout", 30*time.Second, "per-request read deadline")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "shutdown drain budget for in-flight requests")
+		quiet        = fs.Bool("quiet", false, "suppress per-connection logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *root == "" {
+		return fmt.Errorf("-root is required")
+	}
+
+	cfg := server.Config{
+		Root:         *root,
+		MaxConns:     *maxConns,
+		MaxPayload:   uint32(*maxPayload),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		DrainTimeout: *drainTimeout,
+	}
+	if *quiet {
+		cfg.Logf = func(string, ...any) {}
+	} else {
+		cfg.Logf = log.Printf
+	}
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	// The resolved address (meaningful with ":0") goes to stdout so
+	// scripts and tests can discover the port.
+	fmt.Fprintf(stdout, "ckptd: listening on %s (root %s)\n", ln.Addr(), *root)
+	err = srv.Serve(ctx, ln)
+	fmt.Fprintln(stdout, "ckptd: shut down")
+	return err
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	gpuckpt "github.com/gpuckpt/gpuckpt"
+)
+
+// startDaemon runs the ckptd entrypoint on an ephemeral port and
+// returns the resolved listen address.
+func startDaemon(t *testing.T, args []string) (string, func()) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, args, pw)
+		pw.Close()
+		done <- err
+	}()
+
+	// The first stdout line announces the resolved address.
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		cancel()
+		t.Fatalf("no startup line: %v (run: %v)", err, <-done)
+	}
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		cancel()
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	addr := strings.Fields(line[i+len(marker):])[0]
+	return addr, func() {
+		cancel()
+		go io.Copy(io.Discard, pr) // drain the shutdown message
+		if err := <-done; err != nil {
+			t.Errorf("run returned %v", err)
+		}
+	}
+}
+
+func TestCkptdServesClients(t *testing.T) {
+	addr, stop := startDaemon(t, []string{"-listen", "127.0.0.1:0", "-root", t.TempDir(), "-quiet"})
+	defer stop()
+
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if n, err := cl.Len("lineage"); err != nil || n != 0 {
+		t.Fatalf("len: %d %v", n, err)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 || st.ActiveConns != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCkptdFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-listen", "127.0.0.1:0"}, io.Discard); err == nil {
+		t.Fatal("missing -root accepted")
+	}
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestCkptdGracefulShutdown(t *testing.T) {
+	addr, stop := startDaemon(t, []string{"-listen", "127.0.0.1:0", "-root", t.TempDir(), "-quiet",
+		"-drain-timeout", "500ms"})
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	stop() // must return promptly, not hang
+}

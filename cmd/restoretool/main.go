@@ -8,6 +8,10 @@
 //	restoretool -dir lineage/ -info                  # PersistDir layout
 //	restoretool -record lineage.bin -restore 3 -o state.bin
 //	restoretool -dir lineage/ -restore 3 -verify golden.bin
+//	restoretool -remote host:9090 -lineage proc-00 -restore 3
+//
+// With -remote, the record is pulled over the network from a ckptd
+// checkpoint server (cmd/ckptd) instead of read from local files.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	gpuckpt "github.com/gpuckpt/gpuckpt"
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
@@ -35,6 +40,9 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		recordPath = fs.String("record", "", "checkpoint record file (single stream)")
 		dirPath    = fs.String("dir", "", "checkpoint lineage directory (PersistDir layout)")
+		remote     = fs.String("remote", "", "ckptd server address (host:port) to pull the lineage from")
+		lineage    = fs.String("lineage", "", "lineage name on the remote server (with -remote)")
+		timeout    = fs.Duration("timeout", 30*time.Second, "network timeout for -remote operations")
 		info       = fs.Bool("info", false, "print per-checkpoint record info")
 		restore    = fs.Int("restore", -1, "restore this checkpoint id")
 		parallel   = fs.Int("parallel", 0, "restore workers (0 = GOMAXPROCS)")
@@ -44,19 +52,51 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*recordPath == "") == (*dirPath == "") {
-		return fmt.Errorf("pass exactly one of -record or -dir")
+	sources := 0
+	for _, set := range []bool{*recordPath != "", *dirPath != "", *remote != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("pass exactly one of -record, -dir or -remote")
+	}
+	if (*remote != "") != (*lineage != "") {
+		return fmt.Errorf("-remote and -lineage go together")
 	}
 
 	// Collect the raw diff stream for the -info report.
 	var raw []byte
-	if *recordPath != "" {
+	switch {
+	case *recordPath != "":
 		var err error
 		raw, err = os.ReadFile(*recordPath)
 		if err != nil {
 			return err
 		}
-	} else {
+	case *remote != "":
+		cl, err := gpuckpt.Dial(*remote, *timeout)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		n, err := cl.Len(*lineage)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return fmt.Errorf("lineage %q on %s is empty", *lineage, *remote)
+		}
+		for ck := 0; ck < n; ck++ {
+			b, err := cl.PullDiff(*lineage, ck)
+			if err != nil {
+				return err
+			}
+			raw = append(raw, b...)
+		}
+		fmt.Fprintf(stdout, "pulled lineage %q (%d checkpoints, %s) from %s\n",
+			*lineage, n, metrics.Bytes(int64(len(raw))), *remote)
+	default:
 		store, err := checkpoint.NewFileStore(*dirPath)
 		if err != nil {
 			return err

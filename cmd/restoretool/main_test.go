@@ -2,13 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	gpuckpt "github.com/gpuckpt/gpuckpt"
+	"github.com/gpuckpt/gpuckpt/internal/server"
 )
 
 // buildLineage writes a 3-checkpoint Tree lineage and returns the
@@ -121,5 +124,63 @@ func TestRestoretoolErrors(t *testing.T) {
 	}
 	if err := run([]string{"-dir", t.TempDir(), "-info"}, &out); err == nil {
 		t.Fatal("empty dir accepted")
+	}
+}
+
+// startCkptd serves a ckptd server over root on an ephemeral port.
+func startCkptd(t *testing.T, root string) (string, func()) {
+	t.Helper()
+	srv, err := server.New(server.Config{Root: root, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	return ln.Addr().String(), func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}
+}
+
+func TestRemoteRestore(t *testing.T) {
+	_, dir, golden := buildLineage(t)
+	// Serve the lineage's parent directory: the lineage dir name
+	// becomes the lineage name.
+	addr, stop := startCkptd(t, filepath.Dir(dir))
+	defer stop()
+
+	var out bytes.Buffer
+	if err := run([]string{"-remote", addr, "-lineage", "lineage", "-info",
+		"-restore", "2", "-verify", golden}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "pulled lineage") || !strings.Contains(s, "Tree") ||
+		!strings.Contains(s, "verification OK") {
+		t.Fatalf("remote restore output wrong:\n%s", s)
+	}
+}
+
+func TestRemoteFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-remote", "127.0.0.1:1", "-info"}, &out); err == nil {
+		t.Fatal("-remote without -lineage accepted")
+	}
+	if err := run([]string{"-lineage", "x", "-info"}, &out); err == nil {
+		t.Fatal("-lineage without -remote accepted")
+	}
+	stream, _, _ := buildLineage(t)
+	if err := run([]string{"-record", stream, "-remote", "a", "-lineage", "x"}, &out); err == nil {
+		t.Fatal("two sources accepted")
+	}
+	if err := run([]string{"-remote", "127.0.0.1:1", "-lineage", "missing", "-timeout", "2s", "-info"}, &out); err == nil {
+		t.Fatal("unreachable server accepted")
 	}
 }

@@ -36,4 +36,11 @@
 // ORANGES graphlet-counting application over synthetic Table 1 input
 // graphs) through BuildWorkloadSeries, so the examples and benchmarks
 // are reproducible end to end.
+//
+// For remote storage, Client (Dial/Push/Pull/List/Stats) speaks to the
+// ckptd checkpoint server (cmd/ckptd): many processes drain their
+// diffs into one storage service over TCP and any machine can pull a
+// lineage back and restore it bit-exactly — the networked form of the
+// paper's §2.3 multi-level storage hierarchy. See the README section
+// "Running the checkpoint server".
 package gpuckpt

@@ -66,19 +66,35 @@ func A100() GPUModel {
 	}
 }
 
+// toParams converts the model to device parameters. Unset (zero)
+// fields are filled from the A100 defaults individually, so a custom
+// model that only overrides some fields — including one that leaves
+// MemBandwidth at zero — keeps its explicit values instead of being
+// silently replaced by the full default profile.
 func (m GPUModel) toParams() device.Params {
-	if m.MemBandwidth == 0 {
-		return device.A100()
+	p := device.A100()
+	if m.Name != "" {
+		p.Name = m.Name
 	}
-	return device.Params{
-		Name:                m.Name,
-		MemBandwidth:        m.MemBandwidth,
-		PCIeBandwidth:       m.PCIeBandwidth,
-		HashRate:            m.HashRate,
-		MapOpRate:           m.MapOpRate,
-		KernelLaunchLatency: m.KernelLaunchLatency,
-		MemCapacity:         m.MemCapacity,
+	if m.MemBandwidth != 0 {
+		p.MemBandwidth = m.MemBandwidth
 	}
+	if m.PCIeBandwidth != 0 {
+		p.PCIeBandwidth = m.PCIeBandwidth
+	}
+	if m.HashRate != 0 {
+		p.HashRate = m.HashRate
+	}
+	if m.MapOpRate != 0 {
+		p.MapOpRate = m.MapOpRate
+	}
+	if m.KernelLaunchLatency != 0 {
+		p.KernelLaunchLatency = m.KernelLaunchLatency
+	}
+	if m.MemCapacity != 0 {
+		p.MemCapacity = m.MemCapacity
+	}
+	return p
 }
 
 // Ablation switches off individual design choices of §2 for study.

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"github.com/gpuckpt/gpuckpt/internal/device"
 )
 
 func TestPublicAPIRoundTrip(t *testing.T) {
@@ -291,5 +293,38 @@ func TestGPUModelDefaults(t *testing.T) {
 	}
 	if len(WorkloadGraphs()) != 5 {
 		t.Fatal("workload graph list incomplete")
+	}
+}
+
+func TestGPUModelCustomFieldsSurvive(t *testing.T) {
+	def := device.A100()
+
+	// Regression: a custom model with MemBandwidth unset but other
+	// fields set used to be silently replaced by the full A100
+	// profile, discarding the explicit values.
+	custom := GPUModel{Name: "toy", PCIeBandwidth: 1e9, MemCapacity: 1 << 30}
+	p := custom.toParams()
+	if p.Name != "toy" || p.PCIeBandwidth != 1e9 || p.MemCapacity != 1<<30 {
+		t.Fatalf("explicit fields lost: %+v", p)
+	}
+	// Unset fields are filled from defaults, individually.
+	if p.MemBandwidth != def.MemBandwidth || p.HashRate != def.HashRate ||
+		p.MapOpRate != def.MapOpRate || p.KernelLaunchLatency != def.KernelLaunchLatency ||
+		p.ChunkSetupRate != def.ChunkSetupRate {
+		t.Fatalf("unset fields not defaulted: %+v", p)
+	}
+
+	// The zero model still selects the full default profile.
+	if got := (GPUModel{}).toParams(); got != def {
+		t.Fatalf("zero model: got %+v want %+v", got, def)
+	}
+
+	// A fully specified model passes through untouched.
+	full := GPUModel{Name: "x", MemBandwidth: 1, PCIeBandwidth: 2, HashRate: 3,
+		MapOpRate: 4, KernelLaunchLatency: 5, MemCapacity: 6}
+	fp := full.toParams()
+	if fp.Name != "x" || fp.MemBandwidth != 1 || fp.PCIeBandwidth != 2 ||
+		fp.HashRate != 3 || fp.MapOpRate != 4 || fp.KernelLaunchLatency != 5 || fp.MemCapacity != 6 {
+		t.Fatalf("full model mangled: %+v", fp)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // FileStore persists a checkpoint lineage as a directory of diff
@@ -14,20 +15,58 @@ import (
 // mid-checkpoint never leaves a truncated diff; on load, the sequence
 // is validated by the Record's usual geometry and ordering checks.
 //
+// A FileStore is safe for concurrent use by multiple goroutines within
+// one process: Append holds an internal mutex across the length check
+// and the rename, so two goroutines racing to append the same next id
+// yield exactly one winner (the loser gets a contiguity error instead
+// of silently overwriting the winner's file). Two FileStores opened on
+// the same directory — or two processes — are NOT coordinated; give
+// each lineage a single owner, as the ckptd server does.
+//
 // This is the bottom of the paper's storage hierarchy (§2.3): what the
 // asynchronous runtime eventually flushes to the parallel file system.
 type FileStore struct {
 	dir string
+	mu  sync.Mutex
 }
 
-const diffFileExt = ".gckp"
+const (
+	diffFileExt = ".gckp"
+	tmpPrefix   = "ckpt-"
+	tmpSuffix   = ".tmp"
+)
 
-// NewFileStore creates (or reopens) a lineage directory.
+// NewFileStore creates (or reopens) a lineage directory. Orphaned
+// temporary files from a previous crash (created but never renamed
+// into place) are swept on open; they were never part of the lineage.
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating store %s: %w", dir, err)
 	}
-	return &FileStore{dir: dir}, nil
+	fs := &FileStore{dir: dir}
+	if err := fs.sweepTemp(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// sweepTemp removes stale ckpt-*.tmp files left by a crash between
+// CreateTemp and Rename.
+func (fs *FileStore) sweepTemp() error {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: sweeping store %s: %w", fs.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, tmpPrefix) || !strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(fs.dir, name)); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("checkpoint: removing stale temp file %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Dir returns the store directory.
@@ -41,6 +80,13 @@ func (fs *FileStore) diffPath(ck int) string {
 // Len returns the number of consecutively stored diffs (0, 1, ...,
 // n-1 present).
 func (fs *FileStore) Len() (int, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.lenLocked()
+}
+
+// lenLocked is Len for callers already holding fs.mu.
+func (fs *FileStore) lenLocked() (int, error) {
 	entries, err := os.ReadDir(fs.dir)
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: reading store: %w", err)
@@ -64,16 +110,19 @@ func (fs *FileStore) Len() (int, error) {
 }
 
 // Append writes diff d as the next checkpoint file. The diff's CkptID
-// must equal the current length (contiguity).
+// must equal the current length (contiguity); concurrent appends of
+// the same id are serialized and exactly one wins.
 func (fs *FileStore) Append(d *Diff) error {
-	n, err := fs.Len()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lenLocked()
 	if err != nil {
 		return err
 	}
 	if int(d.CkptID) != n {
 		return fmt.Errorf("checkpoint: store has %d diffs, cannot append id %d", n, d.CkptID)
 	}
-	tmp, err := os.CreateTemp(fs.dir, "ckpt-*.tmp")
+	tmp, err := os.CreateTemp(fs.dir, tmpPrefix+"*"+tmpSuffix)
 	if err != nil {
 		return fmt.Errorf("checkpoint: temp file: %w", err)
 	}
@@ -92,6 +141,45 @@ func (fs *FileStore) Append(d *Diff) error {
 		return fmt.Errorf("checkpoint: publishing diff %d: %w", n, err)
 	}
 	return nil
+}
+
+// DiffBytes returns the raw encoded bytes of stored checkpoint ck,
+// exactly as Append wrote them — the zero-copy path a network server
+// uses to serve a pull without decoding.
+func (fs *FileStore) DiffBytes(ck int) ([]byte, error) {
+	fs.mu.Lock()
+	n, err := fs.lenLocked()
+	fs.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if ck < 0 || ck >= n {
+		return nil, fmt.Errorf("checkpoint: diff %d out of range [0,%d)", ck, n)
+	}
+	b, err := os.ReadFile(fs.diffPath(ck))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading diff %d: %w", ck, err)
+	}
+	return b, nil
+}
+
+// TotalBytes returns the cumulative on-disk size of the stored diffs.
+func (fs *FileStore) TotalBytes() (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, err := fs.lenLocked()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for ck := 0; ck < n; ck++ {
+		fi, err := os.Stat(fs.diffPath(ck))
+		if err != nil {
+			return 0, fmt.Errorf("checkpoint: stat diff %d: %w", ck, err)
+		}
+		total += fi.Size()
+	}
+	return total, nil
 }
 
 // Load reads the stored lineage into a restorable Record.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -146,5 +147,117 @@ func TestFileStoreWriteRecord(t *testing.T) {
 	}
 	if err := fs.WriteRecord(rec); err == nil {
 		t.Fatal("write into non-empty store accepted")
+	}
+}
+
+func TestFileStoreSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Simulate a crash between CreateTemp and Rename: a stale tmp file
+	// exists before the store is (re)opened.
+	stale := filepath.Join(dir, "ckpt-123456789.tmp")
+	if err := os.WriteFile(stale, []byte("half-written diff"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A non-tmp stray and a published diff must survive the sweep.
+	keep := filepath.Join(dir, "NOTES.txt")
+	if err := os.WriteFile(keep, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file not swept: %v", err)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatalf("sweep removed unrelated file: %v", err)
+	}
+	if err := fs.Append(storeDiff(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with a fresh stale tmp next to a real diff: only the tmp
+	// goes, the lineage stays intact.
+	if err := os.WriteFile(stale, []byte("again"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived reopen")
+	}
+	if n, _ := fs2.Len(); n != 1 {
+		t.Fatalf("sweep damaged lineage: len %d", n)
+	}
+}
+
+func TestFileStoreConcurrentAppendOneWinner(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two goroutines race to append the same next id. Exactly one may
+	// win; the loser must see a contiguity error, and exactly one file
+	// must exist afterwards. The ckptd server relies on this.
+	const racers = 8
+	errs := make(chan error, racers)
+	var start sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < racers; g++ {
+		tag := byte(g + 1)
+		go func() {
+			start.Wait()
+			errs <- fs.Append(storeDiff(0, tag))
+		}()
+	}
+	start.Done()
+	var wins, losses int
+	for g := 0; g < racers; g++ {
+		if err := <-errs; err == nil {
+			wins++
+		} else {
+			losses++
+		}
+	}
+	if wins != 1 || losses != racers-1 {
+		t.Fatalf("got %d winners, %d losers; want exactly 1 winner", wins, losses)
+	}
+	if n, _ := fs.Len(); n != 1 {
+		t.Fatalf("store holds %d diffs after race, want 1", n)
+	}
+	files, _ := fs.Files()
+	if len(files) != 1 {
+		t.Fatalf("store holds %d files after race, want 1", len(files))
+	}
+}
+
+func TestFileStoreDiffBytes(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := storeDiff(0, 7)
+	var want bytes.Buffer
+	if err := d.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.DiffBytes(0)
+	if err != nil || !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("DiffBytes mismatch: %d vs %d bytes, err %v", len(got), want.Len(), err)
+	}
+	if _, err := fs.DiffBytes(1); err == nil {
+		t.Fatal("out-of-range DiffBytes accepted")
+	}
+	if _, err := fs.DiffBytes(-1); err == nil {
+		t.Fatal("negative DiffBytes accepted")
+	}
+	total, err := fs.TotalBytes()
+	if err != nil || total != int64(want.Len()) {
+		t.Fatalf("TotalBytes %d, want %d (err %v)", total, want.Len(), err)
 	}
 }

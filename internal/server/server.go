@@ -1,0 +1,427 @@
+// Package server implements ckptd, the networked checkpoint service:
+// a concurrent TCP server hosting many named checkpoint lineages, each
+// backed by a checkpoint.FileStore directory under a common root.
+//
+// This is the paper's §2.3 storage endpoint made into a real service:
+// many processes drain their incremental diffs into one storage node,
+// the "many concurrent writers, one parallel file system" regime of
+// Figure 3. The protocol is the framed binary transport of
+// internal/wire; concurrency control is one mutex per lineage
+// (FileStore.Append is contiguous, so interleaved writers must be
+// serialized per lineage while distinct lineages proceed in parallel).
+//
+// Operational guardrails: a connection limit (excess connections are
+// greeted, told the limit was reached, and closed), per-request read
+// and write deadlines, a maximum frame size, graceful shutdown on
+// context cancel (stop accepting, drain in-flight requests, then force
+// close), and atomic counters served via the STATS request.
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Root is the directory holding one FileStore sub-directory per
+	// lineage. Required.
+	Root string
+	// MaxConns bounds concurrently served connections (default 64).
+	MaxConns int
+	// MaxPayload bounds a request/response payload in bytes
+	// (default wire.DefaultMaxPayload).
+	MaxPayload uint32
+	// ReadTimeout is the per-frame read deadline: how long a connected
+	// client may stay idle between requests (default 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout is the per-response write deadline (default 30s).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long shutdown waits for in-flight
+	// requests before force-closing connections (default 5s).
+	DrainTimeout time.Duration
+	// Logf sinks server logs (default log.Printf; use a no-op in
+	// tests).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.MaxPayload == 0 {
+		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+}
+
+// lineage is one named checkpoint lineage: a FileStore plus the mutex
+// that serializes its contiguous appends.
+type lineage struct {
+	name  string
+	mu    sync.Mutex
+	store *checkpoint.FileStore
+}
+
+// Server hosts checkpoint lineages over the wire protocol.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	byName   map[string]uint32
+	lineages []*lineage
+
+	// Atomic counters, served via TStats.
+	requests    atomic.Uint64
+	bytesIn     atomic.Uint64
+	bytesOut    atomic.Uint64
+	activeConns atomic.Uint64
+	conns       atomic.Uint64
+
+	// conn tracking for forced shutdown
+	connMu    sync.Mutex
+	openConns map[net.Conn]struct{}
+}
+
+// New creates a Server over cfg.Root, reopening any lineages already
+// on disk (each sub-directory of Root is a lineage).
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	if cfg.Root == "" {
+		return nil, errors.New("server: Root directory is required")
+	}
+	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating root: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		byName:    make(map[string]uint32),
+		openConns: make(map[net.Conn]struct{}),
+	}
+	entries, err := os.ReadDir(cfg.Root)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading root: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, _, err := s.open(e.Name()); err != nil {
+			return nil, fmt.Errorf("server: reopening lineage %s: %w", e.Name(), err)
+		}
+	}
+	return s, nil
+}
+
+// validName rejects lineage names that would escape the root or break
+// the on-disk layout.
+func validName(name string) error {
+	if name == "" || len(name) > 255 {
+		return fmt.Errorf("server: invalid lineage name length %d", len(name))
+	}
+	if strings.ContainsAny(name, "/\\\x00") || name == "." || name == ".." {
+		return fmt.Errorf("server: invalid lineage name %q", name)
+	}
+	return nil
+}
+
+// open resolves a lineage name to its handle, creating the backing
+// store on first use, and returns the current lineage length.
+func (s *Server) open(name string) (uint32, int, error) {
+	if err := validName(name); err != nil {
+		return 0, 0, err
+	}
+	s.mu.Lock()
+	h, ok := s.byName[name]
+	if !ok {
+		store, err := checkpoint.NewFileStore(filepath.Join(s.cfg.Root, name))
+		if err != nil {
+			s.mu.Unlock()
+			return 0, 0, err
+		}
+		h = uint32(len(s.lineages))
+		s.byName[name] = h
+		s.lineages = append(s.lineages, &lineage{name: name, store: store})
+	}
+	ln := s.lineages[h]
+	s.mu.Unlock()
+	n, err := ln.store.Len()
+	if err != nil {
+		return 0, 0, err
+	}
+	return h, n, nil
+}
+
+// get returns the lineage for a handle.
+func (s *Server) get(h uint32) (*lineage, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(h) >= len(s.lineages) {
+		return nil, fmt.Errorf("server: unknown lineage handle %d", h)
+	}
+	return s.lineages[h], nil
+}
+
+// snapshot lists all lineages for TList.
+func (s *Server) snapshot() []*lineage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*lineage, len(s.lineages))
+	copy(out, s.lineages)
+	return out
+}
+
+// Stats returns the current counters.
+func (s *Server) Stats() wire.Stats {
+	s.mu.Lock()
+	nLineages := len(s.lineages)
+	s.mu.Unlock()
+	return wire.Stats{
+		Requests:    s.requests.Load(),
+		BytesIn:     s.bytesIn.Load(),
+		BytesOut:    s.bytesOut.Load(),
+		ActiveConns: s.activeConns.Load(),
+		Conns:       s.conns.Load(),
+		Lineages:    uint64(nLineages),
+	}
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then drains
+// in-flight requests (up to DrainTimeout) and returns. The listener is
+// closed on return.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
+		ln.Close()
+	}()
+	defer close(stop)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				break // graceful shutdown
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.conns.Add(1)
+		if int(s.activeConns.Add(1)) > s.cfg.MaxConns {
+			s.activeConns.Add(^uint64(0))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.rejectConn(conn)
+			}()
+			continue
+		}
+		s.trackConn(conn, true)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer s.activeConns.Add(^uint64(0))
+			defer s.trackConn(conn, false)
+			s.handleConn(ctx, conn)
+		}()
+	}
+
+	// Drain: give in-flight requests DrainTimeout, then force-close.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.connMu.Lock()
+		for c := range s.openConns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		<-done
+	}
+	return nil
+}
+
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.connMu.Lock()
+	if add {
+		s.openConns[c] = struct{}{}
+	} else {
+		delete(s.openConns, c)
+	}
+	s.connMu.Unlock()
+}
+
+// rejectConn greets an over-limit client and tells it the limit was
+// reached, so it sees a clean remote error instead of a bare EOF.
+func (s *Server) rejectConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if _, err := wire.ReadHello(conn); err != nil {
+		return
+	}
+	s.bytesIn.Add(wire.HelloSize)
+	if err := wire.WriteHello(conn); err != nil {
+		return
+	}
+	s.bytesOut.Add(wire.HelloSize)
+	f := &wire.Frame{Type: wire.TErr, Status: wire.StatusErr,
+		Payload: []byte(fmt.Sprintf("server: connection limit %d reached", s.cfg.MaxConns))}
+	if wire.WriteFrame(conn, f) == nil {
+		s.bytesOut.Add(uint64(f.WireSize()))
+	}
+}
+
+// handleConn runs the request loop of one connection.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	caddr := conn.RemoteAddr().String()
+
+	// Handshake under a deadline.
+	conn.SetDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	if _, err := wire.ReadHello(conn); err != nil {
+		s.cfg.Logf("server: %s: handshake: %v", caddr, err)
+		return
+	}
+	s.bytesIn.Add(wire.HelloSize)
+	if err := wire.WriteHello(conn); err != nil {
+		return
+	}
+	s.bytesOut.Add(wire.HelloSize)
+
+	for ctx.Err() == nil {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		req, err := wire.ReadFrame(conn, s.cfg.MaxPayload)
+		if err != nil {
+			if err != io.EOF && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+				s.cfg.Logf("server: %s: read: %v", caddr, err)
+			}
+			return
+		}
+		s.requests.Add(1)
+		s.bytesIn.Add(uint64(req.WireSize()))
+
+		resp := s.dispatch(req)
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := wire.WriteFrame(conn, resp); err != nil {
+			s.cfg.Logf("server: %s: write: %v", caddr, err)
+			return
+		}
+		s.bytesOut.Add(uint64(resp.WireSize()))
+	}
+}
+
+// dispatch serves one request and returns the response frame. Request
+// failures come back as StatusErr responses on the same connection;
+// only transport errors tear the connection down.
+func (s *Server) dispatch(req *wire.Frame) *wire.Frame {
+	resp, err := s.serve(req)
+	if err != nil {
+		return &wire.Frame{Type: req.Type, Status: wire.StatusErr, Payload: []byte(err.Error())}
+	}
+	resp.Type = req.Type
+	resp.Status = wire.StatusOK
+	return resp
+}
+
+func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
+	switch req.Type {
+	case wire.TOpen:
+		h, n, err := s.open(string(req.Payload))
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Frame{Lineage: h, Ckpt: uint32(n)}, nil
+
+	case wire.TPush:
+		ln, err := s.get(req.Lineage)
+		if err != nil {
+			return nil, err
+		}
+		// Decode-validate before touching the store: a malformed diff
+		// must never become a lineage file.
+		d, err := checkpoint.Decode(bytes.NewReader(req.Payload))
+		if err != nil {
+			return nil, fmt.Errorf("server: push lineage %q: %w", ln.name, err)
+		}
+		if d.CkptID != req.Ckpt {
+			return nil, fmt.Errorf("server: push frame ckpt %d but diff id %d", req.Ckpt, d.CkptID)
+		}
+		ln.mu.Lock()
+		defer ln.mu.Unlock()
+		if err := ln.store.Append(d); err != nil {
+			return nil, err
+		}
+		return &wire.Frame{Lineage: req.Lineage, Ckpt: req.Ckpt + 1}, nil
+
+	case wire.TPull:
+		ln, err := s.get(req.Lineage)
+		if err != nil {
+			return nil, err
+		}
+		ln.mu.Lock()
+		b, err := ln.store.DiffBytes(int(req.Ckpt))
+		ln.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("server: pull lineage %q: %w", ln.name, err)
+		}
+		return &wire.Frame{Lineage: req.Lineage, Ckpt: req.Ckpt, Payload: b}, nil
+
+	case wire.TList:
+		lineages := s.snapshot()
+		infos := make([]wire.LineageInfo, 0, len(lineages))
+		for _, ln := range lineages {
+			ln.mu.Lock()
+			n, err := ln.store.Len()
+			var total int64
+			if err == nil {
+				total, err = ln.store.TotalBytes()
+			}
+			ln.mu.Unlock()
+			if err != nil {
+				return nil, fmt.Errorf("server: list lineage %q: %w", ln.name, err)
+			}
+			infos = append(infos, wire.LineageInfo{Name: ln.name, Len: uint32(n), Bytes: uint64(total)})
+		}
+		return &wire.Frame{Payload: wire.EncodeList(infos)}, nil
+
+	case wire.TStats:
+		st := s.Stats()
+		return &wire.Frame{Payload: st.Encode()}, nil
+
+	default:
+		return nil, fmt.Errorf("server: unknown request type 0x%02x", req.Type)
+	}
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+func quiet(cfg Config) Config {
+	cfg.Logf = func(string, ...any) {}
+	return cfg
+}
+
+// startServer runs a server on an ephemeral port and returns its
+// address plus a shutdown func that waits for Serve to return.
+func startServer(t *testing.T, cfg Config) (*Server, string, func()) {
+	t.Helper()
+	srv, err := New(quiet(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	stop := func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	}
+	return srv, ln.Addr().String(), stop
+}
+
+// testConn dials and handshakes a raw protocol connection.
+func testConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.Handshake(conn); err != nil {
+		conn.Close()
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func call(t *testing.T, conn net.Conn, req *wire.Frame) *wire.Frame {
+	t.Helper()
+	if err := wire.WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func encodedDiff(t *testing.T, ck int, tag byte) []byte {
+	t.Helper()
+	d := &checkpoint.Diff{Method: checkpoint.MethodFull, CkptID: uint32(ck),
+		DataLen: 64, ChunkSize: 16, Data: bytes.Repeat([]byte{tag}, 64)}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestServerOpenPushPull(t *testing.T) {
+	root := t.TempDir()
+	_, addr, stop := startServer(t, Config{Root: root})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("lin-a")})
+	if open.Status != wire.StatusOK || open.Ckpt != 0 {
+		t.Fatalf("open: %+v", open)
+	}
+	h := open.Lineage
+
+	enc := encodedDiff(t, 0, 0xAA)
+	push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: 0, Payload: enc})
+	if push.Status != wire.StatusOK || push.Ckpt != 1 {
+		t.Fatalf("push: %+v (%s)", push, push.Payload)
+	}
+
+	pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: 0})
+	if pull.Status != wire.StatusOK || !bytes.Equal(pull.Payload, enc) {
+		t.Fatalf("pull returned %d bytes, want %d", len(pull.Payload), len(enc))
+	}
+
+	// The lineage landed as a FileStore directory under root.
+	if _, err := os.Stat(filepath.Join(root, "lin-a", "ckpt-000000.gckp")); err != nil {
+		t.Fatalf("lineage file missing: %v", err)
+	}
+
+	list := call(t, conn, &wire.Frame{Type: wire.TList})
+	infos, err := wire.DecodeList(list.Payload)
+	if err != nil || len(infos) != 1 || infos[0].Name != "lin-a" || infos[0].Len != 1 {
+		t.Fatalf("list: %+v err %v", infos, err)
+	}
+	if infos[0].Bytes != uint64(len(enc)) {
+		t.Fatalf("list bytes %d, want %d", infos[0].Bytes, len(enc))
+	}
+}
+
+func TestServerRequestErrors(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	cases := []*wire.Frame{
+		{Type: wire.TOpen, Payload: []byte("../escape")},      // bad name
+		{Type: wire.TOpen, Payload: []byte("a/b")},            // path separator
+		{Type: wire.TOpen},                                    // empty name
+		{Type: wire.TPush, Lineage: 99, Payload: []byte("x")}, // unknown handle
+		{Type: wire.TPull, Lineage: 99},                       // unknown handle
+		{Type: 0x77},                                          // unknown type
+	}
+	for _, req := range cases {
+		resp := call(t, conn, req)
+		if resp.Status != wire.StatusErr {
+			t.Fatalf("request %+v succeeded: %+v", req, resp)
+		}
+	}
+
+	// A malformed diff must be rejected before touching the store.
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("lin")})
+	resp := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0, Payload: []byte("garbage")})
+	if resp.Status != wire.StatusErr {
+		t.Fatal("garbage diff accepted")
+	}
+	// Frame ckpt id and diff id must agree.
+	resp = call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 1, Payload: encodedDiff(t, 0, 1)})
+	if resp.Status != wire.StatusErr {
+		t.Fatal("mismatched ckpt id accepted")
+	}
+	// Non-contiguous push.
+	resp = call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 5, Payload: encodedDiff(t, 5, 1)})
+	if resp.Status != wire.StatusErr {
+		t.Fatal("non-contiguous push accepted")
+	}
+	// The connection survives request errors.
+	if st := call(t, conn, &wire.Frame{Type: wire.TStats}); st.Status != wire.StatusOK {
+		t.Fatal("connection broken after request errors")
+	}
+}
+
+func TestServerReopensLineages(t *testing.T) {
+	root := t.TempDir()
+	_, addr, stop := startServer(t, Config{Root: root})
+	conn := testConn(t, addr)
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("persisted")})
+	call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0, Payload: encodedDiff(t, 0, 3)})
+	conn.Close()
+	stop()
+
+	// A fresh server over the same root sees the lineage and its diff.
+	_, addr2, stop2 := startServer(t, Config{Root: root})
+	defer stop2()
+	conn2 := testConn(t, addr2)
+	defer conn2.Close()
+	open2 := call(t, conn2, &wire.Frame{Type: wire.TOpen, Payload: []byte("persisted")})
+	if open2.Status != wire.StatusOK || open2.Ckpt != 1 {
+		t.Fatalf("reopened lineage: %+v", open2)
+	}
+}
+
+func TestServerConnectionLimit(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir(), MaxConns: 2})
+	defer stop()
+
+	c1 := testConn(t, addr)
+	defer c1.Close()
+	c2 := testConn(t, addr)
+	defer c2.Close()
+	// Ensure both are fully admitted before over-subscribing.
+	call(t, c1, &wire.Frame{Type: wire.TStats})
+	call(t, c2, &wire.Frame{Type: wire.TStats})
+
+	// The third connection is greeted, then refused with a TErr frame.
+	c3, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	c3.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.Handshake(c3); err != nil {
+		t.Fatalf("over-limit handshake failed: %v", err)
+	}
+	f, err := wire.ReadFrame(c3, 0)
+	if err != nil {
+		t.Fatalf("over-limit conn: %v", err)
+	}
+	if f.Type != wire.TErr || f.Status != wire.StatusErr {
+		t.Fatalf("over-limit conn got %+v", f)
+	}
+
+	// Releasing a slot admits new connections again.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c4, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c4.SetDeadline(time.Now().Add(5 * time.Second))
+			if wire.Handshake(c4) == nil {
+				if err := wire.WriteFrame(c4, &wire.Frame{Type: wire.TStats}); err == nil {
+					if resp, err := wire.ReadFrame(c4, 0); err == nil && resp.Status == wire.StatusOK {
+						c4.Close()
+						break
+					}
+				}
+			}
+			c4.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never released")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	srv, addr, stop := startServer(t, Config{Root: t.TempDir(), DrainTimeout: time.Second})
+	conn := testConn(t, addr)
+	defer conn.Close()
+	call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("x")})
+	stop() // cancels ctx; Serve must return without error
+
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+	st := srv.Stats()
+	if st.Requests == 0 || st.Conns == 0 {
+		t.Fatalf("counters empty after traffic: %+v", st)
+	}
+}
+
+func TestServerStatsCounters(t *testing.T) {
+	srv, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("s")})
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("s")})
+	enc := encodedDiff(t, 0, 9)
+	call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0, Payload: enc})
+	resp := call(t, conn, &wire.Frame{Type: wire.TStats})
+	st, err := wire.DecodeStats(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 4 {
+		t.Fatalf("requests %d, want 4", st.Requests)
+	}
+	if st.ActiveConns != 1 || st.Conns != 1 || st.Lineages != 1 {
+		t.Fatalf("conn/lineage counters: %+v", st)
+	}
+	// Bytes in: hello + 4 request frames (two opens carry "s", push
+	// carries the diff).
+	wantIn := uint64(wire.HelloSize + 4*wire.HeaderSize + 1 + 1 + len(enc))
+	if st.BytesIn != wantIn {
+		t.Fatalf("bytesIn %d, want %d", st.BytesIn, wantIn)
+	}
+	if st.BytesOut == 0 {
+		t.Fatal("bytesOut not counted")
+	}
+	if got := srv.Stats(); got.Requests < st.Requests {
+		t.Fatalf("server-side stats regressed: %+v", got)
+	}
+}
+
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir(), MaxPayload: 128})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+	// A frame over the server's payload limit tears the connection
+	// down (the server cannot trust the stream afterwards).
+	err := wire.WriteFrame(conn, &wire.Frame{Type: wire.TOpen, Payload: make([]byte, 4096)})
+	if err != nil {
+		t.Skipf("write failed early: %v", err)
+	}
+	if _, err := wire.ReadFrame(conn, 0); err == nil {
+		t.Fatal("oversized frame answered")
+	}
+}
+
+func TestServerBadHandshake(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a non-protocol client")
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty root accepted")
+	}
+}

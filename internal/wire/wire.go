@@ -1,0 +1,291 @@
+// Package wire defines the framed binary protocol spoken between the
+// ckptd checkpoint server and its clients.
+//
+// The protocol is deliberately minimal — the shape of blox's
+// WriteFrame/ReadFrame transport: a fixed-size big-endian frame header
+// carrying a request type, a status byte, two 32-bit ids (lineage
+// handle and checkpoint id) and the payload length, followed by the
+// payload bytes. A connection starts with a 6-byte hello exchange
+// (magic + protocol version + flags) in both directions; every frame
+// read is guarded by a configurable maximum payload size so a corrupt
+// or hostile peer cannot demand an unbounded allocation.
+//
+// Request/response pairing is strictly sequential per connection: the
+// client writes one request frame and reads exactly one response frame
+// (Status reports success or failure; error responses carry the
+// message in the payload). This keeps the server loop trivial and
+// makes the client's retry-on-transient-error logic safe: a broken
+// connection can always be replayed by re-sending the request on a
+// fresh connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	// Magic opens every hello ("CKPD" big-endian).
+	Magic uint32 = 0x434b5044
+	// Version is the protocol version negotiated by the hello
+	// exchange. Peers with different versions refuse the connection.
+	Version uint8 = 1
+	// HeaderSize is the fixed frame header length in bytes.
+	HeaderSize = 14
+	// HelloSize is the handshake message length in bytes.
+	HelloSize = 6
+	// DefaultMaxPayload bounds a frame payload unless overridden: 256
+	// MiB comfortably holds any realistic encoded diff while keeping a
+	// lying length field from demanding gigabytes.
+	DefaultMaxPayload = 256 << 20
+)
+
+// Frame types (requests and their responses share the type byte).
+const (
+	// TOpen resolves a lineage name (payload) to a numeric handle; the
+	// response carries the handle in Lineage and the current number of
+	// stored checkpoints in Ckpt.
+	TOpen uint8 = iota + 1
+	// TPush appends one encoded diff (payload) as checkpoint Ckpt of
+	// lineage Lineage; the response's Ckpt is the new length.
+	TPush
+	// TPull fetches the encoded diff of checkpoint Ckpt of lineage
+	// Lineage into the response payload.
+	TPull
+	// TList returns the server's lineage directory (EncodeList).
+	TList
+	// TStats returns the server's counters (Stats.Encode).
+	TStats
+	// TErr is an unsolicited server error (e.g. connection limit
+	// reached), sent without a matching request.
+	TErr uint8 = 0xFF
+)
+
+// Status bytes.
+const (
+	// StatusOK marks a successful response.
+	StatusOK uint8 = 0
+	// StatusErr marks a failed response; the payload holds the error
+	// message.
+	StatusErr uint8 = 1
+)
+
+// Errors.
+var (
+	// ErrBadMagic reports a hello that does not start with Magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrPayloadTooLarge reports a frame whose declared payload
+	// exceeds the reader's limit.
+	ErrPayloadTooLarge = errors.New("wire: payload exceeds frame limit")
+)
+
+// Frame is one protocol message in either direction.
+type Frame struct {
+	Type    uint8
+	Status  uint8
+	Lineage uint32 // lineage handle (TPush/TPull) or assigned handle (TOpen response)
+	Ckpt    uint32 // checkpoint id or lineage length, per Type
+	Payload []byte
+}
+
+// WireSize returns the number of bytes the frame occupies on the wire.
+func (f *Frame) WireSize() int64 { return HeaderSize + int64(len(f.Payload)) }
+
+// Err returns the error carried by a StatusErr frame, or nil.
+func (f *Frame) Err() error {
+	if f.Status == StatusOK {
+		return nil
+	}
+	return &RemoteError{Msg: string(f.Payload)}
+}
+
+// RemoteError is a failure reported by the peer through a StatusErr
+// frame. It is a clean protocol-level outcome — the connection is
+// still usable — so clients must not treat it as transient.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// WriteHello writes the 6-byte handshake: magic, version, flags.
+func WriteHello(w io.Writer) error {
+	var b [HelloSize]byte
+	binary.BigEndian.PutUint32(b[0:], Magic)
+	b[4] = Version
+	b[5] = 0 // flags, reserved
+	if _, err := w.Write(b[:]); err != nil {
+		return fmt.Errorf("wire: write hello: %w", err)
+	}
+	return nil
+}
+
+// ReadHello reads and validates the peer's handshake, returning the
+// peer's protocol version.
+func ReadHello(r io.Reader) (uint8, error) {
+	var b [HelloSize]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, fmt.Errorf("wire: read hello: %w", err)
+	}
+	if binary.BigEndian.Uint32(b[0:]) != Magic {
+		return 0, ErrBadMagic
+	}
+	return b[4], nil
+}
+
+// Handshake performs one side of the hello exchange: write ours, read
+// theirs, and require an exact version match.
+func Handshake(rw io.ReadWriter) error {
+	if err := WriteHello(rw); err != nil {
+		return err
+	}
+	v, err := ReadHello(rw)
+	if err != nil {
+		return err
+	}
+	if v != Version {
+		return fmt.Errorf("wire: protocol version mismatch: peer %d, ours %d", v, Version)
+	}
+	return nil
+}
+
+// WriteFrame writes f as header + payload. The header and payload are
+// written separately; both sides buffer their connections, so this
+// does not translate into small packets.
+func WriteFrame(w io.Writer, f *Frame) error {
+	var hdr [HeaderSize]byte
+	hdr[0] = f.Type
+	hdr[1] = f.Status
+	binary.BigEndian.PutUint32(hdr[2:], f.Lineage)
+	binary.BigEndian.PutUint32(hdr[6:], f.Ckpt)
+	binary.BigEndian.PutUint32(hdr[10:], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("wire: write frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, rejecting payloads larger than maxPayload
+// (0 selects DefaultMaxPayload) before allocating anything.
+func ReadFrame(r io.Reader, maxPayload uint32) (*Frame, error) {
+	if maxPayload == 0 {
+		maxPayload = DefaultMaxPayload
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Type:    hdr[0],
+		Status:  hdr[1],
+		Lineage: binary.BigEndian.Uint32(hdr[2:]),
+		Ckpt:    binary.BigEndian.Uint32(hdr[6:]),
+	}
+	n := binary.BigEndian.Uint32(hdr[10:])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, n, maxPayload)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, fmt.Errorf("wire: read frame payload: %w", err)
+		}
+	}
+	return f, nil
+}
+
+// LineageInfo is one entry of the TList response.
+type LineageInfo struct {
+	Name  string
+	Len   uint32 // number of stored checkpoints
+	Bytes uint64 // total stored diff bytes
+}
+
+// EncodeList serializes a TList response payload.
+func EncodeList(infos []LineageInfo) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(infos)))
+	for _, in := range infos {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(in.Name)))
+		buf = append(buf, in.Name...)
+		buf = binary.BigEndian.AppendUint32(buf, in.Len)
+		buf = binary.BigEndian.AppendUint64(buf, in.Bytes)
+	}
+	return buf
+}
+
+// DecodeList parses a TList response payload.
+func DecodeList(b []byte) ([]LineageInfo, error) {
+	if len(b) < 4 {
+		return nil, errors.New("wire: truncated lineage list")
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	infos := make([]LineageInfo, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 2 {
+			return nil, errors.New("wire: truncated lineage entry")
+		}
+		nameLen := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < nameLen+12 {
+			return nil, errors.New("wire: truncated lineage entry")
+		}
+		infos = append(infos, LineageInfo{
+			Name:  string(b[:nameLen]),
+			Len:   binary.BigEndian.Uint32(b[nameLen:]),
+			Bytes: binary.BigEndian.Uint64(b[nameLen+4:]),
+		})
+		b = b[nameLen+12:]
+	}
+	if len(b) != 0 {
+		return nil, errors.New("wire: trailing bytes after lineage list")
+	}
+	return infos, nil
+}
+
+// Stats is the TStats response: the server's atomic counters.
+type Stats struct {
+	// Requests counts frames the server accepted as requests
+	// (including the TStats request that reported them).
+	Requests uint64
+	// BytesIn / BytesOut count frame bytes (header + payload) received
+	// from and sent to clients, hellos included.
+	BytesIn, BytesOut uint64
+	// ActiveConns is the number of connections currently being served.
+	ActiveConns uint64
+	// Conns counts connections accepted over the server's lifetime.
+	Conns uint64
+	// Lineages is the number of opened lineages.
+	Lineages uint64
+}
+
+const statsSize = 6 * 8
+
+// Encode serializes the stats counters.
+func (s *Stats) Encode() []byte {
+	buf := make([]byte, 0, statsSize)
+	for _, v := range [...]uint64{s.Requests, s.BytesIn, s.BytesOut, s.ActiveConns, s.Conns, s.Lineages} {
+		buf = binary.BigEndian.AppendUint64(buf, v)
+	}
+	return buf
+}
+
+// DecodeStats parses a TStats response payload.
+func DecodeStats(b []byte) (Stats, error) {
+	if len(b) != statsSize {
+		return Stats{}, fmt.Errorf("wire: stats payload %d bytes, want %d", len(b), statsSize)
+	}
+	var s Stats
+	for i, p := range [...]*uint64{&s.Requests, &s.BytesIn, &s.BytesOut, &s.ActiveConns, &s.Conns, &s.Lineages} {
+		*p = binary.BigEndian.Uint64(b[8*i:])
+	}
+	return s, nil
+}

@@ -1,0 +1,169 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []*Frame{
+		{Type: TOpen, Payload: []byte("lineage-a")},
+		{Type: TPush, Lineage: 7, Ckpt: 3, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Type: TPull, Lineage: 1, Ckpt: 0},
+		{Type: TStats, Status: StatusOK},
+		{Type: TErr, Status: StatusErr, Payload: []byte("boom")},
+	}
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || got.Status != want.Status ||
+			got.Lineage != want.Lineage || got.Ckpt != want.Ckpt ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame mismatch: got %+v want %+v", got, want)
+		}
+		if got.WireSize() != HeaderSize+int64(len(want.Payload)) {
+			t.Fatalf("wire size %d", got.WireSize())
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes", buf.Len())
+	}
+}
+
+func TestFrameMaxPayloadGuard(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: TPush, Payload: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(&buf, 64); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("oversized payload accepted: %v", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: TPull, Payload: []byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{0, 3, HeaderSize, HeaderSize + 2} {
+		if _, err := ReadFrame(bytes.NewReader(raw[:cut]), 0); err == nil {
+			t.Fatalf("truncated frame (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestHelloExchange(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != HelloSize {
+		t.Fatalf("hello is %d bytes, want %d", buf.Len(), HelloSize)
+	}
+	v, err := ReadHello(&buf)
+	if err != nil || v != Version {
+		t.Fatalf("hello round trip: v=%d err=%v", v, err)
+	}
+	if _, err := ReadHello(bytes.NewReader([]byte("notckpd"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+	if _, err := ReadHello(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+// pipeRW adapts separate read/write ends into an io.ReadWriter.
+type pipeRW struct {
+	io.Reader
+	io.Writer
+}
+
+func TestHandshake(t *testing.T) {
+	// The peer's hello is already in flight (as over a buffered TCP
+	// socket); Handshake writes ours and validates theirs.
+	var peer, ours bytes.Buffer
+	if err := WriteHello(&peer); err != nil {
+		t.Fatal(err)
+	}
+	if err := Handshake(pipeRW{&peer, &ours}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadHello(&ours)
+	if err != nil || v != Version {
+		t.Fatalf("handshake wrote bad hello: v=%d err=%v", v, err)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	var peer bytes.Buffer
+	b := []byte{0x43, 0x4b, 0x50, 0x44, Version + 1, 0}
+	peer.Write(b)
+	var out bytes.Buffer
+	err := Handshake(pipeRW{&peer, &out})
+	if err == nil {
+		t.Fatal("version mismatch accepted")
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	infos := []LineageInfo{
+		{Name: "alpha", Len: 4, Bytes: 123456},
+		{Name: "a/b-c_d", Len: 0, Bytes: 0},
+		{Name: "", Len: 1, Bytes: 1},
+	}
+	got, err := DecodeList(EncodeList(infos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(infos) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i := range infos {
+		if got[i] != infos[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], infos[i])
+		}
+	}
+	if empty, err := DecodeList(EncodeList(nil)); err != nil || len(empty) != 0 {
+		t.Fatalf("empty list round trip: %v %v", empty, err)
+	}
+	for _, bad := range [][]byte{{}, {0, 0, 0, 1}, append(EncodeList(infos), 0)} {
+		if _, err := DecodeList(bad); err == nil {
+			t.Fatalf("corrupt list %v accepted", bad)
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	s := Stats{Requests: 1, BytesIn: 2, BytesOut: 3, ActiveConns: 4, Conns: 5, Lineages: 6}
+	got, err := DecodeStats(s.Encode())
+	if err != nil || got != s {
+		t.Fatalf("stats round trip: %+v %v", got, err)
+	}
+	if _, err := DecodeStats([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short stats accepted")
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	f := &Frame{Type: TPush, Status: StatusErr, Payload: []byte("no such lineage")}
+	err := f.Err()
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "no such lineage" {
+		t.Fatalf("err = %v", err)
+	}
+	ok := &Frame{Type: TPush, Status: StatusOK}
+	if ok.Err() != nil {
+		t.Fatal("ok frame reported error")
+	}
+}
