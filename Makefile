@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-smoke bench-json
 
-ci: fmt vet build race
+ci: fmt vet build race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -28,3 +28,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-smoke keeps every benchmark compiling and running (one
+# iteration each) so perf-tracking code cannot rot unnoticed.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# bench-json regenerates BENCH_hotpath.json with full measured runs of
+# the HotPath suite (ns/op, B/op, allocs/op, real GB/s per method).
+bench-json:
+	GPUCKPT_BENCH_JSON=BENCH_hotpath.json $(GO) test -run TestWriteHotPathBenchJSON -v .

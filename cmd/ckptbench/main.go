@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -68,9 +70,38 @@ func run(args []string, stdout io.Writer) error {
 		gorder   = fs.Bool("gorder", false, "apply the Gorder pre-process (generators emit trace order natively)")
 		remote   = fs.String("remote", "", "ckptd server address (host:port) for -exp push")
 		lineage  = fs.String("lineage", "ckptbench", "lineage name on the server for -exp push")
+		pipeline = fs.Bool("pipeline", false, "overlap each checkpoint's store with the next one's dedup (CheckpointAsync)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ckptbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ckptbench: -memprofile:", err)
+			}
+		}()
 	}
 
 	chunkSizes, err := parseInts(*chunks)
@@ -97,6 +128,7 @@ func run(args []string, stdout io.Writer) error {
 		ChunkSize:       *chunk,
 		VerifyRestore:   *verify,
 		ApplyGorder:     *gorder,
+		Pipelined:       *pipeline,
 	}
 
 	emit := func(name string, t *metrics.Table) error {

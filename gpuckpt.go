@@ -208,6 +208,7 @@ func (r Result) String() string {
 type Checkpointer struct {
 	d       *dedup.Deduplicator
 	dev     *device.Device
+	pool    *parallel.Pool
 	cfg     Config
 	dataLen int
 	store   *checkpoint.FileStore
@@ -224,7 +225,7 @@ func New(cfg Config, dataLen int) (*Checkpointer, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Checkpointer{d: d, dev: dev, cfg: cfg, dataLen: dataLen}
+	c := &Checkpointer{d: d, dev: dev, pool: pool, cfg: cfg, dataLen: dataLen}
 	if cfg.PersistDir != "" {
 		store, err := checkpoint.NewFileStore(cfg.PersistDir)
 		if err != nil {
@@ -316,7 +317,12 @@ func (c *Checkpointer) Rebase() (*Record, error) {
 	}
 	c.d = fresh
 	old.Close()
-	return &Record{rec: old.Record()}, nil
+	// Detach the archived lineage from the pool: it outlives this
+	// Checkpointer (and hence the pool's lifetime). Re-enable parallel
+	// restores with Record.Parallel if wanted.
+	archivedRec := old.Record()
+	archivedRec.SetPool(nil)
+	return &Record{rec: archivedRec}, nil
 }
 
 // Checkpoint de-duplicates data against the record and appends the
@@ -398,10 +404,17 @@ func (c *Checkpointer) KernelStats() map[string]KernelStat {
 	return out
 }
 
-// Close releases the modeled device memory. The record remains
-// restorable until the Checkpointer is garbage collected, but no
-// further checkpoints can be taken.
-func (c *Checkpointer) Close() { c.d.Close() }
+// Close releases the modeled device memory and stops the worker pool.
+// The record remains restorable (region assembly falls back to
+// sequential), but no further checkpoints can be taken.
+func (c *Checkpointer) Close() {
+	// Record() drains any in-flight pipelined backend; detach the pool
+	// before stopping it so later Restore calls don't launch on a
+	// closed pool.
+	c.d.Record().SetPool(nil)
+	c.d.Close()
+	c.pool.Close()
+}
 
 // Record is a read-only checkpoint lineage reconstructed from
 // serialized diffs, for restore on a machine that never held the

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Method identifies the de-duplication strategy that produced a Diff.
@@ -129,25 +130,36 @@ func (d *Diff) TotalBytes() int64 {
 	return headerSize + d.MetadataBytes() + int64(len(d.Data))
 }
 
-// Encode writes the canonical little-endian serialization of d.
+// encodeBufPool recycles the header+metadata staging buffers of
+// Encode, making steady-state encoding allocation-free. Pointers to
+// slices are pooled (not slices) so Put does not itself allocate.
+var encodeBufPool sync.Pool
+
+// Encode writes the canonical little-endian serialization of d. The
+// header and region metadata are staged in one pooled buffer and
+// written together; the byte stream is unchanged.
 func (d *Diff) Encode(w io.Writer) error {
-	var hdr [headerSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:], diffMagic)
-	hdr[4] = formatVersion
-	hdr[5] = uint8(d.Method)
-	binary.LittleEndian.PutUint32(hdr[6:], d.CkptID)
-	binary.LittleEndian.PutUint64(hdr[10:], d.DataLen)
-	binary.LittleEndian.PutUint32(hdr[18:], d.ChunkSize)
-	binary.LittleEndian.PutUint32(hdr[22:], uint32(len(d.FirstOcur)))
-	binary.LittleEndian.PutUint32(hdr[26:], uint32(len(d.ShiftDupl)))
-	binary.LittleEndian.PutUint32(hdr[30:], uint32(len(d.Bitmap)))
-	binary.LittleEndian.PutUint64(hdr[34:], uint64(len(d.Data)))
-	hdr[42] = d.DataCodec
-	binary.LittleEndian.PutUint64(hdr[43:], d.rawLen())
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("checkpoint: write header: %w", err)
+	need := headerSize + 4*len(d.FirstOcur) + 12*len(d.ShiftDupl)
+	bp, _ := encodeBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
 	}
-	buf := make([]byte, 0, 4*len(d.FirstOcur)+12*len(d.ShiftDupl))
+	if cap(*bp) < need {
+		*bp = make([]byte, 0, need)
+	}
+	buf := (*bp)[:headerSize]
+	binary.LittleEndian.PutUint32(buf[0:], diffMagic)
+	buf[4] = formatVersion
+	buf[5] = uint8(d.Method)
+	binary.LittleEndian.PutUint32(buf[6:], d.CkptID)
+	binary.LittleEndian.PutUint64(buf[10:], d.DataLen)
+	binary.LittleEndian.PutUint32(buf[18:], d.ChunkSize)
+	binary.LittleEndian.PutUint32(buf[22:], uint32(len(d.FirstOcur)))
+	binary.LittleEndian.PutUint32(buf[26:], uint32(len(d.ShiftDupl)))
+	binary.LittleEndian.PutUint32(buf[30:], uint32(len(d.Bitmap)))
+	binary.LittleEndian.PutUint64(buf[34:], uint64(len(d.Data)))
+	buf[42] = d.DataCodec
+	binary.LittleEndian.PutUint64(buf[43:], d.rawLen())
 	for _, n := range d.FirstOcur {
 		buf = binary.LittleEndian.AppendUint32(buf, n)
 	}
@@ -156,8 +168,11 @@ func (d *Diff) Encode(w io.Writer) error {
 		buf = binary.LittleEndian.AppendUint32(buf, s.SrcNode)
 		buf = binary.LittleEndian.AppendUint32(buf, s.SrcCkpt)
 	}
-	if _, err := w.Write(buf); err != nil {
-		return fmt.Errorf("checkpoint: write metadata: %w", err)
+	_, err := w.Write(buf)
+	*bp = buf
+	encodeBufPool.Put(bp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: write header/metadata: %w", err)
 	}
 	if len(d.Bitmap) > 0 {
 		if _, err := w.Write(d.Bitmap); err != nil {

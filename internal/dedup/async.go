@@ -1,0 +1,171 @@
+package dedup
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+)
+
+// AsyncResult delivers the outcome of one pipelined checkpoint.
+type AsyncResult struct {
+	Diff  *checkpoint.Diff
+	Stats Stats
+	Err   error
+}
+
+// CheckpointAsync is the pipelined variant of Checkpoint: the
+// hash/label/consolidate front half of checkpoint i runs on the
+// caller's goroutine while the gather/serialize/compress/transfer/
+// record back half of checkpoint i-1 is still executing on a single
+// internal backend goroutine — the CPU-real analogue of the paper's
+// stream overlap between de-duplication and the diff transfer (§5).
+//
+// The returned channel delivers exactly one AsyncResult. The caller
+// must keep data unmodified until that result has been received. The
+// produced diffs, record contents and restore bytes are identical to
+// the sequential Checkpoint path; only the modeled kernel partitioning
+// differs (the gather stage becomes its own fused launch, adding one
+// kernel-launch latency per non-fast-path Tree checkpoint).
+//
+// At most one checkpoint is in flight: a second CheckpointAsync call
+// first overlaps its front half with the outstanding back half, then
+// waits for it before dispatching its own. After a backend failure the
+// pipeline is poisoned: every subsequent call returns the error.
+func (d *Deduplicator) CheckpointAsync(data []byte) (<-chan AsyncResult, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if len(data) != d.dataLen {
+		return nil, fmt.Errorf("dedup: buffer length %d, deduplicator configured for %d",
+			len(data), d.dataLen)
+	}
+	if d.opts.VerifyDuplicates {
+		// The verification sweep byte-compares shifted chunks against
+		// the stored record, which the backend is still appending to —
+		// serialize the stages (correctness over overlap).
+		if err := d.waitBackend(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Front half on the caller's goroutine, overlapping the previous
+	// checkpoint's backend. Full/Basic/List build their whole diff
+	// here (their gather is cheap and shares state with the hash
+	// sweep); Tree defers gather/serialize to the backend.
+	d.l.reset(d.dev, !d.opts.Unfused, "front")
+	var (
+		fr   treeFrontResult
+		diff *checkpoint.Diff
+		err  error
+	)
+	switch d.method {
+	case checkpoint.MethodFull:
+		diff, fr.st, err = d.checkpointFull(data)
+	case checkpoint.MethodBasic:
+		diff, fr.st, err = d.checkpointBasic(data)
+	case checkpoint.MethodList:
+		diff, fr.st, err = d.checkpointList(data)
+	case checkpoint.MethodTree:
+		l := d.frontLauncher("tree-dedup")
+		fr, err = d.treeFront(data, l)
+		l.flush()
+	}
+	if err != nil {
+		return nil, err
+	}
+	frontTime := d.l.elapsed
+
+	// Only one backend may be in flight: its goroutine owns the diff
+	// arena (for Tree), the gather scratch and the record.
+	if err := d.waitBackend(); err != nil {
+		return nil, err
+	}
+
+	id := d.ckptID
+	ch := make(chan AsyncResult, 1)
+	done := make(chan struct{})
+	d.backDone = done
+	go func() {
+		res := d.backend(data, &fr, diff, id, frontTime)
+		if res.Err != nil {
+			d.asyncErr = res.Err
+		}
+		ch <- res
+		close(done)
+	}()
+	d.ckptID++
+	return ch, nil
+}
+
+// backend runs the back half of one pipelined checkpoint: the Tree
+// gather/serialize stage, compression, stats finalization, the
+// modeled device-to-host transfer and the record append.
+func (d *Deduplicator) backend(data []byte, fr *treeFrontResult, diff *checkpoint.Diff, id uint32, frontTime time.Duration) AsyncResult {
+	var backTime time.Duration
+	if d.method == checkpoint.MethodTree {
+		d.backL.reset(d.dev, !d.opts.Unfused, "tree-dedup")
+		var err error
+		diff, err = d.treeBack(data, fr, &d.backL, id)
+		if err != nil {
+			return AsyncResult{Err: err}
+		}
+		backTime = d.backL.elapsed
+	}
+	compDur, err := d.compressDiff(diff)
+	if err != nil {
+		return AsyncResult{Err: err}
+	}
+
+	st := fr.st
+	st.Method = d.method
+	st.CkptID = id
+	st.ChunkSize = d.opts.ChunkSize
+	st.InputBytes = int64(d.dataLen)
+	st.DiffBytes = diff.TotalBytes()
+	st.MetadataBytes = diff.MetadataBytes()
+	st.DataBytes = int64(len(diff.Data))
+	// The device clock advances from both pipeline stages at once, so
+	// DedupTime is the sum of this checkpoint's own charges rather
+	// than a clock delta.
+	st.DedupTime = frontTime + backTime + compDur
+
+	if d.opts.StreamingTransfer {
+		// §5 streaming extension: the transfer overlaps the
+		// de-duplication pipeline, so only the non-overlapped tail
+		// blocks the application.
+		xfer := d.dev.EstimateTransfer(diff.TotalBytes())
+		tail := xfer - st.DedupTime
+		if tail < 0 {
+			tail = 0
+		}
+		d.dev.ChargeDuration("d2h-streamed", tail)
+		st.TransferTime = tail
+	} else {
+		st.TransferTime = d.dev.CopyToHost(diff.TotalBytes())
+	}
+
+	if err := d.record.Append(diff); err != nil {
+		return AsyncResult{Err: fmt.Errorf("dedup: appending diff: %w", err)}
+	}
+	return AsyncResult{Diff: diff, Stats: st}
+}
+
+// drainBackend blocks until the in-flight pipelined backend, if any,
+// has finished.
+func (d *Deduplicator) drainBackend() {
+	if d.backDone != nil {
+		<-d.backDone
+		d.backDone = nil
+	}
+}
+
+// waitBackend drains the backend and reports the sticky pipeline
+// error, if any.
+func (d *Deduplicator) waitBackend() error {
+	d.drainBackend()
+	if d.asyncErr != nil {
+		return fmt.Errorf("dedup: pipelined checkpoint failed: %w", d.asyncErr)
+	}
+	return nil
+}

@@ -25,6 +25,8 @@ package dedup
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
@@ -33,6 +35,7 @@ import (
 	"github.com/gpuckpt/gpuckpt/internal/hashmap"
 	"github.com/gpuckpt/gpuckpt/internal/merkle"
 	"github.com/gpuckpt/gpuckpt/internal/murmur3"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
 )
 
 // Label classifies a tree node during one checkpoint, following
@@ -203,7 +206,8 @@ func (s Stats) Ratio() float64 {
 // each process does in its own GPU memory (§2.1).
 //
 // A Deduplicator is not safe for concurrent use; the parallelism lives
-// inside the kernels it launches.
+// inside the kernels it launches (and, with CheckpointAsync, in the
+// single pipelined backend goroutine it manages internally).
 type Deduplicator struct {
 	method checkpoint.Method
 	opts   Options
@@ -224,6 +228,122 @@ type Deduplicator struct {
 
 	devBytes int64 // device memory charged at construction
 	closed   bool
+
+	// Persistent per-checkpoint scratch. Hoisting it here (instead of
+	// allocating inside each sweep) makes the steady-state hot path
+	// allocation-free: the kernel bodies below are created once in New
+	// and read their per-launch parameters from these fields.
+	levels  [][2]int // cached tree level intervals (static geometry)
+	l       launcher // front/sync kernel accounting
+	backL   launcher // pipelined-backend kernel accounting
+	gs      sweepScratch
+	regions regionCollector
+	arena   []checkpoint.Diff // batch-allocated Diffs handed out one at a time
+
+	frontData  []byte // buffer being hashed/labeled by the front half
+	curLevelLo int    // first node index of the level being swept
+
+	// gather/scan scratch. Used by the Tree backend and by the
+	// Basic/List front halves — never both concurrently, since one
+	// Deduplicator runs exactly one method.
+	gatherData    []byte
+	gatherFirsts  []uint32
+	gatherOut     []byte
+	gatherSizes   []int64
+	gatherOffsets []int64
+
+	basicChanged []int64
+	basicBitmap  []byte
+	basicOut     []byte
+	zeroBitmap   []byte // shared all-zero bitmap for unchanged Basic checkpoints
+
+	// Kernel bodies stored once so launches do not allocate closures.
+	resetBody       func(lo, hi int)
+	leafBody        func(lo, hi int)
+	reconcileBody   func(lo, hi int)
+	firstLevelBody  func(lo, hi int)
+	consolidateBody func(lo, hi int)
+	basicHashBody   func(lo, hi int)
+	basicBitmapBody func(lo, hi int)
+	basicSizesBody  func(lo, hi int)
+	basicCopyBody   func(lo, hi int)
+	gatherSizesBody func(lo, hi int)
+	gatherTeamBody  func(t parallel.Team)
+	gatherPerThread func(lo, hi int)
+
+	// Pipelined-backend state (see async.go). backDone is non-nil while
+	// a backend goroutine is in flight; asyncErr poisons the pipeline
+	// after a backend failure.
+	backDone chan struct{}
+	asyncErr error
+}
+
+// sweepScratch holds the atomic counters the labeling sweeps
+// accumulate into, plus the sweep error slot, reused across
+// checkpoints.
+type sweepScratch struct {
+	mapOps, fixedN, firstN, shiftN, verified atomic.Int64
+	promoted, hashed, lookups, changedN      atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// fail records the first error raised inside a parallel sweep.
+func (g *sweepScratch) fail(err error) {
+	g.errMu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.errMu.Unlock()
+}
+
+// takeErr returns and clears the recorded sweep error.
+func (g *sweepScratch) takeErr() error {
+	g.errMu.Lock()
+	err := g.err
+	g.err = nil
+	g.errMu.Unlock()
+	return err
+}
+
+// regionCollector accumulates emitted region roots from concurrent
+// sweep blocks into one grow-only buffer reused across checkpoints.
+type regionCollector struct {
+	mu  sync.Mutex
+	buf []emittedRegion
+}
+
+func (rc *regionCollector) add(rs []emittedRegion) {
+	rc.mu.Lock()
+	rc.buf = append(rc.buf, rs...)
+	rc.mu.Unlock()
+}
+
+func (rc *regionCollector) reset() { rc.buf = rc.buf[:0] }
+
+// diffArenaSize batches Diff allocations: the record retains every
+// Diff, so they cannot be pooled, but handing them out of a
+// block-allocated arena amortizes the per-checkpoint allocation away.
+const diffArenaSize = 64
+
+// newDiff returns a zeroed Diff from the arena.
+func (d *Deduplicator) newDiff() *checkpoint.Diff {
+	if len(d.arena) == 0 {
+		d.arena = make([]checkpoint.Diff, diffArenaSize)
+	}
+	diff := &d.arena[0]
+	d.arena = d.arena[1:]
+	return diff
+}
+
+// growInt64 returns s resized to n entries, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
 }
 
 // ErrClosed is returned by operations on a closed Deduplicator.
@@ -259,12 +379,17 @@ func New(method checkpoint.Method, dataLen int, dev *device.Device, opts Options
 	d.hashChunk = func(data []byte) murmur3.Digest { return murmur3.Sum128(data, seed) }
 	d.record.SetPool(dev.Pool())
 	d.tree = merkle.New(d.nChunks)
+	d.levels = d.tree.Levels()
+	d.initBodies()
 
 	var devBytes int64
 	devBytes += int64(d.tree.NumNodes) * 16 // digests
 	if method == checkpoint.MethodTree || method == checkpoint.MethodList || method == checkpoint.MethodBasic {
 		d.labels = make([]Label, d.tree.NumNodes)
 		devBytes += int64(d.tree.NumNodes)
+	}
+	if method == checkpoint.MethodBasic {
+		d.basicChanged = make([]int64, d.nChunks)
 	}
 	if method == checkpoint.MethodTree || method == checkpoint.MethodList {
 		capacity := opts.MapCapacity
@@ -290,22 +415,55 @@ func (d *Deduplicator) ChunkSize() int { return d.opts.ChunkSize }
 // NumChunks returns the leaf count of the Merkle tree.
 func (d *Deduplicator) NumChunks() int { return d.nChunks }
 
-// Record returns the checkpoint lineage accumulated so far.
-func (d *Deduplicator) Record() *checkpoint.Record { return d.record }
+// Record returns the checkpoint lineage accumulated so far. If a
+// pipelined checkpoint is in flight its backend is drained first, so
+// the returned record is complete.
+func (d *Deduplicator) Record() *checkpoint.Record {
+	d.drainBackend()
+	return d.record
+}
 
 // Device returns the device the deduplicator runs on.
 func (d *Deduplicator) Device() *device.Device { return d.dev }
 
-// Close releases the modeled device memory.
+// Close releases the modeled device memory, draining any in-flight
+// pipelined backend first.
 func (d *Deduplicator) Close() {
 	if !d.closed {
+		d.drainBackend()
 		d.dev.Free(d.devBytes)
 		d.closed = true
 	}
 }
 
 // Restore reconstructs the buffer as of checkpoint k.
-func (d *Deduplicator) Restore(k int) ([]byte, error) { return d.record.Restore(k) }
+func (d *Deduplicator) Restore(k int) ([]byte, error) {
+	if err := d.waitBackend(); err != nil {
+		return nil, err
+	}
+	return d.record.Restore(k)
+}
+
+// compressDiff applies the configured codec to the diff's data section
+// (keeping the compressed form only when it actually helps), charges
+// the modeled compression time, and returns that duration.
+func (d *Deduplicator) compressDiff(diff *checkpoint.Diff) (time.Duration, error) {
+	if d.opts.Compressor == nil || len(diff.Data) == 0 {
+		return 0, nil
+	}
+	comp, err := d.opts.Compressor.Compress(diff.Data)
+	if err != nil {
+		return 0, fmt.Errorf("dedup: compressing diff data: %w", err)
+	}
+	dur := time.Duration(float64(len(diff.Data)) / d.opts.Compressor.ModeledRate() * float64(time.Second))
+	d.dev.ChargeDuration("compress", dur)
+	if len(comp) < len(diff.Data) {
+		diff.DataCodec = compress.IDOf(d.opts.Compressor)
+		diff.RawDataLen = uint64(len(diff.Data))
+		diff.Data = comp
+	}
+	return dur, nil
+}
 
 // Checkpoint de-duplicates data against the checkpoint record,
 // appends the resulting diff to the lineage, charges the modeled
@@ -313,6 +471,9 @@ func (d *Deduplicator) Restore(k int) ([]byte, error) { return d.record.Restore(
 func (d *Deduplicator) Checkpoint(data []byte) (*checkpoint.Diff, Stats, error) {
 	if d.closed {
 		return nil, Stats{}, ErrClosed
+	}
+	if err := d.waitBackend(); err != nil {
+		return nil, Stats{}, err
 	}
 	if len(data) != d.dataLen {
 		return nil, Stats{}, fmt.Errorf("dedup: buffer length %d, deduplicator configured for %d",
@@ -338,19 +499,8 @@ func (d *Deduplicator) Checkpoint(data []byte) (*checkpoint.Diff, Stats, error) 
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	if d.opts.Compressor != nil && len(diff.Data) > 0 {
-		comp, cerr := d.opts.Compressor.Compress(diff.Data)
-		if cerr != nil {
-			return nil, Stats{}, fmt.Errorf("dedup: compressing diff data: %w", cerr)
-		}
-		d.dev.ChargeDuration("compress", time.Duration(
-			float64(len(diff.Data))/d.opts.Compressor.ModeledRate()*float64(time.Second)))
-		// Keep the compressed form only when it actually helps.
-		if len(comp) < len(diff.Data) {
-			diff.DataCodec = compress.IDOf(d.opts.Compressor)
-			diff.RawDataLen = uint64(len(diff.Data))
-			diff.Data = comp
-		}
+	if _, err := d.compressDiff(diff); err != nil {
+		return nil, Stats{}, err
 	}
 	st.Method = d.method
 	st.CkptID = d.ckptID
@@ -385,17 +535,28 @@ func (d *Deduplicator) Checkpoint(data []byte) (*checkpoint.Diff, Stats, error) 
 
 // launcher accumulates kernel costs, modeling either a single fused
 // kernel (one launch latency for the whole pipeline, §2.4) or one
-// launch per phase/level.
+// launch per phase/level. It also tracks the total modeled duration it
+// charged, which the pipelined engine needs because concurrent stages
+// make device-clock deltas meaningless.
 type launcher struct {
 	dev     *device.Device
 	fused   bool
 	name    string
 	pending device.Cost
 	any     bool
+	elapsed time.Duration
 }
 
-func newLauncher(dev *device.Device, fused bool, name string) *launcher {
-	return &launcher{dev: dev, fused: fused, name: name}
+// reset reinitializes the launcher for one checkpoint, clearing any
+// pending cost and the elapsed accumulator.
+func (l *launcher) reset(dev *device.Device, fused bool, name string) {
+	*l = launcher{dev: dev, fused: fused, name: name}
+}
+
+// frontLauncher resets and returns the reusable front-stage launcher.
+func (d *Deduplicator) frontLauncher(name string) *launcher {
+	d.l.reset(d.dev, !d.opts.Unfused, name)
+	return &d.l
 }
 
 // phase charges one pipeline phase. In fused mode the cost is folded
@@ -407,13 +568,13 @@ func (l *launcher) phase(name string, c device.Cost) {
 		l.any = true
 		return
 	}
-	l.dev.Charge(name, c)
+	l.elapsed += l.dev.Charge(name, c)
 }
 
 // flush submits the fused kernel if one is pending.
 func (l *launcher) flush() {
 	if l.fused && l.any {
-		l.dev.Charge(l.name, l.pending)
+		l.elapsed += l.dev.Charge(l.name, l.pending)
 		l.pending = device.Cost{}
 		l.any = false
 	}

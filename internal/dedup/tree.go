@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
 	"github.com/gpuckpt/gpuckpt/internal/device"
@@ -22,22 +20,32 @@ type emittedRegion struct {
 	src   hashmap.Entry // valid for LabelShiftDupl
 }
 
-// leafPhase implements lines 1-23 of Algorithm 1: hash every chunk,
-// classify it as FIXED_DUPL / FIRST_OCUR / SHIFT_DUPL against the
-// historical record of unique hashes, and refresh the leaf digests.
-//
-// Concurrent inserts of the same digest race exactly as on the GPU;
-// determinism is restored by (a) UpdateIfEarlier converging the map
-// entry to the minimum node of the current checkpoint and (b) a
-// reconciliation sweep that re-labels each leaf against the final map
-// state, so FIRST_OCUR is held by exactly the leaf the map records.
-func (d *Deduplicator) leafPhase(data []byte, l *launcher) (fixed, first, shift int64, err error) {
-	pool := d.dev.Pool()
-	var mapOps, fixedN atomic.Int64
-	var errOnce sync.Once
-	var phaseErr error
+// sortEmitted orders regions by their covered chunk range.
+func (d *Deduplicator) sortEmitted(regions []emittedRegion) {
+	sort.Slice(regions, func(i, j int) bool {
+		li, _ := d.tree.LeafRange(int(regions[i].node))
+		lj, _ := d.tree.LeafRange(int(regions[j].node))
+		return li < lj
+	})
+}
 
-	pool.ForRange(d.nChunks, func(lo, hi int) {
+// initBodies creates every kernel body once. The bodies read their
+// per-launch parameters (current buffer, current tree level, scratch
+// slices) from Deduplicator fields, so launching them allocates no
+// closures — a requirement for the allocation-free steady state.
+func (d *Deduplicator) initBodies() {
+	d.resetBody = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d.labels[i] = LabelNone
+		}
+	}
+
+	// Lines 1-23 of Algorithm 1: hash every chunk and classify it as
+	// FIXED_DUPL / FIRST_OCUR / SHIFT_DUPL against the historical
+	// record of unique hashes, refreshing the leaf digests.
+	d.leafBody = func(lo, hi int) {
+		g := &d.gs
+		data := d.frontData
 		var ops, fx int64
 		for c := lo; c < hi; c++ {
 			node := d.tree.LeafNode(c)
@@ -52,10 +60,8 @@ func (d *Deduplicator) leafPhase(data []byte, l *launcher) (fixed, first, shift 
 			_, inserted, ierr := d.hmap.InsertIfAbsent(dig, entry)
 			ops++
 			if ierr != nil {
-				errOnce.Do(func() {
-					phaseErr = fmt.Errorf("dedup: historical record full at checkpoint %d (capacity %d); raise Options.MapCapacity: %w",
-						d.ckptID, d.hmap.Capacity(), ierr)
-				})
+				g.fail(fmt.Errorf("dedup: historical record full at checkpoint %d (capacity %d); raise Options.MapCapacity: %w",
+					d.ckptID, d.hmap.Capacity(), ierr))
 				return
 			}
 			if inserted {
@@ -69,20 +75,18 @@ func (d *Deduplicator) leafPhase(data []byte, l *launcher) (fixed, first, shift 
 			}
 			d.tree.Digests[node] = dig
 		}
-		mapOps.Add(ops)
-		fixedN.Add(fx)
-	})
-	if phaseErr != nil {
-		return 0, 0, 0, phaseErr
+		g.mapOps.Add(ops)
+		g.fixedN.Add(fx)
 	}
 
 	// Reconciliation: align labels with the final map state. With
 	// VerifyDuplicates, every shifted leaf is additionally
-	// byte-compared against its recorded source (§2.4's
-	// hash-collision mitigation); a mismatching chunk is demoted to a
-	// first occurrence so its real bytes ship.
-	var firstN, shiftN, verified atomic.Int64
-	pool.ForRange(d.nChunks, func(lo, hi int) {
+	// byte-compared against its recorded source (§2.4's hash-collision
+	// mitigation); a mismatching chunk is demoted to a first occurrence
+	// so its real bytes ship.
+	d.reconcileBody = func(lo, hi int) {
+		g := &d.gs
+		data := d.frontData
 		var ops, fi, sh, vf int64
 		for c := lo; c < hi; c++ {
 			node := d.tree.LeafNode(c)
@@ -109,19 +113,147 @@ func (d *Deduplicator) leafPhase(data []byte, l *launcher) (fixed, first, shift 
 			d.labels[node] = LabelShiftDupl
 			sh++
 		}
-		mapOps.Add(ops)
-		firstN.Add(fi)
-		shiftN.Add(sh)
-		verified.Add(vf)
-	})
+		g.mapOps.Add(ops)
+		g.firstN.Add(fi)
+		g.shiftN.Add(sh)
+		g.verified.Add(vf)
+	}
+
+	// Lines 24-32 of Algorithm 1: consolidate adjacent FIRST_OCUR
+	// regions one level at a time (level interval in d.curLevelLo).
+	d.firstLevelBody = func(lo, hi int) {
+		base := d.curLevelLo
+		var p int64
+		for i := lo; i < hi; i++ {
+			v := base + i
+			left, right := merkle.Left(v), merkle.Right(v)
+			if d.labels[left] == LabelFirstOcur && d.labels[right] == LabelFirstOcur {
+				dig := murmur3.SumPair(d.tree.Digests[left], d.tree.Digests[right], d.opts.Seed)
+				d.tree.Digests[v] = dig
+				d.hmap.InsertIfAbsent(dig, hashmap.Entry{Node: uint32(v), Ckpt: d.ckptID})
+				d.labels[v] = LabelFirstOcur
+				p++
+			}
+		}
+		d.gs.promoted.Add(p)
+	}
+
+	// Lines 33-46 of Algorithm 1: consolidate FIXED_DUPL and SHIFT_DUPL
+	// regions and save the roots of maximal uniform regions.
+	d.consolidateBody = func(lo, hi int) {
+		base := d.curLevelLo
+		var buf []emittedRegion
+		var h, lk int64
+		for i := lo; i < hi; i++ {
+			v := base + i
+			left, right := merkle.Left(v), merkle.Right(v)
+			la, lb := d.labels[left], d.labels[right]
+			switch {
+			case la == LabelFirstOcur && lb == LabelFirstOcur:
+				// Consolidated (and registered) by stage one.
+			case la == LabelFixedDupl && lb == LabelFixedDupl:
+				d.labels[v] = LabelFixedDupl
+			case la == LabelShiftDupl && lb == LabelShiftDupl:
+				dig := murmur3.SumPair(d.tree.Digests[left], d.tree.Digests[right], d.opts.Seed)
+				d.tree.Digests[v] = dig
+				h++
+				e, ok := d.lookupShift(dig)
+				lk++
+				if ok && !(e.Node == uint32(v) && e.Ckpt == d.ckptID) {
+					d.labels[v] = LabelShiftDupl
+				} else {
+					buf = d.emitChild(buf, left)
+					buf = d.emitChild(buf, right)
+					d.labels[v] = LabelMixed
+				}
+			default:
+				// Differing labels (or a Mixed child): the
+				// consolidatable children become region roots.
+				buf = d.emitChild(buf, left)
+				buf = d.emitChild(buf, right)
+				d.labels[v] = LabelMixed
+			}
+		}
+		if len(buf) > 0 {
+			d.regions.add(buf)
+		}
+		d.gs.hashed.Add(h)
+		d.gs.lookups.Add(lk)
+	}
+
+	// Serialization bodies (§2.4): region sizes, then the gather copy,
+	// either team-coalesced or one thread per region (ablation).
+	d.gatherSizesBody = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off, end := d.tree.NodeSpan(int(d.gatherFirsts[i]), d.opts.ChunkSize, d.dataLen)
+			d.gatherSizes[i] = int64(end - off)
+		}
+	}
+	d.gatherTeamBody = func(t parallel.Team) {
+		i := t.LeagueRank()
+		off, end := d.tree.NodeSpan(int(d.gatherFirsts[i]), d.opts.ChunkSize, d.dataLen)
+		copy(d.gatherOut[d.gatherOffsets[i]:d.gatherOffsets[i]+d.gatherSizes[i]], d.gatherData[off:end])
+	}
+	d.gatherPerThread = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off, end := d.tree.NodeSpan(int(d.gatherFirsts[i]), d.opts.ChunkSize, d.dataLen)
+			copy(d.gatherOut[d.gatherOffsets[i]:d.gatherOffsets[i]+d.gatherSizes[i]], d.gatherData[off:end])
+		}
+	}
+
+	d.initBasicBodies()
+}
+
+// emitChild appends node c to buf when its label makes it a diff
+// region root (FIRST_OCUR / SHIFT_DUPL).
+func (d *Deduplicator) emitChild(buf []emittedRegion, c int) []emittedRegion {
+	switch d.labels[c] {
+	case LabelFirstOcur:
+		return append(buf, emittedRegion{node: uint32(c), label: LabelFirstOcur})
+	case LabelShiftDupl:
+		src, ok := d.hmap.Find(d.tree.Digests[c])
+		if !ok {
+			// Unreachable by construction: every SHIFT_DUPL label
+			// was assigned after a successful map lookup.
+			panic(fmt.Sprintf("dedup: shifted region %d missing from historical record", c))
+		}
+		return append(buf, emittedRegion{node: uint32(c), label: LabelShiftDupl, src: src})
+	default: // LabelFixedDupl costs nothing; LabelMixed already emitted
+		return buf
+	}
+}
+
+// leafPhase implements lines 1-23 of Algorithm 1 via the stored leaf
+// and reconciliation bodies.
+//
+// Concurrent inserts of the same digest race exactly as on the GPU;
+// determinism is restored by (a) UpdateIfEarlier converging the map
+// entry to the minimum node of the current checkpoint and (b) the
+// reconciliation sweep that re-labels each leaf against the final map
+// state, so FIRST_OCUR is held by exactly the leaf the map records.
+func (d *Deduplicator) leafPhase(data []byte, l *launcher) (fixed, first, shift int64, err error) {
+	pool := d.dev.Pool()
+	g := &d.gs
+	d.frontData = data
+	g.mapOps.Store(0)
+	g.fixedN.Store(0)
+	g.firstN.Store(0)
+	g.shiftN.Store(0)
+	g.verified.Store(0)
+
+	pool.ForRange(d.nChunks, d.leafBody)
+	if err := g.takeErr(); err != nil {
+		return 0, 0, 0, err
+	}
+	pool.ForRange(d.nChunks, d.reconcileBody)
 
 	l.phase("leaf-hash", device.Cost{
 		HashBytes: int64(float64(d.dataLen) * d.opts.HashCostMultiplier),
-		MemBytes:  int64(d.nChunks)*16 + verified.Load()*2*int64(d.opts.ChunkSize),
-		MapOps:    mapOps.Load(),
+		MemBytes:  int64(d.nChunks)*16 + g.verified.Load()*2*int64(d.opts.ChunkSize),
+		MapOps:    g.mapOps.Load(),
 		ChunkOps:  int64(d.nChunks),
 	})
-	return fixedN.Load(), firstN.Load(), shiftN.Load(), nil
+	return g.fixedN.Load(), g.firstN.Load(), g.shiftN.Load(), nil
 }
 
 // sourceMatches byte-compares a chunk against the recorded source of
@@ -146,12 +278,7 @@ func bytesEqual(a, b []byte) bool { return bytes.Equal(a, b) }
 
 // resetLabels clears the label array before a sweep.
 func (d *Deduplicator) resetLabels(l *launcher) {
-	pool := d.dev.Pool()
-	pool.ForRange(len(d.labels), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			d.labels[i] = LabelNone
-		}
-	})
+	d.dev.Pool().ForRange(len(d.labels), d.resetBody)
 	l.phase("reset-labels", device.Cost{MemBytes: int64(len(d.labels))})
 }
 
@@ -164,28 +291,16 @@ func (d *Deduplicator) resetLabels(l *launcher) {
 // still being hashed.
 func (d *Deduplicator) buildFirstOcurSubtrees(l *launcher) {
 	pool := d.dev.Pool()
-	for _, lv := range d.tree.Levels() {
+	for _, lv := range d.levels {
 		width := lv[1] - lv[0]
-		var promoted atomic.Int64
-		pool.ForRange(width, func(lo, hi int) {
-			var p int64
-			for i := lo; i < hi; i++ {
-				v := lv[0] + i
-				left, right := merkle.Left(v), merkle.Right(v)
-				if d.labels[left] == LabelFirstOcur && d.labels[right] == LabelFirstOcur {
-					dig := murmur3.SumPair(d.tree.Digests[left], d.tree.Digests[right], d.opts.Seed)
-					d.tree.Digests[v] = dig
-					d.hmap.InsertIfAbsent(dig, hashmap.Entry{Node: uint32(v), Ckpt: d.ckptID})
-					d.labels[v] = LabelFirstOcur
-					p++
-				}
-			}
-			promoted.Add(p)
-		})
+		d.curLevelLo = lv[0]
+		d.gs.promoted.Store(0)
+		pool.ForRange(width, d.firstLevelBody)
+		promoted := d.gs.promoted.Load()
 		l.phase("firstocur-level", device.Cost{
-			HashBytes: int64(float64(promoted.Load()*32) * d.opts.HashCostMultiplier),
+			HashBytes: int64(float64(promoted*32) * d.opts.HashCostMultiplier),
 			MemBytes:  int64(width) * 2,
-			MapOps:    promoted.Load(),
+			MapOps:    promoted,
 		})
 	}
 }
@@ -197,87 +312,33 @@ func (d *Deduplicator) buildFirstOcurSubtrees(l *launcher) {
 // emitted as diff regions.
 func (d *Deduplicator) consolidateAndEmit(l *launcher) []emittedRegion {
 	pool := d.dev.Pool()
-	var out parallel.Collector[emittedRegion]
+	d.regions.reset()
 
-	emitChild := func(buf []emittedRegion, c int) []emittedRegion {
-		switch d.labels[c] {
-		case LabelFirstOcur:
-			return append(buf, emittedRegion{node: uint32(c), label: LabelFirstOcur})
-		case LabelShiftDupl:
-			src, ok := d.hmap.Find(d.tree.Digests[c])
-			if !ok {
-				// Unreachable by construction: every SHIFT_DUPL label
-				// was assigned after a successful map lookup.
-				panic(fmt.Sprintf("dedup: shifted region %d missing from historical record", c))
-			}
-			return append(buf, emittedRegion{node: uint32(c), label: LabelShiftDupl, src: src})
-		default: // LabelFixedDupl costs nothing; LabelMixed already emitted
-			return buf
-		}
-	}
-
-	for _, lv := range d.tree.Levels() {
+	for _, lv := range d.levels {
 		width := lv[1] - lv[0]
-		var hashed, lookups atomic.Int64
-		pool.ForRange(width, func(lo, hi int) {
-			var buf []emittedRegion
-			var h, lk int64
-			for i := lo; i < hi; i++ {
-				v := lv[0] + i
-				left, right := merkle.Left(v), merkle.Right(v)
-				la, lb := d.labels[left], d.labels[right]
-				switch {
-				case la == LabelFirstOcur && lb == LabelFirstOcur:
-					// Consolidated (and registered) by stage one.
-				case la == LabelFixedDupl && lb == LabelFixedDupl:
-					d.labels[v] = LabelFixedDupl
-				case la == LabelShiftDupl && lb == LabelShiftDupl:
-					dig := murmur3.SumPair(d.tree.Digests[left], d.tree.Digests[right], d.opts.Seed)
-					d.tree.Digests[v] = dig
-					h++
-					e, ok := d.lookupShift(dig)
-					lk++
-					if ok && !(e.Node == uint32(v) && e.Ckpt == d.ckptID) {
-						d.labels[v] = LabelShiftDupl
-					} else {
-						buf = emitChild(buf, left)
-						buf = emitChild(buf, right)
-						d.labels[v] = LabelMixed
-					}
-				default:
-					// Differing labels (or a Mixed child): the
-					// consolidatable children become region roots.
-					buf = emitChild(buf, left)
-					buf = emitChild(buf, right)
-					d.labels[v] = LabelMixed
-				}
-			}
-			if len(buf) > 0 {
-				out.Append(buf...)
-			}
-			hashed.Add(h)
-			lookups.Add(lk)
-		})
+		d.curLevelLo = lv[0]
+		d.gs.hashed.Store(0)
+		d.gs.lookups.Store(0)
+		pool.ForRange(width, d.consolidateBody)
 		l.phase("consolidate-level", device.Cost{
-			HashBytes: int64(float64(hashed.Load()*32) * d.opts.HashCostMultiplier),
+			HashBytes: int64(float64(d.gs.hashed.Load()*32) * d.opts.HashCostMultiplier),
 			MemBytes:  int64(width) * 2,
-			MapOps:    lookups.Load(),
+			MapOps:    d.gs.lookups.Load(),
 		})
 	}
 
 	// The root is the region when the whole buffer carries one label.
-	regions := out.Items()
 	switch d.labels[0] {
 	case LabelFirstOcur:
-		regions = append(regions, emittedRegion{node: 0, label: LabelFirstOcur})
+		d.regions.buf = append(d.regions.buf, emittedRegion{node: 0, label: LabelFirstOcur})
 	case LabelShiftDupl:
 		src, ok := d.hmap.Find(d.tree.Digests[0])
 		if !ok {
 			panic("dedup: shifted root missing from historical record")
 		}
-		regions = append(regions, emittedRegion{node: 0, label: LabelShiftDupl, src: src})
+		d.regions.buf = append(d.regions.buf, emittedRegion{node: 0, label: LabelShiftDupl, src: src})
 	}
-	return regions
+	return d.regions.buf
 }
 
 // lookupShift resolves a consolidated shifted-duplicate hash in the
@@ -298,48 +359,42 @@ func (d *Deduplicator) lookupShift(dig murmur3.Digest) (hashmap.Entry, bool) {
 // gather serializes the first-occurrence regions into one contiguous
 // buffer: offsets are pre-calculated with an exclusive scan and the
 // copies run team-parallel so accesses coalesce (§2.4, "high
-// throughput serialization of scattered chunks").
+// throughput serialization of scattered chunks"). The returned buffer
+// is freshly allocated — it is retained by the diff — but the sizes
+// and offsets scratch is reused across checkpoints.
 func (d *Deduplicator) gather(data []byte, firstNodes []uint32, l *launcher) []byte {
 	if len(firstNodes) == 0 {
 		return nil
 	}
 	pool := d.dev.Pool()
-	sizes := make([]int64, len(firstNodes))
-	pool.For(len(firstNodes), func(i int) {
-		off, end := d.tree.NodeSpan(int(firstNodes[i]), d.opts.ChunkSize, d.dataLen)
-		sizes[i] = int64(end - off)
-	})
-	offsets := make([]int64, len(firstNodes))
-	total := parallel.ScanExclusive(pool, sizes, offsets)
+	n := len(firstNodes)
+	d.gatherData, d.gatherFirsts = data, firstNodes
+	d.gatherSizes = growInt64(d.gatherSizes, n)
+	d.gatherOffsets = growInt64(d.gatherOffsets, n)
+	pool.ForRange(n, d.gatherSizesBody)
+	total := parallel.ScanExclusive(pool, d.gatherSizes, d.gatherOffsets)
 	out := make([]byte, total)
+	d.gatherOut = out
 
 	cost := device.Cost{MemBytes: 2 * total}
 	if d.opts.PerThreadGather {
 		// One thread per region: long strided copies, uncoalesced.
 		cost.UncoalescedPenalty = 4
-		pool.For(len(firstNodes), func(i int) {
-			off, end := d.tree.NodeSpan(int(firstNodes[i]), d.opts.ChunkSize, d.dataLen)
-			copy(out[offsets[i]:offsets[i]+sizes[i]], data[off:end])
-		})
+		pool.ForRange(n, d.gatherPerThread)
 	} else {
-		pool.ForTeams(len(firstNodes), 32, func(t parallel.Team) {
-			i := t.LeagueRank()
-			off, end := d.tree.NodeSpan(int(firstNodes[i]), d.opts.ChunkSize, d.dataLen)
-			copy(out[offsets[i]:offsets[i]+sizes[i]], data[off:end])
-		})
+		pool.ForTeams(n, 32, d.gatherTeamBody)
 	}
 	l.phase("gather", cost)
+	d.gatherData, d.gatherFirsts, d.gatherOut = nil, nil, nil
 	return out
 }
 
 // sortRegions orders emitted regions by their covered chunk range so
 // the diff layout (and therefore the wire format) is deterministic.
+// The returned slices are freshly allocated (they are retained by the
+// diff); the regions slice itself is sorted in place and reused.
 func (d *Deduplicator) sortRegions(regions []emittedRegion) (firsts []uint32, shifts []checkpoint.ShiftRegion) {
-	sort.Slice(regions, func(i, j int) bool {
-		li, _ := d.tree.LeafRange(int(regions[i].node))
-		lj, _ := d.tree.LeafRange(int(regions[j].node))
-		return li < lj
-	})
+	d.sortEmitted(regions)
 	for _, r := range regions {
 		switch r.label {
 		case LabelFirstOcur:
@@ -355,67 +410,109 @@ func (d *Deduplicator) sortRegions(regions []emittedRegion) (firsts []uint32, sh
 	return firsts, shifts
 }
 
-// checkpointTree runs the full Tree pipeline (Algorithm 1).
-func (d *Deduplicator) checkpointTree(data []byte) (*checkpoint.Diff, Stats, error) {
-	l := newLauncher(d.dev, !d.opts.Unfused, "tree-dedup")
-	var st Stats
+// treeFrontResult carries the hash/label outcome of one Tree
+// checkpoint from the front half to the (possibly pipelined) back
+// half: leaf statistics, the fast-path flag and the sorted regions.
+type treeFrontResult struct {
+	st     Stats
+	fast   bool
+	firsts []uint32
+	shifts []checkpoint.ShiftRegion
+}
 
+// treeFront runs the hash/label/consolidate phases of Algorithm 1
+// (everything up to, but not including, the gather/serialize stage).
+func (d *Deduplicator) treeFront(data []byte, l *launcher) (treeFrontResult, error) {
+	var fr treeFrontResult
 	d.resetLabels(l)
 	fixed, first, shift, err := d.leafPhase(data, l)
 	if err != nil {
-		return nil, st, err
+		return fr, err
 	}
-	st.FixedLeaves = int(fixed)
-	st.FirstLeaves = int(first)
-	st.ShiftLeaves = int(shift)
+	fr.st.FixedLeaves = int(fixed)
+	fr.st.FirstLeaves = int(first)
+	fr.st.ShiftLeaves = int(shift)
 
 	// Fast path: a fully unchanged buffer needs no consolidation
 	// sweeps at all (§2.4's mitigation of unnecessary intermediate
 	// hashing between identical checkpoints).
 	if first == 0 && shift == 0 {
-		st.FastPath = true
-		l.flush()
-		return &checkpoint.Diff{
-			Method:    checkpoint.MethodTree,
-			CkptID:    d.ckptID,
-			DataLen:   uint64(d.dataLen),
-			ChunkSize: uint32(d.opts.ChunkSize),
-		}, st, nil
+		fr.fast = true
+		fr.st.FastPath = true
+		d.frontData = nil
+		return fr, nil
 	}
 
 	d.buildFirstOcurSubtrees(l)
 	regions := d.consolidateAndEmit(l)
-	firsts, shifts := d.sortRegions(regions)
-	gathered := d.gather(data, firsts, l)
-	l.flush()
+	fr.firsts, fr.shifts = d.sortRegions(regions)
+	fr.st.NumFirstOcur = len(fr.firsts)
+	fr.st.NumShiftDupl = len(fr.shifts)
+	d.frontData = nil
+	return fr, nil
+}
 
-	st.NumFirstOcur = len(firsts)
-	st.NumShiftDupl = len(shifts)
+// treeBack runs the gather/serialize stage and assembles the diff for
+// checkpoint id. In the pipelined engine it executes on the backend
+// goroutine, overlapping the next checkpoint's treeFront; it touches
+// only the gather scratch, the diff arena and fr — never the tree,
+// labels or hash map the front half mutates.
+func (d *Deduplicator) treeBack(data []byte, fr *treeFrontResult, l *launcher, id uint32) (*checkpoint.Diff, error) {
+	if fr.fast {
+		l.flush()
+		diff := d.newDiff()
+		*diff = checkpoint.Diff{
+			Method:    checkpoint.MethodTree,
+			CkptID:    id,
+			DataLen:   uint64(d.dataLen),
+			ChunkSize: uint32(d.opts.ChunkSize),
+		}
+		return diff, nil
+	}
+
+	gathered := d.gather(data, fr.firsts, l)
+	l.flush()
 
 	// §2.4: when (almost) the whole buffer changed, incremental
 	// checkpointing is deactivated for this interval — a Full diff
 	// carries the same bytes without the metadata.
 	if d.opts.AutoFallback && int64(len(gathered)) > int64(0.9*float64(d.dataLen)) {
-		st.FellBack = true
+		fr.st.FellBack = true
 		cp := make([]byte, len(data))
 		copy(cp, data)
-		return &checkpoint.Diff{
+		diff := d.newDiff()
+		*diff = checkpoint.Diff{
 			Method:    checkpoint.MethodFull,
-			CkptID:    d.ckptID,
+			CkptID:    id,
 			DataLen:   uint64(d.dataLen),
 			ChunkSize: uint32(d.opts.ChunkSize),
 			Data:      cp,
-		}, st, nil
+		}
+		return diff, nil
 	}
 
-	diff := &checkpoint.Diff{
+	diff := d.newDiff()
+	*diff = checkpoint.Diff{
 		Method:    checkpoint.MethodTree,
-		CkptID:    d.ckptID,
+		CkptID:    id,
 		DataLen:   uint64(d.dataLen),
 		ChunkSize: uint32(d.opts.ChunkSize),
-		FirstOcur: firsts,
-		ShiftDupl: shifts,
+		FirstOcur: fr.firsts,
+		ShiftDupl: fr.shifts,
 		Data:      gathered,
 	}
-	return diff, st, nil
+	return diff, nil
+}
+
+// checkpointTree runs the full Tree pipeline (Algorithm 1)
+// synchronously: front and back halves on the caller's goroutine,
+// sharing one launcher so fused mode still models a single kernel.
+func (d *Deduplicator) checkpointTree(data []byte) (*checkpoint.Diff, Stats, error) {
+	l := d.frontLauncher("tree-dedup")
+	fr, err := d.treeFront(data, l)
+	if err != nil {
+		return nil, fr.st, err
+	}
+	diff, err := d.treeBack(data, &fr, l, d.ckptID)
+	return diff, fr.st, err
 }

@@ -19,6 +19,7 @@ package device
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/gpuckpt/gpuckpt/internal/parallel"
@@ -136,13 +137,17 @@ type KernelStat struct {
 	Modeled  time.Duration
 }
 
-// Device is one simulated GPU owned by one application process. A
-// Device is not safe for concurrent use by multiple goroutines; the
-// parallelism lives *inside* kernel launches.
+// Device is one simulated GPU owned by one application process. The
+// clock, statistics and memory accounting are mutex-guarded so that a
+// pipelined checkpoint engine may charge modeled time from its
+// background stage while the foreground stage launches kernels; the
+// data parallelism still lives *inside* kernel launches.
 type Device struct {
-	params    Params
-	pool      *parallel.Pool
-	node      *Node
+	params Params
+	pool   *parallel.Pool
+	node   *Node
+
+	mu        sync.Mutex
 	clock     time.Duration
 	allocated int64
 	stats     map[string]*KernelStat
@@ -174,13 +179,9 @@ func (d *Device) Pool() *parallel.Pool { return d.pool }
 // Node returns the compute node hosting this device.
 func (d *Device) Node() *Node { return d.node }
 
-// Launch executes kernel body fn on the device pool and charges the
-// modeled cost plus one kernel-launch latency to the device clock.
-func (d *Device) Launch(name string, c Cost, fn func(p *parallel.Pool)) {
-	if fn != nil {
-		fn(d.pool)
-	}
-	dur := c.Duration(d.params) + d.params.KernelLaunchLatency
+// account adds dur to the clock and the named kernel statistic.
+func (d *Device) account(name string, dur time.Duration) {
+	d.mu.Lock()
 	d.clock += dur
 	st := d.stats[name]
 	if st == nil {
@@ -189,11 +190,25 @@ func (d *Device) Launch(name string, c Cost, fn func(p *parallel.Pool)) {
 	}
 	st.Launches++
 	st.Modeled += dur
+	d.mu.Unlock()
+}
+
+// Launch executes kernel body fn on the device pool, charges the
+// modeled cost plus one kernel-launch latency to the device clock, and
+// returns the charged duration.
+func (d *Device) Launch(name string, c Cost, fn func(p *parallel.Pool)) time.Duration {
+	if fn != nil {
+		fn(d.pool)
+	}
+	dur := c.Duration(d.params) + d.params.KernelLaunchLatency
+	d.account(name, dur)
+	return dur
 }
 
 // Charge advances the clock by the modeled cost without executing
-// anything (used when the real work happened outside a Launch body).
-func (d *Device) Charge(name string, c Cost) { d.Launch(name, c, nil) }
+// anything (used when the real work happened outside a Launch body)
+// and returns the charged duration.
+func (d *Device) Charge(name string, c Cost) time.Duration { return d.Launch(name, c, nil) }
 
 // ChargeDuration advances the clock by a pre-computed modeled duration
 // (used for work whose rate is not expressed by Cost, e.g. on-device
@@ -202,14 +217,7 @@ func (d *Device) ChargeDuration(name string, dur time.Duration) {
 	if dur <= 0 {
 		return
 	}
-	d.clock += dur
-	st := d.stats[name]
-	if st == nil {
-		st = &KernelStat{}
-		d.stats[name] = st
-	}
-	st.Launches++
-	st.Modeled += dur
+	d.account(name, dur)
 }
 
 // EstimateTransfer returns the modeled device-to-host duration for n
@@ -225,28 +233,29 @@ func (d *Device) EstimateTransfer(n int64) time.Duration {
 func (d *Device) CopyToHost(n int64) time.Duration {
 	bw := d.node.EffectiveBandwidth(d.params.PCIeBandwidth)
 	dur := time.Duration(float64(n) / bw * float64(time.Second))
-	d.clock += dur
-	st := d.stats["d2h"]
-	if st == nil {
-		st = &KernelStat{}
-		d.stats["d2h"] = st
-	}
-	st.Launches++
-	st.Modeled += dur
+	d.account("d2h", dur)
 	return dur
 }
 
 // Elapsed returns the modeled time consumed so far.
-func (d *Device) Elapsed() time.Duration { return d.clock }
+func (d *Device) Elapsed() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
 
 // ResetClock zeroes the modeled clock and kernel statistics.
 func (d *Device) ResetClock() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.clock = 0
 	d.stats = make(map[string]*KernelStat)
 }
 
 // Stats returns the per-kernel modeled time table.
 func (d *Device) Stats() map[string]KernelStat {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make(map[string]KernelStat, len(d.stats))
 	for k, v := range d.stats {
 		out[k] = *v
@@ -262,6 +271,8 @@ func (d *Device) Malloc(n int64) error {
 	if n < 0 {
 		return fmt.Errorf("device: negative allocation %d", n)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.allocated+n > d.params.MemCapacity {
 		return fmt.Errorf("device: out of memory: %d + %d > capacity %d",
 			d.allocated, n, d.params.MemCapacity)
@@ -272,6 +283,8 @@ func (d *Device) Malloc(n int64) error {
 
 // Free releases n bytes of device memory.
 func (d *Device) Free(n int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.allocated -= n
 	if d.allocated < 0 {
 		d.allocated = 0
@@ -279,7 +292,11 @@ func (d *Device) Free(n int64) {
 }
 
 // Allocated returns the currently reserved device memory in bytes.
-func (d *Device) Allocated() int64 { return d.allocated }
+func (d *Device) Allocated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocated
+}
 
 // Node models one compute node: several GPUs share the host-memory
 // ingest bandwidth, so concurrent device-to-host transfers contend

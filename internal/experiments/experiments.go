@@ -43,6 +43,9 @@ type Config struct {
 	// ApplyGorder enables the Gorder pre-process (the generators emit
 	// trace order natively; see DESIGN.md).
 	ApplyGorder bool
+	// Pipelined runs every method through the asynchronous checkpoint
+	// engine (dedup.CheckpointAsync); output is bit-identical.
+	Pipelined bool
 }
 
 // DefaultConfig returns the laptop-scale defaults (about 1/500 of the
@@ -111,7 +114,9 @@ func buildSeries(cfg Config, name string, checkpoints int) (*workload.Series, er
 	if err != nil {
 		return nil, err
 	}
-	return workload.BuildGDVSeries(g, checkpoints, cfg.MaxGraphletSize, parallel.NewPool(cfg.Workers))
+	pool := parallel.NewPool(cfg.Workers)
+	defer pool.Close()
+	return workload.BuildGDVSeries(g, checkpoints, cfg.MaxGraphletSize, pool)
 }
 
 // Table1 reproduces Table 1: the input graphs with their sizes, plus
@@ -171,7 +176,7 @@ func Fig4(cfg Config) (*metrics.Table, []workload.Row, error) {
 			return nil, nil, err
 		}
 		rows, err := workload.ChunkSweep(series, checkpoint.Methods(), cfg.ChunkSizes,
-			workload.Options{Workers: cfg.Workers, VerifyRestore: cfg.VerifyRestore})
+			workload.Options{Workers: cfg.Workers, VerifyRestore: cfg.VerifyRestore, Pipelined: cfg.Pipelined})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -209,7 +214,7 @@ func Fig5(cfg Config) (*metrics.Table, []workload.Row, error) {
 			return nil, nil, err
 		}
 		rows, err := workload.Frequency(series, cfg.Frequencies, checkpoint.Methods(), compress.Registry(),
-			workload.Options{ChunkSize: cfg.ChunkSize, Workers: cfg.Workers, VerifyRestore: cfg.VerifyRestore})
+			workload.Options{ChunkSize: cfg.ChunkSize, Workers: cfg.Workers, VerifyRestore: cfg.VerifyRestore, Pipelined: cfg.Pipelined})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -296,6 +301,7 @@ func Ablation(cfg Config) (*metrics.Table, []workload.Row, error) {
 			ChunkSize:     cfg.ChunkSize,
 			Workers:       cfg.Workers,
 			VerifyRestore: cfg.VerifyRestore,
+			Pipelined:     cfg.Pipelined,
 			Dedup:         v.opts,
 		})
 		if err != nil {

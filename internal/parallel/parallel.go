@@ -1,6 +1,6 @@
 // Package parallel provides Kokkos-style data-parallel execution
 // primitives (parallel-for, parallel-reduce, exclusive parallel-scan
-// and team policies) over a goroutine worker pool.
+// and team policies) over a persistent goroutine worker pool.
 //
 // The paper's implementation uses the Kokkos performance-portability
 // framework to launch fused GPU kernels (Tan et al., ICPP 2023, §2.4).
@@ -8,31 +8,136 @@
 // level-by-level data-parallel algorithms execute for real across CPU
 // cores, while the simulated device (package device) accounts modeled
 // GPU time for each launch.
+//
+// Workers are long-lived: NewPool parks workers-1 goroutines on a work
+// channel, and each kernel launch publishes one work descriptor that
+// the submitter and any idle workers drain cooperatively. A launch
+// therefore costs a channel wake instead of spawning fresh goroutines,
+// which keeps the per-launch overhead flat for the many small kernels
+// of Algorithm 1. Tiny iteration spaces short-circuit inline on the
+// submitting goroutine without touching the pool at all.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Pool is a reusable set of workers executing data-parallel loops. A
-// Pool is safe for concurrent use; independent loops submitted from
-// different goroutines simply share the worker budget.
+// inlineThreshold is the iteration count below which a launch runs
+// inline on the submitting goroutine: distributing fewer iterations
+// than this costs more in wakeups than the parallelism recovers.
+const inlineThreshold = 128
+
+// launchState is one kernel launch in flight: a body, a block
+// partition of [0, n), and the bookkeeping that lets the submitter and
+// any helping workers claim blocks cooperatively. States are recycled
+// through a sync.Pool so steady-state launches allocate nothing.
+type launchState struct {
+	body    func(lo, hi int)
+	n       int
+	grain   int
+	nblocks int64
+	next    atomic.Int64 // next block index to claim
+	undone  atomic.Int64 // blocks not yet completed
+	refs    atomic.Int64 // goroutines holding a reference
+	done    chan struct{}
+}
+
+var statePool = sync.Pool{
+	New: func() any { return &launchState{done: make(chan struct{}, 1)} },
+}
+
+// run claims and executes blocks until none remain. The goroutine that
+// completes the final block signals the (buffered) done channel.
+func (ls *launchState) run() {
+	for {
+		b := ls.next.Add(1) - 1
+		if b >= ls.nblocks {
+			return
+		}
+		lo := int(b) * ls.grain
+		hi := lo + ls.grain
+		if hi > ls.n {
+			hi = ls.n
+		}
+		ls.body(lo, hi)
+		if ls.undone.Add(-1) == 0 {
+			ls.done <- struct{}{}
+		}
+	}
+}
+
+// release drops one reference; the final holder recycles the state.
+func (ls *launchState) release() {
+	if ls.refs.Add(-1) == 0 {
+		ls.body = nil
+		statePool.Put(ls)
+	}
+}
+
+// Pool is a reusable set of persistent workers executing data-parallel
+// loops. A Pool is safe for concurrent use; independent loops
+// submitted from different goroutines simply share the worker budget.
+//
+// Close must not race in-flight launches; launching on a closed Pool
+// panics.
 type Pool struct {
 	workers int
+	work    chan *launchState
+	wg      sync.WaitGroup
+	closed  atomic.Bool
 }
 
 // NewPool returns a pool that runs loop bodies on up to workers
-// goroutines. workers <= 0 selects GOMAXPROCS.
+// goroutines. workers <= 0 selects GOMAXPROCS. The submitting
+// goroutine participates in every launch, so workers-1 persistent
+// helper goroutines are parked on the work channel (none for a
+// single-worker pool). Call Close to release them.
 func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.work = make(chan *launchState, 4*workers)
+		p.wg.Add(workers - 1)
+		for i := 0; i < workers-1; i++ {
+			go p.workerLoop()
+		}
+	}
+	return p
+}
+
+func (p *Pool) workerLoop() {
+	defer p.wg.Done()
+	for ls := range p.work {
+		ls.run()
+		ls.release()
+	}
+}
+
+// Close terminates the pool's persistent workers after draining any
+// queued work. It is idempotent. Launching on a closed pool panics;
+// Close must not be called concurrently with launches.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	if p.work != nil {
+		close(p.work)
+		p.wg.Wait()
+	}
 }
 
 // Workers reports the parallelism of the pool.
 func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) checkOpen() {
+	if p.closed.Load() {
+		panic("parallel: launch on closed Pool")
+	}
+}
 
 // grainSize splits n iterations across workers into contiguous blocks,
 // mirroring Kokkos RangePolicy chunking: successive threads process
@@ -48,6 +153,38 @@ func (p *Pool) grainSize(n int) int {
 	return g
 }
 
+// launch partitions [0, n) into blocks of size grain and executes body
+// over every block, using the submitting goroutine plus as many parked
+// workers as there are spare blocks. It returns when all blocks have
+// completed.
+func (p *Pool) launch(n, grain int, body func(lo, hi int)) {
+	nblocks := (n + grain - 1) / grain
+	ls := statePool.Get().(*launchState)
+	ls.body, ls.n, ls.grain, ls.nblocks = body, n, grain, int64(nblocks)
+	ls.next.Store(0)
+	ls.undone.Store(int64(nblocks))
+	ls.refs.Store(1)
+	helpers := nblocks - 1
+	if helpers > p.workers-1 {
+		helpers = p.workers - 1
+	}
+enqueue:
+	for i := 0; i < helpers; i++ {
+		ls.refs.Add(1)
+		select {
+		case p.work <- ls:
+		default:
+			// Every worker is busy (or the queue is full): stop waking
+			// helpers — the submitter processes the remaining blocks.
+			ls.refs.Add(-1)
+			break enqueue
+		}
+	}
+	ls.run()
+	<-ls.done
+	ls.release()
+}
+
 // For executes body(i) for every i in [0, n) using all workers. The
 // iteration space is split into contiguous blocks, one per worker.
 func (p *Pool) For(n int, body func(i int)) {
@@ -60,30 +197,43 @@ func (p *Pool) For(n int, body func(i int)) {
 
 // ForRange executes body(lo, hi) over a partition of [0, n) into
 // contiguous blocks. It is the bulk variant of For, avoiding one
-// closure call per element in hot loops.
+// closure call per element in hot loops. Small n runs inline on the
+// submitting goroutine as the single block [0, n).
 func (p *Pool) ForRange(n int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
+	p.checkOpen()
 	grain := p.grainSize(n)
-	if n <= grain || p.workers == 1 {
+	if p.workers == 1 || n <= grain || n < inlineThreshold {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += grain {
-		hi := lo + grain
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	p.launch(n, grain, body)
 }
+
+// scratchPool recycles the per-launch block-accumulator slices of
+// ReduceInt64 and ScanExclusive (nblocks entries, bounded by the
+// worker count), so steady-state reductions allocate nothing.
+var scratchPool sync.Pool
+
+func getScratch(n int) *[]int64 {
+	v, _ := scratchPool.Get().(*[]int64)
+	if v == nil {
+		v = new([]int64)
+	}
+	if cap(*v) < n {
+		*v = make([]int64, n)
+	}
+	s := (*v)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	*v = s
+	return v
+}
+
+func putScratch(v *[]int64) { scratchPool.Put(v) }
 
 // ReduceInt64 computes a parallel reduction of body(i) over [0, n)
 // combined with join, starting from identity. join must be
@@ -92,31 +242,30 @@ func ReduceInt64(p *Pool, n int, identity int64, body func(i int) int64, join fu
 	if n <= 0 {
 		return identity
 	}
+	p.checkOpen()
 	grain := p.grainSize(n)
 	nblocks := (n + grain - 1) / grain
-	partial := make([]int64, nblocks)
-	var wg sync.WaitGroup
-	for b := 0; b < nblocks; b++ {
-		lo := b * grain
-		hi := lo + grain
-		if hi > n {
-			hi = n
+	if nblocks == 1 || p.workers == 1 || n < inlineThreshold {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = join(acc, body(i))
 		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			acc := identity
-			for i := lo; i < hi; i++ {
-				acc = join(acc, body(i))
-			}
-			partial[b] = acc
-		}(b, lo, hi)
+		return acc
 	}
-	wg.Wait()
+	pv := getScratch(nblocks)
+	partial := *pv
+	p.launch(n, grain, func(lo, hi int) {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = join(acc, body(i))
+		}
+		partial[lo/grain] = acc
+	})
 	acc := identity
 	for _, v := range partial {
 		acc = join(acc, v)
 	}
+	putScratch(pv)
 	return acc
 }
 
@@ -133,9 +282,10 @@ func ScanExclusive(p *Pool, in []int64, out []int64) int64 {
 	if n == 0 {
 		return 0
 	}
+	p.checkOpen()
 	grain := p.grainSize(n)
 	nblocks := (n + grain - 1) / grain
-	if nblocks == 1 {
+	if nblocks == 1 || p.workers == 1 || n < inlineThreshold {
 		var acc int64
 		for i := 0; i < n; i++ {
 			v := in[i]
@@ -144,26 +294,16 @@ func ScanExclusive(p *Pool, in []int64, out []int64) int64 {
 		}
 		return acc
 	}
-	blockSums := make([]int64, nblocks)
+	pv := getScratch(nblocks)
+	blockSums := *pv
 	// Pass 1: per-block sums.
-	var wg sync.WaitGroup
-	for b := 0; b < nblocks; b++ {
-		lo := b * grain
-		hi := lo + grain
-		if hi > n {
-			hi = n
+	p.launch(n, grain, func(lo, hi int) {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += in[i]
 		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			var s int64
-			for i := lo; i < hi; i++ {
-				s += in[i]
-			}
-			blockSums[b] = s
-		}(b, lo, hi)
-	}
-	wg.Wait()
+		blockSums[lo/grain] = s
+	})
 	// Sequential scan of block sums (nblocks is small).
 	var total int64
 	for b := 0; b < nblocks; b++ {
@@ -172,24 +312,15 @@ func ScanExclusive(p *Pool, in []int64, out []int64) int64 {
 		total += s
 	}
 	// Pass 2: per-block exclusive scan seeded with the block offset.
-	for b := 0; b < nblocks; b++ {
-		lo := b * grain
-		hi := lo + grain
-		if hi > n {
-			hi = n
+	p.launch(n, grain, func(lo, hi int) {
+		acc := blockSums[lo/grain]
+		for i := lo; i < hi; i++ {
+			v := in[i]
+			out[i] = acc
+			acc += v
 		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			acc := blockSums[b]
-			for i := lo; i < hi; i++ {
-				v := in[i]
-				out[i] = acc
-				acc += v
-			}
-		}(b, lo, hi)
-	}
-	wg.Wait()
+	})
+	putScratch(pv)
 	return total
 }
 

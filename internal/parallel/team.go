@@ -1,7 +1,5 @@
 package parallel
 
-import "sync"
-
 // Team is the handle passed to the body of a team-policy launch,
 // mirroring Kokkos TeamPolicy member types. A team corresponds to a
 // GPU thread block: LeagueRank identifies the block, Size the number
@@ -33,7 +31,9 @@ func (t Team) ThreadRange(n int, body func(i int)) {
 }
 
 // ForTeams launches league teams of teamSize threads each and executes
-// body once per team, distributing teams across the pool workers.
+// body once per team, distributing teams across the pool's persistent
+// workers like any other launch. Small leagues run inline on the
+// submitting goroutine.
 func (p *Pool) ForTeams(league, teamSize int, body func(t Team)) {
 	if league <= 0 {
 		return
@@ -41,20 +41,16 @@ func (p *Pool) ForTeams(league, teamSize int, body func(t Team)) {
 	if teamSize <= 0 {
 		teamSize = 1
 	}
+	p.checkOpen()
 	grain := p.grainSize(league)
-	var wg sync.WaitGroup
-	for lo := 0; lo < league; lo += grain {
-		hi := lo + grain
-		if hi > league {
-			hi = league
+	run := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			body(Team{leagueRank: r, leagueSize: league, teamSize: teamSize})
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for r := lo; r < hi; r++ {
-				body(Team{leagueRank: r, leagueSize: league, teamSize: teamSize})
-			}
-		}(lo, hi)
 	}
-	wg.Wait()
+	if p.workers == 1 || league <= grain {
+		run(0, league)
+		return
+	}
+	p.launch(league, grain, run)
 }

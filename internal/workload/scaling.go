@@ -54,6 +54,11 @@ type ScalingConfig struct {
 // Processes are simulated one at a time — total enumeration work is
 // independent of P — while the device model applies the per-node
 // host-ingest contention of P concurrent checkpointing GPUs.
+//
+// Scaling always uses the sequential Checkpoint path (Options.Pipelined
+// is ignored): the runner reuses its snapshot buffer between
+// checkpoints, which the pipelined engine's deferred back half cannot
+// tolerate.
 func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("workload: scaling needs a graph")
@@ -72,6 +77,7 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 	}
 	opts := cfg.Options.withDefaults()
 	pool := parallel.NewPool(opts.Workers)
+	defer pool.Close()
 
 	var rows []ScalingRow
 	for _, procs := range cfg.ProcCounts {
