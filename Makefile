@@ -1,12 +1,25 @@
 # gpuckpt build/verify entry points. `make ci` is what a CI job runs:
-# formatting, vet, build, and the full test suite under the race
-# detector (the ckptd server and client are required to be race-clean).
+# formatting, vet, the project's own static-analysis suite (ckptlint),
+# build, the full test suite under the race detector (the ckptd server
+# and client are required to be race-clean), and a short fuzz pass over
+# every untrusted decode surface.
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-smoke bench-json
+# Fuzz targets and their packages; fuzz-smoke runs each for
+# $(FUZZTIME), fuzz for $(FUZZTIME_LONG). Native fuzzing allows one
+# -fuzz target per invocation, hence the loop.
+FUZZ_TARGETS = \
+	FuzzFrameDecode:./internal/wire \
+	FuzzHandshake:./internal/wire \
+	FuzzDiffDecode:./internal/checkpoint \
+	FuzzRestore:./internal/checkpoint
+FUZZTIME ?= 5s
+FUZZTIME_LONG ?= 5m
 
-ci: fmt vet build race bench-smoke
+.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json fuzz fuzz-smoke
+
+ci: fmt vet lint build race bench-smoke fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -16,6 +29,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo-specific checks (noalloc, clockguard,
+# closecontract, wireerr, nowallclock); see internal/lint and
+# `go run ./cmd/ckptlint -list`.
+lint:
+	$(GO) run ./cmd/ckptlint .
 
 build:
 	$(GO) build ./...
@@ -38,3 +57,20 @@ bench-smoke:
 # the HotPath suite (ns/op, B/op, allocs/op, real GB/s per method).
 bench-json:
 	GPUCKPT_BENCH_JSON=BENCH_hotpath.json $(GO) test -run TestWriteHotPathBenchJSON -v .
+
+# fuzz-smoke gives each decode-surface fuzz target a short budget on
+# top of the checked-in seed corpus; enough to catch regressions in the
+# validation paths without stalling CI.
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "fuzz $$name ($(FUZZTIME))"; \
+		$(GO) test -run='^$$' -fuzz="^$$name$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
+	done
+
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "fuzz $$name ($(FUZZTIME_LONG))"; \
+		$(GO) test -run='^$$' -fuzz="^$$name$$" -fuzztime=$(FUZZTIME_LONG) $$pkg || exit 1; \
+	done

@@ -1,0 +1,81 @@
+// Command ckptlint runs the project's static-analysis suite over the
+// module rooted at the given directory (default ".").
+//
+// Each finding is printed as "file:line: [check] message" and the exit
+// status is nonzero when any check fires, so `go run ./cmd/ckptlint`
+// slots directly into `make ci`. Individual lines can be waived with a
+// `//ckptlint:ignore <check> <reason>` comment on or directly above the
+// offending line; see internal/lint for the check catalogue.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/gpuckpt/gpuckpt/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ckptlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: ckptlint [flags] [dir]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	checks := lint.Checks()
+	if *list {
+		for _, c := range checks {
+			fmt.Fprintf(stdout, "%-14s %s\n", c.Name(), c.Doc())
+		}
+		return 0
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		var kept []lint.Check
+		for _, c := range checks {
+			if want[c.Name()] {
+				kept = append(kept, c)
+				delete(want, c.Name())
+			}
+		}
+		for name := range want {
+			fmt.Fprintf(stderr, "ckptlint: unknown check %q\n", name)
+			return 2
+		}
+		checks = kept
+	}
+
+	root := "."
+	if fs.NArg() > 0 {
+		root = fs.Arg(0)
+	}
+	diags, err := lint.Run(root, checks)
+	if err != nil {
+		fmt.Fprintf(stderr, "ckptlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ckptlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a one-file module under dir.
+func writeModule(t *testing.T, dir, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module example.com/m\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCleanModule(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, "package m\n\nfunc ok() int { return 1 }\n")
+	var out, errOut strings.Builder
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on clean module; stdout=%q stderr=%q", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("unexpected output: %q", out.String())
+	}
+}
+
+func TestRunReportsFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, `package m
+
+import "fmt"
+
+//ckptlint:noalloc
+func hot() string { return fmt.Sprintf("%d", 1) }
+`)
+	var out, errOut strings.Builder
+	if code := run([]string{dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr=%q", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[noalloc]") || !strings.Contains(out.String(), "main.go:6:") {
+		t.Fatalf("diagnostic not in expected format: %q", out.String())
+	}
+}
+
+func TestRunChecksSubset(t *testing.T) {
+	dir := t.TempDir()
+	writeModule(t, dir, `package m
+
+import "fmt"
+
+//ckptlint:noalloc
+func hot() string { return fmt.Sprintf("%d", 1) }
+`)
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "wireerr", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d with noalloc disabled; stdout=%q", code, out.String())
+	}
+	if code := run([]string{"-checks", "nosuch", dir}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown check, want 2", code)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"noalloc", "clockguard", "closecontract", "wireerr", "nowallclock"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}

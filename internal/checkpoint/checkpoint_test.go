@@ -320,14 +320,23 @@ func TestRecordRestoreErrors(t *testing.T) {
 	if err := r.Apply(make([]byte, 5), 0); err == nil {
 		t.Fatal("apply with wrong state length succeeded")
 	}
-	// Shift referencing a future checkpoint.
+	// A shift referencing a future checkpoint is rejected at Append
+	// time, so a poisoned diff can never enter the lineage.
 	d1 := &Diff{Method: MethodTree, CkptID: 1, DataLen: 10, ChunkSize: 4,
 		ShiftDupl: []ShiftRegion{{Node: 3, SrcNode: 3, SrcCkpt: 9}}}
+	if err := r.Append(d1); err == nil {
+		t.Fatal("diff with dangling shift reference accepted")
+	}
+	// A source region shorter than its destination still fails at
+	// Restore, where resolution happens: node 0 is the root (10 bytes),
+	// node 3 a single leaf chunk.
+	d1 = &Diff{Method: MethodTree, CkptID: 1, DataLen: 10, ChunkSize: 4,
+		ShiftDupl: []ShiftRegion{{Node: 0, SrcNode: 3, SrcCkpt: 0}}}
 	if err := r.Append(d1); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.Restore(1); err == nil {
-		t.Fatal("restore with dangling reference succeeded")
+		t.Fatal("restore with undersized source region succeeded")
 	}
 }
 

@@ -1,0 +1,108 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// sampleDiffs returns one representative diff per method, each with a
+// non-empty metadata section where the format allows one.
+func sampleDiffs() []*Diff {
+	return []*Diff{
+		{Method: MethodFull, CkptID: 0, DataLen: 40, ChunkSize: 8,
+			Data: bytes.Repeat([]byte{1}, 40)},
+		{Method: MethodBasic, CkptID: 1, DataLen: 40, ChunkSize: 8,
+			Bitmap: []byte{0b00011}, Data: bytes.Repeat([]byte{2}, 16)},
+		{Method: MethodList, CkptID: 1, DataLen: 40, ChunkSize: 8,
+			FirstOcur: []uint32{4}, ShiftDupl: []ShiftRegion{{Node: 5, SrcNode: 4, SrcCkpt: 0}},
+			Data: bytes.Repeat([]byte{3}, 8)},
+		{Method: MethodTree, CkptID: 1, DataLen: 40, ChunkSize: 8,
+			FirstOcur: []uint32{1}, ShiftDupl: []ShiftRegion{{Node: 6, SrcNode: 1, SrcCkpt: 1}},
+			Data: bytes.Repeat([]byte{4}, 24)},
+	}
+}
+
+// TestDiffDecodeTruncated truncates each method's encoding at every
+// byte boundary. Every prefix crosses a different field — header
+// scalars, region metadata, bitmap, data — and each must produce an
+// error, never a panic or a partial diff.
+func TestDiffDecodeTruncated(t *testing.T) {
+	for _, d := range sampleDiffs() {
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		enc := buf.Bytes()
+		for i := 0; i < len(enc); i++ {
+			if got, err := Decode(bytes.NewReader(enc[:i])); err == nil {
+				t.Errorf("%v diff truncated to %d/%d bytes decoded: %+v", d.Method, i, len(enc), got)
+			}
+		}
+		if _, err := Decode(bytes.NewReader(enc)); err != nil {
+			t.Errorf("%v valid diff rejected: %v", d.Method, err)
+		}
+	}
+}
+
+// corruptHeader encodes d, applies mutate to the header bytes, and
+// returns the result of decoding the mutated stream.
+func corruptHeader(t *testing.T, d *Diff, mutate func(hdr []byte)) error {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	mutate(enc[:headerSize])
+	_, err := Decode(bytes.NewReader(enc))
+	return err
+}
+
+// TestDiffDecodeHeaderCorruption flips each header field to an invalid
+// value and checks for the matching typed error.
+func TestDiffDecodeHeaderCorruption(t *testing.T) {
+	base := sampleDiffs()[3] // Tree: has every section populated
+	cases := []struct {
+		name    string
+		mutate  func(hdr []byte)
+		wantSub string
+	}{
+		{"bad magic", func(h []byte) { h[0] ^= 0xFF }, "bad magic"},
+		{"bad version", func(h []byte) { h[4] = 99 }, "unsupported version"},
+		{"bad method", func(h []byte) { h[5] = 42 }, "unknown method"},
+		{"huge data length", func(h []byte) {
+			binary.LittleEndian.PutUint64(h[10:], 1<<50)
+		}, "implausible data length"},
+		{"zero chunk size with metadata", func(h []byte) {
+			binary.LittleEndian.PutUint32(h[18:], 0)
+		}, "zero chunk size"},
+		{"region count beyond tree", func(h []byte) {
+			binary.LittleEndian.PutUint32(h[22:], 1<<31)
+		}, "tree nodes"},
+		{"shift count beyond tree", func(h []byte) {
+			binary.LittleEndian.PutUint32(h[26:], 1<<31)
+		}, "tree nodes"},
+		{"bitmap beyond chunks", func(h []byte) {
+			binary.LittleEndian.PutUint32(h[30:], 1<<30)
+		}, "exceeds"},
+		{"data beyond buffer", func(h []byte) {
+			binary.LittleEndian.PutUint64(h[34:], 1<<40)
+		}, "exceeds buffer length"},
+		{"raw length beyond buffer", func(h []byte) {
+			h[42] = 1 // pretend a codec
+			binary.LittleEndian.PutUint64(h[43:], 1<<40)
+		}, "raw data length"},
+	}
+	for _, tc := range cases {
+		err := corruptHeader(t, base, tc.mutate)
+		if err == nil {
+			t.Errorf("%s: decoded", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err=%v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

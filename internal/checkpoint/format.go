@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 )
 
@@ -135,10 +136,21 @@ func (d *Diff) TotalBytes() int64 {
 // slices are pooled (not slices) so Put does not itself allocate.
 var encodeBufPool sync.Pool
 
+// errMetadataTooLarge reports a Diff whose region metadata cannot be
+// expressed in the format's 32-bit counts.
+var errMetadataTooLarge = errors.New("checkpoint: region metadata exceeds format limits")
+
 // Encode writes the canonical little-endian serialization of d. The
 // header and region metadata are staged in one pooled buffer and
 // written together; the byte stream is unchanged.
+//
+//ckptlint:noalloc
 func (d *Diff) Encode(w io.Writer) error {
+	if uint64(len(d.FirstOcur)) > math.MaxUint32 ||
+		uint64(len(d.ShiftDupl)) > math.MaxUint32 ||
+		uint64(len(d.Bitmap)) > math.MaxUint32 {
+		return errMetadataTooLarge
+	}
 	need := headerSize + 4*len(d.FirstOcur) + 12*len(d.ShiftDupl)
 	bp, _ := encodeBufPool.Get().(*[]byte)
 	if bp == nil {
@@ -196,6 +208,9 @@ func Decode(r io.Reader) (*Diff, error) {
 	}
 	if hdr[4] != formatVersion {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", hdr[4])
+	}
+	if Method(hdr[5]) > MethodTree {
+		return nil, fmt.Errorf("checkpoint: unknown method %d", hdr[5])
 	}
 	d := &Diff{
 		Method:    Method(hdr[5]),

@@ -1,0 +1,104 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// encodeSeed returns the encoding of d for use as a fuzz seed.
+func encodeSeed(f *testing.F, d *Diff) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDiffDecode feeds arbitrary bytes to the diff decoder and, when a
+// diff decodes, checks that encode(decode(x)) survives a second decode
+// with identical content. RawDataLen is excluded from the comparison:
+// with no codec set the encoder canonicalizes it to len(Data).
+func FuzzDiffDecode(f *testing.F) {
+	for _, d := range sampleDiffs() {
+		f.Add(encodeSeed(f, d))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of decoded diff failed: %v", err)
+		}
+		d2, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encoded diff failed: %v", err)
+		}
+		d.RawDataLen, d2.RawDataLen = 0, 0
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("round trip diverged:\n %+v\n %+v", d, d2)
+		}
+	})
+}
+
+// fuzzRestoreMaxData bounds the buffer the restore harness will
+// reconstruct; the format itself admits terabyte buffers, but the fuzz
+// engine should not allocate them.
+const fuzzRestoreMaxData = 1 << 22
+
+// FuzzRestore decodes a concatenated sequence of diffs, appends each to
+// a lineage and restores the latest checkpoint. Append validates
+// geometry, bitmaps and shift references, so any input that survives it
+// must replay without a panic or out-of-range access.
+func FuzzRestore(f *testing.F) {
+	var lineage bytes.Buffer
+	full := &Diff{Method: MethodFull, CkptID: 0, DataLen: 40, ChunkSize: 8,
+		Data: bytes.Repeat([]byte{1}, 40)}
+	if err := full.Encode(&lineage); err != nil {
+		f.Fatal(err)
+	}
+	tree := &Diff{Method: MethodTree, CkptID: 1, DataLen: 40, ChunkSize: 8,
+		FirstOcur: []uint32{1}, ShiftDupl: []ShiftRegion{{Node: 6, SrcNode: 1, SrcCkpt: 1}},
+		Data: bytes.Repeat([]byte{4}, 24)}
+	if err := tree.Encode(&lineage); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(lineage.Bytes())
+	for _, d := range sampleDiffs() {
+		f.Add(encodeSeed(f, d))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		rec := NewRecord()
+		for rec.Len() < 8 {
+			d, err := Decode(r)
+			if err != nil {
+				break
+			}
+			if d.DataLen > fuzzRestoreMaxData {
+				return
+			}
+			// Cap the chunk count too: the lineage index builds a
+			// merkle geometry with ~32 bytes per chunk.
+			if d.ChunkSize > 0 && NumChunksU64(d.DataLen, uint64(d.ChunkSize)) > 1<<16 {
+				return
+			}
+			if err := rec.Append(d); err != nil {
+				break
+			}
+		}
+		if rec.Len() == 0 {
+			return
+		}
+		state, err := rec.RestoreLatest()
+		if err != nil {
+			return
+		}
+		if len(state) != rec.DataLen() {
+			t.Fatalf("restored %d bytes, record says %d", len(state), rec.DataLen())
+		}
+	})
+}

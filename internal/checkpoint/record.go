@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"github.com/gpuckpt/gpuckpt/internal/compress"
@@ -76,6 +77,16 @@ func (r *Record) TotalBytes() int64 {
 // Append adds the next diff to the lineage and indexes its
 // first-occurrence regions so later checkpoints can reference them.
 func (r *Record) Append(d *Diff) error {
+	// Geometry sanity first: every index, span and allocation below is
+	// derived from DataLen and ChunkSize, so a decoded diff must not be
+	// able to smuggle in values that wrap int arithmetic or divide by
+	// zero (found by FuzzRestore).
+	if d.DataLen > math.MaxInt64-math.MaxUint32 {
+		return fmt.Errorf("checkpoint: diff %d data length %d exceeds supported range", d.CkptID, d.DataLen)
+	}
+	if d.Method != MethodFull && d.ChunkSize == 0 {
+		return fmt.Errorf("checkpoint: diff %d (method %v) has zero chunk size", d.CkptID, d.Method)
+	}
 	if len(r.diffs) == 0 {
 		if d.DataLen == 0 && d.Method != MethodFull {
 			return fmt.Errorf("checkpoint: first diff has zero data length")
@@ -134,9 +145,42 @@ func (r *Record) indexRegions(d *Diff, plain []byte) ([]storedRegion, error) {
 		}
 		return []storedRegion{{leafLo: 0, leafHi: r.geom.NumLeaves, dataOff: 0}}, nil
 	case MethodBasic:
-		// Basic diffs are never referenced by shifted duplicates.
+		// Basic diffs are never referenced by shifted duplicates, but
+		// Apply walks the bitmap, so its length and the bytes it claims
+		// must be validated here (found by FuzzRestore: a short bitmap
+		// read out of range, a long one replayed stale chunks).
+		nChunks := merkle.NumChunks(r.dataLen, r.chunkSize)
+		if len(d.Bitmap) != BitmapLen(nChunks) {
+			return nil, fmt.Errorf("checkpoint: basic diff %d bitmap %d bytes, want %d",
+				d.CkptID, len(d.Bitmap), BitmapLen(nChunks))
+		}
+		var want int64
+		for c := 0; c < nChunks; c++ {
+			if !BitmapGet(d.Bitmap, c) {
+				continue
+			}
+			hi := min((c+1)*r.chunkSize, r.dataLen)
+			want += int64(hi - c*r.chunkSize)
+		}
+		if want != int64(len(plain)) {
+			return nil, fmt.Errorf("checkpoint: basic diff %d data section %d bytes, bitmap covers %d",
+				d.CkptID, len(plain), want)
+		}
 		return nil, nil
 	case MethodList, MethodTree:
+		// Shift references are resolved lazily during Apply; reject
+		// out-of-range nodes and future sources now so replay can only
+		// fail with an error, never an out-of-bounds copy.
+		for _, sr := range d.ShiftDupl {
+			if int(sr.Node) >= r.geom.NumNodes || int(sr.SrcNode) >= r.geom.NumNodes {
+				return nil, fmt.Errorf("checkpoint: diff %d shift region node %d<-%d out of range",
+					d.CkptID, sr.Node, sr.SrcNode)
+			}
+			if sr.SrcCkpt > d.CkptID {
+				return nil, fmt.Errorf("checkpoint: diff %d shift source checkpoint %d is in the future",
+					d.CkptID, sr.SrcCkpt)
+			}
+		}
 		idx := make([]storedRegion, 0, len(d.FirstOcur))
 		var off int64
 		for _, node := range d.FirstOcur {

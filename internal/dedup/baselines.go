@@ -70,6 +70,7 @@ func (d *Deduplicator) initBasicBodies() {
 // transfer, so its throughput measures the raw GPU-to-host flush
 // bandwidth (§3.2).
 func (d *Deduplicator) checkpointFull(data []byte) (*checkpoint.Diff, Stats, error) {
+	dataLen, chunkSize := d.wireGeom()
 	var st Stats
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -77,8 +78,8 @@ func (d *Deduplicator) checkpointFull(data []byte) (*checkpoint.Diff, Stats, err
 	*diff = checkpoint.Diff{
 		Method:    checkpoint.MethodFull,
 		CkptID:    d.ckptID,
-		DataLen:   uint64(d.dataLen),
-		ChunkSize: uint32(d.opts.ChunkSize),
+		DataLen:   dataLen,
+		ChunkSize: chunkSize,
 		Data:      cp,
 	}
 	return diff, st, nil
@@ -90,6 +91,7 @@ func (d *Deduplicator) checkpointFull(data []byte) (*checkpoint.Diff, Stats, err
 // chunks, whose bytes are gathered behind it. Spatial duplication and
 // shifted temporal duplication are invisible to this method.
 func (d *Deduplicator) checkpointBasic(data []byte) (*checkpoint.Diff, Stats, error) {
+	dataLen, chunkSize := d.wireGeom()
 	l := d.frontLauncher("basic-dedup")
 	var st Stats
 	pool := d.dev.Pool()
@@ -147,8 +149,8 @@ func (d *Deduplicator) checkpointBasic(data []byte) (*checkpoint.Diff, Stats, er
 	*diff = checkpoint.Diff{
 		Method:    checkpoint.MethodBasic,
 		CkptID:    d.ckptID,
-		DataLen:   uint64(d.dataLen),
-		ChunkSize: uint32(d.opts.ChunkSize),
+		DataLen:   dataLen,
+		ChunkSize: chunkSize,
 		Bitmap:    bitmap,
 		Data:      out,
 	}
@@ -161,6 +163,7 @@ func (d *Deduplicator) checkpointBasic(data []byte) (*checkpoint.Diff, Stats, er
 // metadata compaction omitted: every first-occurrence and
 // shifted-duplicate chunk is stored as its own metadata entry.
 func (d *Deduplicator) checkpointList(data []byte) (*checkpoint.Diff, Stats, error) {
+	dataLen, chunkSize := d.wireGeom()
 	l := d.frontLauncher("list-dedup")
 	var st Stats
 
@@ -208,8 +211,8 @@ func (d *Deduplicator) checkpointList(data []byte) (*checkpoint.Diff, Stats, err
 	*diff = checkpoint.Diff{
 		Method:    checkpoint.MethodList,
 		CkptID:    d.ckptID,
-		DataLen:   uint64(d.dataLen),
-		ChunkSize: uint32(d.opts.ChunkSize),
+		DataLen:   dataLen,
+		ChunkSize: chunkSize,
 		FirstOcur: firsts,
 		ShiftDupl: shifts,
 		Data:      gathered,

@@ -25,6 +25,7 @@ package dedup
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -282,11 +283,12 @@ type Deduplicator struct {
 // accumulate into, plus the sweep error slot, reused across
 // checkpoints.
 type sweepScratch struct {
-	mapOps, fixedN, firstN, shiftN, verified atomic.Int64
-	promoted, hashed, lookups, changedN      atomic.Int64
+	mapOps, fixedN, firstN, shiftN, verified atomic.Int64 //ckptlint:atomic
+	promoted, hashed, lookups, changedN      atomic.Int64 //ckptlint:atomic
 
 	errMu sync.Mutex
-	err   error
+	//ckptlint:guardedby errMu
+	err error
 }
 
 // fail records the first error raised inside a parallel sweep.
@@ -310,7 +312,8 @@ func (g *sweepScratch) takeErr() error {
 // regionCollector accumulates emitted region roots from concurrent
 // sweep blocks into one grow-only buffer reused across checkpoints.
 type regionCollector struct {
-	mu  sync.Mutex
+	mu sync.Mutex
+	//ckptlint:guardedby mu
 	buf []emittedRegion
 }
 
@@ -320,7 +323,27 @@ func (rc *regionCollector) add(rs []emittedRegion) {
 	rc.mu.Unlock()
 }
 
-func (rc *regionCollector) reset() { rc.buf = rc.buf[:0] }
+func (rc *regionCollector) reset() {
+	rc.mu.Lock()
+	rc.buf = rc.buf[:0]
+	rc.mu.Unlock()
+}
+
+// appendOne adds a single region root (the tree root, emitted by the
+// orchestrating goroutine after the parallel sweep completes).
+func (rc *regionCollector) appendOne(r emittedRegion) {
+	rc.mu.Lock()
+	rc.buf = append(rc.buf, r)
+	rc.mu.Unlock()
+}
+
+// snapshot returns the collected regions. The returned slice aliases
+// the collector's buffer and is valid until the next reset.
+func (rc *regionCollector) snapshot() []emittedRegion {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.buf
+}
 
 // diffArenaSize batches Diff allocations: the record retains every
 // Diff, so they cannot be pooled, but handing them out of a
@@ -335,6 +358,17 @@ func (d *Deduplicator) newDiff() *checkpoint.Diff {
 	diff := &d.arena[0]
 	d.arena = d.arena[1:]
 	return diff
+}
+
+// wireGeom returns the diff-header geometry fields. New validates the
+// geometry (dataLen > 0, 0 < ChunkSize ≤ MaxUint32), so the narrowing
+// here cannot truncate; the panic is a backstop for that invariant.
+func (d *Deduplicator) wireGeom() (dataLen uint64, chunkSize uint32) {
+	n, cs := d.dataLen, d.opts.ChunkSize
+	if n < 0 || cs <= 0 || int64(cs) > math.MaxUint32 {
+		panic("dedup: invalid geometry escaped New validation")
+	}
+	return uint64(n), uint32(cs)
 }
 
 // growInt64 returns s resized to n entries, reallocating only when the
@@ -361,6 +395,9 @@ func New(method checkpoint.Method, dataLen int, dev *device.Device, opts Options
 		return nil, errors.New("dedup: nil device")
 	}
 	opts = opts.withDefaults()
+	if int64(opts.ChunkSize) > math.MaxUint32 {
+		return nil, fmt.Errorf("dedup: chunk size %d does not fit the diff format", opts.ChunkSize)
+	}
 	switch method {
 	case checkpoint.MethodFull, checkpoint.MethodBasic, checkpoint.MethodList, checkpoint.MethodTree:
 	default:

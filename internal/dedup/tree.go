@@ -34,6 +34,7 @@ func (d *Deduplicator) sortEmitted(regions []emittedRegion) {
 // slices) from Deduplicator fields, so launching them allocates no
 // closures — a requirement for the allocation-free steady state.
 func (d *Deduplicator) initBodies() {
+	//ckptlint:noalloc
 	d.resetBody = func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			d.labels[i] = LabelNone
@@ -43,6 +44,7 @@ func (d *Deduplicator) initBodies() {
 	// Lines 1-23 of Algorithm 1: hash every chunk and classify it as
 	// FIXED_DUPL / FIRST_OCUR / SHIFT_DUPL against the historical
 	// record of unique hashes, refreshing the leaf digests.
+	//ckptlint:noalloc
 	d.leafBody = func(lo, hi int) {
 		g := &d.gs
 		data := d.frontData
@@ -84,6 +86,7 @@ func (d *Deduplicator) initBodies() {
 	// byte-compared against its recorded source (§2.4's hash-collision
 	// mitigation); a mismatching chunk is demoted to a first occurrence
 	// so its real bytes ship.
+	//ckptlint:noalloc
 	d.reconcileBody = func(lo, hi int) {
 		g := &d.gs
 		data := d.frontData
@@ -121,6 +124,7 @@ func (d *Deduplicator) initBodies() {
 
 	// Lines 24-32 of Algorithm 1: consolidate adjacent FIRST_OCUR
 	// regions one level at a time (level interval in d.curLevelLo).
+	//ckptlint:noalloc
 	d.firstLevelBody = func(lo, hi int) {
 		base := d.curLevelLo
 		var p int64
@@ -140,6 +144,7 @@ func (d *Deduplicator) initBodies() {
 
 	// Lines 33-46 of Algorithm 1: consolidate FIXED_DUPL and SHIFT_DUPL
 	// regions and save the roots of maximal uniform regions.
+	//ckptlint:noalloc
 	d.consolidateBody = func(lo, hi int) {
 		base := d.curLevelLo
 		var buf []emittedRegion
@@ -183,17 +188,20 @@ func (d *Deduplicator) initBodies() {
 
 	// Serialization bodies (§2.4): region sizes, then the gather copy,
 	// either team-coalesced or one thread per region (ablation).
+	//ckptlint:noalloc
 	d.gatherSizesBody = func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			off, end := d.tree.NodeSpan(int(d.gatherFirsts[i]), d.opts.ChunkSize, d.dataLen)
 			d.gatherSizes[i] = int64(end - off)
 		}
 	}
+	//ckptlint:noalloc
 	d.gatherTeamBody = func(t parallel.Team) {
 		i := t.LeagueRank()
 		off, end := d.tree.NodeSpan(int(d.gatherFirsts[i]), d.opts.ChunkSize, d.dataLen)
 		copy(d.gatherOut[d.gatherOffsets[i]:d.gatherOffsets[i]+d.gatherSizes[i]], d.gatherData[off:end])
 	}
+	//ckptlint:noalloc
 	d.gatherPerThread = func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			off, end := d.tree.NodeSpan(int(d.gatherFirsts[i]), d.opts.ChunkSize, d.dataLen)
@@ -206,6 +214,8 @@ func (d *Deduplicator) initBodies() {
 
 // emitChild appends node c to buf when its label makes it a diff
 // region root (FIRST_OCUR / SHIFT_DUPL).
+//
+//ckptlint:noalloc
 func (d *Deduplicator) emitChild(buf []emittedRegion, c int) []emittedRegion {
 	switch d.labels[c] {
 	case LabelFirstOcur:
@@ -215,6 +225,7 @@ func (d *Deduplicator) emitChild(buf []emittedRegion, c int) []emittedRegion {
 		if !ok {
 			// Unreachable by construction: every SHIFT_DUPL label
 			// was assigned after a successful map lookup.
+			//ckptlint:ignore noalloc unreachable panic path
 			panic(fmt.Sprintf("dedup: shifted region %d missing from historical record", c))
 		}
 		return append(buf, emittedRegion{node: uint32(c), label: LabelShiftDupl, src: src})
@@ -330,15 +341,15 @@ func (d *Deduplicator) consolidateAndEmit(l *launcher) []emittedRegion {
 	// The root is the region when the whole buffer carries one label.
 	switch d.labels[0] {
 	case LabelFirstOcur:
-		d.regions.buf = append(d.regions.buf, emittedRegion{node: 0, label: LabelFirstOcur})
+		d.regions.appendOne(emittedRegion{node: 0, label: LabelFirstOcur})
 	case LabelShiftDupl:
 		src, ok := d.hmap.Find(d.tree.Digests[0])
 		if !ok {
 			panic("dedup: shifted root missing from historical record")
 		}
-		d.regions.buf = append(d.regions.buf, emittedRegion{node: 0, label: LabelShiftDupl, src: src})
+		d.regions.appendOne(emittedRegion{node: 0, label: LabelShiftDupl, src: src})
 	}
-	return d.regions.buf
+	return d.regions.snapshot()
 }
 
 // lookupShift resolves a consolidated shifted-duplicate hash in the
@@ -458,14 +469,15 @@ func (d *Deduplicator) treeFront(data []byte, l *launcher) (treeFrontResult, err
 // only the gather scratch, the diff arena and fr — never the tree,
 // labels or hash map the front half mutates.
 func (d *Deduplicator) treeBack(data []byte, fr *treeFrontResult, l *launcher, id uint32) (*checkpoint.Diff, error) {
+	dataLen, chunkSize := d.wireGeom()
 	if fr.fast {
 		l.flush()
 		diff := d.newDiff()
 		*diff = checkpoint.Diff{
 			Method:    checkpoint.MethodTree,
 			CkptID:    id,
-			DataLen:   uint64(d.dataLen),
-			ChunkSize: uint32(d.opts.ChunkSize),
+			DataLen:   dataLen,
+			ChunkSize: chunkSize,
 		}
 		return diff, nil
 	}
@@ -484,8 +496,8 @@ func (d *Deduplicator) treeBack(data []byte, fr *treeFrontResult, l *launcher, i
 		*diff = checkpoint.Diff{
 			Method:    checkpoint.MethodFull,
 			CkptID:    id,
-			DataLen:   uint64(d.dataLen),
-			ChunkSize: uint32(d.opts.ChunkSize),
+			DataLen:   dataLen,
+			ChunkSize: chunkSize,
 			Data:      cp,
 		}
 		return diff, nil
@@ -495,8 +507,8 @@ func (d *Deduplicator) treeBack(data []byte, fr *treeFrontResult, l *launcher, i
 	*diff = checkpoint.Diff{
 		Method:    checkpoint.MethodTree,
 		CkptID:    id,
-		DataLen:   uint64(d.dataLen),
-		ChunkSize: uint32(d.opts.ChunkSize),
+		DataLen:   dataLen,
+		ChunkSize: chunkSize,
 		FirstOcur: fr.firsts,
 		ShiftDupl: fr.shifts,
 		Data:      gathered,

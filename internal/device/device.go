@@ -20,6 +20,7 @@ package device
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gpuckpt/gpuckpt/internal/parallel"
@@ -147,10 +148,13 @@ type Device struct {
 	pool   *parallel.Pool
 	node   *Node
 
-	mu        sync.Mutex
-	clock     time.Duration
+	mu sync.Mutex
+	//ckptlint:guardedby mu
+	clock time.Duration
+	//ckptlint:guardedby mu
 	allocated int64
-	stats     map[string]*KernelStat
+	//ckptlint:guardedby mu
+	stats map[string]*KernelStat
 }
 
 // New creates a device with the given parameters executing kernels on
@@ -304,14 +308,20 @@ func (d *Device) Allocated() int64 {
 // performance", §3.3). The model is deterministic: with k transfers in
 // flight each GPU sees min(PCIe, hostIngest/k).
 type Node struct {
-	hostIngest  float64
-	concurrency int
+	hostIngest float64
+	// concurrency is read by EffectiveBandwidth from whichever
+	// goroutine performs a transfer (the pipelined engine's backend
+	// included) while experiments reconfigure it, so it must be atomic.
+	//ckptlint:atomic
+	concurrency atomic.Int64
 }
 
 // NewNode creates a node with the given aggregate host-memory ingest
 // bandwidth in bytes/second.
 func NewNode(hostIngestBandwidth float64) *Node {
-	return &Node{hostIngest: hostIngestBandwidth, concurrency: 1}
+	n := &Node{hostIngest: hostIngestBandwidth}
+	n.concurrency.Store(1)
+	return n
 }
 
 // ThetaGPUNode models one DGX A100 node: 8 GPUs sharing roughly 160
@@ -325,16 +335,16 @@ func (n *Node) SetConcurrentTransfers(k int) {
 	if k < 1 {
 		k = 1
 	}
-	n.concurrency = k
+	n.concurrency.Store(int64(k))
 }
 
 // ConcurrentTransfers returns the configured transfer concurrency.
-func (n *Node) ConcurrentTransfers() int { return n.concurrency }
+func (n *Node) ConcurrentTransfers() int { return int(n.concurrency.Load()) }
 
 // EffectiveBandwidth returns the per-GPU device-to-host bandwidth
 // under the current contention level.
 func (n *Node) EffectiveBandwidth(pcie float64) float64 {
-	shared := n.hostIngest / float64(n.concurrency)
+	shared := n.hostIngest / float64(n.concurrency.Load())
 	if shared < pcie {
 		return shared
 	}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs the full suite over every golden package under
+// testdata/src and compares the surviving diagnostics against the
+// `// want:<check>` markers in the fixture sources: every marked line
+// must produce that check's diagnostic, and nothing unmarked may fire.
+func TestFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixture packages under testdata/src")
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			want := collectWantMarkers(t, dir)
+			diags, err := Run(dir, Checks())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]bool{}
+			for _, d := range diags {
+				key := fmt.Sprintf("%s:%d:%s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Check)
+				if got[key] {
+					continue // collapse duplicates on the same line
+				}
+				got[key] = true
+				if !want[key] {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for key := range want {
+				if !got[key] {
+					t.Errorf("missing diagnostic: want %s", key)
+				}
+			}
+		})
+	}
+}
+
+// collectWantMarkers scans the fixture sources for `// want:<check>`
+// markers, keyed file:line:check.
+func collectWantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, field := range strings.Fields(sc.Text()) {
+				check, ok := strings.CutPrefix(field, "want:")
+				if !ok {
+					continue
+				}
+				if !knownCheck(check) {
+					t.Fatalf("%s:%d: marker names unknown check %q", e.Name(), line, check)
+				}
+				out[fmt.Sprintf("%s:%d:%s", e.Name(), line, check)] = true
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return out
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "internal/wire/wire.go", Line: 42},
+		Check:   "wireerr",
+		Message: "error from wire.DecodeList is discarded",
+	}
+	got := d.String()
+	want := "internal/wire/wire.go:42: [wireerr] error from wire.DecodeList is discarded"
+	if got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestRunOnRepo asserts the suite is clean over the repository itself —
+// this is the same invocation `make lint` performs, so a regression in
+// any annotated invariant fails this unit test too.
+func TestRunOnRepo(t *testing.T) {
+	diags, err := Run(filepath.Join("..", ".."), Checks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

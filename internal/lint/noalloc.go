@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// noallocCheck enforces the //ckptlint:noalloc directive: annotated
+// functions (and annotated stored kernel-body closures) are the
+// steady-state hot path of Algorithm 1 and must not contain
+// allocation-prone constructs. The check is syntactic — it flags the
+// construct, not the escape analysis verdict — so it is deliberately
+// conservative about what it reports:
+//
+//   - slice and map composite literals, and composite literals whose
+//     address is taken (value struct literals on the stack pass);
+//   - append to a slice declared fresh in the same function (appends
+//     to parameters, struct fields and reslices of recycled buffers
+//     pass — that is what "recycled" means here);
+//   - closures created inside loops that capture the loop variable;
+//   - fmt.* calls;
+//   - string concatenation;
+//   - explicit boxing conversions to any / interface{}.
+//
+// Branches guarded by an error check (`if err != nil { ... }`) are
+// exempt: failure paths are allowed to allocate.
+type noallocCheck struct{}
+
+func (noallocCheck) Name() string { return "noalloc" }
+
+func (noallocCheck) Doc() string {
+	return "//ckptlint:noalloc functions must stay allocation-free on the steady path"
+}
+
+func (c noallocCheck) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, fb := range funcBodies(f) {
+			if !hasDirective(fb.Doc, "noalloc") {
+				continue
+			}
+			diags = append(diags, checkNoallocBody(pkg, fb.Name, fb.Type, fb.Body)...)
+		}
+		for _, al := range assignedFuncLits(pkg.Fset, f) {
+			if !hasDirective(al.Doc, "noalloc") {
+				continue
+			}
+			diags = append(diags, checkNoallocBody(pkg, al.Target, al.Lit.Type, al.Lit.Body)...)
+		}
+	}
+	return diags
+}
+
+// checkNoallocBody walks one annotated function body.
+func checkNoallocBody(pkg *Package, name string, ftype *ast.FuncType, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Check:   "noalloc",
+			Message: fmt.Sprintf("%s: ", name) + fmt.Sprintf(format, args...),
+		})
+	}
+
+	fresh := freshLocalSlices(body)
+	params := map[string]bool{}
+	if ftype != nil && ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, n := range field.Names {
+				params[n.Name] = true
+			}
+		}
+	}
+
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		if inErrGuard(n, stack, body) {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			switch t := x.Type.(type) {
+			case *ast.ArrayType:
+				if t.Len == nil {
+					report(x.Pos(), "slice literal allocates")
+				}
+			case *ast.MapType:
+				report(x.Pos(), "map literal allocates")
+			default:
+				// Escaping struct literal: &T{...}.
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+						report(x.Pos(), "escaping composite literal (&T{...}) allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fmt" {
+					report(x.Pos(), "fmt.%s allocates", sel.Sel.Name)
+				}
+			}
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "append":
+					if len(x.Args) > 0 {
+						if arg, ok := x.Args[0].(*ast.Ident); ok && fresh[arg.Name] && !params[arg.Name] {
+							report(x.Pos(), "append to function-local slice %q allocates; recycle a buffer", arg.Name)
+						}
+					}
+				case "any":
+					if len(x.Args) == 1 {
+						report(x.Pos(), "conversion to any boxes its operand")
+					}
+				}
+			}
+			if _, ok := x.Fun.(*ast.InterfaceType); ok {
+				report(x.Pos(), "conversion to interface type boxes its operand")
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && (isStringish(x.X) || isStringish(x.Y)) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.FuncLit:
+			if v := capturedLoopVar(x, stack); v != "" {
+				report(x.Pos(), "closure captures loop variable %q (allocates per iteration)", v)
+			}
+		}
+	})
+	return diags
+}
+
+// freshLocalSlices collects identifiers declared in body as new slices
+// or maps (`x := make(...)`, `x := []T{...}`, `var x []T`). Appending
+// to these grows fresh storage every call, which the hot path forbids.
+func freshLocalSlices(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := x.Rhs[i].(type) {
+				case *ast.CallExpr:
+					if fid, ok := rhs.Fun.(*ast.Ident); ok && fid.Name == "make" {
+						out[id.Name] = true
+					}
+				case *ast.CompositeLit:
+					if at, ok := rhs.Type.(*ast.ArrayType); ok && at.Len == nil {
+						out[id.Name] = true
+					}
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				if at, ok := vs.Type.(*ast.ArrayType); ok && at.Len == nil {
+					for _, n := range vs.Names {
+						out[n.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isStringish reports whether e is evidently a string expression:
+// a string literal or a string(...) conversion.
+func isStringish(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.STRING
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok {
+			return id.Name == "string"
+		}
+	}
+	return false
+}
+
+// inErrGuard reports whether n sits inside an if-branch guarded by an
+// error check within body.
+func inErrGuard(n ast.Node, stack []ast.Node, body *ast.BlockStmt) bool {
+	for _, anc := range stack {
+		ifs, ok := anc.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// The condition itself is part of the guard; only the branch
+		// bodies are exempt.
+		if ifs.Cond != nil && n.Pos() >= ifs.Body.Pos() && isErrGuard(ifs.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// capturedLoopVar returns the name of a loop variable of an enclosing
+// for/range statement referenced inside lit, or "".
+func capturedLoopVar(lit *ast.FuncLit, stack []ast.Node) string {
+	loopVars := map[string]bool{}
+	for _, anc := range stack {
+		switch s := anc.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+					loopVars[id.Name] = true
+				}
+			}
+		case *ast.ForStmt:
+			if as, ok := s.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						loopVars[id.Name] = true
+					}
+				}
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return ""
+	}
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && loopVars[id.Name] && captured == "" {
+			captured = id.Name
+		}
+		return captured == ""
+	})
+	return captured
+}

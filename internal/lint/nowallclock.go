@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// nowallclockCheck forbids time.Now inside internal/device: the device
+// cost model is a deterministic simulation whose clock advances only
+// by modeled transfer/hash durations, and a wall-clock read anywhere
+// in those paths silently turns reproducible experiment output into
+// machine-dependent output.
+//
+// A function that legitimately needs the wall clock (none do today)
+// can be tagged //ckptlint:allowwallclock.
+type nowallclockCheck struct{}
+
+func (nowallclockCheck) Name() string { return "nowallclock" }
+
+func (nowallclockCheck) Doc() string {
+	return "time.Now is forbidden in the simulated-clock device packages"
+}
+
+// wallclockDirs are the module-relative package directories the check
+// applies to. Fixture packages opt in by living in a directory whose
+// base name matches.
+var wallclockDirs = map[string]bool{
+	"internal/device": true,
+	"nowallclock":     true, // fixture packages under testdata/src/nowallclock
+}
+
+func (c nowallclockCheck) Check(pkg *Package) []Diagnostic {
+	base := pkg.Rel
+	if !wallclockDirs[base] && !wallclockDirs[pkg.Name] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, fb := range funcBodies(f) {
+			if hasDirective(fb.Doc, "allowwallclock") {
+				continue
+			}
+			fname := fb.Name
+			ast.Inspect(fb.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && sel.Sel.Name == "Now" {
+					diags = append(diags, Diagnostic{
+						Pos:     pkg.Fset.Position(sel.Pos()),
+						Check:   "nowallclock",
+						Message: fmt.Sprintf("%s: time.Now is forbidden in the device cost model (clock must stay deterministic)", fname),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}

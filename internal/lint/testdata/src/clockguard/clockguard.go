@@ -1,0 +1,42 @@
+// Package clockguard is a golden fixture for the clockguard check.
+package clockguard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type device struct {
+	mu sync.Mutex
+	//ckptlint:guardedby mu
+	clock time.Duration
+	//ckptlint:atomic
+	requests atomic.Uint64
+}
+
+func (d *device) badRead() time.Duration {
+	return d.clock // want:clockguard
+}
+
+func (d *device) badWrite(dt time.Duration) {
+	d.clock += dt // want:clockguard
+}
+
+func (d *device) goodRead() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.clock
+}
+
+func (d *device) badAtomic() uint64 {
+	var u atomic.Uint64
+	u.Store(1)
+	_ = &d.requests // want:clockguard
+	return u.Load()
+}
+
+func (d *device) goodAtomic() uint64 {
+	d.requests.Add(1)
+	return d.requests.Load()
+}

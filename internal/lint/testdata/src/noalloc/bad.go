@@ -1,0 +1,69 @@
+// Package noalloc is a golden fixture for the noalloc check. Lines
+// carrying a want-marker trailing comment must produce exactly one
+// diagnostic of the named check; unmarked lines must produce none.
+// The files parse but are never built (testdata is invisible to the
+// go tool).
+package noalloc
+
+import "fmt"
+
+type point struct{ x, y int }
+
+//ckptlint:noalloc
+func badSliceLit() []int {
+	return []int{1, 2, 3} // want:noalloc
+}
+
+//ckptlint:noalloc
+func badMapLit() map[string]int {
+	return map[string]int{"a": 1} // want:noalloc
+}
+
+//ckptlint:noalloc
+func badEscape() *point {
+	return &point{1, 2} // want:noalloc
+}
+
+//ckptlint:noalloc
+func badFmt(v int) {
+	fmt.Println(v) // want:noalloc
+}
+
+//ckptlint:noalloc
+func badAppend(n int) int {
+	xs := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		xs = append(xs, i) // want:noalloc
+	}
+	return len(xs)
+}
+
+//ckptlint:noalloc
+func badConcat(a string) string {
+	return a + "-suffix" // want:noalloc
+}
+
+//ckptlint:noalloc
+func badBox(v int) interface{} {
+	return any(v) // want:noalloc
+}
+
+//ckptlint:noalloc
+func badLoopCapture(fns *[]func()) {
+	for i := 0; i < 4; i++ {
+		*fns = append(*fns, func() { _ = i }) // want:noalloc
+	}
+}
+
+type kernel struct {
+	body func(int)
+}
+
+// The directive also attaches to stored kernel-body closures, the way
+// dedup's tree sweep bodies are annotated.
+func (k *kernel) init() {
+	//ckptlint:noalloc
+	k.body = func(n int) {
+		_ = fmt.Sprint(n) // want:noalloc
+	}
+}

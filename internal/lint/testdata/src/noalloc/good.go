@@ -1,0 +1,33 @@
+package noalloc
+
+import "fmt"
+
+//ckptlint:noalloc
+func goodRecycle(buf []byte, b byte) []byte {
+	buf = buf[:0]
+	buf = append(buf, b) // append to a parameter: caller recycles
+	return buf
+}
+
+//ckptlint:noalloc
+func goodValueLit() point {
+	return point{3, 4} // value struct literal stays on the stack
+}
+
+//ckptlint:noalloc
+func goodErrPath(err error) error {
+	if err != nil {
+		return fmt.Errorf("wrapped: %w", err) // error paths may allocate
+	}
+	return nil
+}
+
+//ckptlint:noalloc
+func ignoredFinding() []int {
+	//ckptlint:ignore noalloc fixture exercising the waiver
+	return []int{1}
+}
+
+func unannotated() []int {
+	return []int{1, 2} // no directive, no findings
+}

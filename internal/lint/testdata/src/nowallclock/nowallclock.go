@@ -1,0 +1,22 @@
+// Package nowallclock is a golden fixture for the nowallclock check
+// (the package name opts the fixture into the device-only rule).
+package nowallclock
+
+import "time"
+
+type clockModel struct {
+	now time.Duration
+}
+
+func (c *clockModel) badStamp() time.Time {
+	return time.Now() // want:nowallclock
+}
+
+//ckptlint:allowwallclock
+func wallDeadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}
+
+func goodAdvance(c *clockModel, d time.Duration) {
+	c.now += d
+}

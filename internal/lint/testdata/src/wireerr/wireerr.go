@@ -1,0 +1,44 @@
+// Package wireerr is a golden fixture for the wireerr check. The
+// `wire` qualifier is matched by name only, so no import is needed —
+// fixtures parse but never build.
+package wireerr
+
+func badDiscard(b []byte) {
+	wire.DecodeList(b) // want:wireerr
+}
+
+func badBlank(b []byte) int {
+	infos, _ := wire.DecodeList(b) // want:wireerr
+	return len(infos)
+}
+
+func badTruncate(payload []byte) uint32 {
+	return uint32(len(payload)) // want:wireerr
+}
+
+func badNamedLen(dataLen int) uint64 {
+	return uint64(dataLen) // want:wireerr
+}
+
+func goodHandled(b []byte) error {
+	_, err := wire.DecodeList(b)
+	return err
+}
+
+func goodChecked(payload []byte, max int) (uint32, bool) {
+	if len(payload) > max {
+		return 0, false
+	}
+	return uint32(len(payload)), true
+}
+
+func goodInCondition(n int, limit uint32) bool {
+	if uint32(n) > limit { // the conversion is itself part of the check
+		return false
+	}
+	return true
+}
+
+func goodNotALength(code int) uint32 {
+	return uint32(code) // not a length-ish name: out of scope
+}

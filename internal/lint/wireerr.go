@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// wireerrCheck guards the untrusted decode surface:
+//
+//  1. Errors returned by wire.*/checkpoint.* Decode and Read functions
+//     must not be discarded — no bare-statement calls and no `_` in the
+//     error position of an assignment.
+//  2. Narrowing length conversions `uint32(x)` / `uint64(x)` whose
+//     operand mentions len(...) or a variable named like a length/count
+//     must be preceded (lexically, same function) by a bounds
+//     comparison of the same operand — the pattern that produced the
+//     WriteFrame payload-length truncation.
+//
+// Like the rest of ckptlint this is syntax-level: a decode call is
+// recognized by its package qualifier and name prefix, which matches
+// every decode entry point wire and checkpoint export.
+type wireerrCheck struct{}
+
+func (wireerrCheck) Name() string { return "wireerr" }
+
+func (wireerrCheck) Doc() string {
+	return "decode errors must be handled; length narrowing needs a bounds check"
+}
+
+// decodePackages are selector bases whose Decode*/Read* results carry
+// errors that must be handled.
+var decodePackages = map[string]bool{"wire": true, "checkpoint": true}
+
+func isDecodeCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if !strings.HasPrefix(name, "Decode") && !strings.HasPrefix(name, "Read") {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && decodePackages[id.Name] {
+		return id.Name + "." + name, true
+	}
+	return "", false
+}
+
+func (c wireerrCheck) Check(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, fb := range funcBodies(f) {
+			diags = append(diags, checkDiscardedErrors(pkg, fb.Name, fb.Body)...)
+			diags = append(diags, checkLenConversions(pkg, fb.Name, fb.Body)...)
+		}
+	}
+	return diags
+}
+
+// checkDiscardedErrors flags decode calls whose error result is dropped.
+func checkDiscardedErrors(pkg *Package, fname string, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, call string) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Check:   "wireerr",
+			Message: fmt.Sprintf("%s: error from %s is discarded", fname, call),
+		})
+	}
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := isDecodeCall(call)
+		if !ok || len(stack) == 0 {
+			return
+		}
+		switch p := stack[len(stack)-1].(type) {
+		case *ast.ExprStmt:
+			// Bare statement: every result (including the error) dropped.
+			report(call.Pos(), name)
+		case *ast.AssignStmt:
+			// The error is by convention the last result; flag `_` in the
+			// last LHS slot of a direct multi-assign from this call.
+			if len(p.Rhs) == 1 && p.Rhs[0] == call && len(p.Lhs) > 0 {
+				if id, ok := p.Lhs[len(p.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+					report(call.Pos(), name)
+				}
+			}
+		case *ast.DeferStmt, *ast.GoStmt:
+			report(call.Pos(), name)
+		}
+	})
+	return diags
+}
+
+// checkLenConversions flags uint32(x)/uint64(x) length narrowing with
+// no preceding bounds check on the same operand.
+func checkLenConversions(pkg *Package, fname string, body *ast.BlockStmt) []Diagnostic {
+	// Gather the source text of every comparison operand so a later
+	// conversion of the same expression counts as checked. A comparison
+	// of a converted form — `uint64(x) > max` — also counts for x, so
+	// the idiomatic overflow guard satisfies the check.
+	compared := map[string]token.Pos{} // expr text -> earliest comparison pos
+	record := func(e ast.Expr, pos token.Pos) {
+		s := exprString(pkg.Fset, e)
+		if prev, ok := compared[s]; !ok || pos < prev {
+			compared[s] = pos
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				record(side, be.Pos())
+				if call, ok := side.(*ast.CallExpr); ok && len(call.Args) == 1 {
+					record(call.Args[0], be.Pos())
+				}
+			}
+		}
+		return true
+	})
+
+	lenLocals := lenDerivedLocals(body)
+
+	var diags []Diagnostic
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || (id.Name != "uint32" && id.Name != "uint64") {
+			return
+		}
+		arg := call.Args[0]
+		if !isLengthExpr(arg) {
+			return
+		}
+		// uint64 cannot truncate an int; the only hazard is a negative
+		// value, which a len()-derived operand cannot be.
+		if id.Name == "uint64" && isLenDerived(arg, lenLocals) {
+			return
+		}
+		// A conversion inside an if-condition is itself part of a check.
+		for _, anc := range stack {
+			if ifs, ok := anc.(*ast.IfStmt); ok && ifs.Cond != nil &&
+				arg.Pos() >= ifs.Cond.Pos() && arg.End() <= ifs.Cond.End() {
+				return
+			}
+		}
+		s := exprString(pkg.Fset, arg)
+		if p, ok := compared[s]; ok && p < call.Pos() {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   pkg.Fset.Position(call.Pos()),
+			Check: "wireerr",
+			Message: fmt.Sprintf("%s: %s(%s) narrows a length without a preceding bounds check on %s",
+				fname, id.Name, s, s),
+		})
+	})
+	return diags
+}
+
+// lenDerivedLocals collects local identifiers assigned directly from
+// len(...) within body.
+func lenDerivedLocals(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+				if fid, ok := call.Fun.(*ast.Ident); ok && fid.Name == "len" {
+					out[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isLenDerived reports whether e is len(...) itself or a local proven
+// to hold a len(...) result.
+func isLenDerived(e ast.Expr, lenLocals map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "len" {
+			return true
+		}
+	case *ast.Ident:
+		return lenLocals[x.Name]
+	}
+	return false
+}
+
+// isLengthExpr reports whether e is evidently a length: len(...) or an
+// identifier/selector whose name suggests a size or count.
+func isLengthExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "len" {
+			return true
+		}
+	case *ast.Ident:
+		return lengthyName(x.Name)
+	case *ast.SelectorExpr:
+		return lengthyName(x.Sel.Name)
+	}
+	return false
+}
+
+func lengthyName(name string) bool {
+	l := strings.ToLower(name)
+	if l == "n" {
+		return true
+	}
+	for _, frag := range []string{"len", "size", "count"} {
+		if l == frag || strings.HasSuffix(l, frag) {
+			return true
+		}
+	}
+	return false
+}

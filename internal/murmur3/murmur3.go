@@ -47,6 +47,7 @@ const (
 	c2 = 0x4cf5ad432745937f
 )
 
+//ckptlint:noalloc
 func fmix64(k uint64) uint64 {
 	k ^= k >> 33
 	k *= 0xff51afd7ed558ccd
@@ -58,6 +59,8 @@ func fmix64(k uint64) uint64 {
 
 // Sum128 computes the MurmurHash3 x64 128-bit hash of data with the
 // given seed.
+//
+//ckptlint:noalloc
 func Sum128(data []byte, seed uint32) Digest {
 	h1 := uint64(seed)
 	h2 := uint64(seed)
@@ -162,6 +165,8 @@ func Sum128(data []byte, seed uint32) Digest {
 // SumPair hashes the concatenation of two digests. It is the node
 // combiner of the Merkle tree: Tree(node) = SumPair(left, right).
 // It avoids allocating an intermediate 32-byte buffer on the heap.
+//
+//ckptlint:noalloc
 func SumPair(left, right Digest, seed uint32) Digest {
 	var buf [32]byte
 	binary.LittleEndian.PutUint64(buf[0:8], left.H1)

@@ -329,7 +329,8 @@ func ScanExclusive(p *Pool, in []int64, out []int64) int64 {
 // the idiom used to "save roots" from the level-parallel labeling
 // sweep of Algorithm 1 without a global atomic append.
 type Collector[T any] struct {
-	mu     sync.Mutex
+	mu sync.Mutex
+	//ckptlint:guardedby mu
 	shards [][]T
 }
 

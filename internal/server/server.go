@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net"
 	"os"
 	"path/filepath"
@@ -92,19 +93,22 @@ type lineage struct {
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
-	byName   map[string]uint32
+	mu sync.Mutex
+	//ckptlint:guardedby mu
+	byName map[string]uint32
+	//ckptlint:guardedby mu
 	lineages []*lineage
 
 	// Atomic counters, served via TStats.
-	requests    atomic.Uint64
-	bytesIn     atomic.Uint64
-	bytesOut    atomic.Uint64
-	activeConns atomic.Uint64
-	conns       atomic.Uint64
+	requests    atomic.Uint64 //ckptlint:atomic
+	bytesIn     atomic.Uint64 //ckptlint:atomic
+	bytesOut    atomic.Uint64 //ckptlint:atomic
+	activeConns atomic.Uint64 //ckptlint:atomic
+	conns       atomic.Uint64 //ckptlint:atomic
 
 	// conn tracking for forced shutdown
-	connMu    sync.Mutex
+	connMu sync.Mutex
+	//ckptlint:guardedby connMu
 	openConns map[net.Conn]struct{}
 }
 
@@ -163,6 +167,10 @@ func (s *Server) open(name string) (uint32, int, error) {
 		if err != nil {
 			s.mu.Unlock()
 			return 0, 0, err
+		}
+		if uint64(len(s.lineages)) >= math.MaxUint32 {
+			s.mu.Unlock()
+			return 0, 0, errors.New("server: lineage handle space exhausted")
 		}
 		h = uint32(len(s.lineages))
 		s.byName[name] = h
@@ -363,6 +371,9 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 		if err != nil {
 			return nil, err
 		}
+		if n < 0 || int64(n) > math.MaxUint32 {
+			return nil, fmt.Errorf("server: lineage length %d does not fit the frame header", n)
+		}
 		return &wire.Frame{Lineage: h, Ckpt: uint32(n)}, nil
 
 	case wire.TPush:
@@ -413,9 +424,16 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 			if err != nil {
 				return nil, fmt.Errorf("server: list lineage %q: %w", ln.name, err)
 			}
+			if n < 0 || int64(n) > math.MaxUint32 {
+				return nil, fmt.Errorf("server: lineage %q length %d does not fit the list format", ln.name, n)
+			}
 			infos = append(infos, wire.LineageInfo{Name: ln.name, Len: uint32(n), Bytes: uint64(total)})
 		}
-		return &wire.Frame{Payload: wire.EncodeList(infos)}, nil
+		payload, err := wire.EncodeList(infos)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Frame{Payload: payload}, nil
 
 	case wire.TStats:
 		st := s.Stats()

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// validFrameBytes returns the encoding of a representative frame.
+func validFrameBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	f := &Frame{Type: TPush, Status: StatusOK, Lineage: 7, Ckpt: 3, Payload: []byte("diff-bytes")}
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// validHelloBytes returns the encoding of a handshake message.
+func validHelloBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteHello(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadHelloTruncated truncates the hello at every byte boundary:
+// each prefix must fail with a typed error, never hang or panic.
+func TestReadHelloTruncated(t *testing.T) {
+	valid := validHelloBytes(t)
+	for i := 0; i < len(valid); i++ {
+		if _, err := ReadHello(bytes.NewReader(valid[:i])); err == nil {
+			t.Errorf("hello truncated to %d bytes decoded", i)
+		}
+	}
+	if v, err := ReadHello(bytes.NewReader(valid)); err != nil || v != Version {
+		t.Fatalf("valid hello: v=%d err=%v", v, err)
+	}
+}
+
+func TestReadHelloBadMagic(t *testing.T) {
+	valid := validHelloBytes(t)
+	for i := 0; i < 4; i++ {
+		b := append([]byte(nil), valid...)
+		b[i] ^= 0xFF
+		if _, err := ReadHello(bytes.NewReader(b)); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("magic byte %d corrupted: err=%v, want ErrBadMagic", i, err)
+		}
+	}
+}
+
+// TestReadFrameTruncated truncates a valid frame at every byte
+// boundary — inside the header and inside the payload.
+func TestReadFrameTruncated(t *testing.T) {
+	valid := validFrameBytes(t)
+	for i := 0; i < len(valid); i++ {
+		_, err := ReadFrame(bytes.NewReader(valid[:i]), 0)
+		if err == nil {
+			t.Errorf("frame truncated to %d bytes decoded", i)
+			continue
+		}
+		if i >= HeaderSize && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("payload truncated to %d bytes: err=%v, want ErrUnexpectedEOF", i, err)
+		}
+	}
+	f, err := ReadFrame(bytes.NewReader(valid), 0)
+	if err != nil || string(f.Payload) != "diff-bytes" {
+		t.Fatalf("valid frame: %+v err=%v", f, err)
+	}
+}
+
+// TestReadFrameOversizedPayload checks that a declared length above the
+// limit is rejected from the header alone, before any payload bytes are
+// read or allocated.
+func TestReadFrameOversizedPayload(t *testing.T) {
+	hdr := make([]byte, HeaderSize)
+	hdr[0] = TPull
+	binary.BigEndian.PutUint32(hdr[10:], 1<<20+1)
+	_, err := ReadFrame(bytes.NewReader(hdr), 1<<20)
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err=%v, want ErrPayloadTooLarge", err)
+	}
+	// The reader must not have tried to consume payload bytes.
+	r := bytes.NewReader(hdr)
+	if _, err := ReadFrame(r, 1<<20); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Fatalf("err=%v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("reader consumed only %d of %d bytes", len(hdr)-r.Len(), len(hdr))
+	}
+}
+
+// TestReadFrameLyingLength declares a large (but in-limit) payload and
+// supplies few bytes: the reader must fail with ErrUnexpectedEOF while
+// only ever allocating proportionally to the bytes that arrived.
+func TestReadFrameLyingLength(t *testing.T) {
+	hdr := make([]byte, HeaderSize)
+	hdr[0] = TPush
+	binary.BigEndian.PutUint32(hdr[10:], 128<<20)
+	b := append(hdr, bytes.Repeat([]byte{9}, 100)...)
+	if _, err := ReadFrame(bytes.NewReader(b), 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err=%v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestDecodeListTruncated truncates an encoded two-entry list at every
+// byte boundary: count, name length, name bytes, checkpoint count and
+// byte total all sit at different offsets, so this exercises every
+// field boundary of the format.
+func TestDecodeListTruncated(t *testing.T) {
+	payload, err := EncodeList([]LineageInfo{
+		{Name: "rank-0", Len: 4, Bytes: 4096},
+		{Name: "x", Len: 1, Bytes: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(payload); i++ {
+		if _, err := DecodeList(payload[:i]); err == nil {
+			t.Errorf("list truncated to %d bytes decoded", i)
+		}
+	}
+	if _, err := DecodeList(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Error("list with trailing byte decoded")
+	}
+	infos, err := DecodeList(payload)
+	if err != nil || len(infos) != 2 || infos[0].Name != "rank-0" || infos[1].Bytes != 10 {
+		t.Fatalf("valid list: %+v err=%v", infos, err)
+	}
+}
+
+// TestDecodeListLyingCount declares more entries than the payload can
+// hold: the decoder must fail without allocating for the declared
+// count.
+func TestDecodeListLyingCount(t *testing.T) {
+	b := binary.BigEndian.AppendUint32(nil, 1<<30)
+	if _, err := DecodeList(b); err == nil {
+		t.Fatal("list with 2^30 declared entries and no bytes decoded")
+	}
+}
+
+func TestDecodeStatsWrongSize(t *testing.T) {
+	valid := (&Stats{Requests: 1, Conns: 2}).Encode()
+	for _, n := range []int{0, 1, len(valid) - 1, len(valid) + 1} {
+		if _, err := DecodeStats(make([]byte, n)); err == nil {
+			t.Errorf("stats payload of %d bytes decoded", n)
+		}
+	}
+	s, err := DecodeStats(valid)
+	if err != nil || s.Requests != 1 || s.Conns != 2 {
+		t.Fatalf("valid stats: %+v err=%v", s, err)
+	}
+}

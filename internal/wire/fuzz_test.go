@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// fuzzMaxPayload keeps fuzz-driven allocations small; the declared
+// length still exercises the limit check against DefaultMaxPayload-
+// sized lies.
+const fuzzMaxPayload = 1 << 20
+
+// FuzzFrameDecode feeds arbitrary bytes to the frame reader and, when a
+// frame decodes, checks that it survives a write/read round trip
+// byte-identically. The payload is additionally interpreted as a
+// lineage list and as a stats block, covering both sub-decoders with
+// the same corpus.
+func FuzzFrameDecode(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, &Frame{Type: TPush, Status: StatusOK, Lineage: 7, Ckpt: 3, Payload: []byte("diff")})
+	f.Add(buf.Bytes())
+	payload, _ := EncodeList([]LineageInfo{{Name: "rank-0", Len: 2, Bytes: 99}})
+	buf.Reset()
+	_ = WriteFrame(&buf, &Frame{Type: TList, Payload: payload})
+	f.Add(buf.Bytes())
+	buf.Reset()
+	_ = WriteFrame(&buf, &Frame{Type: TStats, Payload: (&Stats{Requests: 5}).Encode()})
+	f.Add(buf.Bytes())
+	hdr := make([]byte, HeaderSize)
+	binary.BigEndian.PutUint32(hdr[10:], fuzzMaxPayload+1) // over-limit length
+	f.Add(hdr)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data), fuzzMaxPayload)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, fr); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		consumed := int(fr.WireSize())
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("round trip diverged:\n in  %x\n out %x", data[:consumed], out.Bytes())
+		}
+		// Sub-decoders must never panic on the payload.
+		if infos, err := DecodeList(fr.Payload); err == nil {
+			if _, err := EncodeList(infos); err != nil {
+				t.Fatalf("re-encode of decoded list failed: %v", err)
+			}
+		}
+		if s, err := DecodeStats(fr.Payload); err == nil {
+			if !bytes.Equal(s.Encode(), fr.Payload) {
+				t.Fatal("stats round trip diverged")
+			}
+		}
+	})
+}
+
+// readWriter pairs a read side with a discard write side so Handshake
+// can run against fuzz input.
+type readWriter struct {
+	io.Reader
+	io.Writer
+}
+
+// FuzzHandshake drives the full hello exchange with arbitrary peer
+// bytes: it must accept exactly a well-formed same-version hello and
+// error on everything else, never panic.
+func FuzzHandshake(f *testing.F) {
+	var valid bytes.Buffer
+	_ = WriteHello(&valid)
+	f.Add(valid.Bytes())
+	wrongVersion := append([]byte(nil), valid.Bytes()...)
+	wrongVersion[4] = 2
+	f.Add(wrongVersion)
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rw := &readWriter{Reader: bytes.NewReader(data), Writer: io.Discard}
+		err := Handshake(rw)
+		wellFormed := len(data) >= HelloSize &&
+			binary.BigEndian.Uint32(data) == Magic && data[4] == Version
+		if wellFormed && err != nil {
+			t.Fatalf("valid hello rejected: %v", err)
+		}
+		if !wellFormed && err == nil {
+			t.Fatalf("malformed hello %x accepted", data)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Protocol constants.
@@ -156,6 +157,9 @@ func Handshake(rw io.ReadWriter) error {
 // written separately; both sides buffer their connections, so this
 // does not translate into small packets.
 func WriteFrame(w io.Writer, f *Frame) error {
+	if uint64(len(f.Payload)) > math.MaxUint32 {
+		return fmt.Errorf("%w: %d bytes cannot be framed", ErrPayloadTooLarge, len(f.Payload))
+	}
 	var hdr [HeaderSize]byte
 	hdr[0] = f.Type
 	hdr[1] = f.Status
@@ -173,8 +177,16 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	return nil
 }
 
+// initialPayloadCap bounds the upfront payload allocation of
+// ReadFrame: anything larger is grown only as bytes actually arrive,
+// so a lying length field below maxPayload still cannot demand a
+// large allocation for data that never shows up.
+const initialPayloadCap = 64 << 10
+
 // ReadFrame reads one frame, rejecting payloads larger than maxPayload
-// (0 selects DefaultMaxPayload) before allocating anything.
+// (0 selects DefaultMaxPayload) before allocating anything. The
+// payload buffer starts small and grows as bytes arrive, so the
+// declared length is never trusted for the allocation.
 func ReadFrame(r io.Reader, maxPayload uint32) (*Frame, error) {
 	if maxPayload == 0 {
 		maxPayload = DefaultMaxPayload
@@ -194,9 +206,26 @@ func ReadFrame(r io.Reader, maxPayload uint32) (*Frame, error) {
 		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, n, maxPayload)
 	}
 	if n > 0 {
-		f.Payload = make([]byte, n)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			return nil, fmt.Errorf("wire: read frame payload: %w", err)
+		total := int(n)
+		f.Payload = make([]byte, min(total, initialPayloadCap))
+		filled := 0
+		for {
+			m, err := io.ReadFull(r, f.Payload[filled:])
+			filled += m
+			if err != nil {
+				if err == io.EOF {
+					// The header promised payload bytes: EOF here is
+					// a truncated frame, not a clean end of stream.
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, fmt.Errorf("wire: read frame payload: %w", err)
+			}
+			if filled == total {
+				break
+			}
+			next := make([]byte, min(total, 2*filled))
+			copy(next, f.Payload)
+			f.Payload = next
 		}
 	}
 	return f, nil
@@ -209,16 +238,23 @@ type LineageInfo struct {
 	Bytes uint64 // total stored diff bytes
 }
 
-// EncodeList serializes a TList response payload.
-func EncodeList(infos []LineageInfo) []byte {
+// EncodeList serializes a TList response payload. It fails rather
+// than truncate a count or name length that does not fit the format.
+func EncodeList(infos []LineageInfo) ([]byte, error) {
+	if uint64(len(infos)) > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: %d lineages exceed the list format limit", len(infos))
+	}
 	buf := binary.BigEndian.AppendUint32(nil, uint32(len(infos)))
 	for _, in := range infos {
+		if len(in.Name) > math.MaxUint16 {
+			return nil, fmt.Errorf("wire: lineage name of %d bytes exceeds the list format limit", len(in.Name))
+		}
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(in.Name)))
 		buf = append(buf, in.Name...)
 		buf = binary.BigEndian.AppendUint32(buf, in.Len)
 		buf = binary.BigEndian.AppendUint64(buf, in.Bytes)
 	}
-	return buf
+	return buf, nil
 }
 
 // DecodeList parses a TList response payload.
@@ -228,7 +264,9 @@ func DecodeList(b []byte) ([]LineageInfo, error) {
 	}
 	n := binary.BigEndian.Uint32(b)
 	b = b[4:]
-	infos := make([]LineageInfo, 0, n)
+	// The smallest entry is 14 bytes, so the payload bounds the entry
+	// count — never allocate on the declared count alone.
+	infos := make([]LineageInfo, 0, min(int(n), len(b)/14))
 	for i := uint32(0); i < n; i++ {
 		if len(b) < 2 {
 			return nil, errors.New("wire: truncated lineage entry")

@@ -122,7 +122,11 @@ func TestListRoundTrip(t *testing.T) {
 		{Name: "a/b-c_d", Len: 0, Bytes: 0},
 		{Name: "", Len: 1, Bytes: 1},
 	}
-	got, err := DecodeList(EncodeList(infos))
+	payload, err := EncodeList(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeList(payload)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,10 +138,14 @@ func TestListRoundTrip(t *testing.T) {
 			t.Fatalf("entry %d: got %+v want %+v", i, got[i], infos[i])
 		}
 	}
-	if empty, err := DecodeList(EncodeList(nil)); err != nil || len(empty) != 0 {
+	emptyPayload, err := EncodeList(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty, err := DecodeList(emptyPayload); err != nil || len(empty) != 0 {
 		t.Fatalf("empty list round trip: %v %v", empty, err)
 	}
-	for _, bad := range [][]byte{{}, {0, 0, 0, 1}, append(EncodeList(infos), 0)} {
+	for _, bad := range [][]byte{{}, {0, 0, 0, 1}, append(append([]byte{}, payload...), 0)} {
 		if _, err := DecodeList(bad); err == nil {
 			t.Fatalf("corrupt list %v accepted", bad)
 		}

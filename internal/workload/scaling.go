@@ -112,6 +112,11 @@ func Scaling(cfg ScalingConfig) ([]ScalingRow, error) {
 				dopts.MapCapacity = opts.MapCapacity
 				d, err := dedup.New(m, runner.GDV().SizeBytes(), dev, dopts)
 				if err != nil {
+					// Release the deduplicators already built for the
+					// earlier methods of this process.
+					for _, st := range states {
+						st.d.Close()
+					}
 					return nil, err
 				}
 				states[m] = &procState{d: d}
