@@ -13,7 +13,8 @@ FUZZ_TARGETS = \
 	FuzzFrameDecode:./internal/wire \
 	FuzzHandshake:./internal/wire \
 	FuzzDiffDecode:./internal/checkpoint \
-	FuzzRestore:./internal/checkpoint
+	FuzzRestore:./internal/checkpoint \
+	FuzzManifestDecode:./internal/checkpoint
 FUZZTIME ?= 5s
 FUZZTIME_LONG ?= 5m
 

@@ -37,12 +37,20 @@ type Client struct {
 // transport problem, so it is never retried.
 type RemoteError = wire.RemoteError
 
+// ErrUnsupported matches (via errors.Is) a RemoteError from a server
+// that does not implement the request type — e.g. a lifecycle request
+// against a pre-lifecycle ckptd build.
+var ErrUnsupported = wire.ErrUnsupported
+
 // LineageInfo describes one lineage hosted by the server.
 type LineageInfo struct {
 	// Name is the lineage name as passed to Push/Pull.
 	Name string
-	// Len is the number of stored checkpoints.
+	// Len is one past the highest stored checkpoint index.
 	Len int
+	// Base is the compaction baseline; checkpoints [Base, Len) are
+	// restorable. Zero for a never-compacted lineage.
+	Base int
 	// Bytes is the total stored diff size on the server.
 	Bytes int64
 }
@@ -61,6 +69,23 @@ type ServerStats struct {
 	Conns uint64
 	// Lineages is the number of lineages the server hosts.
 	Lineages uint64
+	// Compactions counts committed compaction transactions;
+	// CompactedDiffs the diff files they deleted; ReclaimedBytes the
+	// net disk bytes they freed.
+	Compactions, CompactedDiffs, ReclaimedBytes uint64
+}
+
+// CompactInfo reports one server-side compaction transaction.
+type CompactInfo struct {
+	// OldBase and NewBase are the lineage baseline before and after;
+	// equal when the retention policy had nothing to fold.
+	OldBase, NewBase int
+	// Pruned counts deleted diff files; Rewritten counts retained
+	// diffs rewritten to drop references into the folded prefix.
+	Pruned, Rewritten int
+	// FreedBytes is the net on-disk change (can be negative for short
+	// chains, where the full baseline outweighs the folded diffs).
+	FreedBytes int64
 }
 
 // Dial connects to a ckptd server. timeout bounds the dial and every
@@ -172,20 +197,25 @@ func (c *Client) exchangeLocked(req *wire.Frame) (*wire.Frame, error) {
 	return resp, nil
 }
 
-// open resolves a lineage name to its server handle and current
-// length. The handle is cached per connection epoch; the length is
-// always fresh.
-func (c *Client) open(name string) (handle uint32, length int, err error) {
+// open resolves a lineage name to its server handle, current length,
+// and compaction baseline. The handle is cached per connection epoch;
+// length and base are always fresh. A version-1 server omits the base
+// payload; DecodeOpenInfo maps that to base 0.
+func (c *Client) open(name string) (handle uint32, length, base int, err error) {
 	resp, err := c.roundTrip(&wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
+	}
+	b, err := wire.DecodeOpenInfo(resp.Payload)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("gpuckpt: open %q: %w", name, err)
 	}
 	c.mu.Lock()
 	if c.handles != nil {
 		c.handles[name] = resp.Lineage
 	}
 	c.mu.Unlock()
-	return resp.Lineage, int(resp.Ckpt), nil
+	return resp.Lineage, int(resp.Ckpt), int(b), nil
 }
 
 // handle returns the cached handle for name, opening it if needed.
@@ -196,15 +226,24 @@ func (c *Client) handle(name string) (uint32, error) {
 	if ok {
 		return h, nil
 	}
-	h, _, err := c.open(name)
+	h, _, _, err := c.open(name)
 	return h, err
 }
 
 // Len returns the number of checkpoints the server holds for lineage
-// name (creating the lineage, empty, if it does not exist).
+// name (creating the lineage, empty, if it does not exist). After a
+// compaction only indices [Span] of those remain restorable.
 func (c *Client) Len(name string) (int, error) {
-	_, n, err := c.open(name)
+	_, n, _, err := c.open(name)
 	return n, err
+}
+
+// Span returns the restorable index range [base, length) of the named
+// lineage: base is the compaction baseline (0 if never compacted) and
+// length is one past the highest stored checkpoint.
+func (c *Client) Span(name string) (base, length int, err error) {
+	_, n, b, err := c.open(name)
+	return b, n, err
 }
 
 // Push uploads one encoded diff (as produced by Checkpointer.WriteDiff
@@ -234,18 +273,20 @@ func (c *Client) PullDiff(name string, ckptID int) ([]byte, error) {
 	return resp.Payload, nil
 }
 
-// Pull downloads the entire named lineage and assembles it into a
-// restorable Record.
+// Pull downloads the restorable span of the named lineage and
+// assembles it into a Record. After a server-side compaction the span
+// starts at the compaction baseline, not 0; Record.Base reports it and
+// Record.Restore keeps accepting the original absolute indices.
 func (c *Client) Pull(name string) (*Record, error) {
-	_, n, err := c.open(name)
+	_, n, base, err := c.open(name)
 	if err != nil {
 		return nil, err
 	}
-	if n == 0 {
+	if n == base {
 		return nil, fmt.Errorf("gpuckpt: lineage %q is empty on %s", name, c.addr)
 	}
 	rec := checkpoint.NewRecord()
-	for ck := 0; ck < n; ck++ {
+	for ck := base; ck < n; ck++ {
 		b, err := c.PullDiff(name, ck)
 		if err != nil {
 			return nil, err
@@ -254,11 +295,14 @@ func (c *Client) Pull(name string) (*Record, error) {
 		if err != nil {
 			return nil, fmt.Errorf("gpuckpt: lineage %q diff %d: %w", name, ck, err)
 		}
+		if err := d.Rebase(-int64(base)); err != nil {
+			return nil, fmt.Errorf("gpuckpt: lineage %q diff %d: %w", name, ck, err)
+		}
 		if err := rec.Append(d); err != nil {
 			return nil, err
 		}
 	}
-	return &Record{rec: rec}, nil
+	return &Record{rec: rec, base: base}, nil
 }
 
 // PushRecord uploads every diff of rec that the server does not
@@ -276,7 +320,7 @@ func (c *Client) PushCheckpointer(name string, ck *Checkpointer) (int, error) {
 }
 
 func (c *Client) pushDiffs(name string, total int, writeDiff func(k int, w io.Writer) error) (int, error) {
-	_, have, err := c.open(name)
+	_, have, _, err := c.open(name)
 	if err != nil {
 		return 0, err
 	}
@@ -306,7 +350,7 @@ func (c *Client) List() ([]LineageInfo, error) {
 	}
 	out := make([]LineageInfo, len(raw))
 	for i, in := range raw {
-		out[i] = LineageInfo{Name: in.Name, Len: int(in.Len), Bytes: int64(in.Bytes)}
+		out[i] = LineageInfo{Name: in.Name, Len: int(in.Len), Base: int(in.Base), Bytes: int64(in.Bytes)}
 	}
 	return out, nil
 }
@@ -322,21 +366,105 @@ func (c *Client) Stats() (ServerStats, error) {
 		return ServerStats{}, err
 	}
 	return ServerStats{
-		Requests:    st.Requests,
-		BytesIn:     st.BytesIn,
-		BytesOut:    st.BytesOut,
-		ActiveConns: st.ActiveConns,
-		Conns:       st.Conns,
-		Lineages:    st.Lineages,
+		Requests:       st.Requests,
+		BytesIn:        st.BytesIn,
+		BytesOut:       st.BytesOut,
+		ActiveConns:    st.ActiveConns,
+		Conns:          st.Conns,
+		Lineages:       st.Lineages,
+		Compactions:    st.Compactions,
+		CompactedDiffs: st.CompactedDiffs,
+		ReclaimedBytes: st.ReclaimedBytes,
 	}, nil
 }
 
-// WriteDiff serializes checkpoint k of the record to w in the
-// canonical wire format — the Record counterpart of
-// Checkpointer.WriteDiff, used to push archived records to a server.
-func (r *Record) WriteDiff(k int, w io.Writer) error {
-	if k < 0 || k >= r.rec.Len() {
-		return fmt.Errorf("gpuckpt: checkpoint %d out of range [0,%d)", k, r.rec.Len())
+// compact issues one TCompact request. target is an absolute
+// checkpoint index, or wire.CompactAuto to let the server's retention
+// policy choose.
+func (c *Client) compact(name string, target uint32) (CompactInfo, error) {
+	h, err := c.handle(name)
+	if err != nil {
+		return CompactInfo{}, err
 	}
-	return r.rec.Diff(k).Encode(w)
+	resp, err := c.roundTrip(&wire.Frame{Type: wire.TCompact, Lineage: h, Ckpt: target})
+	if err != nil {
+		return CompactInfo{}, err
+	}
+	res, err := wire.DecodeCompactResult(resp.Payload)
+	if err != nil {
+		return CompactInfo{}, fmt.Errorf("gpuckpt: compact %q: %w", name, err)
+	}
+	return CompactInfo{
+		OldBase:    int(res.OldBase),
+		NewBase:    int(res.NewBase),
+		Pruned:     int(res.Pruned),
+		Rewritten:  int(res.Rewritten),
+		FreedBytes: res.FreedBytes,
+	}, nil
+}
+
+// Compact asks the server to fold the named lineage's prefix into a
+// full baseline at the index chosen by its retention policy, then
+// delete the folded diff files. The transaction is crash-safe on the
+// server and every retained checkpoint restores byte-identically
+// afterwards. Returns ErrUnsupported (via errors.Is) from servers
+// predating lifecycle support.
+func (c *Client) Compact(name string) (CompactInfo, error) {
+	return c.compact(name, wire.CompactAuto)
+}
+
+// CompactTo is Compact with an explicit target baseline k, overriding
+// the server's retention policy (but still refusing to fold past a
+// pinned checkpoint).
+func (c *Client) CompactTo(name string, k int) (CompactInfo, error) {
+	if k < 0 || uint32(k) == wire.CompactAuto {
+		return CompactInfo{}, fmt.Errorf("gpuckpt: compact target %d out of range", k)
+	}
+	return c.compact(name, uint32(k))
+}
+
+// SetRetention replaces the named lineage's retention policy; policy
+// uses the same syntax as ckptd's -retention flag ("keep-all",
+// "keep-last=N", "keep-every=K"). It changes which baseline future
+// compactions choose; it does not itself compact.
+func (c *Client) SetRetention(name, policy string) error {
+	h, err := c.handle(name)
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(&wire.Frame{Type: wire.TPolicy, Lineage: h, Payload: []byte(policy)})
+	return err
+}
+
+// Retention reports the named lineage's current retention policy.
+func (c *Client) Retention(name string) (string, error) {
+	h, err := c.handle(name)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.roundTrip(&wire.Frame{Type: wire.TPolicy, Lineage: h})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.Payload), nil
+}
+
+// WriteDiff serializes checkpoint k (absolute index) of the record to
+// w in the canonical wire format — the Record counterpart of
+// Checkpointer.WriteDiff, used to push archived records to a server.
+// For a record loaded from a compacted lineage (Base > 0) the encoded
+// ids are rewritten back to absolute form so the bytes match what the
+// originating store holds.
+func (r *Record) WriteDiff(k int, w io.Writer) error {
+	if k < r.base || k >= r.Len() {
+		return fmt.Errorf("gpuckpt: checkpoint %d out of range [%d,%d)", k, r.base, r.Len())
+	}
+	d := r.rec.Diff(k - r.base)
+	if r.base > 0 {
+		d = d.CloneShallow()
+		if err := d.Rebase(int64(r.base)); err != nil {
+			return err
+		}
+	}
+	return d.Encode(w)
 }

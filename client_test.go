@@ -393,9 +393,281 @@ func TestClientConnectionLimitError(t *testing.T) {
 }
 
 // Guard against protocol drift: the version the client speaks is the
-// version the server checks.
+// version the server checks. Version 2 added the lifecycle requests
+// (TCompact/TPolicy), the open-info base payload, and the extended
+// list/stats encodings.
 func TestClientProtocolVersion(t *testing.T) {
-	if wire.Version != 1 {
+	if wire.Version != 2 {
 		t.Fatalf("protocol version bumped to %d: update compatibility notes", wire.Version)
+	}
+}
+
+// TestClientUnsupportedRequestTyped is the regression test for the
+// unknown-opcode path: a request type the server does not implement
+// must come back as a typed error matching ErrUnsupported — not a
+// generic remote error, and not a torn connection.
+func TestClientUnsupportedRequestTyped(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	defer shutdown()
+	cl, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	_, err = cl.roundTrip(&wire.Frame{Type: 0x99})
+	if err == nil {
+		t.Fatal("unknown request type succeeded")
+	}
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unknown request type returned %v, want ErrUnsupported match", err)
+	}
+	// An ordinary failed request must NOT match the sentinel.
+	if _, err := cl.PullDiff("no-such-lineage", 3); errors.Is(err, ErrUnsupported) {
+		t.Fatalf("generic remote error matched ErrUnsupported: %v", err)
+	}
+	// The connection survives the refused request.
+	if _, err := cl.List(); err != nil {
+		t.Fatalf("connection unusable after unsupported request: %v", err)
+	}
+}
+
+// TestClientCompactionLifecycle drives retention and compaction
+// end-to-end through the public client API: push, set policy, compact,
+// pull the shortened lineage, restore absolute indices bit-exactly.
+func TestClientCompactionLifecycle(t *testing.T) {
+	const (
+		bufLen   = 32 << 10
+		numCkpts = 10
+	)
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	defer shutdown()
+	cl, err := Dial(addr, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ck, err := New(Config{Method: MethodTree, ChunkSize: 128}, bufLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	buf := make([]byte, bufLen)
+	rng.Read(buf)
+	goldens := make([][]byte, numCkpts)
+	for k := 0; k < numCkpts; k++ {
+		if k > 0 {
+			mutate(rng, buf)
+		}
+		if _, err := ck.Checkpoint(buf); err != nil {
+			t.Fatal(err)
+		}
+		goldens[k] = append([]byte(nil), buf...)
+	}
+	if _, err := cl.PushCheckpointer("lin", ck); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cl.SetRetention("lin", "keep-last=4"); err != nil {
+		t.Fatal(err)
+	}
+	if pol, err := cl.Retention("lin"); err != nil || pol != "keep-last=4" {
+		t.Fatalf("retention %q (%v)", pol, err)
+	}
+	if err := cl.SetRetention("lin", "nonsense"); err == nil {
+		t.Fatal("bogus retention accepted")
+	}
+
+	info, err := cl.Compact("lin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.OldBase != 0 || info.NewBase != numCkpts-4 || info.Pruned != numCkpts-4 {
+		t.Fatalf("compact: %+v", info)
+	}
+	base, n, err := cl.Span("lin")
+	if err != nil || base != numCkpts-4 || n != numCkpts {
+		t.Fatalf("span [%d,%d) (%v)", base, n, err)
+	}
+
+	rec, err := cl.Pull("lin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Base() != base || rec.Len() != numCkpts {
+		t.Fatalf("pulled record spans [%d,%d)", rec.Base(), rec.Len())
+	}
+	for k := base; k < numCkpts; k++ {
+		state, err := rec.Restore(k)
+		if err != nil {
+			t.Fatalf("restore %d: %v", k, err)
+		}
+		if !bytes.Equal(state, goldens[k]) {
+			t.Fatalf("checkpoint %d not byte-identical after remote compaction", k)
+		}
+	}
+	if _, err := rec.Restore(base - 1); err == nil {
+		t.Fatal("restore below the baseline succeeded")
+	}
+
+	// Explicit-target materialization past the policy's point.
+	info, err = cl.CompactTo("lin", numCkpts-2)
+	if err != nil || info.NewBase != numCkpts-2 {
+		t.Fatalf("compact to: %+v (%v)", info, err)
+	}
+	if _, err := cl.CompactTo("lin", 1); err == nil {
+		t.Fatal("backwards compaction target accepted")
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compactions < 2 || st.CompactedDiffs < uint64(numCkpts-2) {
+		t.Fatalf("stats after compactions: %+v", st)
+	}
+}
+
+// TestClientCompactionRace races pushers and pullers against an
+// aggressive background compaction worker, one lineage per diff
+// method. A Pull that spans a concurrent baseline move may fail (the
+// span it opened no longer exists) and is retried; every Pull that
+// SUCCEEDS must restore bit-exactly. Run under -race this also proves
+// the server/lifecycle locking.
+func TestClientCompactionRace(t *testing.T) {
+	const (
+		bufLen   = 16 << 10
+		numCkpts = 16
+	)
+	methods := []Method{MethodBasic, MethodList, MethodTree}
+	_, addr, shutdown := startTestServerH(t, server.Config{
+		Root:            t.TempDir(),
+		Retention:       "keep-last=4",
+		CompactInterval: 3 * time.Millisecond,
+		MaxConns:        2*len(methods) + 2,
+	})
+	defer shutdown()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(methods))
+	for mi, method := range methods {
+		lineage := fmt.Sprintf("race-%d", method)
+		var mu sync.Mutex
+		goldens := make([][]byte, 0, numCkpts)
+		record := func(img []byte) {
+			mu.Lock()
+			goldens = append(goldens, append([]byte(nil), img...))
+			mu.Unlock()
+		}
+		pusherDone := make(chan struct{})
+
+		wg.Add(1)
+		go func(mi int, method Method) { // pusher
+			defer wg.Done()
+			defer close(pusherDone)
+			errs <- func() error {
+				cl, err := Dial(addr, 10*time.Second)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				ck, err := New(Config{Method: method, ChunkSize: 128}, bufLen)
+				if err != nil {
+					return err
+				}
+				defer ck.Close()
+				rng := rand.New(rand.NewSource(int64(100 + mi)))
+				buf := make([]byte, bufLen)
+				rng.Read(buf)
+				for k := 0; k < numCkpts; k++ {
+					if k > 0 {
+						mutate(rng, buf)
+					}
+					if _, err := ck.Checkpoint(buf); err != nil {
+						return err
+					}
+					record(buf)
+					if _, err := cl.PushCheckpointer(lineage, ck); err != nil {
+						return fmt.Errorf("push %s/%d: %w", lineage, k, err)
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				return nil
+			}()
+		}(mi, method)
+
+		wg.Add(1)
+		go func() { // puller
+			defer wg.Done()
+			errs <- func() error {
+				cl, err := Dial(addr, 10*time.Second)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				verified, attempts := 0, 0
+				verify := func() error {
+					attempts++
+					rec, err := cl.Pull(lineage)
+					if err != nil {
+						return nil // span raced a compaction or push; retry
+					}
+					mu.Lock()
+					have := len(goldens)
+					mu.Unlock()
+					if rec.Len() > have {
+						return fmt.Errorf("%s: pulled %d checkpoints, only %d pushed", lineage, rec.Len(), have)
+					}
+					for k := rec.Base(); k < rec.Len(); k++ {
+						state, err := rec.Restore(k)
+						if err != nil {
+							return fmt.Errorf("%s: restore %d: %w", lineage, k, err)
+						}
+						mu.Lock()
+						ok := bytes.Equal(state, goldens[k])
+						mu.Unlock()
+						if !ok {
+							return fmt.Errorf("%s: checkpoint %d torn by concurrent compaction", lineage, k)
+						}
+						verified++
+					}
+					return nil
+				}
+				for {
+					select {
+					case <-pusherDone:
+						// Final settled pull must succeed and verify.
+						deadline := time.Now().Add(10 * time.Second)
+						for {
+							before := verified
+							if err := verify(); err != nil {
+								return err
+							}
+							if verified > before {
+								return nil
+							}
+							if time.Now().After(deadline) {
+								return fmt.Errorf("%s: no successful pull after %d attempts", lineage, attempts)
+							}
+							time.Sleep(5 * time.Millisecond)
+						}
+					default:
+						if err := verify(); err != nil {
+							return err
+						}
+					}
+				}
+			}()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
 	}
 }

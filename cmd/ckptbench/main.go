@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ckptbench -exp table1|fig4|fig5|fig6|ablation|all [flags]
+//	ckptbench -exp table1|fig4|fig5|fig6|ablation|compact|all [flags]
 //
 // Examples:
 //
@@ -55,7 +55,7 @@ func parseInts(s string) ([]int, error) {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ckptbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, compact, all")
 		vertices = fs.Int("vertices", 20000, "target vertices per input graph (paper: 11-18 M)")
 		maxK     = fs.Int("maxk", 4, "largest graphlet size for ORANGES (paper: 5)")
 		chunks   = fs.String("chunks", "32,64,128,256,512", "chunk sizes for fig4")
@@ -70,6 +70,7 @@ func run(args []string, stdout io.Writer) error {
 		gorder   = fs.Bool("gorder", false, "apply the Gorder pre-process (generators emit trace order natively)")
 		remote   = fs.String("remote", "", "ckptd server address (host:port) for -exp push")
 		lineage  = fs.String("lineage", "ckptbench", "lineage name on the server for -exp push")
+		keepLast = fs.Int("keeplast", 4, "retained checkpoints for -exp compact (keep-last=K)")
 		pipeline = fs.Bool("pipeline", false, "overlap each checkpoint's store with the next one's dedup (CheckpointAsync)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -232,10 +233,17 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return emit("push", t)
 		},
+		"compact": func() error {
+			t, err := compactExperiment(cfg, *keepLast)
+			if err != nil {
+				return err
+			}
+			return emit("compact", t)
+		},
 	}
 	// "push" needs a live ckptd server, so "all" (the offline
 	// reproduction pass) does not include it.
-	order := []string{"table1", "fig4", "fig5", "fig6", "overhead", "ablation", "extensions", "adjoint", "headline"}
+	order := []string{"table1", "fig4", "fig5", "fig6", "overhead", "ablation", "extensions", "adjoint", "headline", "compact"}
 
 	if *exp == "all" {
 		for _, name := range order {

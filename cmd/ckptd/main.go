@@ -50,6 +50,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "per-response write deadline")
 		drainTimeout = fs.Duration("drain-timeout", 5*time.Second, "shutdown drain budget for in-flight requests")
 		quiet        = fs.Bool("quiet", false, "suppress per-connection logging")
+		retention    = fs.String("retention", "keep-all", "default retention policy per lineage: keep-all, keep-last=N, or keep-every=K")
+		compactEvery = fs.Duration("compact-interval", 0, "background compaction sweep interval (0 disables; compaction then runs only on client request)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,12 +61,14 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	cfg := server.Config{
-		Root:         *root,
-		MaxConns:     *maxConns,
-		MaxPayload:   uint32(*maxPayload),
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		DrainTimeout: *drainTimeout,
+		Root:            *root,
+		MaxConns:        *maxConns,
+		MaxPayload:      uint32(*maxPayload),
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		DrainTimeout:    *drainTimeout,
+		Retention:       *retention,
+		CompactInterval: *compactEvery,
 	}
 	if *quiet {
 		cfg.Logf = func(string, ...any) {}

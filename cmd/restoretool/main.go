@@ -1,6 +1,6 @@
-// Command restoretool inspects and restores checkpoint records stored
-// in the canonical diff wire format (a concatenation of encoded
-// diffs, as written by Checkpointer.WriteDiff).
+// Command restoretool inspects, restores, and compacts checkpoint
+// records stored in the canonical diff wire format (a concatenation of
+// encoded diffs, as written by Checkpointer.WriteDiff).
 //
 // Usage:
 //
@@ -8,10 +8,17 @@
 //	restoretool -dir lineage/ -info                  # PersistDir layout
 //	restoretool -record lineage.bin -restore 3 -o state.bin
 //	restoretool -dir lineage/ -restore 3 -verify golden.bin
+//	restoretool -dir lineage/ -compact keep-last=8
 //	restoretool -remote host:9090 -lineage proc-00 -restore 3
+//	restoretool -remote host:9090 -lineage proc-00 -compact keep-last=8
 //
 // With -remote, the record is pulled over the network from a ckptd
-// checkpoint server (cmd/ckptd) instead of read from local files.
+// checkpoint server (cmd/ckptd) instead of read from local files, and
+// -compact runs as a server-side transaction.
+//
+// A compacted lineage keeps its original absolute checkpoint indices:
+// after compacting to baseline 8, -restore 8 and up keep working and
+// restore the same bytes as before, while earlier indices are gone.
 package main
 
 import (
@@ -46,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		info       = fs.Bool("info", false, "print per-checkpoint record info")
 		restore    = fs.Int("restore", -1, "restore this checkpoint id")
 		parallel   = fs.Int("parallel", 0, "restore workers (0 = GOMAXPROCS)")
+		compact    = fs.String("compact", "", "compact the lineage under this retention policy (keep-all, keep-last=N, keep-every=K) before other actions")
 		out        = fs.String("o", "", "write the restored buffer to this file")
 		verify     = fs.String("verify", "", "compare the restored buffer with this file")
 	)
@@ -64,8 +72,53 @@ func run(args []string, stdout io.Writer) error {
 	if (*remote != "") != (*lineage != "") {
 		return fmt.Errorf("-remote and -lineage go together")
 	}
+	if *compact != "" && *recordPath != "" {
+		return fmt.Errorf("-compact needs a lineage (-dir or -remote), not a flat -record stream")
+	}
 
-	// Collect the raw diff stream for the -info report.
+	var cl *gpuckpt.Client
+	if *remote != "" {
+		var err error
+		cl, err = gpuckpt.Dial(*remote, *timeout)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+	}
+
+	// Compaction runs first so -info and -restore report the state the
+	// tool leaves behind.
+	if *compact != "" {
+		var (
+			oldBase, newBase, pruned, rewritten int
+			freed                               int64
+		)
+		if cl != nil {
+			if err := cl.SetRetention(*lineage, *compact); err != nil {
+				return err
+			}
+			ci, err := cl.Compact(*lineage)
+			if err != nil {
+				return err
+			}
+			oldBase, newBase, pruned, rewritten, freed = ci.OldBase, ci.NewBase, ci.Pruned, ci.Rewritten, ci.FreedBytes
+		} else {
+			cs, err := gpuckpt.CompactDir(*dirPath, *compact, *parallel)
+			if err != nil {
+				return err
+			}
+			oldBase, newBase, pruned, rewritten, freed = cs.OldBase, cs.NewBase, cs.PrunedDiffs, cs.RewrittenDiffs, cs.FreedBytes
+		}
+		if newBase == oldBase {
+			fmt.Fprintf(stdout, "compaction (%s): nothing to fold, baseline stays %d\n", *compact, oldBase)
+		} else {
+			fmt.Fprintf(stdout, "compacted (%s): baseline %d -> %d, pruned %d diffs, rewrote %d, freed %s\n",
+				*compact, oldBase, newBase, pruned, rewritten, metrics.Bytes(freed))
+		}
+	}
+
+	// Collect the raw diff stream for the -info report. Ids in the
+	// stream are absolute: a compacted lineage starts at its baseline.
 	var raw []byte
 	switch {
 	case *recordPath != "":
@@ -74,28 +127,23 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-	case *remote != "":
-		cl, err := gpuckpt.Dial(*remote, *timeout)
+	case cl != nil:
+		base, n, err := cl.Span(*lineage)
 		if err != nil {
 			return err
 		}
-		defer cl.Close()
-		n, err := cl.Len(*lineage)
-		if err != nil {
-			return err
-		}
-		if n == 0 {
+		if n == base {
 			return fmt.Errorf("lineage %q on %s is empty", *lineage, *remote)
 		}
-		for ck := 0; ck < n; ck++ {
+		for ck := base; ck < n; ck++ {
 			b, err := cl.PullDiff(*lineage, ck)
 			if err != nil {
 				return err
 			}
 			raw = append(raw, b...)
 		}
-		fmt.Fprintf(stdout, "pulled lineage %q (%d checkpoints, %s) from %s\n",
-			*lineage, n, metrics.Bytes(int64(len(raw))), *remote)
+		fmt.Fprintf(stdout, "pulled lineage %q (checkpoints [%d,%d), %s) from %s\n",
+			*lineage, base, n, metrics.Bytes(int64(len(raw))), *remote)
 	default:
 		store, err := checkpoint.NewFileStore(*dirPath)
 		if err != nil {
@@ -114,6 +162,10 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			raw = append(raw, b...)
+		}
+		if man := store.Manifest(); man.Base > 0 || len(man.Pins) > 0 {
+			fmt.Fprintf(stdout, "manifest: baseline %d, generation %d, pins %v\n",
+				man.Base, man.Generation, man.Pins)
 		}
 	}
 
@@ -147,13 +199,27 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *restore < 0 {
-		if !*info {
-			return fmt.Errorf("nothing to do: pass -info or -restore")
+		if !*info && *compact == "" {
+			return fmt.Errorf("nothing to do: pass -info, -restore or -compact")
 		}
 		return nil
 	}
 
-	rec, err := gpuckpt.ReadRecord(bytes.NewReader(raw))
+	// Restore goes through the base-aware loaders, not the raw stream:
+	// a compacted lineage's diffs carry absolute ids that only the
+	// store/client know how to rebase.
+	var (
+		rec *gpuckpt.Record
+		err error
+	)
+	switch {
+	case *recordPath != "":
+		rec, err = gpuckpt.ReadRecord(bytes.NewReader(raw))
+	case cl != nil:
+		rec, err = cl.Pull(*lineage)
+	default:
+		rec, err = gpuckpt.ReadRecordDir(*dirPath)
+	}
 	if err != nil {
 		return err
 	}

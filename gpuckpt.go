@@ -11,6 +11,7 @@ import (
 	"github.com/gpuckpt/gpuckpt/internal/compress"
 	"github.com/gpuckpt/gpuckpt/internal/dedup"
 	"github.com/gpuckpt/gpuckpt/internal/device"
+	"github.com/gpuckpt/gpuckpt/internal/lifecycle"
 	"github.com/gpuckpt/gpuckpt/internal/parallel"
 )
 
@@ -418,9 +419,12 @@ func (c *Checkpointer) Close() {
 
 // Record is a read-only checkpoint lineage reconstructed from
 // serialized diffs, for restore on a machine that never held the
-// original Checkpointer.
+// original Checkpointer. A record loaded from a compacted lineage
+// keeps the original absolute indexing: its checkpoints are
+// [Base, Len), and Restore takes those absolute indices.
 type Record struct {
-	rec *checkpoint.Record
+	rec  *checkpoint.Record
+	base int
 }
 
 // ReadRecord decodes consecutive diffs (checkpoint 0, 1, ...) from r
@@ -451,11 +455,25 @@ func (r *Record) Parallel(workers int) {
 	r.rec.SetPool(parallel.NewPool(workers))
 }
 
-// Len returns the number of checkpoints in the record.
-func (r *Record) Len() int { return r.rec.Len() }
+// Len returns one past the highest checkpoint index in the record.
+// The restorable range is [Base(), Len()).
+func (r *Record) Len() int { return r.base + r.rec.Len() }
 
-// Restore reconstructs the buffer as of checkpoint k.
-func (r *Record) Restore(k int) ([]byte, error) { return r.rec.Restore(k) }
+// Base returns the record's first restorable checkpoint index — the
+// compaction baseline of the lineage it was loaded from, or 0 for a
+// never-compacted lineage.
+func (r *Record) Base() int { return r.base }
+
+// Restore reconstructs the buffer as of checkpoint k. k is an
+// absolute lineage index: for a record pulled from a compacted
+// lineage it must lie in [Base(), Len()), and restores the same bytes
+// that index restored before compaction.
+func (r *Record) Restore(k int) ([]byte, error) {
+	if k < r.base || k >= r.Len() {
+		return nil, fmt.Errorf("gpuckpt: checkpoint %d out of range [%d,%d)", k, r.base, r.Len())
+	}
+	return r.rec.Restore(k - r.base)
+}
 
 // TotalBytes returns the cumulative serialized size of the record.
 func (r *Record) TotalBytes() int64 { return r.rec.TotalBytes() }
@@ -471,7 +489,9 @@ func (c *Checkpointer) SaveRecordDir(dir string) error {
 }
 
 // ReadRecordDir loads a lineage directory written by PersistDir or
-// SaveRecordDir into a restorable Record.
+// SaveRecordDir into a restorable Record. For a compacted directory
+// the record's Base reports the compaction baseline and Restore keeps
+// accepting the original absolute indices.
 func ReadRecordDir(dir string) (*Record, error) {
 	store, err := checkpoint.NewFileStore(dir)
 	if err != nil {
@@ -481,5 +501,52 @@ func ReadRecordDir(dir string) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Record{rec: rec}, nil
+	return &Record{rec: rec, base: store.Base()}, nil
+}
+
+// CompactStats reports one committed lineage compaction.
+type CompactStats struct {
+	// OldBase and NewBase are the restorable-range start before and
+	// after; equal when the policy had nothing to fold.
+	OldBase, NewBase int
+	// PrunedDiffs counts deleted diff files; RewrittenDiffs counts
+	// retained diffs rewritten to drop references into the folded
+	// prefix.
+	PrunedDiffs, RewrittenDiffs int
+	// FreedBytes is the net on-disk change (negative when the new full
+	// baseline outweighs the folded diffs, as happens on short chains).
+	FreedBytes int64
+}
+
+// CompactDir folds the prefix of the lineage directory dir into a full
+// baseline at the index chosen by policy ("keep-all", "keep-last=N",
+// "keep-every=K") and deletes the folded diff files. The transaction
+// is crash-safe: interrupted runs leave every retained checkpoint
+// restorable, and the next open (or CompactDir call) completes the
+// cleanup. workers bounds the restore worker pool (0 = GOMAXPROCS).
+func CompactDir(dir, policy string, workers int) (CompactStats, error) {
+	pol, err := lifecycle.ParsePolicy(policy)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		return CompactStats{}, err
+	}
+	mgr, err := lifecycle.New(store, pol, lifecycle.Options{Workers: workers})
+	if err != nil {
+		return CompactStats{}, err
+	}
+	defer mgr.Close()
+	st, err := mgr.Compact()
+	if err != nil {
+		return CompactStats{}, err
+	}
+	return CompactStats{
+		OldBase:        st.OldBase,
+		NewBase:        st.NewBase,
+		PrunedDiffs:    st.PrunedDiffs,
+		RewrittenDiffs: st.RewrittenDiffs,
+		FreedBytes:     st.FreedBytes,
+	}, nil
 }

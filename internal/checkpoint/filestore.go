@@ -4,30 +4,55 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
 )
 
 // FileStore persists a checkpoint lineage as a directory of diff
 // files, one per checkpoint (`ckpt-000000.gckp`, `ckpt-000001.gckp`,
-// ...). Files are written atomically (temp file + rename) so a crash
-// mid-checkpoint never leaves a truncated diff; on load, the sequence
-// is validated by the Record's usual geometry and ordering checks.
+// ...), plus an optional lifecycle manifest (`lineage.manifest`). Files
+// are written atomically (temp file + rename) so a crash mid-checkpoint
+// never leaves a truncated diff; on load, the sequence is validated by
+// the Record's usual geometry and ordering checks.
+//
+// File names carry absolute checkpoint ids and so do the diffs inside
+// them: after a compaction moves the baseline to index k, the retained
+// files keep their names and bytes, the manifest records Base=k, and
+// Load rebases ids to the 0-based contiguous ids Record.Append
+// requires. The restorable range is [Base(), Len()).
+//
+// Crash recovery: opening a store sweeps temp debris, then deletes any
+// diff file below the manifest baseline — the tail of a compaction
+// transaction that committed its manifest but crashed before finishing
+// the prune (see internal/lifecycle).
 //
 // A FileStore is safe for concurrent use by multiple goroutines within
-// one process: Append holds an internal mutex across the length check
-// and the rename, so two goroutines racing to append the same next id
-// yield exactly one winner (the loser gets a contiguity error instead
-// of silently overwriting the winner's file). Two FileStores opened on
-// the same directory — or two processes — are NOT coordinated; give
-// each lineage a single owner, as the ckptd server does.
+// one process: every method holds an internal mutex, so two goroutines
+// racing to append the same next id yield exactly one winner (the loser
+// gets a contiguity error instead of silently overwriting the winner's
+// file). Two FileStores opened on the same directory — or two
+// processes — are NOT coordinated; give each lineage a single owner,
+// as the ckptd server does.
 //
 // This is the bottom of the paper's storage hierarchy (§2.3): what the
 // asynchronous runtime eventually flushes to the parallel file system.
 type FileStore struct {
 	dir string
+
+	// man, n, and size are protected by mu. They are also touched by
+	// the *Locked helpers (callers hold mu) and by NewFileStore before
+	// the store is shared, which is why they carry no ckptlint
+	// guardedby directive — that check requires the Lock call to be in
+	// the same function body.
 	mu  sync.Mutex
+	man Manifest
+	// n is one past the highest contiguously stored checkpoint index,
+	// starting from the baseline; size is the cumulative on-disk byte
+	// count of diffs [man.Base, n). Both are computed once on open and
+	// maintained incrementally by Append/ReplaceDiff, so Len and
+	// TotalBytes are O(1) instead of a directory scan per call.
+	n    int
+	size int64
 }
 
 const (
@@ -38,13 +63,30 @@ const (
 
 // NewFileStore creates (or reopens) a lineage directory. Orphaned
 // temporary files from a previous crash (created but never renamed
-// into place) are swept on open; they were never part of the lineage.
+// into place) are swept on open, a manifest is loaded if present, and
+// an interrupted compaction prune is completed (files below the
+// committed baseline are deleted).
 func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating store %s: %w", dir, err)
 	}
 	fs := &FileStore{dir: dir}
+	man, err := ReadManifestFile(fs.manifestPath())
+	switch {
+	case err == nil:
+		fs.man = *man
+	case os.IsNotExist(err):
+		// No manifest: a legacy / never-compacted lineage, baseline 0.
+	default:
+		return nil, err
+	}
 	if err := fs.sweepTemp(); err != nil {
+		return nil, err
+	}
+	if _, _, err := fs.pruneBelowBaseLocked(); err != nil {
+		return nil, err
+	}
+	if err := fs.rescanLocked(); err != nil {
 		return nil, err
 	}
 	return fs, nil
@@ -77,51 +119,111 @@ func (fs *FileStore) diffPath(ck int) string {
 	return filepath.Join(fs.dir, fmt.Sprintf("ckpt-%06d%s", ck, diffFileExt))
 }
 
-// Len returns the number of consecutively stored diffs (0, 1, ...,
-// n-1 present).
+// manifestPath returns the manifest file name.
+func (fs *FileStore) manifestPath() string {
+	return filepath.Join(fs.dir, ManifestFileName)
+}
+
+// parseDiffName extracts the checkpoint index from a diff file name.
+func parseDiffName(name string) (int, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, diffFileExt) {
+		return 0, false
+	}
+	var ck int
+	if _, err := fmt.Sscanf(name, "ckpt-%06d", &ck); err != nil {
+		return 0, false
+	}
+	return ck, true
+}
+
+// rescanLocked recomputes the cached length and byte count from the
+// directory: the contiguous run of diff files starting at the
+// baseline. Stray files beyond a gap are ignored, as before.
+func (fs *FileStore) rescanLocked() error {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: reading store: %w", err)
+	}
+	sizes := map[int]int64{}
+	for _, e := range entries {
+		ck, ok := parseDiffName(e.Name())
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return fmt.Errorf("checkpoint: stat %s: %w", e.Name(), err)
+		}
+		sizes[ck] = info.Size()
+	}
+	fs.n = int(fs.man.Base)
+	fs.size = 0
+	for {
+		sz, ok := sizes[fs.n]
+		if !ok {
+			break
+		}
+		fs.size += sz
+		fs.n++
+	}
+	return nil
+}
+
+// Base returns the baseline index: the first restorable checkpoint.
+func (fs *FileStore) Base() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return int(fs.man.Base)
+}
+
+// Manifest returns a copy of the current lifecycle manifest.
+func (fs *FileStore) Manifest() Manifest {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.man.Clone()
+}
+
+// Len returns one past the highest stored checkpoint index. For a
+// never-compacted lineage this is the diff count; after compaction the
+// stored diffs span [Base(), Len()). The error return is kept for
+// interface stability; the cached value cannot fail.
 func (fs *FileStore) Len() (int, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	return fs.lenLocked()
-}
-
-// lenLocked is Len for callers already holding fs.mu.
-func (fs *FileStore) lenLocked() (int, error) {
-	entries, err := os.ReadDir(fs.dir)
-	if err != nil {
-		return 0, fmt.Errorf("checkpoint: reading store: %w", err)
-	}
-	present := map[int]bool{}
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, diffFileExt) {
-			continue
-		}
-		var ck int
-		if _, err := fmt.Sscanf(name, "ckpt-%06d", &ck); err == nil {
-			present[ck] = true
-		}
-	}
-	n := 0
-	for present[n] {
-		n++
-	}
-	return n, nil
+	return fs.n, nil
 }
 
 // Append writes diff d as the next checkpoint file. The diff's CkptID
-// must equal the current length (contiguity); concurrent appends of
-// the same id are serialized and exactly one wins.
+// must equal the current length (contiguity), and its shifted
+// duplicates must not reference a checkpoint below the baseline —
+// after a compaction those bytes are gone, so a stale pusher that
+// still holds pre-compaction history gets a clean error instead of
+// storing an unrestorable diff. Concurrent appends of the same id are
+// serialized and exactly one wins.
 func (fs *FileStore) Append(d *Diff) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	n, err := fs.lenLocked()
-	if err != nil {
+	if int(d.CkptID) != fs.n {
+		return fmt.Errorf("checkpoint: store has diffs [%d,%d), cannot append id %d",
+			fs.man.Base, fs.n, d.CkptID)
+	}
+	for _, s := range d.ShiftDupl {
+		if s.SrcCkpt < fs.man.Base {
+			return fmt.Errorf("checkpoint: diff %d references checkpoint %d, pruned below baseline %d",
+				d.CkptID, s.SrcCkpt, fs.man.Base)
+		}
+	}
+	if err := fs.writeDiffLocked(fs.n, d); err != nil {
 		return err
 	}
-	if int(d.CkptID) != n {
-		return fmt.Errorf("checkpoint: store has %d diffs, cannot append id %d", n, d.CkptID)
-	}
+	fs.n++
+	fs.size += d.TotalBytes()
+	return nil
+}
+
+// writeDiffLocked encodes d into the file of checkpoint ck via temp
+// file + rename.
+func (fs *FileStore) writeDiffLocked(ck int, d *Diff) error {
 	tmp, err := os.CreateTemp(fs.dir, tmpPrefix+"*"+tmpSuffix)
 	if err != nil {
 		return fmt.Errorf("checkpoint: temp file: %w", err)
@@ -136,25 +238,115 @@ func (fs *FileStore) Append(d *Diff) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: closing temp file: %w", err)
 	}
-	if err := os.Rename(tmpName, fs.diffPath(n)); err != nil {
+	if err := os.Rename(tmpName, fs.diffPath(ck)); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: publishing diff %d: %w", n, err)
+		return fmt.Errorf("checkpoint: publishing diff %d: %w", ck, err)
 	}
 	return nil
 }
 
+// ReplaceDiff atomically overwrites the file of stored checkpoint ck
+// with d (temp file + rename). The compaction transaction uses it to
+// install the materialized baseline and to rewrite suffix diffs; every
+// replacement must be state-equivalent, which internal/lifecycle
+// verifies before writing anything. d must carry the absolute id ck.
+func (fs *FileStore) ReplaceDiff(ck int, d *Diff) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if ck < int(fs.man.Base) || ck >= fs.n {
+		return fmt.Errorf("checkpoint: replace %d outside stored range [%d,%d)", ck, fs.man.Base, fs.n)
+	}
+	if int(d.CkptID) != ck {
+		return fmt.Errorf("checkpoint: replacement for %d carries id %d", ck, d.CkptID)
+	}
+	old, err := os.Stat(fs.diffPath(ck))
+	if err != nil {
+		return fmt.Errorf("checkpoint: stat diff %d: %w", ck, err)
+	}
+	if err := fs.writeDiffLocked(ck, d); err != nil {
+		return err
+	}
+	fs.size += d.TotalBytes() - old.Size()
+	return nil
+}
+
+// CommitManifest atomically publishes m as the lineage manifest — the
+// commit point of a compaction transaction. The baseline may only move
+// forward, must keep at least one stored diff, and every pin must lie
+// in the retained range. Files below the new baseline are NOT deleted
+// here; call PruneBelowBase afterwards (recovery on reopen completes
+// the prune if the process dies in between).
+func (fs *FileStore) CommitManifest(m Manifest) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if m.Base < fs.man.Base {
+		return fmt.Errorf("checkpoint: manifest baseline %d behind committed %d", m.Base, fs.man.Base)
+	}
+	if int(m.Base) > fs.n || (fs.n > int(fs.man.Base) && int(m.Base) >= fs.n) {
+		return fmt.Errorf("checkpoint: manifest baseline %d has no stored diff (range [%d,%d))",
+			m.Base, fs.man.Base, fs.n)
+	}
+	if m.Generation <= fs.man.Generation {
+		return fmt.Errorf("checkpoint: manifest generation %d does not advance %d",
+			m.Generation, fs.man.Generation)
+	}
+	for _, p := range m.Pins {
+		if int(p) >= fs.n {
+			return fmt.Errorf("checkpoint: pin %d beyond stored range [%d,%d)", p, m.Base, fs.n)
+		}
+	}
+	if err := WriteManifestFile(fs.manifestPath(), &m); err != nil {
+		return err
+	}
+	fs.man = m.Clone()
+	// The cached byte count covers [Base, n); rescan under the new
+	// baseline (files below it still exist until PruneBelowBase runs).
+	return fs.rescanLocked()
+}
+
+// PruneBelowBase deletes diff files below the committed baseline and
+// returns how many files and bytes it removed. It is idempotent: the
+// deletions are also performed on reopen, so a crash anywhere in the
+// loop loses nothing but disk space until the next open.
+func (fs *FileStore) PruneBelowBase() (int, int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.pruneBelowBaseLocked()
+}
+
+func (fs *FileStore) pruneBelowBaseLocked() (int, int64, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: reading store: %w", err)
+	}
+	removed, freed := 0, int64(0)
+	for _, e := range entries {
+		ck, ok := parseDiffName(e.Name())
+		if !ok || ck >= int(fs.man.Base) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return removed, freed, fmt.Errorf("checkpoint: stat %s: %w", e.Name(), err)
+		}
+		if err := os.Remove(filepath.Join(fs.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+			return removed, freed, fmt.Errorf("checkpoint: pruning %s: %w", e.Name(), err)
+		}
+		removed++
+		freed += info.Size()
+	}
+	return removed, freed, nil
+}
+
 // DiffBytes returns the raw encoded bytes of stored checkpoint ck,
-// exactly as Append wrote them — the zero-copy path a network server
+// exactly as they sit on disk — the zero-copy path a network server
 // uses to serve a pull without decoding.
 func (fs *FileStore) DiffBytes(ck int) ([]byte, error) {
 	fs.mu.Lock()
-	n, err := fs.lenLocked()
+	base, length := int(fs.man.Base), fs.n
 	fs.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	if ck < 0 || ck >= n {
-		return nil, fmt.Errorf("checkpoint: diff %d out of range [0,%d)", ck, n)
+	if ck < base || ck >= length {
+		return nil, fmt.Errorf("checkpoint: diff %d out of range [%d,%d)", ck, base, length)
 	}
 	b, err := os.ReadFile(fs.diffPath(ck))
 	if err != nil {
@@ -167,32 +359,22 @@ func (fs *FileStore) DiffBytes(ck int) ([]byte, error) {
 func (fs *FileStore) TotalBytes() (int64, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	n, err := fs.lenLocked()
-	if err != nil {
-		return 0, err
-	}
-	var total int64
-	for ck := 0; ck < n; ck++ {
-		fi, err := os.Stat(fs.diffPath(ck))
-		if err != nil {
-			return 0, fmt.Errorf("checkpoint: stat diff %d: %w", ck, err)
-		}
-		total += fi.Size()
-	}
-	return total, nil
+	return fs.size, nil
 }
 
-// Load reads the stored lineage into a restorable Record.
+// Load reads the stored lineage [Base, Len) into a restorable Record.
+// On-disk diffs carry absolute ids; Load rebases them to the 0-based
+// contiguous ids the Record requires, so Record index i is absolute
+// checkpoint Base()+i.
 func (fs *FileStore) Load() (*Record, error) {
-	n, err := fs.Len()
-	if err != nil {
-		return nil, err
-	}
-	if n == 0 {
+	fs.mu.Lock()
+	base, length := int(fs.man.Base), fs.n
+	fs.mu.Unlock()
+	if length == base {
 		return nil, fmt.Errorf("checkpoint: store %s is empty", fs.dir)
 	}
 	rec := NewRecord()
-	for ck := 0; ck < n; ck++ {
+	for ck := base; ck < length; ck++ {
 		f, err := os.Open(fs.diffPath(ck))
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: opening diff %d: %w", ck, err)
@@ -201,6 +383,12 @@ func (fs *FileStore) Load() (*Record, error) {
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: decoding diff %d: %w", ck, err)
+		}
+		if int(d.CkptID) != ck {
+			return nil, fmt.Errorf("checkpoint: file %d holds diff id %d", ck, d.CkptID)
+		}
+		if err := d.Rebase(-int64(base)); err != nil {
+			return nil, fmt.Errorf("checkpoint: diff %d: %w", ck, err)
 		}
 		if err := rec.Append(d); err != nil {
 			return nil, err
@@ -216,7 +404,7 @@ func (fs *FileStore) WriteRecord(rec *Record) error {
 		return err
 	}
 	if n != 0 {
-		return fmt.Errorf("checkpoint: store %s already holds %d diffs", fs.dir, n)
+		return fmt.Errorf("checkpoint: store %s already holds diffs up to %d", fs.dir, n)
 	}
 	for i := 0; i < rec.Len(); i++ {
 		if err := fs.Append(rec.Diff(i)); err != nil {
@@ -228,14 +416,12 @@ func (fs *FileStore) WriteRecord(rec *Record) error {
 
 // Files lists the stored diff file names in checkpoint order.
 func (fs *FileStore) Files() ([]string, error) {
-	n, err := fs.Len()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]string, 0, n)
-	for ck := 0; ck < n; ck++ {
+	fs.mu.Lock()
+	base, length := int(fs.man.Base), fs.n
+	fs.mu.Unlock()
+	out := make([]string, 0, length-base)
+	for ck := base; ck < length; ck++ {
 		out = append(out, fs.diffPath(ck))
 	}
-	sort.Strings(out)
 	return out, nil
 }

@@ -261,3 +261,258 @@ func TestFileStoreDiffBytes(t *testing.T) {
 		t.Fatalf("TotalBytes %d, want %d (err %v)", total, want.Len(), err)
 	}
 }
+
+// commitBase commits a new manifest moving the baseline to base, with
+// the next generation.
+func commitBase(t *testing.T, fs *FileStore, base int) {
+	t.Helper()
+	m := fs.Manifest()
+	m.Base = uint32(base)
+	m.Generation++
+	kept := m.Pins[:0]
+	for _, p := range m.Pins {
+		if int(p) >= base {
+			kept = append(kept, p)
+		}
+	}
+	m.Pins = kept
+	if err := fs.CommitManifest(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreBaseline(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 5; ck++ {
+		if err := fs.Append(storeDiff(ck, byte(ck+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitBase(t, fs, 2)
+	if fs.Base() != 2 {
+		t.Fatalf("base %d, want 2", fs.Base())
+	}
+	if n, _ := fs.Len(); n != 5 {
+		t.Fatalf("len %d, want 5 (absolute)", n)
+	}
+	// Files below the baseline still exist until the prune runs; the
+	// restorable views must already exclude them.
+	if _, err := fs.DiffBytes(1); err == nil {
+		t.Fatal("DiffBytes below baseline served")
+	}
+	files, _ := fs.Files()
+	if len(files) != 3 {
+		t.Fatalf("Files lists %d entries, want 3", len(files))
+	}
+	removed, freed, err := fs.PruneBelowBase()
+	if err != nil || removed != 2 || freed <= 0 {
+		t.Fatalf("prune: removed %d, freed %d, err %v", removed, freed, err)
+	}
+	// Idempotent.
+	if removed, _, err := fs.PruneBelowBase(); err != nil || removed != 0 {
+		t.Fatalf("second prune: removed %d, err %v", removed, err)
+	}
+	// Load rebases to 0-based record indices: record index i holds
+	// absolute checkpoint base+i.
+	rec, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("record len %d, want 3", rec.Len())
+	}
+	for i := 0; i < 3; i++ {
+		state, err := rec.Restore(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if state[0] != byte(2+i+1) {
+			t.Fatalf("record index %d restored tag %d", i, state[0])
+		}
+	}
+	// Appends continue at the absolute length.
+	if err := fs.Append(storeDiff(5, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// The exact cached size equals the bytes on disk.
+	var disk int64
+	files, _ = fs.Files()
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk += st.Size()
+	}
+	if total, _ := fs.TotalBytes(); total != disk {
+		t.Fatalf("cached TotalBytes %d, on-disk %d", total, disk)
+	}
+}
+
+func TestFileStoreRecoversInterruptedPrune(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 4; ck++ {
+		if err := fs.Append(storeDiff(ck, byte(ck+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash after the manifest commit but before the prune:
+	// commit without pruning, then reopen.
+	commitBase(t, fs, 2)
+	if _, err := os.Stat(fs.diffPath(0)); err != nil {
+		t.Fatalf("precondition: pruned file should still exist: %v", err)
+	}
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 2; ck++ {
+		if _, err := os.Stat(fs2.diffPath(ck)); !os.IsNotExist(err) {
+			t.Fatalf("reopen did not complete the prune of diff %d: %v", ck, err)
+		}
+	}
+	if fs2.Base() != 2 {
+		t.Fatalf("reopened base %d, want 2", fs2.Base())
+	}
+	if n, _ := fs2.Len(); n != 4 {
+		t.Fatalf("reopened len %d, want 4", n)
+	}
+	if _, err := fs2.Load(); err != nil {
+		t.Fatalf("reopened store does not load: %v", err)
+	}
+}
+
+func TestFileStoreAppendRejectsPrunedReference(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 3; ck++ {
+		if err := fs.Append(storeDiff(ck, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitBase(t, fs, 2)
+	// A diff whose shifted duplicate references checkpoint 1 (< base 2)
+	// would be unrestorable; the store must refuse it.
+	bad := &Diff{Method: MethodTree, CkptID: 3, DataLen: 100, ChunkSize: 16,
+		FirstOcur: []uint32{6}, ShiftDupl: []ShiftRegion{{Node: 7, SrcNode: 6, SrcCkpt: 1}},
+		Data: bytes.Repeat([]byte{9}, 100)}
+	if err := fs.Append(bad); err == nil {
+		t.Fatal("append referencing pruned checkpoint accepted")
+	}
+	ok := &Diff{Method: MethodTree, CkptID: 3, DataLen: 100, ChunkSize: 16,
+		FirstOcur: []uint32{6}, ShiftDupl: []ShiftRegion{{Node: 7, SrcNode: 6, SrcCkpt: 2}},
+		Data: bytes.Repeat([]byte{9}, 100)}
+	if err := fs.Append(ok); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreCommitManifestValidation(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 3; ck++ {
+		if err := fs.Append(storeDiff(ck, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitBase(t, fs, 1)
+	cases := []struct {
+		name string
+		m    Manifest
+	}{
+		{"backward baseline", Manifest{Base: 0, Generation: 99}},
+		{"baseline with no diff", Manifest{Base: 3, Generation: 99}},
+		{"stale generation", Manifest{Base: 2, Generation: 1}},
+		{"pin out of range", Manifest{Base: 2, Generation: 99, Pins: []uint32{7}}},
+	}
+	for _, tc := range cases {
+		if err := fs.CommitManifest(tc.m); err == nil {
+			t.Errorf("%s: committed", tc.name)
+		}
+	}
+	// Validation failures must not have moved the baseline.
+	if fs.Base() != 1 {
+		t.Fatalf("failed commits moved the baseline to %d", fs.Base())
+	}
+}
+
+func TestFileStoreReplaceDiff(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 2; ck++ {
+		if err := fs.Append(storeDiff(ck, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.ReplaceDiff(2, storeDiff(2, 9)); err == nil {
+		t.Fatal("replace outside range accepted")
+	}
+	if err := fs.ReplaceDiff(1, storeDiff(0, 9)); err == nil {
+		t.Fatal("replace with mismatched id accepted")
+	}
+	if err := fs.ReplaceDiff(1, storeDiff(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.DiffBytes(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(bytes.NewReader(b))
+	if err != nil || d.Data[0] != 9 {
+		t.Fatalf("replacement not visible: %v", err)
+	}
+	// Cached size tracks the replacement exactly.
+	var disk int64
+	files, _ := fs.Files()
+	for _, f := range files {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		disk += st.Size()
+	}
+	if total, _ := fs.TotalBytes(); total != disk {
+		t.Fatalf("cached TotalBytes %d, on-disk %d", total, disk)
+	}
+}
+
+// BenchmarkFileStoreLen measures the O(1) cached Len/TotalBytes path;
+// before the cache these were a full directory scan per call
+// (ReadDir + per-entry Stat), so the benchmark guards the satellite
+// optimization against regressing back to I/O.
+func BenchmarkFileStoreLen(b *testing.B) {
+	fs, err := NewFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for ck := 0; ck < 64; ck++ {
+		data := bytes.Repeat([]byte{byte(ck)}, 100)
+		d := &Diff{Method: MethodFull, CkptID: uint32(ck), DataLen: 100, ChunkSize: 16, Data: data}
+		if err := fs.Append(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fs.Len(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fs.TotalBytes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

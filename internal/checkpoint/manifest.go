@@ -1,0 +1,215 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Manifest is the on-disk lifecycle state of one lineage directory: the
+// index of the materialized baseline (the first stored diff, a
+// consolidated full checkpoint after the first compaction) and the
+// explicitly pinned checkpoint indices that retention policies must not
+// prune. It is the commit record of the compaction transaction: a
+// lineage's restorable range is [Base, Len) and nothing below Base is
+// ever read again, so deleting pruned files after the manifest rename
+// is safe at any crash point.
+//
+// The manifest is written atomically (temp file + rename, like diff
+// files) and decoded defensively (bounded counts, exact length), the
+// same posture as the wire and diff formats: a corrupt manifest must
+// fail loudly, never silently move the baseline.
+type Manifest struct {
+	// Base is the absolute index of the baseline checkpoint. Diffs
+	// below Base have been folded into the baseline and their files
+	// removed. Zero for a never-compacted lineage.
+	Base uint32
+	// Generation counts committed compaction transactions; every
+	// manifest rewrite increments it, so it only moves forward.
+	Generation uint64
+	// Pins lists explicitly pinned checkpoint indices in strictly
+	// ascending order. A pinned index is never folded away: retention
+	// policies clamp the baseline to the smallest pin.
+	Pins []uint32
+}
+
+const (
+	manifestMagic   = 0x4d_4c_43_47 // "GCLM" little-endian
+	manifestVersion = 1
+	manifestHdrSize = 4 + 1 + 4 + 8 + 4 // magic, version, base, generation, pin count
+
+	// ManifestFileName is the manifest's name inside a lineage
+	// directory.
+	ManifestFileName = "lineage.manifest"
+)
+
+// validate checks the structural invariants shared by Encode and
+// DecodeManifest.
+func (m *Manifest) validate() error {
+	prev := int64(-1)
+	for _, p := range m.Pins {
+		if p < m.Base {
+			return fmt.Errorf("checkpoint: manifest pin %d below baseline %d", p, m.Base)
+		}
+		if int64(p) <= prev {
+			return fmt.Errorf("checkpoint: manifest pins not strictly ascending at %d", p)
+		}
+		prev = int64(p)
+	}
+	return nil
+}
+
+// Encode returns the canonical little-endian serialization of m.
+func (m *Manifest) Encode() ([]byte, error) {
+	if uint64(len(m.Pins)) > math.MaxUint32 {
+		return nil, errors.New("checkpoint: manifest pin count exceeds format limit")
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, manifestHdrSize, manifestHdrSize+4*len(m.Pins))
+	binary.LittleEndian.PutUint32(buf[0:], manifestMagic)
+	buf[4] = manifestVersion
+	binary.LittleEndian.PutUint32(buf[5:], m.Base)
+	binary.LittleEndian.PutUint64(buf[9:], m.Generation)
+	binary.LittleEndian.PutUint32(buf[17:], uint32(len(m.Pins)))
+	for _, p := range m.Pins {
+		buf = binary.LittleEndian.AppendUint32(buf, p)
+	}
+	return buf, nil
+}
+
+// DecodeManifest parses a manifest previously written by Encode. The
+// declared pin count is bounded by the actual byte length before any
+// allocation, and the payload must be exactly consumed.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < manifestHdrSize {
+		return nil, errors.New("checkpoint: truncated manifest")
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != manifestMagic {
+		return nil, errors.New("checkpoint: bad manifest magic")
+	}
+	if b[4] != manifestVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported manifest version %d", b[4])
+	}
+	m := &Manifest{
+		Base:       binary.LittleEndian.Uint32(b[5:]),
+		Generation: binary.LittleEndian.Uint64(b[9:]),
+	}
+	nPins := binary.LittleEndian.Uint32(b[17:])
+	rest := b[manifestHdrSize:]
+	if uint64(nPins)*4 != uint64(len(rest)) {
+		return nil, fmt.Errorf("checkpoint: manifest declares %d pins but carries %d trailing bytes",
+			nPins, len(rest))
+	}
+	if nPins > 0 {
+		m.Pins = make([]uint32, nPins)
+		for i := range m.Pins {
+			m.Pins[i] = binary.LittleEndian.Uint32(rest[4*i:])
+		}
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadManifestFile loads and decodes a manifest file.
+func ReadManifestFile(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeManifest(b)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteManifestFile atomically writes m to path (temp file in the same
+// directory + rename). The temp name matches the ckpt-*.tmp pattern so
+// a crash mid-write leaves only debris the store sweeps on open.
+func WriteManifestFile(path string, m *Manifest) error {
+	b, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, tmpPrefix+"manifest-*"+tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("checkpoint: manifest temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: writing manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: closing manifest temp file: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: publishing manifest: %w", err)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of m.
+func (m *Manifest) Clone() Manifest {
+	out := *m
+	if m.Pins != nil {
+		out.Pins = append([]uint32(nil), m.Pins...)
+	}
+	return out
+}
+
+// Rebase shifts every checkpoint id carried by d — its CkptID and the
+// SrcCkpt of every shifted-duplicate region — by delta. The FileStore
+// keeps absolute ids on disk (file ckpt-000057.gckp holds CkptID 57
+// even after compaction moved the baseline to 50) and rebases to the
+// 0-based ids Record.Append requires at load time; clients rebase the
+// other way when re-encoding a pulled diff for push. A shift that
+// would take any id out of uint32 range — in particular a SrcCkpt
+// referencing a checkpoint below the subtracted baseline — is an
+// error and leaves d unchanged.
+func (d *Diff) Rebase(delta int64) error {
+	shifted := func(v uint32) (uint32, error) {
+		s := int64(v) + delta
+		if s < 0 || s > math.MaxUint32 {
+			return 0, fmt.Errorf("checkpoint: rebase of id %d by %d leaves uint32 range", v, delta)
+		}
+		return uint32(s), nil
+	}
+	id, err := shifted(d.CkptID)
+	if err != nil {
+		return err
+	}
+	srcs := make([]uint32, len(d.ShiftDupl))
+	for i, s := range d.ShiftDupl {
+		if srcs[i], err = shifted(s.SrcCkpt); err != nil {
+			return fmt.Errorf("checkpoint: diff %d shift region %d: %w", d.CkptID, i, err)
+		}
+	}
+	d.CkptID = id
+	for i := range d.ShiftDupl {
+		d.ShiftDupl[i].SrcCkpt = srcs[i]
+	}
+	return nil
+}
+
+// CloneShallow returns a copy of d whose ShiftDupl slice is freshly
+// allocated, so the copy can be Rebased without mutating the original;
+// the (immutable) Bitmap and Data sections stay shared.
+func (d *Diff) CloneShallow() *Diff {
+	cp := *d
+	if d.ShiftDupl != nil {
+		cp.ShiftDupl = append([]ShiftRegion(nil), d.ShiftDupl...)
+	}
+	return &cp
+}

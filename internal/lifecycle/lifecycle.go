@@ -1,0 +1,585 @@
+// Package lifecycle bounds the growth of checkpoint lineages: it
+// materializes consolidated baselines, applies retention policies and
+// garbage-collects pruned diff files through a crash-safe transaction
+// over a checkpoint.FileStore.
+//
+// The problem it solves is the flip side of the paper's incremental
+// diffs (§1, §2.3): a lineage is an ever-growing chain, so restore
+// latency and disk footprint grow linearly with checkpoint count.
+// Production systems consolidate — a restore must replay a bounded
+// chain, not the full history. The Manager folds the base checkpoint
+// plus diffs [0..k] into one full baseline at index k by replaying
+// them through checkpoint.Record (the same Apply used for restores,
+// so the baseline is byte-identical to a restore at k by
+// construction), then prunes the folded files.
+//
+// # Suffix rewriting
+//
+// Retained diffs above the baseline may reference pruned history: a
+// Tree/List shifted-duplicate region carries a (SrcCkpt, SrcNode) pair
+// that resolves against the data section of an EARLIER diff — often
+// checkpoint 0, because the historical record of unique hashes keeps
+// first occurrences forever (§2.2). Folding [0..k] would strand those
+// references. The Manager therefore classifies every retained diff:
+//
+//   - clean: every SrcCkpt >= k and no referenced source was itself
+//     rewritten. References to exactly k stay valid because the new
+//     baseline is a full image — resolving any node against it yields
+//     the same bytes the original region held. Clean diffs keep their
+//     files untouched (byte-stable across repeated compactions).
+//   - dirty: some reference would resolve below the new baseline (or
+//     against a rewritten source). The diff is rewritten as a
+//     self-contained MethodBasic diff — dirty-chunk bitmap between the
+//     restored states at j-1 and j — which produces the identical
+//     state when applied.
+//
+// # Transaction order and crash safety
+//
+// Writes happen in an order that keeps the store restorable at every
+// intermediate crash point, with the manifest rename as the single
+// commit point:
+//
+//  1. Rewrite dirty suffix diffs in DECREASING index order (each
+//     replacement is state-equivalent, and a diff is only replaced
+//     after every diff referencing it has been replaced), then install
+//     the full baseline at k. Crash here: the old manifest is still
+//     committed and every index in the old range restores identically.
+//  2. Commit the new manifest (baseline k, generation+1) via
+//     temp+rename. This is the commit point.
+//  3. Delete files below k. Crash here: reopening the store completes
+//     the prune (checkpoint.NewFileStore removes files below the
+//     committed baseline).
+//
+// Before writing anything, the Manager rebuilds the post-compaction
+// record in memory and byte-compares every retained restore against
+// the original — a compaction that cannot prove byte-identical
+// restores refuses to touch the disk.
+package lifecycle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/merkle"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+)
+
+// Policy decides how far the baseline of a lineage may advance.
+type Policy interface {
+	// Name returns the canonical parseable spelling ("keep-all",
+	// "keep-last=8", "keep-every=16").
+	Name() string
+	// Baseline returns the desired baseline for a lineage whose stored
+	// diffs span [base, length). It must return a value in
+	// [base, length); explicit pins are applied by the Manager on top.
+	Baseline(base, length int) int
+}
+
+type keepAll struct{}
+
+// KeepAll retains every checkpoint: the baseline never advances.
+func KeepAll() Policy { return keepAll{} }
+
+func (keepAll) Name() string             { return "keep-all" }
+func (keepAll) Baseline(base, _ int) int { return base }
+
+type keepLastN struct{ n int }
+
+// KeepLastN retains the newest n checkpoints: the baseline advances to
+// length-n (never backwards).
+func KeepLastN(n int) Policy { return keepLastN{n: max(n, 1)} }
+
+func (p keepLastN) Name() string { return "keep-last=" + strconv.Itoa(p.n) }
+func (p keepLastN) Baseline(base, length int) int {
+	return max(base, length-p.n)
+}
+
+type keepEvery struct{ k int }
+
+// KeepEvery advances the baseline to the most recent multiple of k: a
+// consolidated baseline exists at every k-th index over time, and at
+// most k-1 diffs ever separate the newest checkpoint from a full
+// image.
+func KeepEvery(k int) Policy { return keepEvery{k: max(k, 1)} }
+
+func (p keepEvery) Name() string { return "keep-every=" + strconv.Itoa(p.k) }
+func (p keepEvery) Baseline(base, length int) int {
+	if length <= base {
+		return base
+	}
+	return max(base, (length-1)/p.k*p.k)
+}
+
+// ParsePolicy parses the canonical policy spellings produced by
+// Policy.Name: "keep-all", "keep-last=N", "keep-every=K".
+func ParsePolicy(s string) (Policy, error) {
+	if s == "keep-all" {
+		return KeepAll(), nil
+	}
+	for prefix, mk := range map[string]func(int) Policy{
+		"keep-last=":  KeepLastN,
+		"keep-every=": KeepEvery,
+	} {
+		if !strings.HasPrefix(s, prefix) {
+			continue
+		}
+		v, err := strconv.Atoi(strings.TrimPrefix(s, prefix))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("lifecycle: policy %q needs a positive integer", s)
+		}
+		return mk(v), nil
+	}
+	return nil, fmt.Errorf("lifecycle: unknown policy %q (want keep-all, keep-last=N or keep-every=K)", s)
+}
+
+// Stats reports one compaction transaction.
+type Stats struct {
+	// OldBase and NewBase are the baseline before and after; equal for
+	// a no-op.
+	OldBase, NewBase int
+	// PrunedDiffs counts deleted diff files.
+	PrunedDiffs int
+	// RewrittenDiffs counts retained diffs rewritten as self-contained
+	// Basic diffs because they referenced pruned history.
+	RewrittenDiffs int
+	// FreedBytes is the net on-disk change: bytes deleted by the prune
+	// minus bytes added by the baseline and rewrites. Negative when
+	// consolidation costs more than it frees (short chains).
+	FreedBytes int64
+}
+
+// Options parameterizes a Manager.
+type Options struct {
+	// Workers enables a dedicated worker pool for parallel region
+	// assembly during materialization restores (0 = sequential). The
+	// pool is owned by the Manager and released by Close.
+	Workers int
+}
+
+// Manager runs the lifecycle of one lineage: policy decisions,
+// explicit pins and the compaction transaction. Its methods serialize
+// on an internal mutex; coordination with concurrent writers of the
+// same FileStore (the ckptd server's push path) is the caller's
+// responsibility — the server holds its per-lineage lock around
+// Compact, as it does around Append.
+//
+// A Manager must be Closed when no longer needed (enforced by
+// ckptlint's closecontract check).
+type Manager struct {
+	mu     sync.Mutex
+	store  *checkpoint.FileStore
+	policy Policy
+	pool   *parallel.Pool
+	closed bool
+
+	// hookBeforeCommit and hookAfterCommit run around the manifest
+	// commit; tests use them to inject crashes between transaction
+	// phases. A non-nil error aborts the transaction at that point.
+	hookBeforeCommit func() error
+	hookAfterCommit  func() error
+}
+
+// New creates a Manager over store. policy may be nil (KeepAll).
+func New(store *checkpoint.FileStore, policy Policy, opts Options) (*Manager, error) {
+	if store == nil {
+		return nil, errors.New("lifecycle: nil store")
+	}
+	if policy == nil {
+		policy = KeepAll()
+	}
+	m := &Manager{store: store, policy: policy}
+	if opts.Workers > 0 {
+		m.pool = parallel.NewPool(opts.Workers)
+	}
+	return m, nil
+}
+
+// Close releases the Manager's worker pool. Idempotent; a closed
+// Manager rejects further compactions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	if m.pool != nil {
+		m.pool.Close()
+		m.pool = nil
+	}
+}
+
+// SetPolicy replaces the retention policy (nil selects KeepAll).
+func (m *Manager) SetPolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p == nil {
+		p = KeepAll()
+	}
+	m.policy = p
+}
+
+// PolicyName returns the canonical spelling of the current policy.
+func (m *Manager) PolicyName() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy.Name()
+}
+
+// Pin marks checkpoint ck as immune to compaction: no baseline may
+// advance past it until it is unpinned.
+func (m *Manager) Pin(ck int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("lifecycle: manager is closed")
+	}
+	base, length, err := m.span()
+	if err != nil {
+		return err
+	}
+	if ck < base || ck >= length {
+		return fmt.Errorf("lifecycle: pin %d outside stored range [%d,%d)", ck, base, length)
+	}
+	man := m.store.Manifest()
+	i := sort.Search(len(man.Pins), func(i int) bool { return man.Pins[i] >= uint32(ck) })
+	if i < len(man.Pins) && int(man.Pins[i]) == ck {
+		return nil // already pinned
+	}
+	man.Pins = append(man.Pins, 0)
+	copy(man.Pins[i+1:], man.Pins[i:])
+	man.Pins[i] = uint32(ck)
+	man.Generation++
+	return m.store.CommitManifest(man)
+}
+
+// Unpin removes the pin on checkpoint ck (a no-op if not pinned).
+func (m *Manager) Unpin(ck int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("lifecycle: manager is closed")
+	}
+	man := m.store.Manifest()
+	i := sort.Search(len(man.Pins), func(i int) bool { return man.Pins[i] >= uint32(ck) })
+	if ck < 0 || i >= len(man.Pins) || int(man.Pins[i]) != ck {
+		return nil
+	}
+	man.Pins = append(man.Pins[:i], man.Pins[i+1:]...)
+	man.Generation++
+	return m.store.CommitManifest(man)
+}
+
+// Pins returns the pinned checkpoint indices in ascending order.
+func (m *Manager) Pins() []int {
+	pins := m.store.Manifest().Pins
+	out := make([]int, len(pins))
+	for i, p := range pins {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// span returns the stored range [base, length) of the store.
+func (m *Manager) span() (int, int, error) {
+	length, err := m.store.Len()
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.store.Base(), length, nil
+}
+
+// Target returns the baseline the current policy and pins would select
+// for the lineage as stored, without writing anything.
+func (m *Manager) Target() (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base, length, err := m.span()
+	if err != nil {
+		return 0, err
+	}
+	return m.clampTarget(m.policy.Baseline(base, length), base), nil
+}
+
+// clampTarget applies pins (and the no-backwards rule) to a desired
+// baseline.
+func (m *Manager) clampTarget(target, base int) int {
+	for _, p := range m.store.Manifest().Pins {
+		target = min(target, int(p))
+	}
+	return max(target, base)
+}
+
+// Compact advances the baseline to the policy's target (clamped by
+// pins) and garbage-collects the folded prefix. A target at or below
+// the current baseline is a successful no-op.
+func (m *Manager) Compact() (Stats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Stats{}, errors.New("lifecycle: manager is closed")
+	}
+	base, length, err := m.span()
+	if err != nil {
+		return Stats{}, err
+	}
+	target := m.clampTarget(m.policy.Baseline(base, length), base)
+	return m.compactLocked(target, base, length)
+}
+
+// MaterializeTo folds the lineage up to the explicit baseline k,
+// ignoring the policy but still refusing to fold past a pin.
+func (m *Manager) MaterializeTo(k int) (Stats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Stats{}, errors.New("lifecycle: manager is closed")
+	}
+	base, length, err := m.span()
+	if err != nil {
+		return Stats{}, err
+	}
+	if k < base || k >= length {
+		return Stats{}, fmt.Errorf("lifecycle: target %d outside stored range [%d,%d)", k, base, length)
+	}
+	for _, p := range m.store.Manifest().Pins {
+		if int(p) < k {
+			return Stats{}, fmt.Errorf("lifecycle: target %d would fold pinned checkpoint %d", k, p)
+		}
+	}
+	return m.compactLocked(k, base, length)
+}
+
+// compactLocked runs the compaction transaction to baseline k. Caller
+// holds m.mu and guarantees base <= k < length.
+func (m *Manager) compactLocked(k, base, length int) (Stats, error) {
+	st := Stats{OldBase: base, NewBase: base}
+	if k <= base {
+		return st, nil
+	}
+
+	rec, err := m.store.Load() // record index i = absolute checkpoint base+i
+	if err != nil {
+		return st, err
+	}
+	if m.pool != nil {
+		rec.SetPool(m.pool)
+	}
+	dataLen := rec.DataLen()
+	if dataLen <= 0 {
+		return st, fmt.Errorf("lifecycle: lineage has no data (length %d)", dataLen)
+	}
+	chunk := rec.ChunkSize()
+
+	// Classify retained diffs: dirty ones reference history below k or
+	// a source that is itself being rewritten (and thereby loses its
+	// indexed regions). References to exactly k survive — the new
+	// baseline is a full image.
+	dirty := make(map[int]bool)
+	for j := k + 1; j < length; j++ {
+		for _, s := range rec.Diff(j - base).ShiftDupl {
+			src := base + int(s.SrcCkpt)
+			if src < k || dirty[src] {
+				dirty[j] = true
+				break
+			}
+		}
+	}
+
+	// Materialize state k and sweep forward once, capturing the
+	// pre/post states of every dirty diff for its Basic rewrite.
+	state, err := rec.Restore(k - base)
+	if err != nil {
+		return st, fmt.Errorf("lifecycle: materializing checkpoint %d: %w", k, err)
+	}
+	baseline := &checkpoint.Diff{
+		Method:    checkpoint.MethodFull,
+		CkptID:    uint32(k),
+		DataLen:   uint64(dataLen),
+		ChunkSize: uint32(chunk),
+		Data:      append([]byte(nil), state...),
+	}
+	rewrites := make(map[int]*checkpoint.Diff)
+	var prev []byte
+	for j := k + 1; j < length; j++ {
+		if dirty[j] {
+			prev = append(prev[:0], state...)
+		}
+		if err := rec.Apply(state, j-base); err != nil {
+			return st, fmt.Errorf("lifecycle: replaying checkpoint %d: %w", j, err)
+		}
+		if dirty[j] {
+			rw, err := RewriteBasic(prev, state, chunk, uint32(j))
+			if err != nil {
+				return st, fmt.Errorf("lifecycle: rewriting checkpoint %d: %w", j, err)
+			}
+			rewrites[j] = rw
+		}
+	}
+
+	// Prove byte-identical restores before touching the disk: rebuild
+	// the post-compaction record in memory and sweep both records,
+	// comparing every retained state.
+	if err := m.verify(rec, rewrites, baseline, k, base, length); err != nil {
+		return st, err
+	}
+
+	// Phase 1: rewrites in decreasing index order, then the baseline.
+	// Every intermediate disk state is restorable under the OLD
+	// manifest (each replacement is state-equivalent and happens after
+	// all its referencing diffs were replaced).
+	var added int64
+	for j := length - 1; j > k; j-- {
+		rw := rewrites[j]
+		if rw == nil {
+			continue
+		}
+		oldBytes := rec.Diff(j - base).TotalBytes()
+		if err := m.store.ReplaceDiff(j, rw); err != nil {
+			return st, err
+		}
+		added += rw.TotalBytes() - oldBytes
+	}
+	oldK := rec.Diff(k - base).TotalBytes()
+	if err := m.store.ReplaceDiff(k, baseline); err != nil {
+		return st, err
+	}
+	added += baseline.TotalBytes() - oldK
+
+	if m.hookBeforeCommit != nil {
+		if err := m.hookBeforeCommit(); err != nil {
+			return st, err
+		}
+	}
+
+	// Phase 2: commit.
+	man := m.store.Manifest()
+	man.Base = uint32(k)
+	man.Generation++
+	keep := man.Pins[:0]
+	for _, p := range man.Pins {
+		if int(p) >= k {
+			keep = append(keep, p)
+		}
+	}
+	man.Pins = keep
+	if err := m.store.CommitManifest(man); err != nil {
+		return st, err
+	}
+	st.NewBase = k
+	st.RewrittenDiffs = len(rewrites)
+
+	if m.hookAfterCommit != nil {
+		if err := m.hookAfterCommit(); err != nil {
+			return st, err
+		}
+	}
+
+	// Phase 3: garbage-collect the folded prefix.
+	removed, freed, err := m.store.PruneBelowBase()
+	if err != nil {
+		return st, err
+	}
+	st.PrunedDiffs = removed
+	st.FreedBytes = freed - added
+	return st, nil
+}
+
+// verify rebuilds the post-compaction chain in memory and
+// byte-compares every retained restore against the original record.
+func (m *Manager) verify(rec *checkpoint.Record, rewrites map[int]*checkpoint.Diff,
+	baseline *checkpoint.Diff, k, base, length int) error {
+	newRec := checkpoint.NewRecord()
+	if m.pool != nil {
+		newRec.SetPool(m.pool)
+	}
+	bl := baseline.CloneShallow()
+	if err := bl.Rebase(-int64(k)); err != nil {
+		return err
+	}
+	if err := newRec.Append(bl); err != nil {
+		return fmt.Errorf("lifecycle: verify baseline: %w", err)
+	}
+	for j := k + 1; j < length; j++ {
+		var d *checkpoint.Diff
+		var delta int64
+		if rw := rewrites[j]; rw != nil {
+			d, delta = rw.CloneShallow(), -int64(k) // rewrites carry absolute ids
+		} else {
+			d, delta = rec.Diff(j-base).CloneShallow(), -int64(k-base) // record ids are base-relative
+		}
+		if err := d.Rebase(delta); err != nil {
+			return fmt.Errorf("lifecycle: verify checkpoint %d: %w", j, err)
+		}
+		if err := newRec.Append(d); err != nil {
+			return fmt.Errorf("lifecycle: verify checkpoint %d: %w", j, err)
+		}
+	}
+
+	dataLen := rec.DataLen()
+	oldState := make([]byte, dataLen)
+	newState := make([]byte, dataLen)
+	for i := 0; i <= k-base; i++ {
+		if err := rec.Apply(oldState, i); err != nil {
+			return err
+		}
+	}
+	if err := newRec.Apply(newState, 0); err != nil {
+		return err
+	}
+	if !bytes.Equal(oldState, newState) {
+		return fmt.Errorf("lifecycle: baseline at %d diverges from original restore; refusing to compact", k)
+	}
+	for j := k + 1; j < length; j++ {
+		if err := rec.Apply(oldState, j-base); err != nil {
+			return err
+		}
+		if err := newRec.Apply(newState, j-k); err != nil {
+			return err
+		}
+		if !bytes.Equal(oldState, newState) {
+			return fmt.Errorf("lifecycle: checkpoint %d diverges after compaction; refusing to compact", j)
+		}
+	}
+	return nil
+}
+
+// RewriteBasic builds a self-contained MethodBasic diff carrying the
+// chunks that differ between prev and cur, with checkpoint id ckptID.
+// Applying it to state prev yields exactly cur — the rewrite used for
+// retained diffs whose references were folded away, and the fallback a
+// stale pusher can use when the server rejects a diff for referencing
+// pruned history.
+func RewriteBasic(prev, cur []byte, chunkSize int, ckptID uint32) (*checkpoint.Diff, error) {
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("lifecycle: chunk size %d must be positive", chunkSize)
+	}
+	if len(prev) != len(cur) {
+		return nil, fmt.Errorf("lifecycle: state lengths differ: %d vs %d", len(prev), len(cur))
+	}
+	nChunks := merkle.NumChunks(len(cur), chunkSize)
+	bm := make([]byte, checkpoint.BitmapLen(nChunks))
+	var data []byte
+	for c := 0; c < nChunks; c++ {
+		lo := c * chunkSize
+		hi := min(lo+chunkSize, len(cur))
+		if !bytes.Equal(prev[lo:hi], cur[lo:hi]) {
+			checkpoint.BitmapSet(bm, c)
+			data = append(data, cur[lo:hi]...)
+		}
+	}
+	return &checkpoint.Diff{
+		Method:    checkpoint.MethodBasic,
+		CkptID:    ckptID,
+		DataLen:   uint64(len(cur)),
+		ChunkSize: uint32(chunkSize),
+		Bitmap:    bm,
+		Data:      data,
+	}, nil
+}

@@ -1,0 +1,477 @@
+package lifecycle
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/dedup"
+	"github.com/gpuckpt/gpuckpt/internal/device"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+)
+
+const (
+	testChunk  = 64
+	poolChunks = 32 // chunks 0..31 rotate content first seen at checkpoint 0
+	flipChunks = 32 // chunks 32..63 get fresh content with period 4
+	testLen    = (poolChunks + flipChunks) * testChunk
+)
+
+// buildImages generates a deterministic series of n buffer states with
+// heavy cross-checkpoint duplication: the pool region of every
+// checkpoint i > 0 is a rotation of content first stored at checkpoint
+// 0, so List/Tree diffs carry shifted-duplicate references to
+// checkpoint 0 — exactly the references a compaction folds away and
+// must rewrite. The flip region injects fresh data every step so every
+// diff also stores first occurrences.
+func buildImages(n int) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	pool := make([][]byte, poolChunks)
+	for i := range pool {
+		pool[i] = make([]byte, testChunk)
+		rng.Read(pool[i])
+	}
+	images := make([][]byte, n)
+	cur := make([]byte, testLen)
+	for i := 0; i < n; i++ {
+		for c := 0; c < poolChunks; c++ {
+			copy(cur[c*testChunk:], pool[(c+i)%poolChunks])
+		}
+		for c := poolChunks; c < poolChunks+flipChunks; c++ {
+			if (c+i)%4 == 0 {
+				rng.Read(cur[c*testChunk : (c+1)*testChunk])
+			}
+		}
+		images[i] = append([]byte(nil), cur...)
+	}
+	return images
+}
+
+// buildLineage checkpoints images with the given method and persists
+// the lineage into a fresh store directory.
+func buildLineage(t *testing.T, method checkpoint.Method, images [][]byte) string {
+	t.Helper()
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	dev := device.New(device.A100(), pool, nil)
+	d, err := dedup.New(method, testLen, dev, dedup.Options{ChunkSize: testChunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, img := range images {
+		if _, _, err := d.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteRecord(d.Record()); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// restoreAll reopens dir and byte-compares every restorable checkpoint
+// against images (indexed absolutely).
+func restoreAll(t *testing.T, dir string, images [][]byte) {
+	t.Helper()
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := store.Base()
+	length, err := store.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != len(images) {
+		t.Fatalf("store len %d, want %d", length, len(images))
+	}
+	rec, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := base; k < length; k++ {
+		state, err := rec.Restore(k - base)
+		if err != nil {
+			t.Fatalf("restore %d: %v", k, err)
+		}
+		if !bytes.Equal(state, images[k]) {
+			t.Fatalf("checkpoint %d not byte-identical after compaction", k)
+		}
+	}
+}
+
+// TestCompactKeepLastNProperty is the subsystem's acceptance property:
+// a 64-checkpoint lineage compacted under keep-last=8 keeps every
+// retained index restoring byte-identically, shrinks the on-disk
+// footprint, and compacts idempotently — for every diff method.
+func TestCompactKeepLastNProperty(t *testing.T) {
+	images := buildImages(64)
+	methods := []struct {
+		name    string
+		method  checkpoint.Method
+		rewrite bool // diffs reference earlier checkpoints => rewrites expected
+	}{
+		{"Basic", checkpoint.MethodBasic, false},
+		{"List", checkpoint.MethodList, true},
+		{"Tree", checkpoint.MethodTree, true},
+	}
+	for _, tc := range methods {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := buildLineage(t, tc.method, images)
+			store, err := checkpoint.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before, err := store.TotalBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr, err := New(store, KeepLastN(8), Options{Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mgr.Close()
+			st, err := mgr.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.OldBase != 0 || st.NewBase != 56 {
+				t.Fatalf("baseline moved %d -> %d, want 0 -> 56", st.OldBase, st.NewBase)
+			}
+			if st.PrunedDiffs != 56 {
+				t.Fatalf("pruned %d diffs, want 56", st.PrunedDiffs)
+			}
+			if tc.rewrite && st.RewrittenDiffs == 0 {
+				t.Fatal("no suffix diffs rewritten despite references to pruned history")
+			}
+			if !tc.rewrite && st.RewrittenDiffs != 0 {
+				t.Fatalf("%d Basic diffs rewritten; Basic diffs are self-contained", st.RewrittenDiffs)
+			}
+			after, err := store.TotalBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after >= before {
+				t.Fatalf("disk grew: %d -> %d bytes", before, after)
+			}
+			if st.FreedBytes != before-after {
+				t.Fatalf("FreedBytes %d, want %d", st.FreedBytes, before-after)
+			}
+			// Every retained checkpoint restores byte-identically, both
+			// through the live store and a fresh reopen.
+			restoreAll(t, dir, images)
+			// Idempotent: a second compaction is a no-op.
+			st2, err := mgr.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st2.NewBase != st2.OldBase || st2.PrunedDiffs != 0 {
+				t.Fatalf("second compaction not a no-op: %+v", st2)
+			}
+			// The lineage keeps growing after compaction: appends resume
+			// at the absolute length.
+			d, err := RewriteBasic(images[63], images[0], testChunk, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := store.Append(d); err != nil {
+				t.Fatalf("append after compaction: %v", err)
+			}
+		})
+	}
+}
+
+// TestCompactCrashAfterCommit simulates dying between the manifest
+// commit and the file deletions (phase 3): reopening the store must
+// complete the prune and leave every retained checkpoint byte-exact.
+func TestCompactCrashAfterCommit(t *testing.T) {
+	images := buildImages(32)
+	dir := buildLineage(t, checkpoint.MethodTree, images)
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(store, KeepLastN(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	crash := errors.New("simulated crash")
+	mgr.hookAfterCommit = func() error { return crash }
+	if _, err := mgr.Compact(); !errors.Is(err, crash) {
+		t.Fatalf("compact: %v, want injected crash", err)
+	}
+	// The commit happened, the prune did not: files below the baseline
+	// are still on disk.
+	if store.Base() != 24 {
+		t.Fatalf("baseline %d after commit, want 24", store.Base())
+	}
+	files, err := store.Files()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 8 {
+		t.Fatalf("restorable files %d, want 8", len(files))
+	}
+	// Recovery on reopen deletes the folded prefix and restores stay
+	// byte-identical.
+	restoreAll(t, dir, images)
+}
+
+// TestCompactCrashBeforeCommit simulates dying after the suffix
+// rewrites and baseline install but before the manifest commit: the
+// old manifest still governs, and because every replacement is
+// state-equivalent and written in decreasing index order, EVERY
+// original checkpoint — including the ones that were about to be
+// folded — must still restore byte-identically on reopen.
+func TestCompactCrashBeforeCommit(t *testing.T) {
+	images := buildImages(32)
+	dir := buildLineage(t, checkpoint.MethodTree, images)
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(store, KeepLastN(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	crash := errors.New("simulated crash")
+	mgr.hookBeforeCommit = func() error { return crash }
+	if _, err := mgr.Compact(); !errors.Is(err, crash) {
+		t.Fatalf("compact: %v, want injected crash", err)
+	}
+	if store.Base() != 0 {
+		t.Fatalf("baseline moved to %d without a manifest commit", store.Base())
+	}
+	// All 32 original checkpoints restore byte-identically from the
+	// partially rewritten on-disk state.
+	restoreAll(t, dir, images)
+	// And a reopened manager can run the transaction to completion.
+	store2, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2, err := New(store2, KeepLastN(8), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	st, err := mgr2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewBase != 24 {
+		t.Fatalf("resumed compaction reached %d, want 24", st.NewBase)
+	}
+	restoreAll(t, dir, images)
+}
+
+func TestPolicies(t *testing.T) {
+	cases := []struct {
+		p            Policy
+		base, length int
+		want         int
+	}{
+		{KeepAll(), 0, 100, 0},
+		{KeepAll(), 7, 100, 7},
+		{KeepLastN(8), 0, 64, 56},
+		{KeepLastN(8), 60, 64, 60}, // never backwards
+		{KeepLastN(100), 0, 64, 0},
+		{KeepEvery(16), 0, 64, 48},
+		{KeepEvery(16), 0, 65, 64},
+		{KeepEvery(16), 0, 16, 0},
+		{KeepEvery(1), 0, 10, 9},
+	}
+	for _, tc := range cases {
+		if got := tc.p.Baseline(tc.base, tc.length); got != tc.want {
+			t.Errorf("%s.Baseline(%d,%d) = %d, want %d", tc.p.Name(), tc.base, tc.length, got, tc.want)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"keep-all", "keep-last=8", "keep-every=16"} {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("ParsePolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	for _, bad := range []string{"", "keep", "keep-last=", "keep-last=0", "keep-last=-3", "keep-every=x", "lru"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPinsClampCompaction(t *testing.T) {
+	images := buildImages(24)
+	dir := buildLineage(t, checkpoint.MethodTree, images)
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(store, KeepLastN(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if err := mgr.Pin(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Pin(10); err != nil {
+		t.Fatal(err) // idempotent
+	}
+	if err := mgr.Pin(99); err == nil {
+		t.Fatal("pin outside range accepted")
+	}
+	if got := mgr.Pins(); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("pins %v, want [10]", got)
+	}
+	// Policy wants baseline 20; the pin clamps it to 10.
+	if target, err := mgr.Target(); err != nil || target != 10 {
+		t.Fatalf("target %d (%v), want 10", target, err)
+	}
+	st, err := mgr.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewBase != 10 {
+		t.Fatalf("compacted to %d, want pin-clamped 10", st.NewBase)
+	}
+	// An explicit target past the pin is refused.
+	if _, err := mgr.MaterializeTo(15); err == nil {
+		t.Fatal("materialize past pin accepted")
+	}
+	// Pins survive reopen (they live in the manifest).
+	store2, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2, err := New(store2, KeepLastN(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr2.Close()
+	if got := mgr2.Pins(); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("pins after reopen %v, want [10]", got)
+	}
+	// Unpinning releases the clamp.
+	if err := mgr2.Unpin(10); err != nil {
+		t.Fatal(err)
+	}
+	st, err = mgr2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewBase != 20 {
+		t.Fatalf("compacted to %d after unpin, want 20", st.NewBase)
+	}
+	restoreAll(t, dir, images)
+}
+
+func TestMaterializeTo(t *testing.T) {
+	images := buildImages(16)
+	dir := buildLineage(t, checkpoint.MethodList, images)
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(store, KeepAll(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	// keep-all never moves the baseline on its own.
+	st, err := mgr.Compact()
+	if err != nil || st.NewBase != 0 {
+		t.Fatalf("keep-all compacted to %d (%v)", st.NewBase, err)
+	}
+	if _, err := mgr.MaterializeTo(16); err == nil {
+		t.Fatal("target beyond range accepted")
+	}
+	st, err = mgr.MaterializeTo(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NewBase != 12 || st.PrunedDiffs != 12 {
+		t.Fatalf("materialize: %+v", st)
+	}
+	if _, err := mgr.MaterializeTo(5); err == nil {
+		t.Fatal("backwards target accepted")
+	}
+	restoreAll(t, dir, images)
+}
+
+func TestManagerClosed(t *testing.T) {
+	store, err := checkpoint.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(store, nil, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mgr.PolicyName() != "keep-all" {
+		t.Fatalf("nil policy resolved to %q", mgr.PolicyName())
+	}
+	mgr.SetPolicy(KeepLastN(3))
+	if mgr.PolicyName() != "keep-last=3" {
+		t.Fatalf("policy %q after SetPolicy", mgr.PolicyName())
+	}
+	mgr.Close()
+	mgr.Close() // idempotent
+	if _, err := mgr.Compact(); err == nil {
+		t.Fatal("closed manager compacted")
+	}
+	if err := mgr.Pin(0); err == nil {
+		t.Fatal("closed manager pinned")
+	}
+}
+
+func TestRewriteBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prev := make([]byte, 300) // deliberately not chunk-aligned
+	rng.Read(prev)
+	cur := append([]byte(nil), prev...)
+	copy(cur[64:128], bytes.Repeat([]byte{0xAB}, 64))
+	copy(cur[288:], []byte{1, 2, 3}) // tail chunk partial change
+
+	d, err := RewriteBasic(prev, cur, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := checkpoint.NewRecord()
+	full := &checkpoint.Diff{Method: checkpoint.MethodFull, CkptID: 0, DataLen: 300,
+		ChunkSize: 64, Data: append([]byte(nil), prev...)}
+	if err := rec.Append(full); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Append(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec.Restore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("RewriteBasic does not reproduce the target state")
+	}
+	if _, err := RewriteBasic(prev, cur[:10], 64, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := RewriteBasic(prev, cur, 0, 1); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}

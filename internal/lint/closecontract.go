@@ -35,6 +35,9 @@ var closerConstructors = map[string][]string{
 	"dedup.New":        {"Close"},
 	"server.New":       {"Shutdown", "Serve"},
 	"gpuckpt.New":      {"Close"},
+	// A lifecycle.Manager owns a worker pool for its restore sweeps;
+	// leaking one leaks goroutine-pool capacity on every compaction.
+	"lifecycle.New": {"Close"},
 	// Same-package spelling so the check also fires inside the owning
 	// package itself (and inside fixtures).
 	"NewPool": {"Close"},

@@ -67,3 +67,45 @@ func goodStored(h *holder, n int) error {
 	h.pool = p // ownership handed to h
 	return nil
 }
+
+// Manager and the lifecycle variable mimic the qualified
+// lifecycle.New spelling used by the rest of the repository, so the
+// fixture also pins the contract on lifecycle managers.
+type Manager struct{}
+
+func (m *Manager) Close() error { return nil }
+
+func (m *Manager) Compact() error { return nil }
+
+type lifecycleAPI struct{}
+
+func (lifecycleAPI) New(n int) (*Manager, error) { return &Manager{}, nil }
+
+var lifecycle lifecycleAPI
+
+func badManagerLeak(n int) error {
+	m, err := lifecycle.New(n) // want:closecontract
+	if err != nil {
+		return err
+	}
+	return m.Compact()
+}
+
+func goodManagerDefer(n int) error {
+	m, err := lifecycle.New(n)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	return m.Compact()
+}
+
+type lineage struct{ mgr *Manager }
+
+func goodManagerStored(n int) (*lineage, error) {
+	m, err := lifecycle.New(n)
+	if err != nil {
+		return nil, err
+	}
+	return &lineage{mgr: m}, nil
+}

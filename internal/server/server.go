@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/lifecycle"
 	"github.com/gpuckpt/gpuckpt/internal/wire"
 )
 
@@ -55,6 +56,15 @@ type Config struct {
 	// DrainTimeout bounds how long shutdown waits for in-flight
 	// requests before force-closing connections (default 5s).
 	DrainTimeout time.Duration
+	// Retention is the default lifecycle policy of every lineage
+	// ("keep-all", "keep-last=N", "keep-every=K"; default keep-all).
+	// Clients can override it per lineage with a POLICY request.
+	Retention string
+	// CompactInterval enables the background compaction worker: every
+	// interval, each lineage is compacted to its retention policy's
+	// target. 0 (the default) disables background compaction; COMPACT
+	// requests still work.
+	CompactInterval time.Duration
 	// Logf sinks server logs (default log.Printf; use a no-op in
 	// tests).
 	Logf func(format string, args ...any)
@@ -76,17 +86,25 @@ func (c *Config) fill() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.Retention == "" {
+		c.Retention = "keep-all"
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
 }
 
 // lineage is one named checkpoint lineage: a FileStore plus the mutex
-// that serializes its contiguous appends.
+// that serializes its contiguous appends and its compactions. Holding
+// mu across a whole compaction is what makes background GC safe
+// against concurrent Push/Pull: a pull either sees the pre-transaction
+// files or the post-commit state, never a half-replaced suffix.
 type lineage struct {
 	name  string
 	mu    sync.Mutex
 	store *checkpoint.FileStore
+	//ckptlint:guardedby mu
+	mgr *lifecycle.Manager
 }
 
 // Server hosts checkpoint lineages over the wire protocol.
@@ -99,12 +117,18 @@ type Server struct {
 	//ckptlint:guardedby mu
 	lineages []*lineage
 
+	// retention is the parsed default policy for new lineages.
+	retention lifecycle.Policy
+
 	// Atomic counters, served via TStats.
-	requests    atomic.Uint64 //ckptlint:atomic
-	bytesIn     atomic.Uint64 //ckptlint:atomic
-	bytesOut    atomic.Uint64 //ckptlint:atomic
-	activeConns atomic.Uint64 //ckptlint:atomic
-	conns       atomic.Uint64 //ckptlint:atomic
+	requests       atomic.Uint64 //ckptlint:atomic
+	bytesIn        atomic.Uint64 //ckptlint:atomic
+	bytesOut       atomic.Uint64 //ckptlint:atomic
+	activeConns    atomic.Uint64 //ckptlint:atomic
+	conns          atomic.Uint64 //ckptlint:atomic
+	compactions    atomic.Uint64 //ckptlint:atomic
+	compactedDiffs atomic.Uint64 //ckptlint:atomic
+	reclaimedBytes atomic.Uint64 //ckptlint:atomic
 
 	// conn tracking for forced shutdown
 	connMu sync.Mutex
@@ -122,8 +146,13 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.Root, 0o755); err != nil {
 		return nil, fmt.Errorf("server: creating root: %w", err)
 	}
+	retention, err := lifecycle.ParsePolicy(cfg.Retention)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
 		cfg:       cfg,
+		retention: retention,
 		byName:    make(map[string]uint32),
 		openConns: make(map[net.Conn]struct{}),
 	}
@@ -135,7 +164,7 @@ func New(cfg Config) (*Server, error) {
 		if !e.IsDir() {
 			continue
 		}
-		if _, _, err := s.open(e.Name()); err != nil {
+		if _, _, _, err := s.open(e.Name()); err != nil {
 			return nil, fmt.Errorf("server: reopening lineage %s: %w", e.Name(), err)
 		}
 	}
@@ -155,10 +184,11 @@ func validName(name string) error {
 }
 
 // open resolves a lineage name to its handle, creating the backing
-// store on first use, and returns the current lineage length.
-func (s *Server) open(name string) (uint32, int, error) {
+// store (and its lifecycle manager) on first use, and returns the
+// current lineage length and baseline.
+func (s *Server) open(name string) (uint32, int, int, error) {
 	if err := validName(name); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	s.mu.Lock()
 	h, ok := s.byName[name]
@@ -166,23 +196,28 @@ func (s *Server) open(name string) (uint32, int, error) {
 		store, err := checkpoint.NewFileStore(filepath.Join(s.cfg.Root, name))
 		if err != nil {
 			s.mu.Unlock()
-			return 0, 0, err
+			return 0, 0, 0, err
+		}
+		mgr, err := lifecycle.New(store, s.retention, lifecycle.Options{})
+		if err != nil {
+			s.mu.Unlock()
+			return 0, 0, 0, err
 		}
 		if uint64(len(s.lineages)) >= math.MaxUint32 {
 			s.mu.Unlock()
-			return 0, 0, errors.New("server: lineage handle space exhausted")
+			return 0, 0, 0, errors.New("server: lineage handle space exhausted")
 		}
 		h = uint32(len(s.lineages))
 		s.byName[name] = h
-		s.lineages = append(s.lineages, &lineage{name: name, store: store})
+		s.lineages = append(s.lineages, &lineage{name: name, store: store, mgr: mgr})
 	}
 	ln := s.lineages[h]
 	s.mu.Unlock()
 	n, err := ln.store.Len()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	return h, n, nil
+	return h, n, ln.store.Base(), nil
 }
 
 // get returns the lineage for a handle.
@@ -210,12 +245,15 @@ func (s *Server) Stats() wire.Stats {
 	nLineages := len(s.lineages)
 	s.mu.Unlock()
 	return wire.Stats{
-		Requests:    s.requests.Load(),
-		BytesIn:     s.bytesIn.Load(),
-		BytesOut:    s.bytesOut.Load(),
-		ActiveConns: s.activeConns.Load(),
-		Conns:       s.conns.Load(),
-		Lineages:    uint64(nLineages),
+		Requests:       s.requests.Load(),
+		BytesIn:        s.bytesIn.Load(),
+		BytesOut:       s.bytesOut.Load(),
+		ActiveConns:    s.activeConns.Load(),
+		Conns:          s.conns.Load(),
+		Lineages:       uint64(nLineages),
+		Compactions:    s.compactions.Load(),
+		CompactedDiffs: s.compactedDiffs.Load(),
+		ReclaimedBytes: s.reclaimedBytes.Load(),
 	}
 }
 
@@ -233,6 +271,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		ln.Close()
 	}()
 	defer close(stop)
+
+	if s.cfg.CompactInterval > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.compactLoop(ctx)
+		}()
+	}
 
 	for {
 		conn, err := ln.Accept()
@@ -351,13 +397,65 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	}
 }
 
+// compactLoop periodically applies every lineage's retention policy —
+// the background GC of the lifecycle subsystem. It shares the
+// per-lineage mutex with the request path, so it is safe against
+// concurrent Push/Pull.
+func (s *Server) compactLoop(ctx context.Context) {
+	tick := time.NewTicker(s.cfg.CompactInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			for _, ln := range s.snapshot() {
+				s.compactLineage(ln)
+			}
+		}
+	}
+}
+
+// compactLineage runs one policy-driven compaction under the lineage
+// lock and folds the outcome into the server counters.
+func (s *Server) compactLineage(ln *lineage) (lifecycle.Stats, error) {
+	ln.mu.Lock()
+	st, err := ln.mgr.Compact()
+	ln.mu.Unlock()
+	if err != nil {
+		s.cfg.Logf("server: compacting lineage %q: %v", ln.name, err)
+		return st, err
+	}
+	s.accountCompaction(ln.name, st)
+	return st, nil
+}
+
+// accountCompaction folds a committed compaction into the counters.
+func (s *Server) accountCompaction(name string, st lifecycle.Stats) {
+	if st.NewBase <= st.OldBase {
+		return
+	}
+	s.compactions.Add(1)
+	s.compactedDiffs.Add(uint64(st.PrunedDiffs))
+	if st.FreedBytes > 0 {
+		s.reclaimedBytes.Add(uint64(st.FreedBytes))
+	}
+	s.cfg.Logf("server: lineage %q compacted: baseline %d -> %d, %d diffs pruned, %d rewritten, %d bytes freed",
+		name, st.OldBase, st.NewBase, st.PrunedDiffs, st.RewrittenDiffs, st.FreedBytes)
+}
+
 // dispatch serves one request and returns the response frame. Request
-// failures come back as StatusErr responses on the same connection;
-// only transport errors tear the connection down.
+// failures come back as StatusErr (or StatusUnsupported for unknown
+// request types) responses on the same connection; only transport
+// errors tear the connection down.
 func (s *Server) dispatch(req *wire.Frame) *wire.Frame {
 	resp, err := s.serve(req)
 	if err != nil {
-		return &wire.Frame{Type: req.Type, Status: wire.StatusErr, Payload: []byte(err.Error())}
+		status := wire.StatusErr
+		if errors.Is(err, wire.ErrUnsupported) {
+			status = wire.StatusUnsupported
+		}
+		return &wire.Frame{Type: req.Type, Status: status, Payload: []byte(err.Error())}
 	}
 	resp.Type = req.Type
 	resp.Status = wire.StatusOK
@@ -367,14 +465,14 @@ func (s *Server) dispatch(req *wire.Frame) *wire.Frame {
 func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 	switch req.Type {
 	case wire.TOpen:
-		h, n, err := s.open(string(req.Payload))
+		h, n, base, err := s.open(string(req.Payload))
 		if err != nil {
 			return nil, err
 		}
 		if n < 0 || int64(n) > math.MaxUint32 {
 			return nil, fmt.Errorf("server: lineage length %d does not fit the frame header", n)
 		}
-		return &wire.Frame{Lineage: h, Ckpt: uint32(n)}, nil
+		return &wire.Frame{Lineage: h, Ckpt: uint32(n), Payload: wire.EncodeOpenInfo(uint32(base))}, nil
 
 	case wire.TPush:
 		ln, err := s.get(req.Lineage)
@@ -416,6 +514,7 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 		for _, ln := range lineages {
 			ln.mu.Lock()
 			n, err := ln.store.Len()
+			base := ln.store.Base()
 			var total int64
 			if err == nil {
 				total, err = ln.store.TotalBytes()
@@ -427,7 +526,7 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 			if n < 0 || int64(n) > math.MaxUint32 {
 				return nil, fmt.Errorf("server: lineage %q length %d does not fit the list format", ln.name, n)
 			}
-			infos = append(infos, wire.LineageInfo{Name: ln.name, Len: uint32(n), Bytes: uint64(total)})
+			infos = append(infos, wire.LineageInfo{Name: ln.name, Len: uint32(n), Base: uint32(base), Bytes: uint64(total)})
 		}
 		payload, err := wire.EncodeList(infos)
 		if err != nil {
@@ -439,7 +538,58 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 		st := s.Stats()
 		return &wire.Frame{Payload: st.Encode()}, nil
 
+	case wire.TCompact:
+		ln, err := s.get(req.Lineage)
+		if err != nil {
+			return nil, err
+		}
+		var st lifecycle.Stats
+		if req.Ckpt == wire.CompactAuto {
+			if st, err = s.compactLineage(ln); err != nil {
+				return nil, fmt.Errorf("server: compact lineage %q: %w", ln.name, err)
+			}
+		} else {
+			ln.mu.Lock()
+			st, err = ln.mgr.MaterializeTo(int(req.Ckpt))
+			ln.mu.Unlock()
+			if err != nil {
+				return nil, fmt.Errorf("server: compact lineage %q: %w", ln.name, err)
+			}
+			s.accountCompaction(ln.name, st)
+		}
+		res := wire.CompactResult{
+			OldBase:    uint32(st.OldBase),
+			NewBase:    uint32(st.NewBase),
+			Pruned:     uint32(st.PrunedDiffs),
+			Rewritten:  uint32(st.RewrittenDiffs),
+			FreedBytes: st.FreedBytes,
+		}
+		return &wire.Frame{Lineage: req.Lineage, Ckpt: res.NewBase, Payload: res.Encode()}, nil
+
+	case wire.TPolicy:
+		ln, err := s.get(req.Lineage)
+		if err != nil {
+			return nil, err
+		}
+		var policy lifecycle.Policy
+		if len(req.Payload) > 0 {
+			if policy, err = lifecycle.ParsePolicy(string(req.Payload)); err != nil {
+				return nil, fmt.Errorf("server: lineage %q: %w", ln.name, err)
+			}
+		}
+		ln.mu.Lock()
+		if policy != nil {
+			ln.mgr.SetPolicy(policy)
+		}
+		name := ln.mgr.PolicyName()
+		base := ln.store.Base()
+		ln.mu.Unlock()
+		if base < 0 || int64(base) > math.MaxUint32 {
+			return nil, fmt.Errorf("server: lineage %q baseline %d does not fit the frame header", ln.name, base)
+		}
+		return &wire.Frame{Lineage: req.Lineage, Ckpt: uint32(base), Payload: []byte(name)}, nil
+
 	default:
-		return nil, fmt.Errorf("server: unknown request type 0x%02x", req.Type)
+		return nil, fmt.Errorf("server: request type 0x%02x: %w", req.Type, wire.ErrUnsupported)
 	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net"
 	"os"
 	"path/filepath"
@@ -131,13 +132,23 @@ func TestServerRequestErrors(t *testing.T) {
 		{Type: wire.TOpen},                                    // empty name
 		{Type: wire.TPush, Lineage: 99, Payload: []byte("x")}, // unknown handle
 		{Type: wire.TPull, Lineage: 99},                       // unknown handle
-		{Type: 0x77},                                          // unknown type
 	}
 	for _, req := range cases {
 		resp := call(t, conn, req)
 		if resp.Status != wire.StatusErr {
 			t.Fatalf("request %+v succeeded: %+v", req, resp)
 		}
+	}
+	// An unknown opcode gets the dedicated unsupported status (not a
+	// generic error), so clients can distinguish "old server" from "bad
+	// request", and the error frame must round-trip through Err() as
+	// wire.ErrUnsupported.
+	resp0 := call(t, conn, &wire.Frame{Type: 0x77})
+	if resp0.Status != wire.StatusUnsupported {
+		t.Fatalf("unknown opcode: status = %d, want StatusUnsupported; frame %+v", resp0.Status, resp0)
+	}
+	if err := resp0.Err(); !errors.Is(err, wire.ErrUnsupported) {
+		t.Fatalf("unknown opcode error %v does not match wire.ErrUnsupported", err)
 	}
 
 	// A malformed diff must be rejected before touching the store.
@@ -322,5 +333,143 @@ func TestServerBadHandshake(t *testing.T) {
 func TestServerConfigValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("empty root accepted")
+	}
+}
+
+// TestServerCompactAndPolicy drives the v2 lifecycle ops over raw
+// frames: policy get/set, explicit-target and policy-driven
+// compaction, post-compaction serving bounds, and stats accounting.
+func TestServerCompactAndPolicy(t *testing.T) {
+	root := t.TempDir()
+	_, addr, stop := startServer(t, Config{Root: root})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("lin")})
+	if open.Status != wire.StatusOK {
+		t.Fatalf("open: %+v", open)
+	}
+	h := open.Lineage
+	for k := 0; k < 8; k++ {
+		push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(k),
+			Payload: encodedDiff(t, k, byte(k))})
+		if push.Status != wire.StatusOK {
+			t.Fatalf("push %d: %s", k, push.Payload)
+		}
+	}
+
+	// Policy defaults to the server-wide retention (keep-all here).
+	pol := call(t, conn, &wire.Frame{Type: wire.TPolicy, Lineage: h})
+	if pol.Status != wire.StatusOK || string(pol.Payload) != "keep-all" {
+		t.Fatalf("policy get: %q (%d)", pol.Payload, pol.Status)
+	}
+	if bad := call(t, conn, &wire.Frame{Type: wire.TPolicy, Lineage: h,
+		Payload: []byte("lru")}); bad.Status == wire.StatusOK {
+		t.Fatal("bogus policy accepted")
+	}
+
+	// Explicit-target compaction to baseline 4.
+	comp := call(t, conn, &wire.Frame{Type: wire.TCompact, Lineage: h, Ckpt: 4})
+	if comp.Status != wire.StatusOK {
+		t.Fatalf("compact: %s", comp.Payload)
+	}
+	res, err := wire.DecodeCompactResult(comp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OldBase != 0 || res.NewBase != 4 || res.Pruned != 4 {
+		t.Fatalf("compact result %+v", res)
+	}
+
+	// Folded checkpoints are gone; the baseline serves as a full diff.
+	if pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: 2}); pull.Status == wire.StatusOK {
+		t.Fatal("pull below the baseline succeeded")
+	}
+	if pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: 4}); pull.Status != wire.StatusOK {
+		t.Fatalf("pull at baseline: %s", pull.Payload)
+	}
+
+	// A fresh open reports span [4, 8).
+	open2 := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("lin")})
+	base, err := wire.DecodeOpenInfo(open2.Payload)
+	if err != nil || open2.Ckpt != 8 || base != 4 {
+		t.Fatalf("reopen: len %d base %d (%v)", open2.Ckpt, base, err)
+	}
+
+	// Policy-driven compaction: keep-last=2 folds up to 6.
+	set := call(t, conn, &wire.Frame{Type: wire.TPolicy, Lineage: h, Payload: []byte("keep-last=2")})
+	if set.Status != wire.StatusOK || string(set.Payload) != "keep-last=2" {
+		t.Fatalf("policy set: %q (%d)", set.Payload, set.Status)
+	}
+	comp2 := call(t, conn, &wire.Frame{Type: wire.TCompact, Lineage: h, Ckpt: wire.CompactAuto})
+	res2, err := wire.DecodeCompactResult(comp2.Payload)
+	if err != nil || res2.NewBase != 6 {
+		t.Fatalf("auto compact: %+v (%v)", res2, err)
+	}
+
+	// Both compactions land in the stats counters.
+	stats := call(t, conn, &wire.Frame{Type: wire.TStats})
+	st, err := wire.DecodeStats(stats.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Compactions != 2 || st.CompactedDiffs != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// The list reports the compacted span.
+	list := call(t, conn, &wire.Frame{Type: wire.TList})
+	infos, err := wire.DecodeList(list.Payload)
+	if err != nil || len(infos) != 1 || infos[0].Base != 6 || infos[0].Len != 8 {
+		t.Fatalf("list: %+v (%v)", infos, err)
+	}
+}
+
+// TestServerBackgroundCompaction configures a retention policy and a
+// short compaction interval and waits for the worker to fold the
+// lineage on its own.
+func TestServerBackgroundCompaction(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir(),
+		Retention: "keep-last=2", CompactInterval: 20 * time.Millisecond})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("bg")})
+	h := open.Lineage
+	for k := 0; k < 6; k++ {
+		push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(k),
+			Payload: encodedDiff(t, k, byte(k))})
+		if push.Status != wire.StatusOK {
+			t.Fatalf("push %d: %s", k, push.Payload)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		stats := call(t, conn, &wire.Frame{Type: wire.TStats})
+		st, err := wire.DecodeStats(stats.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Compactions >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background compaction never ran")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	open2 := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("bg")})
+	base, err := wire.DecodeOpenInfo(open2.Payload)
+	if err != nil || base != 4 || open2.Ckpt != 6 {
+		t.Fatalf("after background compaction: len %d base %d (%v)", open2.Ckpt, base, err)
+	}
+	// The retained span still pulls cleanly.
+	for k := uint32(4); k < 6; k++ {
+		if pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: k}); pull.Status != wire.StatusOK {
+			t.Fatalf("pull %d after compaction: %s", k, pull.Payload)
+		}
 	}
 }

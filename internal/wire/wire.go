@@ -33,7 +33,16 @@ const (
 	Magic uint32 = 0x434b5044
 	// Version is the protocol version negotiated by the hello
 	// exchange. Peers with different versions refuse the connection.
-	Version uint8 = 1
+	//
+	// Version history:
+	//
+	//	1: open/push/pull/list/stats.
+	//	2: lineage lifecycle — COMPACT and POLICY requests, the
+	//	   StatusUnsupported status byte, a baseline field in TOpen
+	//	   responses and list entries, and compaction counters in
+	//	   stats. The list and stats payload layouts changed shape,
+	//	   hence the incompatible bump.
+	Version uint8 = 2
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 14
 	// HelloSize is the handshake message length in bytes.
@@ -60,10 +69,25 @@ const (
 	TList
 	// TStats returns the server's counters (Stats.Encode).
 	TStats
+	// TCompact folds lineage Lineage up to baseline Ckpt (CompactAuto
+	// lets the server's retention policy pick the target); the
+	// response carries the new baseline in Ckpt and a CompactResult
+	// payload.
+	TCompact
+	// TPolicy sets the retention policy of lineage Lineage to the
+	// payload string (empty payload = query only); the response
+	// carries the current policy in the payload and the baseline in
+	// Ckpt.
+	TPolicy
 	// TErr is an unsolicited server error (e.g. connection limit
 	// reached), sent without a matching request.
 	TErr uint8 = 0xFF
 )
+
+// CompactAuto, as the Ckpt field of a TCompact request, asks the
+// server to pick the compaction target from the lineage's retention
+// policy instead of an explicit index.
+const CompactAuto uint32 = math.MaxUint32
 
 // Status bytes.
 const (
@@ -72,6 +96,11 @@ const (
 	// StatusErr marks a failed response; the payload holds the error
 	// message.
 	StatusErr uint8 = 1
+	// StatusUnsupported marks a request whose type byte the server
+	// does not implement — a client probing a newer operation against
+	// an older server gets a typed error (ErrUnsupported) instead of a
+	// torn connection.
+	StatusUnsupported uint8 = 2
 )
 
 // Errors.
@@ -81,6 +110,10 @@ var (
 	// ErrPayloadTooLarge reports a frame whose declared payload
 	// exceeds the reader's limit.
 	ErrPayloadTooLarge = errors.New("wire: payload exceeds frame limit")
+	// ErrUnsupported matches (via errors.Is) a RemoteError carried by
+	// a StatusUnsupported response: the peer answered cleanly but does
+	// not implement the request.
+	ErrUnsupported = errors.New("wire: unsupported request")
 )
 
 // Frame is one protocol message in either direction.
@@ -95,22 +128,33 @@ type Frame struct {
 // WireSize returns the number of bytes the frame occupies on the wire.
 func (f *Frame) WireSize() int64 { return HeaderSize + int64(len(f.Payload)) }
 
-// Err returns the error carried by a StatusErr frame, or nil.
+// Err returns the error carried by a non-OK frame, or nil.
 func (f *Frame) Err() error {
 	if f.Status == StatusOK {
 		return nil
 	}
-	return &RemoteError{Msg: string(f.Payload)}
+	return &RemoteError{Msg: string(f.Payload), Unsupported: f.Status == StatusUnsupported}
 }
 
-// RemoteError is a failure reported by the peer through a StatusErr
-// frame. It is a clean protocol-level outcome — the connection is
-// still usable — so clients must not treat it as transient.
+// RemoteError is a failure reported by the peer through a StatusErr or
+// StatusUnsupported frame. It is a clean protocol-level outcome — the
+// connection is still usable — so clients must not treat it as
+// transient.
 type RemoteError struct {
 	Msg string
+	// Unsupported marks a StatusUnsupported response: the peer does
+	// not implement the request type. errors.Is(err, ErrUnsupported)
+	// reports it.
+	Unsupported bool
 }
 
 func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// Is lets errors.Is match an unsupported-operation RemoteError against
+// the ErrUnsupported sentinel.
+func (e *RemoteError) Is(target error) bool {
+	return target == ErrUnsupported && e.Unsupported
+}
 
 // WriteHello writes the 6-byte handshake: magic, version, flags.
 func WriteHello(w io.Writer) error {
@@ -234,7 +278,8 @@ func ReadFrame(r io.Reader, maxPayload uint32) (*Frame, error) {
 // LineageInfo is one entry of the TList response.
 type LineageInfo struct {
 	Name  string
-	Len   uint32 // number of stored checkpoints
+	Len   uint32 // one past the highest stored checkpoint index
+	Base  uint32 // baseline index; stored diffs span [Base, Len)
 	Bytes uint64 // total stored diff bytes
 }
 
@@ -252,6 +297,7 @@ func EncodeList(infos []LineageInfo) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(in.Name)))
 		buf = append(buf, in.Name...)
 		buf = binary.BigEndian.AppendUint32(buf, in.Len)
+		buf = binary.BigEndian.AppendUint32(buf, in.Base)
 		buf = binary.BigEndian.AppendUint64(buf, in.Bytes)
 	}
 	return buf, nil
@@ -264,29 +310,101 @@ func DecodeList(b []byte) ([]LineageInfo, error) {
 	}
 	n := binary.BigEndian.Uint32(b)
 	b = b[4:]
-	// The smallest entry is 14 bytes, so the payload bounds the entry
+	// The smallest entry is 18 bytes, so the payload bounds the entry
 	// count — never allocate on the declared count alone.
-	infos := make([]LineageInfo, 0, min(int(n), len(b)/14))
+	infos := make([]LineageInfo, 0, min(int(n), len(b)/18))
 	for i := uint32(0); i < n; i++ {
 		if len(b) < 2 {
 			return nil, errors.New("wire: truncated lineage entry")
 		}
 		nameLen := int(binary.BigEndian.Uint16(b))
 		b = b[2:]
-		if len(b) < nameLen+12 {
+		if len(b) < nameLen+16 {
 			return nil, errors.New("wire: truncated lineage entry")
 		}
-		infos = append(infos, LineageInfo{
+		in := LineageInfo{
 			Name:  string(b[:nameLen]),
 			Len:   binary.BigEndian.Uint32(b[nameLen:]),
-			Bytes: binary.BigEndian.Uint64(b[nameLen+4:]),
-		})
-		b = b[nameLen+12:]
+			Base:  binary.BigEndian.Uint32(b[nameLen+4:]),
+			Bytes: binary.BigEndian.Uint64(b[nameLen+8:]),
+		}
+		if in.Base > in.Len {
+			return nil, fmt.Errorf("wire: lineage %q baseline %d beyond length %d", in.Name, in.Base, in.Len)
+		}
+		infos = append(infos, in)
+		b = b[nameLen+16:]
 	}
 	if len(b) != 0 {
 		return nil, errors.New("wire: trailing bytes after lineage list")
 	}
 	return infos, nil
+}
+
+// EncodeOpenInfo serializes the extra payload of a TOpen response: the
+// lineage's baseline index (the response header's Ckpt field carries
+// the length).
+func EncodeOpenInfo(base uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, base)
+}
+
+// DecodeOpenInfo parses a TOpen response payload. An empty payload
+// decodes as baseline 0 (a v2 server always sends one; the empty case
+// keeps raw test harnesses and future slimmer responses valid).
+func DecodeOpenInfo(b []byte) (uint32, error) {
+	switch len(b) {
+	case 0:
+		return 0, nil
+	case 4:
+		return binary.BigEndian.Uint32(b), nil
+	default:
+		return 0, fmt.Errorf("wire: open info payload %d bytes, want 0 or 4", len(b))
+	}
+}
+
+// CompactResult is the payload of a successful TCompact response.
+type CompactResult struct {
+	// OldBase and NewBase are the baseline before and after the
+	// transaction; equal for a no-op.
+	OldBase, NewBase uint32
+	// Pruned counts deleted diff files; Rewritten counts retained
+	// diffs rewritten to drop references into the folded prefix.
+	Pruned, Rewritten uint32
+	// FreedBytes is the net on-disk byte change (signed: a baseline
+	// can cost more than a short folded prefix freed).
+	FreedBytes int64
+}
+
+const compactResultSize = 4 + 4 + 4 + 4 + 8
+
+// Encode serializes the compaction result.
+func (r *CompactResult) Encode() []byte {
+	buf := make([]byte, 0, compactResultSize)
+	buf = binary.BigEndian.AppendUint32(buf, r.OldBase)
+	buf = binary.BigEndian.AppendUint32(buf, r.NewBase)
+	buf = binary.BigEndian.AppendUint32(buf, r.Pruned)
+	buf = binary.BigEndian.AppendUint32(buf, r.Rewritten)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(r.FreedBytes))
+	return buf
+}
+
+// DecodeCompactResult parses a TCompact response payload.
+func DecodeCompactResult(b []byte) (CompactResult, error) {
+	if len(b) != compactResultSize {
+		return CompactResult{}, fmt.Errorf("wire: compact result payload %d bytes, want %d",
+			len(b), compactResultSize)
+	}
+	r := CompactResult{
+		OldBase:    binary.BigEndian.Uint32(b[0:]),
+		NewBase:    binary.BigEndian.Uint32(b[4:]),
+		Pruned:     binary.BigEndian.Uint32(b[8:]),
+		Rewritten:  binary.BigEndian.Uint32(b[12:]),
+		FreedBytes: int64(binary.BigEndian.Uint64(b[16:])),
+	}
+	if r.NewBase < r.OldBase {
+		return CompactResult{}, fmt.Errorf("wire: compact result moves baseline backwards: %d -> %d",
+			r.OldBase, r.NewBase)
+	}
+	return r, nil
 }
 
 // Stats is the TStats response: the server's atomic counters.
@@ -303,14 +421,23 @@ type Stats struct {
 	Conns uint64
 	// Lineages is the number of opened lineages.
 	Lineages uint64
+	// Compactions counts committed compaction transactions that moved
+	// a baseline forward (background worker and TCompact requests).
+	Compactions uint64
+	// CompactedDiffs counts diff files deleted by compactions.
+	CompactedDiffs uint64
+	// ReclaimedBytes sums the net on-disk bytes freed by compactions
+	// (transactions with a negative net change contribute zero).
+	ReclaimedBytes uint64
 }
 
-const statsSize = 6 * 8
+const statsSize = 9 * 8
 
 // Encode serializes the stats counters.
 func (s *Stats) Encode() []byte {
 	buf := make([]byte, 0, statsSize)
-	for _, v := range [...]uint64{s.Requests, s.BytesIn, s.BytesOut, s.ActiveConns, s.Conns, s.Lineages} {
+	for _, v := range [...]uint64{s.Requests, s.BytesIn, s.BytesOut, s.ActiveConns, s.Conns, s.Lineages,
+		s.Compactions, s.CompactedDiffs, s.ReclaimedBytes} {
 		buf = binary.BigEndian.AppendUint64(buf, v)
 	}
 	return buf
@@ -322,7 +449,8 @@ func DecodeStats(b []byte) (Stats, error) {
 		return Stats{}, fmt.Errorf("wire: stats payload %d bytes, want %d", len(b), statsSize)
 	}
 	var s Stats
-	for i, p := range [...]*uint64{&s.Requests, &s.BytesIn, &s.BytesOut, &s.ActiveConns, &s.Conns, &s.Lineages} {
+	for i, p := range [...]*uint64{&s.Requests, &s.BytesIn, &s.BytesOut, &s.ActiveConns, &s.Conns, &s.Lineages,
+		&s.Compactions, &s.CompactedDiffs, &s.ReclaimedBytes} {
 		*p = binary.BigEndian.Uint64(b[8*i:])
 	}
 	return s, nil

@@ -175,3 +175,91 @@ func TestRemoteError(t *testing.T) {
 		t.Fatal("ok frame reported error")
 	}
 }
+
+func TestOpenInfoRoundTrip(t *testing.T) {
+	for _, base := range []uint32{0, 1, 56, 1 << 30} {
+		got, err := DecodeOpenInfo(EncodeOpenInfo(base))
+		if err != nil || got != base {
+			t.Fatalf("open info %d: got %d, %v", base, got, err)
+		}
+	}
+	// An empty payload (v1-era response) decodes as baseline 0.
+	if got, err := DecodeOpenInfo(nil); err != nil || got != 0 {
+		t.Fatalf("empty open info: got %d, %v", got, err)
+	}
+	for _, bad := range [][]byte{{1}, {1, 2, 3}, {1, 2, 3, 4, 5}} {
+		if _, err := DecodeOpenInfo(bad); err == nil {
+			t.Fatalf("open info of %d bytes accepted", len(bad))
+		}
+	}
+}
+
+func TestCompactResultRoundTrip(t *testing.T) {
+	cases := []CompactResult{
+		{},
+		{OldBase: 0, NewBase: 56, Pruned: 56, Rewritten: 7, FreedBytes: 123456},
+		{OldBase: 3, NewBase: 3}, // no-op compaction
+		{OldBase: 1, NewBase: 2, FreedBytes: -400},
+	}
+	for _, r := range cases {
+		got, err := DecodeCompactResult(r.Encode())
+		if err != nil || got != r {
+			t.Fatalf("compact result %+v: got %+v, %v", r, got, err)
+		}
+	}
+	if _, err := DecodeCompactResult([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short compact result accepted")
+	}
+	// A result that moves the baseline backwards is corrupt by
+	// definition: the manifest commit is forward-only.
+	backwards := (&CompactResult{OldBase: 9, NewBase: 2}).Encode()
+	if _, err := DecodeCompactResult(backwards); err == nil {
+		t.Fatal("backwards baseline accepted")
+	}
+}
+
+func TestListBaseValidation(t *testing.T) {
+	infos := []LineageInfo{{Name: "compacted", Len: 64, Base: 56, Bytes: 999}}
+	payload, err := EncodeList(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeList(payload)
+	if err != nil || len(got) != 1 || got[0] != infos[0] {
+		t.Fatalf("list with base: got %+v, %v", got, err)
+	}
+	// Base beyond Len means the entry describes an empty negative span.
+	bad, err := EncodeList([]LineageInfo{{Name: "x", Len: 3, Base: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeList(bad); err == nil {
+		t.Fatal("baseline beyond length accepted")
+	}
+}
+
+func TestStatsCompactionCounters(t *testing.T) {
+	s := Stats{Requests: 1, BytesIn: 2, BytesOut: 3, ActiveConns: 4, Conns: 5,
+		Lineages: 6, Compactions: 7, CompactedDiffs: 8, ReclaimedBytes: 9}
+	got, err := DecodeStats(s.Encode())
+	if err != nil || got != s {
+		t.Fatalf("stats round trip: %+v %v", got, err)
+	}
+}
+
+func TestUnsupportedError(t *testing.T) {
+	f := &Frame{Type: 0x77, Status: StatusUnsupported, Payload: []byte("unknown request type 0x77")}
+	err := f.Err()
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("unsupported status not matched by ErrUnsupported: %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || !re.Unsupported {
+		t.Fatalf("err = %#v", err)
+	}
+	// A plain StatusErr must NOT match the sentinel.
+	plain := (&Frame{Type: TPush, Status: StatusErr, Payload: []byte("boom")}).Err()
+	if errors.Is(plain, ErrUnsupported) {
+		t.Fatal("generic error matched ErrUnsupported")
+	}
+}
