@@ -14,13 +14,14 @@ FUZZ_TARGETS = \
 	FuzzHandshake:./internal/wire \
 	FuzzDiffDecode:./internal/checkpoint \
 	FuzzRestore:./internal/checkpoint \
-	FuzzManifestDecode:./internal/checkpoint
+	FuzzManifestDecode:./internal/checkpoint \
+	FuzzDiffChecksum:./internal/checkpoint
 FUZZTIME ?= 5s
 FUZZTIME_LONG ?= 5m
 
-.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json fuzz fuzz-smoke
+.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json fuzz fuzz-smoke chaos-smoke
 
-ci: fmt vet lint build race bench-smoke fuzz-smoke
+ci: fmt vet lint build race bench-smoke fuzz-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -32,8 +33,8 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the repo-specific checks (noalloc, clockguard,
-# closecontract, wireerr, nowallclock); see internal/lint and
-# `go run ./cmd/ckptlint -list`.
+# closecontract, wireerr, retryable, nowallclock); see internal/lint
+# and `go run ./cmd/ckptlint -list`.
 lint:
 	$(GO) run ./cmd/ckptlint .
 
@@ -68,6 +69,12 @@ fuzz-smoke:
 		echo "fuzz $$name ($(FUZZTIME))"; \
 		$(GO) test -run='^$$' -fuzz="^$$name$$" -fuzztime=$(FUZZTIME) $$pkg || exit 1; \
 	done
+
+# chaos-smoke runs the seeded fault-injection suite (internal/faults)
+# under the race detector. Every schedule is deterministic — a failure
+# reproduces by rerunning the named test, no flake triage needed.
+chaos-smoke:
+	$(GO) test -race -count=1 -run '^TestChaos' ./internal/faults
 
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \

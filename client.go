@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -20,16 +21,110 @@ import (
 //
 // A Client owns one TCP connection and is safe for concurrent use; the
 // protocol is strictly request/response, so concurrent calls serialize
-// on the connection. Transient transport failures (broken connection,
-// timeout) are retried once on a fresh connection; errors reported by
-// the server itself (RemoteError) are not retried.
+// on the connection. Failures are classified by wire.Transient:
+// transport errors (torn connection, deadline expiry, dial failure)
+// are retried on a fresh connection under the client's RetryPolicy
+// (bounded attempts, exponential backoff with jitter); a StatusBusy
+// response from a load-shedding server is retried on the same
+// connection after honoring its retry-after hint; any other error the
+// server itself reports (RemoteError) is terminal — the server
+// answered, so replaying would duplicate work. Push replays are safe
+// either way: the v3 protocol's content-hash precondition makes a
+// duplicate push of identical bytes idempotent on the server.
 type Client struct {
 	addr    string
 	timeout time.Duration
+	retry   RetryPolicy
+	dialer  func(addr string, timeout time.Duration) (net.Conn, error)
 
 	mu      sync.Mutex
 	conn    net.Conn
 	handles map[string]uint32 // lineage name -> server handle (per connection epoch)
+	rng     *rand.Rand        // jitter source; guarded by mu
+}
+
+// RetryPolicy bounds and paces the client's retries of transiently
+// failed requests. The delay before attempt k (k≥2) is
+// BaseDelay·Multiplier^(k-2) clamped to MaxDelay, spread by ±Jitter,
+// and floored at a load-shedding server's retry-after hint.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request, first
+	// attempt included (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive attempts
+	// (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over ±Jitter·delay so
+	// lock-step clients don't retry in convoy (default 0.2).
+	Jitter float64
+	// Seed seeds the jitter RNG; 0 selects a fixed default. Tests use
+	// distinct seeds for reproducible-yet-decorrelated schedules.
+	Seed int64
+	// Sleep is the delay function (default time.Sleep). Tests stub it
+	// to run retry schedules instantly.
+	Sleep func(time.Duration)
+}
+
+func (p *RetryPolicy) fill() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = 0.2
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+}
+
+// delay computes the pre-attempt backoff: attempt counts from 2 (the
+// first retry), hint is a server-provided retry-after floor (0 if
+// none).
+func (p *RetryPolicy) delay(attempt int, hint time.Duration, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 2; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 {
+		d *= 1 + p.Jitter*(2*rng.Float64()-1)
+	}
+	out := time.Duration(d)
+	if out < hint {
+		out = hint
+	}
+	return out
+}
+
+// DialConfig parameterizes DialConfigured.
+type DialConfig struct {
+	// Timeout bounds the dial, the handshake, and each per-operation
+	// read and write (0 selects 30s).
+	Timeout time.Duration
+	// Retry is the transient-failure retry policy; zero fields take
+	// defaults.
+	Retry RetryPolicy
+	// Dialer replaces net.DialTimeout, letting tests interpose a
+	// fault-injecting connection (see internal/faults).
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 // RemoteError is a failure reported by the server for one request. The
@@ -73,6 +168,9 @@ type ServerStats struct {
 	// CompactedDiffs the diff files they deleted; ReclaimedBytes the
 	// net disk bytes they freed.
 	Compactions, CompactedDiffs, ReclaimedBytes uint64
+	// BusyRejects counts requests and connections the server shed with
+	// StatusBusy (connection limit or lineage queue saturation).
+	BusyRejects uint64
 }
 
 // CompactInfo reports one server-side compaction transaction.
@@ -91,10 +189,32 @@ type CompactInfo struct {
 // Dial connects to a ckptd server. timeout bounds the dial and every
 // per-request network operation (0 selects 30s).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	if timeout <= 0 {
-		timeout = 30 * time.Second
+	return DialConfigured(addr, DialConfig{Timeout: timeout})
+}
+
+// DialConfigured connects to a ckptd server with an explicit retry
+// policy and (optionally) a custom dialer.
+func DialConfigured(addr string, cfg DialConfig) (*Client, error) {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
 	}
-	c := &Client{addr: addr, timeout: timeout}
+	cfg.Retry.fill()
+	if cfg.Dialer == nil {
+		cfg.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	seed := cfg.Retry.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c := &Client{
+		addr:    addr,
+		timeout: cfg.Timeout,
+		retry:   cfg.Retry,
+		dialer:  cfg.Dialer,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.connectLocked(); err != nil {
@@ -111,15 +231,21 @@ func (c *Client) connectLocked() error {
 		c.conn.Close()
 		c.conn = nil
 	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	conn, err := c.dialer(c.addr, c.timeout)
 	if err != nil {
 		return fmt.Errorf("gpuckpt: dial %s: %w", c.addr, err)
 	}
+	// The deadline here covers only the handshake; it is cleared once
+	// the connection is established, and each operation then arms its
+	// own read/write deadlines. A single connect-time deadline would go
+	// stale on a long-lived session: every round trip after
+	// connect+timeout would fail no matter how healthy the peer is.
 	conn.SetDeadline(time.Now().Add(c.timeout))
 	if err := wire.Handshake(conn); err != nil {
 		conn.Close()
 		return fmt.Errorf("gpuckpt: handshake with %s: %w", c.addr, err)
 	}
+	conn.SetDeadline(time.Time{})
 	c.conn = conn
 	c.handles = make(map[string]uint32)
 	return nil
@@ -137,24 +263,25 @@ func (c *Client) Close() error {
 	return err
 }
 
-// transient reports whether err warrants one retry on a fresh
-// connection: anything that broke the transport, but never a
-// RemoteError (the server answered; replaying would duplicate work).
-func transient(err error) bool {
-	var re *RemoteError
-	if errors.As(err, &re) {
-		return false
-	}
-	return true
-}
-
-// roundTrip sends req and returns the server's response, retrying once
-// on transient transport errors.
+// roundTrip sends req and returns the server's response, retrying
+// transient failures under the client's RetryPolicy. Classification is
+// wire.Transient: transport failures drop the connection (the next
+// attempt redials); a StatusBusy shed keeps the connection and honors
+// the server's retry-after hint as the backoff floor; every other
+// server-reported error is terminal.
 func (c *Client) roundTrip(req *wire.Frame) (*wire.Frame, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			var hint time.Duration
+			var re *RemoteError
+			if errors.As(lastErr, &re) && re.Busy {
+				hint = re.RetryAfter
+			}
+			c.retry.Sleep(c.retry.delay(attempt, hint, c.rng))
+		}
 		if c.conn == nil {
 			if err := c.connectLocked(); err != nil {
 				lastErr = err
@@ -166,24 +293,38 @@ func (c *Client) roundTrip(req *wire.Frame) (*wire.Frame, error) {
 			return resp, nil
 		}
 		lastErr = err
-		if !transient(err) {
+		// wire.Transient calls net.ErrClosed terminal (a server must not
+		// spin on its own closed listener), but here it can only mean the
+		// socket died under us: roundTrip holds c.mu, so Client.Close
+		// cannot be mid-request, and redialing is the right response.
+		//ckptlint:ignore retryable deliberate client-side exception to the wire taxonomy, see above
+		if !wire.Transient(err) && !errors.Is(err, net.ErrClosed) {
 			return nil, err
 		}
-		// Broken transport: drop the connection (and handle cache) and
-		// let the next attempt redial.
-		if c.conn != nil {
+		// Busy is a polite shed over a healthy connection: keep it.
+		// Anything else transient means the transport is suspect — drop
+		// the connection (and handle cache) and let the next attempt
+		// redial.
+		var re *RemoteError
+		if !(errors.As(err, &re) && re.Busy) && c.conn != nil {
 			c.conn.Close()
 			c.conn = nil
 		}
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("gpuckpt: request failed after %d attempts: %w", c.retry.MaxAttempts, lastErr)
 }
 
+// exchangeLocked performs one framed request/response with
+// per-operation deadlines: the write deadline arms before the request
+// goes out, the read deadline arms after it, so a slow large pull gets
+// the full timeout for its read phase rather than whatever the write
+// left over.
 func (c *Client) exchangeLocked(req *wire.Frame) (*wire.Frame, error) {
-	c.conn.SetDeadline(time.Now().Add(c.timeout))
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	if err := wire.WriteFrame(c.conn, req); err != nil {
 		return nil, err
 	}
+	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
 	resp, err := wire.ReadFrame(c.conn, 0)
 	if err != nil {
 		return nil, err
@@ -249,13 +390,16 @@ func (c *Client) Span(name string) (base, length int, err error) {
 // Push uploads one encoded diff (as produced by Checkpointer.WriteDiff
 // or Record.WriteDiff) as checkpoint ckptID of the named lineage. The
 // server enforces contiguity: ckptID must equal the lineage's current
-// length, and exactly one concurrent pusher of a given id wins.
+// length, and exactly one concurrent pusher of a given id wins. The
+// payload travels with a CRC32C precondition, which doubles as the
+// idempotency key: a retried push whose response was lost lands as a
+// no-op OK instead of a duplicate-append error.
 func (c *Client) Push(name string, ckptID int, encoded []byte) error {
 	h, err := c.handle(name)
 	if err != nil {
 		return err
 	}
-	_, err = c.roundTrip(&wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(ckptID), Payload: encoded})
+	_, err = c.roundTrip(&wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(ckptID), Payload: wire.EncodePush(encoded)})
 	return err
 }
 
@@ -375,6 +519,7 @@ func (c *Client) Stats() (ServerStats, error) {
 		Compactions:    st.Compactions,
 		CompactedDiffs: st.CompactedDiffs,
 		ReclaimedBytes: st.ReclaimedBytes,
+		BusyRejects:    st.BusyRejects,
 	}, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
 	"github.com/gpuckpt/gpuckpt/internal/server"
 	"github.com/gpuckpt/gpuckpt/internal/wire"
 )
@@ -175,8 +176,12 @@ func TestClientServerEndToEnd(t *testing.T) {
 		}
 		storedBytes += in.Bytes
 	}
-	if storedBytes != pushedBytes[0] {
-		t.Fatalf("server stores %d bytes, clients pushed %d", storedBytes, pushedBytes[0])
+	// Each stored diff carries the FileStore's integrity footer on top
+	// of the pushed encoded bytes.
+	wantStored := pushedBytes[0] + int64(numClients*numCkpts*checkpoint.FooterSize)
+	if storedBytes != wantStored {
+		t.Fatalf("server stores %d bytes, clients pushed %d (want %d with footers)",
+			storedBytes, pushedBytes[0], wantStored)
 	}
 
 	// The pushers closed their connections; wait for the server to
@@ -348,6 +353,50 @@ func TestClientReconnects(t *testing.T) {
 	}
 }
 
+// TestClientPerOperationDeadlines pins down that Timeout is armed per
+// operation, not once at connect time: a session that lives many times
+// longer than Timeout keeps working as long as each individual round
+// trip is fast. A single connect-time SetDeadline would go stale and
+// fail every request issued after the first Timeout elapsed. Retries
+// are disabled so a stale deadline cannot be papered over by a redial.
+func TestClientPerOperationDeadlines(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	defer shutdown()
+
+	const opTimeout = 150 * time.Millisecond
+	cl, err := DialConfigured(addr, DialConfig{
+		Timeout: opTimeout,
+		Retry:   RetryPolicy{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	for k := 0; k < 8; k++ {
+		if err := cl.Push("lin", k, encodeFullDiff(t, k)); err != nil {
+			t.Fatalf("push %d at t=%v: %v", k, time.Since(start), err)
+		}
+		if n, err := cl.Len("lin"); err != nil {
+			t.Fatalf("len at t=%v: %v", time.Since(start), err)
+		} else if n != k+1 {
+			t.Fatalf("len %d after push %d", n, k)
+		}
+		time.Sleep(opTimeout / 3) // stretch the session well past one timeout
+	}
+	if elapsed := time.Since(start); elapsed <= opTimeout {
+		t.Fatalf("session only lasted %v; test proves nothing", elapsed)
+	}
+	// The whole session must have run on the original connection — a
+	// reconnect would mean some operation hit a stale deadline.
+	if st, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	} else if st.Conns != 1 {
+		t.Fatalf("session used %d connections, want 1", st.Conns)
+	}
+}
+
 func encodeFullDiff(t *testing.T, ck int) []byte {
 	t.Helper()
 	ckp, err := New(Config{Method: MethodFull, ChunkSize: 128}, 4096)
@@ -395,9 +444,11 @@ func TestClientConnectionLimitError(t *testing.T) {
 // Guard against protocol drift: the version the client speaks is the
 // version the server checks. Version 2 added the lifecycle requests
 // (TCompact/TPolicy), the open-info base payload, and the extended
-// list/stats encodings.
+// list/stats encodings. Version 3 added the CRC32C push precondition,
+// StatusBusy load shedding with a retry-after hint, and the busy-
+// reject stats counter.
 func TestClientProtocolVersion(t *testing.T) {
-	if wire.Version != 2 {
+	if wire.Version != 3 {
 		t.Fatalf("protocol version bumped to %d: update compatibility notes", wire.Version)
 	}
 }

@@ -55,7 +55,7 @@ func parseInts(s string) ([]int, error) {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ckptbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, compact, all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, compact, faults, all")
 		vertices = fs.Int("vertices", 20000, "target vertices per input graph (paper: 11-18 M)")
 		maxK     = fs.Int("maxk", 4, "largest graphlet size for ORANGES (paper: 5)")
 		chunks   = fs.String("chunks", "32,64,128,256,512", "chunk sizes for fig4")
@@ -240,9 +240,17 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return emit("compact", t)
 		},
+		"faults": func() error {
+			t, err := faultsExperiment(cfg)
+			if err != nil {
+				return err
+			}
+			return emit("faults", t)
+		},
 	}
-	// "push" needs a live ckptd server, so "all" (the offline
-	// reproduction pass) does not include it.
+	// "push" needs a live ckptd server, and "faults" is a resilience
+	// drill rather than a paper experiment, so "all" (the offline
+	// reproduction pass) includes neither.
 	order := []string{"table1", "fig4", "fig5", "fig6", "overhead", "ablation", "extensions", "adjoint", "headline", "compact"}
 
 	if *exp == "all" {

@@ -1,9 +1,13 @@
 package checkpoint
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -53,13 +57,31 @@ type FileStore struct {
 	// TotalBytes are O(1) instead of a directory scan per call.
 	n    int
 	size int64
+
+	// hooks intercepts I/O for fault injection; nil in production.
+	// Guarded by mu like the rest of the mutable state.
+	hooks *IOHooks
 }
 
 const (
 	diffFileExt = ".gckp"
 	tmpPrefix   = "ckpt-"
 	tmpSuffix   = ".tmp"
+
+	// QuarantineSuffix is appended to a corrupt diff file's name when
+	// Scrub moves it aside. Quarantined files no longer parse as diff
+	// names, so every store scan skips them; they are kept (not
+	// deleted) as forensic evidence until repaired or manually removed.
+	QuarantineSuffix = ".quarantine"
 )
+
+// SetIOHooks installs fault-injection hooks. Pass nil to remove them.
+// Test-only seam; production stores never call it.
+func (fs *FileStore) SetIOHooks(h *IOHooks) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.hooks = h
+}
 
 // NewFileStore creates (or reopens) a lineage directory. Orphaned
 // temporary files from a previous crash (created but never renamed
@@ -213,36 +235,87 @@ func (fs *FileStore) Append(d *Diff) error {
 				d.CkptID, s.SrcCkpt, fs.man.Base)
 		}
 	}
-	if err := fs.writeDiffLocked(fs.n, d); err != nil {
+	sz, err := fs.writeDiffLocked(fs.n, d)
+	if err != nil {
 		return err
 	}
 	fs.n++
-	fs.size += d.TotalBytes()
+	fs.size += sz
 	return nil
 }
 
-// writeDiffLocked encodes d into the file of checkpoint ck via temp
-// file + rename.
-func (fs *FileStore) writeDiffLocked(ck int, d *Diff) error {
+// writeDiffLocked encodes d (plus its integrity footer) into the file
+// of checkpoint ck and returns the on-disk byte count. The commit is
+// crash-durable, not just atomic: the temp file is fsynced before the
+// rename and the parent directory after it, so once this returns the
+// diff survives power loss — a rename alone only orders the file
+// against other renames, not against the disk.
+//
+// A hook error wrapping ErrSimulatedCrash is propagated without
+// cleanup: the temp file (and, after the rename, the published file)
+// stays exactly as a dying process would leave it, so crash tests can
+// reopen the directory and exercise recovery on authentic debris.
+func (fs *FileStore) writeDiffLocked(ck int, d *Diff) (int64, error) {
 	tmp, err := os.CreateTemp(fs.dir, tmpPrefix+"*"+tmpSuffix)
 	if err != nil {
-		return fmt.Errorf("checkpoint: temp file: %w", err)
+		return 0, fmt.Errorf("checkpoint: temp file: %w", err)
 	}
 	tmpName := tmp.Name()
-	if err := d.Encode(tmp); err != nil {
+	fail := func(err error) (int64, error) {
 		tmp.Close()
-		os.Remove(tmpName)
-		return err
+		if !errors.Is(err, ErrSimulatedCrash) {
+			os.Remove(tmpName)
+		}
+		return 0, err
+	}
+	var w io.Writer = tmp
+	if fs.hooks != nil && fs.hooks.WrapDiffWrite != nil {
+		w = fs.hooks.WrapDiffWrite(ck, w)
+	}
+	cw := &crcWriter{w: w}
+	if err := d.Encode(cw); err != nil {
+		return fail(err)
+	}
+	footer := footerFor(cw.crc)
+	if _, err := w.Write(footer[:]); err != nil {
+		return fail(fmt.Errorf("checkpoint: writing diff %d footer: %w", ck, err))
+	}
+	if fs.hooks != nil && fs.hooks.BeforeSync != nil {
+		if err := fs.hooks.BeforeSync(tmpName); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("checkpoint: syncing diff %d: %w", ck, err))
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: closing temp file: %w", err)
+		if !errors.Is(err, ErrSimulatedCrash) {
+			os.Remove(tmpName)
+		}
+		return 0, fmt.Errorf("checkpoint: closing temp file: %w", err)
 	}
-	if err := os.Rename(tmpName, fs.diffPath(ck)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("checkpoint: publishing diff %d: %w", ck, err)
+	final := fs.diffPath(ck)
+	if fs.hooks != nil && fs.hooks.BeforeRename != nil {
+		if err := fs.hooks.BeforeRename(tmpName, final); err != nil {
+			if !errors.Is(err, ErrSimulatedCrash) {
+				os.Remove(tmpName)
+			}
+			return 0, err
+		}
 	}
-	return nil
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("checkpoint: publishing diff %d: %w", ck, err)
+	}
+	if fs.hooks != nil && fs.hooks.AfterRename != nil {
+		if err := fs.hooks.AfterRename(final); err != nil {
+			return 0, err
+		}
+	}
+	if err := syncDir(fs.dir); err != nil {
+		return 0, err
+	}
+	return cw.n + FooterSize, nil
 }
 
 // ReplaceDiff atomically overwrites the file of stored checkpoint ck
@@ -263,10 +336,11 @@ func (fs *FileStore) ReplaceDiff(ck int, d *Diff) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: stat diff %d: %w", ck, err)
 	}
-	if err := fs.writeDiffLocked(ck, d); err != nil {
+	sz, err := fs.writeDiffLocked(ck, d)
+	if err != nil {
 		return err
 	}
-	fs.size += d.TotalBytes() - old.Size()
+	fs.size += sz - old.Size()
 	return nil
 }
 
@@ -338,21 +412,60 @@ func (fs *FileStore) pruneBelowBaseLocked() (int, int64, error) {
 	return removed, freed, nil
 }
 
-// DiffBytes returns the raw encoded bytes of stored checkpoint ck,
-// exactly as they sit on disk — the zero-copy path a network server
-// uses to serve a pull without decoding.
+// DiffBytes returns the encoded bytes of stored checkpoint ck with the
+// integrity footer verified and stripped — the path a network server
+// uses to serve a pull without decoding. A footer mismatch surfaces as
+// a *CorruptError (errors.Is ErrCorrupt); a legacy footer-less file is
+// returned as-is, unverified.
 func (fs *FileStore) DiffBytes(ck int) ([]byte, error) {
 	fs.mu.Lock()
-	base, length := int(fs.man.Base), fs.n
+	base, length, hooks := int(fs.man.Base), fs.n, fs.hooks
 	fs.mu.Unlock()
 	if ck < base || ck >= length {
 		return nil, fmt.Errorf("checkpoint: diff %d out of range [%d,%d)", ck, base, length)
 	}
-	b, err := os.ReadFile(fs.diffPath(ck))
+	encoded, _, err := fs.readVerified(ck, hooks)
+	return encoded, err
+}
+
+// readVerified reads checkpoint ck's file, applies the read-time fault
+// hook, and verifies+strips the integrity footer. verified is false
+// for legacy footer-less files.
+func (fs *FileStore) readVerified(ck int, hooks *IOHooks) (encoded []byte, verified bool, err error) {
+	path := fs.diffPath(ck)
+	raw, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: reading diff %d: %w", ck, err)
+		return nil, false, fmt.Errorf("checkpoint: reading diff %d: %w", ck, err)
 	}
-	return b, nil
+	if hooks != nil && hooks.OnDiffRead != nil {
+		raw = hooks.OnDiffRead(ck, raw)
+	}
+	encoded, verified, err = SplitFooter(raw)
+	if err != nil {
+		return nil, false, &CorruptError{Path: path, Ckpt: ck, Err: err}
+	}
+	return encoded, verified, nil
+}
+
+// decodeVerified decodes the verified bytes of checkpoint ck and
+// cross-checks the embedded id against the file name. Structural
+// decode failures and id mismatches are *CorruptError like checksum
+// failures: all three mean the file cannot be restored. verified is
+// false for legacy footer-less files.
+func (fs *FileStore) decodeVerified(ck int, hooks *IOHooks) (*Diff, bool, error) {
+	encoded, verified, err := fs.readVerified(ck, hooks)
+	if err != nil {
+		return nil, false, err
+	}
+	d, err := Decode(bytes.NewReader(encoded))
+	if err != nil {
+		return nil, verified, &CorruptError{Path: fs.diffPath(ck), Ckpt: ck, Err: err}
+	}
+	if int(d.CkptID) != ck {
+		return nil, verified, &CorruptError{Path: fs.diffPath(ck), Ckpt: ck,
+			Err: fmt.Errorf("file holds diff id %d", d.CkptID)}
+	}
+	return d, verified, nil
 }
 
 // TotalBytes returns the cumulative on-disk size of the stored diffs.
@@ -368,24 +481,16 @@ func (fs *FileStore) TotalBytes() (int64, error) {
 // checkpoint Base()+i.
 func (fs *FileStore) Load() (*Record, error) {
 	fs.mu.Lock()
-	base, length := int(fs.man.Base), fs.n
+	base, length, hooks := int(fs.man.Base), fs.n, fs.hooks
 	fs.mu.Unlock()
 	if length == base {
 		return nil, fmt.Errorf("checkpoint: store %s is empty", fs.dir)
 	}
 	rec := NewRecord()
 	for ck := base; ck < length; ck++ {
-		f, err := os.Open(fs.diffPath(ck))
+		d, _, err := fs.decodeVerified(ck, hooks)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint: opening diff %d: %w", ck, err)
-		}
-		d, err := Decode(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("checkpoint: decoding diff %d: %w", ck, err)
-		}
-		if int(d.CkptID) != ck {
-			return nil, fmt.Errorf("checkpoint: file %d holds diff id %d", ck, d.CkptID)
+			return nil, err
 		}
 		if err := d.Rebase(-int64(base)); err != nil {
 			return nil, fmt.Errorf("checkpoint: diff %d: %w", ck, err)
@@ -410,6 +515,131 @@ func (fs *FileStore) WriteRecord(rec *Record) error {
 		if err := fs.Append(rec.Diff(i)); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ScrubReport summarizes a Scrub pass.
+type ScrubReport struct {
+	// Checked is how many stored diffs were read and verified.
+	Checked int
+	// Corrupt lists, in ascending order, the absolute checkpoint ids
+	// whose files failed verification and were quarantined.
+	Corrupt []int
+	// Errors holds the *CorruptError for each entry of Corrupt.
+	Errors []error
+	// Unverified lists legacy footer-less diffs that decoded cleanly
+	// but carry no checksum to verify.
+	Unverified []int
+}
+
+// OK reports whether the scrub found no corruption.
+func (r *ScrubReport) OK() bool { return len(r.Corrupt) == 0 }
+
+// Scrub reads and verifies every stored diff: footer checksum,
+// structural decode, and id-vs-filename agreement. Each corrupt file
+// is quarantined — renamed to <name>.quarantine, which removes it from
+// the store's namespace while preserving the bytes for forensics — and
+// the cached range shrinks to the contiguous prefix before the first
+// hole, exactly as if the file had never been written. Use
+// ReinstallDiff (e.g. with bytes refetched from a ckptd peer, see the
+// client's Repair) to fill the hole and reconnect the suffix.
+//
+// Scrub holds the store lock for the whole pass; concurrent appends
+// and pulls wait rather than racing a quarantine rename.
+func (fs *FileStore) Scrub() (*ScrubReport, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	rep := &ScrubReport{}
+	for ck := int(fs.man.Base); ck < fs.n; ck++ {
+		rep.Checked++
+		_, verified, err := fs.decodeVerified(ck, fs.hooks)
+		if err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				return rep, err // I/O failure, not corruption: abort the pass
+			}
+			path := fs.diffPath(ck)
+			if err := os.Rename(path, path+QuarantineSuffix); err != nil {
+				return rep, fmt.Errorf("checkpoint: quarantining diff %d: %w", ck, err)
+			}
+			rep.Corrupt = append(rep.Corrupt, ck)
+			rep.Errors = append(rep.Errors, ce)
+			continue
+		}
+		if !verified {
+			rep.Unverified = append(rep.Unverified, ck)
+		}
+	}
+	if len(rep.Corrupt) > 0 {
+		if err := fs.rescanLocked(); err != nil {
+			return rep, err
+		}
+	}
+	sort.Ints(rep.Corrupt)
+	return rep, nil
+}
+
+// ReinstallDiff writes d at its absolute checkpoint id, filling a hole
+// left by Scrub quarantine (or overwriting an existing file with
+// equivalent bytes). The id must lie at or above the baseline; after
+// the write the store rescans, so a suffix stranded beyond the hole is
+// reconnected and Len() grows back accordingly.
+func (fs *FileStore) ReinstallDiff(d *Diff) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ck := int(d.CkptID)
+	if ck < int(fs.man.Base) {
+		return fmt.Errorf("checkpoint: reinstall %d below baseline %d", ck, fs.man.Base)
+	}
+	if _, err := fs.writeDiffLocked(ck, d); err != nil {
+		return err
+	}
+	return fs.rescanLocked()
+}
+
+// Quarantined lists the quarantine file names currently in the store
+// directory, in lexical order.
+func (fs *FileStore) Quarantined() ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading store: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), QuarantineSuffix) {
+			out = append(out, e.Name())
+		}
+	}
+	return out, nil
+}
+
+// QuarantinedIDs returns the checkpoint ids of the quarantine files in
+// the store directory, ascending — the holes a repair pass (possibly
+// in a later process than the scrub that quarantined them) still needs
+// to fill.
+func (fs *FileStore) QuarantinedIDs() ([]int, error) {
+	names, err := fs.Quarantined()
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for _, name := range names {
+		if ck, ok := parseDiffName(strings.TrimSuffix(name, QuarantineSuffix)); ok {
+			out = append(out, ck)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ClearQuarantine removes checkpoint ck's quarantine file, if any —
+// called once a repair has reinstalled verified bytes at ck, so the
+// forensic copy of the rotten file stops masquerading as an open hole.
+func (fs *FileStore) ClearQuarantine(ck int) error {
+	err := os.Remove(fs.diffPath(ck) + QuarantineSuffix)
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: clearing quarantine of diff %d: %w", ck, err)
 	}
 	return nil
 }

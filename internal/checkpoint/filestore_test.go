@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"sync"
@@ -125,6 +126,104 @@ func TestFileStoreCorruptDiff(t *testing.T) {
 	if _, err := fs.Load(); err == nil {
 		t.Fatal("corrupt diff loaded")
 	}
+}
+
+// TestFileStoreRenameCrashDurability drives the commit protocol
+// through injected rename-time crashes: the temp file must be fsynced
+// before every publish, a crash before the rename must lose only the
+// in-flight diff (and leave a temp file for reopen to sweep), and a
+// crash after the rename must lose nothing.
+func TestFileStoreRenameCrashDurability(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var syncs int
+	var crashBefore, crashAfter bool
+	fs.SetIOHooks(&IOHooks{
+		BeforeSync: func(string) error { syncs++; return nil },
+		BeforeRename: func(tmp, final string) error {
+			if crashBefore {
+				return ErrSimulatedCrash
+			}
+			return nil
+		},
+		AfterRename: func(final string) error {
+			if crashAfter {
+				return ErrSimulatedCrash
+			}
+			return nil
+		},
+	})
+
+	for ck := 0; ck < 2; ck++ {
+		if err := fs.Append(storeDiff(ck, byte(ck+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != 2 {
+		t.Fatalf("%d temp-file fsyncs for 2 appends", syncs)
+	}
+
+	// Crash after the fsync but before the publishing rename: the diff
+	// is lost, its temp file survives for reopen-recovery to sweep.
+	crashBefore = true
+	if err := fs.Append(storeDiff(2, 3)); !errorsIsSimulatedCrash(err) {
+		t.Fatalf("crash-before-rename append: %v", err)
+	}
+	crashBefore = false
+	if n, _ := fs.Len(); n != 2 {
+		t.Fatalf("store advanced through a pre-rename crash: Len %d", n)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 1 {
+		t.Fatalf("expected 1 orphaned temp file, found %v", tmps)
+	}
+
+	// Reopen: the orphan is swept and the same id appends cleanly.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("reopen left temp files: %v", tmps)
+	}
+	if err := fs2.Append(storeDiff(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash between the rename and the directory fsync: the diff was
+	// published, so after "reboot" it must be present and verified.
+	fs2.SetIOHooks(&IOHooks{AfterRename: func(string) error { return ErrSimulatedCrash }})
+	if err := fs2.Append(storeDiff(3, 4)); !errorsIsSimulatedCrash(err) {
+		t.Fatalf("crash-after-rename append: %v", err)
+	}
+	fs3, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs3.Len(); n != 4 {
+		t.Fatalf("post-rename crash lost the published diff: Len %d", n)
+	}
+	rec, err := fs3.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 4; ck++ {
+		got, err := rec.Restore(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(ck+1) {
+			t.Fatalf("restore %d wrong content after crashes", ck)
+		}
+	}
+}
+
+func errorsIsSimulatedCrash(err error) bool {
+	return err != nil && errors.Is(err, ErrSimulatedCrash)
 }
 
 func TestFileStoreWriteRecord(t *testing.T) {
@@ -256,9 +355,11 @@ func TestFileStoreDiffBytes(t *testing.T) {
 	if _, err := fs.DiffBytes(-1); err == nil {
 		t.Fatal("negative DiffBytes accepted")
 	}
+	// On-disk accounting includes the integrity footer; DiffBytes strips
+	// it, so the two sizes differ by exactly FooterSize per diff.
 	total, err := fs.TotalBytes()
-	if err != nil || total != int64(want.Len()) {
-		t.Fatalf("TotalBytes %d, want %d (err %v)", total, want.Len(), err)
+	if err != nil || total != int64(want.Len()+FooterSize) {
+		t.Fatalf("TotalBytes %d, want %d (err %v)", total, want.Len()+FooterSize, err)
 	}
 }
 

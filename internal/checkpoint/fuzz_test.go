@@ -89,6 +89,56 @@ func FuzzManifestDecode(f *testing.F) {
 	})
 }
 
+// FuzzDiffChecksum attacks the integrity footer with arbitrary file
+// images and arbitrary single-byte corruptions of footered images. The
+// invariant under fuzz: SplitFooter must never report verified=true
+// unless the returned bytes hash to the footer CRC; AppendFooter must
+// round-trip; and any corruption of a footered image is either
+// detected (ErrChecksumMismatch) or demotes the file to the legacy
+// unverified path — silent verified corruption is the one forbidden
+// outcome.
+func FuzzDiffChecksum(f *testing.F) {
+	for _, d := range sampleDiffs() {
+		f.Add(encodeSeed(f, d), uint16(0), byte(0))
+	}
+	f.Add([]byte{}, uint16(3), byte(0xFF))
+	f.Add(bytes.Repeat([]byte{0x5A}, 64), uint16(70), byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, pos uint16, mask byte) {
+		// Arbitrary raw image: whatever SplitFooter verifies must
+		// actually hash to its recorded CRC.
+		if enc, verified, err := SplitFooter(data); err == nil && verified {
+			if DiffChecksum(enc) != DiffChecksum(data[:len(data)-FooterSize]) ||
+				!bytes.Equal(enc, data[:len(data)-FooterSize]) {
+				t.Fatalf("SplitFooter verified bytes that are not the footered prefix")
+			}
+		}
+
+		// A freshly footered image must verify and round-trip.
+		footered := AppendFooter(data)
+		enc, verified, err := SplitFooter(footered)
+		if err != nil || !verified {
+			t.Fatalf("AppendFooter image did not verify: verified=%v err=%v", verified, err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("footer round trip changed the bytes")
+		}
+
+		// Corrupt one byte anywhere in the footered image: detection or
+		// demotion to legacy-unverified, never verified with altered
+		// content.
+		if mask == 0 {
+			mask = 1
+		}
+		p := int(pos) % len(footered)
+		mut := append([]byte(nil), footered...)
+		mut[p] ^= mask
+		enc, verified, err = SplitFooter(mut)
+		if err == nil && verified && !bytes.Equal(enc, data) {
+			t.Fatalf("flip of byte %d (mask %02x) verified with altered content", p, mask)
+		}
+	})
+}
+
 // fuzzRestoreMaxData bounds the buffer the restore harness will
 // reconstruct; the format itself admits terabyte buffers, but the fuzz
 // engine should not allocate them.

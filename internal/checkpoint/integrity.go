@@ -1,0 +1,168 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// On-disk integrity: every diff file the FileStore writes ends with an
+// 8-byte footer — a magic marker plus the CRC32C (Castagnoli) of every
+// byte before it. The footer is storage-local: it is written when a
+// diff is committed to disk and stripped before the bytes are decoded
+// or served over the wire, so the wire format and the Record are
+// unaffected. A file whose footer fails verification is surfaced as a
+// typed *CorruptError (matching ErrCorrupt via errors.Is) — bit rot is
+// detected at read time, never silently restored.
+//
+// Files without a footer (written before checksumming existed) are
+// accepted as legacy and pass through unverified; Decode's structural
+// validation is their only guard. The odds of corruption forging the
+// footer magic are 2^-32 and a forged magic still has to survive the
+// CRC check, so the fallback does not weaken detection of real rot.
+const (
+	// FooterSize is the length of the integrity footer: 4-byte magic +
+	// 4-byte CRC32C, both little-endian like the diff format.
+	FooterSize = 8
+
+	footerMagic = 0x46_4b_43_47 // "GCKF" little-endian
+)
+
+// castagnoli matches the polynomial of the wire package's push
+// checksum, so a diff's stored footer CRC equals the content hash the
+// v3 PUSH precondition compares.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DiffChecksum returns the CRC32C recorded in a diff file's footer for
+// the given encoded diff bytes.
+func DiffChecksum(encoded []byte) uint32 { return crc32.Checksum(encoded, castagnoli) }
+
+// AppendFooter returns encoded with its integrity footer appended.
+func AppendFooter(encoded []byte) []byte {
+	out := make([]byte, len(encoded)+FooterSize)
+	copy(out, encoded)
+	binary.LittleEndian.PutUint32(out[len(encoded):], footerMagic)
+	binary.LittleEndian.PutUint32(out[len(encoded)+4:], DiffChecksum(encoded))
+	return out
+}
+
+// footerFor serializes the footer for encoded bytes whose CRC32C has
+// already been computed incrementally.
+func footerFor(crc uint32) [FooterSize]byte {
+	var f [FooterSize]byte
+	binary.LittleEndian.PutUint32(f[0:], footerMagic)
+	binary.LittleEndian.PutUint32(f[4:], crc)
+	return f
+}
+
+// SplitFooter separates a raw diff file image into the encoded diff
+// and its verification state. verified reports that a footer was
+// present and its CRC matched; a missing footer (legacy file) returns
+// the bytes unverified with no error; a present footer with a
+// mismatching CRC returns ErrChecksumMismatch.
+func SplitFooter(raw []byte) (encoded []byte, verified bool, err error) {
+	if len(raw) < FooterSize || binary.LittleEndian.Uint32(raw[len(raw)-FooterSize:]) != footerMagic {
+		return raw, false, nil
+	}
+	encoded = raw[:len(raw)-FooterSize]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := DiffChecksum(encoded); got != want {
+		return nil, false, fmt.Errorf("%w: footer records %08x, data hashes to %08x",
+			ErrChecksumMismatch, want, got)
+	}
+	return encoded, true, nil
+}
+
+// Integrity errors.
+var (
+	// ErrCorrupt matches (via errors.Is) every *CorruptError: a stored
+	// diff failed its integrity check and must not be restored.
+	ErrCorrupt = errors.New("checkpoint: corrupt diff")
+	// ErrChecksumMismatch reports a diff file whose footer CRC does not
+	// cover its bytes. It wraps into a *CorruptError at the FileStore
+	// surface.
+	ErrChecksumMismatch = errors.New("checkpoint: diff checksum mismatch")
+	// ErrSimulatedCrash marks an error injected by a fault-injection
+	// hook that models the process dying at that instant: the FileStore
+	// propagates it WITHOUT running its usual cleanup (temp files stay,
+	// partial state stays), exactly as a real crash would leave the
+	// directory. Only the internal/faults seams return it.
+	ErrSimulatedCrash = errors.New("checkpoint: simulated crash")
+)
+
+// CorruptError is a stored diff that failed verification: a checksum
+// mismatch, an undecodable payload, or an id that does not match its
+// file name. It matches ErrCorrupt via errors.Is. Scrub quarantines
+// the file; a client can then repair it from a ckptd peer.
+type CorruptError struct {
+	Path string
+	Ckpt int
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("checkpoint: diff %d (%s) is corrupt: %v", e.Ckpt, e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is lets errors.Is match any CorruptError against ErrCorrupt.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// IOHooks intercepts FileStore I/O at its failure points. Every field
+// is optional; a nil hook struct (the default) costs one nil check per
+// operation. This is the storage seam of the fault-injection framework
+// (internal/faults): short and torn writes, rename-time crashes,
+// fsync failures and read-time bit rot are all injected here rather
+// than by patching the filesystem.
+type IOHooks struct {
+	// WrapDiffWrite wraps the writer a diff is encoded into; the
+	// returned writer can truncate, error (ENOSPC) or tear the stream.
+	WrapDiffWrite func(ck int, w io.Writer) io.Writer
+	// BeforeSync runs before a temp file is fsynced.
+	BeforeSync func(path string) error
+	// BeforeRename runs between the temp file's fsync+close and the
+	// rename that publishes it.
+	BeforeRename func(tmp, final string) error
+	// AfterRename runs between the rename and the directory fsync that
+	// makes it crash-durable.
+	AfterRename func(final string) error
+	// OnDiffRead may transform (corrupt) the raw bytes read from a
+	// diff file before verification sees them.
+	OnDiffRead func(ck int, raw []byte) []byte
+}
+
+// crcWriter forwards writes while accumulating the CRC32C of every
+// byte successfully written, so the footer is computed in the same
+// pass as the encode (no second read of the data).
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+// syncDir fsyncs a directory, making a just-renamed file durable
+// across power loss. Filesystems that refuse directory fsync (some
+// network mounts) report EINVAL, which is treated as success.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: opening %s for sync: %w", dir, err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
+	}
+	return nil
+}

@@ -149,6 +149,15 @@ func WriteManifestFile(path string, m *Manifest) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: writing manifest: %w", err)
 	}
+	// The manifest is the commit point of compaction transactions: sync
+	// the bytes before the rename and the directory after it, so a
+	// committed baseline move survives power loss (rename alone does not
+	// order against the disk).
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: syncing manifest: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: closing manifest temp file: %w", err)
@@ -157,7 +166,7 @@ func WriteManifestFile(path string, m *Manifest) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: publishing manifest: %w", err)
 	}
-	return nil
+	return syncDir(dir)
 }
 
 // Clone returns a deep copy of m.

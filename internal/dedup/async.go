@@ -49,6 +49,12 @@ func (d *Deduplicator) CheckpointAsync(data []byte) (<-chan AsyncResult, error) 
 		}
 	}
 
+	if inj := d.opts.FaultInjector; inj != nil {
+		if err := inj("front", d.ckptID); err != nil {
+			return nil, fmt.Errorf("dedup: front stage of checkpoint %d: %w", d.ckptID, err)
+		}
+	}
+
 	// Front half on the caller's goroutine, overlapping the previous
 	// checkpoint's backend. Full/Basic/List build their whole diff
 	// here (their gather is cheap and shares state with the hash
@@ -102,6 +108,11 @@ func (d *Deduplicator) CheckpointAsync(data []byte) (<-chan AsyncResult, error) 
 // gather/serialize stage, compression, stats finalization, the
 // modeled device-to-host transfer and the record append.
 func (d *Deduplicator) backend(data []byte, fr *treeFrontResult, diff *checkpoint.Diff, id uint32, frontTime time.Duration) AsyncResult {
+	if inj := d.opts.FaultInjector; inj != nil {
+		if err := inj("back", id); err != nil {
+			return AsyncResult{Err: fmt.Errorf("dedup: back stage of checkpoint %d: %w", id, err)}
+		}
+	}
 	var backTime time.Duration
 	if d.method == checkpoint.MethodTree {
 		d.backL.reset(d.dev, !d.opts.Unfused, "tree-dedup")
@@ -145,6 +156,11 @@ func (d *Deduplicator) backend(data []byte, fr *treeFrontResult, diff *checkpoin
 		st.TransferTime = d.dev.CopyToHost(diff.TotalBytes())
 	}
 
+	if inj := d.opts.FaultInjector; inj != nil {
+		if err := inj("append", id); err != nil {
+			return AsyncResult{Err: fmt.Errorf("dedup: append stage of checkpoint %d: %w", id, err)}
+		}
+	}
 	if err := d.record.Append(diff); err != nil {
 		return AsyncResult{Err: fmt.Errorf("dedup: appending diff: %w", err)}
 	}

@@ -133,6 +133,12 @@ type Options struct {
 	// first-occurrence data exceeds 90% of the buffer, a plain Full
 	// diff is stored instead, avoiding the worst-case metadata.
 	AutoFallback bool
+	// FaultInjector, when set, is consulted at the pipeline's stage
+	// boundaries ("front" on the caller's goroutine, "back" and
+	// "append" on the backend goroutine) with the checkpoint id; a
+	// non-nil return fails that stage as a kernel failure would. The
+	// fault-injection seam of internal/faults — nil in production.
+	FaultInjector func(stage string, ckpt uint32) error
 }
 
 func (o Options) withDefaults() Options {

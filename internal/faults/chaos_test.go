@@ -1,0 +1,787 @@
+// Chaos suite: seeded fault schedules against full push/pull/compact/
+// restore workloads across the Basic, List and Tree methods. Every
+// scenario asserts the one invariant the whole PR exists for:
+//
+//	a restore is either byte-exact or a typed error — never silent
+//	corruption.
+//
+// Schedules are deterministic (see TestChaosSameSeedReproducible):
+// rerunning a scenario with the same seed injects the same faults in
+// the same order. `make chaos-smoke` runs this file.
+package faults_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	gpuckpt "github.com/gpuckpt/gpuckpt"
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/dedup"
+	"github.com/gpuckpt/gpuckpt/internal/device"
+	"github.com/gpuckpt/gpuckpt/internal/faults"
+	"github.com/gpuckpt/gpuckpt/internal/parallel"
+	"github.com/gpuckpt/gpuckpt/internal/server"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+const (
+	chaosDataLen = 4096
+	chaosChunk   = 256
+	chaosCkpts   = 7
+)
+
+var chaosMethods = []struct {
+	name   string
+	method checkpoint.Method
+}{
+	{"Basic", checkpoint.MethodBasic},
+	{"List", checkpoint.MethodList},
+	{"Tree", checkpoint.MethodTree},
+}
+
+// seededImages builds a deterministic mutation series: a seeded random
+// base image, then ~8 chunk-sized splotches rewritten per step.
+func seededImages(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	img := make([]byte, chaosDataLen)
+	rng.Read(img)
+	out := make([][]byte, n)
+	out[0] = append([]byte(nil), img...)
+	for i := 1; i < n; i++ {
+		for s := 0; s < 8; s++ {
+			off := rng.Intn(chaosDataLen - 32)
+			rng.Read(img[off : off+32])
+		}
+		out[i] = append([]byte(nil), img...)
+	}
+	return out
+}
+
+// buildLineage checkpoints images through the given method and returns
+// the in-memory record plus each diff's canonical encoding.
+func buildLineage(t *testing.T, method checkpoint.Method, images [][]byte, opts dedup.Options) (*checkpoint.Record, [][]byte) {
+	t.Helper()
+	pool := parallel.NewPool(2)
+	t.Cleanup(pool.Close)
+	dev := device.New(device.A100(), pool, nil)
+	opts.ChunkSize = chaosChunk
+	d, err := dedup.New(method, chaosDataLen, dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	for _, img := range images {
+		if _, _, err := d.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := d.Record()
+	encoded := make([][]byte, rec.Len())
+	for i := 0; i < rec.Len(); i++ {
+		var buf bytes.Buffer
+		if err := rec.Diff(i).Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		encoded[i] = buf.Bytes()
+	}
+	return rec, encoded
+}
+
+// verifyStore loads the lineage directory and byte-compares every
+// restorable index against images.
+func verifyStore(t *testing.T, dir string, images [][]byte) {
+	t.Helper()
+	fs, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := fs.Load()
+	if err != nil {
+		t.Fatalf("load after recovery: %v", err)
+	}
+	if rec.Len() != len(images) {
+		t.Fatalf("store holds %d checkpoints, want %d", rec.Len(), len(images))
+	}
+	for k := range images {
+		got, err := rec.Restore(k)
+		if err != nil {
+			t.Fatalf("restore %d: %v", k, err)
+		}
+		if !bytes.Equal(got, images[k]) {
+			t.Fatalf("restore %d diverges from source image", k)
+		}
+	}
+}
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string, func()) {
+	t.Helper()
+	cfg.Logf = func(string, ...any) {}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	stop := func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	}
+	return srv, ln.Addr().String(), stop
+}
+
+// appendWithRetry appends rec's diffs [from, Len) to fs, retrying
+// each one: every error must be typed (ErrInjected), and a retried
+// append must eventually land. maxRetries bounds a scenario whose
+// schedule never heals.
+func appendWithRetry(t *testing.T, fs *checkpoint.FileStore, rec *checkpoint.Record, from, maxRetries int) {
+	t.Helper()
+	for i := from; i < rec.Len(); i++ {
+		var err error
+		for attempt := 0; attempt <= maxRetries; attempt++ {
+			if err = fs.Append(rec.Diff(i)); err == nil {
+				break
+			}
+			if !errors.Is(err, faults.ErrInjected) {
+				t.Fatalf("append %d: untyped error %v", i, err)
+			}
+		}
+		if err != nil {
+			t.Fatalf("append %d never recovered: %v", i, err)
+		}
+	}
+}
+
+// --- storage seam -------------------------------------------------------
+
+// Scenario 1: a torn diff write (short write, then failure) surfaces
+// as a typed error, the store stays consistent, and a retry completes
+// the lineage; every restore is byte-exact.
+func TestChaosStorageTornWrite(t *testing.T) {
+	for _, m := range chaosMethods {
+		t.Run(m.name, func(t *testing.T) {
+			images := seededImages(101, chaosCkpts)
+			rec, _ := buildLineage(t, m.method, images, dedup.Options{})
+			dir := t.TempDir()
+			fs, err := checkpoint.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := faults.New(101)
+			fs.SetIOHooks(in.StorageHooks(faults.StoragePlan{
+				TornWrite: faults.On(3), TornAfter: 40,
+			}))
+			appendWithRetry(t, fs, rec, 0, 1)
+			if got := in.Fired(faults.EvTornWrite); got != 1 {
+				t.Fatalf("torn write fired %d times, want 1", got)
+			}
+			fs.SetIOHooks(nil)
+			verifyStore(t, dir, images)
+		})
+	}
+}
+
+// Scenario 2: ENOSPC on alternating writes; appends fail typed and
+// succeed on retry once the "disk" frees up.
+func TestChaosStorageENOSPCRetry(t *testing.T) {
+	for _, m := range chaosMethods {
+		t.Run(m.name, func(t *testing.T) {
+			images := seededImages(202, chaosCkpts)
+			rec, _ := buildLineage(t, m.method, images, dedup.Options{})
+			dir := t.TempDir()
+			fs, err := checkpoint.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := faults.New(202)
+			fs.SetIOHooks(in.StorageHooks(faults.StoragePlan{
+				WriteErr: faults.And(faults.Every(2), faults.Upto(6)),
+			}))
+			appendWithRetry(t, fs, rec, 0, 2)
+			fs.SetIOHooks(nil)
+			verifyStore(t, dir, images)
+		})
+	}
+}
+
+// Scenario 3: fsync of the temp file fails (flaky disk); the append
+// reports a typed error wrapping EIO and the retry succeeds.
+func TestChaosStorageSyncFailure(t *testing.T) {
+	images := seededImages(303, chaosCkpts)
+	rec, _ := buildLineage(t, checkpoint.MethodList, images, dedup.Options{})
+	dir := t.TempDir()
+	fs, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(303)
+	fs.SetIOHooks(in.StorageHooks(faults.StoragePlan{SyncErr: faults.On(2)}))
+	if err := fs.Append(rec.Diff(0)); err != nil {
+		t.Fatal(err)
+	}
+	err = fs.Append(rec.Diff(1))
+	if !errors.Is(err, faults.ErrIO) || !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("sync failure surfaced as %v", err)
+	}
+	appendWithRetry(t, fs, rec, 1, 1)
+	fs.SetIOHooks(nil)
+	verifyStore(t, dir, images)
+}
+
+// crashScenario drives an append into a simulated crash at the given
+// rename-adjacent hook, then reopens the directory (the "restarted
+// process") and finishes the lineage. wantSurvived is how many diffs
+// the store must hold after recovery: the crashed write is lost before
+// the rename and durable after it.
+func crashScenario(t *testing.T, method checkpoint.Method, seed int64, plan faults.StoragePlan, crashAt, wantSurvived int) {
+	t.Helper()
+	images := seededImages(seed, chaosCkpts)
+	rec, _ := buildLineage(t, method, images, dedup.Options{})
+	dir := t.TempDir()
+	fs, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faults.New(seed)
+	fs.SetIOHooks(in.StorageHooks(plan))
+	var crashErr error
+	for i := 0; i < rec.Len(); i++ {
+		if err := fs.Append(rec.Diff(i)); err != nil {
+			crashErr = err
+			break
+		}
+	}
+	if !errors.Is(crashErr, checkpoint.ErrSimulatedCrash) {
+		t.Fatalf("crash at append %d surfaced as %v", crashAt, crashErr)
+	}
+
+	// "Restart": reopen the directory. Recovery must sweep crash
+	// debris (orphaned temp files) and report a consistent length.
+	fs2, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if n, err := fs2.Len(); err != nil || n != wantSurvived {
+		t.Fatalf("store holds %d diffs after crash recovery, want %d (err %v)", n, wantSurvived, err)
+	}
+	for _, name := range mustFiles(t, dir) {
+		if filepath.Ext(name) == ".tmp" {
+			t.Fatalf("crash debris %s survived reopen", name)
+		}
+	}
+	for i := wantSurvived; i < rec.Len(); i++ {
+		if err := fs2.Append(rec.Diff(i)); err != nil {
+			t.Fatalf("post-recovery append %d: %v", i, err)
+		}
+	}
+	verifyStore(t, dir, images)
+}
+
+func mustFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// Scenario 4: the process dies between the temp file's fsync and the
+// publishing rename — the diff is lost, the temp file is swept on
+// reopen, and the lineage continues from the last published diff.
+func TestChaosStorageCrashBeforeRename(t *testing.T) {
+	for _, m := range chaosMethods {
+		t.Run(m.name, func(t *testing.T) {
+			crashScenario(t, m.method, 404,
+				faults.StoragePlan{CrashBeforeRename: faults.On(4)}, 3, 3)
+		})
+	}
+}
+
+// Scenario 5: the process dies right after the rename, before the
+// directory fsync — the published diff must survive and count.
+func TestChaosStorageCrashAfterRename(t *testing.T) {
+	for _, m := range chaosMethods {
+		t.Run(m.name, func(t *testing.T) {
+			crashScenario(t, m.method, 505,
+				faults.StoragePlan{CrashAfterRename: faults.On(4)}, 3, 4)
+		})
+	}
+}
+
+// Scenario 6 (the acceptance scenario): one bit flips on disk. The
+// store must refuse to restore (typed ErrCorrupt — never silent
+// corruption), Scrub must quarantine exactly the rotten diff, and
+// Repair must refetch it from a ckptd peer holding the same lineage,
+// after which every restore is byte-exact again.
+func TestChaosBitRotScrubRepair(t *testing.T) {
+	for mi, m := range chaosMethods {
+		t.Run(m.name, func(t *testing.T) {
+			images := seededImages(606, chaosCkpts)
+			rec, encoded := buildLineage(t, m.method, images, dedup.Options{})
+
+			// Local store and server-side replica of the same lineage.
+			dir := t.TempDir()
+			fs, err := checkpoint.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			appendWithRetry(t, fs, rec, 0, 0)
+			_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+			defer stop()
+			cl, err := gpuckpt.Dial(addr, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			name := "rot-" + m.name
+			for i, enc := range encoded {
+				if err := cl.Push(name, i, enc); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Rot: flip one payload bit of diff #victim on disk.
+			victim := 2 + mi
+			files, err := fs.Files()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := files[victim]
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, faults.New(606).FlipBit(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Never silent: a full load fails typed.
+			if _, err := fs.Load(); !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("load of rotten store returned %v, want ErrCorrupt", err)
+			}
+
+			// Scrub quarantines exactly the victim.
+			rep, err := gpuckpt.ScrubDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Corrupt) != 1 || rep.Corrupt[0] != victim {
+				t.Fatalf("scrub found corrupt %v, want [%d]", rep.Corrupt, victim)
+			}
+			q, err := checkpoint.NewFileStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if qs, err := q.Quarantined(); err != nil || len(qs) != 1 {
+				t.Fatalf("quarantined files %v (err %v), want exactly one", qs, err)
+			}
+
+			// Repair refetches from the peer; restore is byte-exact.
+			rrep, err := cl.Repair(dir, name)
+			if err != nil {
+				t.Fatalf("repair: %v", err)
+			}
+			if !rrep.OK() || len(rrep.Repaired) != 1 || rrep.Repaired[0] != victim {
+				t.Fatalf("repair report %+v", rrep)
+			}
+			verifyStore(t, dir, images)
+		})
+	}
+}
+
+// --- network seam -------------------------------------------------------
+
+// Scenario 7: connections die mid-frame while a client pushes a full
+// lineage, the server compacts it, and a clean client pulls it back.
+// The retry policy redials, replayed pushes stay idempotent (no
+// duplicate appends, no conflicts), and every retained restore is
+// byte-exact.
+func TestChaosNetworkMidFrameReset(t *testing.T) {
+	for _, m := range chaosMethods {
+		t.Run(m.name, func(t *testing.T) {
+			images := seededImages(707, chaosCkpts)
+			_, encoded := buildLineage(t, m.method, images, dedup.Options{})
+			_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+			defer stop()
+
+			in := faults.New(707)
+			cl, err := gpuckpt.DialConfigured(addr, gpuckpt.DialConfig{
+				Timeout: 2 * time.Second,
+				Retry: gpuckpt.RetryPolicy{
+					MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 707,
+				},
+				Dialer: in.Dialer(faults.ConnPlan{
+					// Connections 1 and 2 tear mid-frame; the third
+					// attempt of the interrupted push goes through.
+					Reset: faults.On(1, 2), ResetAfter: 600,
+				}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+
+			name := "reset-" + m.name
+			for i, enc := range encoded {
+				if err := cl.Push(name, i, enc); err != nil {
+					t.Fatalf("push %d: %v", i, err)
+				}
+			}
+			if fired := in.Fired(faults.EvReset); fired != 2 {
+				t.Fatalf("reset fired on %d connections, want 2", fired)
+			}
+			if n, err := cl.Len(name); err != nil || n != len(encoded) {
+				t.Fatalf("server holds %d checkpoints (err %v), want %d", n, err, len(encoded))
+			}
+			if _, err := cl.CompactTo(name, 3); err != nil {
+				t.Fatalf("compact: %v", err)
+			}
+
+			clean, err := gpuckpt.Dial(addr, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer clean.Close()
+			pulled, err := clean.Pull(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pulled.Base() != 3 {
+				t.Fatalf("pulled base %d, want 3", pulled.Base())
+			}
+			for k := 3; k < len(images); k++ {
+				got, err := pulled.Restore(k)
+				if err != nil {
+					t.Fatalf("restore %d: %v", k, err)
+				}
+				if !bytes.Equal(got, images[k]) {
+					t.Fatalf("restore %d diverges after reset-laden push", k)
+				}
+			}
+		})
+	}
+}
+
+// Scenario 8: the server "restarts" under the client — one connection
+// tears, the next two dial attempts are refused — and the bounded
+// backoff policy rides it out.
+func TestChaosNetworkDialFlaps(t *testing.T) {
+	images := seededImages(808, chaosCkpts)
+	_, encoded := buildLineage(t, checkpoint.MethodBasic, images, dedup.Options{})
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+
+	in := faults.New(808)
+	var slept []time.Duration
+	cl, err := gpuckpt.DialConfigured(addr, gpuckpt.DialConfig{
+		Timeout: 2 * time.Second,
+		Retry: gpuckpt.RetryPolicy{
+			MaxAttempts: 6, BaseDelay: 4 * time.Millisecond, Seed: 808,
+			Sleep: func(d time.Duration) { slept = append(slept, d) },
+		},
+		Dialer: in.Dialer(faults.ConnPlan{
+			Reset: faults.On(1), ResetAfter: 600,
+			// Dial 1 made the first connection; dials 2 and 3 are the
+			// "restarting" window.
+			FailDial: faults.On(2, 3),
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i, enc := range encoded {
+		if err := cl.Push("flap", i, enc); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if len(slept) < 3 {
+		t.Fatalf("retry policy slept %d times, want >=3 (reset + 2 refused dials)", len(slept))
+	}
+	// Backoff grows between consecutive retries of one request
+	// (jittered exponential, factor 2 with ±0.2 jitter).
+	if !(slept[1] > slept[0]) {
+		t.Fatalf("backoff did not grow: %v", slept)
+	}
+	if n, err := cl.Len("flap"); err != nil || n != len(encoded) {
+		t.Fatalf("server holds %d (err %v), want %d", n, err, len(encoded))
+	}
+}
+
+// Scenario 9: slow-loris peers. The client writes one byte per
+// syscall, the server reads one byte per read; frames must reassemble
+// and the lineage must land intact.
+func TestChaosNetworkSlowLoris(t *testing.T) {
+	images := seededImages(909, 4)
+	_, encoded := buildLineage(t, checkpoint.MethodTree, images, dedup.Options{})
+
+	srvIn := faults.New(909)
+	srv, err := server.New(server.Config{Root: t.TempDir(), Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- srv.Serve(ctx, srvIn.Listener(ln, faults.ConnPlan{ShortRead: faults.Every(1)}))
+	}()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	}()
+
+	clIn := faults.New(910)
+	cl, err := gpuckpt.DialConfigured(ln.Addr().String(), gpuckpt.DialConfig{
+		Timeout: 10 * time.Second,
+		Retry:   gpuckpt.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 910},
+		Dialer:  clIn.Dialer(faults.ConnPlan{SlowWrite: faults.On(1)}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i, enc := range encoded {
+		if err := cl.Push("loris", i, enc); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	pulled, err := cl.Pull("loris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range images {
+		got, err := pulled.Restore(k)
+		if err != nil || !bytes.Equal(got, images[k]) {
+			t.Fatalf("restore %d after slow-loris push: err %v", k, err)
+		}
+	}
+}
+
+// Scenario 10: a peer stalls past the client's deadline mid-session.
+// The read times out (a typed transient per wire.Transient), the
+// client redials, and the operation completes.
+func TestChaosNetworkStallTimeout(t *testing.T) {
+	images := seededImages(111, 4)
+	_, encoded := buildLineage(t, checkpoint.MethodList, images, dedup.Options{})
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+
+	in := faults.New(111)
+	cl, err := gpuckpt.DialConfigured(addr, gpuckpt.DialConfig{
+		Timeout: 150 * time.Millisecond,
+		Retry:   gpuckpt.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 111},
+		Dialer: in.Dialer(faults.ConnPlan{
+			// Connection 1 tears mid-frame; connection 2 stalls its
+			// first read past the deadline; connection 3 is healthy.
+			Reset: faults.On(1), ResetAfter: 80,
+			Stall: faults.On(2), StallFor: 400 * time.Millisecond,
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i, enc := range encoded {
+		if err := cl.Push("stall", i, enc); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if in.Fired(faults.EvStall) != 1 || in.Fired(faults.EvReset) != 1 {
+		t.Fatalf("schedule did not run: trace %v", in.Trace())
+	}
+	if n, err := cl.Len("stall"); err != nil || n != len(encoded) {
+		t.Fatalf("server holds %d (err %v), want %d", n, err, len(encoded))
+	}
+}
+
+// Scenario 11: load shedding. A full server greets an over-limit
+// client with StatusBusy plus a retry-after hint; the client treats it
+// as backoff, not an error, and completes once a slot frees.
+func TestChaosServerBusyShed(t *testing.T) {
+	srv, addr, stop := startServer(t, server.Config{
+		Root: t.TempDir(), MaxConns: 1, RetryAfterHint: 20 * time.Millisecond,
+	})
+	defer stop()
+
+	holder, err := gpuckpt.Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		holder.Close()
+	}()
+
+	cl, err := gpuckpt.DialConfigured(addr, gpuckpt.DialConfig{
+		Timeout: 2 * time.Second,
+		Retry:   gpuckpt.RetryPolicy{MaxAttempts: 12, BaseDelay: 25 * time.Millisecond, Seed: 112},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Len("busy"); err != nil {
+		t.Fatalf("operation failed despite busy-retry policy: %v", err)
+	}
+	if st := srv.Stats(); st.BusyRejects == 0 {
+		t.Fatal("server never shed a connection")
+	}
+}
+
+// --- pipeline seam ------------------------------------------------------
+
+// Scenario 12: kernel failures inside the async pipeline. A front
+// failure rejects the checkpoint synchronously; a back failure poisons
+// the pipeline (every later call reports it); the record keeps only
+// fully-committed checkpoints and restores them byte-exactly.
+func TestChaosPipelineKernelFailure(t *testing.T) {
+	for _, m := range []struct {
+		name   string
+		method checkpoint.Method
+	}{{"Basic", checkpoint.MethodBasic}, {"Tree", checkpoint.MethodTree}} {
+		t.Run(m.name, func(t *testing.T) {
+			images := seededImages(113, 5)
+			pool := parallel.NewPool(2)
+			t.Cleanup(pool.Close)
+			dev := device.New(device.A100(), pool, nil)
+
+			in := faults.New(113)
+			d, err := dedup.New(m.method, chaosDataLen, dev, dedup.Options{
+				ChunkSize: chaosChunk,
+				FaultInjector: in.PipelineInjector(faults.PipelinePlan{
+					Front: faults.On(2), // second checkpoint dies on the spot
+					Back:  faults.On(4), // fourth *attempted* back stage poisons
+				}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(d.Close)
+
+			var committed []int
+			var sawFront, sawBack bool
+			for i, img := range images {
+				ch, err := d.CheckpointAsync(img)
+				if err != nil {
+					if !errors.Is(err, faults.ErrKernel) {
+						t.Fatalf("checkpoint %d: untyped pipeline error %v", i, err)
+					}
+					if !sawBack {
+						sawFront = true
+					}
+					continue
+				}
+				res := <-ch
+				if res.Err != nil {
+					if !errors.Is(res.Err, faults.ErrKernel) {
+						t.Fatalf("checkpoint %d backend: untyped error %v", i, res.Err)
+					}
+					sawBack = true
+					continue
+				}
+				committed = append(committed, i)
+			}
+			if !sawFront || !sawBack {
+				t.Fatalf("schedule incomplete: front=%v back=%v trace=%v", sawFront, sawBack, in.Trace())
+			}
+			// Everything the record admitted restores byte-exactly.
+			rec := d.Record()
+			if rec.Len() != len(committed) {
+				t.Fatalf("record holds %d diffs, committed %d", rec.Len(), len(committed))
+			}
+			for k, img := range committed {
+				got, err := rec.Restore(k)
+				if err != nil {
+					t.Fatalf("restore %d: %v", k, err)
+				}
+				if !bytes.Equal(got, images[img]) {
+					t.Fatalf("restore %d diverges", k)
+				}
+			}
+		})
+	}
+}
+
+// --- determinism --------------------------------------------------------
+
+// Rerunning a schedule with the same seed must reproduce the same
+// fault sequence; different seeds must diverge (here: the bit-rot
+// positions).
+func TestChaosSameSeedReproducible(t *testing.T) {
+	run := func(seed int64) []string {
+		images := seededImages(seed, chaosCkpts)
+		rec, _ := buildLineage(t, checkpoint.MethodBasic, images, dedup.Options{})
+		dir := t.TempDir()
+		fs, err := checkpoint.NewFileStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := faults.New(seed)
+		fs.SetIOHooks(in.StorageHooks(faults.StoragePlan{
+			WriteErr:  in.Prob(0.4),
+			TornWrite: faults.On(5),
+			BitRot:    faults.Every(3),
+		}))
+		appendWithRetry(t, fs, rec, 0, 8)
+		for i := 0; i < rec.Len(); i++ {
+			// Reads draw the bit-rot schedule (and rot positions); a
+			// corrupt read here is expected and typed.
+			if _, err := fs.DiffBytes(i); err != nil && !errors.Is(err, checkpoint.ErrCorrupt) {
+				t.Fatalf("read %d: untyped error %v", i, err)
+			}
+		}
+		return in.Trace()
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("schedule fired no faults")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed diverged:\n %v\n %v", a, b)
+	}
+
+	// Different seeds pick different rot positions.
+	buf := make([]byte, 4096)
+	x, y := faults.New(1).FlipBit(buf), faults.New(2).FlipBit(buf)
+	same := true
+	for i := range x {
+		if x[i] != y[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 flipped the same bit sequence")
+	}
+
+	// And the wire classification the scenarios rely on is itself
+	// stable: busy is transient, checksum mismatch is terminal.
+	if !wire.Transient(wire.ErrBusy) || wire.Transient(wire.ErrChecksum) {
+		t.Fatal("wire.Transient classification drifted")
+	}
+}

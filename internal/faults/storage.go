@@ -1,0 +1,152 @@
+package faults
+
+import (
+	"io"
+	"syscall"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+)
+
+// Storage seam event names, as they appear in Trace.
+const (
+	EvTornWrite   = "storage.torn-write"
+	EvWriteErr    = "storage.write-err"
+	EvSyncErr     = "storage.sync-err"
+	EvCrashBefore = "storage.crash-before-rename"
+	EvCrashAfter  = "storage.crash-after-rename"
+	EvBitRot      = "storage.bit-rot"
+)
+
+// StoragePlan schedules faults at the FileStore I/O seam. Each field
+// is a Hits predicate over that event's occurrence ordinal; nil never
+// fires.
+type StoragePlan struct {
+	// TornWrite truncates the selected diff write after TornAfter
+	// bytes and then fails it — a torn write, as when the process dies
+	// or the disk fills mid-encode. The temp file never publishes.
+	TornWrite Hits
+	// TornAfter is how many bytes a torn write lets through
+	// (default 64).
+	TornAfter int
+	// WriteErr fails the selected diff write immediately with an
+	// injected ENOSPC.
+	WriteErr Hits
+	// SyncErr fails the selected temp-file fsync with an injected EIO.
+	SyncErr Hits
+	// CrashBeforeRename simulates the process dying after the temp
+	// file is durable but before the publishing rename: the store
+	// propagates checkpoint.ErrSimulatedCrash without cleanup, leaving
+	// the orphaned temp file for reopen-recovery to sweep.
+	CrashBeforeRename Hits
+	// CrashAfterRename simulates the process dying right after the
+	// rename, before the directory fsync.
+	CrashAfterRename Hits
+	// BitRot flips one deterministically-chosen bit of the selected
+	// diff read, modeling storage-medium rot. The flip lands in the
+	// encoded payload (not the footer magic), so a checksummed file
+	// must detect it.
+	BitRot Hits
+}
+
+// ErrNoSpace is the injected disk-full error. It matches both
+// ErrInjected and syscall.ENOSPC via errors.Is.
+var ErrNoSpace = inject("disk full", syscall.ENOSPC)
+
+// ErrIO is the injected generic I/O error (fsync failures). It matches
+// both ErrInjected and syscall.EIO via errors.Is.
+var ErrIO = inject("i/o error", syscall.EIO)
+
+// StorageHooks builds the checkpoint.IOHooks implementing plan,
+// sharing the injector's seed and trace. Install with
+// FileStore.SetIOHooks.
+func (in *Injector) StorageHooks(plan StoragePlan) *checkpoint.IOHooks {
+	tornAfter := plan.TornAfter
+	if tornAfter <= 0 {
+		tornAfter = 64
+	}
+	return &checkpoint.IOHooks{
+		WrapDiffWrite: func(ck int, w io.Writer) io.Writer {
+			if in.fire(EvWriteErr, plan.WriteErr) {
+				return errWriter{err: ErrNoSpace}
+			}
+			if in.fire(EvTornWrite, plan.TornWrite) {
+				return &tornWriter{w: w, left: tornAfter}
+			}
+			return w
+		},
+		BeforeSync: func(path string) error {
+			if in.fire(EvSyncErr, plan.SyncErr) {
+				return ErrIO
+			}
+			return nil
+		},
+		BeforeRename: func(tmp, final string) error {
+			if in.fire(EvCrashBefore, plan.CrashBeforeRename) {
+				return inject("crash before rename", checkpoint.ErrSimulatedCrash)
+			}
+			return nil
+		},
+		AfterRename: func(final string) error {
+			if in.fire(EvCrashAfter, plan.CrashAfterRename) {
+				return inject("crash after rename", checkpoint.ErrSimulatedCrash)
+			}
+			return nil
+		},
+		OnDiffRead: func(ck int, raw []byte) []byte {
+			if !in.fire(EvBitRot, plan.BitRot) || len(raw) == 0 {
+				return raw
+			}
+			return in.FlipBit(raw)
+		},
+	}
+}
+
+// FlipBit returns a copy of raw with one bit flipped at a position
+// drawn from the injector's seeded PRNG. When raw is long enough to
+// carry an integrity footer the flip is confined to the bytes before
+// it, so the corruption attacks the payload rather than knocking out
+// the footer magic (which would merely demote the file to legacy
+// unverified).
+func (in *Injector) FlipBit(raw []byte) []byte {
+	n := len(raw)
+	if n == 0 {
+		return raw
+	}
+	span := n
+	if n > checkpoint.FooterSize {
+		span = n - checkpoint.FooterSize
+	}
+	pos := in.intn(span * 8)
+	out := append([]byte(nil), raw...)
+	out[pos/8] ^= 1 << (pos % 8)
+	return out
+}
+
+// errWriter fails every write with err.
+type errWriter struct{ err error }
+
+func (w errWriter) Write(p []byte) (int, error) { return 0, w.err }
+
+// tornWriter forwards the first `left` bytes and then fails — a short
+// write followed by an error, the classic torn-write shape.
+type tornWriter struct {
+	w    io.Writer
+	left int
+}
+
+func (tw *tornWriter) Write(p []byte) (int, error) {
+	if tw.left <= 0 {
+		return 0, ErrNoSpace
+	}
+	if len(p) <= tw.left {
+		n, err := tw.w.Write(p)
+		tw.left -= n
+		return n, err
+	}
+	n, err := tw.w.Write(p[:tw.left])
+	tw.left -= n
+	if err != nil {
+		return n, err
+	}
+	return n, ErrNoSpace
+}

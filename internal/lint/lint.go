@@ -16,6 +16,10 @@
 //   - wireerr:       errors from wire/checkpoint Decode and Read
 //     functions must not be discarded, and int→uint32/uint64 length
 //     conversions need a preceding bounds check.
+//   - retryable:     packages importing internal/wire must classify
+//     transport errors through wire.Transient/wire.IsClean, not by
+//     hand-matching io.EOF, net.ErrClosed, os.ErrDeadlineExceeded or
+//     sniffing net.Error.Timeout().
 //   - nowallclock:   time.Now is forbidden in internal/device (the
 //     modeled cost clock must stay deterministic).
 //
@@ -83,6 +87,7 @@ func Checks() []Check {
 		clockguardCheck{},
 		closecontractCheck{},
 		wireerrCheck{},
+		retryableCheck{},
 		nowallclockCheck{},
 	}
 }

@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// retryableCheck enforces the single-classification-point rule at the
+// wire boundary: code that imports internal/wire must not hand-roll
+// transient-vs-terminal decisions on transport errors. Matching a
+// transport sentinel (io.EOF, io.ErrUnexpectedEOF, net.ErrClosed,
+// os.ErrDeadlineExceeded) via errors.Is or direct comparison, or
+// sniffing net.Error.Timeout(), scatters retry policy across callers
+// and drifts the moment the wire package's taxonomy changes —
+// wire.Transient and wire.IsClean are the shared helpers.
+//
+// The wire package itself is exempt (it defines the classification),
+// and a deliberate exception is waived the usual way with
+// //ckptlint:ignore retryable <reason>.
+type retryableCheck struct{}
+
+func (retryableCheck) Name() string { return "retryable" }
+
+func (retryableCheck) Doc() string {
+	return "wire-boundary errors must be classified via wire.Transient/wire.IsClean"
+}
+
+// transportSentinels are the pkg.Ident error values whose ad-hoc
+// matching this check flags.
+var transportSentinels = map[string]bool{
+	"io.EOF":                 true,
+	"io.ErrUnexpectedEOF":    true,
+	"net.ErrClosed":          true,
+	"os.ErrDeadlineExceeded": true,
+}
+
+func sentinelName(e ast.Expr) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	name := id.Name + "." + sel.Sel.Name
+	return name, transportSentinels[name]
+}
+
+// importsWire reports whether f imports a package path ending in
+// internal/wire.
+func importsWire(f *ast.File) bool {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "internal/wire" || strings.HasSuffix(path, "/internal/wire") {
+			return true
+		}
+	}
+	return false
+}
+
+func (c retryableCheck) Check(pkg *Package) []Diagnostic {
+	if pkg.Name == "wire" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if !importsWire(f) {
+			continue
+		}
+		for _, fb := range funcBodies(f) {
+			diags = append(diags, c.checkBody(pkg, fb.Name, fb.Body)...)
+		}
+	}
+	return diags
+}
+
+func (c retryableCheck) checkBody(pkg *Package, fname string, body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	report := func(pos token.Pos, what string) {
+		diags = append(diags, Diagnostic{
+			Pos:   pkg.Fset.Position(pos),
+			Check: "retryable",
+			Message: fmt.Sprintf("%s: ad-hoc classification of %s; route through wire.Transient or wire.IsClean",
+				fname, what),
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// errors.Is(err, <transport sentinel>)
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "errors" && sel.Sel.Name == "Is" && len(x.Args) == 2 {
+				if name, ok := sentinelName(x.Args[1]); ok {
+					report(x.Pos(), "errors.Is(_, "+name+")")
+				}
+				return true
+			}
+			// <err>.Timeout() — sniffing net.Error directly.
+			if sel.Sel.Name == "Timeout" && len(x.Args) == 0 {
+				report(x.Pos(), exprString(pkg.Fset, x.Fun)+"()")
+			}
+		case *ast.BinaryExpr:
+			// err == io.EOF and friends.
+			if x.Op == token.EQL || x.Op == token.NEQ {
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if name, ok := sentinelName(side); ok {
+						report(x.Pos(), "comparison with "+name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,13 @@
+package retryable
+
+import (
+	"errors"
+	"io"
+)
+
+// outOfScope is a file that does not import internal/wire: local
+// stream handling may match io.EOF directly (there is no wire boundary
+// to classify), so nothing here is flagged.
+func outOfScope(err error) bool {
+	return errors.Is(err, io.EOF) || err == io.EOF
+}

@@ -1,0 +1,59 @@
+// Package retryable is a golden fixture for the retryable check. The
+// file imports an internal/wire path, putting it in scope; fixtures
+// parse but never build, so the import needs no real module.
+package retryable
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+
+	"example.com/internal/wire"
+)
+
+func badErrorsIsEOF(err error) bool {
+	return errors.Is(err, io.EOF) // want:retryable
+}
+
+func badErrorsIsUnexpectedEOF(err error) bool {
+	return errors.Is(err, io.ErrUnexpectedEOF) // want:retryable
+}
+
+func badErrorsIsClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) // want:retryable
+}
+
+func badErrorsIsDeadline(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded) // want:retryable
+}
+
+func badDirectCompare(err error) bool {
+	return err == io.EOF // want:retryable
+}
+
+func badTimeoutSniff(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return ne.Timeout() // want:retryable
+	}
+	return false
+}
+
+func goodTransient(err error) bool {
+	return wire.Transient(err)
+}
+
+func goodClean(err error) bool {
+	return wire.IsClean(err)
+}
+
+func goodDomainSentinel(err error) bool {
+	// Matching wire's own domain sentinels is not transport
+	// classification — only the transport sentinel set is flagged.
+	return errors.Is(err, wire.ErrBusy)
+}
+
+func goodWaived(err error) bool {
+	return errors.Is(err, net.ErrClosed) //ckptlint:ignore retryable deliberate exception with a reason
+}

@@ -22,7 +22,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"log"
 	"math"
 	"net"
@@ -56,6 +55,15 @@ type Config struct {
 	// DrainTimeout bounds how long shutdown waits for in-flight
 	// requests before force-closing connections (default 5s).
 	DrainTimeout time.Duration
+	// MaxLineagePending bounds how many requests may queue on one
+	// lineage's lock before further arrivals are shed with StatusBusy
+	// instead of piling onto the mutex (default 32; <0 disables
+	// shedding).
+	MaxLineagePending int
+	// RetryAfterHint is the backoff hint attached to every StatusBusy
+	// response — how long a shed client should wait before retrying
+	// (default 100ms).
+	RetryAfterHint time.Duration
 	// Retention is the default lifecycle policy of every lineage
 	// ("keep-all", "keep-last=N", "keep-every=K"; default keep-all).
 	// Clients can override it per lineage with a POLICY request.
@@ -86,6 +94,12 @@ func (c *Config) fill() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.MaxLineagePending == 0 {
+		c.MaxLineagePending = 32
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = 100 * time.Millisecond
+	}
 	if c.Retention == "" {
 		c.Retention = "keep-all"
 	}
@@ -105,6 +119,27 @@ type lineage struct {
 	store *checkpoint.FileStore
 	//ckptlint:guardedby mu
 	mgr *lifecycle.Manager
+	// pending counts requests queued on (or holding) mu; arrivals
+	// beyond Config.MaxLineagePending are shed with StatusBusy.
+	pending atomic.Int64 //ckptlint:atomic
+}
+
+// acquire takes ln.mu unless the lineage queue is saturated, in which
+// case it sheds the request with wire.ErrBusy — the caller turns that
+// into a StatusBusy response with a retry-after hint rather than an
+// error, and the client backs off. limit<0 disables shedding.
+func (ln *lineage) acquire(limit int) (release func(), err error) {
+	n := ln.pending.Add(1)
+	if limit >= 0 && n > int64(limit) {
+		ln.pending.Add(-1)
+		return nil, fmt.Errorf("server: lineage %q queue saturated (%d pending): %w",
+			ln.name, n-1, wire.ErrBusy)
+	}
+	ln.mu.Lock()
+	return func() {
+		ln.mu.Unlock()
+		ln.pending.Add(-1)
+	}, nil
 }
 
 // Server hosts checkpoint lineages over the wire protocol.
@@ -129,6 +164,7 @@ type Server struct {
 	compactions    atomic.Uint64 //ckptlint:atomic
 	compactedDiffs atomic.Uint64 //ckptlint:atomic
 	reclaimedBytes atomic.Uint64 //ckptlint:atomic
+	busyRejects    atomic.Uint64 //ckptlint:atomic
 
 	// conn tracking for forced shutdown
 	connMu sync.Mutex
@@ -254,6 +290,7 @@ func (s *Server) Stats() wire.Stats {
 		Compactions:    s.compactions.Load(),
 		CompactedDiffs: s.compactedDiffs.Load(),
 		ReclaimedBytes: s.reclaimedBytes.Load(),
+		BusyRejects:    s.busyRejects.Load(),
 	}
 }
 
@@ -286,8 +323,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			if ctx.Err() != nil {
 				break // graceful shutdown
 			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
+			// Transient accept failures (timeouts, resource pressure,
+			// one aborted connection) keep the loop alive; terminal ones
+			// (listener closed underneath us) end Serve.
+			if wire.Transient(err) {
+				s.cfg.Logf("server: accept (retrying): %v", err)
 				continue
 			}
 			return fmt.Errorf("server: accept: %w", err)
@@ -338,10 +378,12 @@ func (s *Server) trackConn(c net.Conn, add bool) {
 	s.connMu.Unlock()
 }
 
-// rejectConn greets an over-limit client and tells it the limit was
-// reached, so it sees a clean remote error instead of a bare EOF.
+// rejectConn greets an over-limit client and sheds it with StatusBusy
+// plus a retry-after hint, so it backs off and reconnects instead of
+// treating the full server as a hard failure (or seeing a bare EOF).
 func (s *Server) rejectConn(conn net.Conn) {
 	defer conn.Close()
+	s.busyRejects.Add(1)
 	conn.SetDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	if _, err := wire.ReadHello(conn); err != nil {
 		return
@@ -351,8 +393,8 @@ func (s *Server) rejectConn(conn net.Conn) {
 		return
 	}
 	s.bytesOut.Add(wire.HelloSize)
-	f := &wire.Frame{Type: wire.TErr, Status: wire.StatusErr,
-		Payload: []byte(fmt.Sprintf("server: connection limit %d reached", s.cfg.MaxConns))}
+	f := &wire.Frame{Type: wire.TErr, Status: wire.StatusBusy,
+		Payload: wire.EncodeRetryAfter(s.cfg.RetryAfterHint)}
 	if wire.WriteFrame(conn, f) == nil {
 		s.bytesOut.Add(uint64(f.WireSize()))
 	}
@@ -379,7 +421,10 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		req, err := wire.ReadFrame(conn, s.cfg.MaxPayload)
 		if err != nil {
-			if err != io.EOF && ctx.Err() == nil && !errors.Is(err, net.ErrClosed) {
+			// A clean disconnect (EOF between frames, or our own
+			// shutdown closing the socket) is normal teardown; anything
+			// else — torn frames, deadline expiry — is worth a log line.
+			if !wire.IsClean(err) && ctx.Err() == nil {
 				s.cfg.Logf("server: %s: read: %v", caddr, err)
 			}
 			return
@@ -451,6 +496,13 @@ func (s *Server) accountCompaction(name string, st lifecycle.Stats) {
 func (s *Server) dispatch(req *wire.Frame) *wire.Frame {
 	resp, err := s.serve(req)
 	if err != nil {
+		if errors.Is(err, wire.ErrBusy) {
+			// Load shed: the request was NOT executed. The payload is a
+			// retry-after hint the client honors as backoff.
+			s.busyRejects.Add(1)
+			return &wire.Frame{Type: req.Type, Status: wire.StatusBusy,
+				Payload: wire.EncodeRetryAfter(s.cfg.RetryAfterHint)}
+		}
 		status := wire.StatusErr
 		if errors.Is(err, wire.ErrUnsupported) {
 			status = wire.StatusUnsupported
@@ -479,17 +531,39 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 		if err != nil {
 			return nil, err
 		}
+		// v3 push carries a CRC32C of the encoded diff: verify the
+		// payload survived the wire before anything else.
+		crc, encoded, err := wire.DecodePush(req.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("server: push lineage %q: %w", ln.name, err)
+		}
 		// Decode-validate before touching the store: a malformed diff
 		// must never become a lineage file.
-		d, err := checkpoint.Decode(bytes.NewReader(req.Payload))
+		d, err := checkpoint.Decode(bytes.NewReader(encoded))
 		if err != nil {
 			return nil, fmt.Errorf("server: push lineage %q: %w", ln.name, err)
 		}
 		if d.CkptID != req.Ckpt {
 			return nil, fmt.Errorf("server: push frame ckpt %d but diff id %d", req.Ckpt, d.CkptID)
 		}
-		ln.mu.Lock()
-		defer ln.mu.Unlock()
+		release, err := ln.acquire(s.cfg.MaxLineagePending)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		// Idempotent replay: if this id is already stored, a retried
+		// push whose content hash matches the stored bytes is the same
+		// write arriving twice (the client's response was lost) — answer
+		// OK without re-appending. A mismatching hash is a genuine
+		// conflict with the one-winner append guarantee.
+		if n, _ := ln.store.Len(); int(req.Ckpt) < n && int(req.Ckpt) >= ln.store.Base() {
+			stored, err := ln.store.DiffBytes(int(req.Ckpt))
+			if err == nil && wire.Checksum(stored) == crc {
+				return &wire.Frame{Lineage: req.Lineage, Ckpt: req.Ckpt + 1}, nil
+			}
+			return nil, fmt.Errorf("server: push %d conflicts with already-stored diff (lineage %q)",
+				req.Ckpt, ln.name)
+		}
 		if err := ln.store.Append(d); err != nil {
 			return nil, err
 		}
@@ -500,9 +574,12 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		ln.mu.Lock()
+		release, err := ln.acquire(s.cfg.MaxLineagePending)
+		if err != nil {
+			return nil, err
+		}
 		b, err := ln.store.DiffBytes(int(req.Ckpt))
-		ln.mu.Unlock()
+		release()
 		if err != nil {
 			return nil, fmt.Errorf("server: pull lineage %q: %w", ln.name, err)
 		}

@@ -95,7 +95,7 @@ func TestServerOpenPushPull(t *testing.T) {
 	h := open.Lineage
 
 	enc := encodedDiff(t, 0, 0xAA)
-	push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: 0, Payload: enc})
+	push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: 0, Payload: wire.EncodePush(enc)})
 	if push.Status != wire.StatusOK || push.Ckpt != 1 {
 		t.Fatalf("push: %+v (%s)", push, push.Payload)
 	}
@@ -115,8 +115,8 @@ func TestServerOpenPushPull(t *testing.T) {
 	if err != nil || len(infos) != 1 || infos[0].Name != "lin-a" || infos[0].Len != 1 {
 		t.Fatalf("list: %+v err %v", infos, err)
 	}
-	if infos[0].Bytes != uint64(len(enc)) {
-		t.Fatalf("list bytes %d, want %d", infos[0].Bytes, len(enc))
+	if infos[0].Bytes != uint64(len(enc)+checkpoint.FooterSize) {
+		t.Fatalf("list bytes %d, want %d", infos[0].Bytes, len(enc)+checkpoint.FooterSize)
 	}
 }
 
@@ -158,12 +158,12 @@ func TestServerRequestErrors(t *testing.T) {
 		t.Fatal("garbage diff accepted")
 	}
 	// Frame ckpt id and diff id must agree.
-	resp = call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 1, Payload: encodedDiff(t, 0, 1)})
+	resp = call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 1, Payload: wire.EncodePush(encodedDiff(t, 0, 1))})
 	if resp.Status != wire.StatusErr {
 		t.Fatal("mismatched ckpt id accepted")
 	}
 	// Non-contiguous push.
-	resp = call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 5, Payload: encodedDiff(t, 5, 1)})
+	resp = call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 5, Payload: wire.EncodePush(encodedDiff(t, 5, 1))})
 	if resp.Status != wire.StatusErr {
 		t.Fatal("non-contiguous push accepted")
 	}
@@ -178,7 +178,7 @@ func TestServerReopensLineages(t *testing.T) {
 	_, addr, stop := startServer(t, Config{Root: root})
 	conn := testConn(t, addr)
 	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("persisted")})
-	call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0, Payload: encodedDiff(t, 0, 3)})
+	call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0, Payload: wire.EncodePush(encodedDiff(t, 0, 3))})
 	conn.Close()
 	stop()
 
@@ -205,7 +205,8 @@ func TestServerConnectionLimit(t *testing.T) {
 	call(t, c1, &wire.Frame{Type: wire.TStats})
 	call(t, c2, &wire.Frame{Type: wire.TStats})
 
-	// The third connection is greeted, then refused with a TErr frame.
+	// The third connection is greeted, then shed with StatusBusy and a
+	// retry-after hint.
 	c3, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -219,8 +220,12 @@ func TestServerConnectionLimit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("over-limit conn: %v", err)
 	}
-	if f.Type != wire.TErr || f.Status != wire.StatusErr {
+	if f.Type != wire.TErr || f.Status != wire.StatusBusy {
 		t.Fatalf("over-limit conn got %+v", f)
+	}
+	var re *wire.RemoteError
+	if err := f.Err(); !errors.As(err, &re) || !re.Busy || re.RetryAfter <= 0 {
+		t.Fatalf("over-limit error %v is not a busy error with a hint", err)
 	}
 
 	// Releasing a slot admits new connections again.
@@ -272,7 +277,7 @@ func TestServerStatsCounters(t *testing.T) {
 	call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("s")})
 	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("s")})
 	enc := encodedDiff(t, 0, 9)
-	call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0, Payload: enc})
+	call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0, Payload: wire.EncodePush(enc)})
 	resp := call(t, conn, &wire.Frame{Type: wire.TStats})
 	st, err := wire.DecodeStats(resp.Payload)
 	if err != nil {
@@ -285,8 +290,8 @@ func TestServerStatsCounters(t *testing.T) {
 		t.Fatalf("conn/lineage counters: %+v", st)
 	}
 	// Bytes in: hello + 4 request frames (two opens carry "s", push
-	// carries the diff).
-	wantIn := uint64(wire.HelloSize + 4*wire.HeaderSize + 1 + 1 + len(enc))
+	// carries the diff plus its CRC32C prefix).
+	wantIn := uint64(wire.HelloSize + 4*wire.HeaderSize + 1 + 1 + wire.PushChecksumSize + len(enc))
 	if st.BytesIn != wantIn {
 		t.Fatalf("bytesIn %d, want %d", st.BytesIn, wantIn)
 	}
@@ -353,7 +358,7 @@ func TestServerCompactAndPolicy(t *testing.T) {
 	h := open.Lineage
 	for k := 0; k < 8; k++ {
 		push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(k),
-			Payload: encodedDiff(t, k, byte(k))})
+			Payload: wire.EncodePush(encodedDiff(t, k, byte(k)))})
 		if push.Status != wire.StatusOK {
 			t.Fatalf("push %d: %s", k, push.Payload)
 		}
@@ -440,7 +445,7 @@ func TestServerBackgroundCompaction(t *testing.T) {
 	h := open.Lineage
 	for k := 0; k < 6; k++ {
 		push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(k),
-			Payload: encodedDiff(t, k, byte(k))})
+			Payload: wire.EncodePush(encodedDiff(t, k, byte(k)))})
 		if push.Status != wire.StatusOK {
 			t.Fatalf("push %d: %s", k, push.Payload)
 		}

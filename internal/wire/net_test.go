@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestReadFrameOneByteWriter feeds ReadFrame a peer that writes the
+// encoded frame one byte per Write call — the maximally fragmented
+// delivery a slow or adversarial network can produce. The frame must
+// reassemble exactly; partial reads must never surface as errors.
+func TestReadFrameOneByteWriter(t *testing.T) {
+	want := &Frame{Type: TPush, Lineage: 3, Ckpt: 9, Payload: bytes.Repeat([]byte{0x5C}, 257)}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cl, sv := net.Pipe()
+	defer cl.Close()
+	go func() {
+		defer sv.Close()
+		for i := range raw {
+			if _, err := sv.Write(raw[i : i+1]); err != nil {
+				return
+			}
+		}
+	}()
+	if err := cl.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(cl, 1<<20)
+	if err != nil {
+		t.Fatalf("one-byte-at-a-time frame: %v", err)
+	}
+	if got.Type != want.Type || got.Lineage != want.Lineage || got.Ckpt != want.Ckpt ||
+		!bytes.Equal(got.Payload, want.Payload) {
+		t.Fatalf("frame mismatch: got %+v", got)
+	}
+}
+
+// TestReadFrameMidHeaderStall starts a frame and then goes silent
+// partway through the header. With a read deadline armed the blocked
+// ReadFrame must surface the deadline error — and that error must be
+// classified transient (a retry on a fresh connection could succeed),
+// not clean.
+func TestReadFrameMidHeaderStall(t *testing.T) {
+	want := &Frame{Type: TPull, Lineage: 1, Ckpt: 4}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if len(raw) < HeaderSize {
+		t.Fatalf("header shorter than HeaderSize: %d", len(raw))
+	}
+
+	cl, sv := net.Pipe()
+	defer cl.Close()
+	defer sv.Close()
+	go sv.Write(raw[:HeaderSize/2]) // then stall forever
+
+	if err := cl.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(cl, 1<<20)
+	if err == nil {
+		t.Fatal("stalled mid-header read succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("stall surfaced as non-timeout error: %v", err)
+		}
+	}
+	if !Transient(err) {
+		t.Fatalf("deadline error classified terminal: %v", err)
+	}
+	if IsClean(err) {
+		t.Fatalf("deadline error classified clean shutdown: %v", err)
+	}
+}
+
+// TestReadFrameMidPayloadStall is the same stall one layer down: the
+// full header arrives, then the payload stops short. The deadline
+// error must again be transient — the caller retries the whole frame
+// on a new connection, never resumes mid-frame.
+func TestReadFrameMidPayloadStall(t *testing.T) {
+	want := &Frame{Type: TPush, Lineage: 2, Ckpt: 1, Payload: bytes.Repeat([]byte{0xEE}, 128)}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	cl, sv := net.Pipe()
+	defer cl.Close()
+	defer sv.Close()
+	go sv.Write(raw[:HeaderSize+13]) // header plus a sliver of payload
+
+	if err := cl.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(cl, 1<<20)
+	if err == nil {
+		t.Fatal("stalled mid-payload read succeeded")
+	}
+	if !Transient(err) {
+		t.Fatalf("mid-payload deadline error classified terminal: %v", err)
+	}
+}

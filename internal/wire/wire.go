@@ -23,8 +23,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"net"
+	"time"
 )
 
 // Protocol constants.
@@ -42,7 +45,13 @@ const (
 	//	   responses and list entries, and compaction counters in
 	//	   stats. The list and stats payload layouts changed shape,
 	//	   hence the incompatible bump.
-	Version uint8 = 2
+	//	3: durability — TPush payloads carry a CRC32C (Castagnoli)
+	//	   prefix over the encoded diff, turning replayed pushes into
+	//	   an idempotent content-hash precondition; the StatusBusy
+	//	   status byte with a retry-after hint for load shedding; a
+	//	   busy-reject counter in stats. The push and stats payload
+	//	   layouts changed shape, hence the incompatible bump.
+	Version uint8 = 3
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 14
 	// HelloSize is the handshake message length in bytes.
@@ -101,6 +110,11 @@ const (
 	// an older server gets a typed error (ErrUnsupported) instead of a
 	// torn connection.
 	StatusUnsupported uint8 = 2
+	// StatusBusy marks a request the server shed under load (connection
+	// limit or per-lineage queue saturation). The payload carries a
+	// retry-after hint (EncodeRetryAfter); the request was NOT executed,
+	// so replaying it after backing off is always safe.
+	StatusBusy uint8 = 3
 )
 
 // Errors.
@@ -114,6 +128,14 @@ var (
 	// a StatusUnsupported response: the peer answered cleanly but does
 	// not implement the request.
 	ErrUnsupported = errors.New("wire: unsupported request")
+	// ErrBusy matches (via errors.Is) a RemoteError carried by a
+	// StatusBusy response: the peer shed the request under load. It is
+	// the one RemoteError a client should retry, after honoring the
+	// RetryAfter hint.
+	ErrBusy = errors.New("wire: server busy")
+	// ErrChecksum reports a TPush payload whose CRC32C prefix does not
+	// match the encoded diff that follows it.
+	ErrChecksum = errors.New("wire: push payload checksum mismatch")
 )
 
 // Frame is one protocol message in either direction.
@@ -133,27 +155,108 @@ func (f *Frame) Err() error {
 	if f.Status == StatusOK {
 		return nil
 	}
+	if f.Status == StatusBusy {
+		hint, _ := DecodeRetryAfter(f.Payload)
+		return &RemoteError{Msg: "server busy", Busy: true, RetryAfter: hint}
+	}
 	return &RemoteError{Msg: string(f.Payload), Unsupported: f.Status == StatusUnsupported}
 }
 
-// RemoteError is a failure reported by the peer through a StatusErr or
-// StatusUnsupported frame. It is a clean protocol-level outcome — the
-// connection is still usable — so clients must not treat it as
-// transient.
+// RemoteError is a failure reported by the peer through a StatusErr,
+// StatusUnsupported or StatusBusy frame. It is a clean protocol-level
+// outcome — the connection is still usable — so clients must not treat
+// it as transient, with one exception: a Busy rejection was shed
+// before execution and should be replayed after RetryAfter.
 type RemoteError struct {
 	Msg string
 	// Unsupported marks a StatusUnsupported response: the peer does
 	// not implement the request type. errors.Is(err, ErrUnsupported)
 	// reports it.
 	Unsupported bool
+	// Busy marks a StatusBusy response: the peer shed the request
+	// under load without executing it. errors.Is(err, ErrBusy)
+	// reports it; RetryAfter carries the peer's backoff hint.
+	Busy       bool
+	RetryAfter time.Duration
 }
 
 func (e *RemoteError) Error() string { return "remote: " + e.Msg }
 
-// Is lets errors.Is match an unsupported-operation RemoteError against
-// the ErrUnsupported sentinel.
+// Is lets errors.Is match an unsupported-operation or busy RemoteError
+// against its sentinel.
 func (e *RemoteError) Is(target error) bool {
-	return target == ErrUnsupported && e.Unsupported
+	return (target == ErrUnsupported && e.Unsupported) || (target == ErrBusy && e.Busy)
+}
+
+// EncodeRetryAfter serializes a StatusBusy retry-after hint as a
+// 4-byte big-endian millisecond count (clamped to the uint32 range).
+func EncodeRetryAfter(d time.Duration) []byte {
+	ms := d.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	return binary.BigEndian.AppendUint32(nil, uint32(ms))
+}
+
+// DecodeRetryAfter parses a StatusBusy payload. A malformed or empty
+// payload decodes as a zero hint rather than an error: the rejection
+// itself is the signal, the hint is advisory.
+func DecodeRetryAfter(b []byte) (time.Duration, error) {
+	if len(b) != 4 {
+		return 0, fmt.Errorf("wire: retry-after payload %d bytes, want 4", len(b))
+	}
+	return time.Duration(binary.BigEndian.Uint32(b)) * time.Millisecond, nil
+}
+
+// Transient reports whether err warrants replaying the request on a
+// fresh (or, for a busy rejection, the same) connection. It is the
+// single classification point for every error that crosses the
+// client/server wire boundary — the ckptlint `retryable` check keeps
+// ad-hoc Timeout()/io.EOF tests from growing back elsewhere.
+//
+// Transient: deadline expiries and every net.Error timeout, torn
+// connections (EOF, unexpected EOF, ECONNRESET, EPIPE), refused or
+// unreachable dials (the peer may be restarting), and StatusBusy
+// rejections. Terminal: every other RemoteError (the server executed
+// or rejected the request — replaying would duplicate work or fail
+// identically), protocol violations (bad magic, oversized frames,
+// checksum mismatches) and operations on a connection this process
+// already closed (net.ErrClosed: retrying a deliberate Close is a
+// bug, not a network fault).
+//
+// Unknown errors default to transient: the v3 PUSH content-hash
+// precondition makes replays idempotent, so the cost of a wasted
+// retry is bounded while the cost of giving up on a recoverable
+// fault is a failed checkpoint.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Busy
+	}
+	if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrPayloadTooLarge) || errors.Is(err, ErrChecksum) {
+		return false
+	}
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	// Everything else — net.Error timeouts, os.ErrDeadlineExceeded,
+	// EOF/ErrUnexpectedEOF, ECONNRESET/EPIPE/ECONNREFUSED, and errors
+	// this function has never seen — is transient.
+	return true
+}
+
+// IsClean reports whether err is a clean connection shutdown — the
+// peer finished and closed (EOF) or this process closed the
+// connection itself (net.ErrClosed). Servers use it to keep routine
+// disconnects out of the error log; it never justifies a retry.
+func IsClean(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
 }
 
 // WriteHello writes the 6-byte handshake: magic, version, flags.
@@ -273,6 +376,45 @@ func ReadFrame(r io.Reader, maxPayload uint32) (*Frame, error) {
 		}
 	}
 	return f, nil
+}
+
+// PushChecksumSize is the length of the CRC32C prefix a v3 TPush
+// payload carries ahead of the encoded diff bytes.
+const PushChecksumSize = 4
+
+// castagnoli is the CRC32C polynomial table shared by the push
+// precondition and the FileStore's on-disk diff footers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32C (Castagnoli) checksum of b — the
+// content hash of the v3 push precondition.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// EncodePush builds a v3 TPush payload: a big-endian CRC32C of the
+// encoded diff, then the diff bytes themselves. The server verifies
+// the prefix on arrival and, when the pushed checkpoint id is already
+// stored, compares it against the stored bytes' checksum — an
+// identical replay (a retry whose original response was lost) succeeds
+// idempotently, a conflicting write is rejected.
+func EncodePush(encoded []byte) []byte {
+	buf := make([]byte, PushChecksumSize+len(encoded))
+	binary.BigEndian.PutUint32(buf, Checksum(encoded))
+	copy(buf[PushChecksumSize:], encoded)
+	return buf
+}
+
+// DecodePush splits a v3 TPush payload into its checksum and encoded
+// diff, verifying the prefix against the bytes that follow it.
+func DecodePush(payload []byte) (crc uint32, encoded []byte, err error) {
+	if len(payload) < PushChecksumSize {
+		return 0, nil, fmt.Errorf("wire: push payload %d bytes, want at least %d", len(payload), PushChecksumSize)
+	}
+	crc = binary.BigEndian.Uint32(payload)
+	encoded = payload[PushChecksumSize:]
+	if Checksum(encoded) != crc {
+		return 0, nil, fmt.Errorf("%w: declared %08x, computed %08x", ErrChecksum, crc, Checksum(encoded))
+	}
+	return crc, encoded, nil
 }
 
 // LineageInfo is one entry of the TList response.
@@ -429,15 +571,18 @@ type Stats struct {
 	// ReclaimedBytes sums the net on-disk bytes freed by compactions
 	// (transactions with a negative net change contribute zero).
 	ReclaimedBytes uint64
+	// BusyRejects counts requests and connections shed with StatusBusy
+	// (load shedding, not failures: the work was never started).
+	BusyRejects uint64
 }
 
-const statsSize = 9 * 8
+const statsSize = 10 * 8
 
 // Encode serializes the stats counters.
 func (s *Stats) Encode() []byte {
 	buf := make([]byte, 0, statsSize)
 	for _, v := range [...]uint64{s.Requests, s.BytesIn, s.BytesOut, s.ActiveConns, s.Conns, s.Lineages,
-		s.Compactions, s.CompactedDiffs, s.ReclaimedBytes} {
+		s.Compactions, s.CompactedDiffs, s.ReclaimedBytes, s.BusyRejects} {
 		buf = binary.BigEndian.AppendUint64(buf, v)
 	}
 	return buf
@@ -450,7 +595,7 @@ func DecodeStats(b []byte) (Stats, error) {
 	}
 	var s Stats
 	for i, p := range [...]*uint64{&s.Requests, &s.BytesIn, &s.BytesOut, &s.ActiveConns, &s.Conns, &s.Lineages,
-		&s.Compactions, &s.CompactedDiffs, &s.ReclaimedBytes} {
+		&s.Compactions, &s.CompactedDiffs, &s.ReclaimedBytes, &s.BusyRejects} {
 		*p = binary.BigEndian.Uint64(b[8*i:])
 	}
 	return s, nil

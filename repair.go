@@ -1,0 +1,120 @@
+package gpuckpt
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+)
+
+// RepairReport summarizes a ScrubDir or Client.Repair pass over a
+// local checkpoint store.
+type RepairReport struct {
+	// Checked is how many stored diffs were read and verified.
+	Checked int
+	// Corrupt lists the absolute checkpoint ids that failed
+	// verification and were quarantined.
+	Corrupt []int
+	// Repaired lists the quarantined ids that were refetched from the
+	// server and reinstalled; on a successful repair it equals Corrupt.
+	Repaired []int
+	// Unverified lists legacy footer-less diffs that decoded cleanly
+	// but carry no checksum.
+	Unverified []int
+}
+
+// OK reports whether the store ended the pass fully verified: nothing
+// corrupt, or everything corrupt repaired.
+func (r *RepairReport) OK() bool { return len(r.Corrupt) == len(r.Repaired) }
+
+// ScrubDir verifies every diff in the checkpoint directory dir:
+// checksum footers, structural decode, id-vs-filename agreement.
+// Corrupt files are quarantined (renamed aside, removed from the
+// restorable range) but not repaired — use Client.Repair to refetch
+// them from a ckptd server holding the same lineage.
+func ScrubDir(dir string) (*RepairReport, error) {
+	fs, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := fs.Scrub()
+	if err != nil {
+		return nil, err
+	}
+	return &RepairReport{Checked: sr.Checked, Corrupt: sr.Corrupt, Unverified: sr.Unverified}, nil
+}
+
+// Repair scrubs the local checkpoint directory dir and refetches every
+// quarantined diff from the server's lineage name — the recovery path
+// for bit rot on a node's local store when a ckptd peer holds a
+// replica. Diffs quarantined by an earlier scrub (this process or a
+// previous one) are repaired too: their ids are recovered from the
+// quarantine file names, since a quarantined diff is a hole the store's
+// restorable range already shrank past. Each refetched diff is verified
+// (the pull payload decodes and carries the expected checkpoint id)
+// before it is reinstalled; after a full repair the store's restorable
+// range is what it was before the corruption and every restore is
+// byte-exact again.
+//
+// Repair returns the report even when some diffs could not be
+// repaired (server missing the lineage, id compacted away); the error
+// then describes the first failure and report.OK() is false.
+func (c *Client) Repair(dir, name string) (*RepairReport, error) {
+	fs, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := fs.Scrub()
+	if err != nil {
+		return nil, err
+	}
+	quarantined, err := fs.QuarantinedIDs()
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(sr.Corrupt)+len(quarantined))
+	broken := make([]int, 0, len(sr.Corrupt)+len(quarantined))
+	for _, ck := range append(append([]int(nil), sr.Corrupt...), quarantined...) {
+		if !seen[ck] {
+			seen[ck] = true
+			broken = append(broken, ck)
+		}
+	}
+	sort.Ints(broken)
+	rep := &RepairReport{Checked: sr.Checked, Corrupt: broken, Unverified: sr.Unverified}
+	var firstErr error
+	for _, ck := range broken {
+		b, err := c.PullDiff(name, ck)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gpuckpt: repair %s ckpt %d: %w", dir, ck, err)
+			}
+			continue
+		}
+		d, err := checkpoint.Decode(bytes.NewReader(b))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gpuckpt: repair %s ckpt %d: server bytes undecodable: %w", dir, ck, err)
+			}
+			continue
+		}
+		if int(d.CkptID) != ck {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gpuckpt: repair %s ckpt %d: server returned diff id %d", dir, ck, d.CkptID)
+			}
+			continue
+		}
+		if err := fs.ReinstallDiff(d); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("gpuckpt: repair %s ckpt %d: %w", dir, ck, err)
+			}
+			continue
+		}
+		if err := fs.ClearQuarantine(ck); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		rep.Repaired = append(rep.Repaired, ck)
+	}
+	return rep, firstErr
+}
