@@ -15,7 +15,9 @@ FUZZ_TARGETS = \
 	FuzzDiffDecode:./internal/checkpoint \
 	FuzzRestore:./internal/checkpoint \
 	FuzzManifestDecode:./internal/checkpoint \
-	FuzzDiffChecksum:./internal/checkpoint
+	FuzzDiffChecksum:./internal/checkpoint \
+	FuzzBlockIndexDecode:./internal/blockstore \
+	FuzzBlockJournalDecode:./internal/blockstore
 FUZZTIME ?= 5s
 FUZZTIME_LONG ?= 5m
 

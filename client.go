@@ -171,6 +171,15 @@ type ServerStats struct {
 	// BusyRejects counts requests and connections the server shed with
 	// StatusBusy (connection limit or lineage queue saturation).
 	BusyRejects uint64
+	// BlocksInterned counts unique blocks written into the server's
+	// shared content-addressed block store; BlockDedupHits counts
+	// intern requests satisfied by an already-stored block (within or
+	// across lineages); BlockBytesSaved is the payload bytes those
+	// hits avoided writing.
+	BlocksInterned, BlockDedupHits, BlockBytesSaved uint64
+	// BlockGCBlocks and BlockGCBytes count unreferenced blocks (and
+	// their payload bytes) reclaimed by block-store garbage collection.
+	BlockGCBlocks, BlockGCBytes uint64
 }
 
 // CompactInfo reports one server-side compaction transaction.
@@ -510,16 +519,21 @@ func (c *Client) Stats() (ServerStats, error) {
 		return ServerStats{}, err
 	}
 	return ServerStats{
-		Requests:       st.Requests,
-		BytesIn:        st.BytesIn,
-		BytesOut:       st.BytesOut,
-		ActiveConns:    st.ActiveConns,
-		Conns:          st.Conns,
-		Lineages:       st.Lineages,
-		Compactions:    st.Compactions,
-		CompactedDiffs: st.CompactedDiffs,
-		ReclaimedBytes: st.ReclaimedBytes,
-		BusyRejects:    st.BusyRejects,
+		Requests:        st.Requests,
+		BytesIn:         st.BytesIn,
+		BytesOut:        st.BytesOut,
+		ActiveConns:     st.ActiveConns,
+		Conns:           st.Conns,
+		Lineages:        st.Lineages,
+		Compactions:     st.Compactions,
+		CompactedDiffs:  st.CompactedDiffs,
+		ReclaimedBytes:  st.ReclaimedBytes,
+		BusyRejects:     st.BusyRejects,
+		BlocksInterned:  st.BlocksInterned,
+		BlockDedupHits:  st.BlockDedupHits,
+		BlockBytesSaved: st.BlockBytesSaved,
+		BlockGCBlocks:   st.BlockGCBlocks,
+		BlockGCBytes:    st.BlockGCBytes,
 	}, nil
 }
 

@@ -11,7 +11,6 @@ import (
 	"testing"
 	"time"
 
-	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
 	"github.com/gpuckpt/gpuckpt/internal/server"
 	"github.com/gpuckpt/gpuckpt/internal/wire"
 )
@@ -176,12 +175,20 @@ func TestClientServerEndToEnd(t *testing.T) {
 		}
 		storedBytes += in.Bytes
 	}
-	// Each stored diff carries the FileStore's integrity footer on top
-	// of the pushed encoded bytes.
-	wantStored := pushedBytes[0] + int64(numClients*numCkpts*checkpoint.FooterSize)
-	if storedBytes != wantStored {
-		t.Fatalf("server stores %d bytes, clients pushed %d (want %d with footers)",
-			storedBytes, pushedBytes[0], wantStored)
+	// The server interns every diff's data section into its shared
+	// block store, so the lineage directories hold block-mapped
+	// containers — far smaller on disk than the canonical bytes the
+	// clients pushed (which the pulls above reassembled bit-exactly).
+	if storedBytes >= pushedBytes[0] {
+		t.Fatalf("server stores %d bytes in lineage files; interning should undercut the %d pushed",
+			storedBytes, pushedBytes[0])
+	}
+	st0, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st0.BlocksInterned == 0 {
+		t.Fatal("stats report zero interned blocks after pushes")
 	}
 
 	// The pushers closed their connections; wait for the server to
@@ -203,8 +210,9 @@ func TestClientServerEndToEnd(t *testing.T) {
 	// Exact request bookkeeping: each pusher sends 1 OPEN (first Push
 	// resolves the handle) + numCkpts PUSH. The restore client sends,
 	// per lineage, 1 OPEN (Pull re-opens for a fresh length) +
-	// numCkpts PULL, then 1 LIST and this 1 STATS.
-	wantRequests := uint64(numClients*(1+numCkpts) + numClients*(1+numCkpts) + 1 + 1)
+	// numCkpts PULL, then 1 LIST and 2 STATS (the block-store sample
+	// above and this one).
+	wantRequests := uint64(numClients*(1+numCkpts) + numClients*(1+numCkpts) + 1 + 2)
 	if st.Requests != wantRequests {
 		t.Fatalf("server served %d requests, want %d", st.Requests, wantRequests)
 	}

@@ -196,6 +196,7 @@ func storageRow(t *metrics.Table, seed int64, addr string, images, encoded [][]b
 	if err != nil {
 		return err
 	}
+	defer fs.Close()
 	cl, err := gpuckpt.Dial(addr, 5*time.Second)
 	if err != nil {
 		return err
@@ -332,6 +333,7 @@ func verifyDir(dir string, images [][]byte) error {
 	if err != nil {
 		return err
 	}
+	defer fs.Close()
 	rec, err := fs.Load()
 	if err != nil {
 		return err

@@ -55,7 +55,7 @@ func parseInts(s string) ([]int, error) {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ckptbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, compact, faults, all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, compact, faults, dedupx, all")
 		vertices = fs.Int("vertices", 20000, "target vertices per input graph (paper: 11-18 M)")
 		maxK     = fs.Int("maxk", 4, "largest graphlet size for ORANGES (paper: 5)")
 		chunks   = fs.String("chunks", "32,64,128,256,512", "chunk sizes for fig4")
@@ -71,6 +71,8 @@ func run(args []string, stdout io.Writer) error {
 		remote   = fs.String("remote", "", "ckptd server address (host:port) for -exp push")
 		lineage  = fs.String("lineage", "ckptbench", "lineage name on the server for -exp push")
 		keepLast = fs.Int("keeplast", 4, "retained checkpoints for -exp compact (keep-last=K)")
+		lineages = fs.Int("lineages", 4, "tenant count for -exp dedupx")
+		jsonPath = fs.String("json", "", "write -exp dedupx results as JSON to this file")
 		pipeline = fs.Bool("pipeline", false, "overlap each checkpoint's store with the next one's dedup (CheckpointAsync)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -246,6 +248,15 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			return emit("faults", t)
+		},
+		"dedupx": func() error {
+			t, err := dedupxExperiment(cfg, *lineages, *jsonPath)
+			if t != nil {
+				if eerr := emit("dedupx", t); eerr != nil {
+					return eerr
+				}
+			}
+			return err
 		},
 	}
 	// "push" needs a live ckptd server, and "faults" is a resilience

@@ -88,6 +88,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	// scripts and tests can discover the port.
 	fmt.Fprintf(stdout, "ckptd: listening on %s (root %s)\n", ln.Addr(), *root)
 	err = srv.Serve(ctx, ln)
+	if cerr := srv.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	fmt.Fprintln(stdout, "ckptd: shut down")
 	return err
 }

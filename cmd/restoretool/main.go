@@ -149,15 +149,19 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		files, err := store.Files()
+		defer store.Close()
+		n, err := store.Len()
 		if err != nil {
 			return err
 		}
-		if len(files) == 0 {
+		if n == store.Base() {
 			return fmt.Errorf("lineage directory %s is empty", *dirPath)
 		}
-		for _, f := range files {
-			b, err := os.ReadFile(f)
+		// DiffBytes verifies and strips each file's integrity footer
+		// and reassembles block-mapped containers from the shared
+		// block store, so raw is always the canonical diff stream.
+		for ck := store.Base(); ck < n; ck++ {
+			b, err := store.DiffBytes(ck)
 			if err != nil {
 				return err
 			}

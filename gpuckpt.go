@@ -295,6 +295,11 @@ func (c *Checkpointer) Rebase() (*Record, error) {
 		if err := os.Rename(dir, archived); err != nil {
 			return nil, fmt.Errorf("gpuckpt: archiving lineage dir: %w", err)
 		}
+		// Close before reopening: an auto-attached shared block store
+		// must never be open under two journal handles at once.
+		if err := c.store.Close(); err != nil {
+			return nil, fmt.Errorf("gpuckpt: closing archived lineage store: %w", err)
+		}
 		store, err := checkpoint.NewFileStore(dir)
 		if err != nil {
 			return nil, err
@@ -415,6 +420,11 @@ func (c *Checkpointer) Close() {
 	c.d.Record().SetPool(nil)
 	c.d.Close()
 	c.pool.Close()
+	if c.store != nil {
+		// Releases the lineage's auto-attached block store, if any.
+		c.store.Close()
+		c.store = nil
+	}
 }
 
 // Record is a read-only checkpoint lineage reconstructed from
@@ -485,6 +495,7 @@ func (c *Checkpointer) SaveRecordDir(dir string) error {
 	if err != nil {
 		return err
 	}
+	defer store.Close()
 	return store.WriteRecord(c.d.Record())
 }
 
@@ -497,6 +508,9 @@ func ReadRecordDir(dir string) (*Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Load reassembles block-mapped diffs into memory, so the store
+	// (and any auto-attached block store) can be released right after.
+	defer store.Close()
 	rec, err := store.Load()
 	if err != nil {
 		return nil, err
@@ -533,6 +547,7 @@ func CompactDir(dir, policy string, workers int) (CompactStats, error) {
 	if err != nil {
 		return CompactStats{}, err
 	}
+	defer store.Close()
 	mgr, err := lifecycle.New(store, pol, lifecycle.Options{Workers: workers})
 	if err != nil {
 		return CompactStats{}, err

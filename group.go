@@ -2,10 +2,12 @@ package gpuckpt
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"sort"
 	"time"
 
+	"github.com/gpuckpt/gpuckpt/internal/blockstore"
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
 	"github.com/gpuckpt/gpuckpt/internal/dedup"
 	"github.com/gpuckpt/gpuckpt/internal/device"
@@ -28,6 +30,12 @@ type Group struct {
 	order   []string
 	ckpts   int
 	closed  bool
+	// blocks is the PersistDir's shared content-addressed block store,
+	// opened once for all members when <PersistDir>/_blocks exists.
+	// One handle serves every member store: the block store's journal
+	// must never be open twice, and sharing is the point — identical
+	// chunks across members are stored once.
+	blocks *blockstore.Store
 }
 
 type groupMember struct {
@@ -68,7 +76,11 @@ func (g *Group) Protect(name string, dataLen int) error {
 	}
 	m := &groupMember{d: d, size: dataLen}
 	if g.cfg.PersistDir != "" {
-		store, err := checkpoint.NewFileStore(filepath.Join(g.cfg.PersistDir, name))
+		if err := g.attachBlocks(); err != nil {
+			d.Close()
+			return err
+		}
+		store, err := checkpoint.NewFileStoreWith(filepath.Join(g.cfg.PersistDir, name), g.blocks)
 		if err != nil {
 			d.Close()
 			return err
@@ -85,6 +97,25 @@ func (g *Group) Protect(name string, dataLen int) error {
 	g.members[name] = m
 	g.order = append(g.order, name)
 	sort.Strings(g.order)
+	return nil
+}
+
+// attachBlocks opens the group-wide block store when the PersistDir
+// carries one, exactly once.
+func (g *Group) attachBlocks() error {
+	if g.blocks != nil {
+		return nil
+	}
+	dir := filepath.Join(g.cfg.PersistDir, blockstore.DirName)
+	fi, err := os.Stat(dir)
+	if err != nil || !fi.IsDir() {
+		return nil // self-contained member lineages
+	}
+	bs, err := blockstore.Open(dir, blockstore.Options{})
+	if err != nil {
+		return err
+	}
+	g.blocks = bs
 	return nil
 }
 
@@ -208,13 +239,18 @@ func (g *Group) RestoreLatest() (map[string][]byte, error) {
 	return g.Restore(g.ckpts - 1)
 }
 
-// Close releases the modeled device memory of every member.
+// Close releases the modeled device memory of every member and the
+// shared block store, if one was attached.
 func (g *Group) Close() {
 	if g.closed {
 		return
 	}
 	for _, m := range g.members {
 		m.d.Close()
+	}
+	if g.blocks != nil {
+		g.blocks.Close()
+		g.blocks = nil
 	}
 	g.closed = true
 }

@@ -3,6 +3,8 @@ package gpuckpt
 import (
 	"bytes"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -154,5 +156,52 @@ func TestGroupPersistDir(t *testing.T) {
 	recB, err := ReadRecordDir(dir + "/b")
 	if err != nil || recB.Len() != 2 {
 		t.Fatalf("member b lineage: %v", err)
+	}
+}
+
+// TestGroupSharedBlockStore checks that a PersistDir carrying a
+// _blocks directory makes member lineages intern their diff payloads
+// into one shared content-addressed store: two members protecting
+// identical buffers store the data once, and both lineages still load
+// and restore byte-exactly through the public API.
+func TestGroupSharedBlockStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, 4096)
+	rng.Read(buf)
+	dir := t.TempDir()
+	if err := os.Mkdir(filepath.Join(dir, "_blocks"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	g := NewGroup(Config{Method: MethodTree, ChunkSize: 64, PersistDir: dir})
+	defer g.Close()
+	for _, name := range []string{"solver", "gdv"} {
+		if err := g.Protect(name, len(buf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both members checkpoint the same bytes: every chunk the second
+	// member interns must hit the block the first already stored.
+	if _, err := g.Checkpoint(map[string][]byte{"solver": buf, "gdv": buf}); err != nil {
+		t.Fatal(err)
+	}
+	st := g.blocks.Stats()
+	if st.Interned == 0 {
+		t.Fatal("no blocks interned into the shared store")
+	}
+	if st.DedupHits == 0 {
+		t.Fatalf("identical member buffers produced no dedup hits: %+v", st)
+	}
+	g.Close()
+
+	for _, name := range []string{"solver", "gdv"} {
+		rec, err := ReadRecordDir(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("member %s lineage: %v", name, err)
+		}
+		got, err := rec.Restore(0)
+		if err != nil || !bytes.Equal(got, buf) {
+			t.Fatalf("member %s restore mismatch: %v", name, err)
+		}
 	}
 }

@@ -1,0 +1,572 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testPayload(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]byte, n)
+	rng.Read(p)
+	return p
+}
+
+func mustOpen(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatalf("New(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestInternGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	chunks := [][]byte{testPayload(1, 4096), testPayload(2, 4096), testPayload(3, 100)}
+	refs, err := s.Intern(chunks)
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if len(refs) != 3 {
+		t.Fatalf("got %d refs, want 3", len(refs))
+	}
+	for i, r := range refs {
+		got, err := s.Get(r)
+		if err != nil {
+			t.Fatalf("Get(%d): %v", i, err)
+		}
+		if !bytes.Equal(got, chunks[i]) {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+		if r.Len != uint32(len(chunks[i])) {
+			t.Fatalf("chunk %d ref len %d, want %d", i, r.Len, len(chunks[i]))
+		}
+	}
+}
+
+func TestInternDeduplicates(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	p := testPayload(7, 4096)
+	refs1, err := s.Intern([][]byte{p})
+	if err != nil {
+		t.Fatalf("Intern 1: %v", err)
+	}
+	refs2, err := s.Intern([][]byte{append([]byte(nil), p...)})
+	if err != nil {
+		t.Fatalf("Intern 2: %v", err)
+	}
+	if refs1[0] != refs2[0] {
+		t.Fatalf("same payload got different refs: %v vs %v", refs1[0], refs2[0])
+	}
+	st := s.Stats()
+	if st.Blocks != 1 {
+		t.Fatalf("store holds %d blocks, want 1", st.Blocks)
+	}
+	if st.DedupHits != 1 || st.SavedBytes != 4096 {
+		t.Fatalf("dedup hits %d saved %d, want 1/4096", st.DedupHits, st.SavedBytes)
+	}
+	if rc := s.Refcount(refs1[0].ID); rc != 2 {
+		t.Fatalf("refcount %d, want 2", rc)
+	}
+	// Only one payload file exists on disk.
+	var files int
+	filepath.Walk(filepath.Join(s.Dir(), dataDirName), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files++
+		}
+		return nil
+	})
+	if files != 1 {
+		t.Fatalf("%d payload files on disk, want 1", files)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	for _, n := range []int{0, 1, 4095, 4096, 4097, 3 * 4096} {
+		p := testPayload(int64(n), n)
+		chunks := s.Split(p)
+		var total int
+		for i, c := range chunks {
+			if i < len(chunks)-1 && len(c) != s.ChunkSize() {
+				t.Fatalf("n=%d: chunk %d has %d bytes", n, i, len(c))
+			}
+			total += len(c)
+		}
+		if total != n {
+			t.Fatalf("n=%d: chunks total %d", n, total)
+		}
+		if n == 0 && chunks != nil {
+			t.Fatalf("Split of empty payload returned %d chunks", len(chunks))
+		}
+	}
+}
+
+func TestReleaseAndGC(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	keep := testPayload(1, 4096)
+	drop := testPayload(2, 4096)
+	refs, err := s.Intern([][]byte{keep, drop})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Release(refs[1:]); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	st, err := s.GC()
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if st.Live != 1 || st.Reclaimed != 1 || st.ReclaimedBytes != 4096 {
+		t.Fatalf("GC stats %+v", st)
+	}
+	if _, err := s.Get(refs[1]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get of reclaimed block: %v, want ErrNotFound", err)
+	}
+	got, err := s.Get(refs[0])
+	if err != nil || !bytes.Equal(got, keep) {
+		t.Fatalf("kept block after GC: %v", err)
+	}
+	if _, err := os.Stat(s.BlockPath(refs[1].ID)); !os.IsNotExist(err) {
+		t.Fatalf("reclaimed payload file still present: %v", err)
+	}
+}
+
+func TestReleaseUnderflowClamps(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	refs, err := s.Intern([][]byte{testPayload(1, 64)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Release(refs); err != nil {
+		t.Fatalf("first Release: %v", err)
+	}
+	if err := s.Release(refs); err == nil {
+		t.Fatal("second Release reported no underflow")
+	}
+	if rc := s.Refcount(refs[0].ID); rc != 0 {
+		t.Fatalf("refcount %d after underflow, want 0", rc)
+	}
+}
+
+func TestReopenReplaysJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p1, p2 := testPayload(1, 4096), testPayload(2, 4096)
+	refs, err := s.Intern([][]byte{p1, p2, p1})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Release(refs[1:2]); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir)
+	if rc := s2.Refcount(refs[0].ID); rc != 2 {
+		t.Fatalf("p1 refcount %d after reopen, want 2", rc)
+	}
+	if rc := s2.Refcount(refs[1].ID); rc != 0 {
+		t.Fatalf("p2 refcount %d after reopen, want 0", rc)
+	}
+	got, err := s2.Get(refs[0])
+	if err != nil || !bytes.Equal(got, p1) {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+}
+
+func TestReopenAfterGCLoadsSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p := testPayload(1, 4096)
+	refs, err := s.Intern([][]byte{p, testPayload(2, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Release(refs[1:]); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	// More journal traffic on the post-GC generation.
+	refs2, err := s.Intern([][]byte{testPayload(3, 100)})
+	if err != nil {
+		t.Fatalf("Intern post-GC: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, dir)
+	for _, r := range []Ref{refs[0], refs2[0]} {
+		if _, err := s2.Get(r); err != nil {
+			t.Fatalf("Get(%s) after GC+reopen: %v", r.ID, err)
+		}
+	}
+	if s2.Contains(refs[1].ID) {
+		t.Fatal("reclaimed block resurrected by reopen")
+	}
+}
+
+// TestCrashBeforeGCCommit aborts GC before the snapshot rename: the
+// old state must survive a reopen untouched.
+func TestCrashBeforeGCCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	refs, err := s.Intern([][]byte{testPayload(1, 4096), testPayload(2, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Release(refs[1:]); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	boom := errors.New("simulated crash")
+	s.SetHooks(&Hooks{BeforeGCCommit: func() error { return boom }})
+	if _, err := s.GC(); !errors.Is(err, boom) {
+		t.Fatalf("GC: %v, want injected crash", err)
+	}
+	s.Close() // the "crash"
+
+	s2 := mustOpen(t, dir)
+	if rc := s2.Refcount(refs[0].ID); rc != 1 {
+		t.Fatalf("live refcount %d, want 1", rc)
+	}
+	if rc := s2.Refcount(refs[1].ID); rc != 0 {
+		t.Fatalf("released refcount %d, want 0", rc)
+	}
+	if _, err := s2.Get(refs[0]); err != nil {
+		t.Fatalf("Get after aborted GC: %v", err)
+	}
+	// The zero-ref block is reclaimed by the orphan logic only after a
+	// COMMITTED GC removes it from the index; an aborted one keeps it.
+	if !s2.Contains(refs[1].ID) {
+		t.Fatal("aborted GC lost the zero-ref entry")
+	}
+}
+
+// TestCrashAfterGCCommit aborts GC after the snapshot rename but
+// before journal reset and file deletion: reopen must finish the
+// transaction (stale journal discarded, dead payload swept).
+func TestCrashAfterGCCommit(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	refs, err := s.Intern([][]byte{testPayload(1, 4096), testPayload(2, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Release(refs[1:]); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	boom := errors.New("simulated crash")
+	s.SetHooks(&Hooks{AfterGCCommit: func() error { return boom }})
+	if _, err := s.GC(); !errors.Is(err, boom) {
+		t.Fatalf("GC: %v, want injected crash", err)
+	}
+	s.Close() // the "crash": snapshot committed, journal stale, file undeleted
+
+	s2 := mustOpen(t, dir)
+	if rc := s2.Refcount(refs[0].ID); rc != 1 {
+		t.Fatalf("live refcount %d, want 1", rc)
+	}
+	if s2.Contains(refs[1].ID) {
+		t.Fatal("committed GC left the dead entry live after recovery")
+	}
+	if _, err := os.Stat(s2.BlockPath(refs[1].ID)); !os.IsNotExist(err) {
+		t.Fatalf("dead payload file not swept on recovery: %v", err)
+	}
+	if _, err := s2.Get(refs[0]); err != nil {
+		t.Fatalf("Get after recovered GC: %v", err)
+	}
+}
+
+func TestOrphanSweptOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	refs, err := s.Intern([][]byte{testPayload(1, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	// Plant an orphan: a payload file with no index/journal entry, the
+	// residue of a torn intern.
+	orphan := testPayload(99, 512)
+	oid := IDOf(orphan)
+	opath := s.BlockPath(oid)
+	if err := os.MkdirAll(filepath.Dir(opath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opath, orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir)
+	if _, err := os.Stat(opath); !os.IsNotExist(err) {
+		t.Fatalf("orphan not swept: %v", err)
+	}
+	if _, err := s2.Get(refs[0]); err != nil {
+		t.Fatalf("referenced block lost by sweep: %v", err)
+	}
+}
+
+func TestGetDetectsBitRot(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	refs, err := s.Intern([][]byte{testPayload(1, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	path := s.BlockPath(refs[0].ID)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[100] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(refs[0]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of rotten block: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestGetDetectsTruncatedBlock(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	refs, err := s.Intern([][]byte{testPayload(1, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	path := s.BlockPath(refs[0].ID)
+	if err := os.Truncate(path, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(refs[0]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of truncated block: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptIndexFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := s.Intern([][]byte{testPayload(1, 64)}); err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if _, err := s.GC(); err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, indexFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with rotten index: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTornJournalTailRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	refs, err := s.Intern([][]byte{testPayload(1, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: half a record of garbage at the end.
+	path := filepath.Join(dir, journalFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, journalRecSize/2)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := mustOpen(t, dir)
+	if rc := s2.Refcount(refs[0].ID); rc != 1 {
+		t.Fatalf("refcount %d after torn-tail recovery, want 1", rc)
+	}
+}
+
+func TestRottenJournalMidFileFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	if _, err := s.Intern([][]byte{testPayload(1, 64), testPayload(2, 64), testPayload(3, 64)}); err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, journalFileName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the FIRST record, leaving intact records after
+	// it — rot, not a torn tail.
+	raw[journalHdrSize+2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with rotten journal: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestClosedStoreRejectsOps(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	refs, err := s.Intern([][]byte{testPayload(1, 64)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Intern([][]byte{testPayload(2, 64)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Intern after Close: %v", err)
+	}
+	if _, err := s.Get(refs[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close: %v", err)
+	}
+	if err := s.Release(refs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Release after Close: %v", err)
+	}
+	if _, err := s.GC(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("GC after Close: %v", err)
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	s := mustOpen(t, t.TempDir())
+	shared := testPayload(42, 4096)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				chunks := [][]byte{shared, testPayload(int64(g*1000+i), 512)}
+				refs, err := s.Intern(chunks)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if _, err := s.Get(refs[0]); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if rc := s.Refcount(IDOf(shared)); rc != 8*20 {
+		t.Fatalf("shared refcount %d, want %d", rc, 8*20)
+	}
+	st := s.Stats()
+	if st.DedupHits != 8*20-1 {
+		t.Fatalf("dedup hits %d, want %d", st.DedupHits, 8*20-1)
+	}
+}
+
+func TestIndexEncodeDecodeRoundTrip(t *testing.T) {
+	entries := map[ID]entry{}
+	var ids []ID
+	for i := 0; i < 50; i++ {
+		id := IDOf([]byte(fmt.Sprintf("block-%d", i)))
+		entries[id] = entry{len: uint32(i * 7), crc: uint32(i * 13), refs: uint32(i % 5)}
+		ids = append(ids, id)
+	}
+	sortIDs(ids)
+	b, err := encodeIndex(99, ids, entries)
+	if err != nil {
+		t.Fatalf("encodeIndex: %v", err)
+	}
+	gen, got, err := DecodeIndex(b)
+	if err != nil {
+		t.Fatalf("DecodeIndex: %v", err)
+	}
+	if gen != 99 || len(got) != len(entries) {
+		t.Fatalf("gen %d entries %d", gen, len(got))
+	}
+	for id, e := range entries {
+		if got[id] != e {
+			t.Fatalf("entry %s: %+v vs %+v", id, got[id], e)
+		}
+	}
+}
+
+// TestIndexDecodeTruncationEveryBoundary truncates a valid snapshot at
+// every byte offset: no truncation may decode successfully, and every
+// failure must be typed.
+func TestIndexDecodeTruncationEveryBoundary(t *testing.T) {
+	entries := map[ID]entry{}
+	var ids []ID
+	for i := 0; i < 5; i++ {
+		id := IDOf([]byte(fmt.Sprintf("t-%d", i)))
+		entries[id] = entry{len: 100, crc: uint32(i), refs: 1}
+		ids = append(ids, id)
+	}
+	b, err := encodeIndex(7, ids, entries)
+	if err != nil {
+		t.Fatalf("encodeIndex: %v", err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, err := DecodeIndex(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(b))
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: untyped error %v", cut, err)
+		}
+	}
+}
+
+// TestIndexDecodeBitFlips flips each byte of a small snapshot; decode
+// must fail (CRC) and never panic.
+func TestIndexDecodeBitFlips(t *testing.T) {
+	id := IDOf([]byte("flip"))
+	b, err := encodeIndex(1, []ID{id}, map[ID]entry{id: {len: 8, crc: 9, refs: 1}})
+	if err != nil {
+		t.Fatalf("encodeIndex: %v", err)
+	}
+	for i := range b {
+		mut := append([]byte(nil), b...)
+		mut[i] ^= 0xff
+		if _, _, err := DecodeIndex(mut); err == nil {
+			t.Fatalf("bit flip at %d decoded successfully", i)
+		}
+	}
+}
+
+func TestIDStability(t *testing.T) {
+	// The block address of a payload is a format constant: if this
+	// value ever changes, every existing store becomes unreadable.
+	got := IDOf([]byte("gpuckpt block address stability probe")).String()
+	const want = "08286ea6f9d895660b677649839512db"
+	if got != want {
+		t.Fatalf("IDOf drifted: %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,116 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/gpuckpt/gpuckpt/internal/blockstore"
+)
+
+// Block-mapped diff container ("GCKD"): the on-disk form of a diff
+// whose data section lives in the shared content-addressed block
+// store instead of being embedded in the file. The container keeps the
+// canonical diff prefix (header, region metadata, bitmap) verbatim and
+// replaces the data section with a list of block references, so a
+// reader reassembles the EXACT canonical encoding — wire format,
+// Record, checksums and clients are all unchanged; only the lineage
+// directory's bytes are.
+//
+//	u32  magic "GCKD"
+//	u8   version (1)
+//	u32  prefix length
+//	u32  block count
+//	u64  data length (sum of the block lengths)
+//	prefix bytes (canonical diff encoding up to the data section)
+//	refs: {id [16]byte, len u32} x count
+//
+// The container is wrapped in the same CRC32C integrity footer as a
+// self-contained diff file, so SplitFooter and the scrub/quarantine
+// machinery treat both identically; the block payloads themselves are
+// verified by the block store on every read (footer CRC plus a full
+// digest recomputation).
+const (
+	blockDiffMagic   = 0x44_4b_43_47 // "GCKD" little-endian
+	blockDiffVersion = 1
+	blockDiffHdrSize = 4 + 1 + 4 + 4 + 8
+	blockRefSize     = blockstore.IDSize + 4
+
+	// maxBlockRefs bounds a declared reference count before any
+	// allocation; a diff's data section is capped at maxDataLen (4 TiB)
+	// and blocks are at least one byte.
+	maxBlockRefs = 1 << 32
+)
+
+// IsBlockMapped reports whether encoded (a diff file image with the
+// integrity footer already stripped) is a block-mapped container
+// rather than a self-contained diff encoding.
+func IsBlockMapped(encoded []byte) bool {
+	return len(encoded) >= 4 && binary.LittleEndian.Uint32(encoded) == blockDiffMagic
+}
+
+// encodeBlockDiff serializes a container from the canonical prefix and
+// the interned data-section blocks.
+func encodeBlockDiff(prefix []byte, refs []blockstore.Ref, dataLen uint64) ([]byte, error) {
+	if uint64(len(prefix)) > math.MaxUint32 || uint64(len(refs)) > math.MaxUint32 {
+		return nil, errors.New("checkpoint: block container metadata exceeds format limits")
+	}
+	buf := make([]byte, 0, blockDiffHdrSize+len(prefix)+blockRefSize*len(refs))
+	buf = binary.LittleEndian.AppendUint32(buf, blockDiffMagic)
+	buf = append(buf, blockDiffVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(prefix)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(refs)))
+	buf = binary.LittleEndian.AppendUint64(buf, dataLen)
+	buf = append(buf, prefix...)
+	for _, r := range refs {
+		buf = append(buf, r.ID[:]...)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Len)
+	}
+	return buf, nil
+}
+
+// decodeBlockDiff parses a container image. Validation is defensive in
+// the repository's usual style: counts are checked against the actual
+// byte length before any allocation, and the declared data length must
+// equal the sum of the reference lengths, so a corrupted container
+// fails here rather than reassembling a wrong-sized diff.
+func decodeBlockDiff(b []byte) (prefix []byte, refs []blockstore.Ref, dataLen uint64, err error) {
+	if len(b) < blockDiffHdrSize {
+		return nil, nil, 0, fmt.Errorf("checkpoint: block container truncated at %d bytes", len(b))
+	}
+	if binary.LittleEndian.Uint32(b) != blockDiffMagic {
+		return nil, nil, 0, errors.New("checkpoint: bad block container magic")
+	}
+	if b[4] != blockDiffVersion {
+		return nil, nil, 0, fmt.Errorf("checkpoint: unsupported block container version %d", b[4])
+	}
+	prefixLen := binary.LittleEndian.Uint32(b[5:])
+	count := binary.LittleEndian.Uint32(b[9:])
+	dataLen = binary.LittleEndian.Uint64(b[13:])
+	rest := b[blockDiffHdrSize:]
+	if uint64(prefixLen) > uint64(len(rest)) {
+		return nil, nil, 0, fmt.Errorf("checkpoint: block container declares %d prefix bytes, carries %d",
+			prefixLen, len(rest))
+	}
+	prefix = rest[:prefixLen]
+	rest = rest[prefixLen:]
+	if uint64(count) >= maxBlockRefs || uint64(count)*blockRefSize != uint64(len(rest)) {
+		return nil, nil, 0, fmt.Errorf("checkpoint: block container declares %d refs, carries %d ref bytes",
+			count, len(rest))
+	}
+	refs = make([]blockstore.Ref, count)
+	var sum uint64
+	for i := range refs {
+		rec := rest[i*blockRefSize:]
+		copy(refs[i].ID[:], rec[:blockstore.IDSize])
+		rl := binary.LittleEndian.Uint32(rec[blockstore.IDSize:])
+		refs[i].Len = rl
+		sum += uint64(rl)
+	}
+	if sum != dataLen {
+		return nil, nil, 0, fmt.Errorf("checkpoint: block container refs sum to %d bytes, header says %d",
+			sum, dataLen)
+	}
+	return prefix, refs, dataLen, nil
+}

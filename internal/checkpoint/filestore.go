@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/gpuckpt/gpuckpt/internal/blockstore"
 )
 
 // FileStore persists a checkpoint lineage as a directory of diff
@@ -61,6 +63,19 @@ type FileStore struct {
 	// hooks intercepts I/O for fault injection; nil in production.
 	// Guarded by mu like the rest of the mutable state.
 	hooks *IOHooks
+
+	// blocks, when non-nil, is the shared content-addressed block store
+	// the data sections of new diffs are interned into: Append writes a
+	// block-mapped container (see blockfile.go) instead of embedding
+	// payload bytes, so identical chunks across every lineage sharing
+	// the store exist on disk exactly once. nil means self-contained
+	// (legacy) files, which remain readable either way. Set once before
+	// the store is shared, immutable afterwards.
+	blocks *blockstore.Store
+	// ownBlocks records whether Close should close blocks: true when
+	// NewFileStore auto-attached a sibling store, false when the caller
+	// passed a shared one to NewFileStoreWith.
+	ownBlocks bool
 }
 
 const (
@@ -88,11 +103,44 @@ func (fs *FileStore) SetIOHooks(h *IOHooks) {
 // into place) are swept on open, a manifest is loaded if present, and
 // an interrupted compaction prune is completed (files below the
 // committed baseline are deleted).
+//
+// If a sibling block store directory exists (<parent>/_blocks, the
+// layout a ckptd root uses), it is opened and attached automatically,
+// so single-lineage tools can read block-mapped diffs out of a server
+// root without extra wiring; Close then closes the attached store. A
+// plain directory with no sibling stays fully self-contained.
 func NewFileStore(dir string) (*FileStore, error) {
+	var bs *blockstore.Store
+	sibling := filepath.Join(filepath.Dir(dir), blockstore.DirName)
+	if st, err := os.Stat(sibling); err == nil && st.IsDir() {
+		b, err := blockstore.Open(sibling, blockstore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		bs = b
+	}
+	fs, err := newFileStore(dir, bs, bs != nil)
+	if err != nil && bs != nil {
+		bs.Close()
+	}
+	return fs, err
+}
+
+// NewFileStoreWith creates (or reopens) a lineage directory whose new
+// diffs intern their data sections into the shared block store bs —
+// the multi-lineage configuration of the ckptd server, where one store
+// de-duplicates across every lineage and tenant. The caller retains
+// ownership of bs; closing the FileStore does not close it. bs may be
+// nil, which is exactly NewFileStore minus the sibling auto-attach.
+func NewFileStoreWith(dir string, bs *blockstore.Store) (*FileStore, error) {
+	return newFileStore(dir, bs, false)
+}
+
+func newFileStore(dir string, bs *blockstore.Store, own bool) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: creating store %s: %w", dir, err)
 	}
-	fs := &FileStore{dir: dir}
+	fs := &FileStore{dir: dir, blocks: bs, ownBlocks: own}
 	man, err := ReadManifestFile(fs.manifestPath())
 	switch {
 	case err == nil:
@@ -112,6 +160,28 @@ func NewFileStore(dir string) (*FileStore, error) {
 		return nil, err
 	}
 	return fs, nil
+}
+
+// Close releases the auto-attached block store, if any. A FileStore
+// opened with NewFileStoreWith leaves the shared store to its owner.
+// Idempotent; the store's file-level operations need no teardown.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.ownBlocks && fs.blocks != nil {
+		fs.ownBlocks = false
+		return fs.blocks.Close()
+	}
+	return nil
+}
+
+// BlockStats returns the counters of the attached block store, or a
+// zero snapshot when the lineage is self-contained.
+func (fs *FileStore) BlockStats() blockstore.Stats {
+	if fs.blocks == nil {
+		return blockstore.Stats{}
+	}
+	return fs.blocks.Stats()
 }
 
 // sweepTemp removes stale ckpt-*.tmp files left by a crash between
@@ -244,18 +314,66 @@ func (fs *FileStore) Append(d *Diff) error {
 	return nil
 }
 
-// writeDiffLocked encodes d (plus its integrity footer) into the file
-// of checkpoint ck and returns the on-disk byte count. The commit is
-// crash-durable, not just atomic: the temp file is fsynced before the
-// rename and the parent directory after it, so once this returns the
-// diff survives power loss — a rename alone only orders the file
+// writeDiffLocked persists d (plus its integrity footer) as the file
+// of checkpoint ck and returns the on-disk byte count. With a block
+// store attached the file is a block-mapped container whose data
+// section was interned first; otherwise it is the self-contained
+// canonical encoding.
+func (fs *FileStore) writeDiffLocked(ck int, d *Diff) (int64, error) {
+	if fs.blocks == nil {
+		return fs.writeFileLocked(ck, d.Encode)
+	}
+	return fs.writeBlockDiffLocked(ck, d)
+}
+
+// writeBlockDiffLocked interns d's data section into the shared block
+// store, then writes the container file. The ordering is the crash
+// contract of the store: block payloads and their journal records are
+// durable BEFORE the container that references them is renamed into
+// place, so a crash at any instant leaves either a fully referenced
+// diff or unreferenced debris (leaked refcounts at worst) — never a
+// committed diff pointing at missing blocks. On a non-crash write
+// failure the just-taken references are released again.
+func (fs *FileStore) writeBlockDiffLocked(ck int, d *Diff) (int64, error) {
+	var prefix bytes.Buffer
+	if err := d.encodePrefix(&prefix); err != nil {
+		return 0, err
+	}
+	refs, err := fs.blocks.Intern(fs.blocks.Split(d.Data))
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: interning diff %d data: %w", ck, err)
+	}
+	container, err := encodeBlockDiff(prefix.Bytes(), refs, uint64(len(d.Data)))
+	if err != nil {
+		fs.blocks.Release(refs)
+		return 0, err
+	}
+	sz, err := fs.writeFileLocked(ck, func(w io.Writer) error {
+		if _, werr := w.Write(container); werr != nil {
+			return werr
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, ErrSimulatedCrash) {
+		// The container never made it to disk; drop its references. A
+		// simulated crash keeps them, exactly as a dying process would.
+		fs.blocks.Release(refs)
+	}
+	return sz, err
+}
+
+// writeFileLocked streams encode (plus the integrity footer) into the
+// file of checkpoint ck and returns the on-disk byte count. The commit
+// is crash-durable, not just atomic: the temp file is fsynced before
+// the rename and the parent directory after it, so once this returns
+// the file survives power loss — a rename alone only orders the file
 // against other renames, not against the disk.
 //
 // A hook error wrapping ErrSimulatedCrash is propagated without
 // cleanup: the temp file (and, after the rename, the published file)
 // stays exactly as a dying process would leave it, so crash tests can
 // reopen the directory and exercise recovery on authentic debris.
-func (fs *FileStore) writeDiffLocked(ck int, d *Diff) (int64, error) {
+func (fs *FileStore) writeFileLocked(ck int, encode func(io.Writer) error) (int64, error) {
 	tmp, err := os.CreateTemp(fs.dir, tmpPrefix+"*"+tmpSuffix)
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: temp file: %w", err)
@@ -273,7 +391,7 @@ func (fs *FileStore) writeDiffLocked(ck int, d *Diff) (int64, error) {
 		w = fs.hooks.WrapDiffWrite(ck, w)
 	}
 	cw := &crcWriter{w: w}
-	if err := d.Encode(cw); err != nil {
+	if err := encode(cw); err != nil {
 		return fail(err)
 	}
 	footer := footerFor(cw.crc)
@@ -336,12 +454,19 @@ func (fs *FileStore) ReplaceDiff(ck int, d *Diff) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: stat diff %d: %w", ck, err)
 	}
+	// Capture the old file's block references before the rename
+	// destroys it; release them only after the replacement is durable.
+	// This is also the transparent-intern path: replacing a legacy
+	// self-contained file (no refs to release) writes a block-mapped
+	// one, migrating the lineage into the shared store as compaction
+	// naturally rewrites it.
+	oldRefs := fs.blockRefsAt(ck)
 	sz, err := fs.writeDiffLocked(ck, d)
 	if err != nil {
 		return err
 	}
 	fs.size += sz - old.Size()
-	return nil
+	return fs.releaseRefs(oldRefs)
 }
 
 // CommitManifest atomically publishes m as the lineage manifest — the
@@ -403,8 +528,17 @@ func (fs *FileStore) pruneBelowBaseLocked() (int, int64, error) {
 		if err != nil {
 			return removed, freed, fmt.Errorf("checkpoint: stat %s: %w", e.Name(), err)
 		}
+		// Retention becomes a refcount decrement, not a payload delete:
+		// capture the file's references, remove the file, then release.
+		// The shared blocks survive as long as ANY lineage still points
+		// at them; the next blockstore GC reclaims the rest. A crash
+		// between remove and release leaks counts, never corrupts them.
+		refs := fs.blockRefsAt(ck)
 		if err := os.Remove(filepath.Join(fs.dir, e.Name())); err != nil && !os.IsNotExist(err) {
 			return removed, freed, fmt.Errorf("checkpoint: pruning %s: %w", e.Name(), err)
+		}
+		if err := fs.releaseRefs(refs); err != nil {
+			return removed, freed, err
 		}
 		removed++
 		freed += info.Size()
@@ -428,9 +562,19 @@ func (fs *FileStore) DiffBytes(ck int) ([]byte, error) {
 	return encoded, err
 }
 
+// errNoBlockStore reports a block-mapped diff file in a store opened
+// without a block store — a configuration problem (the `_blocks`
+// sibling was moved or the wrong constructor was used), not data
+// corruption, so it is deliberately NOT a *CorruptError: a scrub must
+// abort rather than quarantine every file it cannot resolve.
+var errNoBlockStore = errors.New("checkpoint: block-mapped diff but no block store attached")
+
 // readVerified reads checkpoint ck's file, applies the read-time fault
-// hook, and verifies+strips the integrity footer. verified is false
-// for legacy footer-less files.
+// hook, and verifies+strips the integrity footer. A block-mapped
+// container is reassembled into the canonical diff encoding, each
+// payload block verified by the block store (CRC plus digest); callers
+// never see container bytes. verified is false only for legacy
+// footer-less files.
 func (fs *FileStore) readVerified(ck int, hooks *IOHooks) (encoded []byte, verified bool, err error) {
 	path := fs.diffPath(ck)
 	raw, err := os.ReadFile(path)
@@ -444,7 +588,77 @@ func (fs *FileStore) readVerified(ck int, hooks *IOHooks) (encoded []byte, verif
 	if err != nil {
 		return nil, false, &CorruptError{Path: path, Ckpt: ck, Err: err}
 	}
+	if IsBlockMapped(encoded) {
+		encoded, err = fs.reassemble(encoded)
+		if err != nil {
+			if errors.Is(err, errNoBlockStore) {
+				return nil, false, err
+			}
+			return nil, false, &CorruptError{Path: path, Ckpt: ck, Err: err}
+		}
+		verified = true
+	}
 	return encoded, verified, nil
+}
+
+// reassemble expands a block-mapped container into the canonical diff
+// encoding: prefix verbatim, then every referenced block fetched from
+// the shared store. Both rot in the container (caught by its footer
+// before this runs) and rot in a block (caught by the store's
+// per-block verification here) surface as typed corruption.
+func (fs *FileStore) reassemble(container []byte) ([]byte, error) {
+	prefix, refs, dataLen, err := decodeBlockDiff(container)
+	if err != nil {
+		return nil, err
+	}
+	if fs.blocks == nil {
+		return nil, errNoBlockStore
+	}
+	out := make([]byte, 0, uint64(len(prefix))+dataLen)
+	out = append(out, prefix...)
+	for _, r := range refs {
+		p, err := fs.blocks.Get(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// blockRefsAt returns the block references held by checkpoint ck's
+// file, nil for self-contained or unreadable files. It is the
+// release-side bookkeeping read: callers that are about to delete or
+// overwrite the file capture its references first and release them
+// only after the file is durably gone (crash in between leaks a
+// count; it never underflows one).
+func (fs *FileStore) blockRefsAt(ck int) []blockstore.Ref {
+	raw, err := os.ReadFile(fs.diffPath(ck))
+	if err != nil {
+		return nil
+	}
+	encoded, _, err := SplitFooter(raw)
+	if err != nil || !IsBlockMapped(encoded) {
+		return nil
+	}
+	_, refs, _, err := decodeBlockDiff(encoded)
+	if err != nil {
+		return nil
+	}
+	return refs
+}
+
+// releaseRefs drops refs from the attached block store, tolerating
+// underflow (a foreign or already-released reference) as the
+// documented soft failure of best-effort cleanup.
+func (fs *FileStore) releaseRefs(refs []blockstore.Ref) error {
+	if fs.blocks == nil || len(refs) == 0 {
+		return nil
+	}
+	if err := fs.blocks.Release(refs); err != nil && !errors.Is(err, blockstore.ErrUnderflow) {
+		return err
+	}
+	return nil
 }
 
 // decodeVerified decodes the verified bytes of checkpoint ck and
@@ -592,7 +806,11 @@ func (fs *FileStore) ReinstallDiff(d *Diff) error {
 	if ck < int(fs.man.Base) {
 		return fmt.Errorf("checkpoint: reinstall %d below baseline %d", ck, fs.man.Base)
 	}
+	oldRefs := fs.blockRefsAt(ck)
 	if _, err := fs.writeDiffLocked(ck, d); err != nil {
+		return err
+	}
+	if err := fs.releaseRefs(oldRefs); err != nil {
 		return err
 	}
 	return fs.rescanLocked()

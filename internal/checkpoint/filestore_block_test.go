@@ -1,0 +1,369 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/gpuckpt/gpuckpt/internal/blockstore"
+)
+
+// openShared opens the shared block store plus two lineage stores
+// under one root, the layout of a ckptd server.
+func openShared(t *testing.T, root string, lineages ...string) (*blockstore.Store, []*FileStore) {
+	t.Helper()
+	bs, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{ChunkSize: 64})
+	if err != nil {
+		t.Fatalf("blockstore.Open: %v", err)
+	}
+	t.Cleanup(func() { bs.Close() })
+	stores := make([]*FileStore, 0, len(lineages))
+	for _, name := range lineages {
+		fs, err := NewFileStoreWith(filepath.Join(root, name), bs)
+		if err != nil {
+			t.Fatalf("NewFileStoreWith(%s): %v", name, err)
+		}
+		stores = append(stores, fs)
+	}
+	return bs, stores
+}
+
+func randomDiff(ck int, seed int64, n int) *Diff {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	rng.Read(data)
+	return &Diff{Method: MethodFull, CkptID: uint32(ck), DataLen: uint64(n), ChunkSize: 16, Data: data}
+}
+
+// TestBlockStoreCrossLineageDedup is the tentpole acceptance: two
+// lineages appending identical states share every payload block, so
+// the shared store holds each chunk exactly once while both lineages
+// restore byte-exact.
+func TestBlockStoreCrossLineageDedup(t *testing.T) {
+	root := t.TempDir()
+	bs, stores := openShared(t, root, "tenant-a", "tenant-b")
+	for ck := 0; ck < 4; ck++ {
+		d := randomDiff(ck, int64(ck), 640) // identical bytes per ckpt in both lineages
+		for _, fs := range stores {
+			if err := fs.Append(d.CloneShallow()); err != nil {
+				t.Fatalf("append ckpt %d: %v", ck, err)
+			}
+		}
+	}
+	st := bs.Stats()
+	// Every chunk of lineage B was already interned by lineage A.
+	if st.DedupHits != st.Interned {
+		t.Fatalf("dedup hits %d, interned %d: second lineage did not fully dedup", st.DedupHits, st.Interned)
+	}
+	if st.SavedBytes != uint64(st.StoredBytes) {
+		t.Fatalf("saved %d bytes, stored %d: shared chunks not stored exactly once", st.SavedBytes, st.StoredBytes)
+	}
+	for i, fs := range stores {
+		rec, err := fs.Load()
+		if err != nil {
+			t.Fatalf("lineage %d load: %v", i, err)
+		}
+		for ck := 0; ck < 4; ck++ {
+			got, err := rec.Restore(ck)
+			if err != nil {
+				t.Fatalf("lineage %d restore %d: %v", i, ck, err)
+			}
+			want := randomDiff(ck, int64(ck), 640).Data
+			if !bytes.Equal(got, want) {
+				t.Fatalf("lineage %d restore %d diverged", i, ck)
+			}
+		}
+	}
+}
+
+// TestBlockStoreDiffBytesCanonical: a block-mapped file must serve the
+// byte-identical canonical encoding a self-contained file would — the
+// server's idempotent-replay CRC and every client depend on it.
+func TestBlockStoreDiffBytesCanonical(t *testing.T) {
+	root := t.TempDir()
+	_, stores := openShared(t, root, "shared")
+	plain, err := NewFileStore(filepath.Join(t.TempDir(), "plain"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	d := randomDiff(0, 42, 333)
+	if err := stores[0].Append(d.CloneShallow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Append(d.CloneShallow()); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := stores[0].DiffBytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := plain.DiffBytes(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("block-mapped DiffBytes diverged from canonical: %d vs %d bytes", len(b1), len(b2))
+	}
+	// The on-disk file, by contrast, is the small container.
+	info, err := os.Stat(stores[0].diffPath(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= int64(len(b2)) {
+		t.Fatalf("container file %d bytes, not smaller than canonical %d", info.Size(), len(b2))
+	}
+}
+
+// TestBlockStoreReleaseOnPrune: retention pruning releases block
+// references; blocks shared with a surviving lineage survive GC,
+// blocks referenced by no one are reclaimed.
+func TestBlockStoreReleaseOnPrune(t *testing.T) {
+	root := t.TempDir()
+	bs, stores := openShared(t, root, "a", "b")
+	shared := randomDiff(0, 1, 640)
+	for _, fs := range stores {
+		if err := fs.Append(shared.CloneShallow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lineage a grows private history, then compacts it away.
+	for ck := 1; ck <= 3; ck++ {
+		if err := stores[0].Append(randomDiff(ck, 100+int64(ck), 640)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Move a's baseline to 3: files 0..2 pruned, their refs released.
+	base := randomDiff(3, 999, 640)
+	if err := stores[0].ReplaceDiff(3, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := stores[0].CommitManifest(Manifest{Base: 3, Generation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := stores[0].PruneBelowBase(); err != nil {
+		t.Fatal(err)
+	}
+	gc, err := bs.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Reclaimed == 0 {
+		t.Fatal("GC reclaimed nothing after pruning a's private history")
+	}
+	// b still restores its copy of the shared state byte-exact.
+	rec, err := stores[1].Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, shared.Data) {
+		t.Fatal("lineage b's shared state corrupted by a's prune+GC")
+	}
+	// a restores its new baseline.
+	reca, err := stores[0].Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gota, err := reca.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gota, base.Data) {
+		t.Fatal("lineage a's baseline corrupted by prune+GC")
+	}
+}
+
+// TestBlockStoreLegacyCompat: a pre-blockstore (self-contained)
+// lineage opens under a shared store, loads byte-exact, and is
+// transparently interned when compaction rewrites a file.
+func TestBlockStoreLegacyCompat(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "legacy")
+
+	// Write a legacy lineage: no sibling _blocks, self-contained files.
+	plain, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := 0; ck < 3; ck++ {
+		if err := plain.Append(randomDiff(ck, int64(ck), 640)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain.Close()
+
+	// Reopen the same directory attached to a shared store.
+	bs, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{ChunkSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bs.Close()
+	fs, err := NewFileStoreWith(dir, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := fs.Load()
+	if err != nil {
+		t.Fatalf("legacy lineage under shared store: %v", err)
+	}
+	for ck := 0; ck < 3; ck++ {
+		got, err := rec.Restore(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, randomDiff(ck, int64(ck), 640).Data) {
+			t.Fatalf("legacy restore %d diverged", ck)
+		}
+	}
+	if bs.Stats().Interned != 0 {
+		t.Fatal("merely loading a legacy lineage interned blocks")
+	}
+
+	// Rewriting a file (the compaction path) interns it transparently.
+	if err := fs.ReplaceDiff(1, randomDiff(1, 1, 640)); err != nil {
+		t.Fatal(err)
+	}
+	if bs.Stats().Interned == 0 {
+		t.Fatal("ReplaceDiff did not intern the rewritten diff")
+	}
+	encoded, err := os.ReadFile(fs.diffPath(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _, err := SplitFooter(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsBlockMapped(body) {
+		t.Fatal("rewritten file is not block-mapped")
+	}
+	rec2, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rec2.Restore(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, randomDiff(1, 1, 640).Data) {
+		t.Fatal("transparently interned diff restores differently")
+	}
+}
+
+// TestBlockStoreAutoAttach: NewFileStore on a lineage inside a server
+// root (sibling _blocks present) attaches the store automatically, so
+// restoretool and ReadRecordDir resolve block-mapped files; Close
+// closes the attached store.
+func TestBlockStoreAutoAttach(t *testing.T) {
+	root := t.TempDir()
+	bs, stores := openShared(t, root, "lineage")
+	d := randomDiff(0, 5, 640)
+	if err := stores[0].Append(d.CloneShallow()); err != nil {
+		t.Fatal(err)
+	}
+	bs.Close() // single-owner rule: release before the tool opens it
+
+	fs, err := NewFileStore(filepath.Join(root, "lineage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := fs.Load()
+	if err != nil {
+		t.Fatalf("auto-attach load: %v", err)
+	}
+	got, err := rec.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, d.Data) {
+		t.Fatal("auto-attach restore diverged")
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockStoreMissingStoreIsConfigError: a block-mapped lineage
+// moved away from its _blocks sibling fails with a plain error, not
+// corruption — scrub must not quarantine files it cannot resolve.
+func TestBlockStoreMissingStoreIsConfigError(t *testing.T) {
+	root := t.TempDir()
+	bs, stores := openShared(t, root, "lineage")
+	if err := stores[0].Append(randomDiff(0, 6, 640)); err != nil {
+		t.Fatal(err)
+	}
+	bs.Close()
+
+	// Copy the lineage dir elsewhere, stranding it from _blocks.
+	stray := filepath.Join(t.TempDir(), "stray")
+	if err := os.MkdirAll(stray, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "lineage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(root, "lineage", e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(stray, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := NewFileStore(stray)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	_, err = fs.Load()
+	if err == nil {
+		t.Fatal("stranded block-mapped lineage loaded successfully")
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("config error typed as corruption: %v", err)
+	}
+	if !errors.Is(err, errNoBlockStore) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestBlockStoreRotSurfacesAsCorrupt: rot in a referenced block makes
+// every referencing lineage fail typed, never restore garbage.
+func TestBlockStoreRotSurfacesAsCorrupt(t *testing.T) {
+	root := t.TempDir()
+	bs, stores := openShared(t, root, "a", "b")
+	d := randomDiff(0, 7, 640)
+	for _, fs := range stores {
+		if err := fs.Append(d.CloneShallow()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rot one shared block on disk.
+	refs := stores[0].blockRefsAt(0)
+	if len(refs) == 0 {
+		t.Fatal("no block refs recorded")
+	}
+	path := bs.BlockPath(refs[0].ID)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[10] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, fs := range stores {
+		if _, err := fs.Load(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("lineage %d load with rotten shared block: %v, want ErrCorrupt", i, err)
+		}
+	}
+}

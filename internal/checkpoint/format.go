@@ -140,12 +140,33 @@ var encodeBufPool sync.Pool
 // expressed in the format's 32-bit counts.
 var errMetadataTooLarge = errors.New("checkpoint: region metadata exceeds format limits")
 
-// Encode writes the canonical little-endian serialization of d. The
-// header and region metadata are staged in one pooled buffer and
-// written together; the byte stream is unchanged.
+// Encode writes the canonical little-endian serialization of d: the
+// prefix (header, region metadata, bitmap) followed by the data
+// section.
 //
 //ckptlint:noalloc
 func (d *Diff) Encode(w io.Writer) error {
+	if err := d.encodePrefix(w); err != nil {
+		return err
+	}
+	if _, err := w.Write(d.Data); err != nil {
+		return fmt.Errorf("checkpoint: write data: %w", err)
+	}
+	return nil
+}
+
+// PrefixBytes returns the encoded length of everything before the data
+// section — the split point of the block-mapped container, which
+// stores the prefix verbatim and replaces the data section with block
+// references.
+func (d *Diff) PrefixBytes() int64 { return headerSize + d.MetadataBytes() }
+
+// encodePrefix writes the serialization of d up to (excluding) the
+// data section. The header and region metadata are staged in one
+// pooled buffer and written together; the byte stream is unchanged.
+//
+//ckptlint:noalloc
+func (d *Diff) encodePrefix(w io.Writer) error {
 	if uint64(len(d.FirstOcur)) > math.MaxUint32 ||
 		uint64(len(d.ShiftDupl)) > math.MaxUint32 ||
 		uint64(len(d.Bitmap)) > math.MaxUint32 {
@@ -190,9 +211,6 @@ func (d *Diff) Encode(w io.Writer) error {
 		if _, err := w.Write(d.Bitmap); err != nil {
 			return fmt.Errorf("checkpoint: write bitmap: %w", err)
 		}
-	}
-	if _, err := w.Write(d.Data); err != nil {
-		return fmt.Errorf("checkpoint: write data: %w", err)
 	}
 	return nil
 }

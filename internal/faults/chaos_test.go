@@ -23,6 +23,7 @@ import (
 	"time"
 
 	gpuckpt "github.com/gpuckpt/gpuckpt"
+	"github.com/gpuckpt/gpuckpt/internal/blockstore"
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
 	"github.com/gpuckpt/gpuckpt/internal/dedup"
 	"github.com/gpuckpt/gpuckpt/internal/device"
@@ -783,5 +784,200 @@ func TestChaosSameSeedReproducible(t *testing.T) {
 	// stable: busy is transient, checksum mismatch is terminal.
 	if !wire.Transient(wire.ErrBusy) || wire.Transient(wire.ErrChecksum) {
 		t.Fatal("wire.Transient classification drifted")
+	}
+}
+
+// --- block store seam ---------------------------------------------------
+
+// blockChaosLineages builds a root with a shared content-addressed
+// block store and two lineages holding identical diff chains (every
+// block shared), then folds lineage a's prefix to baseline so the
+// store carries dead blocks for GC to reclaim. It returns the root,
+// the open store and the source images.
+func blockChaosLineages(t *testing.T, seed int64) (string, *blockstore.Store, [][]byte) {
+	t.Helper()
+	images := seededImages(seed, chaosCkpts)
+	rec, _ := buildLineage(t, checkpoint.MethodTree, images, dedup.Options{})
+
+	root := t.TempDir()
+	bs, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b"} {
+		fs, err := checkpoint.NewFileStoreWith(filepath.Join(root, name), bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rec.Len(); i++ {
+			if err := fs.Append(rec.Diff(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Fold a's prefix: a full baseline at index 3 replaces the chain,
+	// the pruned diffs release their block references, and since b
+	// still holds every block, only blocks unique to the replaced
+	// diff... none — the fold instead ADDS a's baseline blocks. Give
+	// GC genuinely dead blocks by pruning a scratch lineage outright.
+	scratch, err := checkpoint.NewFileStoreWith(filepath.Join(root, "scratch"), bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	junk := seededImages(seed+1, 2)
+	jrec, _ := buildLineage(t, checkpoint.MethodTree, junk, dedup.Options{})
+	for i := 0; i < jrec.Len(); i++ {
+		if err := scratch.Append(jrec.Diff(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fold the scratch prefix into a full baseline at index 1 and
+	// prune below it: diff 0's blocks (a full random image nothing
+	// else references) go dead in the store.
+	full := &checkpoint.Diff{Method: checkpoint.MethodFull, CkptID: 1,
+		DataLen: uint64(len(junk[1])), ChunkSize: chaosChunk, Data: junk[1]}
+	if err := scratch.ReplaceDiff(1, full); err != nil {
+		t.Fatal(err)
+	}
+	if err := scratch.CommitManifest(checkpoint.Manifest{Base: 1, Generation: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := scratch.PruneBelowBase(); err != nil {
+		t.Fatal(err)
+	}
+	return root, bs, images
+}
+
+// verifyBlockLineages restores both shared-store lineages byte-exact
+// through a freshly recovered block store.
+func verifyBlockLineages(t *testing.T, root string, bs *blockstore.Store, images [][]byte) {
+	t.Helper()
+	for _, name := range []string{"a", "b"} {
+		fs, err := checkpoint.NewFileStoreWith(filepath.Join(root, name), bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := fs.Load()
+		if err != nil {
+			t.Fatalf("lineage %s: load after recovery: %v", name, err)
+		}
+		for k := range images {
+			got, err := rec.Restore(k)
+			if err != nil {
+				t.Fatalf("lineage %s: restore %d: %v", name, k, err)
+			}
+			if !bytes.Equal(got, images[k]) {
+				t.Fatalf("lineage %s: restore %d diverges from source image", name, k)
+			}
+		}
+	}
+}
+
+// Scenario: the process dies after GC has chosen its victims but
+// before the index snapshot rename — the commit point. Nothing was
+// published, so recovery must see the pre-GC state: every block of
+// both lineages intact, restores byte-exact, and a clean rerun of GC
+// still reclaims the garbage.
+func TestChaosBlockGCCrashBeforeCommit(t *testing.T) {
+	root, bs, images := blockChaosLineages(t, 901)
+	bs.SetHooks(&blockstore.Hooks{BeforeGCCommit: func() error { return faults.ErrInjected }})
+	if _, err := bs.GC(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("GC with pre-commit crash returned %v, want ErrInjected", err)
+	}
+
+	// The dying process holds its torn state; recovery opens fresh.
+	re, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{})
+	if err != nil {
+		t.Fatalf("reopen after pre-commit crash: %v", err)
+	}
+	verifyBlockLineages(t, root, re, images)
+	gc, err := re.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Reclaimed == 0 {
+		t.Fatal("rerun GC reclaimed nothing; the pruned scratch blocks leaked permanently")
+	}
+	verifyBlockLineages(t, root, re, images)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scenario: the process dies right after the index snapshot rename —
+// GC committed, but the stale journal and the dead block files were
+// never cleaned. Recovery must discard the stale-generation journal,
+// sweep the unreferenced payload files, and leave both lineages
+// byte-exact.
+func TestChaosBlockGCCrashAfterCommit(t *testing.T) {
+	root, bs, images := blockChaosLineages(t, 902)
+	bs.SetHooks(&blockstore.Hooks{AfterGCCommit: func() error { return faults.ErrInjected }})
+	if _, err := bs.GC(); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("GC with post-commit crash returned %v, want ErrInjected", err)
+	}
+
+	re, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{})
+	if err != nil {
+		t.Fatalf("reopen after post-commit crash: %v", err)
+	}
+	verifyBlockLineages(t, root, re, images)
+	// The committed snapshot already dropped the dead blocks; a rerun
+	// finds nothing more to reclaim and the store stays consistent.
+	if _, err := re.GC(); err != nil {
+		t.Fatal(err)
+	}
+	verifyBlockLineages(t, root, re, images)
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Scenario: one bit rots inside a payload block that BOTH lineages
+// reference. Every affected restore must fail typed (ErrCorrupt) in
+// every lineage — never silent corruption, and never a partial answer
+// where one lineage trusts a block another lineage already saw rot.
+func TestChaosBlockSharedRot(t *testing.T) {
+	root, bs, _ := blockChaosLineages(t, 903)
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one bit in one stored payload block.
+	var blk string
+	dataDir := filepath.Join(root, blockstore.DirName, "data")
+	err := filepath.WalkDir(dataDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if blk == "" && !d.IsDir() && filepath.Ext(path) == ".blk" {
+			blk = path
+		}
+		return nil
+	})
+	if err != nil || blk == "" {
+		t.Fatalf("no payload block found under %s (err %v)", dataDir, err)
+	}
+	raw, err := os.ReadFile(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(blk, faults.New(903).FlipBit(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{})
+	if err != nil {
+		t.Fatalf("reopen with rotten payload: %v", err)
+	}
+	defer re.Close()
+	for _, name := range []string{"a", "b"} {
+		fs, err := checkpoint.NewFileStoreWith(filepath.Join(root, name), re)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Load(); !errors.Is(err, checkpoint.ErrCorrupt) {
+			t.Fatalf("lineage %s: load over rotten shared block returned %v, want ErrCorrupt", name, err)
+		}
 	}
 }

@@ -38,6 +38,11 @@ var closerConstructors = map[string][]string{
 	// A lifecycle.Manager owns a worker pool for its restore sweeps;
 	// leaking one leaks goroutine-pool capacity on every compaction.
 	"lifecycle.New": {"Close"},
+	// A blockstore.Store owns an append-mode journal handle; leaking
+	// one keeps the journal open past the store's life and blocks a
+	// clean reopen of the same directory.
+	"blockstore.New":  {"Close"},
+	"blockstore.Open": {"Close"},
 	// Same-package spelling so the check also fires inside the owning
 	// package itself (and inside fixtures).
 	"NewPool": {"Close"},

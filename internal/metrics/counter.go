@@ -1,0 +1,17 @@
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing, concurrency-safe event
+// counter. The zero value is ready to use. It is the shared primitive
+// behind the server STATS counters and the blockstore de-duplication
+// accounting, so every subsystem reports through one idiom.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/gpuckpt/gpuckpt/internal/blockstore"
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
 	"github.com/gpuckpt/gpuckpt/internal/lifecycle"
 	"github.com/gpuckpt/gpuckpt/internal/wire"
@@ -155,6 +156,12 @@ type Server struct {
 	// retention is the parsed default policy for new lineages.
 	retention lifecycle.Policy
 
+	// blocks is the root-wide content-addressed block store
+	// (<Root>/_blocks) every lineage's FileStore interns into: the
+	// subsystem that makes de-duplication cross lineage and tenant
+	// boundaries. Opened by New, closed by Close.
+	blocks *blockstore.Store
+
 	// Atomic counters, served via TStats.
 	requests       atomic.Uint64 //ckptlint:atomic
 	bytesIn        atomic.Uint64 //ckptlint:atomic
@@ -192,19 +199,34 @@ func New(cfg Config) (*Server, error) {
 		byName:    make(map[string]uint32),
 		openConns: make(map[net.Conn]struct{}),
 	}
+	bs, err := blockstore.Open(filepath.Join(cfg.Root, blockstore.DirName), blockstore.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("server: opening block store: %w", err)
+	}
+	s.blocks = bs
 	entries, err := os.ReadDir(cfg.Root)
 	if err != nil {
+		bs.Close()
 		return nil, fmt.Errorf("server: reading root: %w", err)
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		// The block store lives beside the lineages; its reserved name
+		// (leading underscore) keeps it out of the lineage namespace.
+		if !e.IsDir() || strings.HasPrefix(e.Name(), "_") {
 			continue
 		}
 		if _, _, _, err := s.open(e.Name()); err != nil {
+			bs.Close()
 			return nil, fmt.Errorf("server: reopening lineage %s: %w", e.Name(), err)
 		}
 	}
 	return s, nil
+}
+
+// Close releases the shared block store. Call it once the server is no
+// longer serving (Serve has returned).
+func (s *Server) Close() error {
+	return s.blocks.Close()
 }
 
 // validName rejects lineage names that would escape the root or break
@@ -215,6 +237,10 @@ func validName(name string) error {
 	}
 	if strings.ContainsAny(name, "/\\\x00") || name == "." || name == ".." {
 		return fmt.Errorf("server: invalid lineage name %q", name)
+	}
+	if strings.HasPrefix(name, "_") {
+		// Reserved for server-side directories (the _blocks store).
+		return fmt.Errorf("server: lineage name %q is reserved", name)
 	}
 	return nil
 }
@@ -229,7 +255,7 @@ func (s *Server) open(name string) (uint32, int, int, error) {
 	s.mu.Lock()
 	h, ok := s.byName[name]
 	if !ok {
-		store, err := checkpoint.NewFileStore(filepath.Join(s.cfg.Root, name))
+		store, err := checkpoint.NewFileStoreWith(filepath.Join(s.cfg.Root, name), s.blocks)
 		if err != nil {
 			s.mu.Unlock()
 			return 0, 0, 0, err
@@ -280,17 +306,23 @@ func (s *Server) Stats() wire.Stats {
 	s.mu.Lock()
 	nLineages := len(s.lineages)
 	s.mu.Unlock()
+	bst := s.blocks.Stats()
 	return wire.Stats{
-		Requests:       s.requests.Load(),
-		BytesIn:        s.bytesIn.Load(),
-		BytesOut:       s.bytesOut.Load(),
-		ActiveConns:    s.activeConns.Load(),
-		Conns:          s.conns.Load(),
-		Lineages:       uint64(nLineages),
-		Compactions:    s.compactions.Load(),
-		CompactedDiffs: s.compactedDiffs.Load(),
-		ReclaimedBytes: s.reclaimedBytes.Load(),
-		BusyRejects:    s.busyRejects.Load(),
+		Requests:        s.requests.Load(),
+		BytesIn:         s.bytesIn.Load(),
+		BytesOut:        s.bytesOut.Load(),
+		ActiveConns:     s.activeConns.Load(),
+		Conns:           s.conns.Load(),
+		Lineages:        uint64(nLineages),
+		Compactions:     s.compactions.Load(),
+		CompactedDiffs:  s.compactedDiffs.Load(),
+		ReclaimedBytes:  s.reclaimedBytes.Load(),
+		BusyRejects:     s.busyRejects.Load(),
+		BlocksInterned:  bst.Interned,
+		BlockDedupHits:  bst.DedupHits,
+		BlockBytesSaved: bst.SavedBytes,
+		BlockGCBlocks:   bst.GCBlocks,
+		BlockGCBytes:    bst.GCBytes,
 	}
 }
 
@@ -456,6 +488,11 @@ func (s *Server) compactLoop(ctx context.Context) {
 		case <-tick.C:
 			for _, ln := range s.snapshot() {
 				s.compactLineage(ln)
+			}
+			// Compactions released block references; fold the journal
+			// into a fresh snapshot and reclaim unreferenced payloads.
+			if _, err := s.blocks.GC(); err != nil {
+				s.cfg.Logf("server: block store GC: %v", err)
 			}
 		}
 	}

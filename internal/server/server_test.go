@@ -39,6 +39,9 @@ func startServer(t *testing.T, cfg Config) (*Server, string, func()) {
 		if err := <-done; err != nil {
 			t.Errorf("Serve returned %v", err)
 		}
+		if err := srv.Close(); err != nil {
+			t.Errorf("Close returned %v", err)
+		}
 	}
 	return srv, ln.Addr().String(), stop
 }
@@ -115,8 +118,19 @@ func TestServerOpenPushPull(t *testing.T) {
 	if err != nil || len(infos) != 1 || infos[0].Name != "lin-a" || infos[0].Len != 1 {
 		t.Fatalf("list: %+v err %v", infos, err)
 	}
-	if infos[0].Bytes != uint64(len(enc)+checkpoint.FooterSize) {
-		t.Fatalf("list bytes %d, want %d", infos[0].Bytes, len(enc)+checkpoint.FooterSize)
+	// On-disk bytes reflect the block-mapped container, which is
+	// smaller than the canonical encoding it reassembles to: the data
+	// section is replaced by references into the shared block store.
+	fi, err := os.Stat(filepath.Join(root, "lin-a", "ckpt-000000.gckp"))
+	if err != nil {
+		t.Fatalf("stat lineage file: %v", err)
+	}
+	if infos[0].Bytes != uint64(fi.Size()) {
+		t.Fatalf("list bytes %d, want on-disk %d", infos[0].Bytes, fi.Size())
+	}
+	if infos[0].Bytes >= uint64(len(enc)+checkpoint.FooterSize) {
+		t.Fatalf("block-mapped file is %d bytes, not smaller than canonical %d",
+			infos[0].Bytes, len(enc)+checkpoint.FooterSize)
 	}
 }
 
@@ -476,5 +490,81 @@ func TestServerBackgroundCompaction(t *testing.T) {
 		if pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: k}); pull.Status != wire.StatusOK {
 			t.Fatalf("pull %d after compaction: %s", k, pull.Payload)
 		}
+	}
+}
+
+// TestServerCrossLineageDedup pushes the same checkpoint payload into
+// two lineages over the wire and checks the shared block store interned
+// the data section once, that both pulls reassemble the canonical
+// bytes, and that the dedup shows up in STATS.
+func TestServerCrossLineageDedup(t *testing.T) {
+	root := t.TempDir()
+	_, addr, stop := startServer(t, Config{Root: root})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	enc := encodedDiff(t, 0, 0x5A)
+	handles := make([]uint32, 2)
+	for i, name := range []string{"job-a", "job-b"} {
+		open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
+		if open.Status != wire.StatusOK {
+			t.Fatalf("open %s: %+v", name, open)
+		}
+		handles[i] = open.Lineage
+		push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: handles[i], Ckpt: 0,
+			Payload: wire.EncodePush(enc)})
+		if push.Status != wire.StatusOK {
+			t.Fatalf("push %s: %+v (%s)", name, push, push.Payload)
+		}
+	}
+	for i := range handles {
+		pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: handles[i], Ckpt: 0})
+		if pull.Status != wire.StatusOK || !bytes.Equal(pull.Payload, enc) {
+			t.Fatalf("pull lineage %d: status %d, %d bytes", i, pull.Status, len(pull.Payload))
+		}
+	}
+
+	resp := call(t, conn, &wire.Frame{Type: wire.TStats})
+	st, err := wire.DecodeStats(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksInterned == 0 {
+		t.Fatal("stats report zero interned blocks after two pushes")
+	}
+	if st.BlockDedupHits != st.BlocksInterned {
+		t.Fatalf("dedup hits %d, want %d (second lineage should hit every block)",
+			st.BlockDedupHits, st.BlocksInterned)
+	}
+	if st.BlockBytesSaved == 0 {
+		t.Fatal("stats report zero bytes saved")
+	}
+}
+
+// TestServerReservedLineageName checks that underscore-prefixed names —
+// the namespace the _blocks store lives in — are rejected at open, and
+// that an existing _blocks directory is not misread as a lineage when
+// the server restarts over the root.
+func TestServerReservedLineageName(t *testing.T) {
+	root := t.TempDir()
+	srv, addr, stop := startServer(t, Config{Root: root})
+	conn := testConn(t, addr)
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("_blocks")})
+	if open.Status != wire.StatusErr {
+		t.Fatalf("open _blocks: %+v", open)
+	}
+	if n := len(srv.snapshot()); n != 0 {
+		t.Fatalf("reserved open registered %d lineages", n)
+	}
+	conn.Close()
+	stop()
+
+	// Reopen over the same root: the _blocks directory created by the
+	// first server must be skipped by the lineage scan.
+	srv2, _, stop2 := startServer(t, Config{Root: root})
+	defer stop2()
+	if n := len(srv2.snapshot()); n != 0 {
+		t.Fatalf("restart scanned %d lineages, want 0", n)
 	}
 }

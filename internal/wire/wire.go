@@ -574,15 +574,26 @@ type Stats struct {
 	// BusyRejects counts requests and connections shed with StatusBusy
 	// (load shedding, not failures: the work was never started).
 	BusyRejects uint64
+	// BlocksInterned counts unique blocks written to the shared
+	// content-addressed block store; BlockDedupHits counts appends
+	// resolved to an already-present block.
+	BlocksInterned, BlockDedupHits uint64
+	// BlockBytesSaved sums the payload bytes de-duplication avoided
+	// writing — the cross-lineage sharing win.
+	BlockBytesSaved uint64
+	// BlockGCBlocks / BlockGCBytes count blocks and payload bytes
+	// reclaimed by committed block-store GC transactions.
+	BlockGCBlocks, BlockGCBytes uint64
 }
 
-const statsSize = 10 * 8
+const statsSize = 15 * 8
 
 // Encode serializes the stats counters.
 func (s *Stats) Encode() []byte {
 	buf := make([]byte, 0, statsSize)
 	for _, v := range [...]uint64{s.Requests, s.BytesIn, s.BytesOut, s.ActiveConns, s.Conns, s.Lineages,
-		s.Compactions, s.CompactedDiffs, s.ReclaimedBytes, s.BusyRejects} {
+		s.Compactions, s.CompactedDiffs, s.ReclaimedBytes, s.BusyRejects,
+		s.BlocksInterned, s.BlockDedupHits, s.BlockBytesSaved, s.BlockGCBlocks, s.BlockGCBytes} {
 		buf = binary.BigEndian.AppendUint64(buf, v)
 	}
 	return buf
@@ -595,7 +606,8 @@ func DecodeStats(b []byte) (Stats, error) {
 	}
 	var s Stats
 	for i, p := range [...]*uint64{&s.Requests, &s.BytesIn, &s.BytesOut, &s.ActiveConns, &s.Conns, &s.Lineages,
-		&s.Compactions, &s.CompactedDiffs, &s.ReclaimedBytes, &s.BusyRejects} {
+		&s.Compactions, &s.CompactedDiffs, &s.ReclaimedBytes, &s.BusyRejects,
+		&s.BlocksInterned, &s.BlockDedupHits, &s.BlockBytesSaved, &s.BlockGCBlocks, &s.BlockGCBytes} {
 		*p = binary.BigEndian.Uint64(b[8*i:])
 	}
 	return s, nil

@@ -38,6 +38,7 @@ func ScrubDir(dir string) (*RepairReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer fs.Close()
 	sr, err := fs.Scrub()
 	if err != nil {
 		return nil, err
@@ -65,6 +66,7 @@ func (c *Client) Repair(dir, name string) (*RepairReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer fs.Close()
 	sr, err := fs.Scrub()
 	if err != nil {
 		return nil, err
