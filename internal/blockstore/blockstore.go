@@ -58,6 +58,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"github.com/gpuckpt/gpuckpt/internal/metrics"
 	"github.com/gpuckpt/gpuckpt/internal/murmur3"
@@ -88,6 +89,7 @@ const (
 
 	indexFileName   = "blockstore.index"
 	journalFileName = "blockstore.journal"
+	lockFileName    = "blockstore.lock"
 	dataDirName     = "data"
 	tmpSuffix       = ".tmp"
 )
@@ -137,6 +139,13 @@ var (
 	// best-effort cleanup (pruning files that may predate the store)
 	// treat it as a soft failure.
 	ErrUnderflow = errors.New("blockstore: refcount underflow")
+	// ErrReadOnly reports a mutating operation on a store opened with
+	// Options.ReadOnly.
+	ErrReadOnly = errors.New("blockstore: store is read-only")
+	// ErrBusy reports a writable Open of a directory whose lock another
+	// live Store holds (typically a running ckptd server). Retry later,
+	// or open with Options.ReadOnly to inspect alongside the owner.
+	ErrBusy = errors.New("blockstore: store directory is locked by another owner")
 )
 
 // Hooks intercepts the GC transaction at its crash points; tests use
@@ -159,6 +168,16 @@ type Options struct {
 	// each producer: cross-lineage de-duplication requires every
 	// producer to chunk identically.
 	ChunkSize int
+
+	// ReadOnly opens the store without running mutating recovery (no
+	// temp sweep, no journal rewrite, no orphan sweep), without taking
+	// the directory lock, and without an append handle: Intern,
+	// Release, and GC return ErrReadOnly. This is the safe way for
+	// tooling to inspect a store whose writable lock a live ckptd
+	// server holds — the reader sees the state as of its open (the
+	// owner's later interns are invisible) but can never delete a
+	// payload file the owner is about to commit a reference to.
+	ReadOnly bool
 }
 
 // Stats is a snapshot of the store counters.
@@ -182,9 +201,11 @@ type Stats struct {
 
 // Store is a content-addressed block store rooted at one directory.
 // It is safe for concurrent use by multiple goroutines (and is
-// typically shared by every FileStore of a server); two Stores opened
-// on the same directory are NOT coordinated, exactly like two
-// FileStores on one lineage directory.
+// typically shared by every FileStore of a server). Writable opens are
+// serialized by an advisory directory lock — a second writable Open
+// while an owner lives fails with ErrBusy instead of running mutating
+// recovery (orphan sweep, journal rewrite) under the owner's feet.
+// Read-only opens coexist with a live owner; see Options.ReadOnly.
 type Store struct {
 	dir   string
 	chunk int
@@ -203,6 +224,13 @@ type Store struct {
 	// jbuf is the reusable journal-batch staging buffer.
 	jbuf []byte
 
+	// ro marks a store opened with Options.ReadOnly; mutations return
+	// ErrReadOnly. Set once in Open, immutable afterwards.
+	ro bool
+	// lock is the held writable-owner lock file handle (nil in
+	// read-only mode or where the platform offers no flock).
+	lock *os.File
+
 	interned  metrics.Counter
 	dedupHits metrics.Counter
 	savedB    metrics.Counter
@@ -214,38 +242,64 @@ type Store struct {
 // default options; both spellings carry the same Close contract.
 func New(dir string) (*Store, error) { return Open(dir, Options{}) }
 
-// Open creates or reopens a block store. Recovery runs before the
-// store is usable: stale temp files are swept, a stale-generation
-// journal (the tail of a GC that committed its snapshot but crashed
-// before resetting the journal) is discarded, the journal is replayed
-// onto the snapshot, and unreferenced payload files are deleted —
-// completing both interrupted GC deletions and torn interns.
+// Open creates or reopens a block store. A writable open first takes
+// the directory's advisory owner lock (ErrBusy if another live Store
+// holds it), then runs recovery before the store is usable: stale temp
+// files are swept, a stale-generation journal (the tail of a GC that
+// committed its snapshot but crashed before resetting the journal) is
+// discarded, the journal is replayed onto the snapshot and rewritten
+// canonically if the on-disk file carried a torn tail, and
+// unreferenced payload files are deleted — completing both interrupted
+// GC deletions and torn interns.
+//
+// With Options.ReadOnly the directory must already exist, no lock is
+// taken, and recovery is in-memory only: nothing on disk is touched.
 //
 // The returned Store must be Closed when no longer needed.
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.ChunkSize <= 0 {
 		opts.ChunkSize = 4096
 	}
+	s := &Store{dir: dir, chunk: opts.ChunkSize, ro: opts.ReadOnly}
+	if opts.ReadOnly {
+		if fi, err := os.Stat(dir); err != nil {
+			return nil, fmt.Errorf("blockstore: opening %s read-only: %w", dir, err)
+		} else if !fi.IsDir() {
+			return nil, fmt.Errorf("blockstore: %s is not a directory", dir)
+		}
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 	if err := os.MkdirAll(filepath.Join(dir, dataDirName), 0o755); err != nil {
 		return nil, fmt.Errorf("blockstore: creating %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, chunk: opts.ChunkSize}
-	if err := s.sweepTemp(); err != nil {
+	lock, err := acquireDirLock(filepath.Join(dir, lockFileName))
+	if err != nil {
 		return nil, err
 	}
-	if err := s.recover(); err != nil {
+	s.lock = lock
+	fail := func(err error) (*Store, error) {
+		releaseDirLock(lock)
 		return nil, err
+	}
+	if err := s.sweepTemp(); err != nil {
+		return fail(err)
+	}
+	if err := s.recover(); err != nil {
+		return fail(err)
 	}
 	j, err := os.OpenFile(s.journalPath(), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("blockstore: opening journal: %w", err)
+		return fail(fmt.Errorf("blockstore: opening journal: %w", err))
 	}
 	s.journal = j
 	return s, nil
 }
 
-// Close releases the journal handle. Idempotent; a closed store
-// rejects every other operation.
+// Close releases the journal handle and the owner lock. Idempotent; a
+// closed store rejects every other operation.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -253,12 +307,32 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	var jerr error
 	if s.journal != nil {
-		if err := s.journal.Close(); err != nil {
-			return fmt.Errorf("blockstore: closing journal: %w", err)
-		}
+		jerr = s.journal.Close()
+		s.journal = nil
+	}
+	releaseDirLock(s.lock)
+	s.lock = nil
+	if jerr != nil {
+		return fmt.Errorf("blockstore: closing journal: %w", jerr)
 	}
 	return nil
+}
+
+// failLocked transitions the store to closed after an unrecoverable
+// post-commit failure, so no further mutation can reach a journal
+// whose on-disk generation no longer matches the committed index.
+// Caller holds mu.
+func (s *Store) failLocked(err error) error {
+	s.closed = true
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	releaseDirLock(s.lock)
+	s.lock = nil
+	return fmt.Errorf("%w (store disabled; reopen to recover)", err)
 }
 
 // SetHooks installs GC crash hooks. Test-only seam.
@@ -273,6 +347,14 @@ func (s *Store) Dir() string { return s.dir }
 
 // ChunkSize returns the store's intern granularity.
 func (s *Store) ChunkSize() int { return s.chunk }
+
+// ReadOnly reports whether the store was opened with Options.ReadOnly.
+func (s *Store) ReadOnly() bool { return s.ro }
+
+// LockingSupported reports whether this platform enforces the writable
+// owner lock (flock). Where false, writable opens never return ErrBusy
+// and single-owner discipline falls to the operator.
+func LockingSupported() bool { return lockingSupported }
 
 func (s *Store) indexPath() string   { return filepath.Join(s.dir, indexFileName) }
 func (s *Store) journalPath() string { return filepath.Join(s.dir, journalFileName) }
@@ -314,8 +396,11 @@ func (s *Store) sweepTemp() error {
 	return sweep(s.dir)
 }
 
-// recover loads the snapshot, replays (or discards) the journal, and
-// sweeps unreferenced payload files.
+// recover loads the snapshot, replays (or discards) the journal,
+// rewrites the journal canonically when the on-disk bytes are not, and
+// sweeps unreferenced payload files. In read-only mode recovery is
+// in-memory only: torn tails and stale journals are dropped from the
+// replayed state but every file is left exactly as found.
 func (s *Store) recover() error {
 	s.entries = make(map[ID]entry)
 	s.gen = 0
@@ -329,7 +414,11 @@ func (s *Store) recover() error {
 		return fmt.Errorf("blockstore: reading index: %w", err)
 	}
 
-	replay := true
+	// keep holds the journal records that survive recovery; canonical
+	// reports whether the on-disk journal already IS exactly those
+	// records (right generation, no torn tail, no extra bytes).
+	var keep []journalRec
+	canonical := false
 	if b, err := os.ReadFile(s.journalPath()); err == nil {
 		gen, recs, derr := DecodeJournal(b)
 		switch {
@@ -342,13 +431,23 @@ func (s *Store) recover() error {
 			for _, r := range recs {
 				s.applyRec(r)
 			}
-			replay = false
+			keep = recs
+			canonical = len(b) == journalHdrSize+len(recs)*journalRecSize
 		}
 	} else if !os.IsNotExist(err) {
 		return fmt.Errorf("blockstore: reading journal: %w", err)
 	}
-	if replay {
-		if err := s.resetJournal(); err != nil {
+	if s.ro {
+		return nil
+	}
+	if !canonical {
+		// The on-disk journal is stale, missing, or ends in a torn
+		// tail. It MUST be rewritten before the append handle opens:
+		// records appended after torn garbage sit misaligned, and the
+		// next open's decode would classify every one of them as more
+		// torn tail — silently dropping durably committed references
+		// and then sweeping their payload files.
+		if err := s.rewriteJournal(keep); err != nil {
 			return err
 		}
 	}
@@ -377,8 +476,17 @@ func (s *Store) applyRec(r journalRec) {
 
 // resetJournal atomically replaces the journal with an empty one at
 // the current generation.
-func (s *Store) resetJournal() error {
-	hdr := encodeJournalHeader(s.gen)
+func (s *Store) resetJournal() error { return s.rewriteJournal(nil) }
+
+// rewriteJournal atomically replaces the journal with a canonical file
+// at the current generation holding exactly recs. Recovery calls it
+// whenever the on-disk journal is not already canonical, so the append
+// handle never writes live records after garbage bytes.
+func (s *Store) rewriteJournal(recs []journalRec) error {
+	buf := encodeJournalHeader(s.gen)
+	for _, r := range recs {
+		buf = appendJournalRec(buf, r)
+	}
 	tmp, err := os.CreateTemp(s.dir, journalFileName+"-*"+tmpSuffix)
 	if err != nil {
 		return fmt.Errorf("blockstore: journal temp: %w", err)
@@ -389,8 +497,8 @@ func (s *Store) resetJournal() error {
 		os.Remove(tmpName)
 		return err
 	}
-	if _, err := tmp.Write(hdr); err != nil {
-		return fail(fmt.Errorf("blockstore: writing journal header: %w", err))
+	if _, err := tmp.Write(buf); err != nil {
+		return fail(fmt.Errorf("blockstore: writing journal: %w", err))
 	}
 	if err := tmp.Sync(); err != nil {
 		return fail(fmt.Errorf("blockstore: syncing journal: %w", err))
@@ -482,6 +590,9 @@ func (s *Store) Intern(chunks [][]byte) ([]Ref, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	if s.ro {
+		return nil, ErrReadOnly
+	}
 	refs := make([]Ref, 0, len(chunks))
 	s.jbuf = s.jbuf[:0]
 	for _, p := range chunks {
@@ -523,6 +634,9 @@ func (s *Store) Release(refs []Ref) error {
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if s.ro {
+		return ErrReadOnly
 	}
 	s.jbuf = s.jbuf[:0]
 	var clampErr error
@@ -679,6 +793,9 @@ func (s *Store) GC() (GCStats, error) {
 	if s.closed {
 		return GCStats{}, ErrClosed
 	}
+	if s.ro {
+		return GCStats{}, ErrReadOnly
+	}
 	var st GCStats
 	live := make([]ID, 0, len(s.entries))
 	var dead []ID
@@ -716,16 +833,23 @@ func (s *Store) GC() (GCStats, error) {
 
 	// Reset the journal to the new generation; its old contents are
 	// folded into the committed snapshot. Reopen the handle on the new
-	// file.
+	// file. A failure anywhere in here is fatal for this handle: the
+	// snapshot is already committed, so further appends would land in a
+	// journal whose on-disk generation the next open discards wholesale
+	// — silently losing every post-GC intern and release. Fail stop
+	// instead: the store closes, mutations return ErrClosed, and the
+	// next Open recovers cleanly from the committed snapshot.
 	if err := s.resetJournal(); err != nil {
-		return st, err
+		return st, s.failLocked(fmt.Errorf("blockstore: post-GC journal reset: %w", err))
 	}
 	if err := s.journal.Close(); err != nil {
-		return st, fmt.Errorf("blockstore: closing journal: %w", err)
+		s.journal = nil
+		return st, s.failLocked(fmt.Errorf("blockstore: closing journal: %w", err))
 	}
+	s.journal = nil
 	j, err := os.OpenFile(s.journalPath(), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return st, fmt.Errorf("blockstore: reopening journal: %w", err)
+		return st, s.failLocked(fmt.Errorf("blockstore: reopening journal: %w", err))
 	}
 	s.journal = j
 
@@ -795,15 +919,17 @@ func writeFileAtomic(dir, path string, data []byte) error {
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives power
-// loss; filesystems that refuse directory fsync report EINVAL, which
-// is treated as success (same posture as the checkpoint store).
+// loss; filesystems that refuse directory fsync report EINVAL or
+// ENOTSUP, which is treated as success (same posture as the checkpoint
+// store). The raw errno values must be matched — a *PathError wrapping
+// syscall.EINVAL never matches os.ErrInvalid.
 func syncDir(dir string) error {
 	f, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("blockstore: opening %s for sync: %w", dir, err)
 	}
 	defer f.Close()
-	if err := f.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+	if err := f.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, errors.ErrUnsupported) {
 		return fmt.Errorf("blockstore: syncing %s: %w", dir, err)
 	}
 	return nil

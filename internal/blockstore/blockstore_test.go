@@ -405,6 +405,213 @@ func TestTornJournalTailRecovered(t *testing.T) {
 	}
 }
 
+// TestAppendAfterTornTailSurvivesReopen is the regression for the
+// torn-tail append hazard: recovery must REWRITE a journal whose tail
+// tore, not just skip the garbage in memory. The append handle is
+// O_APPEND, so without the rewrite this session's records land after
+// the torn bytes, misaligned; the next open would classify every one
+// of them as more torn tail, drop them, and sweep their payload files
+// — permanently corrupting committed diffs.
+func TestAppendAfterTornTailSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	refs1, err := s.Intern([][]byte{testPayload(1, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	s.Close()
+
+	// Crash mid-append: garbage shorter than one record at the end.
+	path := filepath.Join(dir, journalFileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(bytes.Repeat([]byte{0xff}, journalRecSize-3)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// The recovered session appends new, durably committed references.
+	s2 := mustOpen(t, dir)
+	refs2, err := s2.Intern([][]byte{testPayload(2, 4096)})
+	if err != nil {
+		t.Fatalf("Intern after torn-tail recovery: %v", err)
+	}
+	s2.Close()
+
+	// Both the pre-tear and post-recovery references must survive the
+	// NEXT open intact.
+	s3 := mustOpen(t, dir)
+	for i, r := range []Ref{refs1[0], refs2[0]} {
+		if rc := s3.Refcount(r.ID); rc != 1 {
+			t.Fatalf("ref %d: refcount %d after torn-tail+append+reopen, want 1", i, rc)
+		}
+		if _, err := s3.Get(r); err != nil {
+			t.Fatalf("ref %d: Get after torn-tail+append+reopen: %v", i, err)
+		}
+	}
+	// And the rewritten journal is canonical: header plus whole records.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (info.Size()-journalHdrSize)%journalRecSize != 0 {
+		t.Fatalf("journal not canonical after recovery: %d bytes", info.Size())
+	}
+}
+
+// TestGCJournalResetFailureFailsStop: once the GC snapshot is
+// committed, a journal reset failure must disable the store. Appending
+// to the old journal would write records under a stale generation that
+// the next open discards wholesale — silent loss of every post-GC
+// intern and release.
+func TestGCJournalResetFailureFailsStop(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	refs, err := s.Intern([][]byte{testPayload(1, 4096), testPayload(2, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if err := s.Release(refs[1:]); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	// Sabotage the post-commit reset: replace the journal path with a
+	// directory so the canonical rewrite's rename fails.
+	jpath := filepath.Join(dir, journalFileName)
+	s.SetHooks(&Hooks{AfterGCCommit: func() error {
+		if err := os.Remove(jpath); err != nil {
+			return err
+		}
+		return os.Mkdir(jpath, 0o755)
+	}})
+	if _, err := s.GC(); err == nil {
+		t.Fatal("GC with unresettable journal reported success")
+	}
+	if _, err := s.Intern([][]byte{testPayload(3, 64)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Intern after failed post-commit reset: %v, want ErrClosed", err)
+	}
+	if err := s.Release(refs[:1]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Release after failed post-commit reset: %v, want ErrClosed", err)
+	}
+
+	// Reopen recovers from the committed snapshot once the obstruction
+	// is gone (here: the empty directory squatting on the journal path).
+	if err := os.Remove(jpath); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir)
+	if _, err := s2.Get(refs[0]); err != nil {
+		t.Fatalf("Get after fail-stop and reopen: %v", err)
+	}
+	if s2.Contains(refs[1].ID) {
+		t.Fatal("dead block survived the committed GC snapshot")
+	}
+}
+
+// TestReadOnlyOpenCoexistsWithOwner: a writable owner excludes other
+// writable opens (ErrBusy) but not read-only ones, and a read-only
+// store serves reads while refusing every mutation.
+func TestReadOnlyOpenCoexistsWithOwner(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	p := testPayload(1, 4096)
+	refs, err := s.Intern([][]byte{p})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	if lockingSupported {
+		if _, err := Open(dir, Options{}); !errors.Is(err, ErrBusy) {
+			t.Fatalf("second writable Open under a live owner: %v, want ErrBusy", err)
+		}
+	}
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only Open under a live owner: %v", err)
+	}
+	defer ro.Close()
+	if !ro.ReadOnly() {
+		t.Fatal("ReadOnly() false on a read-only store")
+	}
+	got, err := ro.Get(refs[0])
+	if err != nil || !bytes.Equal(got, p) {
+		t.Fatalf("read-only Get: %v", err)
+	}
+	if _, err := ro.Intern([][]byte{testPayload(2, 64)}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Intern: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Release(refs); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only Release: %v, want ErrReadOnly", err)
+	}
+	if _, err := ro.GC(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only GC: %v, want ErrReadOnly", err)
+	}
+	// Closing the owner frees the lock for the next writable open.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("writable Open after owner closed: %v", err)
+	}
+	w2.Close()
+}
+
+// TestReadOnlyOpenLeavesDebris: read-only recovery must not touch the
+// directory — a tool inspecting a crashed store must not race the
+// owner that will later recover it for real.
+func TestReadOnlyOpenLeavesDebris(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir)
+	refs, err := s.Intern([][]byte{testPayload(1, 4096)})
+	if err != nil {
+		t.Fatalf("Intern: %v", err)
+	}
+	s.Close()
+
+	// Plant crash debris: an orphan payload and a torn journal tail.
+	orphan := testPayload(99, 512)
+	opath := s.BlockPath(IDOf(orphan))
+	if err := os.MkdirAll(filepath.Dir(opath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opath, orphan, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, journalFileName)
+	jf, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jf.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	before, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatalf("read-only Open over crash debris: %v", err)
+	}
+	defer ro.Close()
+	if _, err := ro.Get(refs[0]); err != nil {
+		t.Fatalf("read-only Get over crash debris: %v", err)
+	}
+	if _, err := os.Stat(opath); err != nil {
+		t.Fatalf("read-only open swept the orphan payload: %v", err)
+	}
+	after, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("read-only open rewrote the journal: %d -> %d bytes", before.Size(), after.Size())
+	}
+}
+
 func TestRottenJournalMidFileFailsOpen(t *testing.T) {
 	dir := t.TempDir()
 	s := mustOpen(t, dir)

@@ -109,11 +109,17 @@ func (fs *FileStore) SetIOHooks(h *IOHooks) {
 // so single-lineage tools can read block-mapped diffs out of a server
 // root without extra wiring; Close then closes the attached store. A
 // plain directory with no sibling stays fully self-contained.
+//
+// When the sibling store's writable lock is held — the lineage sits
+// inside a LIVE ckptd root — the attach falls back to read-only:
+// loads still resolve block-mapped diffs, while any write that would
+// intern into the shared store fails with blockstore.ErrReadOnly
+// instead of racing the owner's recovery sweep and GC.
 func NewFileStore(dir string) (*FileStore, error) {
 	var bs *blockstore.Store
 	sibling := filepath.Join(filepath.Dir(dir), blockstore.DirName)
 	if st, err := os.Stat(sibling); err == nil && st.IsDir() {
-		b, err := blockstore.Open(sibling, blockstore.Options{})
+		b, err := attachSiblingStore(sibling)
 		if err != nil {
 			return nil, err
 		}
@@ -124,6 +130,18 @@ func NewFileStore(dir string) (*FileStore, error) {
 		bs.Close()
 	}
 	return fs, err
+}
+
+// attachSiblingStore opens a sibling block store for auto-attach:
+// writable when this process can become the owner, read-only when a
+// live owner already holds the lock. Ownership of the returned store
+// passes to the caller.
+func attachSiblingStore(sibling string) (*blockstore.Store, error) {
+	b, err := blockstore.Open(sibling, blockstore.Options{})
+	if !errors.Is(err, blockstore.ErrBusy) {
+		return b, err
+	}
+	return blockstore.Open(sibling, blockstore.Options{ReadOnly: true})
 }
 
 // NewFileStoreWith creates (or reopens) a lineage directory whose new

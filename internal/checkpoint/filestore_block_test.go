@@ -290,6 +290,49 @@ func TestBlockStoreAutoAttach(t *testing.T) {
 	}
 }
 
+// TestBlockStoreAutoAttachReadOnlyFallback: NewFileStore on a lineage
+// inside a LIVE ckptd root (the writable owner still holds the block
+// store lock) attaches read-only — loads resolve block-mapped diffs,
+// while writes that would intern into the shared store fail typed
+// instead of running a second, uncoordinated recovery (whose orphan
+// sweep could delete a payload the owner is about to reference).
+func TestBlockStoreAutoAttachReadOnlyFallback(t *testing.T) {
+	if !blockstore.LockingSupported() {
+		t.Skip("no owner locking on this platform")
+	}
+	root := t.TempDir()
+	bs, stores := openShared(t, root, "lineage")
+	d := randomDiff(0, 5, 640)
+	if err := stores[0].Append(d.CloneShallow()); err != nil {
+		t.Fatal(err)
+	}
+	// The owner stays open — the live-server case.
+	fs, err := NewFileStore(filepath.Join(root, "lineage"))
+	if err != nil {
+		t.Fatalf("auto-attach with live owner: %v", err)
+	}
+	defer fs.Close()
+	rec, err := fs.Load()
+	if err != nil {
+		t.Fatalf("read-only auto-attach load: %v", err)
+	}
+	got, err := rec.Restore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, d.Data) {
+		t.Fatal("read-only auto-attach restore diverged")
+	}
+	if err := fs.Append(randomDiff(1, 6, 640)); !errors.Is(err, blockstore.ErrReadOnly) {
+		t.Fatalf("Append through read-only attach: %v, want blockstore.ErrReadOnly", err)
+	}
+	// The owner keeps working throughout.
+	if err := stores[0].Append(randomDiff(1, 7, 640)); err != nil {
+		t.Fatalf("owner append with read-only observer attached: %v", err)
+	}
+	_ = bs
+}
+
 // TestBlockStoreMissingStoreIsConfigError: a block-mapped lineage
 // moved away from its _blocks sibling fails with a plain error, not
 // corruption — scrub must not quarantine files it cannot resolve.

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"syscall"
 )
 
 // On-disk integrity: every diff file the FileStore writes ends with an
@@ -154,14 +155,16 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 
 // syncDir fsyncs a directory, making a just-renamed file durable
 // across power loss. Filesystems that refuse directory fsync (some
-// network mounts) report EINVAL, which is treated as success.
+// network mounts) report EINVAL or ENOTSUP, which is treated as
+// success. The raw errno values must be matched — a *PathError
+// wrapping syscall.EINVAL never matches os.ErrInvalid.
 func syncDir(dir string) error {
 	f, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("checkpoint: opening %s for sync: %w", dir, err)
 	}
 	defer f.Close()
-	if err := f.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+	if err := f.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, errors.ErrUnsupported) {
 		return fmt.Errorf("checkpoint: syncing %s: %w", dir, err)
 	}
 	return nil

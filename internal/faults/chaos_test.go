@@ -886,7 +886,12 @@ func TestChaosBlockGCCrashBeforeCommit(t *testing.T) {
 		t.Fatalf("GC with pre-commit crash returned %v, want ErrInjected", err)
 	}
 
-	// The dying process holds its torn state; recovery opens fresh.
+	// The dying process holds its torn state; closing the handle stands
+	// in for process death (it releases the advisory owner lock without
+	// touching the on-disk transaction debris). Recovery opens fresh.
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
 	re, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{})
 	if err != nil {
 		t.Fatalf("reopen after pre-commit crash: %v", err)
@@ -917,6 +922,11 @@ func TestChaosBlockGCCrashAfterCommit(t *testing.T) {
 		t.Fatalf("GC with post-commit crash returned %v, want ErrInjected", err)
 	}
 
+	// Close stands in for process death: the owner lock is released, the
+	// committed-snapshot-plus-stale-journal state stays on disk.
+	if err := bs.Close(); err != nil {
+		t.Fatal(err)
+	}
 	re, err := blockstore.Open(filepath.Join(root, blockstore.DirName), blockstore.Options{})
 	if err != nil {
 		t.Fatalf("reopen after post-commit crash: %v", err)
