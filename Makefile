@@ -12,6 +12,7 @@ GO ?= go
 FUZZ_TARGETS = \
 	FuzzFrameDecode:./internal/wire \
 	FuzzHandshake:./internal/wire \
+	FuzzStreamAck:./internal/wire \
 	FuzzDiffDecode:./internal/checkpoint \
 	FuzzRestore:./internal/checkpoint \
 	FuzzManifestDecode:./internal/checkpoint \
@@ -21,9 +22,9 @@ FUZZ_TARGETS = \
 FUZZTIME ?= 5s
 FUZZTIME_LONG ?= 5m
 
-.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json fuzz fuzz-smoke chaos-smoke
+.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json bench-wire saturate-smoke fuzz fuzz-smoke chaos-smoke
 
-ci: fmt vet lint build race bench-smoke fuzz-smoke chaos-smoke
+ci: fmt vet lint build race bench-smoke saturate-smoke fuzz-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -61,6 +62,19 @@ bench-smoke:
 # the HotPath suite (ns/op, B/op, allocs/op, real GB/s per method).
 bench-json:
 	GPUCKPT_BENCH_JSON=BENCH_hotpath.json $(GO) test -run TestWriteHotPathBenchJSON -v .
+
+# bench-wire regenerates BENCH_wire.json from the loopback saturation
+# experiment: v4 windowed streaming push vs v3 request/response on the
+# same chain. The run itself enforces the >= 3x streamed-speedup gate
+# at this chain length and fails the target when the wire regresses.
+bench-wire:
+	$(GO) run ./cmd/ckptbench -exp saturate -chain 256 -json BENCH_wire.json
+
+# saturate-smoke is the CI slice of bench-wire: the same experiment
+# and speedup gate at the smallest gated chain, without rewriting the
+# checked-in JSON.
+saturate-smoke:
+	$(GO) run ./cmd/ckptbench -exp saturate -chain 64
 
 # fuzz-smoke gives each decode-surface fuzz target a short budget on
 # top of the checked-in seed corpus; enough to catch regressions in the

@@ -2,6 +2,7 @@ package gpuckpt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/connpool"
 	"github.com/gpuckpt/gpuckpt/internal/wire"
 )
 
@@ -19,29 +21,64 @@ import (
 // a machine that never held the original Checkpointer — the networked
 // form of the paper's §2.3 storage hierarchy bottom.
 //
-// A Client owns one TCP connection and is safe for concurrent use; the
-// protocol is strictly request/response, so concurrent calls serialize
-// on the connection. Failures are classified by wire.Transient:
-// transport errors (torn connection, deadline expiry, dial failure)
-// are retried on a fresh connection under the client's RetryPolicy
-// (bounded attempts, exponential backoff with jitter); a StatusBusy
-// response from a load-shedding server is retried on the same
-// connection after honoring its retry-after hint; any other error the
-// server itself reports (RemoteError) is terminal — the server
-// answered, so replaying would duplicate work. Push replays are safe
-// either way: the v3 protocol's content-hash precondition makes a
-// duplicate push of identical bytes idempotent on the server.
+// A Client multiplexes its operations over a bounded pool of
+// connections (internal/connpool) and is safe for concurrent use:
+// concurrent calls proceed in parallel up to MaxConns and serialize
+// beyond it. Each pooled connection carries its own protocol session —
+// the negotiated wire version, an epoch-scoped lineage-handle cache and
+// the reusable staging buffers of the zero-copy push path — so state
+// cached against one socket can never leak across a reconnect.
+//
+// Bulk pushes (PushRecord, PushCheckpointer) switch automatically to
+// the v4 streaming protocol when the server's handshake advertises it:
+// a window of TPushStream frames rides the connection back-to-back and
+// acknowledgements return asynchronously, hiding the per-request
+// round-trip that bounds v3 push throughput. Against a v3 server the
+// same calls degrade to sequential request/response pushes.
+//
+// Failures are classified by wire.Transient: transport errors (torn
+// connection, deadline expiry, dial failure) are retried on a fresh
+// connection under the client's RetryPolicy (bounded attempts,
+// exponential backoff with jitter); a StatusBusy response from a
+// load-shedding server is retried after honoring its retry-after hint;
+// a StatusUnknownHandle response prunes the stale handle cache and
+// retries after re-resolving the name; any other error the server
+// itself reports (RemoteError) is terminal — the server answered, so
+// replaying would duplicate work. Push replays are safe either way:
+// the protocol's content-hash precondition makes a duplicate push of
+// identical bytes idempotent on the server, and a streamed push
+// resumes from the server's authoritative lineage length.
 type Client struct {
 	addr    string
 	timeout time.Duration
 	retry   RetryPolicy
 	dialer  func(addr string, timeout time.Duration) (net.Conn, error)
+	window  streamWindow
 
-	mu      sync.Mutex
-	conn    net.Conn
-	handles map[string]uint32 // lineage name -> server handle (per connection epoch)
-	rng     *rand.Rand        // jitter source; guarded by mu
+	pool *connpool.Pool
+
+	mu  sync.Mutex
+	rng *rand.Rand // jitter source; guarded by mu
 }
+
+// streamWindow bounds how much of a streamed push may be in flight
+// (written but unacknowledged) at once. Both limits apply: the frame
+// bound caps ack-matching state, the byte bound caps the kernel-buffer
+// memory a slow server can pin on the client.
+type streamWindow struct {
+	frames int
+	bytes  int64
+}
+
+// Streaming push window defaults (DialConfig zero values).
+const (
+	DefaultWindowFrames = 32
+	DefaultWindowBytes  = 8 << 20
+)
+
+// DefaultMaxConns is the connection-pool bound a zero
+// DialConfig.MaxConns selects.
+const DefaultMaxConns = 4
 
 // RetryPolicy bounds and paces the client's retries of transiently
 // failed requests. The delay before attempt k (k≥2) is
@@ -125,11 +162,23 @@ type DialConfig struct {
 	// Dialer replaces net.DialTimeout, letting tests interpose a
 	// fault-injecting connection (see internal/faults).
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// MaxConns bounds the connection pool: concurrent operations
+	// beyond it wait for a connection instead of dialing more
+	// (0 selects DefaultMaxConns).
+	MaxConns int
+	// WindowFrames caps how many streamed push frames may be in
+	// flight unacknowledged (0 selects DefaultWindowFrames).
+	WindowFrames int
+	// WindowBytes caps how many streamed push payload bytes may be in
+	// flight unacknowledged (0 selects DefaultWindowBytes).
+	WindowBytes int64
 }
 
 // RemoteError is a failure reported by the server for one request. The
 // connection remains usable and the request is known not to have a
-// transport problem, so it is never retried.
+// transport problem, so it is never retried (StatusBusy and
+// StatusUnknownHandle excepted — those assert the request was NOT
+// executed, making a replay safe).
 type RemoteError = wire.RemoteError
 
 // ErrUnsupported matches (via errors.Is) a RemoteError from a server
@@ -195,6 +244,59 @@ type CompactInfo struct {
 	FreedBytes int64
 }
 
+// session is the per-connection protocol state parked in the pool's
+// opaque Session slot. It lives and dies with its socket: a discarded
+// connection takes its handle cache and buffers with it, so a handle
+// from one server epoch can never be replayed against another.
+//
+// The buffers make the push path allocation-free in steady state:
+// stage holds each frame's [header|checksum|diff prefix] block, vec
+// carries the writev segment list, ack/ackBuf absorb responses, and
+// pending tracks the in-flight stream window. None of them need
+// locking — a session is only ever touched by the goroutine holding
+// its connection checked out.
+type session struct {
+	version uint8             // negotiated wire protocol version
+	handles map[string]uint32 // lineage name -> server handle (this connection epoch)
+
+	stage   []byte      // staged frame header + checksum (+ encoded prefix)
+	enc     sliceWriter // v3 fallback: encodes the whole diff into stage
+	vec     net.Buffers // writev segment list over stage and diff sections
+	ack     wire.Frame  // response frame, payload aliasing ackBuf
+	ackBuf  []byte
+	pending []inflight    // unacknowledged stream frames
+	staged  []stagedFrame // coalesced frames staged but not yet written
+}
+
+// inflight is one streamed push frame awaiting its ack.
+type inflight struct {
+	ckpt uint32
+	size int64 // full frame size, for the window byte budget
+}
+
+// stagedFrame is one coalesced stream frame awaiting the next writev:
+// its header+checksum+prefix block ends at stage[end] (frames pack
+// back-to-back, so it starts at the previous frame's end), and the
+// bitmap/data sections ride by reference. Offsets, not subslices,
+// because staging the next frame may grow — and move — the stage
+// buffer; the segment list is built only at flush time, when the
+// buffer has settled.
+type stagedFrame struct {
+	end    int
+	bitmap []byte
+	data   []byte
+}
+
+// sliceWriter is an io.Writer appending to a reusable slice — the v3
+// push path's staging sink (bytes.Buffer would re-allocate its
+// internals across uses; this keeps one backing array per session).
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
 // Dial connects to a ckptd server. timeout bounds the dial and every
 // per-request network operation (0 selects 30s).
 func Dial(addr string, timeout time.Duration) (*Client, error) {
@@ -202,7 +304,9 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 }
 
 // DialConfigured connects to a ckptd server with an explicit retry
-// policy and (optionally) a custom dialer.
+// policy, pool and window bounds, and (optionally) a custom dialer.
+// The first connection is established eagerly so an unreachable
+// address fails here, not on the first operation.
 func DialConfigured(addr string, cfg DialConfig) (*Client, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
@@ -213,6 +317,15 @@ func DialConfigured(addr string, cfg DialConfig) (*Client, error) {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.WindowFrames <= 0 {
+		cfg.WindowFrames = DefaultWindowFrames
+	}
+	if cfg.WindowBytes <= 0 {
+		cfg.WindowBytes = DefaultWindowBytes
+	}
 	seed := cfg.Retry.Seed
 	if seed == 0 {
 		seed = 1
@@ -222,119 +335,110 @@ func DialConfigured(addr string, cfg DialConfig) (*Client, error) {
 		timeout: cfg.Timeout,
 		retry:   cfg.Retry,
 		dialer:  cfg.Dialer,
+		window:  streamWindow{frames: cfg.WindowFrames, bytes: cfg.WindowBytes},
 		rng:     rand.New(rand.NewSource(seed)),
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.connectLocked(); err != nil {
+	pool, err := connpool.New(connpool.Options{
+		Dial:        c.dialSession,
+		MaxActive:   cfg.MaxConns,
+		WaitTimeout: cfg.Timeout,
+	})
+	if err != nil {
 		return nil, err
 	}
+	c.pool = pool
+	pc, err := c.pool.Get()
+	if err != nil {
+		c.pool.Close()
+		return nil, err
+	}
+	pc.Release()
 	return c, nil
 }
 
-// connectLocked (re)establishes the connection and handshakes.
-// Handles are connection-epoch-scoped defensively: a reconnect may
-// reach a restarted server whose handle assignment differs.
-func (c *Client) connectLocked() error {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-	}
+// dialSession opens one pooled connection: dial, handshake, fresh
+// session. The deadline covers only the handshake — each operation
+// then arms its own read/write deadlines, so a long-lived pooled
+// connection never runs on a stale connect-time deadline.
+func (c *Client) dialSession() (net.Conn, any, error) {
 	conn, err := c.dialer(c.addr, c.timeout)
 	if err != nil {
-		return fmt.Errorf("gpuckpt: dial %s: %w", c.addr, err)
+		return nil, nil, fmt.Errorf("gpuckpt: dial %s: %w", c.addr, err)
 	}
-	// The deadline here covers only the handshake; it is cleared once
-	// the connection is established, and each operation then arms its
-	// own read/write deadlines. A single connect-time deadline would go
-	// stale on a long-lived session: every round trip after
-	// connect+timeout would fail no matter how healthy the peer is.
 	conn.SetDeadline(time.Now().Add(c.timeout))
-	if err := wire.Handshake(conn); err != nil {
+	v, err := wire.Handshake(conn)
+	if err != nil {
 		conn.Close()
-		return fmt.Errorf("gpuckpt: handshake with %s: %w", c.addr, err)
+		return nil, nil, fmt.Errorf("gpuckpt: handshake with %s: %w", c.addr, err)
 	}
 	conn.SetDeadline(time.Time{})
-	c.conn = conn
-	c.handles = make(map[string]uint32)
-	return nil
+	return conn, &session{version: v, handles: make(map[string]uint32)}, nil
 }
 
-// Close releases the connection.
+// Close releases every pooled connection.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	return c.pool.Close()
 }
 
-// roundTrip sends req and returns the server's response, retrying
-// transient failures under the client's RetryPolicy. Classification is
-// wire.Transient: transport failures drop the connection (the next
-// attempt redials); a StatusBusy shed keeps the connection and honors
-// the server's retry-after hint as the backoff floor; every other
-// server-reported error is terminal.
-func (c *Client) roundTrip(req *wire.Frame) (*wire.Frame, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var lastErr error
-	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			var hint time.Duration
-			var re *RemoteError
-			if errors.As(lastErr, &re) && re.Busy {
-				hint = re.RetryAfter
-			}
-			c.retry.Sleep(c.retry.delay(attempt, hint, c.rng))
-		}
-		if c.conn == nil {
-			if err := c.connectLocked(); err != nil {
-				lastErr = err
-				continue
-			}
-		}
-		resp, err := c.exchangeLocked(req)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = err
-		// wire.Transient calls net.ErrClosed terminal (a server must not
-		// spin on its own closed listener), but here it can only mean the
-		// socket died under us: roundTrip holds c.mu, so Client.Close
-		// cannot be mid-request, and redialing is the right response.
-		//ckptlint:ignore retryable deliberate client-side exception to the wire taxonomy, see above
-		if !wire.Transient(err) && !errors.Is(err, net.ErrClosed) {
-			return nil, err
-		}
-		// Busy is a polite shed over a healthy connection: keep it.
-		// Anything else transient means the transport is suspect — drop
-		// the connection (and handle cache) and let the next attempt
-		// redial.
-		var re *RemoteError
-		if !(errors.As(err, &re) && re.Busy) && c.conn != nil {
-			c.conn.Close()
-			c.conn = nil
-		}
+// backoff sleeps before retry attempt (≥2), flooring the jittered
+// exponential delay at a busy server's retry-after hint.
+func (c *Client) backoff(attempt int, lastErr error) {
+	var hint time.Duration
+	var re *RemoteError
+	if errors.As(lastErr, &re) && re.Busy {
+		hint = re.RetryAfter
 	}
-	return nil, fmt.Errorf("gpuckpt: request failed after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+	c.mu.Lock()
+	d := c.retry.delay(attempt, hint, c.rng)
+	c.mu.Unlock()
+	c.retry.Sleep(d)
 }
 
-// exchangeLocked performs one framed request/response with
-// per-operation deadlines: the write deadline arms before the request
-// goes out, the read deadline arms after it, so a slow large pull gets
-// the full timeout for its read phase rather than whatever the write
-// left over.
-func (c *Client) exchangeLocked(req *wire.Frame) (*wire.Frame, error) {
-	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
-	if err := wire.WriteFrame(c.conn, req); err != nil {
+// dropHandle prunes name's cached handle from every idle session, so
+// a handle the server declared unknown is not replayed from a sibling
+// connection that cached it in the same dead epoch.
+func (c *Client) dropHandle(name string) {
+	c.pool.ForEachIdle(func(_ net.Conn, s any) {
+		delete(s.(*session).handles, name)
+	})
+}
+
+// settle disposes of a checked-out connection after a failed attempt
+// and reports whether the failure is worth another attempt. Remote
+// errors keep the connection (the server answered; the transport is
+// fine); only busy sheds and unknown-handle epochs among them are
+// retryable. Everything else — transport errors, protocol violations —
+// taints the connection.
+func (c *Client) settle(pc *connpool.Conn, name string, err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		if re.UnknownHandle && name != "" {
+			delete(pc.Session.(*session).handles, name)
+			c.dropHandle(name)
+		}
+		pc.Release()
+		return re.Busy || re.UnknownHandle
+	}
+	pc.Discard()
+	// wire.Transient calls net.ErrClosed terminal (a server must not
+	// spin on its own closed listener), but here it can only mean the
+	// pooled socket died under us, and redialing is the right response.
+	//ckptlint:ignore retryable deliberate client-side exception to the wire taxonomy, see above
+	return wire.Transient(err) || errors.Is(err, net.ErrClosed)
+}
+
+// exchange performs one framed request/response on a pooled
+// connection with per-operation deadlines: the write deadline arms
+// before the request goes out, the read deadline arms after it, so a
+// slow large pull gets the full timeout for its read phase rather
+// than whatever the write left over.
+func (c *Client) exchange(pc *connpool.Conn, req *wire.Frame) (*wire.Frame, error) {
+	pc.NC.SetWriteDeadline(time.Now().Add(c.timeout))
+	if err := wire.WriteFrame(pc.NC, req); err != nil {
 		return nil, err
 	}
-	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
-	resp, err := wire.ReadFrame(c.conn, 0)
+	pc.NC.SetReadDeadline(time.Now().Add(c.timeout))
+	resp, err := wire.ReadFrame(pc.NC, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -347,12 +451,88 @@ func (c *Client) exchangeLocked(req *wire.Frame) (*wire.Frame, error) {
 	return resp, nil
 }
 
+// resolve returns name's lineage handle on this connection, opening
+// it if the session has not cached it yet.
+func (c *Client) resolve(pc *connpool.Conn, name string) (uint32, error) {
+	sess := pc.Session.(*session)
+	if h, ok := sess.handles[name]; ok {
+		return h, nil
+	}
+	resp, err := c.exchange(pc, &wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
+	if err != nil {
+		return 0, err
+	}
+	sess.handles[name] = resp.Lineage
+	return resp.Lineage, nil
+}
+
+// tryOn runs one attempt of req on a checked-out connection,
+// resolving name's handle on that same connection first (an explicit
+// TOpen refreshes the cache instead).
+func (c *Client) tryOn(pc *connpool.Conn, name string, req *wire.Frame) (*wire.Frame, error) {
+	if name != "" {
+		if req.Type == wire.TOpen {
+			resp, err := c.exchange(pc, req)
+			if err == nil {
+				pc.Session.(*session).handles[name] = resp.Lineage
+			}
+			return resp, err
+		}
+		h, err := c.resolve(pc, name)
+		if err != nil {
+			return nil, err
+		}
+		req.Lineage = h
+	}
+	return c.exchange(pc, req)
+}
+
+// do sends req and returns the server's response, retrying transient
+// failures under the client's RetryPolicy on fresh pool checkouts.
+// When name is non-empty the request addresses that lineage: its
+// handle is resolved per connection, and a StatusUnknownHandle
+// response prunes the stale cache before the retry re-resolves it.
+func (c *Client) do(name string, req *wire.Frame) (*wire.Frame, error) {
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.backoff(attempt, lastErr)
+		}
+		pc, err := c.pool.Get()
+		if err != nil {
+			if errors.Is(err, connpool.ErrClosed) {
+				return nil, err
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := c.tryOn(pc, name, req)
+		if err == nil {
+			pc.Release()
+			return resp, nil
+		}
+		lastErr = err
+		if !c.settle(pc, name, err) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("gpuckpt: request failed after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+}
+
+// roundTrip sends a raw frame without lineage addressing — the
+// retrying core shared by the directory and stats operations (and the
+// protocol tests).
+func (c *Client) roundTrip(req *wire.Frame) (*wire.Frame, error) {
+	return c.do("", req)
+}
+
 // open resolves a lineage name to its server handle, current length,
-// and compaction baseline. The handle is cached per connection epoch;
-// length and base are always fresh. A version-1 server omits the base
-// payload; DecodeOpenInfo maps that to base 0.
+// and compaction baseline. The handle lands in the serving
+// connection's session cache; length and base are always fresh. A
+// version-1 server omits the base payload; DecodeOpenInfo maps that
+// to base 0.
 func (c *Client) open(name string) (handle uint32, length, base int, err error) {
-	resp, err := c.roundTrip(&wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
+	resp, err := c.do(name, &wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -360,24 +540,7 @@ func (c *Client) open(name string) (handle uint32, length, base int, err error) 
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("gpuckpt: open %q: %w", name, err)
 	}
-	c.mu.Lock()
-	if c.handles != nil {
-		c.handles[name] = resp.Lineage
-	}
-	c.mu.Unlock()
 	return resp.Lineage, int(resp.Ckpt), int(b), nil
-}
-
-// handle returns the cached handle for name, opening it if needed.
-func (c *Client) handle(name string) (uint32, error) {
-	c.mu.Lock()
-	h, ok := c.handles[name]
-	c.mu.Unlock()
-	if ok {
-		return h, nil
-	}
-	h, _, _, err := c.open(name)
-	return h, err
 }
 
 // Len returns the number of checkpoints the server holds for lineage
@@ -403,23 +566,101 @@ func (c *Client) Span(name string) (base, length int, err error) {
 // payload travels with a CRC32C precondition, which doubles as the
 // idempotency key: a retried push whose response was lost lands as a
 // no-op OK instead of a duplicate-append error.
+//
+// The frame is staged zero-copy: the session's reused buffer holds
+// only the header and checksum, and encoded rides to the socket by
+// reference (writev), so the push path allocates nothing in steady
+// state.
 func (c *Client) Push(name string, ckptID int, encoded []byte) error {
-	h, err := c.handle(name)
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.backoff(attempt, lastErr)
+		}
+		pc, err := c.pool.Get()
+		if err != nil {
+			if errors.Is(err, connpool.ErrClosed) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err = c.pushOn(pc, name, uint32(ckptID), encoded)
+		if err == nil {
+			pc.Release()
+			return nil
+		}
+		lastErr = err
+		if !c.settle(pc, name, err) {
+			return err
+		}
+	}
+	return fmt.Errorf("gpuckpt: request failed after %d attempts: %w", c.retry.MaxAttempts, lastErr)
+}
+
+// pushOn runs one TPush attempt on a checked-out connection.
+func (c *Client) pushOn(pc *connpool.Conn, name string, ckpt uint32, encoded []byte) error {
+	h, err := c.resolve(pc, name)
 	if err != nil {
 		return err
 	}
-	_, err = c.roundTrip(&wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(ckptID), Payload: wire.EncodePush(encoded)})
+	sess := pc.Session.(*session)
+	if err := sess.stagePush(wire.TPush, h, ckpt, encoded); err != nil {
+		return err
+	}
+	pc.NC.SetWriteDeadline(time.Now().Add(c.timeout))
+	if err := sess.writeStaged(pc.NC); err != nil {
+		return err
+	}
+	pc.NC.SetReadDeadline(time.Now().Add(c.timeout))
+	return sess.readResp(pc.NC, wire.TPush)
+}
+
+// stagePush builds a push frame around encoded without copying it:
+// the reused stage buffer holds [header|checksum] and the vec ships
+// encoded by reference.
+func (s *session) stagePush(typ uint8, h, ckpt uint32, encoded []byte) error {
+	stage, err := wire.AppendFrameHeader(s.stage[:0], typ, 0, h, ckpt, wire.PushChecksumSize+len(encoded))
+	if err != nil {
+		return err
+	}
+	stage = binary.BigEndian.AppendUint32(stage, wire.Checksum(encoded))
+	s.stage = stage
+	s.vec = append(s.vec[:0], stage, encoded)
+	return nil
+}
+
+// writeStaged ships the staged segment list in one scatter/gather
+// write. WriteTo consumes s.vec in place (a stack copy's address
+// would escape and cost an allocation per frame), so the slice header
+// is restored afterwards to keep the backing array for the next
+// frame's re-append.
+func (s *session) writeStaged(w io.Writer) error {
+	saved := s.vec
+	err := wire.WriteFrameVec(w, &s.vec)
+	s.vec = saved[:0]
 	return err
+}
+
+// readResp reads one response into the session's reused frame and
+// checks it, allocation-free on the OK path.
+func (s *session) readResp(r io.Reader, wantType uint8) error {
+	if err := wire.ReadFrameInto(r, 0, &s.ack, &s.ackBuf); err != nil {
+		return err
+	}
+	if err := s.ack.Err(); err != nil {
+		return err
+	}
+	if s.ack.Type != wantType {
+		return fmt.Errorf("gpuckpt: server answered type 0x%02x to request 0x%02x", s.ack.Type, wantType)
+	}
+	return nil
 }
 
 // PullDiff downloads the encoded diff of checkpoint ckptID of the
 // named lineage.
 func (c *Client) PullDiff(name string, ckptID int) ([]byte, error) {
-	h, err := c.handle(name)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.roundTrip(&wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: uint32(ckptID)})
+	resp, err := c.do(name, &wire.Frame{Type: wire.TPull, Ckpt: uint32(ckptID)})
 	if err != nil {
 		return nil, err
 	}
@@ -460,8 +701,10 @@ func (c *Client) Pull(name string) (*Record, error) {
 
 // PushRecord uploads every diff of rec that the server does not
 // already hold for the named lineage, returning the number pushed.
+// Against a v4 server the missing suffix streams as a pipelined
+// window; against a v3 server it degrades to sequential pushes.
 func (c *Client) PushRecord(name string, rec *Record) (int, error) {
-	return c.pushDiffs(name, rec.Len(), rec.WriteDiff)
+	return c.pushDiffs(name, rec.Len(), rec.diffAt, rec.WriteDiff)
 }
 
 // PushCheckpointer uploads every diff of ck's record that the server
@@ -469,26 +712,295 @@ func (c *Client) PushRecord(name string, rec *Record) (int, error) {
 // pushed. Call it after each Checkpoint (incremental push) or once at
 // the end (bulk push) — contiguity makes both equivalent.
 func (c *Client) PushCheckpointer(name string, ck *Checkpointer) (int, error) {
-	return c.pushDiffs(name, ck.NumCheckpoints(), ck.WriteDiff)
+	return c.pushDiffs(name, ck.NumCheckpoints(), ck.diffAt, ck.WriteDiff)
 }
 
-func (c *Client) pushDiffs(name string, total int, writeDiff func(k int, w io.Writer) error) (int, error) {
-	_, have, _, err := c.open(name)
+// pushDiffs syncs diffs [have, total) of a lineage to the server,
+// where have is the server's authoritative length learned from a
+// fresh open on the serving connection. Appends are contiguous, so
+// after ANY failure — torn stream, busy shed, handle epoch change —
+// the retry re-opens for a fresh length and resumes exactly at the
+// gap; diffs that landed before the failure are never re-sent.
+// Returns the number of diffs newly acknowledged by the server.
+func (c *Client) pushDiffs(name string, total int, diffAt func(int) (*checkpoint.Diff, error), writeDiff func(int, io.Writer) error) (int, error) {
+	pushed := 0
+	var lastErr error
+	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.backoff(attempt, lastErr)
+		}
+		pc, err := c.pool.Get()
+		if err != nil {
+			if errors.Is(err, connpool.ErrClosed) {
+				return pushed, err
+			}
+			lastErr = err
+			continue
+		}
+		resp, err := c.tryOn(pc, name, &wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
+		if err != nil {
+			lastErr = err
+			if !c.settle(pc, name, err) {
+				return pushed, err
+			}
+			continue
+		}
+		h, have := resp.Lineage, int(resp.Ckpt)
+		if have >= total {
+			pc.Release()
+			return pushed, nil
+		}
+		sess := pc.Session.(*session)
+		if sess.version >= 4 {
+			err = c.streamPush(pc, sess, h, have, total, diffAt, &pushed)
+		} else {
+			err = c.pushSeq(pc, sess, h, have, total, writeDiff, &pushed)
+		}
+		if err == nil {
+			pc.Release()
+			return pushed, nil
+		}
+		lastErr = err
+		if !c.settle(pc, name, err) {
+			return pushed, err
+		}
+	}
+	return pushed, fmt.Errorf("gpuckpt: push to %q failed after %d attempts: %w", name, c.retry.MaxAttempts, lastErr)
+}
+
+// streamCoalesceFrames is how many staged frames ride one writev.
+// Small diffs make frame headers and syscalls the dominant per-frame
+// cost; packing a run of frames into a single scatter/gather write
+// amortizes both without copying any payload byte. The window still
+// governs how much is in flight — coalescing only changes how many
+// syscalls carry it.
+const streamCoalesceFrames = 16
+
+// streamPush ships diffs [have, total) as pipelined TPushStream
+// frames over one connection, keeping up to the configured window in
+// flight and matching acknowledgements by checkpoint id in whatever
+// order they return. A per-frame error ack stops new sends, drains
+// the window (frames behind the failure fail the server's contiguity
+// check and ack as errors too) and surfaces the lowest failed frame
+// as a StreamFrameError; a transport error tears the attempt and
+// leaves resumption to pushDiffs. The send path allocates nothing per
+// frame: headers, checksums and diff prefixes pack back-to-back into
+// the session's reused stage buffer, bitmap and data sections ride to
+// the socket by reference, and up to streamCoalesceFrames frames
+// leave in one writev. Anything staged is flushed before the stream
+// ever waits for an ack, so coalescing cannot deadlock the window.
+func (c *Client) streamPush(pc *connpool.Conn, sess *session, h uint32, have, total int, diffAt func(int) (*checkpoint.Diff, error), pushed *int) error {
+	nc := pc.NC
+	sess.pending = sess.pending[:0]
+	sess.stage = sess.stage[:0]
+	sess.staged = sess.staged[:0]
+	var inFlight int64
+	var frameErr error
+	k := have
+	for {
+		if len(sess.pending) > 0 && (frameErr != nil || k >= total ||
+			len(sess.pending) >= c.window.frames || inFlight >= c.window.bytes) {
+			nc.SetWriteDeadline(time.Now().Add(c.timeout))
+			if err := sess.flushStaged(nc); err != nil {
+				return err // transport: the stream is torn
+			}
+			nc.SetReadDeadline(time.Now().Add(c.timeout))
+			size, err := sess.consumeAck(nc, pushed, &frameErr)
+			if err != nil {
+				return err
+			}
+			inFlight -= size
+			continue
+		}
+		if k >= total || frameErr != nil {
+			break
+		}
+		d, err := diffAt(k)
+		if err == nil {
+			var size int64
+			if size, err = sess.stageStreamFrame(h, uint32(k), d); err == nil {
+				sess.pending = append(sess.pending, inflight{ckpt: uint32(k), size: size})
+				inFlight += size
+				k++
+				if len(sess.staged) >= streamCoalesceFrames {
+					nc.SetWriteDeadline(time.Now().Add(c.timeout))
+					if err = sess.flushStaged(nc); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+		}
+		// Local failure producing frame k: ship what is staged so the
+		// server acks it, drain the window so the connection is left
+		// clean, then report it.
+		nc.SetWriteDeadline(time.Now().Add(c.timeout))
+		if ferr := sess.flushStaged(nc); ferr != nil {
+			return ferr
+		}
+		for len(sess.pending) > 0 {
+			nc.SetReadDeadline(time.Now().Add(c.timeout))
+			if _, derr := sess.consumeAck(nc, pushed, &frameErr); derr != nil {
+				return derr
+			}
+		}
+		return err
+	}
+	return frameErr
+}
+
+// stageStreamFrame builds one TPushStream frame for d and coalesces
+// it behind any frames already staged: [frame header | CRC32C | diff
+// header+metadata] appends to the shared stage buffer, the bitmap and
+// data sections are recorded by reference, and nothing touches the
+// socket until flushStaged. The checksum over the scattered segments
+// is computed incrementally — the encoded diff bytes are never
+// gathered on the client. On error the stage buffer is rolled back to
+// the previous frame boundary, so a half-built frame can never leak
+// into the next flush.
+func (s *session) stageStreamFrame(h, ckpt uint32, d *checkpoint.Diff) (int64, error) {
+	mark := len(s.stage)
+	payloadLen := int64(wire.PushChecksumSize) + d.TotalBytes()
+	stage, err := wire.AppendFrameHeader(s.stage, wire.TPushStream, 0, h, ckpt, int(payloadLen))
 	if err != nil {
 		return 0, err
 	}
-	pushed := 0
-	for k := have; k < total; k++ {
-		var buf bytes.Buffer
-		if err := writeDiff(k, &buf); err != nil {
-			return pushed, err
-		}
-		if err := c.Push(name, k, buf.Bytes()); err != nil {
-			return pushed, err
-		}
-		pushed++
+	crcOff := len(stage)
+	stage = append(stage, 0, 0, 0, 0)
+	metaOff := len(stage)
+	stage, err = d.AppendPrefix(stage)
+	if err != nil {
+		s.stage = stage[:mark]
+		return 0, err
 	}
-	return pushed, nil
+	sum := wire.ChecksumAdd(0, stage[metaOff:])
+	sum = wire.ChecksumAdd(sum, d.Bitmap)
+	sum = wire.ChecksumAdd(sum, d.Data)
+	binary.BigEndian.PutUint32(stage[crcOff:], sum)
+	s.stage = stage
+	s.staged = append(s.staged, stagedFrame{end: len(stage), bitmap: d.Bitmap, data: d.Data})
+	return wire.HeaderSize + payloadLen, nil
+}
+
+// flushStaged ships every coalesced frame in one scatter/gather write
+// and resets the staging state. The segment list is assembled here —
+// not at stage time — because only now is the stage buffer done
+// moving; each frame contributes its header block plus its referenced
+// bitmap/data sections, in order. A no-op when nothing is staged.
+func (s *session) flushStaged(w io.Writer) error {
+	if len(s.staged) == 0 {
+		return nil
+	}
+	vec := s.vec[:0]
+	start := 0
+	for i := range s.staged {
+		f := &s.staged[i]
+		vec = append(vec, s.stage[start:f.end])
+		if len(f.bitmap) > 0 {
+			vec = append(vec, f.bitmap)
+		}
+		if len(f.data) > 0 {
+			vec = append(vec, f.data)
+		}
+		start = f.end
+	}
+	saved := vec
+	s.vec = vec
+	err := wire.WriteFrameVec(w, &s.vec)
+	s.vec = saved[:0]
+	s.stage = s.stage[:0]
+	s.staged = s.staged[:0]
+	return err
+}
+
+// consumeAck reads one stream acknowledgement and settles it against
+// the pending window. An OK ack counts toward pushed; an error ack
+// records the lowest-numbered failed frame in *frameErr (the root
+// cause — later frames fail as contiguity collateral) and keeps
+// draining. The returned size is the acknowledged frame's wire size,
+// credited back to the window byte budget. Only a transport or
+// protocol failure returns a non-nil error.
+func (s *session) consumeAck(r io.Reader, pushed *int, frameErr *error) (int64, error) {
+	if err := wire.ReadFrameInto(r, 0, &s.ack, &s.ackBuf); err != nil {
+		return 0, err
+	}
+	if s.ack.Type != wire.TPushStream {
+		return 0, fmt.Errorf("gpuckpt: server answered type 0x%02x inside a push stream", s.ack.Type)
+	}
+	a, err := wire.DecodeStreamAck(s.ack.Payload)
+	if err != nil {
+		return 0, fmt.Errorf("gpuckpt: push stream ack: %w", err)
+	}
+	idx := -1
+	for i := range s.pending {
+		if s.pending[i].ckpt == a.Ckpt {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("gpuckpt: unsolicited stream ack for checkpoint %d", a.Ckpt)
+	}
+	size := s.pending[idx].size
+	s.pending[idx] = s.pending[len(s.pending)-1]
+	s.pending = s.pending[:len(s.pending)-1]
+	if ackErr := a.Err(s.ack.Status); ackErr != nil {
+		var cur *wire.StreamFrameError
+		if *frameErr == nil || (errors.As(*frameErr, &cur) && a.Ckpt < cur.Ckpt) {
+			*frameErr = &wire.StreamFrameError{Ckpt: a.Ckpt, Err: ackErr}
+		}
+		return size, nil
+	}
+	*pushed++
+	return size, nil
+}
+
+// pushGap reserves room for [frame header | CRC32C] ahead of an
+// encoded diff staged in place.
+var pushGap [wire.HeaderSize + wire.PushChecksumSize]byte
+
+// pushSeq is the v3 fallback: sequential request/response pushes on
+// one connection. Each diff encodes into the session's reused staging
+// buffer directly behind its frame header — the one copy the
+// request/response protocol requires, but no per-diff allocation.
+func (c *Client) pushSeq(pc *connpool.Conn, sess *session, h uint32, have, total int, writeDiff func(int, io.Writer) error, pushed *int) error {
+	for k := have; k < total; k++ {
+		if err := sess.stageEncoded(wire.TPush, h, uint32(k), k, writeDiff); err != nil {
+			return err
+		}
+		pc.NC.SetWriteDeadline(time.Now().Add(c.timeout))
+		if err := sess.writeStaged(pc.NC); err != nil {
+			return err
+		}
+		pc.NC.SetReadDeadline(time.Now().Add(c.timeout))
+		if err := sess.readResp(pc.NC, wire.TPush); err != nil {
+			return err
+		}
+		*pushed++
+	}
+	return nil
+}
+
+// stageEncoded stages a complete push frame, encoding the diff
+// through writeDiff directly into the reused stage buffer behind a
+// reserved header gap, then patching the header and checksum once the
+// encoded length is known.
+func (s *session) stageEncoded(typ uint8, h, ckpt uint32, k int, writeDiff func(int, io.Writer) error) error {
+	s.enc.b = append(s.stage[:0], pushGap[:]...)
+	if err := writeDiff(k, &s.enc); err != nil {
+		s.stage = s.enc.b
+		return err
+	}
+	stage := s.enc.b
+	enc := stage[len(pushGap):]
+	if _, err := wire.AppendFrameHeader(stage[:0], typ, 0, h, ckpt, wire.PushChecksumSize+len(enc)); err != nil {
+		s.stage = stage
+		return err
+	}
+	binary.BigEndian.PutUint32(stage[wire.HeaderSize:], wire.Checksum(enc))
+	s.stage = stage
+	s.vec = append(s.vec[:0], stage)
+	return nil
 }
 
 // List returns the lineages hosted by the server.
@@ -541,11 +1053,7 @@ func (c *Client) Stats() (ServerStats, error) {
 // checkpoint index, or wire.CompactAuto to let the server's retention
 // policy choose.
 func (c *Client) compact(name string, target uint32) (CompactInfo, error) {
-	h, err := c.handle(name)
-	if err != nil {
-		return CompactInfo{}, err
-	}
-	resp, err := c.roundTrip(&wire.Frame{Type: wire.TCompact, Lineage: h, Ckpt: target})
+	resp, err := c.do(name, &wire.Frame{Type: wire.TCompact, Ckpt: target})
 	if err != nil {
 		return CompactInfo{}, err
 	}
@@ -587,43 +1095,45 @@ func (c *Client) CompactTo(name string, k int) (CompactInfo, error) {
 // "keep-last=N", "keep-every=K"). It changes which baseline future
 // compactions choose; it does not itself compact.
 func (c *Client) SetRetention(name, policy string) error {
-	h, err := c.handle(name)
-	if err != nil {
-		return err
-	}
-	_, err = c.roundTrip(&wire.Frame{Type: wire.TPolicy, Lineage: h, Payload: []byte(policy)})
+	_, err := c.do(name, &wire.Frame{Type: wire.TPolicy, Payload: []byte(policy)})
 	return err
 }
 
 // Retention reports the named lineage's current retention policy.
 func (c *Client) Retention(name string) (string, error) {
-	h, err := c.handle(name)
-	if err != nil {
-		return "", err
-	}
-	resp, err := c.roundTrip(&wire.Frame{Type: wire.TPolicy, Lineage: h})
+	resp, err := c.do(name, &wire.Frame{Type: wire.TPolicy})
 	if err != nil {
 		return "", err
 	}
 	return string(resp.Payload), nil
 }
 
-// WriteDiff serializes checkpoint k (absolute index) of the record to
-// w in the canonical wire format — the Record counterpart of
-// Checkpointer.WriteDiff, used to push archived records to a server.
-// For a record loaded from a compacted lineage (Base > 0) the encoded
-// ids are rewritten back to absolute form so the bytes match what the
-// originating store holds.
-func (r *Record) WriteDiff(k int, w io.Writer) error {
+// diffAt returns checkpoint k (absolute index) of the record in its
+// canonical absolute form — the Diff handed to the zero-copy push
+// path. For a record loaded from a compacted lineage (Base > 0) the
+// ids are rewritten back to absolute form on a shallow clone, so the
+// bytes on the wire match what the originating store holds.
+func (r *Record) diffAt(k int) (*checkpoint.Diff, error) {
 	if k < r.base || k >= r.Len() {
-		return fmt.Errorf("gpuckpt: checkpoint %d out of range [%d,%d)", k, r.base, r.Len())
+		return nil, fmt.Errorf("gpuckpt: checkpoint %d out of range [%d,%d)", k, r.base, r.Len())
 	}
 	d := r.rec.Diff(k - r.base)
 	if r.base > 0 {
 		d = d.CloneShallow()
 		if err := d.Rebase(int64(r.base)); err != nil {
-			return err
+			return nil, err
 		}
+	}
+	return d, nil
+}
+
+// WriteDiff serializes checkpoint k (absolute index) of the record to
+// w in the canonical wire format — the Record counterpart of
+// Checkpointer.WriteDiff, used to push archived records to a server.
+func (r *Record) WriteDiff(k int, w io.Writer) error {
+	d, err := r.diffAt(k)
+	if err != nil {
+		return err
 	}
 	return d.Encode(w)
 }

@@ -348,10 +348,8 @@ func TestClientReconnects(t *testing.T) {
 	if _, err := cl.Len("lin"); err != nil {
 		t.Fatal(err)
 	}
-	// Sever the connection behind the client's back.
-	cl.mu.Lock()
-	cl.conn.Close()
-	cl.mu.Unlock()
+	// Sever every parked connection behind the client's back.
+	cl.pool.ForEachIdle(func(nc net.Conn, _ any) { nc.Close() })
 	// The next request must transparently redial.
 	if _, err := cl.Stats(); err != nil {
 		t.Fatalf("request after connection loss failed: %v", err)
@@ -456,8 +454,11 @@ func TestClientConnectionLimitError(t *testing.T) {
 // StatusBusy load shedding with a retry-after hint, and the busy-
 // reject stats counter.
 func TestClientProtocolVersion(t *testing.T) {
-	if wire.Version != 3 {
+	if wire.Version != 4 {
 		t.Fatalf("protocol version bumped to %d: update compatibility notes", wire.Version)
+	}
+	if wire.MinVersion != 3 {
+		t.Fatalf("minimum supported version now %d: v3 sequential-push fallback notes are stale", wire.MinVersion)
 	}
 }
 

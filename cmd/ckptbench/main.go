@@ -72,7 +72,10 @@ func run(args []string, stdout io.Writer) error {
 		lineage  = fs.String("lineage", "ckptbench", "lineage name on the server for -exp push")
 		keepLast = fs.Int("keeplast", 4, "retained checkpoints for -exp compact (keep-last=K)")
 		lineages = fs.Int("lineages", 4, "tenant count for -exp dedupx")
-		jsonPath = fs.String("json", "", "write -exp dedupx results as JSON to this file")
+		jsonPath = fs.String("json", "", "write -exp dedupx/saturate results as JSON to this file")
+		chainLen = fs.Int("chain", 64, "checkpoint chain length for -exp saturate")
+		frames   = fs.Int("frames", gpuckpt.DefaultWindowFrames, "streaming window frame bound for -exp saturate")
+		frameB   = fs.Int64("framebytes", gpuckpt.DefaultWindowBytes, "streaming window byte bound for -exp saturate")
 		pipeline = fs.Bool("pipeline", false, "overlap each checkpoint's store with the next one's dedup (CheckpointAsync)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -248,6 +251,15 @@ func run(args []string, stdout io.Writer) error {
 				return err
 			}
 			return emit("faults", t)
+		},
+		"saturate": func() error {
+			t, err := saturateExperiment(cfg, *chainLen, *frames, *frameB, *jsonPath)
+			if t != nil {
+				if eerr := emit("saturate", t); eerr != nil {
+					return eerr
+				}
+			}
+			return err
 		},
 		"dedupx": func() error {
 			t, err := dedupxExperiment(cfg, *lineages, *jsonPath)

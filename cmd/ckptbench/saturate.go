@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+
+	gpuckpt "github.com/gpuckpt/gpuckpt"
+	"github.com/gpuckpt/gpuckpt/internal/experiments"
+	"github.com/gpuckpt/gpuckpt/internal/metrics"
+	"github.com/gpuckpt/gpuckpt/internal/server"
+)
+
+// saturateExperiment measures what the v4 streaming push protocol buys
+// over v3 request/response on the wire itself: ONE checkpoint chain is
+// pushed to a loopback ckptd twice — once against a server pinned to
+// protocol 3 (every diff waits out a full round trip) and once against
+// a v4 server (a window of frames rides the connection back-to-back,
+// acks returning out-of-band). Same client, same diffs, same loopback;
+// the only variable is the protocol.
+//
+// Two methodology choices keep the comparison about the wire:
+//
+//   - the server stores lineages on tmpfs when the host has one
+//     (/dev/shm), so per-diff fsync latency — identical in both modes
+//     and unrelated to this PR — does not drown the round-trip time
+//     being measured;
+//   - each mode runs saturateReps times and reports its best wall
+//     time, squeezing scheduler noise out of a sub-second measurement.
+//
+// Both lineages are pulled back and the final checkpoint compared
+// byte-exactly before any number is reported. The run fails if the
+// streamed push is not at least saturateMinSpeedup times faster — the
+// regression gate `make bench-wire` and the CI smoke both lean on.
+func saturateExperiment(cfg experiments.Config, chain, windowFrames int, windowBytes int64, jsonPath string) (*metrics.Table, error) {
+	if chain < 2 {
+		return nil, fmt.Errorf("-chain must be >= 2, got %d", chain)
+	}
+	const bufLen = 256 << 10
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		chunk = 128
+	}
+
+	// One chain, shared by both modes: a seeded buffer with a few
+	// chunk-sized splotches rewritten per step, so each incremental
+	// diff is small and the per-frame wire overhead actually shows.
+	ck, err := gpuckpt.New(gpuckpt.Config{
+		Method: gpuckpt.MethodTree, ChunkSize: chunk, Workers: cfg.Workers,
+	}, bufLen)
+	if err != nil {
+		return nil, err
+	}
+	defer ck.Close()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	buf := make([]byte, bufLen)
+	rng.Read(buf)
+	for k := 0; k < chain; k++ {
+		if k > 0 {
+			for s := 0; s < 8; s++ {
+				off := rng.Intn(bufLen - 64)
+				rng.Read(buf[off : off+64])
+			}
+		}
+		if _, err := ck.Checkpoint(buf); err != nil {
+			return nil, err
+		}
+	}
+	payload := ck.RecordBytes()
+	want, err := ck.RestoreLatest()
+	if err != nil {
+		return nil, err
+	}
+
+	type mode struct {
+		name     string
+		protocol uint8
+	}
+	modes := []mode{
+		{"sequential (v3)", 3},
+		{"streamed (v4)", 0}, // 0 = server default, currently v4
+	}
+
+	// Both modes run against live servers at once and their reps are
+	// INTERLEAVED (seq, stream, seq, stream, ...): environmental drift
+	// — a noisy neighbor, a GC pause, a frequency change — lands on
+	// neighboring reps of both modes instead of on whichever mode
+	// happened to run second, so the best-of walls stay comparable.
+	runners := make([]*saturateRunner, len(modes))
+	for i, m := range modes {
+		r, err := newSaturateRunner(m.protocol, windowFrames, windowBytes)
+		if err != nil {
+			for _, p := range runners[:i] {
+				p.close()
+			}
+			return nil, fmt.Errorf("%s: %w", m.name, err)
+		}
+		runners[i] = r
+	}
+	defer func() {
+		for _, r := range runners {
+			if r != nil {
+				r.close()
+			}
+		}
+	}()
+	walls := make([]time.Duration, len(modes))
+	for rep := 0; rep < saturateRepsFor(chain); rep++ {
+		for i, m := range modes {
+			wall, err := runners[i].push(ck, chain, rep)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", m.name, err)
+			}
+			if walls[i] == 0 || wall < walls[i] {
+				walls[i] = wall
+			}
+		}
+	}
+	for i, m := range modes {
+		if err := runners[i].verify(chain, want); err != nil {
+			return nil, fmt.Errorf("%s: %w", m.name, err)
+		}
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("wire saturation: %d-diff chain over loopback, window %d frames / %s",
+			chain, windowFrames, metrics.Bytes(windowBytes)),
+		"mode", "diffs", "payload", "wall", "diffs/s", "throughput")
+	for i, m := range modes {
+		t.Add(m.name, fmt.Sprint(chain), metrics.Bytes(payload), walls[i].Round(time.Microsecond).String(),
+			fmt.Sprintf("%.0f", float64(chain)/walls[i].Seconds()),
+			fmt.Sprintf("%s/s", metrics.Bytes(int64(float64(payload)/walls[i].Seconds()))))
+	}
+	speedup := float64(walls[0]) / float64(walls[1])
+	t.Add("speedup", "-", "-", "-", "-", fmt.Sprintf("%.2fx", speedup))
+
+	if jsonPath != "" {
+		out := struct {
+			Note          string  `json:"note"`
+			Chain         int     `json:"chain"`
+			ChunkSize     int     `json:"chunk_size"`
+			BufLen        int     `json:"buf_len"`
+			WindowFrames  int     `json:"window_frames"`
+			WindowBytes   int64   `json:"window_bytes"`
+			PayloadBytes  int64   `json:"payload_bytes"`
+			SeqWallNs     int64   `json:"sequential_wall_ns"`
+			StreamWallNs  int64   `json:"streamed_wall_ns"`
+			SeqDiffsPerS  float64 `json:"sequential_diffs_per_s"`
+			StrmDiffsPerS float64 `json:"streamed_diffs_per_s"`
+			Speedup       float64 `json:"streamed_vs_sequential_speedup"`
+		}{
+			Note: "v4 windowed streaming push vs v3 request/response over loopback; " +
+				"regenerate with `make bench-wire`",
+			Chain: chain, ChunkSize: chunk, BufLen: bufLen,
+			WindowFrames: windowFrames, WindowBytes: windowBytes,
+			PayloadBytes: payload,
+			SeqWallNs:    walls[0].Nanoseconds(), StreamWallNs: walls[1].Nanoseconds(),
+			SeqDiffsPerS:  float64(chain) / walls[0].Seconds(),
+			StrmDiffsPerS: float64(chain) / walls[1].Seconds(),
+			Speedup:       speedup,
+		}
+		b, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+
+	if chain >= saturateGateChain && speedup < saturateMinSpeedup {
+		return t, fmt.Errorf("streamed push only %.2fx faster than sequential, want >= %.1fx", speedup, saturateMinSpeedup)
+	}
+	return t, nil
+}
+
+const (
+	// saturateReps is the floor on how many times each mode runs; the
+	// best wall time is reported. Short chains run more reps (see
+	// saturateRepsFor) because their sub-millisecond walls are at the
+	// mercy of scheduler and GC hiccups, and a best-of only converges
+	// to the true floor with enough draws.
+	saturateReps = 3
+	// saturateMinSpeedup is the regression gate on streamed vs
+	// sequential throughput.
+	saturateMinSpeedup = 3.0
+	// saturateGateChain is the smallest chain the speedup gate applies
+	// to: below it, per-run fixed costs (dial, handshake, server
+	// startup) dilute the per-frame effect being gated.
+	saturateGateChain = 64
+)
+
+// saturateRepsFor picks the rep count for a chain length: enough reps
+// that roughly 2048 diffs are pushed per mode, floored at
+// saturateReps, so short chains still accumulate a stable best-of.
+func saturateRepsFor(chain int) int {
+	reps := 2048 / chain
+	if reps < saturateReps {
+		return saturateReps
+	}
+	return reps
+}
+
+// saturateRunner is one mode's half of the interleaved measurement: a
+// loopback server pinned to a protocol (0 = server default) plus a
+// client dialed at the configured window. Every push rep targets a
+// fresh lineage on the same server; verify pulls the last rep's
+// lineage back and byte-compares its final restore.
+type saturateRunner struct {
+	root   string
+	cancel context.CancelFunc
+	done   chan error
+	cl     *gpuckpt.Client
+	last   string // lineage name of the most recent rep
+}
+
+func newSaturateRunner(protocol uint8, windowFrames int, windowBytes int64) (*saturateRunner, error) {
+	root, err := benchTempDir("ckptbench-saturate-")
+	if err != nil {
+		return nil, err
+	}
+	r := &saturateRunner{root: root, done: make(chan error, 1)}
+	srv, err := server.New(server.Config{Root: root, Protocol: protocol, Logf: func(string, ...any) {}})
+	if err != nil {
+		os.RemoveAll(root)
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(root)
+		return nil, err
+	}
+	var ctx context.Context
+	ctx, r.cancel = context.WithCancel(context.Background())
+	go func() { r.done <- srv.Serve(ctx, ln) }()
+	r.cl, err = gpuckpt.DialConfigured(ln.Addr().String(), gpuckpt.DialConfig{
+		Timeout:      30 * time.Second,
+		WindowFrames: windowFrames,
+		WindowBytes:  windowBytes,
+	})
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *saturateRunner) push(ck *gpuckpt.Checkpointer, chain, rep int) (time.Duration, error) {
+	r.last = fmt.Sprintf("saturate-%d", rep)
+	start := time.Now()
+	n, err := r.cl.PushCheckpointer(r.last, ck)
+	wall := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	if n != chain {
+		return 0, fmt.Errorf("pushed %d diffs, want %d", n, chain)
+	}
+	return wall, nil
+}
+
+func (r *saturateRunner) verify(chain int, want []byte) error {
+	rec, err := r.cl.Pull(r.last)
+	if err != nil {
+		return err
+	}
+	got, err := rec.Restore(chain - 1)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("restored chain diverges from source")
+	}
+	return nil
+}
+
+func (r *saturateRunner) close() {
+	if r.cl != nil {
+		r.cl.Close()
+		r.cl = nil
+	}
+	if r.cancel != nil {
+		r.cancel()
+		<-r.done
+		r.cancel = nil
+	}
+	os.RemoveAll(r.root)
+}
+
+// benchTempDir prefers tmpfs (/dev/shm) for the server store so disk
+// latency does not pollute a wire measurement, falling back to the
+// regular temp dir.
+func benchTempDir(prefix string) (string, error) {
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		if dir, err := os.MkdirTemp("/dev/shm", prefix); err == nil {
+			return dir, nil
+		}
+	}
+	return os.MkdirTemp("", prefix)
+}

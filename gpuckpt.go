@@ -379,11 +379,22 @@ func (c *Checkpointer) RestoreLatest() ([]byte, error) {
 // WriteDiff serializes checkpoint k's difference to w in the canonical
 // wire format (readable by ReadRecord).
 func (c *Checkpointer) WriteDiff(k int, w io.Writer) error {
+	d, err := c.diffAt(k)
+	if err != nil {
+		return err
+	}
+	return d.Encode(w)
+}
+
+// diffAt returns checkpoint k's diff by reference — the in-memory form
+// the client's zero-copy streaming push stages section-by-section
+// instead of gathering through Encode.
+func (c *Checkpointer) diffAt(k int) (*checkpoint.Diff, error) {
 	rec := c.d.Record()
 	if k < 0 || k >= rec.Len() {
-		return fmt.Errorf("gpuckpt: checkpoint %d out of range [0,%d)", k, rec.Len())
+		return nil, fmt.Errorf("gpuckpt: checkpoint %d out of range [0,%d)", k, rec.Len())
 	}
-	return rec.Diff(k).Encode(w)
+	return rec.Diff(k), nil
 }
 
 // ModeledTime returns the cumulative modeled device time spent by this

@@ -64,6 +64,14 @@ type FileStore struct {
 	// Guarded by mu like the rest of the mutable state.
 	hooks *IOHooks
 
+	// Write-behind intake state (see intake.go), guarded by mu: wal is
+	// the open intake log (lazily created by the first AppendBatch),
+	// tail the committed-but-unmaterialized containers for checkpoints
+	// [n-len(tail), n), tailBytes their cumulative size.
+	wal       *os.File
+	tail      []tailEntry
+	tailBytes int64
+
 	// blocks, when non-nil, is the shared content-addressed block store
 	// the data sections of new diffs are interned into: Append writes a
 	// block-mapped container (see blockfile.go) instead of embedding
@@ -171,6 +179,16 @@ func newFileStore(dir string, bs *blockstore.Store, own bool) (*FileStore, error
 	if err := fs.sweepTemp(); err != nil {
 		return nil, err
 	}
+	// The intake log replay needs the file-level length, so it runs
+	// between the two rescans: the first establishes where the files
+	// end, the replay materializes the committed tail past that point,
+	// and the final rescan folds the recovered files into the cache.
+	if err := fs.rescanLocked(); err != nil {
+		return nil, err
+	}
+	if err := fs.replayIntakeLocked(); err != nil {
+		return nil, err
+	}
 	if _, _, err := fs.pruneBelowBaseLocked(); err != nil {
 		return nil, err
 	}
@@ -180,17 +198,20 @@ func newFileStore(dir string, bs *blockstore.Store, own bool) (*FileStore, error
 	return fs, nil
 }
 
-// Close releases the auto-attached block store, if any. A FileStore
-// opened with NewFileStoreWith leaves the shared store to its owner.
-// Idempotent; the store's file-level operations need no teardown.
+// Close flushes the write-behind intake tail and releases the
+// auto-attached block store, if any. A FileStore opened with
+// NewFileStoreWith leaves the shared store to its owner. Idempotent.
 func (fs *FileStore) Close() error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	err := fs.closeIntakeLocked()
 	if fs.ownBlocks && fs.blocks != nil {
 		fs.ownBlocks = false
-		return fs.blocks.Close()
+		if berr := fs.blocks.Close(); err == nil {
+			err = berr
+		}
 	}
-	return nil
+	return err
 }
 
 // BlockStats returns the counters of the attached block store, or a
@@ -313,6 +334,9 @@ func (fs *FileStore) Len() (int, error) {
 func (fs *FileStore) Append(d *Diff) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		return err
+	}
 	if int(d.CkptID) != fs.n {
 		return fmt.Errorf("checkpoint: store has diffs [%d,%d), cannot append id %d",
 			fs.man.Base, fs.n, d.CkptID)
@@ -330,6 +354,108 @@ func (fs *FileStore) Append(d *Diff) error {
 	fs.n++
 	fs.size += sz
 	return nil
+}
+
+// AppendBatch appends a contiguous run of diffs with one durability
+// point for the whole batch instead of one per diff — the group
+// commit behind the server's v4 stream path. The run is validated up
+// front (contiguity, baseline references), every data section is
+// interned in a single block-store call (one journal fsync covers the
+// batch), and the encoded containers are committed to the write-behind
+// intake log with one fsynced append (see intake.go). Per-checkpoint
+// files materialize off the commit path.
+//
+// The batch commits atomically: on success every diff is durable and
+// appended reports len(ds); on error nothing was committed and any
+// just-taken block references are released again. A non-nil error
+// alongside appended == len(ds) means the batch IS committed but a
+// deferred materialization failed — the store needs attention, yet
+// the data is safe in the log and recovers on reopen.
+func (fs *FileStore) AppendBatch(ds []*Diff) (appended int, err error) {
+	if len(ds) == 0 {
+		return 0, nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i, d := range ds {
+		if int(d.CkptID) != fs.n+i {
+			return 0, fmt.Errorf("checkpoint: store has diffs [%d,%d), cannot append id %d at batch offset %d",
+				fs.man.Base, fs.n, d.CkptID, i)
+		}
+		for _, s := range d.ShiftDupl {
+			if s.SrcCkpt < fs.man.Base {
+				return 0, fmt.Errorf("checkpoint: diff %d references checkpoint %d, pruned below baseline %d",
+					d.CkptID, s.SrcCkpt, fs.man.Base)
+			}
+		}
+	}
+
+	// Intern every data section of the batch in one call: block
+	// payload files and ONE journal append cover all of them, and the
+	// ordering contract holds batch-wide — blocks and their journal
+	// records are durable before the log record that references them.
+	var refs []blockstore.Ref
+	counts := make([]int, len(ds))
+	if fs.blocks != nil {
+		var chunks [][]byte
+		for i, d := range ds {
+			cs := fs.blocks.Split(d.Data)
+			counts[i] = len(cs)
+			chunks = append(chunks, cs...)
+		}
+		refs, err = fs.blocks.Intern(chunks)
+		if err != nil {
+			return 0, fmt.Errorf("checkpoint: interning batch: %w", err)
+		}
+	}
+
+	// Encode the containers, then commit them all with one log append.
+	cks := make([]int, len(ds))
+	containers := make([][]byte, len(ds))
+	off := 0
+	for i, d := range ds {
+		rs := refs[off : off+counts[i]]
+		off += counts[i]
+		cks[i] = int(d.CkptID)
+		if fs.blocks == nil {
+			var buf bytes.Buffer
+			if err := d.Encode(&buf); err != nil {
+				return 0, err
+			}
+			containers[i] = buf.Bytes()
+		} else {
+			var prefix bytes.Buffer
+			if err := d.encodePrefix(&prefix); err != nil {
+				fs.blocks.Release(refs)
+				return 0, err
+			}
+			containers[i], err = encodeBlockDiff(prefix.Bytes(), rs, uint64(len(d.Data)))
+			if err != nil {
+				fs.blocks.Release(refs)
+				return 0, err
+			}
+		}
+	}
+	if err := fs.appendIntakeLocked(cks, containers); err != nil {
+		if fs.blocks != nil {
+			fs.blocks.Release(refs)
+		}
+		return 0, err
+	}
+	for i := range ds {
+		fs.tail = append(fs.tail, tailEntry{ck: cks[i], container: containers[i]})
+		fs.tailBytes += int64(len(containers[i]))
+		fs.n++
+		fs.size += int64(len(containers[i])) + FooterSize
+	}
+	appended = len(ds)
+
+	if len(fs.tail) >= tailMaxCount || fs.tailBytes >= tailMaxBytes {
+		if merr := fs.ensureMaterializedLocked(); merr != nil {
+			return appended, merr
+		}
+	}
+	return appended, nil
 }
 
 // writeDiffLocked persists d (plus its integrity footer) as the file
@@ -392,6 +518,15 @@ func (fs *FileStore) writeBlockDiffLocked(ck int, d *Diff) (int64, error) {
 // stays exactly as a dying process would leave it, so crash tests can
 // reopen the directory and exercise recovery on authentic debris.
 func (fs *FileStore) writeFileLocked(ck int, encode func(io.Writer) error) (int64, error) {
+	return fs.writeFile(ck, encode, true)
+}
+
+// writeFile is writeFileLocked with the parent-directory sync made
+// optional: AppendBatch defers it to one call per batch. Skipping it
+// does NOT weaken per-file atomicity (temp file is still fsynced
+// before the rename); it only defers the point at which the rename
+// itself is guaranteed to survive power loss.
+func (fs *FileStore) writeFile(ck int, encode func(io.Writer) error, syncParent bool) (int64, error) {
 	tmp, err := os.CreateTemp(fs.dir, tmpPrefix+"*"+tmpSuffix)
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: temp file: %w", err)
@@ -448,8 +583,10 @@ func (fs *FileStore) writeFileLocked(ck int, encode func(io.Writer) error) (int6
 			return 0, err
 		}
 	}
-	if err := syncDir(fs.dir); err != nil {
-		return 0, err
+	if syncParent {
+		if err := syncDir(fs.dir); err != nil {
+			return 0, err
+		}
 	}
 	return cw.n + FooterSize, nil
 }
@@ -462,6 +599,9 @@ func (fs *FileStore) writeFileLocked(ck int, encode func(io.Writer) error) (int6
 func (fs *FileStore) ReplaceDiff(ck int, d *Diff) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		return err
+	}
 	if ck < int(fs.man.Base) || ck >= fs.n {
 		return fmt.Errorf("checkpoint: replace %d outside stored range [%d,%d)", ck, fs.man.Base, fs.n)
 	}
@@ -496,6 +636,12 @@ func (fs *FileStore) ReplaceDiff(ck int, d *Diff) error {
 func (fs *FileStore) CommitManifest(m Manifest) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	// Drain the write-behind tail first: the rescan below recomputes
+	// fs.n from FILES, which would silently forget committed diffs
+	// still waiting in the intake log.
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		return err
+	}
 	if m.Base < fs.man.Base {
 		return fmt.Errorf("checkpoint: manifest baseline %d behind committed %d", m.Base, fs.man.Base)
 	}
@@ -528,6 +674,9 @@ func (fs *FileStore) CommitManifest(m Manifest) error {
 func (fs *FileStore) PruneBelowBase() (int, int64, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		return 0, 0, err
+	}
 	return fs.pruneBelowBaseLocked()
 }
 
@@ -571,6 +720,10 @@ func (fs *FileStore) pruneBelowBaseLocked() (int, int64, error) {
 // returned as-is, unverified.
 func (fs *FileStore) DiffBytes(ck int) ([]byte, error) {
 	fs.mu.Lock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
 	base, length, hooks := int(fs.man.Base), fs.n, fs.hooks
 	fs.mu.Unlock()
 	if ck < base || ck >= length {
@@ -713,6 +866,10 @@ func (fs *FileStore) TotalBytes() (int64, error) {
 // checkpoint Base()+i.
 func (fs *FileStore) Load() (*Record, error) {
 	fs.mu.Lock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
 	base, length, hooks := int(fs.man.Base), fs.n, fs.hooks
 	fs.mu.Unlock()
 	if length == base {
@@ -782,6 +939,9 @@ func (r *ScrubReport) OK() bool { return len(r.Corrupt) == 0 }
 func (fs *FileStore) Scrub() (*ScrubReport, error) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		return nil, err
+	}
 	rep := &ScrubReport{}
 	for ck := int(fs.man.Base); ck < fs.n; ck++ {
 		rep.Checked++
@@ -820,6 +980,9 @@ func (fs *FileStore) Scrub() (*ScrubReport, error) {
 func (fs *FileStore) ReinstallDiff(d *Diff) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		return err
+	}
 	ck := int(d.CkptID)
 	if ck < int(fs.man.Base) {
 		return fmt.Errorf("checkpoint: reinstall %d below baseline %d", ck, fs.man.Base)
@@ -880,9 +1043,14 @@ func (fs *FileStore) ClearQuarantine(ck int) error {
 	return nil
 }
 
-// Files lists the stored diff file names in checkpoint order.
+// Files lists the stored diff file names in checkpoint order. Callers
+// read the files, so the write-behind tail is drained first.
 func (fs *FileStore) Files() ([]string, error) {
 	fs.mu.Lock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		fs.mu.Unlock()
+		return nil, err
+	}
 	base, length := int(fs.man.Base), fs.n
 	fs.mu.Unlock()
 	out := make([]string, 0, length-base)

@@ -161,38 +161,35 @@ func (d *Diff) Encode(w io.Writer) error {
 // references.
 func (d *Diff) PrefixBytes() int64 { return headerSize + d.MetadataBytes() }
 
-// encodePrefix writes the serialization of d up to (excluding) the
-// data section. The header and region metadata are staged in one
-// pooled buffer and written together; the byte stream is unchanged.
+// AppendPrefix appends the serialization of d up to (excluding) the
+// bitmap and data sections — the header and region metadata — to buf
+// and returns the extended slice. It is the zero-copy counterpart of
+// encodePrefix: the streaming push path stages these bytes behind a
+// frame header in a reused buffer and ships Bitmap and Data by
+// reference (writev), so the full encoding AppendPrefix+Bitmap+Data
+// is byte-identical to Encode's output without gathering it.
 //
 //ckptlint:noalloc
-func (d *Diff) encodePrefix(w io.Writer) error {
+func (d *Diff) AppendPrefix(buf []byte) ([]byte, error) {
 	if uint64(len(d.FirstOcur)) > math.MaxUint32 ||
 		uint64(len(d.ShiftDupl)) > math.MaxUint32 ||
 		uint64(len(d.Bitmap)) > math.MaxUint32 {
-		return errMetadataTooLarge
+		return buf, errMetadataTooLarge
 	}
-	need := headerSize + 4*len(d.FirstOcur) + 12*len(d.ShiftDupl)
-	bp, _ := encodeBufPool.Get().(*[]byte)
-	if bp == nil {
-		bp = new([]byte)
-	}
-	if cap(*bp) < need {
-		*bp = make([]byte, 0, need)
-	}
-	buf := (*bp)[:headerSize]
-	binary.LittleEndian.PutUint32(buf[0:], diffMagic)
-	buf[4] = formatVersion
-	buf[5] = uint8(d.Method)
-	binary.LittleEndian.PutUint32(buf[6:], d.CkptID)
-	binary.LittleEndian.PutUint64(buf[10:], d.DataLen)
-	binary.LittleEndian.PutUint32(buf[18:], d.ChunkSize)
-	binary.LittleEndian.PutUint32(buf[22:], uint32(len(d.FirstOcur)))
-	binary.LittleEndian.PutUint32(buf[26:], uint32(len(d.ShiftDupl)))
-	binary.LittleEndian.PutUint32(buf[30:], uint32(len(d.Bitmap)))
-	binary.LittleEndian.PutUint64(buf[34:], uint64(len(d.Data)))
-	buf[42] = d.DataCodec
-	binary.LittleEndian.PutUint64(buf[43:], d.rawLen())
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], diffMagic)
+	hdr[4] = formatVersion
+	hdr[5] = uint8(d.Method)
+	binary.LittleEndian.PutUint32(hdr[6:], d.CkptID)
+	binary.LittleEndian.PutUint64(hdr[10:], d.DataLen)
+	binary.LittleEndian.PutUint32(hdr[18:], d.ChunkSize)
+	binary.LittleEndian.PutUint32(hdr[22:], uint32(len(d.FirstOcur)))
+	binary.LittleEndian.PutUint32(hdr[26:], uint32(len(d.ShiftDupl)))
+	binary.LittleEndian.PutUint32(hdr[30:], uint32(len(d.Bitmap)))
+	binary.LittleEndian.PutUint64(hdr[34:], uint64(len(d.Data)))
+	hdr[42] = d.DataCodec
+	binary.LittleEndian.PutUint64(hdr[43:], d.rawLen())
+	buf = append(buf, hdr[:]...)
 	for _, n := range d.FirstOcur {
 		buf = binary.LittleEndian.AppendUint32(buf, n)
 	}
@@ -200,6 +197,29 @@ func (d *Diff) encodePrefix(w io.Writer) error {
 		buf = binary.LittleEndian.AppendUint32(buf, s.Node)
 		buf = binary.LittleEndian.AppendUint32(buf, s.SrcNode)
 		buf = binary.LittleEndian.AppendUint32(buf, s.SrcCkpt)
+	}
+	return buf, nil
+}
+
+// encodePrefix writes the serialization of d up to (excluding) the
+// data section. The header and region metadata are staged in one
+// pooled buffer and written together; the byte stream is unchanged.
+//
+//ckptlint:noalloc
+func (d *Diff) encodePrefix(w io.Writer) error {
+	bp, _ := encodeBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	// Pre-size for the whole prefix so a pool miss costs one
+	// allocation, not a chain of append growths.
+	if need := headerSize + 4*len(d.FirstOcur) + 12*len(d.ShiftDupl); cap(*bp) < need {
+		*bp = make([]byte, 0, need)
+	}
+	buf, perr := d.AppendPrefix((*bp)[:0])
+	if perr != nil {
+		encodeBufPool.Put(bp)
+		return perr
 	}
 	_, err := w.Write(buf)
 	*bp = buf

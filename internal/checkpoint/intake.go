@@ -1,0 +1,220 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Write-behind intake: the group-commit path of the FileStore.
+//
+// AppendBatch makes a run of diffs durable with ONE fsync by appending
+// their encoded containers to a per-lineage intake log (`intake.log`)
+// instead of publishing one file per diff. The containers stay in
+// memory (the tail) and are materialized into the canonical
+// `ckpt-NNNNNN.gckp` files off the commit path: when the tail outgrows
+// its caps, when any operation needs the file-level view (reads,
+// compaction, scrub), or on reopen after a crash, which replays the
+// log. Readers therefore never observe the deferral — every path that
+// touches diff files drains the tail first.
+//
+// This is the storage half of the v4 streaming push: a request/response
+// peer forces a durability point per diff because each ack must be
+// answered before the next request exists, while a windowed stream
+// hands the store whole batches and the log turns N file commits into
+// one sequential append. It is also the paper's asynchronous-runtime
+// argument in miniature — overlap and batching, not per-operation
+// speed, set end-to-end throughput.
+//
+// Crash contract: a batch is durable when AppendBatch returns (block
+// payloads and their journal records first, then the log record, each
+// fsynced). Recovery materializes the log's valid prefix — records are
+// CRC-framed, so a torn tail write is detected and discarded, which
+// only drops diffs whose commit never completed. Re-materializing a
+// record whose file already exists (crash between materialize and log
+// truncate) rewrites identical bytes over it, taking no new block
+// references, so replay is idempotent.
+
+// intakeLogName is the per-lineage write-behind log file. The name
+// does not parse as a diff file or a temp file, so every directory
+// scan (rescan, sweep, prune, quarantine) ignores it.
+const intakeLogName = "intake.log"
+
+// Intake log record framing, little-endian like the diff format:
+// u32 checkpoint id, u32 container length, u32 CRC32C(container),
+// then the container bytes (pre-footer canonical or block-mapped
+// encoding — exactly what materialization hands to writeFile).
+const intakeRecHeader = 12
+
+// Tail caps: a materialization is forced once the in-memory tail
+// holds this many containers or bytes. Bytes is the real memory
+// bound — containers of block-mapped diffs are just prefix+refs, so
+// 32 MiB of tail covers tens of thousands of diffs — while the count
+// cap only bounds the latency spike of a single inline drain. Keeping
+// the count cap high matters: a drain inside AppendBatch lands on the
+// streaming ack path, and the whole point of the log is that file
+// materialization does not.
+const (
+	tailMaxCount = 8192
+	tailMaxBytes = 32 << 20
+)
+
+// tailEntry is one committed-but-unmaterialized diff.
+type tailEntry struct {
+	ck        int
+	container []byte
+}
+
+func (fs *FileStore) intakePath() string {
+	return filepath.Join(fs.dir, intakeLogName)
+}
+
+// appendIntakeLocked appends one record per container to the intake
+// log and fsyncs once. The first append also fsyncs the directory so
+// the log file's own existence survives power loss.
+func (fs *FileStore) appendIntakeLocked(cks []int, containers [][]byte) error {
+	created := false
+	if fs.wal == nil {
+		f, err := os.OpenFile(fs.intakePath(), os.O_RDWR|os.O_CREATE|os.O_APPEND, 0o600)
+		if err != nil {
+			return fmt.Errorf("checkpoint: opening intake log: %w", err)
+		}
+		fs.wal = f
+		created = true
+	}
+	var buf []byte
+	for i, c := range containers {
+		if len(c) > math.MaxUint32 {
+			return fmt.Errorf("checkpoint: diff %d container %d bytes overflows intake record length", cks[i], len(c))
+		}
+		var hdr [intakeRecHeader]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(cks[i]))
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(c)))
+		binary.LittleEndian.PutUint32(hdr[8:], crc32.Checksum(c, castagnoli))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, c...)
+	}
+	if _, err := fs.wal.Write(buf); err != nil {
+		return fmt.Errorf("checkpoint: appending intake log: %w", err)
+	}
+	if err := fs.wal.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing intake log: %w", err)
+	}
+	if created {
+		if err := syncDir(fs.dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureMaterializedLocked drains the tail into per-checkpoint files:
+// each container goes through the usual temp-file + fsync + rename
+// commit (parent directory synced once at the end), then the log is
+// truncated. On a mid-drain error the materialized prefix is dropped
+// from the tail and the log is left intact — recovery replays it
+// idempotently.
+func (fs *FileStore) ensureMaterializedLocked() error {
+	if len(fs.tail) == 0 {
+		return nil
+	}
+	for len(fs.tail) > 0 {
+		e := fs.tail[0]
+		c := e.container
+		if _, err := fs.writeFile(e.ck, func(w io.Writer) error {
+			_, werr := w.Write(c)
+			return werr
+		}, false); err != nil {
+			return fmt.Errorf("checkpoint: materializing diff %d: %w", e.ck, err)
+		}
+		fs.tail = fs.tail[1:]
+		fs.tailBytes -= int64(len(c))
+	}
+	fs.tail, fs.tailBytes = nil, 0
+	if err := syncDir(fs.dir); err != nil {
+		return err
+	}
+	if err := fs.wal.Truncate(0); err != nil {
+		return fmt.Errorf("checkpoint: truncating intake log: %w", err)
+	}
+	if err := fs.wal.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing intake log: %w", err)
+	}
+	return nil
+}
+
+// replayIntakeLocked recovers a crashed write-behind tail on open:
+// every valid record is materialized (records whose files already
+// exist are rewritten idempotently), a CRC failure or torn record ends
+// the valid prefix, and the log is removed once drained. Must run
+// after rescanLocked (it needs the file-level length) and before
+// pruneBelowBaseLocked.
+func (fs *FileStore) replayIntakeLocked() error {
+	raw, err := os.ReadFile(fs.intakePath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("checkpoint: reading intake log: %w", err)
+	}
+	wrote := false
+	for len(raw) >= intakeRecHeader {
+		ck := int(binary.LittleEndian.Uint32(raw[0:]))
+		n := int(binary.LittleEndian.Uint32(raw[4:]))
+		crc := binary.LittleEndian.Uint32(raw[8:])
+		raw = raw[intakeRecHeader:]
+		if n < 0 || n > len(raw) {
+			break // torn tail record: the commit never completed
+		}
+		container := raw[:n]
+		raw = raw[n:]
+		if crc32.Checksum(container, castagnoli) != crc {
+			break
+		}
+		if ck > fs.n {
+			break // a gap would strand everything after it
+		}
+		if _, err := fs.writeFile(ck, func(w io.Writer) error {
+			_, werr := w.Write(container)
+			return werr
+		}, false); err != nil {
+			return fmt.Errorf("checkpoint: replaying intake diff %d: %w", ck, err)
+		}
+		if ck == fs.n {
+			fs.n++
+		}
+		wrote = true
+	}
+	if wrote {
+		if err := syncDir(fs.dir); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(fs.intakePath()); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: removing intake log: %w", err)
+	}
+	return nil
+}
+
+// closeIntakeLocked flushes and releases the write-behind state on
+// Close: the tail is materialized, the (now empty) log removed.
+func (fs *FileStore) closeIntakeLocked() error {
+	if fs.wal == nil {
+		return nil
+	}
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		fs.wal.Close()
+		return err
+	}
+	err := fs.wal.Close()
+	fs.wal = nil
+	if rerr := os.Remove(fs.intakePath()); rerr != nil && !os.IsNotExist(rerr) && err == nil {
+		err = rerr
+	}
+	return err
+}

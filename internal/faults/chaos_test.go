@@ -654,6 +654,128 @@ func TestChaosServerBusyShed(t *testing.T) {
 	}
 }
 
+// streamCheckpointer builds a gpuckpt.Checkpointer holding images as
+// a tree-method chain — the shape PushCheckpointer streams to a v4
+// server.
+func streamCheckpointer(t *testing.T, images [][]byte) *gpuckpt.Checkpointer {
+	t.Helper()
+	ck, err := gpuckpt.New(gpuckpt.Config{Method: gpuckpt.MethodTree, ChunkSize: chaosChunk}, chaosDataLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ck.Close() })
+	for _, img := range images {
+		if _, err := ck.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ck
+}
+
+// verifyLineage pulls name with a clean client and byte-compares every
+// restore against images.
+func verifyLineage(t *testing.T, addr, name string, images [][]byte) {
+	t.Helper()
+	clean, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clean.Close()
+	if n, err := clean.Len(name); err != nil || n != len(images) {
+		t.Fatalf("server holds %d checkpoints (err %v), want %d", n, err, len(images))
+	}
+	pulled, err := clean.Pull(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range images {
+		got, err := pulled.Restore(k)
+		if err != nil {
+			t.Fatalf("restore %d: %v", k, err)
+		}
+		if !bytes.Equal(got, images[k]) {
+			t.Fatalf("restore %d diverges after chaotic stream push", k)
+		}
+	}
+}
+
+// Scenario 13: a connection reset mid-window during a v4 streaming
+// push. Several frames are in flight when the stream tears; the retry
+// re-opens for the server's authoritative length and resumes exactly
+// at the gap — frames that landed before the tear are not re-sent,
+// frames lost with the stream are, and the lineage is byte-exact.
+func TestChaosStreamMidWindowReset(t *testing.T) {
+	images := seededImages(131, chaosCkpts)
+	ck := streamCheckpointer(t, images)
+	srv, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+
+	in := faults.New(131)
+	cl, err := gpuckpt.DialConfigured(addr, gpuckpt.DialConfig{
+		Timeout: 2 * time.Second,
+		Retry:   gpuckpt.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 131},
+		Dialer: in.Dialer(faults.ConnPlan{
+			// Connection 1 tears after the handshake, the open and the
+			// first stream frames — mid-window, acks still outstanding.
+			Reset: faults.On(1), ResetAfter: 900,
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.PushCheckpointer("stream-reset", ck); err != nil {
+		t.Fatalf("streamed push never recovered: %v", err)
+	}
+	if in.Fired(faults.EvReset) != 1 {
+		t.Fatalf("reset never fired: trace %v", in.Trace())
+	}
+	if srv.StreamPushes() == 0 {
+		t.Fatal("push never took the streaming path")
+	}
+	verifyLineage(t, addr, "stream-reset", images)
+}
+
+// Scenario 14: the server goes silent inside a push stream — the
+// client's ack read (not the handshake: StallReadN skips past it)
+// stalls beyond the per-operation deadline. The timeout is a typed
+// transient, the retry resumes from the server's length, and the
+// lineage is byte-exact.
+func TestChaosStreamStallInsideWindow(t *testing.T) {
+	images := seededImages(141, chaosCkpts)
+	ck := streamCheckpointer(t, images)
+	srv, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+
+	in := faults.New(141)
+	cl, err := gpuckpt.DialConfigured(addr, gpuckpt.DialConfig{
+		Timeout: 150 * time.Millisecond,
+		Retry:   gpuckpt.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 141},
+		Dialer: in.Dialer(faults.ConnPlan{
+			// Reads 1-3 of connection 1 are the handshake hello and the
+			// open response (header + payload); read 4 is the first
+			// stream ack — stall there, past the deadline.
+			Stall: faults.On(1), StallReadN: 4, StallFor: 400 * time.Millisecond,
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.PushCheckpointer("stream-stall", ck); err != nil {
+		t.Fatalf("streamed push never recovered from the stall: %v", err)
+	}
+	if in.Fired(faults.EvStall) != 1 {
+		t.Fatalf("stall never fired: trace %v", in.Trace())
+	}
+	if srv.StreamPushes() == 0 {
+		t.Fatal("push never took the streaming path")
+	}
+	verifyLineage(t, addr, "stream-stall", images)
+}
+
 // --- pipeline seam ------------------------------------------------------
 
 // Scenario 12: kernel failures inside the async pipeline. A front

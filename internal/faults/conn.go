@@ -34,13 +34,18 @@ type ConnPlan struct {
 	// allows before tearing (default 21: the handshake plus part of
 	// the first frame header, so the peer sees a torn frame).
 	ResetAfter int
-	// Stall makes the first read of the selected connections sleep
-	// StallFor before touching the socket — a peer that went silent.
-	// With a per-operation deadline armed, the read then fails with a
+	// Stall makes one read of the selected connections sleep StallFor
+	// before touching the socket — a peer that went silent. With a
+	// per-operation deadline armed, the read then fails with a
 	// timeout; without one, it merely arrives late.
 	Stall Hits
 	// StallFor is the stall duration (default 200ms).
 	StallFor time.Duration
+	// StallReadN selects which read of the connection stalls (1-based,
+	// default 1: the first). A client's first read is always the
+	// handshake hello, so stalling inside a push stream — after the
+	// handshake and the open exchange — takes a higher ordinal.
+	StallReadN int
 	// SlowWrite turns the selected connections into slow-loris peers:
 	// every write is issued one byte per syscall, so the receiver sees
 	// maximally fragmented frames.
@@ -74,6 +79,10 @@ func (in *Injector) WrapConn(c net.Conn, plan ConnPlan) net.Conn {
 		fc.stall = plan.StallFor
 		if fc.stall <= 0 {
 			fc.stall = 200 * time.Millisecond
+		}
+		fc.stallReadN = plan.StallReadN
+		if fc.stallReadN <= 0 {
+			fc.stallReadN = 1
 		}
 	}
 	if in.fire(EvSlowWrite, plan.SlowWrite) {
@@ -131,16 +140,19 @@ type faultConn struct {
 	written    int
 	torn       bool
 
-	stall     time.Duration // one-shot pre-read sleep
-	slowWrite bool
-	shortRead bool
+	stall      time.Duration // one-shot pre-read sleep
+	stallReadN int           // which read (1-based) stalls
+	reads      int
+	slowWrite  bool
+	shortRead  bool
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {
 	if c.torn {
 		return 0, ErrConnReset
 	}
-	if c.stall > 0 {
+	c.reads++
+	if c.stall > 0 && c.reads >= c.stallReadN {
 		d := c.stall
 		c.stall = 0
 		time.Sleep(d)

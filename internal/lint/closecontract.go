@@ -43,6 +43,9 @@ var closerConstructors = map[string][]string{
 	// clean reopen of the same directory.
 	"blockstore.New":  {"Close"},
 	"blockstore.Open": {"Close"},
+	// A connpool.Pool owns up to MaxActive sockets and a reaper
+	// goroutine; leaking one leaks both.
+	"connpool.New": {"Close"},
 	// Same-package spelling so the check also fires inside the owning
 	// package itself (and inside fixtures).
 	"NewPool": {"Close"},

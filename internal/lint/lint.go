@@ -22,6 +22,10 @@
 //     sniffing net.Error.Timeout().
 //   - nowallclock:   time.Now is forbidden in internal/device (the
 //     modeled cost clock must stay deterministic).
+//   - bufreuse:      the reusable wire frame APIs (AppendFrameHeader,
+//     ReadFrameInto, WriteFrameVec) must not be fed buffers created
+//     fresh on every loop iteration — that silently reintroduces the
+//     per-frame allocation they exist to remove.
 //
 // A finding on a specific line can be waived with a trailing or
 // preceding comment of the form:
@@ -89,6 +93,7 @@ func Checks() []Check {
 		wireerrCheck{},
 		retryableCheck{},
 		nowallclockCheck{},
+		bufreuseCheck{},
 	}
 }
 

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"errors"
@@ -74,6 +75,11 @@ type Config struct {
 	// target. 0 (the default) disables background compaction; COMPACT
 	// requests still work.
 	CompactInterval time.Duration
+	// Protocol pins the wire version this server advertises in its
+	// hello (0 = wire.Version). The effective version of a connection
+	// is min(advertised, client's); pinning 3 exercises the client's
+	// v3 request/response fallback against a current build.
+	Protocol uint8
 	// Logf sinks server logs (default log.Printf; use a no-op in
 	// tests).
 	Logf func(format string, args ...any)
@@ -103,6 +109,9 @@ func (c *Config) fill() {
 	}
 	if c.Retention == "" {
 		c.Retention = "keep-all"
+	}
+	if c.Protocol == 0 {
+		c.Protocol = wire.Version
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -172,6 +181,7 @@ type Server struct {
 	compactedDiffs atomic.Uint64 //ckptlint:atomic
 	reclaimedBytes atomic.Uint64 //ckptlint:atomic
 	busyRejects    atomic.Uint64 //ckptlint:atomic
+	streamPushes   atomic.Uint64 //ckptlint:atomic
 
 	// conn tracking for forced shutdown
 	connMu sync.Mutex
@@ -192,6 +202,10 @@ func New(cfg Config) (*Server, error) {
 	retention, err := lifecycle.ParsePolicy(cfg.Retention)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
+	}
+	if cfg.Protocol < wire.MinVersion || cfg.Protocol > wire.Version {
+		return nil, fmt.Errorf("server: cannot advertise protocol %d (this build speaks %d..%d)",
+			cfg.Protocol, wire.MinVersion, wire.Version)
 	}
 	s := &Server{
 		cfg:       cfg,
@@ -282,12 +296,18 @@ func (s *Server) open(name string) (uint32, int, int, error) {
 	return h, n, ln.store.Base(), nil
 }
 
+// errUnknownHandle marks a request naming a handle this server never
+// issued — a pooled client replaying against a restarted server. v4
+// connections get it back as StatusUnknownHandle so the client prunes
+// its cache and re-resolves by name; v3 connections see a plain error.
+var errUnknownHandle = errors.New("unknown lineage handle")
+
 // get returns the lineage for a handle.
 func (s *Server) get(h uint32) (*lineage, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if int(h) >= len(s.lineages) {
-		return nil, fmt.Errorf("server: unknown lineage handle %d", h)
+		return nil, fmt.Errorf("server: %w %d", errUnknownHandle, h)
 	}
 	return s.lineages[h], nil
 }
@@ -300,6 +320,12 @@ func (s *Server) snapshot() []*lineage {
 	copy(out, s.lineages)
 	return out
 }
+
+// StreamPushes reports how many TPushStream frames the server has
+// served (successful or not). It is a server-side observability
+// counter, deliberately not part of the wire.Stats payload: that
+// layout is version-frozen and shared with v3 peers.
+func (s *Server) StreamPushes() uint64 { return s.streamPushes.Load() }
 
 // Stats returns the current counters.
 func (s *Server) Stats() wire.Stats {
@@ -421,7 +447,7 @@ func (s *Server) rejectConn(conn net.Conn) {
 		return
 	}
 	s.bytesIn.Add(wire.HelloSize)
-	if err := wire.WriteHello(conn); err != nil {
+	if err := wire.WriteHelloVersion(conn, s.cfg.Protocol); err != nil {
 		return
 	}
 	s.bytesOut.Add(wire.HelloSize)
@@ -432,27 +458,71 @@ func (s *Server) rejectConn(conn net.Conn) {
 	}
 }
 
+// connBufSize sizes the per-connection bufio reader and writer. Large
+// enough that a window of small stream acks coalesces into one
+// segment; payloads bigger than this stream through it without extra
+// copies beyond bufio's own.
+const connBufSize = 64 << 10
+
 // handleConn runs the request loop of one connection.
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 	defer conn.Close()
 	caddr := conn.RemoteAddr().String()
 
-	// Handshake under a deadline.
+	// Handshake under a deadline: read the client's highest version,
+	// answer with ours, settle on the minimum.
 	conn.SetDeadline(time.Now().Add(s.cfg.ReadTimeout))
-	if _, err := wire.ReadHello(conn); err != nil {
+	theirs, err := wire.ReadHello(conn)
+	if err != nil {
 		s.cfg.Logf("server: %s: handshake: %v", caddr, err)
 		return
 	}
 	s.bytesIn.Add(wire.HelloSize)
-	if err := wire.WriteHello(conn); err != nil {
+	if err := wire.WriteHelloVersion(conn, s.cfg.Protocol); err != nil {
 		return
 	}
 	s.bytesOut.Add(wire.HelloSize)
+	if theirs < wire.MinVersion {
+		s.cfg.Logf("server: %s: handshake: peer protocol %d below supported floor %d",
+			caddr, theirs, wire.MinVersion)
+		return
+	}
+	protocol := min(theirs, s.cfg.Protocol)
 
+	// The request loop is sequential, but reads and writes are
+	// buffered so a pipelined v4 client gets its acks batched: while
+	// the next request is already buffered, responses pile into bw;
+	// the flush happens only when the loop is about to block on the
+	// socket, so a request/response client still sees every response
+	// before the server waits for its next request.
+	//
+	// TPushStream frames additionally group-commit: contiguous frames
+	// that arrived back-to-back are staged into batch and appended
+	// with one store durability point (FileStore.AppendBatch), their
+	// acks written together. The batch only ever holds frames that
+	// were ALREADY buffered — the loop never waits for more input
+	// while acks are owed, so a client blocked on its window always
+	// drains: as soon as the read side would block, the batch commits
+	// and every pending ack is flushed.
+	br := bufio.NewReaderSize(conn, connBufSize)
+	bw := bufio.NewWriterSize(conn, connBufSize)
+	var req wire.Frame
+	var scratch []byte
+	var batch streamBatch
 	for ctx.Err() == nil {
+		if br.Buffered() == 0 {
+			if err := s.commitStream(&batch, bw, conn); err != nil {
+				s.cfg.Logf("server: %s: stream commit: %v", caddr, err)
+				return
+			}
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				s.cfg.Logf("server: %s: flush: %v", caddr, err)
+				return
+			}
+		}
 		conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		req, err := wire.ReadFrame(conn, s.cfg.MaxPayload)
-		if err != nil {
+		if err := wire.ReadFrameInto(br, s.cfg.MaxPayload, &req, &scratch); err != nil {
 			// A clean disconnect (EOF between frames, or our own
 			// shutdown closing the socket) is normal teardown; anything
 			// else — torn frames, deadline expiry — is worth a log line.
@@ -464,14 +534,30 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		s.requests.Add(1)
 		s.bytesIn.Add(uint64(req.WireSize()))
 
-		resp := s.dispatch(req)
+		if req.Type == wire.TPushStream && protocol >= 4 {
+			if err := s.serveStream(&batch, &req, bw, conn); err != nil {
+				s.cfg.Logf("server: %s: stream: %v", caddr, err)
+				return
+			}
+			continue
+		}
+		// A non-stream request inside a stream burst: settle the
+		// staged frames first so responses never jump their pushes.
+		if err := s.commitStream(&batch, bw, conn); err != nil {
+			s.cfg.Logf("server: %s: stream commit: %v", caddr, err)
+			return
+		}
+		resp := s.dispatch(&req, protocol)
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-		if err := wire.WriteFrame(conn, resp); err != nil {
+		if err := wire.WriteFrame(bw, resp); err != nil {
 			s.cfg.Logf("server: %s: write: %v", caddr, err)
 			return
 		}
 		s.bytesOut.Add(uint64(resp.WireSize()))
 	}
+	s.commitStream(&batch, bw, conn)
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	bw.Flush()
 }
 
 // compactLoop periodically applies every lineage's retention policy —
@@ -528,9 +614,14 @@ func (s *Server) accountCompaction(name string, st lifecycle.Stats) {
 
 // dispatch serves one request and returns the response frame. Request
 // failures come back as StatusErr (or StatusUnsupported for unknown
-// request types) responses on the same connection; only transport
+// request types, StatusUnknownHandle for stale handles on v4
+// connections) responses on the same connection; only transport
 // errors tear the connection down.
-func (s *Server) dispatch(req *wire.Frame) *wire.Frame {
+func (s *Server) dispatch(req *wire.Frame, protocol uint8) *wire.Frame {
+	if req.Type == wire.TPushStream && protocol >= 4 {
+		s.streamPushes.Add(1)
+		return s.dispatchStream(req)
+	}
 	resp, err := s.serve(req)
 	if err != nil {
 		if errors.Is(err, wire.ErrBusy) {
@@ -541,14 +632,266 @@ func (s *Server) dispatch(req *wire.Frame) *wire.Frame {
 				Payload: wire.EncodeRetryAfter(s.cfg.RetryAfterHint)}
 		}
 		status := wire.StatusErr
-		if errors.Is(err, wire.ErrUnsupported) {
+		switch {
+		case errors.Is(err, wire.ErrUnsupported):
 			status = wire.StatusUnsupported
+		case protocol >= 4 && errors.Is(err, errUnknownHandle):
+			status = wire.StatusUnknownHandle
 		}
 		return &wire.Frame{Type: req.Type, Status: status, Payload: []byte(err.Error())}
 	}
 	resp.Type = req.Type
 	resp.Status = wire.StatusOK
 	return resp
+}
+
+// retryAfterMs clamps the configured busy backoff hint to the
+// StreamAck millisecond field.
+func (s *Server) retryAfterMs() uint32 {
+	ms := s.cfg.RetryAfterHint.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	return uint32(ms)
+}
+
+// streamBatch is one connection's staged run of contiguous
+// TPushStream frames awaiting a group commit: decoded, validated
+// diffs for a single lineage, starting at the lineage's current
+// length. Frames are only staged when they arrived back-to-back on
+// the socket; the batch commits (and acks) the moment the connection
+// would otherwise block, so staging never delays an ack the client is
+// waiting on.
+type streamBatch struct {
+	ln     *lineage
+	handle uint32 // wire handle, echoed in the acks
+	start  uint32 // checkpoint id of diffs[0]
+	diffs  []*checkpoint.Diff
+	bytes  int64
+}
+
+// Caps on a single group commit: a batch holds at most
+// streamBatchFrames diffs or streamBatchBytes of decoded payload,
+// whichever trips first, bounding both ack latency and the memory a
+// fast pusher can pin on the server.
+const (
+	streamBatchFrames = 64
+	streamBatchBytes  = 16 << 20
+)
+
+// serveStream handles one TPushStream frame on a v4 connection:
+// frames that extend the connection's staged batch are buffered for
+// the next group commit; everything else — replays, conflicts, stale
+// handles, malformed payloads — takes the per-frame dispatchStream
+// path so its ack carries the precise typed failure.
+func (s *Server) serveStream(b *streamBatch, req *wire.Frame, bw *bufio.Writer, conn net.Conn) error {
+	s.streamPushes.Add(1)
+	switch s.tryStage(b, req) {
+	case stageOK:
+		if len(b.diffs) >= streamBatchFrames || b.bytes >= streamBatchBytes {
+			return s.commitStream(b, bw, conn)
+		}
+		return nil
+	case stageCommitFirst:
+		if err := s.commitStream(b, bw, conn); err != nil {
+			return err
+		}
+		if s.tryStage(b, req) == stageOK {
+			return nil
+		}
+	}
+	resp := s.dispatchStream(req)
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	if err := wire.WriteFrame(bw, resp); err != nil {
+		return fmt.Errorf("write: %w", err)
+	}
+	s.bytesOut.Add(uint64(resp.WireSize()))
+	return nil
+}
+
+// tryStage outcomes: the frame was staged onto the batch, the open
+// batch must commit before this frame can be reconsidered, or the
+// frame needs the individual servePush path.
+const (
+	stageOK = iota
+	stageCommitFirst
+	stageSolo
+)
+
+// tryStage decodes and validates req and stages it if it contiguously
+// extends the connection's batch (or starts a fresh one at the
+// lineage's current length). Validation failures are NOT staged: the
+// per-frame path reruns them to produce the typed error ack.
+func (s *Server) tryStage(b *streamBatch, req *wire.Frame) int {
+	ln, err := s.get(req.Lineage)
+	if err != nil {
+		return stageSolo
+	}
+	if len(b.diffs) > 0 && b.ln != ln {
+		return stageCommitFirst
+	}
+	_, encoded, err := wire.DecodePush(req.Payload)
+	if err != nil {
+		return stageSolo
+	}
+	d, err := checkpoint.Decode(bytes.NewReader(encoded))
+	if err != nil || d.CkptID != req.Ckpt {
+		return stageSolo
+	}
+	var next uint32
+	if len(b.diffs) > 0 {
+		next = b.start + uint32(len(b.diffs))
+	} else {
+		n, err := ln.store.Len()
+		if err != nil || n < 0 || int64(n) >= math.MaxUint32 {
+			return stageSolo
+		}
+		next = uint32(n)
+	}
+	if req.Ckpt != next {
+		if len(b.diffs) > 0 {
+			// The id does not extend the staged run, but it may be
+			// exactly right once the run has committed.
+			return stageCommitFirst
+		}
+		return stageSolo // replay or conflict: answered per frame
+	}
+	if len(b.diffs) == 0 {
+		b.ln, b.handle, b.start = ln, req.Lineage, next
+	}
+	b.diffs = append(b.diffs, d)
+	b.bytes += d.TotalBytes()
+	return stageOK
+}
+
+// commitStream appends the staged batch with one store durability
+// point and writes one ack per staged frame. Append failures fail the
+// batch's uncommitted tail with typed error acks — the committed
+// prefix still acks OK — and the client's retry resumes from the
+// length the server reports. The returned error is transport-only
+// (ack write failure); store errors travel inside the acks.
+func (s *Server) commitStream(b *streamBatch, bw *bufio.Writer, conn net.Conn) error {
+	if len(b.diffs) == 0 {
+		return nil
+	}
+	diffs, ln, handle, start := b.diffs, b.ln, b.handle, b.start
+	b.diffs, b.ln, b.bytes = nil, nil, 0
+
+	var appended int
+	release, err := ln.acquire(s.cfg.MaxLineagePending)
+	if err == nil {
+		appended, err = ln.store.AppendBatch(diffs)
+		release()
+	}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	for i := range diffs {
+		ckpt := start + uint32(i)
+		var resp *wire.Frame
+		if i < appended {
+			resp = s.streamAckFrame(handle, ckpt, ckpt+1, nil)
+		} else {
+			resp = s.streamAckFrame(handle, ckpt, 0, err)
+		}
+		if werr := wire.WriteFrame(bw, resp); werr != nil {
+			return fmt.Errorf("ack write: %w", werr)
+		}
+		s.bytesOut.Add(uint64(resp.WireSize()))
+	}
+	return nil
+}
+
+// streamAckFrame builds the StreamAck response frame for one stream
+// push outcome, mapping err onto the v4 status byte exactly as
+// dispatch does for request/response.
+func (s *Server) streamAckFrame(handle, ckpt, newLen uint32, err error) *wire.Frame {
+	ack := wire.StreamAck{Ckpt: ckpt, NewLen: newLen}
+	status := wire.StatusOK
+	if err != nil {
+		ack.NewLen = 0
+		switch {
+		case errors.Is(err, wire.ErrBusy):
+			s.busyRejects.Add(1)
+			status = wire.StatusBusy
+			ack.RetryAfterMs = s.retryAfterMs()
+			ack.Msg = "server busy"
+		case errors.Is(err, errUnknownHandle):
+			status = wire.StatusUnknownHandle
+			ack.Msg = err.Error()
+		default:
+			status = wire.StatusErr
+			ack.Msg = err.Error()
+		}
+	}
+	payload, perr := wire.AppendStreamAck(nil, &ack)
+	if perr != nil { // error message beyond the format limit: truncate it
+		ack.Msg = ack.Msg[:math.MaxUint16]
+		payload, _ = wire.AppendStreamAck(nil, &ack)
+	}
+	return &wire.Frame{Type: wire.TPushStream, Status: status,
+		Lineage: handle, Ckpt: ckpt, Payload: payload}
+}
+
+// dispatchStream serves one TPushStream frame individually — the slow
+// path for replays, conflicts, and malformed frames that cannot join
+// a group commit. Every outcome is answered with a StreamAck on the
+// same connection: a failed frame must not tear the stream, because
+// the client has a window of later frames already in flight behind
+// it.
+func (s *Server) dispatchStream(req *wire.Frame) *wire.Frame {
+	newLen, err := s.servePush(req)
+	return s.streamAckFrame(req.Lineage, req.Ckpt, newLen, err)
+}
+
+// servePush appends one pushed diff — the body shared by TPush and
+// TPushStream — and returns the lineage length after the append.
+func (s *Server) servePush(req *wire.Frame) (uint32, error) {
+	ln, err := s.get(req.Lineage)
+	if err != nil {
+		return 0, err
+	}
+	// The push payload carries a CRC32C of the encoded diff: verify
+	// the bytes survived the wire before anything else.
+	crc, encoded, err := wire.DecodePush(req.Payload)
+	if err != nil {
+		return 0, fmt.Errorf("server: push lineage %q: %w", ln.name, err)
+	}
+	// Decode-validate before touching the store: a malformed diff
+	// must never become a lineage file.
+	d, err := checkpoint.Decode(bytes.NewReader(encoded))
+	if err != nil {
+		return 0, fmt.Errorf("server: push lineage %q: %w", ln.name, err)
+	}
+	if d.CkptID != req.Ckpt {
+		return 0, fmt.Errorf("server: push frame ckpt %d but diff id %d", req.Ckpt, d.CkptID)
+	}
+	release, err := ln.acquire(s.cfg.MaxLineagePending)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	// Idempotent replay: if this id is already stored, a retried
+	// push whose content hash matches the stored bytes is the same
+	// write arriving twice (the client's response was lost) — answer
+	// OK without re-appending. A mismatching hash is a genuine
+	// conflict with the one-winner append guarantee.
+	if n, _ := ln.store.Len(); int(req.Ckpt) < n && int(req.Ckpt) >= ln.store.Base() {
+		stored, err := ln.store.DiffBytes(int(req.Ckpt))
+		if err == nil && wire.Checksum(stored) == crc {
+			if n < 0 || int64(n) > math.MaxUint32 {
+				return 0, fmt.Errorf("server: lineage length %d does not fit the frame header", n)
+			}
+			return uint32(n), nil
+		}
+		return 0, fmt.Errorf("server: push %d conflicts with already-stored diff (lineage %q)",
+			req.Ckpt, ln.name)
+	}
+	if err := ln.store.Append(d); err != nil {
+		return 0, err
+	}
+	return req.Ckpt + 1, nil
 }
 
 func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
@@ -564,47 +907,11 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 		return &wire.Frame{Lineage: h, Ckpt: uint32(n), Payload: wire.EncodeOpenInfo(uint32(base))}, nil
 
 	case wire.TPush:
-		ln, err := s.get(req.Lineage)
+		newLen, err := s.servePush(req)
 		if err != nil {
 			return nil, err
 		}
-		// v3 push carries a CRC32C of the encoded diff: verify the
-		// payload survived the wire before anything else.
-		crc, encoded, err := wire.DecodePush(req.Payload)
-		if err != nil {
-			return nil, fmt.Errorf("server: push lineage %q: %w", ln.name, err)
-		}
-		// Decode-validate before touching the store: a malformed diff
-		// must never become a lineage file.
-		d, err := checkpoint.Decode(bytes.NewReader(encoded))
-		if err != nil {
-			return nil, fmt.Errorf("server: push lineage %q: %w", ln.name, err)
-		}
-		if d.CkptID != req.Ckpt {
-			return nil, fmt.Errorf("server: push frame ckpt %d but diff id %d", req.Ckpt, d.CkptID)
-		}
-		release, err := ln.acquire(s.cfg.MaxLineagePending)
-		if err != nil {
-			return nil, err
-		}
-		defer release()
-		// Idempotent replay: if this id is already stored, a retried
-		// push whose content hash matches the stored bytes is the same
-		// write arriving twice (the client's response was lost) — answer
-		// OK without re-appending. A mismatching hash is a genuine
-		// conflict with the one-winner append guarantee.
-		if n, _ := ln.store.Len(); int(req.Ckpt) < n && int(req.Ckpt) >= ln.store.Base() {
-			stored, err := ln.store.DiffBytes(int(req.Ckpt))
-			if err == nil && wire.Checksum(stored) == crc {
-				return &wire.Frame{Lineage: req.Lineage, Ckpt: req.Ckpt + 1}, nil
-			}
-			return nil, fmt.Errorf("server: push %d conflicts with already-stored diff (lineage %q)",
-				req.Ckpt, ln.name)
-		}
-		if err := ln.store.Append(d); err != nil {
-			return nil, err
-		}
-		return &wire.Frame{Lineage: req.Lineage, Ckpt: req.Ckpt + 1}, nil
+		return &wire.Frame{Lineage: req.Lineage, Ckpt: newLen}, nil
 
 	case wire.TPull:
 		ln, err := s.get(req.Lineage)

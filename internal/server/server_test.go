@@ -54,7 +54,7 @@ func testConn(t *testing.T, addr string) net.Conn {
 		t.Fatal(err)
 	}
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
-	if err := wire.Handshake(conn); err != nil {
+	if _, err := wire.Handshake(conn); err != nil {
 		conn.Close()
 		t.Fatal(err)
 	}
@@ -141,16 +141,29 @@ func TestServerRequestErrors(t *testing.T) {
 	defer conn.Close()
 
 	cases := []*wire.Frame{
-		{Type: wire.TOpen, Payload: []byte("../escape")},      // bad name
-		{Type: wire.TOpen, Payload: []byte("a/b")},            // path separator
-		{Type: wire.TOpen},                                    // empty name
-		{Type: wire.TPush, Lineage: 99, Payload: []byte("x")}, // unknown handle
-		{Type: wire.TPull, Lineage: 99},                       // unknown handle
+		{Type: wire.TOpen, Payload: []byte("../escape")}, // bad name
+		{Type: wire.TOpen, Payload: []byte("a/b")},       // path separator
+		{Type: wire.TOpen},                               // empty name
 	}
 	for _, req := range cases {
 		resp := call(t, conn, req)
 		if resp.Status != wire.StatusErr {
 			t.Fatalf("request %+v succeeded: %+v", req, resp)
+		}
+	}
+	// A stale/unknown handle gets the dedicated v4 status on this
+	// (v4-negotiated) connection, and round-trips through Err() as
+	// wire.ErrUnknownHandle so the client's re-open path triggers.
+	for _, req := range []*wire.Frame{
+		{Type: wire.TPush, Lineage: 99, Payload: []byte("x")},
+		{Type: wire.TPull, Lineage: 99},
+	} {
+		resp := call(t, conn, req)
+		if resp.Status != wire.StatusUnknownHandle {
+			t.Fatalf("unknown handle %+v: status %d, want StatusUnknownHandle", req, resp.Status)
+		}
+		if err := resp.Err(); !errors.Is(err, wire.ErrUnknownHandle) {
+			t.Fatalf("unknown handle error %v does not match wire.ErrUnknownHandle", err)
 		}
 	}
 	// An unknown opcode gets the dedicated unsupported status (not a
@@ -184,6 +197,193 @@ func TestServerRequestErrors(t *testing.T) {
 	// The connection survives request errors.
 	if st := call(t, conn, &wire.Frame{Type: wire.TStats}); st.Status != wire.StatusOK {
 		t.Fatal("connection broken after request errors")
+	}
+}
+
+// TestServerStreamPush drives the v4 pipelined push over raw frames:
+// a window of TPushStream frames is written without reading a single
+// ack, then all acks are drained and matched by checkpoint id. A bad
+// frame in the middle must produce an error ack without tearing the
+// stream — the frames behind it still land.
+func TestServerStreamPush(t *testing.T) {
+	srv, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("stream")})
+	if open.Status != wire.StatusOK {
+		t.Fatalf("open: %+v", open)
+	}
+	h := open.Lineage
+
+	const n = 16
+	const badCkpt = 7
+	for i := 0; i < n; i++ {
+		payload := wire.EncodePush(encodedDiff(t, i, byte(i)))
+		if i == badCkpt {
+			// Frame ckpt disagrees with the encoded diff id: a
+			// per-frame error, not a stream teardown.
+			payload = wire.EncodePush(encodedDiff(t, 99, byte(i)))
+		}
+		f := &wire.Frame{Type: wire.TPushStream, Lineage: h, Ckpt: uint32(i), Payload: payload}
+		if err := wire.WriteFrame(conn, f); err != nil {
+			t.Fatalf("stream frame %d: %v", i, err)
+		}
+	}
+	acked := make(map[uint32]wire.StreamAck)
+	statuses := make(map[uint32]uint8)
+	for i := 0; i < n; i++ {
+		resp, err := wire.ReadFrame(conn, 0)
+		if err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+		if resp.Type != wire.TPushStream {
+			t.Fatalf("ack %d has type %d", i, resp.Type)
+		}
+		ack, err := wire.DecodeStreamAck(resp.Payload)
+		if err != nil {
+			t.Fatalf("ack %d payload: %v", i, err)
+		}
+		if ack.Ckpt != resp.Ckpt {
+			t.Fatalf("ack payload ckpt %d != header ckpt %d", ack.Ckpt, resp.Ckpt)
+		}
+		if _, dup := acked[ack.Ckpt]; dup {
+			t.Fatalf("checkpoint %d acked twice", ack.Ckpt)
+		}
+		acked[ack.Ckpt] = ack
+		statuses[ack.Ckpt] = resp.Status
+	}
+	for i := uint32(0); i < n; i++ {
+		ack, ok := acked[i]
+		if !ok {
+			t.Fatalf("checkpoint %d never acked", i)
+		}
+		if i < badCkpt {
+			if statuses[i] != wire.StatusOK {
+				t.Fatalf("checkpoint %d ack status %d: %s", i, statuses[i], ack.Msg)
+			}
+			continue
+		}
+		// The bad frame fails on its own terms; the frames already in
+		// flight behind it fail the contiguity check (the lineage
+		// stopped at the gap). Every failure is a typed per-frame ack,
+		// never a torn connection.
+		if statuses[i] == wire.StatusOK {
+			t.Fatalf("checkpoint %d acked OK across the gap: %+v", i, ack)
+		}
+		if ack.Msg == "" {
+			t.Fatalf("error ack %d carries no message", i)
+		}
+		var re *wire.RemoteError
+		if !errors.As(ack.Err(statuses[i]), &re) {
+			t.Fatalf("error ack %d does not decode to a RemoteError: %v", i, ack.Err(statuses[i]))
+		}
+	}
+	if got := srv.StreamPushes(); got != n {
+		t.Fatalf("StreamPushes() = %d, want %d", got, n)
+	}
+
+	// The stream stayed usable: the client resumes from the gap over
+	// the same connection and the suffix lands.
+	for i := badCkpt; i < n; i++ {
+		tag := byte(i)
+		if i == badCkpt {
+			tag = 0xEE
+		}
+		repush := call(t, conn, &wire.Frame{Type: wire.TPushStream, Lineage: h, Ckpt: uint32(i),
+			Payload: wire.EncodePush(encodedDiff(t, i, tag))})
+		if repush.Status != wire.StatusOK {
+			t.Fatalf("resume push %d after error ack: %+v (%s)", i, repush, repush.Payload)
+		}
+		ack, err := wire.DecodeStreamAck(repush.Payload)
+		if err != nil || ack.Ckpt != uint32(i) || ack.NewLen != uint32(i+1) {
+			t.Fatalf("resume ack %+v err %v", ack, err)
+		}
+	}
+
+	// Every slot restorable and byte-exact.
+	for i := 0; i < n; i++ {
+		pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: uint32(i)})
+		if pull.Status != wire.StatusOK {
+			t.Fatalf("pull %d: %+v", i, pull)
+		}
+		tag := byte(i)
+		if i == badCkpt {
+			tag = 0xEE
+		}
+		want := encodedDiff(t, i, tag)
+		if !bytes.Equal(pull.Payload, want) {
+			t.Fatalf("pull %d diverges from pushed bytes", i)
+		}
+	}
+}
+
+// TestServerStreamUnknownHandleAck: a stream frame naming a stale
+// handle is answered with a StatusUnknownHandle ack on a v4
+// connection, still without tearing the stream.
+func TestServerStreamUnknownHandleAck(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	resp := call(t, conn, &wire.Frame{Type: wire.TPushStream, Lineage: 42, Ckpt: 0,
+		Payload: wire.EncodePush(encodedDiff(t, 0, 1))})
+	if resp.Status != wire.StatusUnknownHandle {
+		t.Fatalf("stale-handle stream push: status %d, want StatusUnknownHandle", resp.Status)
+	}
+	ack, err := wire.DecodeStreamAck(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(ack.Err(resp.Status), wire.ErrUnknownHandle) {
+		t.Fatalf("ack error %v does not match ErrUnknownHandle", ack.Err(resp.Status))
+	}
+	// The connection is still alive.
+	if st := call(t, conn, &wire.Frame{Type: wire.TStats}); st.Status != wire.StatusOK {
+		t.Fatalf("connection dead after unknown-handle ack: %+v", st)
+	}
+}
+
+// TestServerProtocolPin: a server pinned to v3 negotiates v3 with a
+// v4 client, answers TPushStream with StatusUnsupported (it never
+// advertised the op), and keeps plain TPush working.
+func TestServerProtocolPin(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir(), Protocol: 3})
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	v, err := wire.Handshake(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Fatalf("negotiated v%d against a v3-pinned server", v)
+	}
+
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("v3lin")})
+	if open.Status != wire.StatusOK {
+		t.Fatalf("open: %+v", open)
+	}
+	push := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0,
+		Payload: wire.EncodePush(encodedDiff(t, 0, 0x11))})
+	if push.Status != wire.StatusOK {
+		t.Fatalf("v3 push: %+v", push)
+	}
+	stream := call(t, conn, &wire.Frame{Type: wire.TPushStream, Lineage: open.Lineage, Ckpt: 1,
+		Payload: wire.EncodePush(encodedDiff(t, 1, 0x22))})
+	if stream.Status != wire.StatusUnsupported {
+		t.Fatalf("TPushStream on v3 conn: status %d, want StatusUnsupported", stream.Status)
+	}
+	// Stale handles on a v3 conn keep the legacy generic status.
+	stale := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: 77})
+	if stale.Status != wire.StatusErr {
+		t.Fatalf("stale handle on v3 conn: status %d, want StatusErr", stale.Status)
 	}
 }
 
@@ -227,7 +427,7 @@ func TestServerConnectionLimit(t *testing.T) {
 	}
 	defer c3.Close()
 	c3.SetDeadline(time.Now().Add(10 * time.Second))
-	if err := wire.Handshake(c3); err != nil {
+	if _, err := wire.Handshake(c3); err != nil {
 		t.Fatalf("over-limit handshake failed: %v", err)
 	}
 	f, err := wire.ReadFrame(c3, 0)
@@ -249,7 +449,7 @@ func TestServerConnectionLimit(t *testing.T) {
 		c4, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
 			c4.SetDeadline(time.Now().Add(5 * time.Second))
-			if wire.Handshake(c4) == nil {
+			if _, err := wire.Handshake(c4); err == nil {
 				if err := wire.WriteFrame(c4, &wire.Frame{Type: wire.TStats}); err == nil {
 					if resp, err := wire.ReadFrame(c4, 0); err == nil && resp.Status == wire.StatusOK {
 						c4.Close()

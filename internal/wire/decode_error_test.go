@@ -144,6 +144,43 @@ func TestDecodeListLyingCount(t *testing.T) {
 	}
 }
 
+// TestDecodeStreamAckTruncated truncates an encoded ack (with a
+// non-empty message, so the variable tail is exercised) at every byte
+// boundary, and rejects trailing slack.
+func TestDecodeStreamAckTruncated(t *testing.T) {
+	payload, err := AppendStreamAck(nil, &StreamAck{Ckpt: 12, NewLen: 13, RetryAfterMs: 99, Msg: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(payload); i++ {
+		if _, err := DecodeStreamAck(payload[:i]); err == nil {
+			t.Errorf("stream ack truncated to %d bytes decoded", i)
+		}
+	}
+	if _, err := DecodeStreamAck(append(append([]byte(nil), payload...), 0)); err == nil {
+		t.Error("stream ack with trailing byte decoded")
+	}
+	a, err := DecodeStreamAck(payload)
+	if err != nil || a.Ckpt != 12 || a.NewLen != 13 || a.RetryAfterMs != 99 || a.Msg != "boom" {
+		t.Fatalf("valid stream ack: %+v err=%v", a, err)
+	}
+}
+
+// TestDecodeStreamAckLyingMsgLen declares a message length longer than
+// the remaining payload: the decoder must fail, never slice past the
+// buffer.
+func TestDecodeStreamAckLyingMsgLen(t *testing.T) {
+	payload, err := AppendStreamAck(nil, &StreamAck{Ckpt: 1, Msg: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), payload...)
+	binary.BigEndian.PutUint16(bad[12:], 1<<15)
+	if _, err := DecodeStreamAck(bad); err == nil {
+		t.Fatal("stream ack with lying message length decoded")
+	}
+}
+
 func TestDecodeStatsWrongSize(t *testing.T) {
 	valid := (&Stats{Requests: 1, Conns: 2}).Encode()
 	for _, n := range []int{0, 1, len(valid) - 1, len(valid) + 1} {

@@ -67,28 +67,62 @@ type readWriter struct {
 }
 
 // FuzzHandshake drives the full hello exchange with arbitrary peer
-// bytes: it must accept exactly a well-formed same-version hello and
-// error on everything else, never panic.
+// bytes: it must accept exactly a well-formed hello at or above
+// MinVersion, settle on min(ours, theirs), and error on everything
+// else, never panic.
 func FuzzHandshake(f *testing.F) {
 	var valid bytes.Buffer
 	_ = WriteHello(&valid)
 	f.Add(valid.Bytes())
-	wrongVersion := append([]byte(nil), valid.Bytes()...)
-	wrongVersion[4] = 2
-	f.Add(wrongVersion)
+	older := append([]byte(nil), valid.Bytes()...)
+	older[4] = MinVersion
+	f.Add(older)
+	tooOld := append([]byte(nil), valid.Bytes()...)
+	tooOld[4] = MinVersion - 1
+	f.Add(tooOld)
 	f.Add([]byte{0, 0, 0, 0, 0, 0})
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rw := &readWriter{Reader: bytes.NewReader(data), Writer: io.Discard}
-		err := Handshake(rw)
+		got, err := Handshake(rw)
 		wellFormed := len(data) >= HelloSize &&
-			binary.BigEndian.Uint32(data) == Magic && data[4] == Version
-		if wellFormed && err != nil {
-			t.Fatalf("valid hello rejected: %v", err)
-		}
-		if !wellFormed && err == nil {
+			binary.BigEndian.Uint32(data) == Magic && data[4] >= MinVersion
+		if wellFormed {
+			want := min(data[4], Version)
+			if err != nil || got != want {
+				t.Fatalf("valid hello (peer v%d) rejected: got %d, %v", data[4], got, err)
+			}
+		} else if err == nil {
 			t.Fatalf("malformed hello %x accepted", data)
+		}
+	})
+}
+
+// FuzzStreamAck feeds arbitrary bytes to the v4 ack decoder and, when
+// a payload decodes, checks that re-encoding reproduces it
+// byte-identically — the decoder must accept exactly the format the
+// encoder emits, with no trailing or truncated slack.
+func FuzzStreamAck(f *testing.F) {
+	seed, _ := AppendStreamAck(nil, &StreamAck{Ckpt: 7, NewLen: 8})
+	f.Add(seed)
+	seed, _ = AppendStreamAck(nil, &StreamAck{Ckpt: 3, RetryAfterMs: 250, Msg: "server busy"})
+	f.Add(seed)
+	f.Add(append(append([]byte(nil), seed...), 0)) // trailing byte
+	f.Add(seed[:streamAckFixed-1])                 // truncated fixed prefix
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeStreamAck(data)
+		if err != nil {
+			return
+		}
+		out, err := AppendStreamAck(nil, &a)
+		if err != nil {
+			t.Fatalf("re-encode of decoded ack failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("stream ack round trip diverged:\n in  %x\n out %x", data, out)
 		}
 	})
 }

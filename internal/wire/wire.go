@@ -51,7 +51,18 @@ const (
 	//	   status byte with a retry-after hint for load shedding; a
 	//	   busy-reject counter in stats. The push and stats payload
 	//	   layouts changed shape, hence the incompatible bump.
-	Version uint8 = 3
+	//	4: raw wire speed — the TPushStream request (windowed
+	//	   pipelined pushes with per-frame StreamAck responses keyed
+	//	   by checkpoint id), the StatusUnknownHandle status byte
+	//	   (handle-epoch invalidation a pooled client can recover
+	//	   from), and min-version hello negotiation: each peer sends
+	//	   the highest version it speaks and both sides settle on the
+	//	   minimum, so a v4 client falls back to v3 request/response
+	//	   against a v3 server instead of refusing the connection.
+	Version uint8 = 4
+	// MinVersion is the oldest protocol version this build still
+	// speaks. A peer advertising anything older is refused.
+	MinVersion uint8 = 3
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 14
 	// HelloSize is the handshake message length in bytes.
@@ -88,6 +99,15 @@ const (
 	// carries the current policy in the payload and the baseline in
 	// Ckpt.
 	TPolicy
+	// TPushStream (v4) is the pipelined form of TPush: the client
+	// keeps a window of TPushStream frames in flight without waiting
+	// for responses, and the server answers each with a StreamAck
+	// payload echoing the checkpoint id in both the header Ckpt field
+	// and the payload, so acknowledgements can be matched in any
+	// order. A failed frame produces an error-status ack (StatusErr,
+	// StatusBusy or StatusUnknownHandle) on the same connection — one
+	// bad diff never tears the stream.
+	TPushStream
 	// TErr is an unsolicited server error (e.g. connection limit
 	// reached), sent without a matching request.
 	TErr uint8 = 0xFF
@@ -115,6 +135,12 @@ const (
 	// retry-after hint (EncodeRetryAfter); the request was NOT executed,
 	// so replaying it after backing off is always safe.
 	StatusBusy uint8 = 3
+	// StatusUnknownHandle (v4) marks a request whose Lineage handle
+	// the server does not recognize — the handle epoch changed
+	// underneath the client (server restart, pool reconnect). The
+	// request was not executed; re-resolving the lineage name with
+	// TOpen and replaying is always safe.
+	StatusUnknownHandle uint8 = 4
 )
 
 // Errors.
@@ -136,6 +162,12 @@ var (
 	// ErrChecksum reports a TPush payload whose CRC32C prefix does not
 	// match the encoded diff that follows it.
 	ErrChecksum = errors.New("wire: push payload checksum mismatch")
+	// ErrUnknownHandle matches (via errors.Is) a RemoteError carried by
+	// a StatusUnknownHandle response: the lineage handle the request
+	// named is from a stale epoch. The request was not executed; the
+	// client recovers by dropping its cached handle, re-opening the
+	// lineage by name and replaying.
+	ErrUnknownHandle = errors.New("wire: unknown lineage handle")
 )
 
 // Frame is one protocol message in either direction.
@@ -159,7 +191,11 @@ func (f *Frame) Err() error {
 		hint, _ := DecodeRetryAfter(f.Payload)
 		return &RemoteError{Msg: "server busy", Busy: true, RetryAfter: hint}
 	}
-	return &RemoteError{Msg: string(f.Payload), Unsupported: f.Status == StatusUnsupported}
+	return &RemoteError{
+		Msg:           string(f.Payload),
+		Unsupported:   f.Status == StatusUnsupported,
+		UnknownHandle: f.Status == StatusUnknownHandle,
+	}
 }
 
 // RemoteError is a failure reported by the peer through a StatusErr,
@@ -178,14 +214,20 @@ type RemoteError struct {
 	// reports it; RetryAfter carries the peer's backoff hint.
 	Busy       bool
 	RetryAfter time.Duration
+	// UnknownHandle marks a StatusUnknownHandle response: the lineage
+	// handle belongs to a stale epoch and the request was not executed.
+	// errors.Is(err, ErrUnknownHandle) reports it.
+	UnknownHandle bool
 }
 
 func (e *RemoteError) Error() string { return "remote: " + e.Msg }
 
-// Is lets errors.Is match an unsupported-operation or busy RemoteError
-// against its sentinel.
+// Is lets errors.Is match an unsupported-operation, busy or
+// unknown-handle RemoteError against its sentinel.
 func (e *RemoteError) Is(target error) bool {
-	return (target == ErrUnsupported && e.Unsupported) || (target == ErrBusy && e.Busy)
+	return (target == ErrUnsupported && e.Unsupported) ||
+		(target == ErrBusy && e.Busy) ||
+		(target == ErrUnknownHandle && e.UnknownHandle)
 }
 
 // EncodeRetryAfter serializes a StatusBusy retry-after hint as a
@@ -259,11 +301,20 @@ func IsClean(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
 }
 
-// WriteHello writes the 6-byte handshake: magic, version, flags.
+// WriteHello writes the 6-byte handshake advertising Version (the
+// highest protocol this build speaks): magic, version, flags.
 func WriteHello(w io.Writer) error {
+	return WriteHelloVersion(w, Version)
+}
+
+// WriteHelloVersion writes the 6-byte handshake advertising an
+// explicit protocol version — a server pinned to an older protocol
+// (for interop tests or staged rollouts) advertises that instead of
+// Version.
+func WriteHelloVersion(w io.Writer, version uint8) error {
 	var b [HelloSize]byte
 	binary.BigEndian.PutUint32(b[0:], Magic)
-	b[4] = Version
+	b[4] = version
 	b[5] = 0 // flags, reserved
 	if _, err := w.Write(b[:]); err != nil {
 		return fmt.Errorf("wire: write hello: %w", err)
@@ -284,20 +335,37 @@ func ReadHello(r io.Reader) (uint8, error) {
 	return b[4], nil
 }
 
-// Handshake performs one side of the hello exchange: write ours, read
-// theirs, and require an exact version match.
-func Handshake(rw io.ReadWriter) error {
-	if err := WriteHello(rw); err != nil {
-		return err
+// Handshake performs one side of the hello exchange: write our
+// highest version, read theirs, and settle on the minimum of the two.
+// It returns the effective version both sides will speak, or an error
+// if the peer's protocol is older than MinVersion (each side checks
+// the same floor, so a refused handshake is symmetric).
+func Handshake(rw io.ReadWriter) (uint8, error) {
+	return HandshakeVersion(rw, Version)
+}
+
+// HandshakeVersion is Handshake advertising an explicit highest
+// version instead of Version. Pinning below MinVersion is a caller
+// bug and fails before any bytes are written.
+func HandshakeVersion(rw io.ReadWriter, version uint8) (uint8, error) {
+	if version < MinVersion {
+		return 0, fmt.Errorf("wire: cannot advertise protocol %d below the supported floor %d", version, MinVersion)
 	}
-	v, err := ReadHello(rw)
+	if err := WriteHelloVersion(rw, version); err != nil {
+		return 0, err
+	}
+	theirs, err := ReadHello(rw)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if v != Version {
-		return fmt.Errorf("wire: protocol version mismatch: peer %d, ours %d", v, Version)
+	if theirs < MinVersion {
+		return 0, fmt.Errorf("wire: protocol version mismatch: peer %d, ours %d (oldest supported %d)",
+			theirs, version, MinVersion)
 	}
-	return nil
+	if theirs < version {
+		return theirs, nil
+	}
+	return version, nil
 }
 
 // WriteFrame writes f as header + payload. The header and payload are
@@ -324,6 +392,42 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	return nil
 }
 
+// AppendFrameHeader appends the 14-byte frame header for a payload of
+// payloadLen bytes to buf and returns the extended slice. It is the
+// zero-copy counterpart of WriteFrame's header block: the caller
+// stages the header (and any payload prefix) in a reused buffer and
+// ships the payload segments themselves by reference through
+// WriteFrameVec, so large diff bytes are never copied between their
+// producer and the socket.
+func AppendFrameHeader(buf []byte, typ, status uint8, lineage, ckpt uint32, payloadLen int) ([]byte, error) {
+	if payloadLen < 0 || uint64(payloadLen) > math.MaxUint32 {
+		return buf, fmt.Errorf("%w: %d bytes cannot be framed", ErrPayloadTooLarge, payloadLen)
+	}
+	buf = append(buf, typ, status)
+	buf = binary.BigEndian.AppendUint32(buf, lineage)
+	buf = binary.BigEndian.AppendUint32(buf, ckpt)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(payloadLen))
+	return buf, nil
+}
+
+// WriteFrameVec writes one or more pre-assembled frames as a single
+// scatter/gather operation. On a *net.TCPConn, net.Buffers.WriteTo
+// lowers to writev(2), so the segments — typically a staged
+// [header|checksum|diff prefix] buffer followed by bitmap and data
+// slices referenced straight out of the encoder — reach the socket
+// without ever being copied into one contiguous payload.
+//
+// WriteTo consumes vec: on return (success or failure) the slice
+// header and its entries have been advanced past whatever was
+// written. Callers reusing a persistent vec must re-append segments
+// for the next frame rather than re-slicing the old ones.
+func WriteFrameVec(w io.Writer, vec *net.Buffers) error {
+	if _, err := vec.WriteTo(w); err != nil {
+		return fmt.Errorf("wire: writev frame: %w", err)
+	}
+	return nil
+}
+
 // initialPayloadCap bounds the upfront payload allocation of
 // ReadFrame: anything larger is grown only as bytes actually arrive,
 // so a lying length field below maxPayload still cannot demand a
@@ -335,47 +439,84 @@ const initialPayloadCap = 64 << 10
 // payload buffer starts small and grows as bytes arrive, so the
 // declared length is never trusted for the allocation.
 func ReadFrame(r io.Reader, maxPayload uint32) (*Frame, error) {
+	f := new(Frame)
+	var scratch []byte
+	if err := ReadFrameInto(r, maxPayload, f, &scratch); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadFrameInto reads one frame into f, reusing *scratch as the
+// payload buffer. It is the allocation-free form of ReadFrame for hot
+// receive loops (streaming acks, pooled connections): once *scratch
+// has grown to the connection's steady-state payload size, subsequent
+// calls allocate nothing. f.Payload aliases *scratch and is only
+// valid until the next call with the same scratch.
+//
+// The same untrusted-length discipline as ReadFrame applies: a
+// declared length is capped by maxPayload (0 selects
+// DefaultMaxPayload) before any growth, and the buffer grows only as
+// bytes actually arrive.
+func ReadFrameInto(r io.Reader, maxPayload uint32, f *Frame, scratch *[]byte) error {
 	if maxPayload == 0 {
 		maxPayload = DefaultMaxPayload
 	}
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+	// The header is staged in the scratch buffer too: a stack array
+	// would escape through the io.Reader interface call and cost one
+	// allocation per frame. The parsed fields are extracted before the
+	// payload read reuses the same bytes.
+	buf := *scratch
+	if cap(buf) < HeaderSize {
+		buf = make([]byte, HeaderSize)
 	}
-	f := &Frame{
-		Type:    hdr[0],
-		Status:  hdr[1],
-		Lineage: binary.BigEndian.Uint32(hdr[2:]),
-		Ckpt:    binary.BigEndian.Uint32(hdr[6:]),
+	hdr := buf[:HeaderSize]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		*scratch = buf
+		return err
 	}
+	f.Type = hdr[0]
+	f.Status = hdr[1]
+	f.Lineage = binary.BigEndian.Uint32(hdr[2:])
+	f.Ckpt = binary.BigEndian.Uint32(hdr[6:])
+	f.Payload = nil
 	n := binary.BigEndian.Uint32(hdr[10:])
+	*scratch = buf
 	if n > maxPayload {
-		return nil, fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, n, maxPayload)
+		return fmt.Errorf("%w: %d > %d", ErrPayloadTooLarge, n, maxPayload)
 	}
-	if n > 0 {
-		total := int(n)
-		f.Payload = make([]byte, min(total, initialPayloadCap))
-		filled := 0
-		for {
-			m, err := io.ReadFull(r, f.Payload[filled:])
-			filled += m
-			if err != nil {
-				if err == io.EOF {
-					// The header promised payload bytes: EOF here is
-					// a truncated frame, not a clean end of stream.
-					err = io.ErrUnexpectedEOF
-				}
-				return nil, fmt.Errorf("wire: read frame payload: %w", err)
+	if n == 0 {
+		return nil
+	}
+	total := int(n)
+	if cap(buf) < min(total, initialPayloadCap) {
+		buf = make([]byte, min(total, initialPayloadCap))
+	} else {
+		buf = buf[:min(total, cap(buf))]
+	}
+	filled := 0
+	for {
+		m, err := io.ReadFull(r, buf[filled:])
+		filled += m
+		if err != nil {
+			if err == io.EOF {
+				// The header promised payload bytes: EOF here is
+				// a truncated frame, not a clean end of stream.
+				err = io.ErrUnexpectedEOF
 			}
-			if filled == total {
-				break
-			}
-			next := make([]byte, min(total, 2*filled))
-			copy(next, f.Payload)
-			f.Payload = next
+			*scratch = buf
+			return fmt.Errorf("wire: read frame payload: %w", err)
 		}
+		if filled == total {
+			break
+		}
+		next := make([]byte, min(total, 2*filled))
+		copy(next, buf)
+		buf = next
 	}
-	return f, nil
+	*scratch = buf
+	f.Payload = buf[:total]
+	return nil
 }
 
 // PushChecksumSize is the length of the CRC32C prefix a v3 TPush
@@ -389,6 +530,12 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // Checksum returns the CRC32C (Castagnoli) checksum of b — the
 // content hash of the v3 push precondition.
 func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// ChecksumAdd extends a running CRC32C with b, so a checksum over
+// scattered payload segments can be computed without first gathering
+// them into one buffer: ChecksumAdd(ChecksumAdd(0, a), b) equals
+// Checksum(append(a, b...)), and ChecksumAdd(0, b) equals Checksum(b).
+func ChecksumAdd(sum uint32, b []byte) uint32 { return crc32.Update(sum, castagnoli, b) }
 
 // EncodePush builds a v3 TPush payload: a big-endian CRC32C of the
 // encoded diff, then the diff bytes themselves. The server verifies
@@ -416,6 +563,104 @@ func DecodePush(payload []byte) (crc uint32, encoded []byte, err error) {
 	}
 	return crc, encoded, nil
 }
+
+// StreamAck is the response payload of one TPushStream frame. The
+// frame header's Ckpt field echoes the acknowledged checkpoint id; the
+// payload repeats it so an ack pulled out of a window of in-flight
+// frames is self-describing even when the header is all the client
+// kept. Status rides in the frame header exactly as for TPush — an
+// error ack carries the message here instead of as a bare StatusErr
+// payload, so the stream stays framed.
+type StreamAck struct {
+	// Ckpt is the checkpoint id this ack settles (== header Ckpt).
+	Ckpt uint32
+	// NewLen is the lineage length after a successful append; for an
+	// idempotent replay hit it is the unchanged length. Zero on error.
+	NewLen uint32
+	// RetryAfterMs carries the backoff hint of a StatusBusy ack in
+	// milliseconds; zero otherwise.
+	RetryAfterMs uint32
+	// Msg is the error message of a non-OK ack; empty on success.
+	Msg string
+}
+
+// streamAckFixed is the fixed-size prefix of a StreamAck payload:
+// ckpt, new length, retry-after, and the 2-byte message length.
+const streamAckFixed = 4 + 4 + 4 + 2
+
+// AppendStreamAck appends the encoded ack to buf and returns the
+// extended slice, so a per-connection staging buffer can carry ack
+// after ack without reallocating. It fails rather than truncate a
+// message that does not fit the 2-byte length field.
+func AppendStreamAck(buf []byte, a *StreamAck) ([]byte, error) {
+	if len(a.Msg) > math.MaxUint16 {
+		return buf, fmt.Errorf("wire: stream ack message of %d bytes exceeds the format limit", len(a.Msg))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, a.Ckpt)
+	buf = binary.BigEndian.AppendUint32(buf, a.NewLen)
+	buf = binary.BigEndian.AppendUint32(buf, a.RetryAfterMs)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Msg)))
+	buf = append(buf, a.Msg...)
+	return buf, nil
+}
+
+// DecodeStreamAck parses a TPushStream response payload.
+func DecodeStreamAck(b []byte) (StreamAck, error) {
+	if len(b) < streamAckFixed {
+		return StreamAck{}, fmt.Errorf("wire: stream ack payload %d bytes, want at least %d", len(b), streamAckFixed)
+	}
+	a := StreamAck{
+		Ckpt:         binary.BigEndian.Uint32(b[0:]),
+		NewLen:       binary.BigEndian.Uint32(b[4:]),
+		RetryAfterMs: binary.BigEndian.Uint32(b[8:]),
+	}
+	msgLen := int(binary.BigEndian.Uint16(b[12:]))
+	if len(b) != streamAckFixed+msgLen {
+		return StreamAck{}, fmt.Errorf("wire: stream ack payload %d bytes, want %d", len(b), streamAckFixed+msgLen)
+	}
+	a.Msg = string(b[streamAckFixed:])
+	return a, nil
+}
+
+// Err maps a stream ack received under the given frame status to the
+// same typed errors a TPush response would produce: nil for StatusOK,
+// a RemoteError (busy / unsupported / unknown-handle flags set from
+// the status, RetryAfter from the hint) otherwise.
+func (a *StreamAck) Err(status uint8) error {
+	if status == StatusOK {
+		return nil
+	}
+	msg := a.Msg
+	if msg == "" && status == StatusBusy {
+		msg = "server busy"
+	}
+	return &RemoteError{
+		Msg:           msg,
+		Unsupported:   status == StatusUnsupported,
+		Busy:          status == StatusBusy,
+		RetryAfter:    time.Duration(a.RetryAfterMs) * time.Millisecond,
+		UnknownHandle: status == StatusUnknownHandle,
+	}
+}
+
+// StreamFrameError reports the failure of one frame inside a push
+// stream: the surrounding stream (and the checkpoints acked around
+// it) completed or failed independently. Unwrap exposes the
+// underlying typed error, so errors.Is(err, ErrBusy) and friends see
+// through it.
+type StreamFrameError struct {
+	// Ckpt is the checkpoint id of the failed frame.
+	Ckpt uint32
+	// Err is the per-frame failure — usually a RemoteError decoded
+	// from an error-status ack.
+	Err error
+}
+
+func (e *StreamFrameError) Error() string {
+	return fmt.Sprintf("wire: stream push of checkpoint %d: %v", e.Ckpt, e.Err)
+}
+
+func (e *StreamFrameError) Unwrap() error { return e.Err }
 
 // LineageInfo is one entry of the TList response.
 type LineageInfo struct {

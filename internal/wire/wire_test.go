@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"net"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -96,8 +98,9 @@ func TestHandshake(t *testing.T) {
 	if err := WriteHello(&peer); err != nil {
 		t.Fatal(err)
 	}
-	if err := Handshake(pipeRW{&peer, &ours}); err != nil {
-		t.Fatal(err)
+	got, err := Handshake(pipeRW{&peer, &ours})
+	if err != nil || got != Version {
+		t.Fatalf("same-version handshake: v=%d err=%v", got, err)
 	}
 	v, err := ReadHello(&ours)
 	if err != nil || v != Version {
@@ -105,14 +108,46 @@ func TestHandshake(t *testing.T) {
 	}
 }
 
+func TestHandshakeNegotiation(t *testing.T) {
+	cases := []struct {
+		ours, theirs uint8
+		want         uint8
+		ok           bool
+	}{
+		{Version, Version, Version, true},
+		// A newer peer settles on our version; a MinVersion peer pulls
+		// us down to its level.
+		{Version, Version + 3, Version, true},
+		{Version, MinVersion, MinVersion, true},
+		{MinVersion, Version, MinVersion, true},
+		// Anything below the floor is refused, on either side.
+		{Version, MinVersion - 1, 0, false},
+		{MinVersion - 1, Version, 0, false},
+		{Version, 0, 0, false},
+	}
+	for _, c := range cases {
+		var peer, out bytes.Buffer
+		if err := WriteHelloVersion(&peer, c.theirs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := HandshakeVersion(pipeRW{&peer, &out}, c.ours)
+		if c.ok {
+			if err != nil || got != c.want {
+				t.Fatalf("handshake(ours=%d, theirs=%d): got %d, %v; want %d", c.ours, c.theirs, got, err, c.want)
+			}
+		} else if err == nil {
+			t.Fatalf("handshake(ours=%d, theirs=%d) accepted, want refusal", c.ours, c.theirs)
+		}
+	}
+}
+
 func TestHandshakeVersionMismatch(t *testing.T) {
 	var peer bytes.Buffer
-	b := []byte{0x43, 0x4b, 0x50, 0x44, Version + 1, 0}
+	b := []byte{0x43, 0x4b, 0x50, 0x44, MinVersion - 1, 0}
 	peer.Write(b)
 	var out bytes.Buffer
-	err := Handshake(pipeRW{&peer, &out})
-	if err == nil {
-		t.Fatal("version mismatch accepted")
+	if _, err := Handshake(pipeRW{&peer, &out}); err == nil {
+		t.Fatal("below-floor version accepted")
 	}
 }
 
@@ -244,6 +279,191 @@ func TestStatsCompactionCounters(t *testing.T) {
 	got, err := DecodeStats(s.Encode())
 	if err != nil || got != s {
 		t.Fatalf("stats round trip: %+v %v", got, err)
+	}
+}
+
+func TestStreamAckRoundTrip(t *testing.T) {
+	cases := []StreamAck{
+		{},
+		{Ckpt: 7, NewLen: 8},
+		{Ckpt: 3, RetryAfterMs: 250, Msg: "server busy"},
+		{Ckpt: 1<<32 - 1, NewLen: 1<<32 - 1, Msg: "x"},
+	}
+	buf := make([]byte, 0, 64)
+	for _, a := range cases {
+		buf = buf[:0]
+		var err error
+		buf, err = AppendStreamAck(buf, &a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeStreamAck(buf)
+		if err != nil || got != a {
+			t.Fatalf("stream ack %+v: got %+v, %v", a, got, err)
+		}
+	}
+	// An over-long message must fail, not truncate.
+	long := StreamAck{Msg: string(make([]byte, 1<<16))}
+	if _, err := AppendStreamAck(nil, &long); err == nil {
+		t.Fatal("64 KiB ack message accepted")
+	}
+}
+
+func TestStreamAckErr(t *testing.T) {
+	ok := StreamAck{Ckpt: 3, NewLen: 4}
+	if err := ok.Err(StatusOK); err != nil {
+		t.Fatalf("ok ack reported error: %v", err)
+	}
+	busy := StreamAck{Ckpt: 3, RetryAfterMs: 120}
+	err := busy.Err(StatusBusy)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("busy ack not matched by ErrBusy: %v", err)
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) || re.RetryAfter != 120*time.Millisecond {
+		t.Fatalf("busy ack hint lost: %#v", err)
+	}
+	unk := StreamAck{Ckpt: 9, Msg: "stale handle"}
+	if !errors.Is(unk.Err(StatusUnknownHandle), ErrUnknownHandle) {
+		t.Fatal("unknown-handle ack not matched by ErrUnknownHandle")
+	}
+	plain := StreamAck{Ckpt: 1, Msg: "boom"}
+	perr := plain.Err(StatusErr)
+	if errors.Is(perr, ErrBusy) || errors.Is(perr, ErrUnknownHandle) || errors.Is(perr, ErrUnsupported) {
+		t.Fatalf("plain error matched a sentinel: %v", perr)
+	}
+}
+
+func TestStreamFrameErrorUnwrap(t *testing.T) {
+	inner := &RemoteError{Msg: "busy", Busy: true, RetryAfter: time.Second}
+	err := error(&StreamFrameError{Ckpt: 42, Err: inner})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("StreamFrameError hides the busy sentinel: %v", err)
+	}
+	var sfe *StreamFrameError
+	if !errors.As(err, &sfe) || sfe.Ckpt != 42 {
+		t.Fatalf("err = %#v", err)
+	}
+	// Transient classification must see through the wrapper too.
+	if !Transient(err) {
+		t.Fatal("wrapped busy rejection classified terminal")
+	}
+	if Transient(&StreamFrameError{Ckpt: 1, Err: &RemoteError{Msg: "no such ckpt"}}) {
+		t.Fatal("wrapped terminal rejection classified transient")
+	}
+}
+
+func TestUnknownHandleError(t *testing.T) {
+	f := &Frame{Type: TPush, Status: StatusUnknownHandle, Payload: []byte("stale epoch")}
+	err := f.Err()
+	if !errors.Is(err, ErrUnknownHandle) {
+		t.Fatalf("unknown-handle status not matched: %v", err)
+	}
+	// Not executed, but the fix is re-open + replay, not blind retry of
+	// the same frame — classification stays terminal so the caller's
+	// handle-refresh path runs instead of the redial loop.
+	if Transient(err) {
+		t.Fatal("unknown-handle classified transient")
+	}
+}
+
+func TestChecksumAdd(t *testing.T) {
+	whole := []byte("the quick brown fox jumps over the lazy dog")
+	want := Checksum(whole)
+	for _, cut := range []int{0, 1, 7, len(whole) / 2, len(whole)} {
+		sum := ChecksumAdd(0, whole[:cut])
+		sum = ChecksumAdd(sum, whole[cut:])
+		if sum != want {
+			t.Fatalf("split at %d: %08x != %08x", cut, sum, want)
+		}
+	}
+	if ChecksumAdd(0, whole) != want {
+		t.Fatal("single-shot ChecksumAdd differs from Checksum")
+	}
+}
+
+func TestAppendFrameHeaderMatchesWriteFrame(t *testing.T) {
+	f := &Frame{Type: TPushStream, Status: StatusOK, Lineage: 77, Ckpt: 12345, Payload: []byte("payload!")}
+	var want bytes.Buffer
+	if err := WriteFrame(&want, f); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := AppendFrameHeader(nil, f.Type, f.Status, f.Lineage, f.Ckpt, len(f.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append(append([]byte{}, hdr...), f.Payload...)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("header bytes diverge:\n got  %x\n want %x", got, want.Bytes())
+	}
+	if _, err := AppendFrameHeader(nil, TPush, StatusOK, 0, 0, -1); err == nil {
+		t.Fatal("negative payload length accepted")
+	}
+}
+
+func TestWriteFrameVec(t *testing.T) {
+	// Assemble one frame from three scattered segments and confirm the
+	// reader can't tell it from a contiguous WriteFrame.
+	payload := []byte("hello, scattered world")
+	hdr, err := AppendFrameHeader(nil, TPushStream, StatusOK, 9, 4, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := net.Buffers{hdr, payload[:5], payload[5:]}
+	var buf bytes.Buffer
+	if err := WriteFrameVec(&buf, &vec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TPushStream || got.Lineage != 9 || got.Ckpt != 4 || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("vec frame mismatch: %+v", got)
+	}
+}
+
+func TestReadFrameIntoReusesScratch(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []*Frame{
+		{Type: TPush, Lineage: 1, Ckpt: 0, Payload: bytes.Repeat([]byte{0xCD}, 2048)},
+		{Type: TPush, Lineage: 1, Ckpt: 1, Payload: bytes.Repeat([]byte{0xEF}, 1024)},
+		{Type: TPull, Lineage: 1, Ckpt: 2}, // empty payload
+		{Type: TPush, Lineage: 1, Ckpt: 3, Payload: bytes.Repeat([]byte{0x12}, 2048)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var f Frame
+	var scratch []byte
+	for i, want := range frames {
+		if err := ReadFrameInto(&buf, 0, &f, &scratch); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != want.Type || f.Ckpt != want.Ckpt || !bytes.Equal(f.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch: %+v", i, f)
+		}
+		if i > 0 && len(want.Payload) > 0 && cap(scratch) < 2048 {
+			t.Fatalf("scratch shrank to %d", cap(scratch))
+		}
+	}
+	// Steady state: an already-grown scratch absorbs same-size frames
+	// without allocating.
+	var pre bytes.Buffer
+	for i := 0; i < 16; i++ {
+		if err := WriteFrame(&pre, frames[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(8, func() {
+		if err := ReadFrameInto(&pre, 0, &f, &scratch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ReadFrameInto allocates %.1f/op", allocs)
 	}
 }
 
