@@ -22,7 +22,7 @@ FUZZ_TARGETS = \
 FUZZTIME ?= 5s
 FUZZTIME_LONG ?= 5m
 
-.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json bench-wire saturate-smoke fuzz fuzz-smoke chaos-smoke
+.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json bench-wire saturate-smoke fuzz fuzz-smoke chaos-smoke race-chaos
 
 ci: fmt vet lint build race bench-smoke saturate-smoke fuzz-smoke chaos-smoke
 
@@ -35,9 +35,11 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# lint runs the repo-specific checks (noalloc, clockguard,
-# closecontract, wireerr, retryable, nowallclock); see internal/lint
-# and `go run ./cmd/ckptlint -list`.
+# lint runs the repo-specific checks — noalloc, clockguard,
+# closecontract, wireerr, retryable, nowallclock, bufreuse, and the
+# whole-repo concurrency-contract analyses guardedby, lockorder, and
+# goroleak; see internal/lint and `go run ./cmd/ckptlint -list`.
+# Add -json for machine-readable output.
 lint:
 	$(GO) run ./cmd/ckptlint .
 
@@ -87,10 +89,25 @@ fuzz-smoke:
 	done
 
 # chaos-smoke runs the seeded fault-injection suite (internal/faults)
-# under the race detector. Every schedule is deterministic — a failure
-# reproduces by rerunning the named test, no flake triage needed.
+# under the race detector, plus the TestRace concurrency regression
+# tests guarding the bugs the guardedby/lockorder/goroleak analyzers
+# found (Serve worker join, locked pin reads, idle-session pruning).
+# Every schedule is deterministic — a failure reproduces by rerunning
+# the named test, no flake triage needed.
 chaos-smoke:
 	$(GO) test -race -count=1 -run '^TestChaos' ./internal/faults
+	$(GO) test -race -count=1 -run '^TestRace' \
+		./internal/server ./internal/lifecycle ./internal/connpool
+
+# race-chaos is the long variant: the same chaos schedules and race
+# regression tests, repeated so the scheduler explores more
+# interleavings. RACE_COUNT bounds the run; it stays seeded and
+# deterministic per iteration.
+RACE_COUNT ?= 5
+race-chaos:
+	$(GO) test -race -count=$(RACE_COUNT) -run '^TestChaos' ./internal/faults
+	$(GO) test -race -count=$(RACE_COUNT) -run '^TestRace' \
+		./internal/server ./internal/lifecycle ./internal/connpool
 
 fuzz:
 	@for t in $(FUZZ_TARGETS); do \

@@ -1,14 +1,20 @@
 // Command ckptlint runs the project's static-analysis suite over the
-// module rooted at the given directory (default ".").
+// module rooted at the given directory (default "."; a go-style
+// "./..." spelling is accepted and means the same tree walk).
 //
 // Each finding is printed as "file:line: [check] message" and the exit
 // status is nonzero when any check fires, so `go run ./cmd/ckptlint`
-// slots directly into `make ci`. Individual lines can be waived with a
-// `//ckptlint:ignore <check> <reason>` comment on or directly above the
-// offending line; see internal/lint for the check catalogue.
+// slots directly into `make ci`. With -json every finding is emitted
+// as one JSON object per line — {"file","line","check","msg","waived"}
+// — including waived ones, so editors and CI can consume the results;
+// -summary appends a totals line in either mode. Individual lines can
+// be waived with a `//ckptlint:ignore <check> <reason>` comment on or
+// directly above the offending line; see internal/lint for the check
+// catalogue.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,11 +28,22 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// finding is the machine-readable rendering of one diagnostic.
+type finding struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Msg    string `json:"msg"`
+	Waived bool   `json:"waived"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ckptlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list available checks and exit")
+	asJSON := fs.Bool("json", false, "emit one JSON object per finding (including waived ones)")
+	summary := fs.Bool("summary", false, "append a totals line")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: ckptlint [flags] [dir]\n")
 		fs.PrintDefaults()
@@ -65,16 +82,48 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() > 0 {
 		root = fs.Arg(0)
 	}
-	diags, err := lint.Run(root, checks)
+	// Accept the go-tool spelling "dir/..." — the walk is always
+	// recursive, so it names the same tree.
+	if root == "..." {
+		root = "."
+	} else if strings.HasSuffix(root, "/...") {
+		root = strings.TrimSuffix(root, "/...")
+	}
+
+	all, err := lint.RunAll(root, checks)
 	if err != nil {
 		fmt.Fprintf(stderr, "ckptlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+	findings, waived := 0, 0
+	enc := json.NewEncoder(stdout)
+	for _, d := range all {
+		if d.Waived {
+			waived++
+		} else {
+			findings++
+		}
+		if *asJSON {
+			enc.Encode(finding{
+				File:   d.Pos.Filename,
+				Line:   d.Pos.Line,
+				Check:  d.Check,
+				Msg:    d.Message,
+				Waived: d.Waived,
+			})
+		} else if !d.Waived {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "ckptlint: %d finding(s)\n", len(diags))
+	if *summary {
+		if *asJSON {
+			enc.Encode(map[string]int{"findings": findings, "waived": waived})
+		} else {
+			fmt.Fprintf(stdout, "ckptlint: %d finding(s), %d waived\n", findings, waived)
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "ckptlint: %d finding(s)\n", findings)
 		return 1
 	}
 	return 0

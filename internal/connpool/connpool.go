@@ -105,8 +105,11 @@ type Pool struct {
 
 	permits chan struct{} // capacity MaxActive; a token = the right to hold one conn
 
-	mu     sync.Mutex
-	idle   []*Conn // LIFO: idle[len-1] is the most recently used
+	mu sync.Mutex
+	// idle is LIFO: idle[len-1] is the most recently used.
+	//ckptlint:guardedby mu
+	idle []*Conn
+	//ckptlint:guardedby mu
 	closed bool
 
 	reapStop chan struct{}

@@ -346,3 +346,68 @@ func TestPoolForEachIdleSession(t *testing.T) {
 		t.Fatalf("visited %d sessions, want 2", n)
 	}
 }
+
+// pruneSession is the shape the client parks on each pooled
+// connection: a handle cache that ForEachIdle invalidates in place.
+type pruneSession struct {
+	handles map[string]uint32
+}
+
+// TestRaceForEachIdlePrune churns checkouts (each mutating its own
+// session cache, as the client does when it resolves a handle) against
+// ForEachIdle pruning the caches of parked connections and the reaper
+// retiring them. Sessions are handed between owners through p.mu —
+// checkin parks, popIdle claims, ForEachIdle iterates — so the
+// unsynchronized per-owner mutation is safe; this test is the -race
+// witness for that handoff, covering the epoch-cache prune the client
+// runs when the server restarts underneath the pool.
+func TestRaceForEachIdlePrune(t *testing.T) {
+	h := newHarness(t)
+	dial := func() (net.Conn, any, error) {
+		c, err := net.Dial("tcp", h.ln.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, &pruneSession{handles: map[string]uint32{}}, nil
+	}
+	p, err := New(Options{Dial: dial, MaxActive: 4, IdleTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c, err := p.Get()
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				s := c.Session.(*pruneSession)
+				s.handles["lineage"] = uint32(i)
+				if i%3 == 0 {
+					c.Discard() // force a redial path too
+				} else {
+					c.Release()
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			p.ForEachIdle(func(nc net.Conn, session any) {
+				s := session.(*pruneSession)
+				for k := range s.handles {
+					delete(s.handles, k)
+				}
+			})
+		}
+	}()
+	wg.Wait()
+}

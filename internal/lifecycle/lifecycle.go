@@ -172,17 +172,23 @@ type Options struct {
 // A Manager must be Closed when no longer needed (enforced by
 // ckptlint's closecontract check).
 type Manager struct {
-	mu     sync.Mutex
-	store  *checkpoint.FileStore
+	mu sync.Mutex
+	//ckptlint:guardedby mu
+	store *checkpoint.FileStore
+	//ckptlint:guardedby mu
 	policy Policy
-	pool   *parallel.Pool
+	//ckptlint:guardedby mu
+	pool *parallel.Pool
+	//ckptlint:guardedby mu
 	closed bool
 
 	// hookBeforeCommit and hookAfterCommit run around the manifest
 	// commit; tests use them to inject crashes between transaction
 	// phases. A non-nil error aborts the transaction at that point.
+	//ckptlint:guardedby mu
 	hookBeforeCommit func() error
-	hookAfterCommit  func() error
+	//ckptlint:guardedby mu
+	hookAfterCommit func() error
 }
 
 // New creates a Manager over store. policy may be nil (KeepAll).
@@ -193,11 +199,11 @@ func New(store *checkpoint.FileStore, policy Policy, opts Options) (*Manager, er
 	if policy == nil {
 		policy = KeepAll()
 	}
-	m := &Manager{store: store, policy: policy}
+	var pool *parallel.Pool
 	if opts.Workers > 0 {
-		m.pool = parallel.NewPool(opts.Workers)
+		pool = parallel.NewPool(opts.Workers)
 	}
-	return m, nil
+	return &Manager{store: store, policy: policy, pool: pool}, nil
 }
 
 // Close releases the Manager's worker pool. Idempotent; a closed
@@ -278,6 +284,8 @@ func (m *Manager) Unpin(ck int) error {
 
 // Pins returns the pinned checkpoint indices in ascending order.
 func (m *Manager) Pins() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	pins := m.store.Manifest().Pins
 	out := make([]int, len(pins))
 	for i, p := range pins {
@@ -287,6 +295,8 @@ func (m *Manager) Pins() []int {
 }
 
 // span returns the stored range [base, length) of the store.
+//
+//ckptlint:locked mu
 func (m *Manager) span() (int, int, error) {
 	length, err := m.store.Len()
 	if err != nil {
@@ -309,6 +319,8 @@ func (m *Manager) Target() (int, error) {
 
 // clampTarget applies pins (and the no-backwards rule) to a desired
 // baseline.
+//
+//ckptlint:locked mu
 func (m *Manager) clampTarget(target, base int) int {
 	for _, p := range m.store.Manifest().Pins {
 		target = min(target, int(p))
@@ -356,8 +368,10 @@ func (m *Manager) MaterializeTo(k int) (Stats, error) {
 	return m.compactLocked(k, base, length)
 }
 
-// compactLocked runs the compaction transaction to baseline k. Caller
-// holds m.mu and guarantees base <= k < length.
+// compactLocked runs the compaction transaction to baseline k. The
+// caller guarantees base <= k < length.
+//
+//ckptlint:locked mu
 func (m *Manager) compactLocked(k, base, length int) (Stats, error) {
 	st := Stats{OldBase: base, NewBase: base}
 	if k <= base {
@@ -493,6 +507,8 @@ func (m *Manager) compactLocked(k, base, length int) (Stats, error) {
 
 // verify rebuilds the post-compaction chain in memory and
 // byte-compares every retained restore against the original record.
+//
+//ckptlint:locked mu
 func (m *Manager) verify(rec *checkpoint.Record, rewrites map[int]*checkpoint.Diff,
 	baseline *checkpoint.Diff, k, base, length int) error {
 	newRec := checkpoint.NewRecord()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
@@ -474,4 +475,66 @@ func TestRewriteBasic(t *testing.T) {
 	if _, err := RewriteBasic(prev, cur, 0, 1); err == nil {
 		t.Fatal("zero chunk size accepted")
 	}
+}
+
+// TestRacePinsDuringCompaction reads the pin set concurrently with pin
+// churn and a compaction. Pins used to read the manifest without the
+// manager lock, so a reader could observe the mid-transaction state a
+// compaction commits in pieces; now every accessor serializes on m.mu
+// and the reader can only ever see complete pin sets.
+func TestRacePinsDuringCompaction(t *testing.T) {
+	images := buildImages(24)
+	dir := buildLineage(t, checkpoint.MethodTree, images)
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := New(store, KeepLastN(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	if err := mgr.Pin(2); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, p := range mgr.Pins() {
+				if p != 2 && p != 10 {
+					t.Errorf("Pins returned unexpected checkpoint %d", p)
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			if err := mgr.Pin(10); err != nil {
+				t.Errorf("pin: %v", err)
+				return
+			}
+			if err := mgr.Unpin(10); err != nil {
+				t.Errorf("unpin: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if _, err := mgr.Compact(); err != nil {
+			t.Errorf("compact: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

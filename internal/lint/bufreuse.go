@@ -44,7 +44,7 @@ var reuseArgs = map[string][]int{
 	"WriteFrameVec":     {1},    // *net.Buffers
 }
 
-func (c bufreuseCheck) Check(pkg *Package) []Diagnostic {
+func (c bufreuseCheck) CheckPackage(pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		alias := wireImportName(f)

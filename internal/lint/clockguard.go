@@ -5,36 +5,33 @@ import (
 	"go/ast"
 )
 
-// clockguardCheck enforces the field-guard annotations declared next
+// clockguardCheck enforces the atomic-field annotation declared next
 // to struct fields:
 //
-//	//ckptlint:guardedby <mutexField>
 //	//ckptlint:atomic
 //
-// A guardedby field may only be read or written after a Lock/RLock
-// call on the owning mutex of the same base expression earlier in the
-// same function (`d.mu.Lock()` before `d.clock`). An atomic field may
-// only appear as the receiver of an atomic method call (Load, Store,
-// Add, Swap, CompareAndSwap, CompareAndSwapWeak, Or, And).
+// An atomic field may only appear as the receiver of an atomic method
+// call (Load, Store, Add, Swap, CompareAndSwap, Or, And). Taking its
+// address, copying it, or reading it directly all defeat the memory
+// ordering the annotation promises.
 //
 // The check is intra-package and name-based: it tracks every selector
 // whose final field name matches an annotated field, which is exactly
 // right for the unexported device clock / server counter fields it
 // exists to protect (annotated names must therefore be unique within
-// their package).
+// their package). Mutex-guarded fields — //ckptlint:guardedby <mu> —
+// are handled by the type-resolved, repo-wide guardedby check.
 type clockguardCheck struct{}
 
 func (clockguardCheck) Name() string { return "clockguard" }
 
 func (clockguardCheck) Doc() string {
-	return "annotated device clock/stats fields accessed under their mutex or via atomics"
+	return "annotated device clock/stats fields accessed only via atomic method calls"
 }
 
-// guardInfo describes one annotated field.
-type guardInfo struct {
+// atomicInfo describes one annotated field.
+type atomicInfo struct {
 	structName string
-	mutex      string // non-empty for guardedby
-	atomic     bool
 }
 
 var atomicMethods = map[string]bool{
@@ -42,23 +39,24 @@ var atomicMethods = map[string]bool{
 	"CompareAndSwap": true, "Or": true, "And": true,
 }
 
-func (c clockguardCheck) Check(pkg *Package) []Diagnostic {
-	guards := collectGuards(pkg)
-	if len(guards) == 0 {
+func (c clockguardCheck) CheckPackage(pkg *Package) []Diagnostic {
+	atomics := collectAtomics(pkg)
+	if len(atomics) == 0 {
 		return nil
 	}
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, fb := range funcBodies(f) {
-			diags = append(diags, checkGuardsInBody(pkg, guards, fb.Name, fb.Body)...)
+			diags = append(diags, checkAtomicsInBody(pkg, atomics, fb.Name, fb.Body)...)
 		}
 	}
 	return diags
 }
 
-// collectGuards finds annotated struct fields across the package.
-func collectGuards(pkg *Package) map[string]guardInfo {
-	out := map[string]guardInfo{}
+// collectAtomics finds //ckptlint:atomic struct fields across the
+// package.
+func collectAtomics(pkg *Package) map[string]atomicInfo {
+	out := map[string]atomicInfo{}
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			ts, ok := n.(*ast.TypeSpec)
@@ -71,14 +69,9 @@ func collectGuards(pkg *Package) map[string]guardInfo {
 			}
 			for _, field := range st.Fields.List {
 				for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
-					if mu, ok := directiveArg(doc, "guardedby"); ok && mu != "" {
-						for _, name := range field.Names {
-							out[name.Name] = guardInfo{structName: ts.Name.Name, mutex: mu}
-						}
-					}
 					if hasDirective(doc, "atomic") {
 						for _, name := range field.Names {
-							out[name.Name] = guardInfo{structName: ts.Name.Name, atomic: true}
+							out[name.Name] = atomicInfo{structName: ts.Name.Name}
 						}
 					}
 				}
@@ -89,85 +82,34 @@ func collectGuards(pkg *Package) map[string]guardInfo {
 	return out
 }
 
-// checkGuardsInBody verifies every annotated-field access in one
+// checkAtomicsInBody verifies every annotated-field access in one
 // function body.
-func checkGuardsInBody(pkg *Package, guards map[string]guardInfo, fname string, body *ast.BlockStmt) []Diagnostic {
-	// Collect lock-call positions per (base, mutex) first.
-	type lockSite struct {
-		base  string
-		mutex string
-		pos   int // byte offset ordering via token.Pos is fine
-	}
-	var locks []lockSite
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		muSel, ok := sel.X.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		locks = append(locks, lockSite{
-			base:  exprString(pkg.Fset, muSel.X),
-			mutex: muSel.Sel.Name,
-			pos:   int(call.Pos()),
-		})
-		return true
-	})
-
-	lockedBefore := func(base, mutex string, pos int) bool {
-		for _, l := range locks {
-			if l.base == base && l.mutex == mutex && l.pos < pos {
-				return true
-			}
-		}
-		return false
-	}
-
+func checkAtomicsInBody(pkg *Package, atomics map[string]atomicInfo, fname string, body *ast.BlockStmt) []Diagnostic {
 	var diags []Diagnostic
 	walkStack(body, func(n ast.Node, stack []ast.Node) {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {
 			return
 		}
-		g, ok := guards[sel.Sel.Name]
+		g, ok := atomics[sel.Sel.Name]
 		if !ok {
 			return
 		}
-		if g.atomic {
-			// Must be the receiver of an atomic method call:
-			// parent is SelectorExpr{X: sel, Sel: atomicMethod} whose
-			// own parent is a CallExpr using it as Fun.
-			if len(stack) >= 2 {
-				if psel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && psel.X == sel && atomicMethods[psel.Sel.Name] {
-					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == psel {
-						return
-					}
+		// Must be the receiver of an atomic method call: parent is
+		// SelectorExpr{X: sel, Sel: atomicMethod} whose own parent is a
+		// CallExpr using it as Fun.
+		if len(stack) >= 2 {
+			if psel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && psel.X == sel && atomicMethods[psel.Sel.Name] {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == psel {
+					return
 				}
 			}
-			diags = append(diags, Diagnostic{
-				Pos:   pkg.Fset.Position(sel.Pos()),
-				Check: "clockguard",
-				Message: fmt.Sprintf("%s: field %s.%s is annotated ckptlint:atomic and must be accessed via atomic method calls",
-					fname, g.structName, sel.Sel.Name),
-			})
-			return
-		}
-		// guardedby: require a preceding Lock on the same base.
-		base := exprString(pkg.Fset, sel.X)
-		if lockedBefore(base, g.mutex, int(sel.Pos())) {
-			return
 		}
 		diags = append(diags, Diagnostic{
 			Pos:   pkg.Fset.Position(sel.Pos()),
 			Check: "clockguard",
-			Message: fmt.Sprintf("%s: access to %s.%s (annotated ckptlint:guardedby %s) without a preceding %s.%s.Lock()",
-				fname, g.structName, sel.Sel.Name, g.mutex, base, g.mutex),
+			Message: fmt.Sprintf("%s: field %s.%s is annotated ckptlint:atomic and must be accessed via atomic method calls",
+				fname, g.structName, sel.Sel.Name),
 		})
 	})
 	return diags

@@ -51,7 +51,7 @@ var closerConstructors = map[string][]string{
 	"NewPool": {"Close"},
 }
 
-func (c closecontractCheck) Check(pkg *Package) []Diagnostic {
+func (c closecontractCheck) CheckPackage(pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, fb := range funcBodies(f) {

@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// guardedbyCheck is the repo-wide, type-resolved generalization of the
+// original device-only clockguard mutex analysis. Struct fields carry
+//
+//	//ckptlint:guardedby <mutexField>
+//
+// and may then only be read or written while that mutex is held. The
+// analyzer accepts three proofs of "held":
+//
+//  1. a Lock/RLock call on the same instance's mutex earlier in the
+//     same function body (`s.mu.Lock()` before `s.entries`; the usual
+//     `defer s.mu.Unlock()` pattern holds to the end of the function
+//     and needs nothing extra);
+//  2. the enclosing function is a helper annotated
+//     `//ckptlint:locked <mutexField>` on its declaration — a
+//     precondition that the caller already holds the receiver's mutex;
+//  3. for a call *to* such a locked helper, the analyzer turns the
+//     precondition around and verifies it at every call site: the
+//     caller must itself hold the mutex by rule 1 or 2.
+//
+// Code inside a `go func(){...}` literal runs on another goroutine, so
+// locks held by the spawner do not count there: the literal must take
+// the lock itself.
+//
+// Annotation hygiene is part of the check: a guardedby/locked
+// annotation with no argument, or naming a mutex field that does not
+// exist in the struct, is itself reported — stale waivers must not
+// silently stop proving anything.
+//
+// Known blind spots (documented in DESIGN.md §14): the held model is
+// positional, so an access after an early `mu.Unlock()` in the same
+// body still counts as held (the race detector covers that hole);
+// helpers that acquire a lock and return a release closure do not mark
+// the caller as holding; composite literals initializing a fresh,
+// not-yet-shared struct are exempt by construction (field keys are not
+// selector accesses).
+type guardedbyCheck struct{}
+
+func (guardedbyCheck) Name() string { return "guardedby" }
+
+func (guardedbyCheck) Doc() string {
+	return "fields tagged ckptlint:guardedby accessed only under their mutex (repo-wide, call-site verified)"
+}
+
+// guardSpec is one annotated field.
+type guardSpec struct {
+	structName string
+	muName     string
+	mu         *types.Var
+}
+
+// lockedSpec is one //ckptlint:locked helper precondition.
+type lockedSpec struct {
+	structName string
+	muName     string
+	mu         *types.Var
+	recvName   string
+}
+
+func (c guardedbyCheck) CheckRepo(r *Repo) []Diagnostic {
+	guards := make(map[*types.Var]guardSpec)
+	locked := make(map[*types.Func]lockedSpec)
+	var diags []Diagnostic
+	for _, pkg := range r.Pkgs {
+		diags = append(diags, collectGuardSpecs(pkg, guards)...)
+		diags = append(diags, collectLockedSpecs(pkg, locked)...)
+	}
+	if len(guards) == 0 && len(locked) == 0 {
+		return diags
+	}
+	for _, pkg := range r.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				diags = append(diags, checkGuardedBody(pkg, fd, guards, locked)...)
+			}
+		}
+	}
+	return diags
+}
+
+// collectGuardSpecs gathers //ckptlint:guardedby fields of one package
+// into guards, returning hygiene diagnostics for malformed or stale
+// annotations.
+func collectGuardSpecs(pkg *Package, guards map[*types.Var]guardSpec) []Diagnostic {
+	var diags []Diagnostic
+	if pkg.Info == nil {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, doc := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					mu, ok := directiveArg(doc, "guardedby")
+					if !ok {
+						continue
+					}
+					if mu == "" {
+						diags = append(diags, Diagnostic{
+							Pos:     pkg.Fset.Position(field.Pos()),
+							Check:   "guardedby",
+							Message: fmt.Sprintf("ckptlint:guardedby on %s needs a mutex field argument", ts.Name.Name),
+						})
+						continue
+					}
+					muVar := structFieldVar(pkg.Info, st, mu)
+					if muVar == nil {
+						diags = append(diags, Diagnostic{
+							Pos:     pkg.Fset.Position(field.Pos()),
+							Check:   "guardedby",
+							Message: fmt.Sprintf("stale annotation: struct %s has no mutex field %q (ckptlint:guardedby)", ts.Name.Name, mu),
+						})
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+							guards[v.Origin()] = guardSpec{structName: ts.Name.Name, muName: mu, mu: muVar}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// collectLockedSpecs gathers //ckptlint:locked method preconditions of
+// one package into locked, with the same hygiene reporting.
+func collectLockedSpecs(pkg *Package, locked map[*types.Func]lockedSpec) []Diagnostic {
+	var diags []Diagnostic
+	if pkg.Info == nil {
+		return nil
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			mu, ok := directiveArg(fd.Doc, "locked")
+			if !ok {
+				continue
+			}
+			if mu == "" {
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.Fset.Position(fd.Pos()),
+					Check:   "guardedby",
+					Message: fmt.Sprintf("ckptlint:locked on %s needs a mutex field argument", fd.Name.Name),
+				})
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			recvName, structName, muVar := recvMutexField(fd, fn, mu)
+			if recvName == "" {
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.Fset.Position(fd.Pos()),
+					Check:   "guardedby",
+					Message: fmt.Sprintf("ckptlint:locked on %s requires a named struct receiver", fd.Name.Name),
+				})
+				continue
+			}
+			if muVar == nil {
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.Fset.Position(fd.Pos()),
+					Check:   "guardedby",
+					Message: fmt.Sprintf("stale annotation: receiver of %s has no mutex field %q (ckptlint:locked)", fd.Name.Name, mu),
+				})
+				continue
+			}
+			locked[fn.Origin()] = lockedSpec{structName: structName, muName: mu, mu: muVar, recvName: recvName}
+		}
+	}
+	return diags
+}
+
+// structFieldVar finds the field named name in the struct literal st,
+// resolved to its type object.
+func structFieldVar(info *types.Info, st *ast.StructType, name string) *types.Var {
+	for _, field := range st.Fields.List {
+		for _, id := range field.Names {
+			if id.Name == name {
+				if v, ok := info.Defs[id].(*types.Var); ok {
+					return v.Origin()
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// recvMutexField resolves fd's receiver name, its struct type name,
+// and the receiver struct's field named mu (nil when absent).
+func recvMutexField(fd *ast.FuncDecl, fn *types.Func, mu string) (recvName, structName string, muVar *types.Var) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return "", "", nil
+	}
+	recvName = fd.Recv.List[0].Names[0].Name
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", "", nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", "", nil
+	}
+	structName = named.Obj().Name()
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", "", nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == mu {
+			return recvName, structName, st.Field(i).Origin()
+		}
+	}
+	return recvName, structName, nil
+}
+
+// heldModel is the positional lock evidence of one function body.
+type heldModel struct {
+	pkg    *Package
+	locks  []lockSite // Lock/RLock calls, in source order
+	goLits [][2]token.Pos
+	entry  *lockedSpec // non-nil when the function is ckptlint:locked
+}
+
+type lockSite struct {
+	expr string // source form of the mutex operand, e.g. "s.mu"
+	mu   *types.Var
+	pos  token.Pos
+}
+
+// holds reports whether mutex mu of instance base ("s" for field
+// accesses spelled s.f) is provably held at pos.
+func (h *heldModel) holds(base string, mu *types.Var, pos token.Pos) bool {
+	lit := goLitAt(h.goLits, pos)
+	for _, l := range h.locks {
+		if l.mu == mu && l.pos < pos && l.expr == base+"."+mu.Name() && goLitAt(h.goLits, l.pos) == lit {
+			return true
+		}
+	}
+	if lit == -1 && h.entry != nil && h.entry.mu == mu && h.entry.recvName == base {
+		return true
+	}
+	return false
+}
+
+// buildHeldModel collects the lock evidence of one declared function.
+func buildHeldModel(pkg *Package, fd *ast.FuncDecl, locked map[*types.Func]lockedSpec) *heldModel {
+	h := &heldModel{pkg: pkg, goLits: goLitRanges(fd.Body)}
+	if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && fn != nil {
+		if spec, ok := locked[fn.Origin()]; ok {
+			h.entry = &spec
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		mu := varObjOf(pkg.Info, sel.X)
+		if mu == nil {
+			return true
+		}
+		h.locks = append(h.locks, lockSite{
+			expr: exprString(pkg.Fset, sel.X),
+			mu:   mu,
+			pos:  call.Pos(),
+		})
+		return true
+	})
+	return h
+}
+
+// checkGuardedBody verifies every guarded-field access and every call
+// to a locked helper inside one function declaration.
+func checkGuardedBody(pkg *Package, fd *ast.FuncDecl, guards map[*types.Var]guardSpec, locked map[*types.Func]lockedSpec) []Diagnostic {
+	h := buildHeldModel(pkg, fd, locked)
+	fname := fd.Name.Name
+	var diags []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			fv := fieldObjOf(pkg.Info, x)
+			if fv == nil {
+				return true
+			}
+			g, ok := guards[fv]
+			if !ok {
+				return true
+			}
+			base := exprString(pkg.Fset, x.X)
+			if h.holds(base, g.mu, x.Pos()) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(x.Pos()),
+				Check: "guardedby",
+				Message: fmt.Sprintf("%s: access to %s.%s (ckptlint:guardedby %s) without holding %s.%s (lock it, or mark the helper //ckptlint:locked %s)",
+					fname, g.structName, x.Sel.Name, g.muName, base, g.muName, g.muName),
+			})
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			callee := funcObjOf(pkg.Info, sel)
+			if callee == nil {
+				return true
+			}
+			spec, ok := locked[callee]
+			if !ok {
+				return true
+			}
+			base := exprString(pkg.Fset, sel.X)
+			if h.holds(base, spec.mu, x.Pos()) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:   pkg.Fset.Position(x.Pos()),
+				Check: "guardedby",
+				Message: fmt.Sprintf("%s: call to %s.%s (ckptlint:locked %s) without holding %s.%s",
+					fname, spec.structName, sel.Sel.Name, spec.muName, base, spec.muName),
+			})
+		}
+		return true
+	})
+	return diags
+}

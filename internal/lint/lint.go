@@ -1,16 +1,15 @@
 // Package lint implements ckptlint, the repository's project-specific
 // static-analysis suite. It loads every package of the module with the
-// standard library's go/parser (no go/packages, no type-checker — the
-// checks are deliberately syntax-level so the tool builds and runs in
-// any environment the repository itself builds in) and runs a set of
-// checks encoding invariants that ordinary Go tooling cannot see:
+// standard library's go/parser and go/types (no go/packages, no
+// external dependency — the tool builds and runs in any environment
+// the repository itself builds in) and runs a set of checks encoding
+// invariants that ordinary Go tooling cannot see:
 //
 //   - noalloc:       functions tagged //ckptlint:noalloc must not
 //     contain allocation-prone constructs (the PR 2 hot path is
 //     required to stay at 0 allocs/op).
-//   - clockguard:    struct fields tagged //ckptlint:guardedby <mu> or
-//     //ckptlint:atomic must only be accessed under their mutex or via
-//     atomic method calls.
+//   - clockguard:    struct fields tagged //ckptlint:atomic must only
+//     be touched through sync/atomic method calls.
 //   - closecontract: values built by the known pool/deduplicator
 //     constructors must be Closed on every path or handed off.
 //   - wireerr:       errors from wire/checkpoint Decode and Read
@@ -26,6 +25,18 @@
 //     ReadFrameInto, WriteFrameVec) must not be fed buffers created
 //     fresh on every loop iteration — that silently reintroduces the
 //     per-frame allocation they exist to remove.
+//   - guardedby:     struct fields tagged //ckptlint:guardedby <mu>
+//     are only read or written while <mu> is held — via a Lock/RLock
+//     in the same function, or inside a helper carrying a
+//     //ckptlint:locked <mu> precondition that is itself verified at
+//     every call site. Type-resolved and repo-wide.
+//   - lockorder:     the acquisition graph over annotated mutexes
+//     ("A held while acquiring B", propagated through the call graph)
+//     must be acyclic — a static deadlock detector.
+//   - goroleak:      every `go` statement under internal/... must be
+//     tied to a lifecycle: a sync.WaitGroup Add/Done pair, a join
+//     channel that some function in the package receives from, or an
+//     explicit //ckptlint:detached <reason> waiver.
 //
 // A finding on a specific line can be waived with a trailing or
 // preceding comment of the form:
@@ -41,9 +52,11 @@ import (
 	"bytes"
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/parser"
 	"go/printer"
 	"go/token"
+	"go/types"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -56,6 +69,10 @@ type Diagnostic struct {
 	Pos     token.Position
 	Check   string
 	Message string
+	// Waived is true when a //ckptlint:ignore directive covers the
+	// finding. Run drops waived diagnostics; RunAll keeps them so the
+	// -json output can surface them.
+	Waived bool
 }
 
 // String renders the canonical file:line: [check] message form.
@@ -65,6 +82,9 @@ func (d Diagnostic) String() string {
 
 // Package is one parsed package directory.
 type Package struct {
+	// Fset is the file set the package was parsed into. All packages of
+	// one Load share a single file set so type objects can be resolved
+	// across packages.
 	Fset *token.FileSet
 	// Dir is the package directory as given to Load.
 	Dir string
@@ -72,16 +92,39 @@ type Package struct {
 	Rel string
 	// Name is the package name from the package clause.
 	Name string
+	// ImportPath is the module import path of the package, or "" when
+	// the tree has no go.mod (fixture packages).
+	ImportPath string
 	// Files holds the parsed non-test files, parallel to FileNames.
 	Files     []*ast.File
 	FileNames []string
+	// Types and Info are filled by BuildRepo's type-checking pass. Info
+	// may be incomplete when TypeErrs is non-empty; type-aware checks
+	// must tolerate missing map entries.
+	Types    *types.Package
+	Info     *types.Info
+	TypeErrs []error
 }
 
-// Check is one analysis pass over a single package.
+// Check identifies one analysis pass. Every concrete check implements
+// either PackageCheck (syntax-level, runs once per package) or
+// RepoCheck (type-aware, runs once over the whole tree).
 type Check interface {
 	Name() string
 	Doc() string
-	Check(pkg *Package) []Diagnostic
+}
+
+// PackageCheck is a syntax-level analysis over a single package.
+type PackageCheck interface {
+	Check
+	CheckPackage(pkg *Package) []Diagnostic
+}
+
+// RepoCheck is a whole-repository analysis with access to type
+// information and the cross-package call graph.
+type RepoCheck interface {
+	Check
+	CheckRepo(r *Repo) []Diagnostic
 }
 
 // Checks returns the full suite in stable order.
@@ -94,6 +137,9 @@ func Checks() []Check {
 		retryableCheck{},
 		nowallclockCheck{},
 		bufreuseCheck{},
+		guardedbyCheck{},
+		lockorderCheck{},
+		goroleakCheck{},
 	}
 }
 
@@ -102,11 +148,13 @@ var skipDirs = map[string]bool{
 	"testdata": true, ".git": true, "vendor": true, "node_modules": true,
 }
 
-// Load parses every package under root (excluding _test.go files and
-// testdata trees). The root directory itself is always loaded, even
-// when it is named testdata — that is how the fixture tests load their
-// golden packages.
+// Load parses every package under root (excluding _test.go files,
+// files excluded by build constraints for the host platform, and
+// testdata trees) into one shared file set. The root directory itself
+// is always loaded, even when it is named testdata — that is how the
+// fixture tests load their golden packages.
 func Load(root string) ([]*Package, error) {
+	fset := token.NewFileSet()
 	var pkgs []*Package
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -118,7 +166,7 @@ func Load(root string) ([]*Package, error) {
 		if path != root && (skipDirs[d.Name()] || strings.HasPrefix(d.Name(), ".")) {
 			return filepath.SkipDir
 		}
-		pkg, err := loadDir(root, path)
+		pkg, err := loadDir(fset, root, path)
 		if err != nil {
 			return err
 		}
@@ -135,8 +183,11 @@ func Load(root string) ([]*Package, error) {
 }
 
 // loadDir parses the non-test Go files of one directory, returning nil
-// when the directory holds none.
-func loadDir(root, dir string) (*Package, error) {
+// when the directory holds none. Files ruled out by build constraints
+// (//go:build lines, GOOS suffixes) are skipped so platform-variant
+// pairs like lock_unix.go / lock_other.go do not collide during
+// type-checking.
+func loadDir(fset *token.FileSet, root, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -148,14 +199,17 @@ func loadDir(root, dir string) (*Package, error) {
 	if rel == "." {
 		rel = ""
 	}
-	pkg := &Package{Fset: token.NewFileSet(), Dir: dir, Rel: rel}
+	pkg := &Package{Fset: fset, Dir: dir, Rel: rel}
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
+			continue
+		}
 		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %w", path, err)
 		}
@@ -170,21 +224,49 @@ func loadDir(root, dir string) (*Package, error) {
 }
 
 // Run loads every package under root and applies checks, returning the
-// surviving (non-ignored) diagnostics sorted by position.
+// surviving (non-waived) diagnostics sorted by position.
 func Run(root string, checks []Check) ([]Diagnostic, error) {
-	pkgs, err := Load(root)
+	all, err := RunAll(root, checks)
 	if err != nil {
 		return nil, err
 	}
+	diags := all[:0]
+	for _, d := range all {
+		if !d.Waived {
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
+// RunAll is Run without the waiver filter: diagnostics covered by a
+// //ckptlint:ignore directive are returned with Waived set instead of
+// being dropped.
+func RunAll(root string, checks []Check) ([]Diagnostic, error) {
+	repo, err := BuildRepo(root)
+	if err != nil {
+		return nil, err
+	}
+	ignored := make(map[ignoreKey]bool)
+	for _, pkg := range repo.Pkgs {
+		for k, v := range ignoredLines(pkg) {
+			ignored[k] = v
+		}
+	}
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		ignored := ignoredLines(pkg)
-		for _, c := range checks {
-			for _, d := range c.Check(pkg) {
-				if ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, c.Name()}] {
-					continue
-				}
-				diags = append(diags, d)
+	run := func(name string, ds []Diagnostic) {
+		for _, d := range ds {
+			d.Waived = ignored[ignoreKey{d.Pos.Filename, d.Pos.Line, name}]
+			diags = append(diags, d)
+		}
+	}
+	for _, c := range checks {
+		switch cc := c.(type) {
+		case RepoCheck:
+			run(c.Name(), cc.CheckRepo(repo))
+		case PackageCheck:
+			for _, pkg := range repo.Pkgs {
+				run(c.Name(), cc.CheckPackage(pkg))
 			}
 		}
 	}

@@ -101,6 +101,46 @@ func TestDiagnosticString(t *testing.T) {
 	}
 }
 
+// TestWaiverHygiene asserts every waiver-style directive in the real
+// tree carries its argument: //ckptlint:detached needs a reason,
+// //ckptlint:locked and //ckptlint:guardedby need a mutex field, and
+// //ckptlint:ignore needs a check name. The guardedby analyzer already
+// turns stale or bare annotations into findings (see the guardedby
+// fixture); this test is the backstop for directives the analyzers
+// would otherwise silently honour, like a bare detached on a file the
+// goroleak scope rule skips.
+func TestWaiverHygiene(t *testing.T) {
+	pkgs, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	needsArg := []string{"detached", "locked", "guardedby", "ignore"}
+	seen := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					for _, d := range needsArg {
+						prefix := "ckptlint:" + d
+						if text != prefix && !strings.HasPrefix(text, prefix+" ") {
+							continue
+						}
+						seen++
+						if strings.TrimSpace(strings.TrimPrefix(text, prefix)) == "" {
+							t.Errorf("%s: //ckptlint:%s without an argument (reason, mutex, or check name)",
+								pkg.Fset.Position(c.Pos()), d)
+						}
+					}
+				}
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no ckptlint waiver directives found in the repo; the scan is broken")
+	}
+}
+
 // TestRunOnRepo asserts the suite is clean over the repository itself —
 // this is the same invocation `make lint` performs, so a regression in
 // any annotated invariant fails this unit test too.

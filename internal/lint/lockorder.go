@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockorderCheck is a static deadlock detector over the annotated
+// mutexes. Nodes of the lock graph are the mutex fields named by
+// //ckptlint:guardedby and //ckptlint:locked annotations; an edge
+// A -> B means "somewhere, B is acquired while A is held" — either by
+// a direct Lock/RLock in the same body, or transitively: the function
+// calls (with A held) something that acquires B anywhere down the call
+// graph. A cycle in that graph is a lock-order inversion two
+// goroutines can interleave into a deadlock, so every edge that lies
+// on a cycle is reported at its acquisition (or call) site.
+//
+// The held model matches guardedby's: positional within one body, an
+// explicit (non-deferred) Unlock releases, `defer Unlock` holds to the
+// end of the function, and a //ckptlint:locked <mu> annotation seeds
+// the entry-held set. Function literals are analyzed as their own
+// anonymous roots with nothing held (a go-literal runs on another
+// goroutine; a stored callback runs who-knows-where), which
+// under-approximates: the analyzer misses orderings through callbacks
+// invoked under a lock, and never reports a false cycle for them.
+type lockorderCheck struct{}
+
+func (lockorderCheck) Name() string { return "lockorder" }
+
+func (lockorderCheck) Doc() string {
+	return "acquisition graph over annotated mutexes must be acyclic (static deadlock detector)"
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evCall
+)
+
+type lockEvent struct {
+	kind   int
+	expr   string      // mutex operand source form ("s.mu"), lock/unlock only
+	mu     *types.Var  // annotated mutex field, lock/unlock only
+	callee *types.Func // call events only
+	pos    token.Pos
+}
+
+// lockSummary is the per-function view the fixpoint runs over.
+type lockSummary struct {
+	pkg      *Package
+	name     string
+	entry    *lockedSpec
+	events   []lockEvent
+	acquires map[*types.Var]bool
+}
+
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+	detail   string
+}
+
+func (c lockorderCheck) CheckRepo(r *Repo) []Diagnostic {
+	// Node set and labels come from the same annotations guardedby
+	// consumes (hygiene diagnostics are guardedby's job, not repeated
+	// here).
+	guards := make(map[*types.Var]guardSpec)
+	locked := make(map[*types.Func]lockedSpec)
+	for _, pkg := range r.Pkgs {
+		collectGuardSpecs(pkg, guards)
+		collectLockedSpecs(pkg, locked)
+	}
+	nodes := make(map[*types.Var]string)
+	for _, g := range guards {
+		nodes[g.mu] = g.mu.Pkg().Name() + "." + g.structName + "." + g.mu.Name()
+	}
+	for _, l := range locked {
+		nodes[l.mu] = l.mu.Pkg().Name() + "." + l.structName + "." + l.mu.Name()
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+
+	// Summaries: every declared function, plus every function literal
+	// as an anonymous root (edges only — literals never propagate their
+	// acquires, since their call sites are not resolvable).
+	var summaries []*lockSummary
+	byFunc := make(map[*types.Func]*lockSummary)
+	for fn, fd := range r.Funcs() {
+		s := buildLockSummary(fd.Pkg, fd.Decl.Name.Name, fd.Decl.Body, nodes)
+		if spec, ok := locked[fn]; ok {
+			s.entry = &spec
+		}
+		summaries = append(summaries, s)
+		byFunc[fn] = s
+	}
+	for _, pkg := range r.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					summaries = append(summaries, buildLockSummary(pkg, "func literal", lit.Body, nodes))
+				}
+				return true
+			})
+		}
+	}
+
+	// Fixpoint: acquires(F) = direct locks ∪ acquires of every resolved
+	// callee. Terminates because the sets only grow within a finite
+	// node universe.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range summaries {
+			for _, e := range s.events {
+				if e.kind != evCall {
+					continue
+				}
+				callee, ok := byFunc[e.callee]
+				if !ok {
+					continue
+				}
+				for mu := range callee.acquires {
+					if !s.acquires[mu] {
+						s.acquires[mu] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge generation: replay each summary with a positional held set.
+	type edgeKey struct{ from, to *types.Var }
+	edges := make(map[edgeKey]lockEdge)
+	addEdge := func(e lockEdge) {
+		k := edgeKey{e.from, e.to}
+		if old, ok := edges[k]; !ok || e.pos < old.pos {
+			edges[k] = e
+		}
+	}
+	type heldKey struct {
+		expr string
+		mu   *types.Var
+	}
+	for _, s := range summaries {
+		held := make(map[heldKey]int)
+		heldList := func() []heldKey {
+			var out []heldKey
+			for k, n := range held {
+				if n > 0 {
+					out = append(out, k)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].expr < out[j].expr })
+			return out
+		}
+		if s.entry != nil {
+			held[heldKey{s.entry.recvName + "." + s.entry.muName, s.entry.mu}] = 1
+		}
+		for _, e := range s.events {
+			switch e.kind {
+			case evLock:
+				for _, h := range heldList() {
+					addEdge(lockEdge{
+						from: h.mu, to: e.mu, pos: e.pos,
+						detail: fmt.Sprintf("%s acquires %s while holding %s", s.name, e.expr, h.expr),
+					})
+				}
+				held[heldKey{e.expr, e.mu}]++
+			case evUnlock:
+				k := heldKey{e.expr, e.mu}
+				if held[k] > 0 {
+					held[k]--
+				}
+			case evCall:
+				callee, ok := byFunc[e.callee]
+				if !ok {
+					continue
+				}
+				for _, h := range heldList() {
+					for mu := range callee.acquires {
+						addEdge(lockEdge{
+							from: h.mu, to: mu, pos: e.pos,
+							detail: fmt.Sprintf("%s calls %s (which acquires %s) while holding %s", s.name, e.callee.Name(), nodes[mu], h.expr),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Cycle detection: report every edge whose target can reach its
+	// source back through the graph.
+	adj := make(map[*types.Var][]*types.Var)
+	for k := range edges {
+		adj[k.from] = append(adj[k.from], k.to)
+	}
+	reaches := func(from, to *types.Var) [](*types.Var) {
+		// BFS returning the path from `from` to `to`, nil if unreachable.
+		prev := map[*types.Var]*types.Var{from: nil}
+		queue := []*types.Var{from}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if n == to {
+				var path []*types.Var
+				for at := n; ; at = prev[at] {
+					path = append([]*types.Var{at}, path...)
+					if at == from && len(path) > 1 || prev[at] == nil {
+						break
+					}
+				}
+				return path
+			}
+			next := append([]*types.Var(nil), adj[n]...)
+			sort.Slice(next, func(i, j int) bool { return nodes[next[i]] < nodes[next[j]] })
+			for _, m := range next {
+				if _, seen := prev[m]; !seen {
+					prev[m] = n
+					queue = append(queue, m)
+				}
+			}
+		}
+		return nil
+	}
+
+	var diags []Diagnostic
+	for k, e := range edges {
+		if k.from == k.to {
+			diags = append(diags, Diagnostic{
+				Pos:   r.Fset.Position(e.pos),
+				Check: "lockorder",
+				Message: fmt.Sprintf("self-deadlock: %s is acquired while already held (%s)",
+					nodes[k.to], e.detail),
+			})
+			continue
+		}
+		path := reaches(k.to, k.from)
+		if path == nil {
+			continue
+		}
+		// path runs k.to ... k.from, so prefixing k.from renders the
+		// full cycle A -> B -> ... -> A.
+		cycle := nodes[k.from]
+		for _, n := range path {
+			cycle += " -> " + nodes[n]
+		}
+		diags = append(diags, Diagnostic{
+			Pos:   r.Fset.Position(e.pos),
+			Check: "lockorder",
+			Message: fmt.Sprintf("lock order inversion: %s; cycle %s",
+				e.detail, cycle),
+		})
+	}
+	return diags
+}
+
+// buildLockSummary extracts the lock/unlock/call event stream of one
+// body, skipping nested function literals (they are separate roots).
+func buildLockSummary(pkg *Package, name string, body *ast.BlockStmt, nodes map[*types.Var]string) *lockSummary {
+	s := &lockSummary{pkg: pkg, name: name, acquires: make(map[*types.Var]bool)}
+	if pkg.Info == nil {
+		return s
+	}
+	// Deferred calls: a deferred Unlock does not release positionally
+	// (the lock is held to the end of the function).
+	deferred := make(map[*ast.CallExpr]bool)
+	inspectSkipLits(body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferred[ds.Call] = true
+		}
+		return true
+	})
+	inspectSkipLits(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "Unlock", "RUnlock":
+				mu := varObjOf(pkg.Info, sel.X)
+				if mu != nil {
+					if _, isNode := nodes[mu]; isNode {
+						kind := evLock
+						if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+							if deferred[call] {
+								return true // defer Unlock: held to end
+							}
+							kind = evUnlock
+						}
+						s.events = append(s.events, lockEvent{
+							kind: kind,
+							expr: exprString(pkg.Fset, sel.X),
+							mu:   mu,
+							pos:  call.Pos(),
+						})
+						return true
+					}
+				}
+			}
+		}
+		if callee := funcObjOf(pkg.Info, call.Fun); callee != nil {
+			s.events = append(s.events, lockEvent{kind: evCall, callee: callee, pos: call.Pos()})
+		}
+		return true
+	})
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
+	for _, e := range s.events {
+		if e.kind == evLock {
+			s.acquires[e.mu] = true
+		}
+	}
+	return s
+}
+
+// inspectSkipLits is ast.Inspect that does not descend into function
+// literals below the root node.
+func inspectSkipLits(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -33,7 +33,7 @@ func (noallocCheck) Doc() string {
 	return "//ckptlint:noalloc functions must stay allocation-free on the steady path"
 }
 
-func (c noallocCheck) Check(pkg *Package) []Diagnostic {
+func (c noallocCheck) CheckPackage(pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, fb := range funcBodies(f) {

@@ -29,7 +29,7 @@ var wallclockDirs = map[string]bool{
 	"nowallclock":     true, // fixture packages under testdata/src/nowallclock
 }
 
-func (c nowallclockCheck) Check(pkg *Package) []Diagnostic {
+func (c nowallclockCheck) CheckPackage(pkg *Package) []Diagnostic {
 	base := pkg.Rel
 	if !wallclockDirs[base] && !wallclockDirs[pkg.Name] {
 		return nil

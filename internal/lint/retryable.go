@@ -65,7 +65,7 @@ func importsWire(f *ast.File) bool {
 	return false
 }
 
-func (c retryableCheck) Check(pkg *Package) []Diagnostic {
+func (c retryableCheck) CheckPackage(pkg *Package) []Diagnostic {
 	if pkg.Name == "wire" {
 		return nil
 	}

@@ -2,31 +2,14 @@
 package clockguard
 
 import (
-	"sync"
 	"sync/atomic"
-	"time"
 )
 
 type device struct {
-	mu sync.Mutex
-	//ckptlint:guardedby mu
-	clock time.Duration
 	//ckptlint:atomic
 	requests atomic.Uint64
-}
-
-func (d *device) badRead() time.Duration {
-	return d.clock // want:clockguard
-}
-
-func (d *device) badWrite(dt time.Duration) {
-	d.clock += dt // want:clockguard
-}
-
-func (d *device) goodRead() time.Duration {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.clock
+	//ckptlint:atomic
+	bytes atomic.Uint64
 }
 
 func (d *device) badAtomic() uint64 {
@@ -36,7 +19,13 @@ func (d *device) badAtomic() uint64 {
 	return u.Load()
 }
 
+func (d *device) badCopy() uint64 {
+	n := d.bytes // want:clockguard
+	return n.Load()
+}
+
 func (d *device) goodAtomic() uint64 {
 	d.requests.Add(1)
+	d.bytes.Store(2)
 	return d.requests.Load()
 }

@@ -1,0 +1,85 @@
+// Package goroleak is a golden fixture for the goroleak check: every
+// go statement must join via a WaitGroup Add/Done pair or a received
+// join channel, or carry a reasoned //ckptlint:detached waiver.
+package goroleak
+
+import (
+	"sync"
+)
+
+type worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (w *worker) leak() {
+	go func() { // want:goroleak
+		_ = 1 + 1
+	}()
+}
+
+// spawnValue launches a function value: the body is unresolvable, so
+// the spawn site must be tied down or waived.
+func spawnValue(f func()) {
+	go f() // want:goroleak
+}
+
+func (w *worker) waitGrouped() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+	w.wg.Wait()
+}
+
+func (w *worker) localWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func (w *worker) channelJoined() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}
+
+// fieldJoined hands the join channel to a field that drain receives
+// from: the Close/Stop-contract form.
+func (w *worker) fieldJoined() {
+	w.done = make(chan struct{})
+	go w.run()
+}
+
+func (w *worker) run() { close(w.done) }
+
+func (w *worker) drain() { <-w.done }
+
+// assignedField stores a local channel into a field before spawning;
+// the package-level receive in drain still counts as the join.
+func (w *worker) assignedField() {
+	done := make(chan struct{})
+	w.done = done
+	go func() {
+		close(done)
+	}()
+}
+
+func (w *worker) waived() {
+	//ckptlint:detached best-effort cache warmup, bounded by process exit
+	go func() {
+		_ = 1 + 1
+	}()
+}
+
+func (w *worker) badWaiver() {
+	//ckptlint:detached
+	go func() { // want:goroleak
+		_ = 1 + 1
+	}()
+}

@@ -1,0 +1,115 @@
+// Package guardedby is a golden fixture for the repo-wide guardedby
+// check: mutex-guarded field accesses, ckptlint:locked helper
+// preconditions verified at call sites, goroutine non-inheritance of
+// the spawner's locks, and annotation hygiene (stale or argument-less
+// directives are findings too).
+package guardedby
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	//ckptlint:guardedby mu
+	n int
+	//ckptlint:guardedby mu
+	clock time.Duration
+}
+
+func (c *counter) badRead() int {
+	return c.n // want:guardedby
+}
+
+func (c *counter) badWrite(dt time.Duration) {
+	c.clock += dt // want:guardedby
+}
+
+func (c *counter) goodRead() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) goodExplicit() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// addLocked may only be called with c.mu held; the analyzer verifies
+// that at every call site instead of requiring a Lock in this body.
+//
+//ckptlint:locked mu
+func (c *counter) addLocked(d int) {
+	c.n += d
+	c.addMoreLocked(d)
+}
+
+// addMoreLocked shows the precondition chaining through helpers.
+//
+//ckptlint:locked mu
+func (c *counter) addMoreLocked(d int) {
+	c.n += d
+}
+
+func (c *counter) goodCall() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addLocked(1)
+}
+
+func (c *counter) badCall() {
+	c.addLocked(1) // want:guardedby
+}
+
+// badGo: a goroutine does not inherit the spawner's locks — the
+// access inside the literal needs its own Lock.
+func (c *counter) badGo() {
+	var wg sync.WaitGroup
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.n++ // want:guardedby
+	}()
+	wg.Wait()
+}
+
+func (c *counter) goodGo() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}()
+	wg.Wait()
+}
+
+// stale holds hygiene cases: annotations that stopped proving anything
+// because the mutex they name does not exist (or was never named).
+type stale struct {
+	mu sync.Mutex
+	//ckptlint:guardedby gone
+	x int // want:guardedby
+	//ckptlint:guardedby
+	y int // want:guardedby
+}
+
+//ckptlint:locked gone
+func (s *stale) helper() {} // want:guardedby
+
+//ckptlint:locked
+func (s *stale) bare() {} // want:guardedby
+
+func (s *stale) use() {
+	s.mu.Lock()
+	s.x, s.y = 1, 2
+	s.mu.Unlock()
+	s.helper()
+	s.bare()
+}

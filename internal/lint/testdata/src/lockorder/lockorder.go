@@ -1,0 +1,52 @@
+// Package lockorder is a golden fixture for the lockorder check: two
+// annotated mutexes acquired in opposite orders by two functions — one
+// of them nesting through a helper call, which exercises the
+// call-graph propagation — form a cycle, and both edges are reported.
+package lockorder
+
+import (
+	"sync"
+)
+
+type state struct {
+	a sync.Mutex
+	b sync.Mutex
+	//ckptlint:guardedby a
+	x int
+	//ckptlint:guardedby b
+	y int
+}
+
+// bumpY acquires b on its own; callers holding a create an a -> b
+// edge through the call graph, not through a Lock in their body.
+func (s *state) bumpY() {
+	s.b.Lock()
+	s.y++
+	s.b.Unlock()
+}
+
+func (s *state) aThenB() {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.x++
+	s.bumpY() // want:lockorder
+}
+
+func (s *state) bThenA() {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.y++
+	s.a.Lock() // want:lockorder
+	s.x++
+	s.a.Unlock()
+}
+
+// safe releases a before taking b: no edge, no finding.
+func (s *state) safe() {
+	s.a.Lock()
+	s.x++
+	s.a.Unlock()
+	s.b.Lock()
+	s.y++
+	s.b.Unlock()
+}

@@ -1,0 +1,289 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// Repo is the whole loaded tree: every package parsed into one shared
+// file set and type-checked in dependency order, so RepoChecks can
+// resolve identifiers to types.Objects and follow calls across
+// packages.
+type Repo struct {
+	Root string
+	Fset *token.FileSet
+	// ModulePath is the module path from root/go.mod, or "" when the
+	// root has no go.mod (fixture packages are loaded that way).
+	ModulePath string
+	Pkgs       []*Package
+
+	byImport map[string]*Package
+	funcs    map[*types.Func]*funcDecl
+}
+
+// funcDecl is one function declaration found anywhere in the repo,
+// indexed by its (origin) type object.
+type funcDecl struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// BuildRepo loads and type-checks every package under root. Packages
+// that fail to type-check (fixtures import paths that do not resolve,
+// deliberately broken golden files) keep partial type information; the
+// parse-only checks still run over them and the type-aware checks skip
+// what they cannot resolve.
+func BuildRepo(root string) (*Repo, error) {
+	pkgs, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	r := &Repo{
+		Root:       root,
+		ModulePath: modulePath(root),
+		Pkgs:       pkgs,
+		byImport:   make(map[string]*Package),
+	}
+	if len(pkgs) > 0 {
+		r.Fset = pkgs[0].Fset
+	} else {
+		r.Fset = token.NewFileSet()
+	}
+	for _, pkg := range pkgs {
+		if r.ModulePath != "" {
+			pkg.ImportPath = r.ModulePath
+			if pkg.Rel != "" {
+				pkg.ImportPath += "/" + filepath.ToSlash(pkg.Rel)
+			}
+			r.byImport[pkg.ImportPath] = pkg
+		}
+	}
+	r.typecheck()
+	return r, nil
+}
+
+var moduleLine = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// modulePath extracts the module path from root/go.mod, if present.
+func modulePath(root string) string {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	if m := moduleLine.FindSubmatch(data); m != nil {
+		return string(m[1])
+	}
+	return ""
+}
+
+// repoImporter resolves module-internal imports from the packages
+// already checked and everything else (stdlib) through the compiled
+// export data of the host toolchain.
+type repoImporter struct {
+	def     types.Importer
+	checked map[string]*types.Package
+}
+
+func (ri *repoImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ri.checked[path]; ok {
+		return p, nil
+	}
+	return ri.def.Import(path)
+}
+
+// typecheck type-checks every package in module-dependency order.
+// Type errors are collected per package, never fatal: the syntax-level
+// checks must keep working on trees (fixtures) that do not compile.
+func (r *Repo) typecheck() {
+	imp := &repoImporter{def: importer.Default(), checked: make(map[string]*types.Package)}
+	for _, pkg := range r.topoOrder() {
+		pkg := pkg
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.TypeErrs = append(pkg.TypeErrs, err) },
+		}
+		path := pkg.ImportPath
+		if path == "" {
+			path = pkg.Name
+		}
+		tpkg, _ := conf.Check(path, r.Fset, pkg.Files, info)
+		pkg.Types = tpkg
+		pkg.Info = info
+		if pkg.ImportPath != "" && tpkg != nil {
+			imp.checked[pkg.ImportPath] = tpkg
+		}
+	}
+}
+
+// topoOrder sorts packages so that every module-internal import of a
+// package precedes it. Cycles (illegal in Go anyway) and unresolved
+// imports fall back to lexical order.
+func (r *Repo) topoOrder() []*Package {
+	var order []*Package
+	state := make(map[*Package]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p] != 0 {
+			return
+		}
+		state[p] = 1
+		for _, f := range p.Files {
+			for _, im := range f.Imports {
+				path := strings.Trim(im.Path.Value, `"`)
+				if dep, ok := r.byImport[path]; ok && state[dep] == 0 {
+					visit(dep)
+				}
+			}
+		}
+		state[p] = 2
+		order = append(order, p)
+	}
+	for _, p := range r.Pkgs {
+		visit(p)
+	}
+	return order
+}
+
+// Funcs returns (building on first use) the index of every function
+// and method declaration in the repo, keyed by its origin type object.
+func (r *Repo) Funcs() map[*types.Func]*funcDecl {
+	if r.funcs != nil {
+		return r.funcs
+	}
+	r.funcs = make(map[*types.Func]*funcDecl)
+	for _, pkg := range r.Pkgs {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					r.funcs[obj.Origin()] = &funcDecl{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+	return r.funcs
+}
+
+// --- shared type-resolution helpers --------------------------------------
+
+// fieldObjOf resolves a selector expression to the struct field it
+// selects, or nil when it selects anything else (method, package
+// member, unresolved).
+func fieldObjOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if info == nil {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v.Origin()
+		}
+	}
+	return nil
+}
+
+// funcObjOf resolves a call target expression (identifier or selector)
+// to the function or method object it names, or nil.
+func funcObjOf(info *types.Info, fun ast.Expr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[f]; ok {
+			if fn, ok := s.Obj().(*types.Func); ok {
+				return fn.Origin()
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// varObjOf resolves an identifier or selector to the variable (local,
+// param, or field) it denotes, or nil.
+func varObjOf(info *types.Info, e ast.Expr) *types.Var {
+	if info == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v.Origin()
+		}
+	case *ast.SelectorExpr:
+		if v := fieldObjOf(info, x); v != nil {
+			return v
+		}
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v.Origin()
+		}
+	case *ast.ParenExpr:
+		return varObjOf(info, x.X)
+	}
+	return nil
+}
+
+// goLitRanges returns the source ranges of every function literal that
+// is launched directly by a go statement inside body. Code inside such
+// a literal runs on another goroutine: locks held by the spawner do
+// not protect it.
+func goLitRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			out = append(out, [2]token.Pos{lit.Pos(), lit.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// goLitAt returns the index of the innermost go-launched literal range
+// containing pos, or -1.
+func goLitAt(ranges [][2]token.Pos, pos token.Pos) int {
+	best := -1
+	for i, r := range ranges {
+		if pos <= r[0] || pos >= r[1] {
+			continue
+		}
+		if best == -1 || r[0] > ranges[best][0] {
+			best = i
+		}
+	}
+	return best
+}

@@ -48,7 +48,7 @@ func isDecodeCall(call *ast.CallExpr) (string, bool) {
 	return "", false
 }
 
-func (c wireerrCheck) Check(pkg *Package) []Diagnostic {
+func (c wireerrCheck) CheckPackage(pkg *Package) []Diagnostic {
 	var diags []Diagnostic
 	for _, f := range pkg.Files {
 		for _, fb := range funcBodies(f) {

@@ -357,24 +357,32 @@ func (s *Server) Stats() wire.Stats {
 // closed on return.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	var wg sync.WaitGroup
+
+	// stop fires on every exit path — graceful cancellation and
+	// terminal accept errors alike — so the listener closer and the
+	// compaction worker always join before Serve returns. The
+	// compaction loop in particular shares the block store with
+	// whoever calls Close next; it must not outlive Serve.
 	stop := make(chan struct{})
+	wg.Add(1)
 	go func() {
+		defer wg.Done()
 		select {
 		case <-ctx.Done():
 		case <-stop:
 		}
 		ln.Close()
 	}()
-	defer close(stop)
 
 	if s.cfg.CompactInterval > 0 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s.compactLoop(ctx)
+			s.compactLoop(ctx, stop)
 		}()
 	}
 
+	var retErr error
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -383,12 +391,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			}
 			// Transient accept failures (timeouts, resource pressure,
 			// one aborted connection) keep the loop alive; terminal ones
-			// (listener closed underneath us) end Serve.
+			// (listener closed underneath us) end Serve — through the
+			// same drain as a graceful shutdown.
 			if wire.Transient(err) {
 				s.cfg.Logf("server: accept (retrying): %v", err)
 				continue
 			}
-			return fmt.Errorf("server: accept: %w", err)
+			retErr = fmt.Errorf("server: accept: %w", err)
+			break
 		}
 		s.conns.Add(1)
 		if int(s.activeConns.Add(1)) > s.cfg.MaxConns {
@@ -410,7 +420,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		}()
 	}
 
-	// Drain: give in-flight requests DrainTimeout, then force-close.
+	// Stop the background workers, then drain: give in-flight requests
+	// DrainTimeout, then force-close.
+	close(stop)
 	done := make(chan struct{})
 	go func() { wg.Wait(); close(done) }()
 	select {
@@ -423,7 +435,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		s.connMu.Unlock()
 		<-done
 	}
-	return nil
+	return retErr
 }
 
 func (s *Server) trackConn(c net.Conn, add bool) {
@@ -564,12 +576,14 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 // the background GC of the lifecycle subsystem. It shares the
 // per-lineage mutex with the request path, so it is safe against
 // concurrent Push/Pull.
-func (s *Server) compactLoop(ctx context.Context) {
+func (s *Server) compactLoop(ctx context.Context, stop <-chan struct{}) {
 	tick := time.NewTicker(s.cfg.CompactInterval)
 	defer tick.Stop()
 	for {
 		select {
 		case <-ctx.Done():
+			return
+		case <-stop:
 			return
 		case <-tick.C:
 			for _, ln := range s.snapshot() {

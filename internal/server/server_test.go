@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -766,5 +767,47 @@ func TestServerReservedLineageName(t *testing.T) {
 	defer stop2()
 	if n := len(srv2.snapshot()); n != 0 {
 		t.Fatalf("restart scanned %d lineages, want 0", n)
+	}
+}
+
+// TestRaceServeJoinsWorkersOnListenerError pulls the listener out from
+// under Serve — the terminal accept-error path — and checks that Serve
+// still joins its background workers before returning. The caller's
+// next move after Serve returns is Close, which tears down the block
+// store the compaction worker shares; a worker that only watched ctx
+// (the old behavior) kept compacting against a closed store. The
+// goroutine-count poll makes the leak fail deterministically: a leaked
+// compactLoop never exits, so the count never settles.
+func TestRaceServeJoinsWorkersOnListenerError(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := New(quiet(Config{Root: t.TempDir(), CompactInterval: time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), ln) }()
+	time.Sleep(10 * time.Millisecond) // let the compaction ticker fire
+	ln.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Serve returned nil after the listener was closed underneath it")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Serve did not return after the listener was closed underneath it")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked past Serve: %d, want <= %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
