@@ -13,6 +13,7 @@ FUZZ_TARGETS = \
 	FuzzFrameDecode:./internal/wire \
 	FuzzHandshake:./internal/wire \
 	FuzzStreamAck:./internal/wire \
+	FuzzSubscribeDecode:./internal/wire \
 	FuzzDiffDecode:./internal/checkpoint \
 	FuzzRestore:./internal/checkpoint \
 	FuzzManifestDecode:./internal/checkpoint \
@@ -22,9 +23,9 @@ FUZZ_TARGETS = \
 FUZZTIME ?= 5s
 FUZZTIME_LONG ?= 5m
 
-.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json bench-wire saturate-smoke fuzz fuzz-smoke chaos-smoke race-chaos
+.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json bench-wire bench-failover saturate-smoke failover-smoke fuzz fuzz-smoke chaos-smoke race-chaos
 
-ci: fmt vet lint build race bench-smoke saturate-smoke fuzz-smoke chaos-smoke
+ci: fmt vet lint build race bench-smoke saturate-smoke failover-smoke fuzz-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -77,6 +78,18 @@ bench-wire:
 # checked-in JSON.
 saturate-smoke:
 	$(GO) run ./cmd/ckptbench -exp saturate -chain 64
+
+# bench-failover regenerates BENCH_failover.json from the hot-standby
+# drill: a follower tails a live primary's v5 subscription stream, the
+# primary is killed, and the follower promotes. The run enforces the
+# byte-exact-state, zero-replay and sub-second kill->serving gates.
+bench-failover:
+	$(GO) run ./cmd/ckptbench -exp failover -chain 64 -json BENCH_failover.json
+
+# failover-smoke is the CI slice of bench-failover: same experiment
+# and gates on a shorter chain, without rewriting the checked-in JSON.
+failover-smoke:
+	$(GO) run ./cmd/ckptbench -exp failover -chain 12
 
 # fuzz-smoke gives each decode-surface fuzz target a short budget on
 # top of the checked-in seed corpus; enough to catch regressions in the

@@ -452,9 +452,13 @@ func TestClientConnectionLimitError(t *testing.T) {
 // (TCompact/TPolicy), the open-info base payload, and the extended
 // list/stats encodings. Version 3 added the CRC32C push precondition,
 // StatusBusy load shedding with a retry-after hint, and the busy-
-// reject stats counter.
+// reject stats counter. Version 4 added TPushStream windowed
+// streaming pushes with out-of-order StreamAcks. Version 5 added the
+// replication surface: TSubscribe with resume cursors, server-pushed
+// TTail frames, and TResync barriers (lag shed / compaction fold);
+// v5 clients fall back to length-polling against v4 servers.
 func TestClientProtocolVersion(t *testing.T) {
-	if wire.Version != 4 {
+	if wire.Version != 5 {
 		t.Fatalf("protocol version bumped to %d: update compatibility notes", wire.Version)
 	}
 	if wire.MinVersion != 3 {

@@ -55,7 +55,7 @@ func parseInts(s string) ([]int, error) {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ckptbench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, compact, faults, dedupx, all")
+		exp      = fs.String("exp", "all", "experiment: table1, fig4, fig5, fig6, overhead, ablation, extensions, adjoint, headline, compact, faults, dedupx, failover, all")
 		vertices = fs.Int("vertices", 20000, "target vertices per input graph (paper: 11-18 M)")
 		maxK     = fs.Int("maxk", 4, "largest graphlet size for ORANGES (paper: 5)")
 		chunks   = fs.String("chunks", "32,64,128,256,512", "chunk sizes for fig4")
@@ -73,7 +73,7 @@ func run(args []string, stdout io.Writer) error {
 		keepLast = fs.Int("keeplast", 4, "retained checkpoints for -exp compact (keep-last=K)")
 		lineages = fs.Int("lineages", 4, "tenant count for -exp dedupx")
 		jsonPath = fs.String("json", "", "write -exp dedupx/saturate results as JSON to this file")
-		chainLen = fs.Int("chain", 64, "checkpoint chain length for -exp saturate")
+		chainLen = fs.Int("chain", 64, "checkpoint chain length for -exp saturate/failover")
 		frames   = fs.Int("frames", gpuckpt.DefaultWindowFrames, "streaming window frame bound for -exp saturate")
 		frameB   = fs.Int64("framebytes", gpuckpt.DefaultWindowBytes, "streaming window byte bound for -exp saturate")
 		pipeline = fs.Bool("pipeline", false, "overlap each checkpoint's store with the next one's dedup (CheckpointAsync)")
@@ -261,6 +261,15 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return err
 		},
+		"failover": func() error {
+			t, err := failoverExperiment(cfg, *chainLen, *jsonPath)
+			if t != nil {
+				if eerr := emit("failover", t); eerr != nil {
+					return eerr
+				}
+			}
+			return err
+		},
 		"dedupx": func() error {
 			t, err := dedupxExperiment(cfg, *lineages, *jsonPath)
 			if t != nil {
@@ -271,9 +280,9 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		},
 	}
-	// "push" needs a live ckptd server, and "faults" is a resilience
-	// drill rather than a paper experiment, so "all" (the offline
-	// reproduction pass) includes neither.
+	// "push" needs a live ckptd server, and "faults"/"failover" are
+	// resilience drills rather than paper experiments, so "all" (the
+	// offline reproduction pass) includes none of them.
 	order := []string{"table1", "fig4", "fig5", "fig6", "overhead", "ablation", "extensions", "adjoint", "headline", "compact"}
 
 	if *exp == "all" {

@@ -13,6 +13,20 @@
 // and restore them remotely with `restoretool -remote host:9090
 // -lineage name`. The daemon shuts down gracefully on SIGINT/SIGTERM:
 // it stops accepting, drains in-flight requests, then exits.
+//
+// # Hot standby
+//
+//	ckptd -listen :9091 -root /var/lib/ckptd-standby \
+//	      -follow primary:9090 -failover-after 3s
+//
+// With -follow the daemon runs as a live replica instead of a
+// primary: it discovers the primary's lineages, tails each one's diff
+// stream (wire v5 subscription, poll fallback on v4), and mirrors
+// them under -root. When the primary stays unreachable for
+// -failover-after (0 disables automatic promotion), the standby
+// promotes: replication stops, and the same process starts serving
+// the mirrored root on -listen. Promotion applies no diffs — every
+// mirror is kept serving-ready while the primary is alive.
 package main
 
 import (
@@ -52,6 +66,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		quiet        = fs.Bool("quiet", false, "suppress per-connection logging")
 		retention    = fs.String("retention", "keep-all", "default retention policy per lineage: keep-all, keep-last=N, or keep-every=K")
 		compactEvery = fs.Duration("compact-interval", 0, "background compaction sweep interval (0 disables; compaction then runs only on client request)")
+		follow       = fs.String("follow", "", "run as hot standby of the primary at this address (mirrors its lineages under -root)")
+		followRescan = fs.Duration("follow-rescan", 2*time.Second, "standby mode: how often to rediscover the primary's lineages")
+		failAfter    = fs.Duration("failover-after", 3*time.Second, "standby mode: promote after the primary has been unreachable this long (0 = never promote automatically)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +91,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg.Logf = func(string, ...any) {}
 	} else {
 		cfg.Logf = log.Printf
+	}
+
+	if *follow != "" {
+		return runStandby(ctx, stdout, standbyConfig{
+			primary:   *follow,
+			listen:    *listen,
+			rescan:    *followRescan,
+			failAfter: *failAfter,
+			server:    cfg,
+		})
 	}
 
 	srv, err := server.New(cfg)

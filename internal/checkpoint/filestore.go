@@ -997,6 +997,80 @@ func (fs *FileStore) ReinstallDiff(d *Diff) error {
 	return fs.rescanLocked()
 }
 
+// InstallSpan installs a replicated span pulled from a peer: diffs
+// carry contiguous absolute ids [base, base+len(diffs)) and become
+// the store's authoritative content, adopting base as the committed
+// baseline when it lies beyond the current one. This is the resync
+// commit of a follower whose primary folded its lineage — unlike
+// CommitManifest (which moves the baseline of diffs already stored),
+// InstallSpan may move the baseline PAST the mirror's current length,
+// because the span's files are written first and the manifest commit
+// only then publishes the new base over them.
+//
+// The transaction reuses the compaction crash contract: span files
+// (durable, fsynced individually), then the atomic manifest rename,
+// then the prune of files below the new baseline. A crash at any
+// point leaves either the old committed state plus ignorable stranded
+// files, or the new state with the prune completed on reopen.
+func (fs *FileStore) InstallSpan(base int, diffs []*Diff) error {
+	if len(diffs) == 0 {
+		return fmt.Errorf("checkpoint: install span at %d with no diffs", base)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.ensureMaterializedLocked(); err != nil {
+		return err
+	}
+	if base < int(fs.man.Base) {
+		return fmt.Errorf("checkpoint: span baseline %d behind committed %d", base, fs.man.Base)
+	}
+	for i, d := range diffs {
+		if int(d.CkptID) != base+i {
+			return fmt.Errorf("checkpoint: span diff at offset %d carries id %d, want %d",
+				i, d.CkptID, base+i)
+		}
+		for _, s := range d.ShiftDupl {
+			if int(s.SrcCkpt) < base {
+				return fmt.Errorf("checkpoint: span diff %d references checkpoint %d below its baseline %d",
+					d.CkptID, s.SrcCkpt, base)
+			}
+		}
+	}
+	for i, d := range diffs {
+		// An overwritten file's block references are captured before
+		// the rename destroys it and released only once the
+		// replacement is durable, as in ReplaceDiff.
+		oldRefs := fs.blockRefsAt(base + i)
+		if _, err := fs.writeDiffLocked(base+i, d); err != nil {
+			return err
+		}
+		if err := fs.releaseRefs(oldRefs); err != nil {
+			return err
+		}
+	}
+	if base > int(fs.man.Base) {
+		m := fs.man.Clone()
+		m.Base = uint32(base)
+		m.Generation++
+		kept := m.Pins[:0]
+		for _, p := range m.Pins {
+			if int(p) >= base {
+				kept = append(kept, p)
+			}
+		}
+		m.Pins = kept
+		if err := WriteManifestFile(fs.manifestPath(), &m); err != nil {
+			return err
+		}
+		fs.man = m
+	}
+	if err := fs.rescanLocked(); err != nil {
+		return err
+	}
+	_, _, err := fs.pruneBelowBaseLocked()
+	return err
+}
+
 // Quarantined lists the quarantine file names currently in the store
 // directory, in lexical order.
 func (fs *FileStore) Quarantined() ([]string, error) {

@@ -1,5 +1,7 @@
 // Package connpool provides the bounded, health-checked client
-// connection pool behind gpuckpt.Client.
+// connection pool behind gpuckpt.Client and the replication
+// follower (internal/follower, which runs it at MaxActive=1 purely
+// for the parked protocol session and redial health checks).
 //
 // The shape follows the classic outbound-pool idiom (blox pool.go): a
 // fixed number of checkout permits bounds total connections, returned

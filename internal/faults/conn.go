@@ -2,6 +2,7 @@ package faults
 
 import (
 	"net"
+	"sync"
 	"syscall"
 	"time"
 )
@@ -50,6 +51,13 @@ type ConnPlan struct {
 	// every write is issued one byte per syscall, so the receiver sees
 	// maximally fragmented frames.
 	SlowWrite Hits
+	// SlowWritePause, when >0, additionally sleeps this long at the
+	// start of every write of a SlowWrite-armed connection — a
+	// receive-window-limited peer that stays connected but drains
+	// slowly. The replication lag scenario uses it to hold the
+	// subscription writer busy while a push burst overflows the
+	// bounded fan-out queue.
+	SlowWritePause time.Duration
 	// ShortRead makes every read of the selected connections return at
 	// most one byte, exercising the peer-side reassembly loops.
 	ShortRead Hits
@@ -76,10 +84,14 @@ func (in *Injector) WrapConn(c net.Conn, plan ConnPlan) net.Conn {
 		}
 	}
 	if in.fire(EvStall, plan.Stall) {
+		// The conn is not shared yet; the lock only satisfies the
+		// guardedby contract on the one mutable schedule field.
+		fc.mu.Lock()
 		fc.stall = plan.StallFor
 		if fc.stall <= 0 {
 			fc.stall = 200 * time.Millisecond
 		}
+		fc.mu.Unlock()
 		fc.stallReadN = plan.StallReadN
 		if fc.stallReadN <= 0 {
 			fc.stallReadN = 1
@@ -87,6 +99,7 @@ func (in *Injector) WrapConn(c net.Conn, plan ConnPlan) net.Conn {
 	}
 	if in.fire(EvSlowWrite, plan.SlowWrite) {
 		fc.slowWrite = true
+		fc.writePause = plan.SlowWritePause
 	}
 	if in.fire(EvShortRead, plan.ShortRead) {
 		fc.shortRead = true
@@ -131,30 +144,47 @@ func (l *faultListener) Accept() (net.Conn, error) {
 }
 
 // faultConn is a net.Conn with scheduled failure behaviors. Deadline
-// methods pass through to the embedded conn.
+// methods pass through to the embedded conn. Like the net.Conn it
+// wraps, it tolerates one concurrent reader and one concurrent writer
+// (the v5 subscription path reads a watchdog byte while the tail loop
+// writes); the schedule state is mutex-guarded, and the lock is never
+// held across blocking I/O.
 type faultConn struct {
 	net.Conn
 	in *Injector
 
-	resetAfter int // >0: tear after this many written bytes
-	written    int
-	torn       bool
+	mu sync.Mutex
+	//ckptlint:guardedby mu
+	written int
+	//ckptlint:guardedby mu
+	torn bool
+	//ckptlint:guardedby mu
+	stall time.Duration // one-shot pre-read sleep
+	//ckptlint:guardedby mu
+	reads int
 
-	stall      time.Duration // one-shot pre-read sleep
-	stallReadN int           // which read (1-based) stalls
-	reads      int
+	// Immutable after WrapConn.
+	resetAfter int // >0: tear after this many written bytes
+	stallReadN int // which read (1-based) stalls
 	slowWrite  bool
+	writePause time.Duration // pre-write sleep of a SlowWrite conn
 	shortRead  bool
 }
 
 func (c *faultConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
 	if c.torn {
+		c.mu.Unlock()
 		return 0, ErrConnReset
 	}
 	c.reads++
+	var d time.Duration
 	if c.stall > 0 && c.reads >= c.stallReadN {
-		d := c.stall
+		d = c.stall
 		c.stall = 0
+	}
+	c.mu.Unlock()
+	if d > 0 {
 		time.Sleep(d)
 	}
 	if c.shortRead && len(p) > 1 {
@@ -164,31 +194,35 @@ func (c *faultConn) Read(p []byte) (int, error) {
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
 	if c.torn {
+		c.mu.Unlock()
 		return 0, ErrConnReset
 	}
 	if c.resetAfter > 0 && c.written+len(p) > c.resetAfter {
 		allow := c.resetAfter - c.written
+		c.written = c.resetAfter
+		c.torn = true
+		c.mu.Unlock()
 		n := 0
 		if allow > 0 {
 			n, _ = c.Conn.Write(p[:allow])
-			c.written += n
 		}
-		c.torn = true
 		c.Conn.Close()
 		return n, ErrConnReset
 	}
+	c.written += len(p)
+	c.mu.Unlock()
 	if c.slowWrite {
+		if c.writePause > 0 {
+			time.Sleep(c.writePause)
+		}
 		for i := range p {
 			if _, err := c.Conn.Write(p[i : i+1]); err != nil {
-				c.written += i
 				return i, err
 			}
 		}
-		c.written += len(p)
 		return len(p), nil
 	}
-	n, err := c.Conn.Write(p)
-	c.written += n
-	return n, err
+	return c.Conn.Write(p)
 }

@@ -1,0 +1,842 @@
+// Package follower implements the hot-standby side of live
+// replication: a subscriber that dials a ckptd primary, tails the
+// server-pushed diff stream of one lineage (wire v5 TSubscRIBE), and
+// applies every diff as it arrives into both a local FileStore mirror
+// (durability) and a live in-memory Record plus materialized state
+// buffer (serving readiness). Because the state buffer is advanced on
+// every arrival, Promote is O(1) — it returns the already-current
+// state without replaying the chain, which is the paper's restore
+// cost moved off the failure path (ROADMAP item 4; the PhoenixOS /
+// CRIUgpu "keep the standby warm" model).
+//
+// # Resume cursors
+//
+// The follower's position is the cursor {base, next, crc}: the
+// baseline it mirrors, the next checkpoint id it needs, and the
+// CRC32C of the last diff it holds. Every reconnect re-subscribes
+// with the cursor; the primary either resumes the stream exactly
+// there (re-verifying continuity against its stored bytes) or answers
+// with a TResync barrier naming the authoritative [base, len) span,
+// which the follower pulls over the same connection and installs
+// atomically (FileStore.InstallSpan — the PR 4 manifest transaction),
+// then re-subscribes. Being shed for lag, a primary crash mid-frame,
+// and a compaction fold racing the stream all collapse into the same
+// loop: reconnect, re-subscribe, maybe resync.
+//
+// # v4 fallback
+//
+// Against a primary that negotiates wire v4 or below (no TSubscribe)
+// the follower degrades to poll-based tailing: a TOpen length probe
+// every PollInterval, pulling whatever appeared. Same convergence,
+// higher latency — the interop contract of the v5 bump.
+package follower
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/connpool"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// Dialer opens the transport to the primary; tests inject fault-
+// wrapped dialers through it (the PR 5 network seam).
+type Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+
+// Defaults applied by New for zero Options fields.
+const (
+	DefaultTimeout      = 10 * time.Second
+	DefaultPollInterval = 200 * time.Millisecond
+	DefaultMinBackoff   = 50 * time.Millisecond
+	DefaultMaxBackoff   = 2 * time.Second
+
+	// tailTick is the read-deadline granularity of the tail loop: how
+	// often an idle subscriber wakes to check for cancellation.
+	tailTick = 250 * time.Millisecond
+	// connBufSize matches the server's per-connection buffer.
+	connBufSize = 64 << 10
+	// resubscribeAttempts bounds same-connection resync+re-subscribe
+	// rounds before the follower tears the connection down and starts
+	// over (a live primary folding continuously could otherwise pin
+	// the loop).
+	resubscribeAttempts = 4
+)
+
+// Options configures a Follower.
+type Options struct {
+	// Addr is the primary's host:port. Required.
+	Addr string
+	// Lineage is the lineage to mirror. Required.
+	Lineage string
+	// Dir is the local mirror directory (a checkpoint.FileStore).
+	// Required.
+	Dir string
+	// Timeout bounds dials and request round trips (default 10s).
+	Timeout time.Duration
+	// PollInterval is the tail probe cadence against a v4 primary
+	// (default 200ms). Unused when the primary speaks v5.
+	PollInterval time.Duration
+	// MinBackoff/MaxBackoff bound the reconnect backoff (defaults
+	// 50ms/2s; backoff resets whenever a session makes progress).
+	MinBackoff, MaxBackoff time.Duration
+	// Dialer overrides the transport dial (default net.DialTimeout);
+	// the chaos suite injects fault-wrapped connections here.
+	Dialer Dialer
+	// Logf sinks follower logs (default: silent).
+	Logf func(format string, args ...any)
+	// OnApply, when set, runs after checkpoint ckpt is applied and
+	// durable in the mirror — without internal locks held, so it may
+	// call Stats. The failover experiment uses it to timestamp
+	// replication lag.
+	OnApply func(ckpt int)
+}
+
+func (o *Options) fill() error {
+	if o.Addr == "" || o.Lineage == "" || o.Dir == "" {
+		return errors.New("follower: Addr, Lineage and Dir are required")
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = DefaultPollInterval
+	}
+	if o.MinBackoff <= 0 {
+		o.MinBackoff = DefaultMinBackoff
+	}
+	if o.MaxBackoff < o.MinBackoff {
+		o.MaxBackoff = DefaultMaxBackoff
+	}
+	if o.Dialer == nil {
+		o.Dialer = defaultDial
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Stats is a snapshot of a follower's replication progress.
+type Stats struct {
+	// Base and Next delimit the mirrored cursor: diffs [Base, Next)
+	// are applied and durable locally.
+	Base, Next int
+	// Applied counts diffs applied since New.
+	Applied uint64
+	// TailFrames counts diffs that arrived via the v5 stream; Polls
+	// counts v4 length probes.
+	TailFrames, Polls uint64
+	// Resyncs counts span re-pulls after a fold barrier; Reconnects
+	// counts sessions ended by any error or barrier.
+	Resyncs, Reconnects uint64
+	// Promoted reports whether Promote has been called.
+	Promoted bool
+}
+
+// Promotion is the serving-ready outcome of Promote.
+type Promotion struct {
+	// Lineage and Dir identify the mirror.
+	Lineage, Dir string
+	// Base and Len delimit the promoted span: checkpoints [Base, Len)
+	// are restorable. Len == Base means the lineage was empty.
+	Base, Len int
+	// Record is the live in-memory record (indices relative to Base).
+	// Nil when the lineage was empty.
+	Record *checkpoint.Record
+	// State is the materialized buffer of checkpoint Len-1 — current
+	// BEFORE Promote was called; no replay happened. Nil when empty.
+	State []byte
+	// Store is the mirror's FileStore, still open and owned by the
+	// Follower: it remains valid until Close. A promoted daemon that
+	// wants to serve the directory with its own store must Close the
+	// follower first.
+	Store *checkpoint.FileStore
+}
+
+// session is the per-connection protocol state parked in the pool.
+type session struct {
+	version uint8
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	frame   wire.Frame
+	scratch []byte
+}
+
+// errStopped ends a session loop because Close or Promote was called.
+var errStopped = errors.New("follower: stopped")
+
+func defaultDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// Follower mirrors one lineage from a primary. Create with New, drive
+// with Run (one goroutine, owned by the caller), finish with Promote
+// and/or Close. A Follower must be Closed (ckptlint closecontract).
+type Follower struct {
+	opts Options
+	pool *connpool.Pool
+
+	mu sync.Mutex
+	//ckptlint:guardedby mu
+	store *checkpoint.FileStore
+	// rec/state are the live serving replica: rec holds diffs rebased
+	// to the mirror baseline, state is the materialized buffer of
+	// checkpoint next-1. Maintained incrementally by every apply.
+	//ckptlint:guardedby mu
+	rec *checkpoint.Record
+	//ckptlint:guardedby mu
+	state []byte
+	//ckptlint:guardedby mu
+	base int
+	//ckptlint:guardedby mu
+	next int
+	//ckptlint:guardedby mu
+	lastCRC uint32
+	//ckptlint:guardedby mu
+	promoted bool
+	//ckptlint:guardedby mu
+	closed bool
+	// cur is the connection of the running session, severed by
+	// Close/Promote to interrupt a blocked read.
+	//ckptlint:guardedby mu
+	cur net.Conn
+
+	// stop is closed (once) by Close or Promote to wake sleeps.
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	applied    atomic.Uint64 //ckptlint:atomic
+	tailFrames atomic.Uint64 //ckptlint:atomic
+	polls      atomic.Uint64 //ckptlint:atomic
+	resyncs    atomic.Uint64 //ckptlint:atomic
+	reconnects atomic.Uint64 //ckptlint:atomic
+}
+
+// New opens (or reopens) the mirror directory and builds a Follower.
+// A non-empty mirror resumes from its stored cursor — a restarted
+// standby re-subscribes where it crashed instead of re-pulling.
+func New(opts Options) (*Follower, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	store, err := checkpoint.NewFileStore(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{opts: opts, store: store, stop: make(chan struct{})}
+	f.pool, err = connpool.New(connpool.Options{
+		Dial:        f.dial,
+		MaxActive:   1,
+		WaitTimeout: opts.Timeout,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	n, lerr := store.Len()
+	if lerr == nil && (n > 0 || store.Base() > 0) {
+		f.mu.Lock()
+		lerr = f.reloadLocked()
+		f.mu.Unlock()
+	}
+	if lerr != nil {
+		f.pool.Close()
+		store.Close()
+		return nil, fmt.Errorf("follower: mirror %s unusable: %w", opts.Dir, lerr)
+	}
+	return f, nil
+}
+
+// dial opens and handshakes one pooled connection.
+func (f *Follower) dial() (net.Conn, any, error) {
+	nc, err := f.opts.Dialer(f.opts.Addr, f.opts.Timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	nc.SetDeadline(time.Now().Add(f.opts.Timeout))
+	v, err := wire.Handshake(nc)
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	return nc, &session{
+		version: v,
+		br:      bufio.NewReaderSize(nc, connBufSize),
+		bw:      bufio.NewWriterSize(nc, connBufSize),
+	}, nil
+}
+
+// Run drives replication until ctx is cancelled or Close/Promote is
+// called: dial, subscribe (or poll), apply, reconnect with backoff.
+// It always returns nil on a deliberate stop; it never returns on a
+// primary failure — that is the condition the standby exists for.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.opts.MinBackoff
+	for {
+		if ctx.Err() != nil || f.stopped() {
+			return nil
+		}
+		progress, err := f.session(ctx)
+		if ctx.Err() != nil || f.stopped() {
+			return nil
+		}
+		f.reconnects.Add(1)
+		if err != nil && !errors.Is(err, errStopped) {
+			f.opts.Logf("follower %s: session: %v", f.opts.Lineage, err)
+		}
+		if progress {
+			backoff = f.opts.MinBackoff
+		} else {
+			backoff = min(backoff*2, f.opts.MaxBackoff)
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil
+		case <-f.stop:
+			timer.Stop()
+			return nil
+		case <-timer.C:
+		}
+	}
+}
+
+// session runs one connection's worth of replication and reports
+// whether it made progress (applied, resynced, or reached the
+// primary's length).
+func (f *Follower) session(ctx context.Context) (bool, error) {
+	c, err := f.pool.Get()
+	if err != nil {
+		return false, err
+	}
+	f.setConn(c.NC)
+	healthy := false
+	defer func() {
+		f.setConn(nil)
+		if healthy {
+			c.Release()
+		} else {
+			c.Discard()
+		}
+	}()
+	sess := c.Session.(*session)
+	handle, err := f.openLineage(c)
+	if err != nil {
+		return false, err
+	}
+	if sess.version >= 5 {
+		return f.subscribe(ctx, c, handle)
+	}
+	progress, err := f.poll(ctx, c, handle)
+	// A poll session ends only on error or stop; the connection is
+	// reusable after a deliberate stop.
+	healthy = err == nil
+	return progress, err
+}
+
+// setConn records the live connection so Close/Promote can sever it.
+func (f *Follower) setConn(nc net.Conn) {
+	f.mu.Lock()
+	f.cur = nc
+	f.mu.Unlock()
+}
+
+// openLineage resolves the lineage name to this connection's handle.
+func (f *Follower) openLineage(c *connpool.Conn) (uint32, error) {
+	resp, err := f.roundTrip(c, &wire.Frame{Type: wire.TOpen, Payload: []byte(f.opts.Lineage)})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Err(); err != nil {
+		return 0, err
+	}
+	return resp.Lineage, nil
+}
+
+// roundTrip writes one request and reads one response under Timeout
+// deadlines. An unsolicited TErr frame (the server's over-capacity
+// greeting) surfaces as its typed error.
+func (f *Follower) roundTrip(c *connpool.Conn, req *wire.Frame) (*wire.Frame, error) {
+	sess := c.Session.(*session)
+	c.NC.SetWriteDeadline(time.Now().Add(f.opts.Timeout))
+	if err := wire.WriteFrame(sess.bw, req); err != nil {
+		return nil, err
+	}
+	if err := sess.bw.Flush(); err != nil {
+		return nil, err
+	}
+	c.NC.SetReadDeadline(time.Now().Add(f.opts.Timeout))
+	if err := wire.ReadFrameInto(sess.br, wire.DefaultMaxPayload, &sess.frame, &sess.scratch); err != nil {
+		return nil, err
+	}
+	resp := &sess.frame
+	if resp.Type == wire.TErr {
+		return nil, resp.Err()
+	}
+	return resp, nil
+}
+
+// cursor snapshots the resume position.
+func (f *Follower) cursor() wire.Cursor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return wire.Cursor{Base: uint32(f.base), Next: uint32(f.next), CRC: f.lastCRC}
+}
+
+// subscribe drives the v5 path on one connection: subscribe (resync
+// and retry on a barrier response), then tail the stream.
+func (f *Follower) subscribe(ctx context.Context, c *connpool.Conn, handle uint32) (bool, error) {
+	progress := false
+	for attempt := 0; attempt < resubscribeAttempts; attempt++ {
+		if ctx.Err() != nil || f.stopped() {
+			return progress, nil
+		}
+		req := &wire.Frame{Type: wire.TSubscribe, Lineage: handle,
+			Payload: wire.EncodeSubscribe(f.cursor())}
+		resp, err := f.roundTrip(c, req)
+		if err != nil {
+			return progress, err
+		}
+		switch {
+		case resp.Type == wire.TResync && resp.Status == wire.StatusOK:
+			// Cursor rejected; the connection is still in request
+			// mode. Pull the authoritative span right here, then
+			// re-subscribe with the fresh cursor.
+			info, err := wire.DecodeResync(resp.Payload)
+			if err != nil {
+				return progress, err
+			}
+			if err := f.resync(c, handle, info); err != nil {
+				return progress, err
+			}
+			progress = true
+			continue
+		case resp.Type == wire.TSubscribe && resp.Status == wire.StatusOK:
+			if _, err := wire.DecodeSubscribeAck(resp.Payload); err != nil {
+				return progress, err
+			}
+			tailed, err := f.tail(ctx, c)
+			return progress || tailed, err
+		default:
+			err := resp.Err()
+			if errors.Is(err, wire.ErrUnsupported) {
+				// A v5 hello but no subscription support (version pin
+				// newer than the feature): degrade to polling.
+				return f.poll(ctx, c, handle)
+			}
+			if err == nil {
+				err = fmt.Errorf("follower: unexpected %#x response to subscribe", resp.Type)
+			}
+			return progress, err
+		}
+	}
+	return progress, fmt.Errorf("follower: cursor not settled after %d resyncs", resubscribeAttempts)
+}
+
+// tail reads server-pushed frames until the stream ends. Reads use
+// short deadlines as idle ticks so cancellation is noticed between
+// frames; bufio.Peek keeps partially arrived bytes buffered across
+// ticks, so a frame straddling a tick is never torn.
+func (f *Follower) tail(ctx context.Context, c *connpool.Conn) (bool, error) {
+	sess := c.Session.(*session)
+	progress := false
+	var stalled time.Duration
+	prevBuffered := 0
+	for {
+		if ctx.Err() != nil || f.stopped() {
+			return progress, nil
+		}
+		c.NC.SetReadDeadline(time.Now().Add(tailTick))
+		_, err := sess.br.Peek(wire.HeaderSize)
+		if err != nil {
+			if wire.Timeout(err) {
+				// Idle tick. A partial frame that stops growing for a
+				// full Timeout is a stalled primary, not idleness.
+				if b := sess.br.Buffered(); b > 0 && b == prevBuffered {
+					stalled += tailTick
+					if stalled >= f.opts.Timeout {
+						return progress, fmt.Errorf("follower: stream stalled mid-frame (%d bytes buffered)", b)
+					}
+				} else {
+					prevBuffered = sess.br.Buffered()
+					stalled = 0
+				}
+				continue
+			}
+			return progress, err
+		}
+		stalled, prevBuffered = 0, 0
+		c.NC.SetReadDeadline(time.Now().Add(f.opts.Timeout))
+		if err := wire.ReadFrameInto(sess.br, wire.DefaultMaxPayload, &sess.frame, &sess.scratch); err != nil {
+			return progress, err
+		}
+		fr := &sess.frame
+		switch fr.Type {
+		case wire.TTail:
+			crc, encoded, err := wire.DecodePush(fr.Payload)
+			if err != nil {
+				return progress, err
+			}
+			f.tailFrames.Add(1)
+			if err := f.applyEncoded(int(fr.Ckpt), encoded, crc); err != nil {
+				if errors.Is(err, errStopped) {
+					return progress, nil
+				}
+				return progress, err
+			}
+			progress = true
+		case wire.TResync:
+			// Mid-stream barrier: terminal for this connection. The
+			// next session's subscribe resolves it (a lag shed resumes
+			// via cursor; a fold triggers the resync response path).
+			info, err := wire.DecodeResync(fr.Payload)
+			if err != nil {
+				return progress, err
+			}
+			f.opts.Logf("follower %s: stream barrier: %s [%d,%d)",
+				f.opts.Lineage, wire.ResyncReasonString(info.Reason), info.Base, info.Len)
+			return progress, nil
+		default:
+			return progress, fmt.Errorf("follower: unexpected frame %#x in tail stream", fr.Type)
+		}
+	}
+}
+
+// poll is the v4 fallback: probe the lineage length every
+// PollInterval and pull whatever appeared.
+func (f *Follower) poll(ctx context.Context, c *connpool.Conn, handle uint32) (bool, error) {
+	progress := false
+	for {
+		if ctx.Err() != nil || f.stopped() {
+			return progress, nil
+		}
+		resp, err := f.roundTrip(c, &wire.Frame{Type: wire.TOpen, Payload: []byte(f.opts.Lineage)})
+		if err != nil {
+			return progress, err
+		}
+		if err := resp.Err(); err != nil {
+			return progress, err
+		}
+		n := int(resp.Ckpt)
+		base32, err := wire.DecodeOpenInfo(resp.Payload)
+		if err != nil {
+			return progress, err
+		}
+		f.polls.Add(1)
+		cur := f.cursor()
+		if int(cur.Base) != int(base32) || int(cur.Next) > n {
+			// The primary folded (or regressed, which resync rejects).
+			if err := f.resync(c, handle, wire.Resync{Reason: wire.ResyncFold, Base: base32, Len: uint32(n)}); err != nil {
+				return progress, err
+			}
+			progress = true
+			cur = f.cursor()
+		}
+		for k := int(cur.Next); k < n; k++ {
+			encoded, err := f.pull(c, handle, k)
+			if err != nil {
+				return progress, err
+			}
+			if err := f.applyEncoded(k, encoded, wire.Checksum(encoded)); err != nil {
+				if errors.Is(err, errStopped) {
+					return progress, nil
+				}
+				return progress, err
+			}
+			progress = true
+		}
+		timer := time.NewTimer(f.opts.PollInterval)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return progress, nil
+		case <-f.stop:
+			timer.Stop()
+			return progress, nil
+		case <-timer.C:
+		}
+	}
+}
+
+// pull fetches one encoded diff (no CRC prefix — TPull serves the
+// stored bytes, whose integrity footer the store already verified).
+func (f *Follower) pull(c *connpool.Conn, handle uint32, k int) ([]byte, error) {
+	resp, err := f.roundTrip(c, &wire.Frame{Type: wire.TPull, Lineage: handle, Ckpt: uint32(k)})
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp.Payload, nil
+}
+
+// resync pulls the authoritative span [info.Base, info.Len) and
+// installs it atomically over the mirror, then rebuilds the live
+// replica. O(span), but only runs when a fold invalidated the cursor.
+func (f *Follower) resync(c *connpool.Conn, handle uint32, info wire.Resync) error {
+	if info.Len == info.Base {
+		if info.Base == 0 {
+			cur := f.cursor()
+			if cur.Next > 0 {
+				return errors.New("follower: mirror is ahead of an empty primary (diverged lineage?)")
+			}
+			return nil // both empty: nothing to do
+		}
+		return fmt.Errorf("follower: resync span [%d,%d) is empty", info.Base, info.Len)
+	}
+	diffs := make([]*checkpoint.Diff, 0, info.Len-info.Base)
+	for k := info.Base; k < info.Len; k++ {
+		encoded, err := f.pull(c, handle, int(k))
+		if err != nil {
+			return fmt.Errorf("follower: resync pull %d: %w", k, err)
+		}
+		d, err := checkpoint.Decode(bytes.NewReader(encoded))
+		if err != nil {
+			return fmt.Errorf("follower: resync decode %d: %w", k, err)
+		}
+		if uint32(d.CkptID) != k {
+			return fmt.Errorf("follower: resync pull %d returned diff %d", k, d.CkptID)
+		}
+		diffs = append(diffs, d)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.promoted {
+		return errStopped
+	}
+	if err := f.store.InstallSpan(int(info.Base), diffs); err != nil {
+		return fmt.Errorf("follower: installing resync span: %w", err)
+	}
+	if err := f.reloadLocked(); err != nil {
+		return fmt.Errorf("follower: reloading after resync: %w", err)
+	}
+	f.resyncs.Add(1)
+	return nil
+}
+
+// reloadLocked rebuilds the in-memory replica (record, materialized
+// state, cursor) from the mirror store — the slow path used at
+// startup with a non-empty mirror and after a resync install.
+//
+//ckptlint:locked mu
+func (f *Follower) reloadLocked() error {
+	n, err := f.store.Len()
+	if err != nil {
+		return err
+	}
+	base := f.store.Base()
+	if n == base {
+		f.rec, f.state = nil, nil
+		f.base, f.next, f.lastCRC = base, n, 0
+		return nil
+	}
+	rec, err := f.store.Load()
+	if err != nil {
+		return err
+	}
+	state, err := rec.RestoreLatest()
+	if err != nil {
+		return err
+	}
+	last, err := f.store.DiffBytes(n - 1)
+	if err != nil {
+		return err
+	}
+	f.rec, f.state = rec, state
+	f.base, f.next, f.lastCRC = base, n, wire.Checksum(last)
+	return nil
+}
+
+// applyEncoded applies one arrived diff: durable append to the mirror
+// first, then the live record and the materialized state buffer, then
+// the cursor. encoded may alias the session scratch buffer — Decode
+// copies what it keeps.
+func (f *Follower) applyEncoded(k int, encoded []byte, crc uint32) error {
+	d, err := checkpoint.Decode(bytes.NewReader(encoded))
+	if err != nil {
+		return fmt.Errorf("follower: decoding diff %d: %w", k, err)
+	}
+	if int(d.CkptID) != k {
+		return fmt.Errorf("follower: frame ckpt %d carries diff %d", k, d.CkptID)
+	}
+	f.mu.Lock()
+	if f.closed || f.promoted {
+		f.mu.Unlock()
+		return errStopped
+	}
+	if k < f.next {
+		f.mu.Unlock()
+		return nil // replay of an already-applied diff
+	}
+	if k != f.next {
+		f.mu.Unlock()
+		return fmt.Errorf("follower: gap: got diff %d, cursor at %d", k, f.next)
+	}
+	if err := f.store.Append(d); err != nil {
+		f.mu.Unlock()
+		return fmt.Errorf("follower: mirroring diff %d: %w", k, err)
+	}
+	// Mirror is durable; extend the live replica. The record gets a
+	// rebased shallow clone (the mirror stored the absolute original).
+	if err := f.applyLiveLocked(d, k); err != nil {
+		// The store accepted what the replica rejected (or apply
+		// failed mid-flight): rebuild the replica from the store
+		// rather than serving a diverged state. Rare enough that the
+		// O(chain) reload is acceptable.
+		f.opts.Logf("follower %s: live apply %d failed (%v); reloading replica", f.opts.Lineage, k, err)
+		if rerr := f.reloadLocked(); rerr != nil {
+			f.mu.Unlock()
+			return fmt.Errorf("follower: replica reload after failed apply %d: %w", k, rerr)
+		}
+	} else {
+		f.next = k + 1
+		f.lastCRC = crc
+	}
+	// Counted before the unlock so a Stats() that already observes the
+	// advanced cursor also observes the count.
+	f.applied.Add(1)
+	f.mu.Unlock()
+	if f.opts.OnApply != nil {
+		f.opts.OnApply(k)
+	}
+	return nil
+}
+
+//ckptlint:locked mu
+func (f *Follower) applyLiveLocked(d *checkpoint.Diff, k int) error {
+	rd := d.CloneShallow()
+	if f.base != 0 {
+		if err := rd.Rebase(-int64(f.base)); err != nil {
+			return err
+		}
+	}
+	if f.rec == nil {
+		f.rec = checkpoint.NewRecord()
+	}
+	if err := f.rec.Append(rd); err != nil {
+		return err
+	}
+	if f.state == nil {
+		f.state = make([]byte, f.rec.DataLen())
+	}
+	return f.rec.Apply(f.state, k-f.base)
+}
+
+// Stats snapshots replication progress.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	base, next, promoted := f.base, f.next, f.promoted
+	f.mu.Unlock()
+	return Stats{
+		Base:       base,
+		Next:       next,
+		Applied:    f.applied.Load(),
+		TailFrames: f.tailFrames.Load(),
+		Polls:      f.polls.Load(),
+		Resyncs:    f.resyncs.Load(),
+		Reconnects: f.reconnects.Load(),
+		Promoted:   promoted,
+	}
+}
+
+// stopped reports whether Close or Promote ended replication.
+func (f *Follower) stopped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closed || f.promoted
+}
+
+// severLocked interrupts the running session's blocked read.
+//
+//ckptlint:locked mu
+func (f *Follower) severLocked() {
+	if f.cur != nil {
+		f.cur.Close()
+		f.cur = nil
+	}
+	f.stopOnce.Do(func() { close(f.stop) })
+}
+
+// Promote ends replication and returns the serving-ready replica:
+// the state buffer is already materialized at the last applied
+// checkpoint, so this performs ZERO diff applies — promotion cost is
+// O(last diff), paid incrementally before the failure. The returned
+// resources stay owned by the Follower; call Close when the promoted
+// state has been handed off (and before reopening Dir elsewhere).
+func (f *Follower) Promote() (*Promotion, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, errors.New("follower: promote after close")
+	}
+	f.promoted = true
+	f.severLocked()
+	return &Promotion{
+		Lineage: f.opts.Lineage,
+		Dir:     f.opts.Dir,
+		Base:    f.base,
+		Len:     f.next,
+		Record:  f.rec,
+		State:   f.state,
+		Store:   f.store,
+	}, nil
+}
+
+// Close ends replication and releases the pool and the mirror store.
+// Idempotent.
+func (f *Follower) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.severLocked()
+	store := f.store
+	f.mu.Unlock()
+	f.pool.Close()
+	return store.Close()
+}
+
+// Lineages fetches the primary's lineage directory with one TList
+// round trip on a throwaway connection — the discovery call behind
+// ckptd's standby mode. dialer may be nil (net.DialTimeout).
+func Lineages(addr string, timeout time.Duration, dialer Dialer) ([]wire.LineageInfo, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	if dialer == nil {
+		dialer = defaultDial
+	}
+	nc, err := dialer(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := wire.Handshake(nc); err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(nc, &wire.Frame{Type: wire.TList}); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(nc, wire.DefaultMaxPayload)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return wire.DecodeList(resp.Payload)
+}

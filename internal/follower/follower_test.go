@@ -1,0 +1,426 @@
+// Follower tests run a real server and a real client: the primary is
+// fed over the public push path, the follower tails it over the wire,
+// and every scenario ends with a byte-exact comparison between the
+// promoted state and the source images. The external test package is
+// deliberate — it exercises the same surface ckptd's standby mode
+// uses, and keeps the ckptlint closecontract key ("follower.New")
+// honest.
+package follower_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	gpuckpt "github.com/gpuckpt/gpuckpt"
+	"github.com/gpuckpt/gpuckpt/internal/follower"
+	"github.com/gpuckpt/gpuckpt/internal/server"
+)
+
+const (
+	testDataLen = 4096
+	testChunk   = 256
+)
+
+// testImages is the seeded mutation series shared with the chaos
+// suite: a random base image, then chunk-sized splotches per step.
+func testImages(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	img := make([]byte, testDataLen)
+	rng.Read(img)
+	out := make([][]byte, n)
+	out[0] = append([]byte(nil), img...)
+	for i := 1; i < n; i++ {
+		for s := 0; s < 8; s++ {
+			off := rng.Intn(testDataLen - 32)
+			rng.Read(img[off : off+32])
+		}
+		out[i] = append([]byte(nil), img...)
+	}
+	return out
+}
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string, func()) {
+	t.Helper()
+	cfg.Logf = func(string, ...any) {}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+	stop := func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("Serve returned %v", err)
+		}
+	}
+	return srv, ln.Addr().String(), stop
+}
+
+// checkpointer holds images[:n] as a tree-method chain ready to push.
+func checkpointer(t *testing.T, images [][]byte) *gpuckpt.Checkpointer {
+	t.Helper()
+	ck, err := gpuckpt.New(gpuckpt.Config{Method: gpuckpt.MethodTree, ChunkSize: testChunk}, testDataLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ck.Close() })
+	for _, img := range images {
+		if _, err := ck.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ck
+}
+
+// runFollower builds a follower with test defaults, starts Run, and
+// registers cleanup. Extra options are applied over the defaults.
+func runFollower(t *testing.T, addr, lineage string, tweak func(*follower.Options)) *follower.Follower {
+	t.Helper()
+	opts := follower.Options{
+		Addr:         addr,
+		Lineage:      lineage,
+		Dir:          t.TempDir(),
+		Timeout:      5 * time.Second,
+		PollInterval: 20 * time.Millisecond,
+		MinBackoff:   5 * time.Millisecond,
+		MaxBackoff:   100 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	fl, err := follower.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	done := make(chan struct{})
+	go func() { defer close(done); fl.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		fl.Close()
+		<-done
+	})
+	return fl
+}
+
+// waitNext blocks until the follower's cursor reaches want.
+func waitNext(t *testing.T, fl *follower.Follower, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if fl.Stats().Next >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("follower stuck at %+v, want Next >= %d", fl.Stats(), want)
+}
+
+// verifyPromotion checks the promoted replica byte-for-byte: the
+// materialized state against the final image, and every restorable
+// checkpoint against its source.
+func verifyPromotion(t *testing.T, p *follower.Promotion, images [][]byte, base int) {
+	t.Helper()
+	if p.Base != base || p.Len != len(images) {
+		t.Fatalf("promotion span [%d,%d), want [%d,%d)", p.Base, p.Len, base, len(images))
+	}
+	if !bytes.Equal(p.State, images[len(images)-1]) {
+		t.Fatal("promoted state diverges from the final image")
+	}
+	for k := base; k < len(images); k++ {
+		got, err := p.Record.Restore(k - base)
+		if err != nil {
+			t.Fatalf("restore %d from promoted record: %v", k, err)
+		}
+		if !bytes.Equal(got, images[k]) {
+			t.Fatalf("promoted restore %d diverges", k)
+		}
+	}
+}
+
+// The happy path: subscribe on v5, receive the backlog, then live
+// frames as the primary keeps pushing, and promote with zero applies.
+func TestFollowerLiveTailAndPromote(t *testing.T) {
+	images := testImages(901, 6)
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ck := checkpointer(t, images[:3])
+	if _, err := cl.PushCheckpointer("live", ck); err != nil {
+		t.Fatal(err)
+	}
+
+	var applies atomic.Int64
+	fl := runFollower(t, addr, "live", func(o *follower.Options) {
+		o.OnApply = func(int) { applies.Add(1) }
+	})
+	waitNext(t, fl, 3) // backlog replay
+
+	for _, img := range images[3:] {
+		if _, err := ck.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.PushCheckpointer("live", ck); err != nil {
+		t.Fatal(err)
+	}
+	waitNext(t, fl, 6) // live frames
+
+	st := fl.Stats()
+	if st.TailFrames < 6 || st.Polls != 0 {
+		t.Fatalf("expected pure v5 tailing, got %+v", st)
+	}
+	// OnApply fires after the cursor is published; give it a beat.
+	deadline := time.Now().Add(5 * time.Second)
+	for applies.Load() != 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := applies.Load(); got != 6 {
+		t.Fatalf("OnApply fired %d times, want 6", got)
+	}
+
+	appliedBefore := st.Applied
+	p, err := fl.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Promotion performs zero diff applies: the state was materialized
+	// before the call.
+	if after := fl.Stats().Applied; after != appliedBefore {
+		t.Fatalf("promote replayed diffs: applied %d -> %d", appliedBefore, after)
+	}
+	verifyPromotion(t, p, images, 0)
+	if !fl.Stats().Promoted {
+		t.Fatal("Stats does not report promotion")
+	}
+	if _, err := fl.Promote(); err != nil {
+		t.Fatalf("second promote: %v", err)
+	}
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fl.Promote(); err == nil {
+		t.Fatal("promote after close succeeded")
+	}
+}
+
+// Interop: a v5 follower against a primary pinned to wire v4 must
+// degrade to poll-based tailing and still converge byte-exactly.
+func TestFollowerPollFallbackAgainstV4(t *testing.T) {
+	images := testImages(902, 5)
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir(), Protocol: 4})
+	defer stop()
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ck := checkpointer(t, images[:2])
+	if _, err := cl.PushCheckpointer("v4", ck); err != nil {
+		t.Fatal(err)
+	}
+
+	fl := runFollower(t, addr, "v4", nil)
+	waitNext(t, fl, 2)
+
+	for _, img := range images[2:] {
+		if _, err := ck.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.PushCheckpointer("v4", ck); err != nil {
+		t.Fatal(err)
+	}
+	waitNext(t, fl, 5)
+
+	st := fl.Stats()
+	if st.Polls == 0 || st.TailFrames != 0 {
+		t.Fatalf("expected poll fallback, got %+v", st)
+	}
+	p, err := fl.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPromotion(t, p, images, 0)
+}
+
+// A compaction fold on the primary invalidates the follower's cursor
+// mid-stream. The follower must receive the barrier, re-pull the
+// folded span, and converge byte-exactly on the new baseline.
+func TestFollowerResyncAcrossFold(t *testing.T) {
+	images := testImages(903, 8)
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ck := checkpointer(t, images[:5])
+	if _, err := cl.PushCheckpointer("fold", ck); err != nil {
+		t.Fatal(err)
+	}
+
+	fl := runFollower(t, addr, "fold", nil)
+	waitNext(t, fl, 5)
+
+	// Fold the primary to base 3 while the subscription is live.
+	if _, err := cl.CompactTo("fold", 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, img := range images[5:] {
+		if _, err := ck.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.PushCheckpointer("fold", ck); err != nil {
+		t.Fatal(err)
+	}
+	waitNext(t, fl, 8)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for fl.Stats().Base != 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := fl.Stats()
+	if st.Base != 3 {
+		t.Fatalf("follower base = %d after fold, want 3 (%+v)", st.Base, st)
+	}
+	if st.Resyncs == 0 {
+		t.Fatalf("fold did not force a resync: %+v", st)
+	}
+	p, err := fl.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPromotion(t, p, images, 3)
+}
+
+// A restarted standby must resume from its mirror's stored cursor —
+// re-subscribing where the previous process stopped instead of
+// re-pulling the chain.
+func TestFollowerRestartResumesFromMirror(t *testing.T) {
+	images := testImages(904, 6)
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ck := checkpointer(t, images[:4])
+	if _, err := cl.PushCheckpointer("restart", ck); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	fl := runFollower(t, addr, "restart", func(o *follower.Options) { o.Dir = dir })
+	waitNext(t, fl, 4)
+	if err := fl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, img := range images[4:] {
+		if _, err := ck.Checkpoint(img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.PushCheckpointer("restart", ck); err != nil {
+		t.Fatal(err)
+	}
+
+	fl2 := runFollower(t, addr, "restart", func(o *follower.Options) { o.Dir = dir })
+	waitNext(t, fl2, 6)
+	st := fl2.Stats()
+	if st.Applied != 2 {
+		t.Fatalf("restarted follower applied %d diffs, want only the 2 new ones (%+v)", st.Applied, st)
+	}
+	if st.Resyncs != 0 {
+		t.Fatalf("clean resume should not resync: %+v", st)
+	}
+	p, err := fl2.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPromotion(t, p, images, 0)
+}
+
+// A fresh follower joining an already folded lineage has no local
+// cursor at all; the subscribe must be redirected through a full span
+// pull before streaming starts.
+func TestFollowerJoinsFoldedLineage(t *testing.T) {
+	images := testImages(905, 6)
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ck := checkpointer(t, images)
+	if _, err := cl.PushCheckpointer("folded", ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.CompactTo("folded", 4); err != nil {
+		t.Fatal(err)
+	}
+
+	fl := runFollower(t, addr, "folded", nil)
+	waitNext(t, fl, 6)
+	st := fl.Stats()
+	if st.Base != 4 || st.Resyncs == 0 {
+		t.Fatalf("fresh join of folded lineage: %+v, want base 4 via resync", st)
+	}
+	p, err := fl.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyPromotion(t, p, images, 4)
+}
+
+// Lineages is the discovery call behind ckptd's standby mode.
+func TestFollowerLineagesDiscovery(t *testing.T) {
+	images := testImages(906, 3)
+	_, addr, stop := startServer(t, server.Config{Root: t.TempDir()})
+	defer stop()
+	cl, err := gpuckpt.Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ck := checkpointer(t, images)
+	if _, err := cl.PushCheckpointer("disco", ck); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := follower.Lineages(addr, 5*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, info := range infos {
+		if info.Name == "disco" && info.Len == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lineage directory %+v misses disco/3", infos)
+	}
+}

@@ -160,6 +160,15 @@ type Options struct {
 	// assembly during materialization restores (0 = sequential). The
 	// pool is owned by the Manager and released by Close.
 	Workers int
+
+	// OnFold, when set, runs after a compaction transaction commits a
+	// baseline move (its manifest rename is durable, the folded
+	// prefix not yet pruned), with the old and new baselines. The
+	// ckptd server uses it to push TResync barriers at live
+	// subscribers whose resume cursors the fold just invalidated. It
+	// runs with the Manager lock held — it must not call back into
+	// the Manager — and cannot veto the transaction.
+	OnFold func(oldBase, newBase int)
 }
 
 // Manager runs the lifecycle of one lineage: policy decisions,
@@ -189,6 +198,9 @@ type Manager struct {
 	hookBeforeCommit func() error
 	//ckptlint:guardedby mu
 	hookAfterCommit func() error
+
+	// onFold is Options.OnFold; set once at New and never mutated.
+	onFold func(oldBase, newBase int)
 }
 
 // New creates a Manager over store. policy may be nil (KeepAll).
@@ -203,7 +215,7 @@ func New(store *checkpoint.FileStore, policy Policy, opts Options) (*Manager, er
 	if opts.Workers > 0 {
 		pool = parallel.NewPool(opts.Workers)
 	}
-	return &Manager{store: store, policy: policy, pool: pool}, nil
+	return &Manager{store: store, policy: policy, pool: pool, onFold: opts.OnFold}, nil
 }
 
 // Close releases the Manager's worker pool. Idempotent; a closed
@@ -488,6 +500,9 @@ func (m *Manager) compactLocked(k, base, length int) (Stats, error) {
 	}
 	st.NewBase = k
 	st.RewrittenDiffs = len(rewrites)
+	if m.onFold != nil && k > base {
+		m.onFold(base, k)
+	}
 
 	if m.hookAfterCommit != nil {
 		if err := m.hookAfterCommit(); err != nil {

@@ -538,3 +538,47 @@ func TestRacePinsDuringCompaction(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestOnFoldHookFiresAfterCommit: the replication barrier hook runs
+// exactly when a compaction moves the baseline — after the manifest
+// commit (the store already reports the new base inside the hook) and
+// never for a no-op compaction.
+func TestOnFoldHookFiresAfterCommit(t *testing.T) {
+	images := buildImages(12)
+	dir := buildLineage(t, checkpoint.MethodBasic, images)
+	store, err := checkpoint.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var folds [][2]int
+	var baseInHook int
+	mgr, err := New(store, KeepLastN(4), Options{
+		OnFold: func(oldBase, newBase int) {
+			folds = append(folds, [2]int{oldBase, newBase})
+			baseInHook = store.Base()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+	st, err := mgr.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 1 || folds[0] != [2]int{0, st.NewBase} {
+		t.Fatalf("folds = %v, want one (0 -> %d)", folds, st.NewBase)
+	}
+	if baseInHook != st.NewBase {
+		t.Fatalf("store base inside hook = %d, want committed base %d", baseInHook, st.NewBase)
+	}
+	// Idempotent re-compaction moves nothing and must not fire.
+	if _, err := mgr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 1 {
+		t.Fatalf("no-op compaction fired OnFold: %v", folds)
+	}
+	restoreAll(t, dir, images)
+}

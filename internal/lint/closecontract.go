@@ -46,6 +46,10 @@ var closerConstructors = map[string][]string{
 	// A connpool.Pool owns up to MaxActive sockets and a reaper
 	// goroutine; leaking one leaks both.
 	"connpool.New": {"Close"},
+	// A follower.Follower owns a connection pool and the mirror's
+	// FileStore; Promote hands serving state to the caller but the
+	// resources stay owned until Close.
+	"follower.New": {"Close"},
 	// Same-package spelling so the check also fires inside the owning
 	// package itself (and inside fixtures).
 	"NewPool": {"Close"},

@@ -75,6 +75,11 @@ type Config struct {
 	// target. 0 (the default) disables background compaction; COMPACT
 	// requests still work.
 	CompactInterval time.Duration
+	// SubscriberQueue bounds the per-subscriber event queue of the v5
+	// tail-stream hub (default 64). A subscriber that falls further
+	// behind than this many appends beyond its store backlog is shed
+	// with a lag barrier and resumes via its cursor.
+	SubscriberQueue int
 	// Protocol pins the wire version this server advertises in its
 	// hello (0 = wire.Version). The effective version of a connection
 	// is min(advertised, client's); pinning 3 exercises the client's
@@ -109,6 +114,9 @@ func (c *Config) fill() {
 	}
 	if c.Retention == "" {
 		c.Retention = "keep-all"
+	}
+	if c.SubscriberQueue <= 0 {
+		c.SubscriberQueue = 64
 	}
 	if c.Protocol == 0 {
 		c.Protocol = wire.Version
@@ -182,6 +190,13 @@ type Server struct {
 	reclaimedBytes atomic.Uint64 //ckptlint:atomic
 	busyRejects    atomic.Uint64 //ckptlint:atomic
 	streamPushes   atomic.Uint64 //ckptlint:atomic
+	subscribes     atomic.Uint64 //ckptlint:atomic
+	tailFrames     atomic.Uint64 //ckptlint:atomic
+	subSheds       atomic.Uint64 //ckptlint:atomic
+	foldBarriers   atomic.Uint64 //ckptlint:atomic
+
+	// hub fans appended diffs out to v5 subscribers.
+	hub *hub
 
 	// conn tracking for forced shutdown
 	connMu sync.Mutex
@@ -212,6 +227,7 @@ func New(cfg Config) (*Server, error) {
 		retention: retention,
 		byName:    make(map[string]uint32),
 		openConns: make(map[net.Conn]struct{}),
+		hub:       newHub(),
 	}
 	bs, err := blockstore.Open(filepath.Join(cfg.Root, blockstore.DirName), blockstore.Options{})
 	if err != nil {
@@ -274,7 +290,17 @@ func (s *Server) open(name string) (uint32, int, int, error) {
 			s.mu.Unlock()
 			return 0, 0, 0, err
 		}
-		mgr, err := lifecycle.New(store, s.retention, lifecycle.Options{})
+		// The OnFold hook captures the lineage pointer created a few
+		// lines below; by the time any compaction can run, newLn has
+		// long been published (under s.mu, then ln.mu).
+		var newLn *lineage
+		mgr, err := lifecycle.New(store, s.retention, lifecycle.Options{
+			OnFold: func(oldBase, newBase int) {
+				if newLn != nil {
+					s.foldBarrier(newLn, newBase)
+				}
+			},
+		})
 		if err != nil {
 			s.mu.Unlock()
 			return 0, 0, 0, err
@@ -285,7 +311,8 @@ func (s *Server) open(name string) (uint32, int, int, error) {
 		}
 		h = uint32(len(s.lineages))
 		s.byName[name] = h
-		s.lineages = append(s.lineages, &lineage{name: name, store: store, mgr: mgr})
+		newLn = &lineage{name: name, store: store, mgr: mgr}
+		s.lineages = append(s.lineages, newLn)
 	}
 	ln := s.lineages[h]
 	s.mu.Unlock()
@@ -326,6 +353,17 @@ func (s *Server) snapshot() []*lineage {
 // counter, deliberately not part of the wire.Stats payload: that
 // layout is version-frozen and shared with v3 peers.
 func (s *Server) StreamPushes() uint64 { return s.streamPushes.Load() }
+
+// Subscribes reports accepted v5 subscriptions; TailFrames the TTail
+// frames pushed; SubscriberSheds subscribers shed for lag (bounded
+// queue overflow); FoldBarriers subscribers shed because a compaction
+// fold moved their lineage's baseline. Like StreamPushes these are
+// server-side counters, not part of the version-frozen wire.Stats
+// payload.
+func (s *Server) Subscribes() uint64      { return s.subscribes.Load() }
+func (s *Server) TailFrames() uint64      { return s.tailFrames.Load() }
+func (s *Server) SubscriberSheds() uint64 { return s.subSheds.Load() }
+func (s *Server) FoldBarriers() uint64    { return s.foldBarriers.Load() }
 
 // Stats returns the current counters.
 func (s *Server) Stats() wire.Stats {
@@ -416,7 +454,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			defer wg.Done()
 			defer s.activeConns.Add(^uint64(0))
 			defer s.trackConn(conn, false)
-			s.handleConn(ctx, conn)
+			s.handleConn(ctx, stop, conn)
 		}()
 	}
 
@@ -476,8 +514,10 @@ func (s *Server) rejectConn(conn net.Conn) {
 // copies beyond bufio's own.
 const connBufSize = 64 << 10
 
-// handleConn runs the request loop of one connection.
-func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
+// handleConn runs the request loop of one connection. stop fires when
+// Serve begins draining; subscriptions use it to end their tail
+// streams with a shutdown barrier instead of waiting out the drain.
+func (s *Server) handleConn(ctx context.Context, stop <-chan struct{}, conn net.Conn) {
 	defer conn.Close()
 	caddr := conn.RemoteAddr().String()
 
@@ -549,6 +589,18 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) {
 		if req.Type == wire.TPushStream && protocol >= 4 {
 			if err := s.serveStream(&batch, &req, bw, conn); err != nil {
 				s.cfg.Logf("server: %s: stream: %v", caddr, err)
+				return
+			}
+			continue
+		}
+		if req.Type == wire.TSubscribe && protocol >= 5 {
+			// Settle staged stream frames first, as for any
+			// non-stream request.
+			if err := s.commitStream(&batch, bw, conn); err != nil {
+				s.cfg.Logf("server: %s: stream commit: %v", caddr, err)
+				return
+			}
+			if !s.serveSubscribe(ctx, stop, conn, br, bw, &req) {
 				return
 			}
 			continue
@@ -798,6 +850,11 @@ func (s *Server) commitStream(b *streamBatch, bw *bufio.Writer, conn net.Conn) e
 	release, err := ln.acquire(s.cfg.MaxLineagePending)
 	if err == nil {
 		appended, err = ln.store.AppendBatch(diffs)
+		if appended > 0 {
+			// Still under the lineage lock: subscribers must see the
+			// batch before any later append.
+			s.publishBatch(ln, start, diffs[:appended])
+		}
 		release()
 	}
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -905,6 +962,7 @@ func (s *Server) servePush(req *wire.Frame) (uint32, error) {
 	if err := ln.store.Append(d); err != nil {
 		return 0, err
 	}
+	s.publishTail(ln, req.Ckpt, req.Payload)
 	return req.Ckpt + 1, nil
 }
 

@@ -1,0 +1,331 @@
+// The v5 TSubscribe serving path: cursor validation, store-backlog
+// replay, and the live tail loop fed by the hub.
+//
+// Protocol contract (DESIGN.md §15): a rejected cursor is answered
+// with a TResync RESPONSE and the connection stays in request mode —
+// the subscriber pulls the authoritative span over the same
+// connection and re-subscribes. An accepted subscription consumes the
+// connection: the server pushes TTail frames until the client closes,
+// the server shuts down, or a barrier (fold, lag) ends the stream
+// with a final TResync — after which the server closes the
+// connection, so a mid-stream TResync is always terminal.
+
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// serveSubscribe handles one TSubscribe request on a v5 connection.
+// It returns true when the connection can keep serving requests (the
+// subscription was refused with a typed response) and false when the
+// subscription consumed the connection.
+func (s *Server) serveSubscribe(ctx context.Context, stop <-chan struct{}, conn net.Conn,
+	br *bufio.Reader, bw *bufio.Writer, req *wire.Frame) bool {
+	caddr := conn.RemoteAddr().String()
+	refuse := func(status uint8, payload []byte) bool {
+		resp := &wire.Frame{Type: wire.TSubscribe, Status: status, Lineage: req.Lineage, Payload: payload}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := wire.WriteFrame(bw, resp); err != nil {
+			s.cfg.Logf("server: %s: subscribe refuse: %v", caddr, err)
+			return false
+		}
+		s.bytesOut.Add(uint64(resp.WireSize()))
+		return true
+	}
+
+	cur, err := wire.DecodeSubscribe(req.Payload)
+	if err != nil {
+		return refuse(wire.StatusErr, []byte(err.Error()))
+	}
+	ln, err := s.get(req.Lineage)
+	if err != nil {
+		return refuse(wire.StatusUnknownHandle, []byte(err.Error()))
+	}
+	release, err := ln.acquire(s.cfg.MaxLineagePending)
+	if err != nil {
+		s.busyRejects.Add(1)
+		return refuse(wire.StatusBusy, wire.EncodeRetryAfter(s.cfg.RetryAfterHint))
+	}
+	n, err := ln.store.Len()
+	if err != nil || int64(n) > math.MaxUint32 {
+		release()
+		return refuse(wire.StatusErr, []byte(fmt.Sprintf("lineage length unusable: %v", err)))
+	}
+	base := ln.store.Base()
+	if !s.cursorContinuable(ln, cur, base, n) {
+		release()
+		// The cursor cannot be resumed: answer with a TResync response
+		// carrying the authoritative span. The connection stays in
+		// request mode so the subscriber can pull it right here.
+		resp := &wire.Frame{Type: wire.TResync, Status: wire.StatusOK, Lineage: req.Lineage,
+			Payload: wire.EncodeResync(wire.Resync{Reason: wire.ResyncFold, Base: uint32(base), Len: uint32(n)})}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := wire.WriteFrame(bw, resp); err != nil {
+			s.cfg.Logf("server: %s: subscribe resync: %v", caddr, err)
+			return false
+		}
+		s.bytesOut.Add(uint64(resp.WireSize()))
+		return true
+	}
+	// Registration happens under the lineage lock: every append after
+	// this point reaches sub.ch, every earlier diff is in the store —
+	// the backlog [cur.Next, n) plus the queue is gap-free.
+	sub := s.hub.register(ln, s.cfg.SubscriberQueue)
+	release()
+	s.subscribes.Add(1)
+
+	ack := &wire.Frame{Type: wire.TSubscribe, Status: wire.StatusOK, Lineage: req.Lineage,
+		Ckpt: uint32(n), Payload: wire.EncodeSubscribeAck(wire.SubscribeAck{Base: uint32(base), Len: uint32(n)})}
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	werr := wire.WriteFrame(bw, ack)
+	if werr == nil {
+		werr = bw.Flush()
+	}
+	if werr != nil {
+		s.cfg.Logf("server: %s: subscribe ack: %v", caddr, werr)
+		s.hub.unregister(ln, sub)
+		return false
+	}
+	s.bytesOut.Add(uint64(ack.WireSize()))
+	s.runSubscription(ctx, stop, conn, br, sub, ln, req.Lineage, cur.Next, uint32(n))
+	return false
+}
+
+// cursorContinuable decides whether a resume cursor can continue the
+// stored lineage without a re-pull: same baseline, next within
+// [base, n], and — when the subscriber already holds diffs — a CRC
+// match between its last diff and the server's stored copy. Called
+// with the lineage lock held.
+func (s *Server) cursorContinuable(ln *lineage, cur wire.Cursor, base, n int) bool {
+	if cur.Base != uint32(base) || int64(cur.Next) > int64(n) {
+		return false
+	}
+	if cur.Next == cur.Base {
+		return true // subscriber holds nothing past the baseline
+	}
+	stored, err := ln.store.DiffBytes(int(cur.Next) - 1)
+	return err == nil && wire.Checksum(stored) == cur.CRC
+}
+
+// runSubscription owns the connection from ack to teardown: replay
+// the store backlog [next, n), then relay live hub events. Frames
+// are written straight to the socket (bypassing bw, which was flushed
+// before this call) with the v4 zero-copy staging: header — plus CRC
+// prefix for backlog frames — staged into a reused buffer, payload
+// bytes handed to writev untouched.
+func (s *Server) runSubscription(ctx context.Context, stop <-chan struct{}, conn net.Conn,
+	br *bufio.Reader, sub *tailSub, ln *lineage, handle, next, n uint32) {
+	caddr := conn.RemoteAddr().String()
+	defer s.hub.unregister(ln, sub)
+
+	// Watchdog: a subscribed client sends nothing more, so any byte —
+	// or EOF, or a reset — means the subscription is over. The read
+	// goes through br (the client's half of the subscribe exchange is
+	// fully consumed, but a pipelined byte could already sit there).
+	// The deferred conn.Close unblocks the read; the WaitGroup joins
+	// the goroutine before return (ckptlint goroleak).
+	conn.SetReadDeadline(time.Time{})
+	readerGone := make(chan struct{})
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	defer conn.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(readerGone)
+		_, _ = br.ReadByte()
+	}()
+
+	var stage []byte
+	var vec net.Buffers
+	// writeVec stages hdr (and any prefix already appended to stage)
+	// plus parts into one writev.
+	writeVec := func(payloadLen int, parts ...[]byte) error {
+		vec = vec[:0]
+		vec = append(vec, stage)
+		vec = append(vec, parts...)
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := wire.WriteFrameVec(conn, &vec); err != nil {
+			return err
+		}
+		s.bytesOut.Add(uint64(wire.HeaderSize + payloadLen))
+		return nil
+	}
+	sendResync := func(reason uint8, base, length uint32) {
+		var err error
+		stage, err = wire.AppendFrameHeader(stage[:0], wire.TResync, wire.StatusOK, handle, 0, wire.ResyncSize)
+		if err != nil {
+			return
+		}
+		stage = wire.AppendResync(stage, wire.Resync{Reason: reason, Base: base, Len: length})
+		if err := writeVec(wire.ResyncSize); err != nil && !wire.IsClean(err) {
+			s.cfg.Logf("server: %s: resync write: %v", caddr, err)
+		}
+	}
+	// sendResyncNow reads the current span from the store. The
+	// lineage lock is NOT held here, so (base, len) may straddle a
+	// concurrent fold — harmless: the reported span only seeds the
+	// subscriber's next subscribe attempt, which revalidates.
+	sendResyncNow := func(reason uint8) {
+		length, err := ln.store.Len()
+		if err != nil {
+			return
+		}
+		sendResync(reason, uint32(ln.store.Base()), uint32(length))
+	}
+
+	// Backlog: serve [next, n) from the store without the lineage
+	// lock — DiffBytes is internally consistent, and if a concurrent
+	// fold prunes a diff out from under us the read error is exactly
+	// the fold barrier the subscriber would have received anyway.
+	for next < n {
+		select {
+		case <-sub.stop:
+			reason, base, length := sub.verdict()
+			sendResync(reason, base, length)
+			return
+		case <-readerGone:
+			return
+		case <-stop:
+			sendResyncNow(wire.ResyncShutdown)
+			return
+		case <-ctx.Done():
+			sendResyncNow(wire.ResyncShutdown)
+			return
+		default:
+		}
+		encoded, err := ln.store.DiffBytes(int(next))
+		if err != nil {
+			sendResyncNow(wire.ResyncFold)
+			return
+		}
+		payloadLen := wire.PushChecksumSize + len(encoded)
+		stage, err = wire.AppendFrameHeader(stage[:0], wire.TTail, wire.StatusOK, handle, next, payloadLen)
+		if err != nil {
+			s.cfg.Logf("server: %s: tail frame: %v", caddr, err)
+			return
+		}
+		stage = binary.BigEndian.AppendUint32(stage, wire.Checksum(encoded))
+		if err := writeVec(payloadLen, encoded); err != nil {
+			if !wire.IsClean(err) {
+				s.cfg.Logf("server: %s: tail write: %v", caddr, err)
+			}
+			return
+		}
+		s.tailFrames.Add(1)
+		next++
+	}
+
+	// Live loop: relay hub events in order. A gap means the bounded
+	// queue dropped events after the registration snapshot — the
+	// cursor is still valid, so it is a lag barrier, not a fold.
+	for {
+		select {
+		case ev := <-sub.ch:
+			if ev.ckpt < next {
+				continue // already served from the backlog
+			}
+			if ev.ckpt != next {
+				sendResyncNow(wire.ResyncLag)
+				return
+			}
+			var err error
+			stage, err = wire.AppendFrameHeader(stage[:0], wire.TTail, wire.StatusOK, handle, ev.ckpt, len(ev.payload))
+			if err != nil {
+				s.cfg.Logf("server: %s: tail frame: %v", caddr, err)
+				return
+			}
+			if err := writeVec(len(ev.payload), ev.payload); err != nil {
+				if !wire.IsClean(err) {
+					s.cfg.Logf("server: %s: tail write: %v", caddr, err)
+				}
+				return
+			}
+			s.tailFrames.Add(1)
+			next++
+		case <-sub.stop:
+			reason, base, length := sub.verdict()
+			sendResync(reason, base, length)
+			return
+		case <-readerGone:
+			return
+		case <-stop:
+			sendResyncNow(wire.ResyncShutdown)
+			return
+		case <-ctx.Done():
+			sendResyncNow(wire.ResyncShutdown)
+			return
+		}
+	}
+}
+
+// publishTail fans one just-appended diff out to the lineage's
+// subscribers. Called with the lineage lock held so subscribers see
+// appends in order. payload is the crc-prefixed push payload; it
+// aliases the connection's scratch buffer, so it is copied — but only
+// when a subscriber exists, keeping the non-replicated push path
+// copy-free.
+func (s *Server) publishTail(ln *lineage, ckpt uint32, payload []byte) {
+	if s.hub.count(ln) == 0 {
+		return
+	}
+	n, err := ln.store.Len()
+	if err != nil || int64(n) > math.MaxUint32 {
+		return
+	}
+	shed := s.hub.publish(ln, ckpt, append([]byte(nil), payload...), uint32(ln.store.Base()), uint32(n))
+	s.subSheds.Add(uint64(shed))
+}
+
+// publishBatch fans a just-committed stream batch out. The staged
+// diffs no longer carry their wire payloads, so each is re-encoded —
+// the canonical encoding is deterministic, hence byte- and
+// CRC-identical to what the pusher sent — and again only when a
+// subscriber exists.
+func (s *Server) publishBatch(ln *lineage, start uint32, diffs []*checkpoint.Diff) {
+	if s.hub.count(ln) == 0 {
+		return
+	}
+	n, err := ln.store.Len()
+	if err != nil || int64(n) > math.MaxUint32 {
+		return
+	}
+	base := uint32(ln.store.Base())
+	for i, d := range diffs {
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			s.cfg.Logf("server: lineage %q: re-encoding diff %d for subscribers: %v", ln.name, start+uint32(i), err)
+			return
+		}
+		shed := s.hub.publish(ln, start+uint32(i), wire.EncodePush(buf.Bytes()), base, uint32(n))
+		s.subSheds.Add(uint64(shed))
+	}
+}
+
+// foldBarrier is the lifecycle OnFold hook of a lineage: a compaction
+// just committed a baseline move, so every live subscriber's cursor
+// is stale. Runs under the lineage and manager locks; the hub is a
+// leaf, so the barrier is delivered without new lock-order edges.
+func (s *Server) foldBarrier(ln *lineage, newBase int) {
+	if s.hub.count(ln) == 0 {
+		return
+	}
+	n, err := ln.store.Len()
+	if err != nil || int64(n) > math.MaxUint32 {
+		return
+	}
+	shed := s.hub.fold(ln, uint32(newBase), uint32(n))
+	s.foldBarriers.Add(uint64(shed))
+}

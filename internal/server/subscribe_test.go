@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// subscribeOn opens name on conn and issues a TSubscribe with cur,
+// returning the handle and the raw response frame.
+func subscribeOn(t *testing.T, conn net.Conn, name string, cur wire.Cursor) (uint32, *wire.Frame) {
+	t.Helper()
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
+	if open.Status != wire.StatusOK {
+		t.Fatalf("open: %+v", open)
+	}
+	resp := call(t, conn, &wire.Frame{Type: wire.TSubscribe, Lineage: open.Lineage,
+		Payload: wire.EncodeSubscribe(cur)})
+	return open.Lineage, resp
+}
+
+// readTail reads the next server-pushed frame off a subscribed
+// connection and, for TTail, decodes and checks the carried diff.
+func readTail(t *testing.T, conn net.Conn) *wire.Frame {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr, err := wire.ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatalf("reading tail stream: %v", err)
+	}
+	return fr
+}
+
+// TestSubscribeBacklogThenLive is the core v5 contract: an accepted
+// subscription first replays the stored backlog past the cursor, then
+// streams every subsequently pushed diff, in order, checksummed.
+func TestSubscribeBacklogThenLive(t *testing.T) {
+	srv, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+
+	pusher := testConn(t, addr)
+	defer pusher.Close()
+	open := call(t, pusher, &wire.Frame{Type: wire.TOpen, Payload: []byte("sub")})
+	h := open.Lineage
+	want := make([][]byte, 0, 3)
+	for ck := 0; ck < 2; ck++ {
+		enc := encodedDiff(t, ck, byte(0x10+ck))
+		want = append(want, enc)
+		if resp := call(t, pusher, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: uint32(ck),
+			Payload: wire.EncodePush(enc)}); resp.Status != wire.StatusOK {
+			t.Fatalf("push %d: %+v", ck, resp)
+		}
+	}
+
+	sub := testConn(t, addr)
+	defer sub.Close()
+	_, resp := subscribeOn(t, sub, "sub", wire.Cursor{})
+	if resp.Type != wire.TSubscribe || resp.Status != wire.StatusOK {
+		t.Fatalf("subscribe: %+v", resp)
+	}
+	ack, err := wire.DecodeSubscribeAck(resp.Payload)
+	if err != nil || ack.Base != 0 || ack.Len != 2 {
+		t.Fatalf("ack %+v (%v), want [0,2)", ack, err)
+	}
+
+	// A third diff pushed while the subscription is live.
+	enc := encodedDiff(t, 2, 0x12)
+	want = append(want, enc)
+	if resp := call(t, pusher, &wire.Frame{Type: wire.TPush, Lineage: h, Ckpt: 2,
+		Payload: wire.EncodePush(enc)}); resp.Status != wire.StatusOK {
+		t.Fatalf("live push: %+v", resp)
+	}
+
+	for ck := 0; ck < 3; ck++ {
+		fr := readTail(t, sub)
+		if fr.Type != wire.TTail || fr.Ckpt != uint32(ck) {
+			t.Fatalf("tail frame %d: type %#x ckpt %d", ck, fr.Type, fr.Ckpt)
+		}
+		crc, encoded, err := wire.DecodePush(fr.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crc != wire.Checksum(encoded) {
+			t.Fatalf("tail frame %d checksum mismatch", ck)
+		}
+		if !bytes.Equal(encoded, want[ck]) {
+			t.Fatalf("tail frame %d carries wrong bytes", ck)
+		}
+	}
+	if srv.Subscribes() != 1 || srv.TailFrames() < 3 {
+		t.Fatalf("counters: subscribes %d tailFrames %d", srv.Subscribes(), srv.TailFrames())
+	}
+}
+
+// TestSubscribeStaleCursorKeepsConnection: a rejected cursor answers
+// with a TResync RESPONSE and leaves the connection in request mode —
+// the subscriber pulls the span and re-subscribes on the same socket.
+func TestSubscribeStaleCursorKeepsConnection(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+
+	pusher := testConn(t, addr)
+	defer pusher.Close()
+	open := call(t, pusher, &wire.Frame{Type: wire.TOpen, Payload: []byte("stale")})
+	enc := encodedDiff(t, 0, 0x77)
+	call(t, pusher, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0,
+		Payload: wire.EncodePush(enc)})
+
+	sub := testConn(t, addr)
+	defer sub.Close()
+	// CRC does not match the stored diff 0: continuity is unprovable.
+	h, resp := subscribeOn(t, sub, "stale", wire.Cursor{Base: 0, Next: 1, CRC: 0xDEAD})
+	if resp.Type != wire.TResync || resp.Status != wire.StatusOK {
+		t.Fatalf("stale cursor: %+v, want TResync response", resp)
+	}
+	info, err := wire.DecodeResync(resp.Payload)
+	if err != nil || info.Reason != wire.ResyncFold || info.Base != 0 || info.Len != 1 {
+		t.Fatalf("resync info %+v (%v)", info, err)
+	}
+
+	// Same connection still serves requests: pull the span...
+	pull := call(t, sub, &wire.Frame{Type: wire.TPull, Lineage: h, Ckpt: 0})
+	if pull.Status != wire.StatusOK || !bytes.Equal(pull.Payload, enc) {
+		t.Fatalf("pull on kept connection: %+v", pull)
+	}
+	// ...and accepts the corrected cursor.
+	resp = call(t, sub, &wire.Frame{Type: wire.TSubscribe, Lineage: h,
+		Payload: wire.EncodeSubscribe(wire.Cursor{Base: 0, Next: 1, CRC: wire.Checksum(enc)})})
+	if resp.Type != wire.TSubscribe || resp.Status != wire.StatusOK {
+		t.Fatalf("re-subscribe: %+v", resp)
+	}
+}
+
+// TestSubscribeRefusals: malformed cursors and unknown handles refuse
+// without tearing the connection down.
+func TestSubscribeRefusals(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	resp := call(t, conn, &wire.Frame{Type: wire.TSubscribe, Lineage: 42,
+		Payload: wire.EncodeSubscribe(wire.Cursor{})})
+	if resp.Status != wire.StatusUnknownHandle {
+		t.Fatalf("bogus handle: %+v", resp)
+	}
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("refuse")})
+	resp = call(t, conn, &wire.Frame{Type: wire.TSubscribe, Lineage: open.Lineage,
+		Payload: []byte{1, 2, 3}})
+	if resp.Status != wire.StatusErr {
+		t.Fatalf("truncated cursor: %+v", resp)
+	}
+	// The connection survived both refusals.
+	if resp := call(t, conn, &wire.Frame{Type: wire.TList}); resp.Status != wire.StatusOK {
+		t.Fatalf("list after refusals: %+v", resp)
+	}
+}
+
+// TestSubscribeUnsupportedOnV4 is the down-level interop direction: a
+// v5 client talking to a primary pinned at wire v4 gets the typed
+// ErrUnsupported refusal it needs to fall back to poll-based tailing.
+func TestSubscribeUnsupportedOnV4(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir(), Protocol: 4})
+	defer stop()
+	conn := testConn(t, addr)
+	defer conn.Close()
+
+	_, resp := subscribeOn(t, conn, "v4pin", wire.Cursor{})
+	if resp.Status != wire.StatusUnsupported {
+		t.Fatalf("subscribe on v4: %+v", resp)
+	}
+	if err := resp.Err(); !errors.Is(err, wire.ErrUnsupported) {
+		t.Fatalf("refusal is not typed ErrUnsupported: %v", err)
+	}
+	// The session keeps working for v4 verbs.
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("v4pin")})
+	enc := encodedDiff(t, 0, 0x44)
+	if resp := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0,
+		Payload: wire.EncodePush(enc)}); resp.Status != wire.StatusOK {
+		t.Fatalf("push after refusal: %+v", resp)
+	}
+}
+
+// TestV4ClientUnaffectedByV5Server is the up-level interop direction:
+// a client that only speaks v4 negotiates down and sees identical
+// push/pull behavior from a v5 server.
+func TestV4ClientUnaffectedByV5Server(t *testing.T) {
+	_, addr, stop := startServer(t, Config{Root: t.TempDir()})
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	v, err := wire.HandshakeVersion(conn, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 4 {
+		t.Fatalf("negotiated %d, want 4", v)
+	}
+	open := call(t, conn, &wire.Frame{Type: wire.TOpen, Payload: []byte("old")})
+	enc := encodedDiff(t, 0, 0x55)
+	if resp := call(t, conn, &wire.Frame{Type: wire.TPush, Lineage: open.Lineage, Ckpt: 0,
+		Payload: wire.EncodePush(enc)}); resp.Status != wire.StatusOK {
+		t.Fatalf("v4 push: %+v", resp)
+	}
+	pull := call(t, conn, &wire.Frame{Type: wire.TPull, Lineage: open.Lineage, Ckpt: 0})
+	if pull.Status != wire.StatusOK || !bytes.Equal(pull.Payload, enc) {
+		t.Fatalf("v4 pull: %+v", pull)
+	}
+	// TSubscribe from a v4-negotiated session is refused, not served.
+	resp := call(t, conn, &wire.Frame{Type: wire.TSubscribe, Lineage: open.Lineage,
+		Payload: wire.EncodeSubscribe(wire.Cursor{})})
+	if resp.Status != wire.StatusUnsupported {
+		t.Fatalf("v4 session subscribe: %+v", resp)
+	}
+}
+
+// TestHubShedSlowSubscriber drives the hub directly: a full queue
+// sheds the subscriber with a lag verdict instead of blocking the
+// publisher, and a fold sheds everyone with a fold verdict.
+func TestHubShedSlowSubscriber(t *testing.T) {
+	h := newHub()
+	ln := &lineage{name: "x"}
+	slow := h.register(ln, 1)
+	fast := h.register(ln, 4)
+
+	if shed := h.publish(ln, 0, []byte{1}, 0, 1); shed != 0 {
+		t.Fatalf("first publish shed %d", shed)
+	}
+	// slow's queue (cap 1) is full; the next publish must shed it and
+	// deliver to fast regardless.
+	if shed := h.publish(ln, 1, []byte{2}, 0, 2); shed != 1 {
+		t.Fatalf("overflow publish shed %d, want 1", shed)
+	}
+	select {
+	case <-slow.stop:
+	default:
+		t.Fatal("slow subscriber not stopped")
+	}
+	reason, base, n := slow.verdict()
+	if reason != wire.ResyncLag || base != 0 || n != 2 {
+		t.Fatalf("verdict %d [%d,%d), want lag [0,2)", reason, base, n)
+	}
+	if got := len(fast.ch); got != 2 {
+		t.Fatalf("fast subscriber holds %d events, want 2", got)
+	}
+	if h.count(ln) != 1 {
+		t.Fatalf("count = %d after shed, want 1", h.count(ln))
+	}
+
+	if shed := h.fold(ln, 3, 5); shed != 1 {
+		t.Fatalf("fold shed %d, want 1", shed)
+	}
+	reason, base, n = fast.verdict()
+	if reason != wire.ResyncFold || base != 3 || n != 5 {
+		t.Fatalf("fold verdict %d [%d,%d)", reason, base, n)
+	}
+	if h.count(ln) != 0 {
+		t.Fatalf("count = %d after fold, want 0", h.count(ln))
+	}
+	h.unregister(ln, slow) // double-remove must be safe
+}

@@ -126,3 +126,50 @@ func FuzzStreamAck(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSubscribeDecode feeds arbitrary bytes to all three v5
+// subscription payload decoders. Whatever decodes must re-encode
+// byte-identically (exact-length formats, no slack) and must satisfy
+// the documented invariants — a decoder that accepts next < base or
+// an unknown resync reason would let a hostile primary wedge a
+// follower.
+func FuzzSubscribeDecode(f *testing.F) {
+	f.Add(EncodeSubscribe(Cursor{Base: 3, Next: 9, CRC: 0xdeadbeef}))
+	f.Add(EncodeSubscribe(Cursor{Base: 0, Next: 0}))
+	f.Add(EncodeSubscribeAck(SubscribeAck{Base: 2, Len: 17}))
+	f.Add(EncodeResync(Resync{Reason: ResyncFold, Base: 5, Len: 12}))
+	f.Add(EncodeResync(Resync{Reason: ResyncShutdown, Base: 0, Len: 0}))
+	f.Add(EncodeSubscribe(Cursor{Base: 9, Next: 3})[:SubscribeSize]) // next below base
+	f.Add(EncodeResync(Resync{Reason: ResyncLag, Base: 1, Len: 4})[:ResyncSize-1])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if c, err := DecodeSubscribe(data); err == nil {
+			if c.Next < c.Base {
+				t.Fatalf("decoded cursor violates next >= base: %+v", c)
+			}
+			if out := EncodeSubscribe(c); !bytes.Equal(out, data) {
+				t.Fatalf("cursor round trip diverged:\n in  %x\n out %x", data, out)
+			}
+		}
+		if a, err := DecodeSubscribeAck(data); err == nil {
+			if a.Len < a.Base {
+				t.Fatalf("decoded ack violates len >= base: %+v", a)
+			}
+			if out := EncodeSubscribeAck(a); !bytes.Equal(out, data) {
+				t.Fatalf("ack round trip diverged:\n in  %x\n out %x", data, out)
+			}
+		}
+		if r, err := DecodeResync(data); err == nil {
+			if r.Reason < ResyncFold || r.Reason > ResyncShutdown {
+				t.Fatalf("decoded resync with unknown reason: %+v", r)
+			}
+			if r.Len < r.Base {
+				t.Fatalf("decoded resync violates len >= base: %+v", r)
+			}
+			if out := EncodeResync(r); !bytes.Equal(out, data) {
+				t.Fatalf("resync round trip diverged:\n in  %x\n out %x", data, out)
+			}
+		}
+	})
+}

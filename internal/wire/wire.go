@@ -16,7 +16,9 @@
 // message in the payload). This keeps the server loop trivial and
 // makes the client's retry-on-transient-error logic safe: a broken
 // connection can always be replayed by re-sending the request on a
-// fresh connection.
+// fresh connection. The single exception is a v5 subscription: an
+// accepted TSubscribe switches the connection into a server-pushed
+// tail stream of TTail frames (see subscribe.go).
 package wire
 
 import (
@@ -27,6 +29,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"os"
 	"time"
 )
 
@@ -59,7 +62,16 @@ const (
 	//	   the highest version it speaks and both sides settle on the
 	//	   minimum, so a v4 client falls back to v3 request/response
 	//	   against a v3 server instead of refusing the connection.
-	Version uint8 = 4
+	//	5: live replication — the TSubscribe request (lineage + resume
+	//	   cursor) switches a connection into a server-pushed tail
+	//	   stream of TTail diff frames, and TResync carries the
+	//	   barrier a subscriber receives when its cursor cannot be
+	//	   honored (compaction fold moved the baseline, a slow
+	//	   follower was shed, the server is shutting down). Only new
+	//	   frame types were added — every v4 payload layout is
+	//	   untouched — so a v5 client against a v4 server negotiates
+	//	   down and falls back to poll-based tailing.
+	Version uint8 = 5
 	// MinVersion is the oldest protocol version this build still
 	// speaks. A peer advertising anything older is refused.
 	MinVersion uint8 = 3
@@ -108,6 +120,29 @@ const (
 	// StatusBusy or StatusUnknownHandle) on the same connection — one
 	// bad diff never tears the stream.
 	TPushStream
+	// TSubscribe (v5) asks the server to push every future diff of
+	// lineage Lineage to this connection. The payload is a resume
+	// cursor (EncodeSubscribe): the subscriber's view of the baseline,
+	// the next checkpoint id it needs, and the CRC32C of the last diff
+	// it holds. An accepted subscription answers with a TSubscribe/
+	// StatusOK frame (SubscribeAck payload) and the connection leaves
+	// request/response mode: from then on the server pushes TTail
+	// frames until either side closes or a TResync barrier ends the
+	// stream. A rejected cursor answers with a TResync frame and the
+	// connection STAYS in request mode, so the subscriber can pull the
+	// authoritative span over the same connection and re-subscribe.
+	TSubscribe
+	// TTail (v5) is one server-pushed diff on a subscribed
+	// connection: header Ckpt is the absolute checkpoint id and the
+	// payload uses the TPush layout (CRC32C prefix + encoded diff).
+	TTail
+	// TResync (v5) tells a subscriber its cursor is not continuable;
+	// the payload (EncodeResync) carries the reason and the
+	// authoritative [base, len) span to re-sync from. As a response to
+	// TSubscribe it keeps the connection in request mode; pushed
+	// mid-stream it is a terminal barrier — the server closes the
+	// connection after sending it.
+	TResync
 	// TErr is an unsolicited server error (e.g. connection limit
 	// reached), sent without a matching request.
 	TErr uint8 = 0xFF
@@ -299,6 +334,17 @@ func Transient(err error) bool {
 // disconnects out of the error log; it never justifies a retry.
 func IsClean(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+}
+
+// Timeout reports whether err is a read/write deadline expiry. A
+// subscriber tailing a stream reads with short deadlines so it can
+// notice cancellation between frames; an expired deadline with no
+// bytes consumed is an idle tick, not a transport fault. Like
+// Transient and IsClean this is the single classification point — the
+// ckptlint retryable check keeps callers from matching
+// os.ErrDeadlineExceeded themselves.
+func Timeout(err error) bool {
+	return errors.Is(err, os.ErrDeadlineExceeded)
 }
 
 // WriteHello writes the 6-byte handshake advertising Version (the

@@ -1,0 +1,124 @@
+package gpuckpt
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/follower"
+)
+
+// FollowerConfig configures a hot standby for one lineage.
+type FollowerConfig struct {
+	// Lineage is the lineage to mirror. Required.
+	Lineage string
+	// Dir is the local mirror directory; a non-empty mirror resumes
+	// from its stored cursor. Required.
+	Dir string
+	// Timeout bounds dials and round trips (default 10s).
+	Timeout time.Duration
+	// PollInterval is the tail cadence against a v4 primary that
+	// cannot stream (default 200ms).
+	PollInterval time.Duration
+	// Dialer replaces net.DialTimeout, letting tests interpose a
+	// fault-injecting transport.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Logf sinks follower logs (default: silent).
+	Logf func(format string, args ...any)
+	// OnApply, if set, runs after each checkpoint is applied and
+	// durable locally — the hook failover measurements hang off.
+	OnApply func(ckpt int)
+}
+
+// FollowerStats mirrors the standby's replication progress; see the
+// field docs on the internal type for exact semantics.
+type FollowerStats = follower.Stats
+
+// Promotion is the serving-ready result of Follower.Promote: the
+// mirrored span plus the already-materialized state of its newest
+// checkpoint. No diff was applied on the way here — the standby paid
+// that cost incrementally while the primary was alive.
+type Promotion struct {
+	// Lineage and Dir identify the promoted mirror.
+	Lineage, Dir string
+	// Base and Len delimit the restorable span [Base, Len).
+	Base, Len int
+	// Record restores any checkpoint in the span by absolute index.
+	// Nil when the lineage was empty at promotion.
+	Record *Record
+	// State is the newest checkpoint's materialized image (nil when
+	// empty). Owned by the caller from here on.
+	State []byte
+}
+
+// Follower is a live hot standby: it tails a primary's diff stream
+// for one lineage (wire v5 subscription, with poll fallback against
+// v4 primaries) and keeps both a durable local mirror and an applied
+// in-memory image current. Promote turns it into a serving-ready
+// replica in O(1). A Follower must be Closed.
+type Follower struct {
+	fl *follower.Follower
+}
+
+// NewFollower builds a hot standby mirroring cfg.Lineage from the
+// primary at addr. Drive it with Run; it replicates until Promote or
+// Close.
+func NewFollower(addr string, cfg FollowerConfig) (*Follower, error) {
+	fl, err := follower.New(follower.Options{
+		Addr:         addr,
+		Lineage:      cfg.Lineage,
+		Dir:          cfg.Dir,
+		Timeout:      cfg.Timeout,
+		PollInterval: cfg.PollInterval,
+		Dialer:       cfg.Dialer,
+		Logf:         cfg.Logf,
+		OnApply:      cfg.OnApply,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Follower{fl: fl}, nil
+}
+
+// Run replicates until ctx is cancelled or Promote/Close is called.
+// It reconnects through primary outages with bounded backoff and
+// always returns nil on a deliberate stop — a standby's job is to
+// outlive its primary.
+func (f *Follower) Run(ctx context.Context) error { return f.fl.Run(ctx) }
+
+// Stats snapshots replication progress.
+func (f *Follower) Stats() FollowerStats { return f.fl.Stats() }
+
+// Promote stops replication and returns the serving-ready replica.
+// The mirror directory stays owned by the Follower until Close; a
+// caller that wants to serve Dir with its own store (e.g. a promoted
+// ckptd) must Close first.
+func (f *Follower) Promote() (*Promotion, error) {
+	p, err := f.fl.Promote()
+	if err != nil {
+		return nil, err
+	}
+	out := &Promotion{Lineage: p.Lineage, Dir: p.Dir, Base: p.Base, Len: p.Len, State: p.State}
+	if p.Record != nil {
+		out.Record = &Record{rec: p.Record, base: p.Base}
+	}
+	return out, nil
+}
+
+// Close stops replication and releases the connection pool and the
+// mirror store. Idempotent.
+func (f *Follower) Close() error { return f.fl.Close() }
+
+// Lineages lists the lineage directory of the primary at addr — the
+// discovery step before spawning one Follower per lineage.
+func Lineages(addr string, timeout time.Duration) ([]LineageInfo, error) {
+	infos, err := follower.Lineages(addr, timeout, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LineageInfo, len(infos))
+	for i, in := range infos {
+		out[i] = LineageInfo{Name: in.Name, Len: int(in.Len), Base: int(in.Base), Bytes: int64(in.Bytes)}
+	}
+	return out, nil
+}
