@@ -14,6 +14,7 @@ FUZZ_TARGETS = \
 	FuzzHandshake:./internal/wire \
 	FuzzStreamAck:./internal/wire \
 	FuzzSubscribeDecode:./internal/wire \
+	FuzzDigestDecode:./internal/wire \
 	FuzzDiffDecode:./internal/checkpoint \
 	FuzzRestore:./internal/checkpoint \
 	FuzzManifestDecode:./internal/checkpoint \
@@ -23,9 +24,9 @@ FUZZ_TARGETS = \
 FUZZTIME ?= 5s
 FUZZTIME_LONG ?= 5m
 
-.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json bench-wire bench-failover saturate-smoke failover-smoke fuzz fuzz-smoke chaos-smoke race-chaos
+.PHONY: ci fmt vet lint build test race bench bench-smoke bench-json bench-wire bench-failover bench-heal saturate-smoke failover-smoke heal-smoke fuzz fuzz-smoke chaos-smoke race-chaos
 
-ci: fmt vet lint build race bench-smoke saturate-smoke failover-smoke fuzz-smoke chaos-smoke
+ci: fmt vet lint build race bench-smoke saturate-smoke failover-smoke heal-smoke fuzz-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -90,6 +91,19 @@ bench-failover:
 # and gates on a shorter chain, without rewriting the checked-in JSON.
 failover-smoke:
 	$(GO) run ./cmd/ckptbench -exp failover -chain 12
+
+# bench-heal regenerates BENCH_heal.json from the anti-entropy drill:
+# two peered replicas, a quarter of one replica's diffs bit-rotted on
+# disk, background reconcilers healing to convergence. The run
+# enforces the converge-within-budget, byte-exact-restore, pull-only
+# (healthy peer untouched) and zero-fail-stop gates.
+bench-heal:
+	$(GO) run ./cmd/ckptbench -exp heal -chain 64 -json BENCH_heal.json
+
+# heal-smoke is the CI slice of bench-heal: same experiment and gates
+# on a shorter chain, without rewriting the checked-in JSON.
+heal-smoke:
+	$(GO) run ./cmd/ckptbench -exp heal -chain 16
 
 # fuzz-smoke gives each decode-surface fuzz target a short budget on
 # top of the checked-in seed corpus; enough to catch regressions in the

@@ -2,6 +2,7 @@ package gpuckpt
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -101,8 +102,11 @@ type RetryPolicy struct {
 	// Seed seeds the jitter RNG; 0 selects a fixed default. Tests use
 	// distinct seeds for reproducible-yet-decorrelated schedules.
 	Seed int64
-	// Sleep is the delay function (default time.Sleep). Tests stub it
-	// to run retry schedules instantly.
+	// Sleep replaces the retry wait; tests stub it to run retry
+	// schedules instantly. When nil (the default) the wait runs on a
+	// timer that a cancelled context abandons immediately — a stubbed
+	// Sleep is still bracketed by context checks, but cannot itself be
+	// interrupted mid-wait.
 	Sleep func(time.Duration)
 }
 
@@ -121,9 +125,6 @@ func (p *RetryPolicy) fill() {
 	}
 	if p.Jitter < 0 || p.Jitter > 1 {
 		p.Jitter = 0.2
-	}
-	if p.Sleep == nil {
-		p.Sleep = time.Sleep
 	}
 }
 
@@ -229,6 +230,19 @@ type ServerStats struct {
 	// BlockGCBlocks and BlockGCBytes count unreferenced blocks (and
 	// their payload bytes) reclaimed by block-store garbage collection.
 	BlockGCBlocks, BlockGCBytes uint64
+	// Quarantined is the number of diff files currently quarantined
+	// across all lineages — open damage awaiting repair (a gauge).
+	Quarantined uint64
+	// DigestRounds counts anti-entropy digest rounds the server ran
+	// against its peers; SpansHealed the diffs those rounds repaired
+	// or installed; BytesRefetched the encoded bytes pulled to do so.
+	DigestRounds, SpansHealed, BytesRefetched uint64
+	// HealQuarantines counts lineages the reconciler fail-stopped
+	// after repeated heal failures or divergence.
+	HealQuarantines uint64
+	// Degraded is the number of configured peers currently
+	// unreachable (a gauge; nonzero means reduced redundancy).
+	Degraded uint64
 }
 
 // CompactInfo reports one server-side compaction transaction.
@@ -380,9 +394,12 @@ func (c *Client) Close() error {
 	return c.pool.Close()
 }
 
-// backoff sleeps before retry attempt (≥2), flooring the jittered
-// exponential delay at a busy server's retry-after hint.
-func (c *Client) backoff(attempt int, lastErr error) {
+// backoff waits before retry attempt (≥2), flooring the jittered
+// exponential delay at a busy server's retry-after hint. The wait
+// observes ctx: a caller cancelled mid-schedule gets its context
+// error back immediately instead of sleeping through the remaining
+// attempts against a server that may be gone.
+func (c *Client) backoff(ctx context.Context, attempt int, lastErr error) error {
 	var hint time.Duration
 	var re *RemoteError
 	if errors.As(lastErr, &re) && re.Busy {
@@ -391,7 +408,21 @@ func (c *Client) backoff(attempt int, lastErr error) {
 	c.mu.Lock()
 	d := c.retry.delay(attempt, hint, c.rng)
 	c.mu.Unlock()
-	c.retry.Sleep(d)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.retry.Sleep != nil {
+		c.retry.Sleep(d)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // dropHandle prunes name's cached handle from every idle session, so
@@ -492,11 +523,15 @@ func (c *Client) tryOn(pc *connpool.Conn, name string, req *wire.Frame) (*wire.F
 // When name is non-empty the request addresses that lineage: its
 // handle is resolved per connection, and a StatusUnknownHandle
 // response prunes the stale cache before the retry re-resolves it.
-func (c *Client) do(name string, req *wire.Frame) (*wire.Frame, error) {
+// Cancelling ctx between attempts ends the retry schedule with the
+// context's error wrapping whatever failed last.
+func (c *Client) do(ctx context.Context, name string, req *wire.Frame) (*wire.Frame, error) {
 	var lastErr error
 	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			c.backoff(attempt, lastErr)
+			if err := c.backoff(ctx, attempt, lastErr); err != nil {
+				return nil, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
 		}
 		pc, err := c.pool.Get()
 		if err != nil {
@@ -523,7 +558,7 @@ func (c *Client) do(name string, req *wire.Frame) (*wire.Frame, error) {
 // retrying core shared by the directory and stats operations (and the
 // protocol tests).
 func (c *Client) roundTrip(req *wire.Frame) (*wire.Frame, error) {
-	return c.do("", req)
+	return c.do(context.Background(), "", req)
 }
 
 // open resolves a lineage name to its server handle, current length,
@@ -532,7 +567,7 @@ func (c *Client) roundTrip(req *wire.Frame) (*wire.Frame, error) {
 // version-1 server omits the base payload; DecodeOpenInfo maps that
 // to base 0.
 func (c *Client) open(name string) (handle uint32, length, base int, err error) {
-	resp, err := c.do(name, &wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
+	resp, err := c.do(context.Background(), name, &wire.Frame{Type: wire.TOpen, Payload: []byte(name)})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -572,10 +607,20 @@ func (c *Client) Span(name string) (base, length int, err error) {
 // reference (writev), so the push path allocates nothing in steady
 // state.
 func (c *Client) Push(name string, ckptID int, encoded []byte) error {
+	return c.PushContext(context.Background(), name, ckptID, encoded)
+}
+
+// PushContext is Push bounded by a context: cancellation between
+// retry attempts ends the schedule immediately with the context's
+// error. In-flight network operations still run under the client's
+// Timeout; the context governs the waits between them.
+func (c *Client) PushContext(ctx context.Context, name string, ckptID int, encoded []byte) error {
 	var lastErr error
 	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			c.backoff(attempt, lastErr)
+			if err := c.backoff(ctx, attempt, lastErr); err != nil {
+				return fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
 		}
 		pc, err := c.pool.Get()
 		if err != nil {
@@ -660,7 +705,7 @@ func (s *session) readResp(r io.Reader, wantType uint8) error {
 // PullDiff downloads the encoded diff of checkpoint ckptID of the
 // named lineage.
 func (c *Client) PullDiff(name string, ckptID int) ([]byte, error) {
-	resp, err := c.do(name, &wire.Frame{Type: wire.TPull, Ckpt: uint32(ckptID)})
+	resp, err := c.do(context.Background(), name, &wire.Frame{Type: wire.TPull, Ckpt: uint32(ckptID)})
 	if err != nil {
 		return nil, err
 	}
@@ -704,7 +749,13 @@ func (c *Client) Pull(name string) (*Record, error) {
 // Against a v4 server the missing suffix streams as a pipelined
 // window; against a v3 server it degrades to sequential pushes.
 func (c *Client) PushRecord(name string, rec *Record) (int, error) {
-	return c.pushDiffs(name, rec.Len(), rec.diffAt, rec.WriteDiff)
+	return c.pushDiffs(context.Background(), name, rec.Len(), rec.diffAt, rec.WriteDiff)
+}
+
+// PushRecordContext is PushRecord bounded by a context: cancellation
+// between retry attempts ends the schedule immediately.
+func (c *Client) PushRecordContext(ctx context.Context, name string, rec *Record) (int, error) {
+	return c.pushDiffs(ctx, name, rec.Len(), rec.diffAt, rec.WriteDiff)
 }
 
 // PushCheckpointer uploads every diff of ck's record that the server
@@ -712,7 +763,7 @@ func (c *Client) PushRecord(name string, rec *Record) (int, error) {
 // pushed. Call it after each Checkpoint (incremental push) or once at
 // the end (bulk push) — contiguity makes both equivalent.
 func (c *Client) PushCheckpointer(name string, ck *Checkpointer) (int, error) {
-	return c.pushDiffs(name, ck.NumCheckpoints(), ck.diffAt, ck.WriteDiff)
+	return c.pushDiffs(context.Background(), name, ck.NumCheckpoints(), ck.diffAt, ck.WriteDiff)
 }
 
 // pushDiffs syncs diffs [have, total) of a lineage to the server,
@@ -722,12 +773,14 @@ func (c *Client) PushCheckpointer(name string, ck *Checkpointer) (int, error) {
 // the retry re-opens for a fresh length and resumes exactly at the
 // gap; diffs that landed before the failure are never re-sent.
 // Returns the number of diffs newly acknowledged by the server.
-func (c *Client) pushDiffs(name string, total int, diffAt func(int) (*checkpoint.Diff, error), writeDiff func(int, io.Writer) error) (int, error) {
+func (c *Client) pushDiffs(ctx context.Context, name string, total int, diffAt func(int) (*checkpoint.Diff, error), writeDiff func(int, io.Writer) error) (int, error) {
 	pushed := 0
 	var lastErr error
 	for attempt := 1; attempt <= c.retry.MaxAttempts; attempt++ {
 		if attempt > 1 {
-			c.backoff(attempt, lastErr)
+			if err := c.backoff(ctx, attempt, lastErr); err != nil {
+				return pushed, fmt.Errorf("%w (last attempt: %w)", err, lastErr)
+			}
 		}
 		pc, err := c.pool.Get()
 		if err != nil {
@@ -1046,6 +1099,64 @@ func (c *Client) Stats() (ServerStats, error) {
 		BlockBytesSaved: st.BlockBytesSaved,
 		BlockGCBlocks:   st.BlockGCBlocks,
 		BlockGCBytes:    st.BlockGCBytes,
+		Quarantined:     st.Quarantined,
+		DigestRounds:    st.DigestRounds,
+		SpansHealed:     st.SpansHealed,
+		BytesRefetched:  st.BytesRefetched,
+		HealQuarantines: st.HealQuarantines,
+		Degraded:        st.Degraded,
+	}, nil
+}
+
+// LineageDigest is the compact anti-entropy summary of a lineage
+// span, as served by wire v6 TDigest: coordinates plus a rolling
+// CRC32C and a murmur3-128 merkle root over per-diff content
+// checksums. Two replicas whose digests match hold byte-identical
+// canonical encodings over the span.
+type LineageDigest struct {
+	// Base and Len delimit the server's stored span.
+	Base, Len int
+	// Generation is the lineage's compaction generation; it advances
+	// when a fold rewrites history, telling reconcilers a span must be
+	// resynced wholesale rather than patched.
+	Generation uint64
+	// SpanLo and SpanHi delimit the digested span (the request clipped
+	// to what the server stores).
+	SpanLo, SpanHi int
+	// CRC folds the span's per-diff checksums; Root is their merkle
+	// root, which localizes where two spans differ.
+	CRC  uint32
+	Root [16]byte
+	// Detail holds the per-diff content checksums when requested.
+	Detail []uint32
+}
+
+// Digest requests a span digest of the named lineage. lo == hi == 0
+// digests the server's whole stored span. With detail, the response
+// carries per-diff checksums (the span must then be at most
+// wire.DigestMaxDetail wide). Returns ErrUnsupported (via errors.Is)
+// from servers predating wire v6.
+func (c *Client) Digest(name string, lo, hi int, detail bool) (LineageDigest, error) {
+	resp, err := c.do(context.Background(), name, &wire.Frame{
+		Type:    wire.TDigest,
+		Payload: wire.EncodeDigestReq(wire.DigestReq{Lo: uint32(lo), Hi: uint32(hi), Detail: detail}),
+	})
+	if err != nil {
+		return LineageDigest{}, err
+	}
+	d, err := wire.DecodeDigestResp(resp.Payload)
+	if err != nil {
+		return LineageDigest{}, fmt.Errorf("gpuckpt: digest %q: %w", name, err)
+	}
+	return LineageDigest{
+		Base:       int(d.Base),
+		Len:        int(d.Len),
+		Generation: d.Generation,
+		SpanLo:     int(d.SpanLo),
+		SpanHi:     int(d.SpanHi),
+		CRC:        d.CRC,
+		Root:       d.Root,
+		Detail:     d.Detail,
 	}, nil
 }
 
@@ -1053,7 +1164,7 @@ func (c *Client) Stats() (ServerStats, error) {
 // checkpoint index, or wire.CompactAuto to let the server's retention
 // policy choose.
 func (c *Client) compact(name string, target uint32) (CompactInfo, error) {
-	resp, err := c.do(name, &wire.Frame{Type: wire.TCompact, Ckpt: target})
+	resp, err := c.do(context.Background(), name, &wire.Frame{Type: wire.TCompact, Ckpt: target})
 	if err != nil {
 		return CompactInfo{}, err
 	}
@@ -1095,13 +1206,13 @@ func (c *Client) CompactTo(name string, k int) (CompactInfo, error) {
 // "keep-last=N", "keep-every=K"). It changes which baseline future
 // compactions choose; it does not itself compact.
 func (c *Client) SetRetention(name, policy string) error {
-	_, err := c.do(name, &wire.Frame{Type: wire.TPolicy, Payload: []byte(policy)})
+	_, err := c.do(context.Background(), name, &wire.Frame{Type: wire.TPolicy, Payload: []byte(policy)})
 	return err
 }
 
 // Retention reports the named lineage's current retention policy.
 func (c *Client) Retention(name string) (string, error) {
-	resp, err := c.do(name, &wire.Frame{Type: wire.TPolicy})
+	resp, err := c.do(context.Background(), name, &wire.Frame{Type: wire.TPolicy})
 	if err != nil {
 		return "", err
 	}

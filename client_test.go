@@ -403,6 +403,85 @@ func TestClientPerOperationDeadlines(t *testing.T) {
 	}
 }
 
+// TestClientBackoffObservesContext is the regression test for retry
+// waits ignoring cancellation: a client retrying against a dead
+// server with a long backoff schedule must return as soon as its
+// context is cancelled — with the context's error — instead of
+// sleeping through the remaining attempts.
+func TestClientBackoffObservesContext(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	cl, err := DialConfigured(addr, DialConfig{
+		Timeout: time.Second,
+		// A schedule that would block for minutes if the wait ignored
+		// cancellation. Sleep is deliberately NOT stubbed: the timer
+		// path under test is the production one.
+		Retry: RetryPolicy{MaxAttempts: 10, BaseDelay: 30 * time.Second, MaxDelay: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	shutdown() // kill the server: every attempt now fails at dial
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	pushErr := cl.PushContext(ctx, "lin", 0, encodeFullDiff(t, 0))
+	elapsed := time.Since(start)
+	if pushErr == nil {
+		t.Fatal("push against a dead server succeeded")
+	}
+	if !errors.Is(pushErr, context.Canceled) {
+		t.Fatalf("push error %v does not match context.Canceled", pushErr)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled push took %v: backoff ignored the context", elapsed)
+	}
+}
+
+// TestClientDigest round-trips a wire v6 span digest: the summary
+// must cover the pushed span, and the per-diff detail must match the
+// server's canonical content checksums.
+func TestClientDigest(t *testing.T) {
+	addr, shutdown := startTestServer(t, server.Config{Root: t.TempDir()})
+	defer shutdown()
+	cl, err := Dial(addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 5
+	payloads := make([][]byte, n)
+	for k := 0; k < n; k++ {
+		payloads[k] = encodeFullDiff(t, k)
+		if err := cl.Push("lin", k, payloads[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := cl.Digest("lin", 0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Base != 0 || d.Len != n || d.SpanLo != 0 || d.SpanHi != n {
+		t.Fatalf("digest span = base %d len %d [%d,%d), want [0,%d)", d.Base, d.Len, d.SpanLo, d.SpanHi, n)
+	}
+	if len(d.Detail) != n {
+		t.Fatalf("detail carries %d checksums, want %d", len(d.Detail), n)
+	}
+	for k, enc := range payloads {
+		if want := wire.Checksum(enc); d.Detail[k] != want {
+			t.Fatalf("detail[%d] = %08x, want content checksum %08x", k, d.Detail[k], want)
+		}
+	}
+	if d.CRC == 0 && d.Root == ([16]byte{}) {
+		t.Fatal("summary digest is zero over a non-empty span")
+	}
+}
+
 func encodeFullDiff(t *testing.T, ck int) []byte {
 	t.Helper()
 	ckp, err := New(Config{Method: MethodFull, ChunkSize: 128}, 4096)
@@ -457,8 +536,12 @@ func TestClientConnectionLimitError(t *testing.T) {
 // replication surface: TSubscribe with resume cursors, server-pushed
 // TTail frames, and TResync barriers (lag shed / compaction fold);
 // v5 clients fall back to length-polling against v4 servers.
+// Version 6 added the anti-entropy surface: TDigest span digests
+// (summary CRC + merkle root + optional per-diff detail) and the
+// extended stats encoding with the reconciliation counters; v6
+// reconcilers degrade to doing nothing against pre-v6 peers.
 func TestClientProtocolVersion(t *testing.T) {
-	if wire.Version != 5 {
+	if wire.Version != 6 {
 		t.Fatalf("protocol version bumped to %d: update compatibility notes", wire.Version)
 	}
 	if wire.MinVersion != 3 {

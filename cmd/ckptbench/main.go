@@ -72,8 +72,8 @@ func run(args []string, stdout io.Writer) error {
 		lineage  = fs.String("lineage", "ckptbench", "lineage name on the server for -exp push")
 		keepLast = fs.Int("keeplast", 4, "retained checkpoints for -exp compact (keep-last=K)")
 		lineages = fs.Int("lineages", 4, "tenant count for -exp dedupx")
-		jsonPath = fs.String("json", "", "write -exp dedupx/saturate results as JSON to this file")
-		chainLen = fs.Int("chain", 64, "checkpoint chain length for -exp saturate/failover")
+		jsonPath = fs.String("json", "", "write -exp dedupx/saturate/failover/heal results as JSON to this file")
+		chainLen = fs.Int("chain", 64, "checkpoint chain length for -exp saturate/failover/heal")
 		frames   = fs.Int("frames", gpuckpt.DefaultWindowFrames, "streaming window frame bound for -exp saturate")
 		frameB   = fs.Int64("framebytes", gpuckpt.DefaultWindowBytes, "streaming window byte bound for -exp saturate")
 		pipeline = fs.Bool("pipeline", false, "overlap each checkpoint's store with the next one's dedup (CheckpointAsync)")
@@ -270,6 +270,15 @@ func run(args []string, stdout io.Writer) error {
 			}
 			return err
 		},
+		"heal": func() error {
+			t, err := healExperiment(cfg, *chainLen, *jsonPath)
+			if t != nil {
+				if eerr := emit("heal", t); eerr != nil {
+					return eerr
+				}
+			}
+			return err
+		},
 		"dedupx": func() error {
 			t, err := dedupxExperiment(cfg, *lineages, *jsonPath)
 			if t != nil {
@@ -280,9 +289,9 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		},
 	}
-	// "push" needs a live ckptd server, and "faults"/"failover" are
-	// resilience drills rather than paper experiments, so "all" (the
-	// offline reproduction pass) includes none of them.
+	// "push" needs a live ckptd server, and "faults"/"failover"/"heal"
+	// are resilience drills rather than paper experiments, so "all"
+	// (the offline reproduction pass) includes none of them.
 	order := []string{"table1", "fig4", "fig5", "fig6", "overhead", "ablation", "extensions", "adjoint", "headline", "compact"}
 
 	if *exp == "all" {

@@ -38,6 +38,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +52,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ckptd:", err)
 		os.Exit(1)
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated addresses,
+// empty entries dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func run(ctx context.Context, args []string, stdout io.Writer) error {
@@ -69,6 +82,8 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		follow       = fs.String("follow", "", "run as hot standby of the primary at this address (mirrors its lineages under -root)")
 		followRescan = fs.Duration("follow-rescan", 2*time.Second, "standby mode: how often to rediscover the primary's lineages")
 		failAfter    = fs.Duration("failover-after", 3*time.Second, "standby mode: promote after the primary has been unreachable this long (0 = never promote automatically)")
+		peers        = fs.String("peers", "", "comma-separated replica addresses to reconcile against (anti-entropy)")
+		aeInterval   = fs.Duration("anti-entropy-interval", 5*time.Second, "cadence of anti-entropy digest rounds against each peer")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,14 +93,16 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	cfg := server.Config{
-		Root:            *root,
-		MaxConns:        *maxConns,
-		MaxPayload:      uint32(*maxPayload),
-		ReadTimeout:     *readTimeout,
-		WriteTimeout:    *writeTimeout,
-		DrainTimeout:    *drainTimeout,
-		Retention:       *retention,
-		CompactInterval: *compactEvery,
+		Root:                *root,
+		MaxConns:            *maxConns,
+		MaxPayload:          uint32(*maxPayload),
+		ReadTimeout:         *readTimeout,
+		WriteTimeout:        *writeTimeout,
+		DrainTimeout:        *drainTimeout,
+		Retention:           *retention,
+		CompactInterval:     *compactEvery,
+		Peers:               splitPeers(*peers),
+		AntiEntropyInterval: *aeInterval,
 	}
 	if *quiet {
 		cfg.Logf = func(string, ...any) {}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -60,6 +61,16 @@ func runStandby(ctx context.Context, stdout io.Writer, cfg standbyConfig) error 
 		}
 	}
 
+	// The standby runs its own anti-entropy against the primary: on
+	// the configured cadence each follower scans its mirror for
+	// on-disk rot and re-pulls damaged diffs. Replication converges
+	// the suffix; Heal converges bytes that rotted after they arrived.
+	healEvery := cfg.server.AntiEntropyInterval
+	if healEvery <= 0 {
+		healEvery = 5 * time.Second
+	}
+	var lastHeal time.Time
+
 	promote := false
 	for !promote {
 		infos, err := follower.Lineages(cfg.primary, cfg.server.ReadTimeout, nil)
@@ -98,6 +109,16 @@ func runStandby(ctx context.Context, stdout io.Writer, cfg standbyConfig) error 
 					fl.Run(fctx)
 				}(fl)
 			}
+			if time.Since(lastHeal) >= healEvery {
+				lastHeal = time.Now()
+				for _, name := range order {
+					if healed, herr := followers[name].Heal(); herr != nil {
+						logf("ckptd: standby: healing %q: %v", name, herr)
+					} else if healed > 0 {
+						logf("ckptd: standby: healed %d rotten diff(s) in %q", healed, name)
+					}
+				}
+			}
 		}
 		wait := cfg.rescan
 		if !downSince.IsZero() {
@@ -120,9 +141,18 @@ func runStandby(ctx context.Context, stdout io.Writer, cfg standbyConfig) error 
 	stopReplication()
 	for _, name := range order {
 		fl := followers[name]
-		if p, err := fl.Promote(); err != nil {
+		p, err := fl.Promote()
+		switch {
+		case errors.Is(err, follower.ErrMirrorCorrupt):
+			// The mirror rotted while the standby idled and the primary
+			// is gone, so it cannot be healed. Refuse the whole
+			// promotion rather than serve a lineage whose bytes no
+			// longer verify — fail-stop, never silent corruption.
+			closeAll()
+			return fmt.Errorf("refusing promotion: %w", err)
+		case err != nil:
 			logf("ckptd: standby: promoting %q: %v", name, err)
-		} else {
+		default:
 			fmt.Fprintf(stdout, "ckptd: promoted lineage %q [%d,%d)\n", name, p.Base, p.Len)
 		}
 	}

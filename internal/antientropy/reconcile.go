@@ -1,0 +1,684 @@
+package antientropy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// Typed reconciliation failures.
+var (
+	// ErrDiverged marks the unresolvable case: both replicas hold a
+	// diff that passes verification at the same checkpoint id with
+	// different content. No heal is attempted — there is no way to
+	// pick a winner without losing acknowledged data — and the
+	// lineage fail-stops immediately.
+	ErrDiverged = errors.New("antientropy: replicas hold conflicting verified content")
+	// ErrHealFailed matches (via errors.Is) a *HealError: a repair
+	// that could not complete — the peer's copy was rotten too, the
+	// pulled bytes failed verification, or the install failed.
+	ErrHealFailed = errors.New("antientropy: heal failed")
+	// ErrQuarantined matches (via errors.Is) a *QuarantineError: the
+	// reconciler fail-stopped this lineage and will not run further
+	// rounds until the operator intervenes.
+	ErrQuarantined = errors.New("antientropy: lineage quarantined")
+
+	// errRaced ends a round whose spans moved underneath it (a
+	// compaction or append landed mid-bisection); the next round
+	// starts over from fresh coordinates.
+	errRaced = errors.New("antientropy: span moved mid-round")
+	// errPeerDamaged ends a round because the peer answered a digest
+	// request with a remote verification failure: the peer is alive
+	// but cannot vouch for its own span. Pull-only repair means that
+	// is the PEER's reconciler's problem — it will see the same rot
+	// as local and heal from us.
+	errPeerDamaged = errors.New("antientropy: peer cannot verify its span")
+)
+
+// DivergenceError reports conflicting verified content at one
+// checkpoint. errors.Is(err, ErrDiverged).
+type DivergenceError struct {
+	Lineage string
+	Ckpt    int
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("antientropy: lineage %q diverged at checkpoint %d: both replicas verify, content differs",
+		e.Lineage, e.Ckpt)
+}
+
+// Is matches a DivergenceError against ErrDiverged.
+func (e *DivergenceError) Is(target error) bool { return target == ErrDiverged }
+
+// HealError reports one failed repair. errors.Is(err, ErrHealFailed).
+type HealError struct {
+	Lineage string
+	Ckpt    int
+	Cause   error
+}
+
+func (e *HealError) Error() string {
+	return fmt.Sprintf("antientropy: healing lineage %q checkpoint %d: %v", e.Lineage, e.Ckpt, e.Cause)
+}
+
+// Unwrap exposes the underlying failure.
+func (e *HealError) Unwrap() error { return e.Cause }
+
+// Is matches a HealError against ErrHealFailed.
+func (e *HealError) Is(target error) bool { return target == ErrHealFailed }
+
+// QuarantineError reports a fail-stopped lineage: MaxHealFailures
+// consecutive rounds could not heal (or the replicas diverged), so
+// the reconciler refuses to run further rounds rather than oscillate
+// or silently serve unrepairable state. errors.Is(err, ErrQuarantined).
+type QuarantineError struct {
+	Lineage string
+	Cause   error
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("antientropy: lineage %q quarantined: %v", e.Lineage, e.Cause)
+}
+
+// Unwrap exposes the terminal failure.
+func (e *QuarantineError) Unwrap() error { return e.Cause }
+
+// Is matches a QuarantineError against ErrQuarantined.
+func (e *QuarantineError) Is(target error) bool { return target == ErrQuarantined }
+
+// Outcome classifies one completed reconciliation round.
+type Outcome int
+
+const (
+	// OutcomeClean: the digests matched; nothing moved.
+	OutcomeClean Outcome = iota
+	// OutcomeHealed: this round repaired local damage or pulled a
+	// missing suffix (Result.Healed / BytesPulled say how much).
+	OutcomeHealed
+	// OutcomePeerBehind: the peer stores a strict subset of local
+	// state. Pull-only repair means nothing to do here — the peer's
+	// own reconciler pulls the difference from us.
+	OutcomePeerBehind
+	// OutcomePeerDamaged: the peer answered a digest with a remote
+	// verification failure; its reconciler heals it from us.
+	OutcomePeerDamaged
+	// OutcomeUnsupported: the peer does not speak wire v6; the
+	// reconciler degrades to doing nothing against it.
+	OutcomeUnsupported
+	// OutcomeRaced: a compaction or append moved a span mid-round;
+	// nothing was concluded, the next round starts over.
+	OutcomeRaced
+)
+
+// String names an outcome for logs.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeHealed:
+		return "healed"
+	case OutcomePeerBehind:
+		return "peer-behind"
+	case OutcomePeerDamaged:
+		return "peer-damaged"
+	case OutcomeUnsupported:
+		return "unsupported"
+	case OutcomeRaced:
+		return "raced"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Result summarizes one reconciliation round.
+type Result struct {
+	Outcome Outcome
+	// Healed counts diffs repaired or installed this round (partial
+	// progress is reported even when the round then failed).
+	Healed int
+	// BytesPulled counts encoded diff bytes fetched from the peer.
+	BytesPulled int64
+	// Resynced reports that the round adopted the peer's folded span
+	// wholesale (InstallSpan) instead of patching diffs.
+	Resynced bool
+}
+
+// Defaults applied by NewReconciler for zero Config fields.
+const (
+	// DefaultMaxHealFailures is the consecutive failed-heal-round
+	// budget before a lineage fail-stops.
+	DefaultMaxHealFailures = 3
+	// DefaultDetailWindow is the bisection leaf width: spans at or
+	// below it are compared per-diff instead of split further.
+	DefaultDetailWindow = 256
+)
+
+// Config parameterizes a Reconciler.
+type Config struct {
+	// Lineage names the lineage under reconciliation. Required.
+	Lineage string
+	// Store is the local replica. Required.
+	Store Store
+	// Peer is the remote replica. Required.
+	Peer Peer
+	// Locked serializes store mutations with the store's owner — the
+	// server passes a closure taking its per-lineage lock, so a heal
+	// never interleaves with a concurrent push or compaction. nil
+	// runs mutations directly (single-owner stores: tests, Repair).
+	Locked func(fn func() error) error
+	// MaxHealFailures bounds consecutive failed heal rounds before
+	// the lineage fail-stops (default DefaultMaxHealFailures).
+	MaxHealFailures int
+	// DetailWindow is the bisection leaf width (default
+	// DefaultDetailWindow, capped at wire.DigestMaxDetail).
+	DetailWindow int
+	// Logf sinks reconciler logs (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Reconciler drives anti-entropy rounds for one lineage against one
+// peer. Round is safe for use by one worker goroutine at a time; the
+// fail-stop state is internally locked so observers (stats, tests)
+// may poll Quarantined concurrently.
+type Reconciler struct {
+	cfg Config
+
+	mu sync.Mutex
+	// failures counts consecutive rounds that ended in a heal
+	// failure; reset by any round that completes.
+	//ckptlint:guardedby mu
+	failures int
+	// stopped, once set, is the terminal QuarantineError every
+	// further Round returns without touching the store.
+	//ckptlint:guardedby mu
+	stopped error
+}
+
+// NewReconciler validates cfg and builds a Reconciler.
+func NewReconciler(cfg Config) (*Reconciler, error) {
+	if cfg.Lineage == "" || cfg.Store == nil || cfg.Peer == nil {
+		return nil, errors.New("antientropy: Lineage, Store and Peer are required")
+	}
+	if cfg.MaxHealFailures <= 0 {
+		cfg.MaxHealFailures = DefaultMaxHealFailures
+	}
+	if cfg.DetailWindow <= 0 || cfg.DetailWindow > wire.DigestMaxDetail {
+		cfg.DetailWindow = DefaultDetailWindow
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Reconciler{cfg: cfg}, nil
+}
+
+// Quarantined returns the terminal QuarantineError if this lineage
+// has fail-stopped, nil otherwise.
+func (r *Reconciler) Quarantined() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped
+}
+
+// Round runs one reconciliation round and classifies its outcome.
+//
+// Error contract: a transport failure (peer unreachable) comes back
+// as-is — the caller backs off and flags the peer degraded; it does
+// NOT count toward fail-stop, because an unreachable peer says
+// nothing about local health. A heal failure (errors.Is ErrHealFailed)
+// counts: MaxHealFailures consecutive failing rounds quarantine the
+// lineage. Divergence (errors.Is ErrDiverged) quarantines
+// immediately. Once quarantined, every further Round returns the
+// same *QuarantineError (errors.Is ErrQuarantined) without touching
+// the store — fail-stop, not fail-retry.
+func (r *Reconciler) Round() (Result, error) {
+	r.mu.Lock()
+	if r.stopped != nil {
+		err := r.stopped
+		r.mu.Unlock()
+		return Result{}, err
+	}
+	r.mu.Unlock()
+
+	res, err := r.round()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case err == nil:
+		r.failures = 0
+		return res, nil
+	case errors.Is(err, errRaced):
+		res.Outcome = OutcomeRaced
+		return res, nil
+	case errors.Is(err, errPeerDamaged):
+		res.Outcome = OutcomePeerDamaged
+		return res, nil
+	case errors.Is(err, ErrDiverged):
+		r.stopped = &QuarantineError{Lineage: r.cfg.Lineage, Cause: err}
+		r.cfg.Logf("antientropy %s: %v", r.cfg.Lineage, r.stopped)
+		return res, r.stopped
+	case errors.Is(err, ErrHealFailed):
+		r.failures++
+		if r.failures >= r.cfg.MaxHealFailures {
+			r.stopped = &QuarantineError{Lineage: r.cfg.Lineage, Cause: err}
+			r.cfg.Logf("antientropy %s: %v", r.cfg.Lineage, r.stopped)
+			return res, r.stopped
+		}
+		return res, err
+	default:
+		// Transport or local I/O failure: nothing was concluded about
+		// the data, so nothing counts toward fail-stop.
+		return res, err
+	}
+}
+
+// round is one pass of the convergence algorithm:
+//
+//  1. one summary digest of the peer's whole span (the only traffic
+//     a clean round costs);
+//  2. fold awareness — a peer whose baseline advanced past ours is
+//     adopted wholesale via InstallSpan, never patched diff-by-diff;
+//  3. pre-existing quarantine holes are refilled from the peer;
+//  4. a missing suffix is pulled;
+//  5. the common span is compared against the summary and bisected
+//     down to per-diff detail on mismatch, healing local rot and
+//     fail-stopping on true divergence.
+func (r *Reconciler) round() (Result, error) {
+	var res Result
+	st := r.cfg.Store
+
+	pd, err := r.cfg.Peer.Digest(r.cfg.Lineage, wire.DigestReq{})
+	if err != nil {
+		var re *wire.RemoteError
+		switch {
+		case errors.Is(err, wire.ErrUnsupported):
+			res.Outcome = OutcomeUnsupported
+			return res, nil
+		case errors.As(err, &re):
+			// The peer is alive but cannot verify its own span. If the
+			// rot is mutual — BOTH replicas damaged — waiting for the
+			// peer to heal itself deadlocks: each side would report the
+			// other damaged forever. So check local health too, and
+			// self-heal any local rot right now; when the peer's copy
+			// of the same diff is rotten as well, that heal fails, and
+			// repeated failures drive the typed fail-stop instead of a
+			// silent standoff.
+			r.cfg.Logf("antientropy %s: peer %s digest failed remotely: %v",
+				r.cfg.Lineage, r.cfg.Peer.Addr(), err)
+			if err := r.selfHeal(&res); err != nil {
+				return res, err
+			}
+			if res.Healed > 0 {
+				res.Outcome = OutcomeHealed
+			} else {
+				res.Outcome = OutcomePeerDamaged
+			}
+			return res, nil
+		default:
+			return res, err
+		}
+	}
+	pBase, pLen := int(pd.Base), int(pd.Len)
+
+	n, err := st.Len()
+	if err != nil {
+		return res, err
+	}
+	base := int(st.Manifest().Base)
+
+	switch {
+	case pBase > base:
+		// The peer folded past us: its manifest generation advanced
+		// with its baseline, and diffs below pBase no longer exist
+		// there. Patching cannot converge — adopt the span wholesale.
+		if err := r.resync(pBase, pLen, &res); err != nil {
+			return res, err
+		}
+		res.Outcome = OutcomeHealed
+		res.Resynced = true
+		return res, nil
+	case pBase < base:
+		// We folded past the peer; its reconciler resyncs from us.
+		res.Outcome = OutcomePeerBehind
+		return res, nil
+	}
+
+	// Refill quarantine holes the peer can cover. Holes below the
+	// baseline are stale forensics from before a fold: drop them so
+	// they stop reading as open damage.
+	holes, err := st.QuarantinedIDs()
+	if err != nil {
+		return res, err
+	}
+	for _, ck := range holes {
+		switch {
+		case ck < base:
+			if err := st.ClearQuarantine(ck); err != nil {
+				return res, err
+			}
+			r.cfg.Logf("antientropy %s: dropped stale quarantine of %d (below baseline %d)",
+				r.cfg.Lineage, ck, base)
+		case ck < pLen:
+			if err := r.heal(ck, 0, false, false, &res); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Pull the missing suffix: every checkpoint the peer stores past
+	// our length. ReinstallDiff at the tail extends the stored span.
+	if n, err = st.Len(); err != nil {
+		return res, err
+	}
+	for ck := n; ck < pLen; ck++ {
+		if err := r.heal(ck, 0, false, false, &res); err != nil {
+			return res, err
+		}
+	}
+	if n, err = st.Len(); err != nil {
+		return res, err
+	}
+
+	// Compare the common span against the summary we already hold.
+	// After the suffix pull the common span IS the peer's whole span
+	// (or all of it that we overlap), so a clean round needs no
+	// second digest request.
+	hi := min(n, pLen)
+	if hi > base {
+		match, err := r.matchesSummary(base, hi, pd)
+		if err != nil {
+			return res, err
+		}
+		if !match {
+			if err := r.bisect(base, hi, &res); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	switch {
+	case res.Healed > 0:
+		res.Outcome = OutcomeHealed
+	case n > pLen:
+		res.Outcome = OutcomePeerBehind
+	default:
+		res.Outcome = OutcomeClean
+	}
+	return res, nil
+}
+
+// selfHeal scans the local stored span for rot and heals whatever it
+// finds from the peer — the fallback path used when the peer cannot
+// produce digests. Bounded: each iteration either heals the first
+// corrupt diff (shrinking the damage) or returns its HealError.
+func (r *Reconciler) selfHeal(res *Result) error {
+	for {
+		n, err := r.cfg.Store.Len()
+		if err != nil {
+			return err
+		}
+		base := int(r.cfg.Store.Manifest().Base)
+		if n <= base {
+			return nil
+		}
+		_, err = r.cfg.Store.SpanChecksums(base, n)
+		if err == nil {
+			return nil
+		}
+		var ce *checkpoint.CorruptError
+		if !errors.As(err, &ce) {
+			return err
+		}
+		if err := r.heal(ce.Ckpt, 0, false, true, res); err != nil {
+			return err
+		}
+	}
+}
+
+// matchesSummary compares the local digest of [lo, hi) against a
+// peer summary already in hand. Local rot inside the span reads as a
+// mismatch for the bisection to localize.
+func (r *Reconciler) matchesSummary(lo, hi int, pd wire.DigestResp) (bool, error) {
+	if int(pd.SpanLo) != lo || int(pd.SpanHi) != hi {
+		// The peer's digest covers a different span than the common
+		// one we computed — its store moved between the digest and
+		// our Len snapshot.
+		if int(pd.SpanLo) > lo || int(pd.SpanHi) < hi {
+			return false, errRaced
+		}
+		// Peer covers MORE than the common span (we are shorter and
+		// ahead races are already handled); digest spans must line up
+		// exactly to compare, so fetch a clipped one.
+		return r.spanMatches(lo, hi)
+	}
+	local, err := BuildResp(r.cfg.Store, wire.DigestReq{Lo: uint32(lo), Hi: uint32(hi)})
+	if err != nil {
+		if checkpoint.IsCorrupt(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	if int(local.SpanLo) != lo || int(local.SpanHi) != hi {
+		return false, errRaced
+	}
+	return local.CRC == pd.CRC && local.Root == pd.Root, nil
+}
+
+// spanMatches digests [lo, hi) on both sides and compares summaries.
+func (r *Reconciler) spanMatches(lo, hi int) (bool, error) {
+	pd, err := r.cfg.Peer.Digest(r.cfg.Lineage, wire.DigestReq{Lo: uint32(lo), Hi: uint32(hi)})
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return false, fmt.Errorf("%w: %v", errPeerDamaged, err)
+		}
+		return false, err
+	}
+	if int(pd.SpanLo) != lo || int(pd.SpanHi) != hi {
+		return false, errRaced
+	}
+	return r.matchesSummary(lo, hi, pd)
+}
+
+// bisect recursively halves a mismatching span down to DetailWindow,
+// then repairs it per-diff. Only mismatching halves recurse, so a
+// single rotten diff in a long lineage costs O(log n) summary
+// digests plus one detail request.
+func (r *Reconciler) bisect(lo, hi int, res *Result) error {
+	if hi-lo <= r.cfg.DetailWindow {
+		return r.repairSpan(lo, hi, res)
+	}
+	mid := lo + (hi-lo)/2
+	for _, half := range [2][2]int{{lo, mid}, {mid, hi}} {
+		match, err := r.spanMatches(half[0], half[1])
+		if err != nil {
+			return err
+		}
+		if !match {
+			if err := r.bisect(half[0], half[1], res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// repairSpan fetches the peer's per-diff detail for a narrow span and
+// walks it against local per-diff checksums. Each local diff is
+// checksummed individually so one rotten file cannot mask damage
+// behind it. A local verification failure is rot to heal; a local
+// diff that verifies but disagrees with a peer diff that also
+// verified is divergence, and divergence fail-stops.
+func (r *Reconciler) repairSpan(lo, hi int, res *Result) error {
+	pd, err := r.cfg.Peer.Digest(r.cfg.Lineage,
+		wire.DigestReq{Lo: uint32(lo), Hi: uint32(hi), Detail: true})
+	if err != nil {
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			return fmt.Errorf("%w: %v", errPeerDamaged, err)
+		}
+		return err
+	}
+	if int(pd.SpanLo) != lo || int(pd.SpanHi) != hi || len(pd.Detail) != hi-lo {
+		return errRaced
+	}
+	for ck := lo; ck < hi; ck++ {
+		want := pd.Detail[ck-lo]
+		crcs, err := r.cfg.Store.SpanChecksums(ck, ck+1)
+		switch {
+		case err == nil && crcs[0] == want:
+			continue
+		case err == nil:
+			return &DivergenceError{Lineage: r.cfg.Lineage, Ckpt: ck}
+		case checkpoint.IsCorrupt(err):
+			if err := r.heal(ck, want, true, true, res); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
+	}
+	return nil
+}
+
+// heal pulls checkpoint ck from the peer, verifies it (against
+// wantCRC when haveCRC, plus a structural decode and id cross-check),
+// and installs it. Verification happens BEFORE the local quarantine:
+// a failed pull must not leave a self-inflicted hole. When the local
+// file exists and is rotten (quarantine=true) it is moved aside
+// first — the rotten bytes survive as forensic evidence and a crash
+// mid-heal leaves a typed hole, never a half-written diff
+// masquerading as healthy.
+func (r *Reconciler) heal(ck int, wantCRC uint32, haveCRC, quarantine bool, res *Result) error {
+	fail := func(cause error) error {
+		return &HealError{Lineage: r.cfg.Lineage, Ckpt: ck, Cause: cause}
+	}
+	b, err := r.cfg.Peer.Pull(r.cfg.Lineage, ck)
+	if err != nil {
+		return fail(err)
+	}
+	if haveCRC && checkpoint.DiffChecksum(b) != wantCRC {
+		return fail(fmt.Errorf("pulled bytes fail the peer's own checksum"))
+	}
+	d, err := checkpoint.Decode(bytes.NewReader(b))
+	if err != nil {
+		return fail(fmt.Errorf("pulled bytes do not decode: %w", err))
+	}
+	if int(d.CkptID) != ck {
+		return fail(fmt.Errorf("pull returned diff %d", d.CkptID))
+	}
+	err = r.locked(func() error {
+		if quarantine {
+			if err := r.cfg.Store.QuarantineDiff(ck); err != nil {
+				return err
+			}
+		}
+		if err := r.cfg.Store.ReinstallDiff(d); err != nil {
+			return err
+		}
+		return r.cfg.Store.ClearQuarantine(ck)
+	})
+	if err != nil {
+		return fail(err)
+	}
+	res.Healed++
+	res.BytesPulled += int64(len(b))
+	r.cfg.Logf("antientropy %s: healed checkpoint %d from %s (%d bytes)",
+		r.cfg.Lineage, ck, r.cfg.Peer.Addr(), len(b))
+	return nil
+}
+
+// resync adopts the peer's authoritative span [pBase, pLen)
+// wholesale: pull and verify every diff, then one InstallSpan
+// transaction. The fold-aware path — the peer's compaction rewrote
+// history below pBase, so patching individual diffs against it could
+// never converge.
+func (r *Reconciler) resync(pBase, pLen int, res *Result) error {
+	fail := func(ck int, cause error) error {
+		return &HealError{Lineage: r.cfg.Lineage, Ckpt: ck, Cause: cause}
+	}
+	if pLen <= pBase {
+		return fail(pBase, fmt.Errorf("peer advertises empty folded span [%d,%d)", pBase, pLen))
+	}
+	diffs := make([]*checkpoint.Diff, 0, pLen-pBase)
+	var pulled int64
+	for ck := pBase; ck < pLen; ck++ {
+		b, err := r.cfg.Peer.Pull(r.cfg.Lineage, ck)
+		if err != nil {
+			return fail(ck, err)
+		}
+		d, err := checkpoint.Decode(bytes.NewReader(b))
+		if err != nil {
+			return fail(ck, fmt.Errorf("pulled bytes do not decode: %w", err))
+		}
+		if int(d.CkptID) != ck {
+			return fail(ck, fmt.Errorf("pull returned diff %d", d.CkptID))
+		}
+		diffs = append(diffs, d)
+		pulled += int64(len(b))
+	}
+	if err := r.locked(func() error {
+		return r.cfg.Store.InstallSpan(pBase, diffs)
+	}); err != nil {
+		return fail(pBase, err)
+	}
+	res.Healed += len(diffs)
+	res.BytesPulled += pulled
+	r.cfg.Logf("antientropy %s: resynced folded span [%d,%d) from %s (%d bytes)",
+		r.cfg.Lineage, pBase, pLen, r.cfg.Peer.Addr(), pulled)
+	return nil
+}
+
+// locked runs a store mutation under the owner's serialization hook.
+func (r *Reconciler) locked(fn func() error) error {
+	if r.cfg.Locked != nil {
+		return r.cfg.Locked(fn)
+	}
+	return fn()
+}
+
+// Backoff is the jittered exponential retry delay of the reconciler
+// workers: unreachable peers are re-probed at doubling intervals with
+// half-interval jitter so a cluster rejoining after a partition does
+// not thundering-herd its replicas. Seeded explicitly — reconciler
+// schedules stay deterministic under the chaos suite.
+type Backoff struct {
+	min, max time.Duration
+	cur      time.Duration
+	rng      *rand.Rand
+}
+
+// NewBackoff builds a backoff ranging over [min, max].
+func NewBackoff(minD, maxD time.Duration, seed int64) *Backoff {
+	if minD <= 0 {
+		minD = 50 * time.Millisecond
+	}
+	if maxD < minD {
+		maxD = minD
+	}
+	return &Backoff{min: minD, max: maxD, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next delay: the doubled current interval with up
+// to 50% subtracted jitter.
+func (b *Backoff) Next() time.Duration {
+	if b.cur <= 0 {
+		b.cur = b.min
+	} else {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	jitter := time.Duration(b.rng.Int63n(int64(b.cur/2) + 1))
+	return b.cur - jitter
+}
+
+// Reset returns the backoff to its minimum after a success.
+func (b *Backoff) Reset() { b.cur = 0 }

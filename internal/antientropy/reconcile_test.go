@@ -1,0 +1,525 @@
+package antientropy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
+)
+
+// newStore opens a FileStore in a fresh test directory.
+func newStore(t *testing.T) *checkpoint.FileStore {
+	t.Helper()
+	st, err := checkpoint.NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// appendChain appends n full diffs with per-id deterministic content.
+// tagOf lets a test plant divergent content at chosen ids.
+func appendChain(t *testing.T, st *checkpoint.FileStore, n int, tagOf func(ck int) byte) {
+	t.Helper()
+	start, err := st.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ck := start; ck < n; ck++ {
+		d := &checkpoint.Diff{Method: checkpoint.MethodFull, CkptID: uint32(ck),
+			DataLen: 64, ChunkSize: 16, Data: bytes.Repeat([]byte{tagOf(ck)}, 64)}
+		if err := st.Append(d); err != nil {
+			t.Fatalf("append %d: %v", ck, err)
+		}
+	}
+}
+
+func defaultTag(ck int) byte { return byte(0x10 + ck) }
+
+// rot flips one payload byte of checkpoint ck's stored file.
+func rot(t *testing.T, st *checkpoint.FileStore, ck int) {
+	t.Helper()
+	path := filepath.Join(st.Dir(), fmt.Sprintf("ckpt-%06d.gckp", ck))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// storePeer adapts a local FileStore into a Peer, mapping store
+// failures onto RemoteError exactly as the server's StatusErr path
+// would — the reconciler under test cannot tell it from a socket.
+type storePeer struct {
+	st *checkpoint.FileStore
+}
+
+func (p *storePeer) Addr() string { return "test-peer" }
+
+func (p *storePeer) Digest(lineage string, q wire.DigestReq) (wire.DigestResp, error) {
+	resp, err := BuildResp(p.st, q)
+	if err != nil {
+		return wire.DigestResp{}, &wire.RemoteError{Msg: err.Error()}
+	}
+	return resp, nil
+}
+
+func (p *storePeer) Pull(lineage string, ck int) ([]byte, error) {
+	b, err := p.st.DiffBytes(ck)
+	if err != nil {
+		return nil, &wire.RemoteError{Msg: err.Error()}
+	}
+	return b, nil
+}
+
+func (p *storePeer) Close() error { return nil }
+
+func newReconciler(t *testing.T, local, peer *checkpoint.FileStore, cfg Config) *Reconciler {
+	t.Helper()
+	cfg.Lineage = "lin"
+	cfg.Store = local
+	cfg.Peer = &storePeer{st: peer}
+	cfg.Logf = t.Logf
+	r, err := NewReconciler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// verifyConverged asserts both stores hold byte-identical content
+// over the same span.
+func verifyConverged(t *testing.T, a, b *checkpoint.FileStore) {
+	t.Helper()
+	na, err := a.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na != nb || a.Base() != b.Base() {
+		t.Fatalf("spans differ: [%d,%d) vs [%d,%d)", a.Base(), na, b.Base(), nb)
+	}
+	for ck := a.Base(); ck < na; ck++ {
+		ba, err := a.DiffBytes(ck)
+		if err != nil {
+			t.Fatalf("local diff %d: %v", ck, err)
+		}
+		bb, err := b.DiffBytes(ck)
+		if err != nil {
+			t.Fatalf("peer diff %d: %v", ck, err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("diff %d content differs", ck)
+		}
+	}
+}
+
+func TestSpanRootProperties(t *testing.T) {
+	crcs := []uint32{0x11, 0x22, 0x33, 0x44, 0x55}
+	root := SpanRoot(3, crcs)
+	if root == ([16]byte{}) {
+		t.Fatal("non-empty span digested to zero root")
+	}
+	if SpanRoot(3, crcs) != root {
+		t.Fatal("root not deterministic")
+	}
+	if SpanRoot(4, crcs) == root {
+		t.Fatal("shifted span collides with original")
+	}
+	mutated := append([]uint32(nil), crcs...)
+	mutated[2] ^= 1
+	if SpanRoot(3, mutated) == root {
+		t.Fatal("mutated checksum did not change root")
+	}
+	if SpanRoot(0, nil) != ([16]byte{}) {
+		t.Fatal("empty span must digest to the zero root")
+	}
+	if FoldCRCs(crcs) == FoldCRCs(mutated) {
+		t.Fatal("fold CRC ignored a mutation")
+	}
+}
+
+func TestBuildRespClipping(t *testing.T) {
+	st := newStore(t)
+	appendChain(t, st, 6, defaultTag)
+
+	whole, err := BuildResp(st, wire.DigestReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Base != 0 || whole.Len != 6 || whole.SpanLo != 0 || whole.SpanHi != 6 {
+		t.Fatalf("whole-span digest: %+v", whole)
+	}
+	part, err := BuildResp(st, wire.DigestReq{Lo: 2, Hi: 99, Detail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.SpanLo != 2 || part.SpanHi != 6 || len(part.Detail) != 4 {
+		t.Fatalf("clipped digest: %+v", part)
+	}
+	crcs, err := st.SpanChecksums(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.CRC != FoldCRCs(crcs) || part.Root != SpanRoot(2, crcs) {
+		t.Fatal("digest does not match direct span checksums")
+	}
+	outside, err := BuildResp(st, wire.DigestReq{Lo: 40, Hi: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outside.SpanLo != outside.SpanHi {
+		t.Fatalf("out-of-span request must collapse empty: %+v", outside)
+	}
+}
+
+func TestRoundCleanReplicas(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 8, defaultTag)
+	appendChain(t, peer, 8, defaultTag)
+	r := newReconciler(t, local, peer, Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeClean || res.Healed != 0 || res.BytesPulled != 0 {
+		t.Fatalf("clean replicas: %+v", res)
+	}
+}
+
+func TestRoundEmptyReplicas(t *testing.T) {
+	r := newReconciler(t, newStore(t), newStore(t), Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeClean {
+		t.Fatalf("empty replicas: %+v", res)
+	}
+}
+
+func TestRoundHealsLocalRot(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 8, defaultTag)
+	appendChain(t, peer, 8, defaultTag)
+	rot(t, local, 3)
+
+	r := newReconciler(t, local, peer, Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeHealed || res.Healed != 1 || res.BytesPulled == 0 {
+		t.Fatalf("rot heal: %+v", res)
+	}
+	verifyConverged(t, local, peer)
+	holes, err := local.QuarantinedIDs()
+	if err != nil || len(holes) != 0 {
+		t.Fatalf("quarantine not cleared after heal: %v %v", holes, err)
+	}
+	if res, err := r.Round(); err != nil || res.Outcome != OutcomeClean {
+		t.Fatalf("second round after heal: %+v %v", res, err)
+	}
+}
+
+func TestRoundRefillsQuarantineHole(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 8, defaultTag)
+	appendChain(t, peer, 8, defaultTag)
+	if err := local.QuarantineDiff(4); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := local.Len(); err != nil || n != 4 {
+		t.Fatalf("quarantine should shrink length to the hole: n=%d err=%v", n, err)
+	}
+
+	r := newReconciler(t, local, peer, Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeHealed || res.Healed != 1 {
+		t.Fatalf("hole refill: %+v", res)
+	}
+	verifyConverged(t, local, peer)
+}
+
+func TestRoundPullsMissingSuffix(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 3, defaultTag)
+	appendChain(t, peer, 9, defaultTag)
+
+	r := newReconciler(t, local, peer, Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeHealed || res.Healed != 6 {
+		t.Fatalf("suffix pull: %+v", res)
+	}
+	verifyConverged(t, local, peer)
+}
+
+func TestRoundResyncsAfterPeerFold(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 6, defaultTag)
+	appendChain(t, peer, 6, defaultTag)
+	// Fold the peer: adopt [2, 6) as its authoritative span. Its
+	// manifest generation and baseline advance past the local ones.
+	diffs := make([]*checkpoint.Diff, 0, 4)
+	for ck := 2; ck < 6; ck++ {
+		b, err := peer.DiffBytes(ck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := checkpoint.Decode(bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffs = append(diffs, d)
+	}
+	if err := peer.InstallSpan(2, diffs); err != nil {
+		t.Fatal(err)
+	}
+
+	r := newReconciler(t, local, peer, Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeHealed || !res.Resynced {
+		t.Fatalf("fold resync: %+v", res)
+	}
+	if local.Base() != 2 {
+		t.Fatalf("local baseline after resync: %d", local.Base())
+	}
+	verifyConverged(t, local, peer)
+}
+
+func TestRoundPeerBehind(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 9, defaultTag)
+	appendChain(t, peer, 4, defaultTag)
+
+	r := newReconciler(t, local, peer, Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomePeerBehind || res.Healed != 0 {
+		t.Fatalf("peer behind: %+v", res)
+	}
+	if n, _ := local.Len(); n != 9 {
+		t.Fatalf("local span mutated: %d", n)
+	}
+}
+
+func TestRoundPeerDamagedLocalHealthy(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 8, defaultTag)
+	appendChain(t, peer, 8, defaultTag)
+	rot(t, peer, 5)
+
+	r := newReconciler(t, local, peer, Config{})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomePeerDamaged || res.Healed != 0 {
+		t.Fatalf("damaged peer: %+v", res)
+	}
+	// Pull-only repair: the local replica must be untouched.
+	if err := local.VerifySpan(); err != nil {
+		t.Fatalf("local span mutated: %v", err)
+	}
+}
+
+// TestRoundBothRotten: the same diff rots on BOTH replicas. Healing
+// must fail typed (the pulled replacement is rotten too), never
+// ping-pong, and repeated failures must fail-stop the lineage with a
+// quarantine error.
+func TestRoundBothRotten(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 8, defaultTag)
+	appendChain(t, peer, 8, defaultTag)
+	rot(t, local, 3)
+	rot(t, peer, 3)
+
+	r := newReconciler(t, local, peer, Config{MaxHealFailures: 2})
+	if _, err := r.Round(); !errors.Is(err, ErrHealFailed) {
+		t.Fatalf("first failing round: %v", err)
+	}
+	if r.Quarantined() != nil {
+		t.Fatal("quarantined before the failure budget")
+	}
+	_, err := r.Round()
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("second failing round must quarantine: %v", err)
+	}
+	var qe *QuarantineError
+	if !errors.As(err, &qe) || qe.Lineage != "lin" {
+		t.Fatalf("quarantine error shape: %v", err)
+	}
+	// Fail-stopped: further rounds return the same typed error
+	// without touching anything.
+	if _, err := r.Round(); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("round after quarantine: %v", err)
+	}
+	if r.Quarantined() == nil {
+		t.Fatal("Quarantined() must report the fail-stop")
+	}
+	// The local rotten file was never replaced with unverified bytes.
+	b, err := os.ReadFile(filepath.Join(local.Dir(), "ckpt-000003.gckp"))
+	if err != nil {
+		t.Fatalf("rotten diff must remain on disk: %v", err)
+	}
+	if len(b) == 0 {
+		t.Fatal("rotten diff truncated")
+	}
+}
+
+// TestRoundDivergence: both replicas hold verifying content at the
+// same id with different bytes. No winner can be picked — the round
+// must fail-stop immediately with ErrDiverged/ErrQuarantined.
+func TestRoundDivergence(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 8, defaultTag)
+	appendChain(t, peer, 8, func(ck int) byte {
+		if ck == 5 {
+			return 0xEE
+		}
+		return defaultTag(ck)
+	})
+
+	r := newReconciler(t, local, peer, Config{})
+	_, err := r.Round()
+	if !errors.Is(err, ErrDiverged) || !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("divergence must quarantine immediately: %v", err)
+	}
+	var de *DivergenceError
+	if !errors.As(err, &de) || de.Ckpt != 5 {
+		t.Fatalf("divergence error shape: %v", err)
+	}
+	// Neither replica's content moved.
+	if err := local.VerifySpan(); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.VerifySpan(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundHealFailureResets: a failing round followed by a healthy
+// one must reset the fail-stop budget.
+func TestRoundHealFailureResets(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 6, defaultTag)
+	appendChain(t, peer, 6, defaultTag)
+	rot(t, local, 2)
+	rot(t, peer, 2)
+
+	r := newReconciler(t, local, peer, Config{MaxHealFailures: 2})
+	if _, err := r.Round(); !errors.Is(err, ErrHealFailed) {
+		t.Fatalf("failing round: %v", err)
+	}
+	// The peer recovers (its own reconciler healed it, here simulated
+	// by rewriting the healthy bytes).
+	d := &checkpoint.Diff{Method: checkpoint.MethodFull, CkptID: 2,
+		DataLen: 64, ChunkSize: 16, Data: bytes.Repeat([]byte{defaultTag(2)}, 64)}
+	if err := peer.ReinstallDiff(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Round()
+	if err != nil || res.Outcome != OutcomeHealed {
+		t.Fatalf("recovery round: %+v %v", res, err)
+	}
+	verifyConverged(t, local, peer)
+	// Budget reset: a later single failure must not quarantine.
+	rot(t, local, 4)
+	rot(t, peer, 4)
+	if _, err := r.Round(); !errors.Is(err, ErrHealFailed) {
+		t.Fatalf("post-reset failing round: %v", err)
+	}
+	if r.Quarantined() != nil {
+		t.Fatal("failure budget did not reset after a clean round")
+	}
+}
+
+// TestRoundBisectionNarrow: a single rotten diff in a longer lineage
+// must be found through bisection with a small detail window.
+func TestRoundBisection(t *testing.T) {
+	local, peer := newStore(t), newStore(t)
+	appendChain(t, local, 40, defaultTag)
+	appendChain(t, peer, 40, defaultTag)
+	rot(t, local, 29)
+
+	r := newReconciler(t, local, peer, Config{DetailWindow: 4})
+	res, err := r.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome != OutcomeHealed || res.Healed != 1 {
+		t.Fatalf("bisected heal: %+v", res)
+	}
+	verifyConverged(t, local, peer)
+}
+
+func TestRoundUnsupportedPeer(t *testing.T) {
+	local := newStore(t)
+	appendChain(t, local, 4, defaultTag)
+	r, err := NewReconciler(Config{Lineage: "lin", Store: local, Peer: unsupportedPeer{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Round()
+	if err != nil || res.Outcome != OutcomeUnsupported {
+		t.Fatalf("v5 peer must degrade to a no-op: %+v %v", res, err)
+	}
+}
+
+type unsupportedPeer struct{}
+
+func (unsupportedPeer) Addr() string { return "old-peer" }
+func (unsupportedPeer) Digest(string, wire.DigestReq) (wire.DigestResp, error) {
+	return wire.DigestResp{}, &wire.RemoteError{Msg: "unsupported", Unsupported: true}
+}
+func (unsupportedPeer) Pull(string, int) ([]byte, error) {
+	return nil, &wire.RemoteError{Msg: "unsupported", Unsupported: true}
+}
+func (unsupportedPeer) Close() error { return nil }
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	a := NewBackoff(10*time.Millisecond, 160*time.Millisecond, 42)
+	b := NewBackoff(10*time.Millisecond, 160*time.Millisecond, 42)
+	prevCeil := time.Duration(0)
+	for i := 0; i < 10; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("same seed diverged at step %d: %v vs %v", i, da, db)
+		}
+		if da <= 0 || da > 160*time.Millisecond {
+			t.Fatalf("step %d delay %v outside bounds", i, da)
+		}
+		if da > prevCeil*2 && prevCeil > 0 && da > 160*time.Millisecond {
+			t.Fatalf("delay grew faster than doubling: %v after %v", da, prevCeil)
+		}
+		prevCeil = da
+	}
+	a.Reset()
+	if d := a.Next(); d > 10*time.Millisecond {
+		t.Fatalf("reset did not return to the minimum: %v", d)
+	}
+}

@@ -137,6 +137,9 @@ type Stats struct {
 	// Resyncs counts span re-pulls after a fold barrier; Reconnects
 	// counts sessions ended by any error or barrier.
 	Resyncs, Reconnects uint64
+	// Healed counts mirror diffs repaired by Heal — rot detected on
+	// the standby's own disk and re-pulled from the primary.
+	Healed uint64
 	// Promoted reports whether Promote has been called.
 	Promoted bool
 }
@@ -218,6 +221,7 @@ type Follower struct {
 	polls      atomic.Uint64 //ckptlint:atomic
 	resyncs    atomic.Uint64 //ckptlint:atomic
 	reconnects atomic.Uint64 //ckptlint:atomic
+	healed     atomic.Uint64 //ckptlint:atomic
 }
 
 // New opens (or reopens) the mirror directory and builds a Follower.
@@ -746,6 +750,7 @@ func (f *Follower) Stats() Stats {
 		Polls:      f.polls.Load(),
 		Resyncs:    f.resyncs.Load(),
 		Reconnects: f.reconnects.Load(),
+		Healed:     f.healed.Load(),
 		Promoted:   promoted,
 	}
 }
@@ -768,17 +773,52 @@ func (f *Follower) severLocked() {
 	f.stopOnce.Do(func() { close(f.stop) })
 }
 
+// ErrMirrorCorrupt matches (via errors.Is) a *MirrorCorruptError:
+// Promote found mirror bytes whose integrity footer no longer
+// verifies and refused to seal them as authoritative state.
+var ErrMirrorCorrupt = errors.New("follower: mirror failed verification")
+
+// MirrorCorruptError is Promote's typed refusal. A refused Promote
+// leaves the follower running: the standby may Heal the mirror from
+// the primary (if it is still reachable) and retry.
+type MirrorCorruptError struct {
+	Lineage, Dir string
+	Err          error
+}
+
+func (e *MirrorCorruptError) Error() string {
+	return fmt.Sprintf("follower: lineage %q mirror %s failed verification: %v",
+		e.Lineage, e.Dir, e.Err)
+}
+
+// Unwrap exposes the store's *checkpoint.CorruptError.
+func (e *MirrorCorruptError) Unwrap() error { return e.Err }
+
+// Is matches a MirrorCorruptError against ErrMirrorCorrupt.
+func (e *MirrorCorruptError) Is(target error) bool { return target == ErrMirrorCorrupt }
+
 // Promote ends replication and returns the serving-ready replica:
 // the state buffer is already materialized at the last applied
 // checkpoint, so this performs ZERO diff applies — promotion cost is
 // O(last diff), paid incrementally before the failure. The returned
 // resources stay owned by the Follower; call Close when the promoted
 // state has been handed off (and before reopening Dir elsewhere).
+//
+// Promote re-verifies every mirrored diff against its integrity
+// footer before sealing. Bit rot accumulated on the standby's disk
+// while it idled must surface here as a typed *MirrorCorruptError
+// refusal — a failover must never trade a dead primary for a replica
+// serving silently corrupt state. A refused Promote does NOT end
+// replication: the follower keeps running so the caller can Heal and
+// retry.
 func (f *Follower) Promote() (*Promotion, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
 		return nil, errors.New("follower: promote after close")
+	}
+	if err := f.store.VerifySpan(); err != nil {
+		return nil, &MirrorCorruptError{Lineage: f.opts.Lineage, Dir: f.opts.Dir, Err: err}
 	}
 	f.promoted = true
 	f.severLocked()
@@ -807,6 +847,137 @@ func (f *Follower) Close() error {
 	f.mu.Unlock()
 	f.pool.Close()
 	return store.Close()
+}
+
+// Heal runs one anti-entropy pass of the standby against its primary:
+// scan the mirrored span for on-disk rot, and repair each damaged
+// diff by re-pulling its canonical bytes over a dedicated repair
+// connection (the replication session owns the pooled one). The
+// rotten file is quarantined before the verified replacement lands,
+// so the damaged bytes survive as forensics and a crash mid-heal
+// leaves a typed hole, never a half-written diff posing as healthy.
+//
+// The in-memory replica needs no rebuild afterwards: every mirrored
+// diff was decode-verified when it arrived, so rot is strictly an
+// on-disk phenomenon and the live record/state stay correct
+// throughout. Missing suffixes and fold barriers are likewise NOT
+// Heal's job — the replication stream converges those. Heal covers
+// exactly the damage the stream cannot see: bytes that rotted after
+// they were applied.
+//
+// Returns the number of diffs repaired. A clean pass costs one
+// checksum sweep of the mirror and no network traffic.
+func (f *Follower) Heal() (healed int, err error) {
+	var nc net.Conn
+	var handle uint32
+	defer func() {
+		if nc != nil {
+			nc.Close()
+		}
+	}()
+	for {
+		f.mu.Lock()
+		st, base, next := f.store, f.base, f.next
+		stopped := f.closed || f.promoted
+		f.mu.Unlock()
+		if stopped || next <= base {
+			return healed, nil
+		}
+		_, serr := st.SpanChecksums(base, next)
+		if serr == nil {
+			return healed, nil
+		}
+		var ce *checkpoint.CorruptError
+		if !errors.As(serr, &ce) {
+			return healed, serr
+		}
+		if nc == nil {
+			if nc, handle, err = f.healDial(); err != nil {
+				return healed, fmt.Errorf("follower: healing checkpoint %d: %w", ce.Ckpt, err)
+			}
+		}
+		d, derr := f.healPull(nc, handle, ce.Ckpt)
+		if derr != nil {
+			return healed, fmt.Errorf("follower: healing checkpoint %d: %w", ce.Ckpt, derr)
+		}
+		f.mu.Lock()
+		if f.closed || f.promoted {
+			f.mu.Unlock()
+			return healed, nil
+		}
+		ierr := func() error {
+			if err := f.store.QuarantineDiff(ce.Ckpt); err != nil {
+				return err
+			}
+			if err := f.store.ReinstallDiff(d); err != nil {
+				return err
+			}
+			return f.store.ClearQuarantine(ce.Ckpt)
+		}()
+		f.mu.Unlock()
+		if ierr != nil {
+			return healed, fmt.Errorf("follower: healing checkpoint %d: %w", ce.Ckpt, ierr)
+		}
+		healed++
+		f.healed.Add(1)
+		f.opts.Logf("follower %s: healed checkpoint %d from %s", f.opts.Lineage, ce.Ckpt, f.opts.Addr)
+	}
+}
+
+// healDial opens the throwaway repair connection: handshake plus one
+// TOpen for the lineage handle.
+func (f *Follower) healDial() (net.Conn, uint32, error) {
+	nc, err := f.opts.Dialer(f.opts.Addr, f.opts.Timeout)
+	if err != nil {
+		return nil, 0, err
+	}
+	nc.SetDeadline(time.Now().Add(f.opts.Timeout))
+	if _, err := wire.Handshake(nc); err != nil {
+		nc.Close()
+		return nil, 0, err
+	}
+	resp, err := healRoundTrip(nc, f.opts.Timeout,
+		&wire.Frame{Type: wire.TOpen, Payload: []byte(f.opts.Lineage)})
+	if err != nil {
+		nc.Close()
+		return nil, 0, err
+	}
+	return nc, resp.Lineage, nil
+}
+
+// healPull fetches and structurally verifies one diff on the repair
+// connection.
+func (f *Follower) healPull(nc net.Conn, handle uint32, k int) (*checkpoint.Diff, error) {
+	resp, err := healRoundTrip(nc, f.opts.Timeout,
+		&wire.Frame{Type: wire.TPull, Lineage: handle, Ckpt: uint32(k)})
+	if err != nil {
+		return nil, err
+	}
+	d, err := checkpoint.Decode(bytes.NewReader(resp.Payload))
+	if err != nil {
+		return nil, fmt.Errorf("pulled bytes do not decode: %w", err)
+	}
+	if int(d.CkptID) != k {
+		return nil, fmt.Errorf("pull returned diff %d", d.CkptID)
+	}
+	return d, nil
+}
+
+// healRoundTrip writes one request and reads one response on the
+// repair connection under a fresh deadline.
+func healRoundTrip(nc net.Conn, timeout time.Duration, req *wire.Frame) (*wire.Frame, error) {
+	nc.SetDeadline(time.Now().Add(timeout))
+	if err := wire.WriteFrame(nc, req); err != nil {
+		return nil, err
+	}
+	resp, err := wire.ReadFrame(nc, wire.DefaultMaxPayload)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 // Lineages fetches the primary's lineage directory with one TList

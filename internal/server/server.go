@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/gpuckpt/gpuckpt/internal/antientropy"
 	"github.com/gpuckpt/gpuckpt/internal/blockstore"
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
 	"github.com/gpuckpt/gpuckpt/internal/lifecycle"
@@ -85,6 +86,19 @@ type Config struct {
 	// is min(advertised, client's); pinning 3 exercises the client's
 	// v3 request/response fallback against a current build.
 	Protocol uint8
+	// Peers lists replica addresses (host:port) this server runs
+	// anti-entropy reconciliation against: every interval, each open
+	// lineage's digest is compared with each peer's and local damage
+	// is healed by pulling verified diffs (wire v6 TDigest). Empty
+	// disables the reconciler.
+	Peers []string
+	// AntiEntropyInterval is the reconciliation cadence per peer
+	// (default 5s). An unreachable peer is re-probed on a jittered
+	// exponential backoff instead and flagged degraded in STATS.
+	AntiEntropyInterval time.Duration
+	// PeerDialer overrides the reconciler's transport dial (default
+	// TCP); the chaos suite injects fault-wrapped connections here.
+	PeerDialer antientropy.Dialer
 	// Logf sinks server logs (default log.Printf; use a no-op in
 	// tests).
 	Logf func(format string, args ...any)
@@ -120,6 +134,9 @@ func (c *Config) fill() {
 	}
 	if c.Protocol == 0 {
 		c.Protocol = wire.Version
+	}
+	if c.AntiEntropyInterval <= 0 {
+		c.AntiEntropyInterval = 5 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -194,6 +211,14 @@ type Server struct {
 	tailFrames     atomic.Uint64 //ckptlint:atomic
 	subSheds       atomic.Uint64 //ckptlint:atomic
 	foldBarriers   atomic.Uint64 //ckptlint:atomic
+
+	// Anti-entropy counters (v6 stats trailer). degraded is a gauge:
+	// the number of peers currently unreachable.
+	digestRounds    atomic.Uint64 //ckptlint:atomic
+	spansHealed     atomic.Uint64 //ckptlint:atomic
+	bytesRefetched  atomic.Uint64 //ckptlint:atomic
+	healQuarantines atomic.Uint64 //ckptlint:atomic
+	degraded        atomic.Uint64 //ckptlint:atomic
 
 	// hub fans appended diffs out to v5 subscribers.
 	hub *hub
@@ -365,11 +390,21 @@ func (s *Server) TailFrames() uint64      { return s.tailFrames.Load() }
 func (s *Server) SubscriberSheds() uint64 { return s.subSheds.Load() }
 func (s *Server) FoldBarriers() uint64    { return s.foldBarriers.Load() }
 
-// Stats returns the current counters.
+// Stats returns the current counters. The Quarantined gauge counts
+// diff files sitting in quarantine across every open lineage — the
+// operator's rot alarm; it re-lists the store directories on every
+// call, so a STATS round trip always reports current holes, not a
+// cached impression of health.
 func (s *Server) Stats() wire.Stats {
 	s.mu.Lock()
 	nLineages := len(s.lineages)
 	s.mu.Unlock()
+	var quarantined uint64
+	for _, ln := range s.snapshot() {
+		if names, err := ln.store.Quarantined(); err == nil {
+			quarantined += uint64(len(names))
+		}
+	}
 	bst := s.blocks.Stats()
 	return wire.Stats{
 		Requests:        s.requests.Load(),
@@ -387,6 +422,12 @@ func (s *Server) Stats() wire.Stats {
 		BlockBytesSaved: bst.SavedBytes,
 		BlockGCBlocks:   bst.GCBlocks,
 		BlockGCBytes:    bst.GCBytes,
+		Quarantined:     quarantined,
+		DigestRounds:    s.digestRounds.Load(),
+		SpansHealed:     s.spansHealed.Load(),
+		BytesRefetched:  s.bytesRefetched.Load(),
+		HealQuarantines: s.healQuarantines.Load(),
+		Degraded:        s.degraded.Load(),
 	}
 }
 
@@ -418,6 +459,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 			defer wg.Done()
 			s.compactLoop(ctx, stop)
 		}()
+	}
+
+	// One reconciler worker per peer, joined through the same
+	// WaitGroup as the compaction loop: anti-entropy mutates lineage
+	// stores (under their locks), so it must not outlive Serve either.
+	for i, addr := range s.cfg.Peers {
+		wg.Add(1)
+		go func(addr string, seed int64) {
+			defer wg.Done()
+			s.antiEntropyLoop(ctx, stop, addr, seed)
+		}(addr, int64(i)+1)
 	}
 
 	var retErr error
@@ -650,6 +702,118 @@ func (s *Server) compactLoop(ctx context.Context, stop <-chan struct{}) {
 	}
 }
 
+// antiEntropyLoop is one peer's reconciler worker: every interval it
+// runs a reconciliation round for every open lineage against addr,
+// healing local damage by pulling verified diffs. An unreachable
+// peer switches the loop onto a jittered exponential backoff and
+// raises the Degraded gauge until contact resumes; a lineage whose
+// heals keep failing is fail-stopped by its Reconciler and only
+// reports its standing quarantine from then on.
+func (s *Server) antiEntropyLoop(ctx context.Context, stop <-chan struct{}, addr string, seed int64) {
+	peer, err := antientropy.NewWirePeer(addr, antientropy.PeerOptions{Dialer: s.cfg.PeerDialer})
+	if err != nil {
+		s.cfg.Logf("server: anti-entropy peer %s: %v", addr, err)
+		return
+	}
+	defer peer.Close()
+	// Reconcilers persist across rounds so the per-lineage fail-stop
+	// budget and quarantine verdicts survive between sweeps. The map
+	// is confined to this goroutine.
+	recs := make(map[string]*antientropy.Reconciler)
+	quarantined := make(map[string]bool)
+	backoff := antientropy.NewBackoff(s.cfg.AntiEntropyInterval, 8*s.cfg.AntiEntropyInterval, seed)
+	degraded := false
+	setDegraded := func(d bool) {
+		if d == degraded {
+			return
+		}
+		degraded = d
+		if d {
+			s.degraded.Add(1)
+		} else {
+			s.degraded.Add(^uint64(0))
+		}
+	}
+	defer setDegraded(false)
+	for {
+		delay := s.cfg.AntiEntropyInterval
+		if s.reconcilePeer(peer, recs, quarantined) {
+			setDegraded(false)
+			backoff.Reset()
+		} else {
+			setDegraded(true)
+			delay = backoff.Next()
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return
+		case <-stop:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+	}
+}
+
+// reconcilePeer runs one reconciliation sweep of every open lineage
+// against one peer and reports whether the peer was reachable.
+func (s *Server) reconcilePeer(peer antientropy.Peer, recs map[string]*antientropy.Reconciler,
+	quarantined map[string]bool) bool {
+	reachable := true
+	for _, ln := range s.snapshot() {
+		rec, ok := recs[ln.name]
+		if !ok {
+			var err error
+			ln := ln
+			rec, err = antientropy.NewReconciler(antientropy.Config{
+				Lineage: ln.name,
+				Store:   ln.store,
+				Peer:    peer,
+				// Heals serialize with pushes and compactions through
+				// the lineage queue; a saturated lineage sheds the heal
+				// like any other request and the next round retries.
+				Locked: func(fn func() error) error {
+					release, err := ln.acquire(s.cfg.MaxLineagePending)
+					if err != nil {
+						return err
+					}
+					defer release()
+					return fn()
+				},
+				Logf: s.cfg.Logf,
+			})
+			if err != nil {
+				s.cfg.Logf("server: anti-entropy lineage %q: %v", ln.name, err)
+				continue
+			}
+			recs[ln.name] = rec
+		}
+		res, err := rec.Round()
+		s.digestRounds.Add(1)
+		s.spansHealed.Add(uint64(res.Healed))
+		s.bytesRefetched.Add(uint64(res.BytesPulled))
+		switch {
+		case err == nil:
+		case errors.Is(err, antientropy.ErrQuarantined):
+			if !quarantined[ln.name] {
+				quarantined[ln.name] = true
+				s.healQuarantines.Add(1)
+				s.cfg.Logf("server: anti-entropy: %v", err)
+			}
+		case errors.Is(err, antientropy.ErrHealFailed):
+			s.cfg.Logf("server: anti-entropy lineage %q vs %s: %v", ln.name, peer.Addr(), err)
+		default:
+			// Transport-level failure: the peer (or the local disk)
+			// did not answer. Degrade this worker onto its backoff.
+			s.cfg.Logf("server: anti-entropy peer %s unreachable: %v", peer.Addr(), err)
+			reachable = false
+		}
+	}
+	return reachable
+}
+
 // compactLineage runs one policy-driven compaction under the lineage
 // lock and folds the outcome into the server counters.
 func (s *Server) compactLineage(ln *lineage) (lifecycle.Stats, error) {
@@ -688,7 +852,7 @@ func (s *Server) dispatch(req *wire.Frame, protocol uint8) *wire.Frame {
 		s.streamPushes.Add(1)
 		return s.dispatchStream(req)
 	}
-	resp, err := s.serve(req)
+	resp, err := s.serve(req, protocol)
 	if err != nil {
 		if errors.Is(err, wire.ErrBusy) {
 			// Load shed: the request was NOT executed. The payload is a
@@ -966,7 +1130,7 @@ func (s *Server) servePush(req *wire.Frame) (uint32, error) {
 	return req.Ckpt + 1, nil
 }
 
-func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
+func (s *Server) serve(req *wire.Frame, protocol uint8) (*wire.Frame, error) {
 	switch req.Type {
 	case wire.TOpen:
 		h, n, base, err := s.open(string(req.Payload))
@@ -1081,6 +1245,36 @@ func (s *Server) serve(req *wire.Frame) (*wire.Frame, error) {
 			return nil, fmt.Errorf("server: lineage %q baseline %d does not fit the frame header", ln.name, base)
 		}
 		return &wire.Frame{Lineage: req.Lineage, Ckpt: uint32(base), Payload: []byte(name)}, nil
+
+	case wire.TDigest:
+		// Gated on the negotiated version like TSubscribe: a v5
+		// connection gets StatusUnsupported, and its reconciler
+		// degrades to doing nothing against this server.
+		if protocol < 6 {
+			return nil, fmt.Errorf("server: digest requires protocol 6: %w", wire.ErrUnsupported)
+		}
+		ln, err := s.get(req.Lineage)
+		if err != nil {
+			return nil, err
+		}
+		q, err := wire.DecodeDigestReq(req.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("server: digest lineage %q: %w", ln.name, err)
+		}
+		// Digest under the lineage lock: the span checksummed is one
+		// consistent committed state, never a half-replaced compaction
+		// suffix. Shed with StatusBusy when the queue is saturated,
+		// like any other lineage request.
+		release, err := ln.acquire(s.cfg.MaxLineagePending)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := antientropy.BuildResp(ln.store, q)
+		release()
+		if err != nil {
+			return nil, fmt.Errorf("server: digest lineage %q: %w", ln.name, err)
+		}
+		return &wire.Frame{Lineage: req.Lineage, Payload: wire.EncodeDigestResp(resp)}, nil
 
 	default:
 		return nil, fmt.Errorf("server: request type 0x%02x: %w", req.Type, wire.ErrUnsupported)

@@ -1,0 +1,194 @@
+// Wire v6 anti-entropy payloads: the digest request a reconciler
+// sends with TDigest and the divergence digest a peer answers with.
+//
+// A digest is deliberately two-speed. The summary form is tiny (36
+// bytes) and covers an arbitrary span with a rolling CRC32C and a
+// murmur3-128 merkle root over per-diff CONTENT checksums — content,
+// not file bytes, because the same diff stored self-contained on one
+// replica and block-mapped on another has different on-disk images
+// but identical canonical encodings. Matching summaries end the
+// round. A mismatch bisects: the reconciler halves the span with
+// further summary requests until it is small enough to ask for
+// detail — the per-diff CRC list — and learns exactly which
+// checkpoints diverge. DigestMaxDetail bounds the detail form so a
+// lying peer cannot demand an unbounded allocation.
+
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Digest payload sizes.
+const (
+	// DigestReqSize is the TDigest request payload length: lo, hi
+	// (absolute checkpoint ids, 4 bytes each) and a flags byte.
+	DigestReqSize = 9
+	// DigestRespHeader is the fixed prefix of a TDigest response:
+	// base u32, len u32, generation u64, span CRC u32, merkle root
+	// 16 bytes, span lo u32, span hi u32, detail count u32.
+	DigestRespHeader = 4 + 4 + 8 + 4 + 16 + 4 + 4 + 4
+	// DigestMaxDetail bounds the per-diff CRC list a detail response
+	// may carry; requests for wider spans are answered summary-only.
+	// 4096 ids keeps the largest detail payload under 16 KiB while
+	// letting the bisection finish in one request for realistic
+	// lineages.
+	DigestMaxDetail = 4096
+)
+
+// Digest request flags.
+const (
+	// DigestDetail asks for the per-diff CRC list of the requested
+	// span (refused for spans wider than DigestMaxDetail).
+	DigestDetail uint8 = 1 << 0
+)
+
+// DigestReq is a TDigest request: digest the intersection of the
+// lineage's stored span with [Lo, Hi). Lo == Hi == 0 means the whole
+// stored span.
+type DigestReq struct {
+	Lo, Hi uint32
+	Detail bool
+}
+
+// EncodeDigestReq encodes a TDigest request payload.
+func EncodeDigestReq(q DigestReq) []byte {
+	return AppendDigestReq(nil, q)
+}
+
+// AppendDigestReq appends the encoded request to buf and returns the
+// extended slice.
+func AppendDigestReq(buf []byte, q DigestReq) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, q.Lo)
+	buf = binary.BigEndian.AppendUint32(buf, q.Hi)
+	var flags uint8
+	if q.Detail {
+		flags |= DigestDetail
+	}
+	return append(buf, flags)
+}
+
+// DecodeDigestReq parses a TDigest request payload.
+func DecodeDigestReq(b []byte) (DigestReq, error) {
+	if len(b) != DigestReqSize {
+		return DigestReq{}, fmt.Errorf("wire: digest request payload is %d bytes, want %d", len(b), DigestReqSize)
+	}
+	q := DigestReq{
+		Lo: binary.BigEndian.Uint32(b[0:]),
+		Hi: binary.BigEndian.Uint32(b[4:]),
+	}
+	flags := b[8]
+	if flags&^DigestDetail != 0 {
+		return DigestReq{}, fmt.Errorf("wire: unknown digest request flags %#x", flags)
+	}
+	q.Detail = flags&DigestDetail != 0
+	if q.Hi < q.Lo {
+		return DigestReq{}, fmt.Errorf("wire: digest request span [%d,%d) inverted", q.Lo, q.Hi)
+	}
+	if q.Detail && q.Hi-q.Lo > DigestMaxDetail {
+		return DigestReq{}, fmt.Errorf("wire: digest detail span %d exceeds %d", q.Hi-q.Lo, DigestMaxDetail)
+	}
+	return q, nil
+}
+
+// DigestResp is a TDigest response: the lineage's manifest
+// coordinates plus the digest of the requested span's per-diff
+// content checksums. Span is the requested range clipped to [Base,
+// Len); CRC and Root cover exactly the diffs in Span, in id order.
+// Detail, present only when requested, holds one content CRC per
+// diff of Span.
+type DigestResp struct {
+	// Base and Len are the lineage's committed baseline and length —
+	// the span a healthy replica stores is [Base, Len).
+	Base, Len uint32
+	// Generation is the manifest's compaction generation. A replica
+	// whose peer reports a higher generation (or baseline) must not
+	// patch individual diffs: the peer folded, and convergence means
+	// re-installing the peer's authoritative span.
+	Generation uint64
+	// CRC is the rolling CRC32C over the big-endian per-diff content
+	// checksums of Span, in id order (ChecksumAdd-folded; zero for an
+	// empty span).
+	CRC uint32
+	// Root is the murmur3-128 merkle root over the same per-diff
+	// checksums (antientropy.SpanRoot; zero for an empty span).
+	Root [16]byte
+	// SpanLo / SpanHi echo the digested span after clipping.
+	SpanLo, SpanHi uint32
+	// Detail is the per-diff content CRC list for Span, id order;
+	// nil unless the request set DigestDetail.
+	Detail []uint32
+}
+
+// EncodeDigestResp encodes a TDigest response payload.
+func EncodeDigestResp(r DigestResp) []byte {
+	return AppendDigestResp(nil, r)
+}
+
+// AppendDigestResp appends the encoded response to buf and returns
+// the extended slice.
+func AppendDigestResp(buf []byte, r DigestResp) []byte {
+	// The decoder rejects detail lists over DigestMaxDetail, so an
+	// oversized list could never be accepted anyway; clamp rather than
+	// emit a payload every peer must refuse.
+	if len(r.Detail) > DigestMaxDetail {
+		r.Detail = r.Detail[:DigestMaxDetail]
+	}
+	buf = binary.BigEndian.AppendUint32(buf, r.Base)
+	buf = binary.BigEndian.AppendUint32(buf, r.Len)
+	buf = binary.BigEndian.AppendUint64(buf, r.Generation)
+	buf = binary.BigEndian.AppendUint32(buf, r.CRC)
+	buf = append(buf, r.Root[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, r.SpanLo)
+	buf = binary.BigEndian.AppendUint32(buf, r.SpanHi)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Detail)))
+	for _, crc := range r.Detail {
+		buf = binary.BigEndian.AppendUint32(buf, crc)
+	}
+	return buf
+}
+
+// DecodeDigestResp parses a TDigest response payload. Like
+// DecodeList, it never allocates on the declared count alone: the
+// detail slice grows only as far as the payload actually reaches.
+func DecodeDigestResp(b []byte) (DigestResp, error) {
+	const fixed = DigestRespHeader
+	if len(b) < fixed {
+		return DigestResp{}, fmt.Errorf("wire: digest response payload is %d bytes, want >= %d", len(b), fixed)
+	}
+	var r DigestResp
+	r.Base = binary.BigEndian.Uint32(b[0:])
+	r.Len = binary.BigEndian.Uint32(b[4:])
+	r.Generation = binary.BigEndian.Uint64(b[8:])
+	r.CRC = binary.BigEndian.Uint32(b[16:])
+	copy(r.Root[:], b[20:36])
+	r.SpanLo = binary.BigEndian.Uint32(b[36:])
+	r.SpanHi = binary.BigEndian.Uint32(b[40:])
+	n := binary.BigEndian.Uint32(b[44:])
+	if r.Len < r.Base {
+		return DigestResp{}, fmt.Errorf("wire: digest response len %d below base %d", r.Len, r.Base)
+	}
+	if r.SpanHi < r.SpanLo || r.SpanLo < r.Base || r.SpanHi > r.Len {
+		return DigestResp{}, fmt.Errorf("wire: digest span [%d,%d) outside lineage [%d,%d)",
+			r.SpanLo, r.SpanHi, r.Base, r.Len)
+	}
+	if n > DigestMaxDetail {
+		return DigestResp{}, fmt.Errorf("wire: digest detail count %d exceeds %d", n, DigestMaxDetail)
+	}
+	if len(b) != fixed+4*int(n) {
+		return DigestResp{}, fmt.Errorf("wire: digest response is %d bytes, want %d for %d detail entries",
+			len(b), fixed+4*int(n), n)
+	}
+	if n > 0 {
+		if uint32(r.SpanHi-r.SpanLo) != n {
+			return DigestResp{}, fmt.Errorf("wire: digest detail count %d does not cover span [%d,%d)",
+				n, r.SpanLo, r.SpanHi)
+		}
+		r.Detail = make([]uint32, 0, min(int(n), (len(b)-fixed)/4))
+		for i := 0; i < int(n); i++ {
+			r.Detail = append(r.Detail, binary.BigEndian.Uint32(b[fixed+4*i:]))
+		}
+	}
+	return r, nil
+}

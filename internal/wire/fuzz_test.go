@@ -52,8 +52,16 @@ func FuzzFrameDecode(f *testing.F) {
 			}
 		}
 		if s, err := DecodeStats(fr.Payload); err == nil {
-			if !bytes.Equal(s.Encode(), fr.Payload) {
+			// A legacy v5 payload re-encodes with a zero v6 trailer; the
+			// prefix must round trip byte-identically either way.
+			out := s.Encode()
+			if !bytes.Equal(out[:len(fr.Payload)], fr.Payload) {
 				t.Fatal("stats round trip diverged")
+			}
+			for _, b := range out[len(fr.Payload):] {
+				if b != 0 {
+					t.Fatal("legacy stats decode invented trailer counters")
+				}
 			}
 		}
 	})

@@ -71,7 +71,18 @@ const (
 	//	   frame types were added — every v4 payload layout is
 	//	   untouched — so a v5 client against a v4 server negotiates
 	//	   down and falls back to poll-based tailing.
-	Version uint8 = 5
+	//	6: anti-entropy — the TDigest request exchanges compact
+	//	   per-lineage divergence digests (base, length, compaction
+	//	   generation, rolling CRC32C over per-diff content checksums,
+	//	   murmur3-128 merkle root) and, in detail mode, per-diff CRC
+	//	   lists over a bounded span so a reconciler can bisect to the
+	//	   diverging checkpoints. Stats grew six trailing counters
+	//	   (quarantine gauge + anti-entropy totals); DecodeStats still
+	//	   accepts the v5 120-byte layout, so mixed-version clusters
+	//	   read each other's STATS. Only a new frame type and trailing
+	//	   stats fields were added — a v6 reconciler against a v5 peer
+	//	   gets StatusUnsupported and degrades to doing nothing.
+	Version uint8 = 6
 	// MinVersion is the oldest protocol version this build still
 	// speaks. A peer advertising anything older is refused.
 	MinVersion uint8 = 3
@@ -143,6 +154,17 @@ const (
 	// mid-stream it is a terminal barrier — the server closes the
 	// connection after sending it.
 	TResync
+	// TDigest (v6) asks for a divergence digest of lineage Lineage.
+	// The request payload (EncodeDigestReq) names a checkpoint span
+	// and whether per-diff detail is wanted; the response carries a
+	// DigestResp — the lineage's manifest coordinates (base, length,
+	// compaction generation) plus a rolling CRC32C and murmur3-128
+	// merkle root over the requested span's per-diff content
+	// checksums, and, when detail was requested, the per-diff CRC
+	// list itself. The anti-entropy reconciler compares summaries and
+	// bisects with detail requests; the connection stays in
+	// request/response mode throughout.
+	TDigest
 	// TErr is an unsolicited server error (e.g. connection limit
 	// reached), sent without a matching request.
 	TErr uint8 = 0xFF
@@ -875,30 +897,67 @@ type Stats struct {
 	// BlockGCBlocks / BlockGCBytes count blocks and payload bytes
 	// reclaimed by committed block-store GC transactions.
 	BlockGCBlocks, BlockGCBytes uint64
+	// Quarantined (v6) is a gauge: diff files currently sitting in
+	// quarantine across every open lineage — the operator's rot alarm.
+	Quarantined uint64
+	// DigestRounds (v6) counts completed anti-entropy digest rounds
+	// (one round = one digest comparison against one peer, per
+	// lineage, whether or not it found divergence).
+	DigestRounds uint64
+	// SpansHealed (v6) counts diffs repaired or re-installed from a
+	// peer by the anti-entropy reconciler.
+	SpansHealed uint64
+	// BytesRefetched (v6) sums the encoded diff bytes pulled from
+	// peers by anti-entropy heals.
+	BytesRefetched uint64
+	// HealQuarantines (v6) counts lineages the reconciler fail-stopped
+	// — divergence it could not heal (both replicas rotten, content
+	// conflict, repeated heal failure) — never silently ignored.
+	HealQuarantines uint64
+	// Degraded (v6) is a gauge: peers currently unreachable (the
+	// reconciler is backing off and the cluster is running with less
+	// redundancy than configured).
+	Degraded uint64
 }
 
-const statsSize = 15 * 8
+// statsSizeV5 is the frozen 15-counter v3..v5 layout; statsSize is
+// the current layout with the v6 anti-entropy trailer. DecodeStats
+// accepts both so mixed-version clusters read each other's STATS.
+const (
+	statsSizeV5 = 15 * 8
+	statsSize   = 21 * 8
+)
+
+// fields returns pointers to every counter in wire order; the first
+// 15 are the frozen v5 prefix.
+func (s *Stats) fields() [21]*uint64 {
+	return [21]*uint64{&s.Requests, &s.BytesIn, &s.BytesOut, &s.ActiveConns, &s.Conns, &s.Lineages,
+		&s.Compactions, &s.CompactedDiffs, &s.ReclaimedBytes, &s.BusyRejects,
+		&s.BlocksInterned, &s.BlockDedupHits, &s.BlockBytesSaved, &s.BlockGCBlocks, &s.BlockGCBytes,
+		&s.Quarantined, &s.DigestRounds, &s.SpansHealed, &s.BytesRefetched, &s.HealQuarantines, &s.Degraded}
+}
 
 // Encode serializes the stats counters.
 func (s *Stats) Encode() []byte {
 	buf := make([]byte, 0, statsSize)
-	for _, v := range [...]uint64{s.Requests, s.BytesIn, s.BytesOut, s.ActiveConns, s.Conns, s.Lineages,
-		s.Compactions, s.CompactedDiffs, s.ReclaimedBytes, s.BusyRejects,
-		s.BlocksInterned, s.BlockDedupHits, s.BlockBytesSaved, s.BlockGCBlocks, s.BlockGCBytes} {
-		buf = binary.BigEndian.AppendUint64(buf, v)
+	for _, p := range s.fields() {
+		buf = binary.BigEndian.AppendUint64(buf, *p)
 	}
 	return buf
 }
 
-// DecodeStats parses a TStats response payload.
+// DecodeStats parses a TStats response payload: the current layout,
+// or the 120-byte v5 layout from an older server (the v6 trailer
+// decodes as zero).
 func DecodeStats(b []byte) (Stats, error) {
-	if len(b) != statsSize {
-		return Stats{}, fmt.Errorf("wire: stats payload %d bytes, want %d", len(b), statsSize)
+	if len(b) != statsSize && len(b) != statsSizeV5 {
+		return Stats{}, fmt.Errorf("wire: stats payload %d bytes, want %d or %d", len(b), statsSize, statsSizeV5)
 	}
 	var s Stats
-	for i, p := range [...]*uint64{&s.Requests, &s.BytesIn, &s.BytesOut, &s.ActiveConns, &s.Conns, &s.Lineages,
-		&s.Compactions, &s.CompactedDiffs, &s.ReclaimedBytes, &s.BusyRejects,
-		&s.BlocksInterned, &s.BlockDedupHits, &s.BlockBytesSaved, &s.BlockGCBlocks, &s.BlockGCBytes} {
+	for i, p := range s.fields() {
+		if 8*i >= len(b) {
+			break
+		}
 		*p = binary.BigEndian.Uint64(b[8*i:])
 	}
 	return s, nil

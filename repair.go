@@ -3,9 +3,12 @@ package gpuckpt
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"sort"
 
+	"github.com/gpuckpt/gpuckpt/internal/antientropy"
 	"github.com/gpuckpt/gpuckpt/internal/checkpoint"
+	"github.com/gpuckpt/gpuckpt/internal/wire"
 )
 
 // RepairReport summarizes a ScrubDir or Client.Repair pass over a
@@ -46,17 +49,53 @@ func ScrubDir(dir string) (*RepairReport, error) {
 	return &RepairReport{Checked: sr.Checked, Corrupt: sr.Corrupt, Unverified: sr.Unverified}, nil
 }
 
-// Repair scrubs the local checkpoint directory dir and refetches every
-// quarantined diff from the server's lineage name — the recovery path
-// for bit rot on a node's local store when a ckptd peer holds a
-// replica. Diffs quarantined by an earlier scrub (this process or a
-// previous one) are repaired too: their ids are recovered from the
-// quarantine file names, since a quarantined diff is a hole the store's
-// restorable range already shrank past. Each refetched diff is verified
-// (the pull payload decodes and carries the expected checkpoint id)
-// before it is reinstalled; after a full repair the store's restorable
-// range is what it was before the corruption and every restore is
-// byte-exact again.
+// clientPeer adapts a *Client into the reconciler's Peer view of the
+// server: digests ride TDigest, pulls ride TPull, both under the
+// client's pooling and retry policy.
+type clientPeer struct{ c *Client }
+
+func (p *clientPeer) Addr() string { return p.c.addr }
+
+func (p *clientPeer) Digest(name string, q wire.DigestReq) (wire.DigestResp, error) {
+	d, err := p.c.Digest(name, int(q.Lo), int(q.Hi), q.Detail)
+	if err != nil {
+		return wire.DigestResp{}, err
+	}
+	if d.Len > math.MaxUint32 {
+		return wire.DigestResp{}, fmt.Errorf("gpuckpt: digest length %d overflows the wire form", d.Len)
+	}
+	return wire.DigestResp{
+		Base:       uint32(d.Base),
+		Len:        uint32(d.Len),
+		Generation: d.Generation,
+		CRC:        d.CRC,
+		Root:       d.Root,
+		SpanLo:     uint32(d.SpanLo),
+		SpanHi:     uint32(d.SpanHi),
+		Detail:     d.Detail,
+	}, nil
+}
+
+func (p *clientPeer) Pull(name string, ck int) ([]byte, error) { return p.c.PullDiff(name, ck) }
+
+func (p *clientPeer) Close() error { return nil }
+
+// Repair converges the local checkpoint directory dir with the
+// server's lineage name — the recovery path for bit rot on a node's
+// local store when a ckptd peer holds a replica. It runs one
+// anti-entropy reconciliation round (internal/antientropy, the same
+// machinery ckptd peers use continuously): scrub and quarantine local
+// rot, refill quarantine holes from the server, pull any missing
+// suffix, and bisect span digests down to whatever damage the scrub's
+// footer check cannot see. Every refetched diff is verified before it
+// is reinstalled; after a full repair every restore is byte-exact
+// again. A local diff that verifies but disagrees with the server's
+// equally-verified copy is divergence and comes back as an error
+// matching antientropy.ErrDiverged — Repair never overwrites good
+// local data with conflicting server data.
+//
+// Against a server predating wire v6 digests, Repair degrades to the
+// scrub-and-refetch pass over the locally detected damage alone.
 //
 // Repair returns the report even when some diffs could not be
 // repaired (server missing the lineage, id compacted away); the error
@@ -85,6 +124,43 @@ func (c *Client) Repair(dir, name string) (*RepairReport, error) {
 	}
 	sort.Ints(broken)
 	rep := &RepairReport{Checked: sr.Checked, Corrupt: broken, Unverified: sr.Unverified}
+
+	rec, err := antientropy.NewReconciler(antientropy.Config{
+		Lineage: name,
+		Store:   fs,
+		Peer:    &clientPeer{c: c},
+	})
+	if err != nil {
+		return rep, err
+	}
+	res, roundErr := rec.Round()
+	if roundErr == nil && res.Outcome == antientropy.OutcomeUnsupported {
+		return c.repairLegacy(fs, rep, dir, name, broken)
+	}
+	// Repaired is whatever stopped being an open hole: the scrub's
+	// damage list minus the quarantines still standing afterwards.
+	still := map[int]bool{}
+	if after, qerr := fs.QuarantinedIDs(); qerr == nil {
+		for _, ck := range after {
+			still[ck] = true
+		}
+	} else if roundErr == nil {
+		roundErr = qerr
+	}
+	for _, ck := range broken {
+		if !still[ck] {
+			rep.Repaired = append(rep.Repaired, ck)
+		}
+	}
+	if roundErr != nil {
+		roundErr = fmt.Errorf("gpuckpt: repair %s: %w", dir, roundErr)
+	}
+	return rep, roundErr
+}
+
+// repairLegacy refetches the locally detected damage diff-by-diff —
+// the pre-digest repair path, kept for servers without TDigest.
+func (c *Client) repairLegacy(fs *checkpoint.FileStore, rep *RepairReport, dir, name string, broken []int) (*RepairReport, error) {
 	var firstErr error
 	for _, ck := range broken {
 		b, err := c.PullDiff(name, ck)
